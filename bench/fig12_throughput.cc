@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 12: SQL-level transaction throughput as PM latency grows.
+ *
+ * Expected shape: FAST sustains the highest ops/s at every latency and
+ * the advantage persists out to 1.2us PM latency (the paper stresses
+ * FAST is still 1.5-2x faster than NVWAL even at 1.2us).
+ */
+
+#include <cstdio>
+
+#include "bench_util/runner.h"
+#include "bench_util/table.h"
+
+using namespace fasp;
+using namespace fasp::benchutil;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    const std::uint64_t latencies[] = {120, 300, 600, 900, 1200};
+
+    Table table({"latency(ns)", "engine", "ops/sec", "vs-NVWAL"});
+    for (std::uint64_t lat : latencies) {
+        double nvwal_tput = 0;
+        for (core::EngineKind kind : paperEngines()) {
+            SqlBenchConfig config;
+            config.kind = kind;
+            config.latency = pm::LatencyModel::of(lat, lat);
+            config.numOps =
+                std::max<std::size_t>(args.numTxns / 2, 500);
+            config.mix = {60, 20, 10};
+            SqlBenchResult result = runSqlBench(config);
+            if (kind == core::EngineKind::Nvwal)
+                nvwal_tput = result.opsPerSecond;
+            table.addRow(
+                {latencyLabel(config.latency),
+                 core::engineKindName(kind),
+                 Table::fmt(result.opsPerSecond, 0),
+                 Table::fmt(result.opsPerSecond /
+                                (nvwal_tput > 0 ? nvwal_tput : 1),
+                            2) +
+                     "x"});
+        }
+    }
+    table.print("Figure 12: SQL throughput vs PM latency "
+                "(Mobibench-style mix)");
+    return 0;
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the individual substrates:
+ * slotted-page operations, slot-header log cycles, RTM emulation,
+ * NVWAL diff computation, and end-to-end single-insert transactions
+ * per engine. Complements the figure harnesses with wall-clock
+ * regression numbers (no modelled PM latency: DRAM-speed model).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "btree/btree.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "htm/rtm.h"
+#include "page/page_io.h"
+#include "page/slotted_page.h"
+#include "pager/pager.h"
+#include "pm/device.h"
+#include "wal/nvwal_log.h"
+#include "wal/slot_header_log.h"
+
+namespace {
+
+using namespace fasp;
+
+// --- Slotted page -------------------------------------------------------------
+
+void
+BM_SlottedPageInsert(benchmark::State &state)
+{
+    std::vector<std::uint8_t> buf(4096);
+    page::BufferPageIO io(buf.data(), buf.size());
+    std::vector<std::uint8_t> payload(40, 0x11);
+    Rng rng(1);
+    page::init(io, page::PageType::Leaf, 0);
+    for (auto _ : state) {
+        std::uint64_t key = rng.next();
+        storeU64(payload.data(), key);
+        if (page::insertRecord(
+                io, key, std::span<const std::uint8_t>(payload))
+                .code() == StatusCode::PageFull) {
+            page::init(io, page::PageType::Leaf, 0);
+        }
+    }
+}
+BENCHMARK(BM_SlottedPageInsert);
+
+void
+BM_SlottedPageLowerBound(benchmark::State &state)
+{
+    std::vector<std::uint8_t> buf(4096);
+    page::BufferPageIO io(buf.data(), buf.size());
+    page::init(io, page::PageType::Leaf, 0);
+    std::vector<std::uint8_t> payload(24, 0);
+    for (std::uint64_t key = 1; key <= 80; ++key) {
+        storeU64(payload.data(), key * 7);
+        (void)page::insertRecord(
+            io, key * 7, std::span<const std::uint8_t>(payload));
+    }
+    Rng rng(3);
+    for (auto _ : state) {
+        auto result = page::lowerBound(io, rng.nextBounded(600));
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_SlottedPageLowerBound);
+
+void
+BM_SlottedPageDefragment(benchmark::State &state)
+{
+    std::vector<std::uint8_t> src_buf(4096), dst_buf(4096);
+    page::BufferPageIO src(src_buf.data(), src_buf.size());
+    page::BufferPageIO dst(dst_buf.data(), dst_buf.size());
+    page::init(src, page::PageType::Leaf, 0);
+    std::vector<std::uint8_t> payload(40, 0);
+    for (std::uint64_t key = 1; key <= 60; ++key) {
+        storeU64(payload.data(), key);
+        (void)page::insertRecord(
+            src, key, std::span<const std::uint8_t>(payload));
+    }
+    for (auto _ : state) {
+        (void)page::defragmentInto(src, dst);
+        benchmark::DoNotOptimize(dst_buf.data());
+    }
+}
+BENCHMARK(BM_SlottedPageDefragment);
+
+// --- RTM emulation ------------------------------------------------------------
+
+void
+BM_RtmCommit(benchmark::State &state)
+{
+    pm::PmConfig cfg;
+    cfg.size = 1u << 16;
+    pm::PmDevice device(cfg);
+    htm::Rtm rtm(device, htm::RtmConfig{});
+    std::uint8_t header[64] = {};
+    for (auto _ : state) {
+        rtm.execute([&](htm::RtmRegion &region) {
+            region.write(0, header, sizeof(header));
+        });
+    }
+}
+BENCHMARK(BM_RtmCommit);
+
+// --- Slot-header log ------------------------------------------------------------
+
+void
+BM_SlotHeaderLogCycle(benchmark::State &state)
+{
+    pm::PmConfig cfg;
+    cfg.size = 32u << 20;
+    cfg.latency = pm::LatencyModel::dramSpeed();
+    pm::PmDevice device(cfg);
+    auto sb = *pager::Pager::format(device, {});
+    wal::SlotHeaderLog log(device, sb);
+    std::vector<std::uint8_t> header(40, 0x22);
+    TxId txid = 0;
+    for (auto _ : state) {
+        log.begin();
+        (void)log.appendPageHeader(
+            sb.firstDataPid(), std::span<const std::uint8_t>(header));
+        (void)log.commit(++txid);
+        (void)log.checkpointAndTruncate();
+    }
+}
+BENCHMARK(BM_SlotHeaderLogCycle);
+
+// --- NVWAL diff -----------------------------------------------------------------
+
+void
+BM_NvwalDiffCommit(benchmark::State &state)
+{
+    pm::PmConfig cfg;
+    cfg.size = 64u << 20;
+    cfg.latency = pm::LatencyModel::dramSpeed();
+    pm::PmDevice device(cfg);
+    auto sb = *pager::Pager::format(device, {});
+    wal::NvwalLog log(device, sb);
+    log.format();
+    std::vector<std::uint8_t> clean(sb.pageSize, 0);
+    std::vector<std::uint8_t> data = clean;
+    Rng rng(5);
+    TxId txid = 0;
+    for (auto _ : state) {
+        // Dirty ~64 bytes at a random offset, as one insert would.
+        std::size_t off = rng.nextBounded(sb.pageSize - 64);
+        rng.fillBytes(data.data() + off, 64);
+        wal::NvwalDirtyPage dirty{sb.firstDataPid(), data.data(),
+                                  clean.data()};
+        (void)log.commitTx(
+            ++txid, std::span<const wal::NvwalDirtyPage>(&dirty, 1));
+        clean = data;
+        if (log.needsCheckpoint())
+            (void)log.checkpoint();
+    }
+}
+BENCHMARK(BM_NvwalDiffCommit);
+
+// --- End-to-end single-insert transactions --------------------------------------
+
+void
+BM_EngineInsert(benchmark::State &state)
+{
+    auto kind = static_cast<core::EngineKind>(state.range(0));
+    pm::PmConfig cfg;
+    cfg.size = 512u << 20;
+    cfg.latency = pm::LatencyModel::dramSpeed();
+    pm::PmDevice device(cfg);
+    core::EngineConfig engine_cfg;
+    engine_cfg.kind = kind;
+    engine_cfg.format.logLen = 32u << 20;
+    auto engine = std::move(*core::Engine::create(device, engine_cfg,
+                                                  true));
+    auto tree = *engine->createTree(2);
+    Rng rng(7);
+    std::vector<std::uint8_t> value(64, 0x42);
+    for (auto _ : state) {
+        Status status = engine->insert(
+            tree, rng.next() | 1, std::span<const std::uint8_t>(value));
+        if (!status.isOk() &&
+            status.code() != StatusCode::AlreadyExists) {
+            state.SkipWithError(status.toString().c_str());
+            break;
+        }
+    }
+    state.SetLabel(core::engineKindName(kind));
+}
+BENCHMARK(BM_EngineInsert)
+    ->Arg(static_cast<int>(core::EngineKind::Fast))
+    ->Arg(static_cast<int>(core::EngineKind::Fash))
+    ->Arg(static_cast<int>(core::EngineKind::Nvwal))
+    ->Arg(static_cast<int>(core::EngineKind::LegacyWal))
+    ->Arg(static_cast<int>(core::EngineKind::Journal));
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Benchmark harness: spins up a fresh database per (engine, latency)
+ * point, runs the paper's workloads, and reports per-transaction
+ * component breakdowns in the groups the paper's figures use.
+ *
+ * Reported times are `compute wall time + modelled PM latency`,
+ * mirroring the paper's Quartz emulation (see pm/latency.h); being
+ * accounting-based, they are deterministic up to CPU noise in the
+ * wall-time share.
+ */
+
+#ifndef FASP_BENCH_UTIL_RUNNER_H
+#define FASP_BENCH_UTIL_RUNNER_H
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "pm/device.h"
+#include "pm/phase.h"
+#include "workload/workload.h"
+
+namespace fasp::benchutil {
+
+/** One benchmark point. */
+struct BenchConfig
+{
+    core::EngineKind kind = core::EngineKind::Fast;
+    pm::LatencyModel latency = pm::LatencyModel::of(300, 300);
+    std::size_t numTxns = 20000;
+    std::size_t recordSize = 64;       //!< value bytes per record
+    std::size_t recordsPerTxn = 1;
+    workload::KeyPattern keys = workload::KeyPattern::UniformRandom;
+    std::uint64_t seed = 42;
+    std::size_t deviceSize = 0;        //!< 0 = sized automatically
+    htm::RtmConfig rtm;                //!< FAST abort injection
+    bool useClwb = false;              //!< CLWB vs CLFLUSH ablation
+};
+
+/** Everything measured for one point. */
+struct BenchResult
+{
+    pm::PhaseTracker tracker;
+    pm::PmStats pmStats;
+    core::EngineStats engineStats;
+    htm::RtmStats rtmStats;
+    std::uint64_t txns = 0;
+    double wallSeconds = 0;
+
+    /** Average ns/transaction attributed to @p comp. */
+    double perTxnNs(pm::Component comp) const;
+
+    /** clflush instructions per transaction. */
+    double flushesPerTxn() const;
+};
+
+/** The paper's figure groups. */
+struct Groups
+{
+    double searchNs = 0;     //!< Fig. 6 "Search"
+    double pageUpdateNs = 0; //!< Fig. 6 "Page Update"
+    double commitNs = 0;     //!< Fig. 6 "Commit"
+
+    double totalNs() const
+    {
+        return searchNs + pageUpdateNs + commitNs;
+    }
+};
+
+/**
+ * Group per-txn component times as the paper's Figure 6 does. Lazy
+ * checkpointing (NVWAL / legacy WAL) is excluded from Commit, as in
+ * the paper ("NVWAL performs checkpointing in a lazy manner").
+ */
+Groups groupComponents(const BenchResult &result,
+                       core::EngineKind kind);
+
+/** Sum of the Figure 7 Page Update sub-components per txn. */
+double pageUpdateNs(const BenchResult &result);
+
+/** Sum of the Figure 8 Commit sub-components per txn. */
+double commitNs(const BenchResult &result, core::EngineKind kind);
+
+/**
+ * The paper's main workload: @p numTxns transactions, each inserting
+ * @p recordsPerTxn records with random keys.
+ */
+BenchResult runInsertBench(const BenchConfig &config);
+
+/** Every engine kind, in the paper's comparison order. */
+std::array<core::EngineKind, 3> paperEngines();
+
+/** All five engines (for the ablation tables). */
+std::array<core::EngineKind, 5> allEngines();
+
+/** "300/600" style label for a latency model. */
+std::string latencyLabel(const pm::LatencyModel &latency);
+
+/** Parse "--n=NNN" / "--quick" style benchmark argv knobs. */
+struct BenchArgs
+{
+    std::size_t numTxns = 20000;
+
+    static BenchArgs parse(int argc, char **argv);
+};
+
+// --- SQL-level workloads (Figures 11-12) ------------------------------------
+
+/** Per-op-type measurements through the full SQL path. */
+struct SqlBenchResult
+{
+    /** Average response time (wall + model) per op type, ns. */
+    double insertNs = 0;
+    double updateNs = 0;
+    double deleteNs = 0;
+    double lookupNs = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t lookups = 0;
+
+    /** Aggregate throughput over all ops (ops per modelled second). */
+    double opsPerSecond = 0;
+};
+
+/** Configuration of the SQL workload. */
+struct SqlBenchConfig
+{
+    core::EngineKind kind = core::EngineKind::Fast;
+    pm::LatencyModel latency = pm::LatencyModel::of(300, 300);
+    std::size_t numOps = 6000;
+    workload::MixedWorkload::Mix mix;
+    std::size_t valueSize = 100;
+    std::uint64_t seed = 42;
+};
+
+/** Mobibench-style mixed op workload through Database::exec. */
+SqlBenchResult runSqlBench(const SqlBenchConfig &config);
+
+} // namespace fasp::benchutil
+
+#endif // FASP_BENCH_UTIL_RUNNER_H

@@ -1,0 +1,54 @@
+#include "bench_util/table.h"
+
+#include <algorithm>
+
+namespace fasp::benchutil {
+
+void
+Table::print(const std::string &title) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size();
+             ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::printf("\n== %s ==\n", title.c_str());
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::printf("%-*s", static_cast<int>(widths[c] + 2),
+                        row[c].c_str());
+        }
+        std::printf("\n");
+    };
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+Table::fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::fmt(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace fasp::benchutil

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Aligned-text table printer for benchmark output.
+ */
+
+#ifndef FASP_BENCH_UTIL_TABLE_H
+#define FASP_BENCH_UTIL_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fasp::benchutil {
+
+/**
+ * Collects rows of string cells and prints them with aligned columns.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Append one row (cell count should match the header). */
+    void addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Print to stdout with a title and separator rule. */
+    void print(const std::string &title) const;
+
+    /** Format helpers. */
+    static std::string fmt(double v, int decimals = 2);
+    static std::string fmt(std::uint64_t v);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fasp::benchutil
+
+#endif // FASP_BENCH_UTIL_TABLE_H

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * HashIndex: a persistent hash-based index over the same failure-
+ * atomic slotted pages as the B+-tree.
+ *
+ * The paper argues its slotted-page optimization "can be used not only
+ * for B+-trees (or any of its variants) but also for other hash-based
+ * indexes" (Section 2.2). This class demonstrates that claim: a
+ * fixed-size bucket directory maps hash(key) to a chain of slotted
+ * leaf pages (chained via the pages' aux field). Every mutation is the
+ * same record-in-free-space + slot-header-commit pattern, so FAST's
+ * in-place commit and FASH's slot-header logging apply unchanged —
+ * a single-record insert into a hash bucket commits with one atomic
+ * header write, exactly like a B-tree leaf insert.
+ *
+ * Design notes:
+ *  - The bucket directory is itself a slotted page (records =
+ *    bucket index -> chain head pid), so directory updates are as
+ *    failure-atomic as any other page update.
+ *  - Bucket chains grow by prepending a fresh page (one directory
+ *    record update — atomic); there is no rehashing. Choose the
+ *    bucket count for the expected population; the directory must fit
+ *    one page (~250 buckets at 4 KiB).
+ *  - Values must fit inline (<= BTree::maxInlineValue); hash records
+ *    do not use overflow chains.
+ */
+
+#ifndef FASP_BTREE_HASH_INDEX_H
+#define FASP_BTREE_HASH_INDEX_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "btree/tx_page_io.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fasp::btree {
+
+/** Structural statistics of a hash index. */
+struct HashStats
+{
+    std::uint64_t records = 0;
+    std::uint32_t buckets = 0;
+    std::uint32_t pages = 0;         //!< total chain pages
+    std::uint32_t longestChain = 0;  //!< pages in the longest bucket
+};
+
+/**
+ * Handle to one hash index; registered in the same tree directory as
+ * B-trees (ids share the namespace), so handles survive restarts and
+ * recovery.
+ */
+class HashIndex
+{
+  public:
+    explicit HashIndex(TreeId id) : id_(id) {}
+
+    TreeId id() const { return id_; }
+
+    /**
+     * Create an index with @p buckets chains (power of two; must fit
+     * the one-page directory) registered under @p id.
+     */
+    static Result<HashIndex> create(TxPageIO &io, TreeId id,
+                                    std::uint32_t buckets);
+
+    /** Open an existing index; NotFound if @p id is unregistered. */
+    static Result<HashIndex> open(TxPageIO &io, TreeId id);
+
+    /** Delete the index: free every chain page and the directory. */
+    static Status drop(TxPageIO &io, TreeId id);
+
+    /** Insert (@p key, @p value); AlreadyExists on duplicates. */
+    Status insert(TxPageIO &io, std::uint64_t key,
+                  std::span<const std::uint8_t> value);
+
+    /** Replace @p key's value; NotFound if absent. */
+    Status update(TxPageIO &io, std::uint64_t key,
+                  std::span<const std::uint8_t> value);
+
+    /** Look up @p key. */
+    Status get(TxPageIO &io, std::uint64_t key,
+               std::vector<std::uint8_t> &value);
+
+    Result<bool> contains(TxPageIO &io, std::uint64_t key);
+
+    /** Delete @p key; NotFound if absent. */
+    Status erase(TxPageIO &io, std::uint64_t key);
+
+    /** Visit every record (bucket order, key order within a page). */
+    Status forEach(TxPageIO &io,
+                   const std::function<bool(
+                       std::uint64_t,
+                       std::span<const std::uint8_t>)> &fn);
+
+    Result<std::uint64_t> count(TxPageIO &io);
+
+    Result<HashStats> stats(TxPageIO &io);
+
+    /** Verify directory + every chain page + hash placement. */
+    Status checkIntegrity(TxPageIO &io);
+
+  private:
+    /** Fibonacci-style 64-bit hash mix. */
+    static std::uint64_t mix(std::uint64_t key);
+
+    /** The directory page id for this index. */
+    Result<PageId> directoryPage(TxPageIO &io);
+
+    /** Chain head pid + directory slot for @p key's bucket. */
+    struct Bucket
+    {
+        std::uint32_t index;
+        PageId head;
+        std::uint16_t slot; //!< slot in the directory page
+    };
+
+    Result<Bucket> bucketFor(TxPageIO &io, PageId dir_pid,
+                             std::uint64_t key);
+
+    /** Locate @p key within bucket chain: page + slot. */
+    struct Location
+    {
+        PageId pid;
+        std::uint16_t slot;
+        bool found;
+    };
+
+    Result<Location> find(TxPageIO &io, const Bucket &bucket,
+                          std::uint64_t key);
+
+    TreeId id_;
+};
+
+} // namespace fasp::btree
+
+#endif // FASP_BTREE_HASH_INDEX_H

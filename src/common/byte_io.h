@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unaligned little-endian load/store helpers for persistent structures.
+ *
+ * All on-PM integers are stored little-endian through these helpers so the
+ * durable format is well-defined independent of host layout.
+ */
+
+#ifndef FASP_COMMON_BYTE_IO_H
+#define FASP_COMMON_BYTE_IO_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace fasp {
+
+/** Load a little-endian u16 from @p src. */
+inline std::uint16_t
+loadU16(const void *src)
+{
+    std::uint16_t v;
+    std::memcpy(&v, src, sizeof(v));
+    return v;
+}
+
+/** Load a little-endian u32 from @p src. */
+inline std::uint32_t
+loadU32(const void *src)
+{
+    std::uint32_t v;
+    std::memcpy(&v, src, sizeof(v));
+    return v;
+}
+
+/** Load a little-endian u64 from @p src. */
+inline std::uint64_t
+loadU64(const void *src)
+{
+    std::uint64_t v;
+    std::memcpy(&v, src, sizeof(v));
+    return v;
+}
+
+/** Store @p v little-endian at @p dst. */
+inline void
+storeU16(void *dst, std::uint16_t v)
+{
+    std::memcpy(dst, &v, sizeof(v));
+}
+
+/** Store @p v little-endian at @p dst. */
+inline void
+storeU32(void *dst, std::uint32_t v)
+{
+    std::memcpy(dst, &v, sizeof(v));
+}
+
+/** Store @p v little-endian at @p dst. */
+inline void
+storeU64(void *dst, std::uint64_t v)
+{
+    std::memcpy(dst, &v, sizeof(v));
+}
+
+} // namespace fasp
+
+#endif // FASP_COMMON_BYTE_IO_H

@@ -1,0 +1,40 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace fasp {
+
+namespace {
+
+/** Build the CRC32C (polynomial 0x82f63b78, reflected) lookup table. */
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 1)
+                crc = (crc >> 1) ^ 0x82f63b78u;
+            else
+                crc >>= 1;
+        }
+        table[i] = crc;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32c(const void *data, std::size_t len, std::uint32_t seed)
+{
+    static const auto table = makeTable();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+} // namespace fasp

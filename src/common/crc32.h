@@ -1,0 +1,21 @@
+/**
+ * @file
+ * CRC32C (Castagnoli) checksum used to validate log records and the
+ * superblock after a crash.
+ */
+
+#ifndef FASP_COMMON_CRC32_H
+#define FASP_COMMON_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fasp {
+
+/** Compute CRC32C of @p len bytes at @p data, continuing from @p seed. */
+std::uint32_t crc32c(const void *data, std::size_t len,
+                     std::uint32_t seed = 0);
+
+} // namespace fasp
+
+#endif // FASP_COMMON_CRC32_H

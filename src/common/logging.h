@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Panic / warn / inform helpers (gem5-style severity split).
+ *
+ * faspPanic aborts: it flags a library bug, never a user error.
+ * faspFatal exits(1): the condition is the caller's fault (bad config).
+ */
+
+#ifndef FASP_COMMON_LOGGING_H
+#define FASP_COMMON_LOGGING_H
+
+#include <cstdarg>
+
+namespace fasp {
+
+/** Print an unrecoverable internal-bug message and abort(). */
+[[noreturn]] void faspPanic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a user-error message and exit(1). */
+[[noreturn]] void faspFatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void faspWarn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void faspInform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/** Assert an internal invariant; panics with location on failure. */
+#define FASP_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::fasp::faspPanic("assertion '%s' failed at %s:%d", #cond,      \
+                              __FILE__, __LINE__);                          \
+        }                                                                   \
+    } while (0)
+
+} // namespace fasp
+
+#endif // FASP_COMMON_LOGGING_H

@@ -1,0 +1,143 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace fasp {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    FASP_ASSERT(bound > 0);
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        std::uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::nextInRange(std::uint64_t lo, std::uint64_t hi)
+{
+    FASP_ASSERT(lo <= hi);
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+void
+Rng::fillBytes(void *dst, std::size_t len)
+{
+    auto *out = static_cast<unsigned char *>(dst);
+    while (len >= 8) {
+        std::uint64_t word = next();
+        std::memcpy(out, &word, 8);
+        out += 8;
+        len -= 8;
+    }
+    if (len > 0) {
+        std::uint64_t word = next();
+        std::memcpy(out, &word, len);
+    }
+}
+
+double
+ZipfGenerator::zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    FASP_ASSERT(n > 0);
+    alpha_ = 1.0 / (1.0 - theta_);
+    zetan_ = zeta(n_, theta_);
+    double zeta2 = zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t
+ZipfGenerator::next(Rng &rng) const
+{
+    double u = rng.nextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= n_)
+        rank = n_ - 1;
+    return rank;
+}
+
+} // namespace fasp

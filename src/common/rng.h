@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and tests.
+ *
+ * Benchmarks must be reproducible across runs, so all randomness in the
+ * library flows through this seeded generator rather than std::random_device.
+ */
+
+#ifndef FASP_COMMON_RNG_H
+#define FASP_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace fasp {
+
+/**
+ * xoshiro256** PRNG seeded via SplitMix64. Fast, high quality, and
+ * deterministic for a given seed.
+ */
+class Rng
+{
+  public:
+    /** Construct with @p seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next uniformly distributed 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound) using Lemire's method; bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p. */
+    bool nextBool(double p);
+
+    /** Fill @p dst with @p len pseudo-random bytes. */
+    void fillBytes(void *dst, std::size_t len);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipfian distribution over [0, n) with skew parameter theta, using the
+ * Gray et al. rejection-free method (as in YCSB). theta in (0, 1).
+ */
+class ZipfGenerator
+{
+  public:
+    /** Distribution over @p n items with skew @p theta (default 0.99). */
+    ZipfGenerator(std::uint64_t n, double theta = 0.99);
+
+    /** Draw one sample in [0, n) using @p rng. */
+    std::uint64_t next(Rng &rng) const;
+
+    std::uint64_t itemCount() const { return n_; }
+
+  private:
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+};
+
+} // namespace fasp
+
+#endif // FASP_COMMON_RNG_H

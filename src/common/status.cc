@@ -1,0 +1,38 @@
+#include "common/status.h"
+
+namespace fasp {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "Ok";
+      case StatusCode::NotFound: return "NotFound";
+      case StatusCode::AlreadyExists: return "AlreadyExists";
+      case StatusCode::PageFull: return "PageFull";
+      case StatusCode::LogFull: return "LogFull";
+      case StatusCode::NoSpace: return "NoSpace";
+      case StatusCode::Corruption: return "Corruption";
+      case StatusCode::InvalidArgument: return "InvalidArgument";
+      case StatusCode::TxConflict: return "TxConflict";
+      case StatusCode::NotSupported: return "NotSupported";
+      case StatusCode::IoError: return "IoError";
+      case StatusCode::ParseError: return "ParseError";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "Ok";
+    std::string out = statusCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+} // namespace fasp

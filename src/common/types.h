@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental integer types and constants shared by every fasp module.
+ */
+
+#ifndef FASP_COMMON_TYPES_H
+#define FASP_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fasp {
+
+/** Identifier of a fixed-size page inside a PM device. Page 0 is the
+ *  superblock; kInvalidPageId marks "no page". */
+using PageId = std::uint32_t;
+
+/** Monotonically increasing transaction identifier. */
+using TxId = std::uint64_t;
+
+/** Identifier of a B-tree within one database (catalog, tables, ...). */
+using TreeId = std::uint32_t;
+
+/** Byte offset inside a PM device's flat address space. */
+using PmOffset = std::uint64_t;
+
+/** Sentinel for "no page". */
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/** CPU cache line size assumed by the persistence protocol (bytes).
+ *  The paper's failure-atomic write unit is one cache line. */
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/** Default database page size (bytes). SQLite and the paper use 4 KiB. */
+inline constexpr std::size_t kDefaultPageSize = 4096;
+
+/** Round @p off down to the start of its cache line. */
+constexpr PmOffset
+cacheLineBase(PmOffset off)
+{
+    return off & ~static_cast<PmOffset>(kCacheLineSize - 1);
+}
+
+/** Number of cache lines spanned by the byte range [off, off + len). */
+constexpr std::size_t
+cacheLineSpan(PmOffset off, std::size_t len)
+{
+    if (len == 0)
+        return 0;
+    PmOffset first = cacheLineBase(off);
+    PmOffset last = cacheLineBase(off + len - 1);
+    return static_cast<std::size_t>((last - first) / kCacheLineSize) + 1;
+}
+
+} // namespace fasp
+
+#endif // FASP_COMMON_TYPES_H

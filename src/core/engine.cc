@@ -1,0 +1,128 @@
+#include "core/engine.h"
+
+#include "common/logging.h"
+#include "core/buffered_engine.h"
+#include "core/fasp_engine.h"
+#include "pm/device.h"
+
+namespace fasp::core {
+
+const char *
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::Fast: return "FAST";
+      case EngineKind::Fash: return "FASH";
+      case EngineKind::Nvwal: return "NVWAL";
+      case EngineKind::LegacyWal: return "WAL";
+      case EngineKind::Journal: return "JOURNAL";
+    }
+    return "?";
+}
+
+Result<std::unique_ptr<Engine>>
+Engine::create(pm::PmDevice &device, const EngineConfig &cfg,
+               bool format)
+{
+    pager::Superblock sb;
+    if (format) {
+        auto formatted = pager::Pager::format(device, cfg.format);
+        if (!formatted.isOk())
+            return formatted.status();
+        sb = *formatted;
+    } else {
+        auto opened = pager::Pager::open(device);
+        if (!opened.isOk())
+            return opened.status();
+        sb = *opened;
+    }
+
+    std::unique_ptr<Engine> engine;
+    switch (cfg.kind) {
+      case EngineKind::Fast:
+      case EngineKind::Fash:
+        engine = std::make_unique<FaspEngine>(device, cfg, sb);
+        break;
+      case EngineKind::Nvwal:
+        engine = std::make_unique<NvwalEngine>(device, cfg, sb);
+        break;
+      case EngineKind::LegacyWal:
+        engine = std::make_unique<LegacyWalEngine>(device, cfg, sb);
+        break;
+      case EngineKind::Journal:
+        engine = std::make_unique<JournalEngine>(device, cfg, sb);
+        break;
+    }
+    FASP_ASSERT(engine != nullptr);
+
+    Status status =
+        format ? engine->initFresh() : engine->recover();
+    if (!status.isOk())
+        return status;
+    return engine;
+}
+
+Result<btree::BTree>
+Engine::createTree(TreeId id)
+{
+    auto tx = begin();
+    auto tree = btree::BTree::create(tx->pageIO(), id);
+    if (!tree.isOk()) {
+        tx->rollback();
+        return tree;
+    }
+    Status status = tx->commit();
+    if (!status.isOk())
+        return status;
+    return tree;
+}
+
+Status
+Engine::insert(btree::BTree &tree, std::uint64_t key,
+               std::span<const std::uint8_t> value)
+{
+    auto tx = begin();
+    Status status = tree.insert(tx->pageIO(), key, value);
+    if (!status.isOk()) {
+        tx->rollback();
+        return status;
+    }
+    return tx->commit();
+}
+
+Status
+Engine::update(btree::BTree &tree, std::uint64_t key,
+               std::span<const std::uint8_t> value)
+{
+    auto tx = begin();
+    Status status = tree.update(tx->pageIO(), key, value);
+    if (!status.isOk()) {
+        tx->rollback();
+        return status;
+    }
+    return tx->commit();
+}
+
+Status
+Engine::erase(btree::BTree &tree, std::uint64_t key)
+{
+    auto tx = begin();
+    Status status = tree.erase(tx->pageIO(), key);
+    if (!status.isOk()) {
+        tx->rollback();
+        return status;
+    }
+    return tx->commit();
+}
+
+Status
+Engine::get(btree::BTree &tree, std::uint64_t key,
+            std::vector<std::uint8_t> &value)
+{
+    auto tx = begin();
+    Status status = tree.get(tx->pageIO(), key, value);
+    tx->rollback();
+    return status;
+}
+
+} // namespace fasp::core

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Engine: the top-level storage-engine interface uniting the paper's
+ * schemes and baselines under one API.
+ *
+ *   FAST      — failure-atomic slotted paging with in-place commit via
+ *               HTM for single-page transactions, slot-header logging
+ *               otherwise (paper §4.2).
+ *   FASH      — slot-header logging for every transaction (§4.1); no
+ *               HTM requirement, headers may exceed a cache line.
+ *   NVWAL     — DRAM buffer cache + differential logging in PM through
+ *               a persistent heap (the paper's main baseline).
+ *   LegacyWal — page-granularity WAL in PM (Figure 1b).
+ *   Journal   — rollback journal + in-place database writes (Figure 1a).
+ *
+ * All engines share the same device layout (superblock / bitmap /
+ * directory / data pages / log region) and the same B-tree, so every
+ * measured difference comes from the commit protocol — as in the
+ * paper, where all schemes live inside the same SQLite.
+ */
+
+#ifndef FASP_CORE_ENGINE_H
+#define FASP_CORE_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "btree/btree.h"
+#include "btree/tx_page_io.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "htm/rtm.h"
+#include "pager/pager.h"
+
+namespace fasp::pm {
+class PmDevice;
+} // namespace fasp::pm
+
+namespace fasp::core {
+
+/** Which commit protocol an Engine implements. */
+enum class EngineKind : std::uint8_t {
+    Fast,
+    Fash,
+    Nvwal,
+    LegacyWal,
+    Journal,
+};
+
+/** Printable name ("FAST", "FASH", "NVWAL", ...). */
+const char *engineKindName(EngineKind kind);
+
+/** Engine construction parameters. */
+struct EngineConfig
+{
+    EngineKind kind = EngineKind::Fast;
+
+    /** Buffer-cache capacity in pages (buffered engines only). */
+    std::size_t volatileCachePages = 4096;
+
+    /** RTM behaviour (FAST only). */
+    htm::RtmConfig rtm;
+
+    /** After this many consecutive RTM aborts FAST falls back to
+     *  slot-header logging for the commit (paper §3.2 footnote). */
+    unsigned rtmRetriesBeforeFallback = 64;
+
+    /** Run the lazy checkpoint automatically when the log fills
+     *  (NVWAL / LegacyWal). */
+    bool autoCheckpoint = true;
+
+    /** Formatting parameters (used when format = true). */
+    pager::Pager::FormatParams format;
+};
+
+/** Per-engine operation counters. */
+struct EngineStats
+{
+    std::uint64_t txBegun = 0;
+    std::uint64_t txCommitted = 0;
+    std::uint64_t txRolledBack = 0;
+    std::uint64_t inPlaceCommits = 0;   //!< FAST fast-path commits
+    std::uint64_t logCommits = 0;       //!< slot-header-log commits
+    std::uint64_t rtmFallbacks = 0;     //!< FAST HTM gave up
+
+    void reset() { *this = EngineStats{}; }
+};
+
+/**
+ * One transaction. Also acts as the TxPageIO provider for the B-tree,
+ * so callers do:
+ *
+ *   auto tx = engine->begin();
+ *   tree.insert(tx->pageIO(), key, value);
+ *   tx->commit();
+ */
+class Transaction
+{
+  public:
+    virtual ~Transaction() = default;
+
+    /** Page-access provider for B-tree operations. */
+    virtual btree::TxPageIO &pageIO() = 0;
+
+    /**
+     * Make every change durable and atomic per the engine's protocol.
+     * After commit() the transaction is finished.
+     */
+    virtual Status commit() = 0;
+
+    /** Discard every change. */
+    virtual void rollback() = 0;
+
+    TxId id() const { return id_; }
+    bool finished() const { return finished_; }
+
+  protected:
+    explicit Transaction(TxId id) : id_(id) {}
+
+    TxId id_;
+    bool finished_ = false;
+};
+
+/**
+ * Storage engine over one PM device. Single-threaded (as is SQLite's
+ * write path, which the paper reproduces).
+ */
+class Engine
+{
+  public:
+    /**
+     * Create an engine. With @p format the device is formatted fresh;
+     * otherwise the existing database is opened and crash recovery
+     * runs before the engine is returned.
+     */
+    static Result<std::unique_ptr<Engine>> create(pm::PmDevice &device,
+                                                  const EngineConfig &cfg,
+                                                  bool format);
+
+    virtual ~Engine() = default;
+
+    virtual EngineKind kind() const = 0;
+
+    /** Start a transaction. One live transaction at a time. */
+    virtual std::unique_ptr<Transaction> begin() = 0;
+
+    // --- Convenience single-operation transactions -----------------------
+    // (the Android pattern the paper optimizes: one insert per txn)
+
+    /** Create a B-tree in its own transaction. */
+    Result<btree::BTree> createTree(TreeId id);
+
+    /** Single-insert transaction. */
+    Status insert(btree::BTree &tree, std::uint64_t key,
+                  std::span<const std::uint8_t> value);
+
+    /** Single-update transaction. */
+    Status update(btree::BTree &tree, std::uint64_t key,
+                  std::span<const std::uint8_t> value);
+
+    /** Single-delete transaction. */
+    Status erase(btree::BTree &tree, std::uint64_t key);
+
+    /** Read-only lookup (runs inside a transaction, rolled back). */
+    Status get(btree::BTree &tree, std::uint64_t key,
+               std::vector<std::uint8_t> &value);
+
+    const pager::Superblock &superblock() const { return sb_; }
+    pm::PmDevice &device() { return device_; }
+
+    EngineStats &stats() { return stats_; }
+    const EngineStats &stats() const { return stats_; }
+
+  protected:
+    Engine(pm::PmDevice &device, const EngineConfig &cfg,
+           const pager::Superblock &sb)
+        : device_(device), config_(cfg), sb_(sb)
+    {}
+
+    /** Fresh-database initialization; runs after format. */
+    virtual Status initFresh() = 0;
+
+    /** Post-crash recovery; runs before create() returns. */
+    virtual Status recover() = 0;
+
+    TxId nextTxId() { return ++txCounter_; }
+
+    pm::PmDevice &device_;
+    EngineConfig config_;
+    pager::Superblock sb_;
+    EngineStats stats_;
+    TxId txCounter_ = 0;
+};
+
+} // namespace fasp::core
+
+#endif // FASP_CORE_ENGINE_H

@@ -1,0 +1,343 @@
+#include "core/fasp_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "page/slotted_page.h"
+#include "pm/device.h"
+
+namespace fasp::core {
+
+using pm::Component;
+using pm::PhaseScope;
+
+// --- FaspEngine --------------------------------------------------------------
+
+FaspEngine::FaspEngine(pm::PmDevice &device, const EngineConfig &cfg,
+                       const pager::Superblock &sb)
+    : Engine(device, cfg, sb), log_(device, sb), rtm_(device, cfg.rtm),
+      bitmapIO_(bitmap_), allocator_(bitmapIO_, sb)
+{
+    FASP_ASSERT(cfg.kind == EngineKind::Fast ||
+                cfg.kind == EngineKind::Fash);
+    // Bound RTM retries so FAST can fall back to slot-header logging
+    // (paper §3.2 footnote 1).
+    htm::RtmConfig rtm_cfg = cfg.rtm;
+    rtm_cfg.maxRetries = cfg.rtmRetriesBeforeFallback;
+    rtm_.setConfig(rtm_cfg);
+    pager::Pager::loadBitmap(device_, sb_, bitmap_);
+}
+
+Status
+FaspEngine::initFresh()
+{
+    pager::Pager::loadBitmap(device_, sb_, bitmap_);
+    return Status::ok();
+}
+
+Status
+FaspEngine::recover()
+{
+    PhaseScope phase(device_.phaseTracker(), Component::Recovery);
+    auto result = log_.recover();
+    if (!result.isOk())
+        return result.status();
+
+    // Replayed headers invalidate the affected pages' intra-page free
+    // lists (scratch writes may have been lost); rebuild them lazily
+    // now rather than on first touch (paper §4.3).
+    for (PageId pid : result->touchedPages) {
+        FaspPageIO io(device_, sb_.pageOffset(pid), sb_.pageSize,
+                      /*write_through=*/true);
+        if (page::pageType(io) == page::PageType::Leaf ||
+            page::pageType(io) == page::PageType::Internal) {
+            page::rebuildFreeList(io);
+        }
+    }
+
+    // The bitmap is only current after replay.
+    pager::Pager::loadBitmap(device_, sb_, bitmap_);
+    return Status::ok();
+}
+
+std::unique_ptr<Transaction>
+FaspEngine::begin()
+{
+    stats_.txBegun++;
+    return std::make_unique<FaspTransaction>(*this, nextTxId());
+}
+
+// --- FaspTransaction ---------------------------------------------------------
+
+FaspTransaction::FaspTransaction(FaspEngine &engine, TxId id)
+    : Transaction(id), engine_(engine)
+{}
+
+FaspTransaction::~FaspTransaction()
+{
+    if (!finished_)
+        rollback();
+}
+
+std::size_t
+FaspTransaction::pageSize() const
+{
+    return engine_.sb_.pageSize;
+}
+
+PageId
+FaspTransaction::directoryPid() const
+{
+    return engine_.sb_.directoryPid;
+}
+
+pm::PhaseTracker *
+FaspTransaction::tracker() const
+{
+    return engine_.device_.phaseTracker();
+}
+
+std::uint16_t
+FaspTransaction::maxLeafSlots() const
+{
+    // FAST: leaf slot headers must fit one cache line (paper §4.2).
+    return engine_.config_.kind == EngineKind::Fast
+               ? page::kMaxInPlaceSlots
+               : 0;
+}
+
+FaspTransaction::PageState &
+FaspTransaction::state(PageId pid)
+{
+    auto it = pages_.find(pid);
+    if (it == pages_.end()) {
+        PageState st;
+        st.io = std::make_unique<FaspPageIO>(
+            engine_.device_, engine_.sb_.pageOffset(pid),
+            engine_.sb_.pageSize, /*write_through=*/false);
+        it = pages_.emplace(pid, std::move(st)).first;
+    }
+    return it->second;
+}
+
+page::PageIO &
+FaspTransaction::page(PageId pid, bool for_write)
+{
+    PageState &st = state(pid);
+    if (for_write && !st.fresh && !st.io->hasShadow())
+        st.io->materializeShadow();
+    return *st.io;
+}
+
+Result<PageId>
+FaspTransaction::allocPage()
+{
+    auto pid = engine_.allocator_.allocate();
+    if (!pid.isOk())
+        return pid;
+    PageState st;
+    st.io = std::make_unique<FaspPageIO>(
+        engine_.device_, engine_.sb_.pageOffset(*pid),
+        engine_.sb_.pageSize, /*write_through=*/true);
+    st.fresh = true;
+    pages_[*pid] = std::move(st);
+    allocs_.push_back(*pid);
+    return pid;
+}
+
+void
+FaspTransaction::freePage(PageId pid)
+{
+    auto it = std::find(allocs_.begin(), allocs_.end(), pid);
+    if (it != allocs_.end()) {
+        // Allocated and freed within this transaction: it was never
+        // reachable, so it can return to the allocator immediately.
+        allocs_.erase(it);
+        engine_.allocator_.free(pid);
+    } else {
+        // Freeing a live page: it must stay unavailable until commit,
+        // or an intra-transaction reuse would overwrite its pre-commit
+        // (recovery) image in place.
+        frees_.push_back(pid);
+    }
+    pages_.erase(pid);
+}
+
+void
+FaspTransaction::deferReclaim(PageId pid, const page::RecordRef &ref)
+{
+    state(pid).reclaims.push_back(ref);
+}
+
+void
+FaspTransaction::applyReclaims()
+{
+    for (auto &[pid, st] : pages_) {
+        if (st.reclaims.empty())
+            continue;
+        for (const page::RecordRef &ref : st.reclaims)
+            page::reclaimExtent(*st.io, ref);
+        st.reclaims.clear();
+    }
+}
+
+void
+FaspTransaction::rollback()
+{
+    if (finished_)
+        return;
+    // In-place content writes landed in durable free space and are
+    // simply forgotten; shadow headers never reached PM.
+    for (PageId pid : allocs_)
+        engine_.allocator_.free(pid);
+    pages_.clear();
+    allocs_.clear();
+    frees_.clear();
+    finished_ = true;
+    engine_.stats_.txRolledBack++;
+}
+
+Status
+FaspTransaction::commitInPlace(PageState &st)
+{
+    pm::PhaseTracker *trk = tracker();
+    // (i) Persist the in-place record writes (Figure 7).
+    {
+        PhaseScope phase(trk, Component::FlushRecord);
+        if (st.io->contentDirty()) {
+            st.io->flushDirtyRanges();
+            engine_.device_.sfence();
+        }
+    }
+    // (ii) The in-place commit mark: one RTM transaction publishes the
+    // new slot header, one clflush makes it durable (paper §3.2).
+    {
+        PhaseScope phase(trk, Component::Atomic64BWrite);
+        auto header = st.io->shadowBytes();
+        FASP_ASSERT(header.size() <= kCacheLineSize);
+        bool committed = engine_.rtm_.execute(
+            [&](htm::RtmRegion &region) {
+                region.write(st.io->pageOff(), header.data(),
+                             header.size());
+            });
+        if (!committed) {
+            engine_.stats_.rtmFallbacks++;
+            return Status(StatusCode::TxConflict, "rtm fallback");
+        }
+        engine_.device_.clflush(st.io->pageOff());
+        engine_.device_.sfence();
+    }
+    {
+        PhaseScope phase(trk, Component::CommitMisc);
+        applyReclaims();
+    }
+    engine_.stats_.inPlaceCommits++;
+    return Status::ok();
+}
+
+Status
+FaspTransaction::commitLogged()
+{
+    pm::PhaseTracker *trk = tracker();
+
+    // (1) Flush in-place record writes; order among them is free as
+    // long as they all precede the commit mark (paper §3.3).
+    {
+        PhaseScope phase(trk, Component::FlushRecord);
+        bool flushed = false;
+        for (auto &[pid, st] : pages_) {
+            if (st.io->contentDirty()) {
+                st.io->flushDirtyRanges();
+                flushed = true;
+            }
+        }
+        if (flushed)
+            engine_.device_.sfence();
+    }
+
+    // (2) Copy the updated slot headers into the slot-header log
+    // (stores only; Figure 7 "update slot header").
+    {
+        PhaseScope phase(trk, Component::UpdateSlotHeader);
+        engine_.log_.begin();
+        for (auto &[pid, st] : pages_) {
+            if (!st.fresh && st.io->headerDirty()) {
+                FASP_RETURN_IF_ERROR(engine_.log_.appendPageHeader(
+                    pid, st.io->shadowBytes()));
+            }
+        }
+        for (PageId pid : allocs_)
+            FASP_RETURN_IF_ERROR(engine_.log_.appendPageAlloc(pid));
+        for (PageId pid : frees_)
+            FASP_RETURN_IF_ERROR(engine_.log_.appendPageFree(pid));
+    }
+
+    // (3) Flush the log and write the commit mark (Figure 8
+    // "Log Flush").
+    {
+        PhaseScope phase(trk, Component::LogFlush);
+        FASP_RETURN_IF_ERROR(engine_.log_.commit(id_));
+    }
+
+    // (4) Eager checkpoint + truncate (Figure 8 "Checkpointing").
+    {
+        PhaseScope phase(trk, Component::Checkpoint);
+        FASP_RETURN_IF_ERROR(engine_.log_.checkpointAndTruncate());
+    }
+
+    // (5) Post-commit bookkeeping.
+    {
+        PhaseScope phase(trk, Component::CommitMisc);
+        applyReclaims();
+        for (PageId pid : frees_)
+            engine_.allocator_.free(pid);
+    }
+    engine_.stats_.logCommits++;
+    return Status::ok();
+}
+
+Status
+FaspTransaction::commit()
+{
+    FASP_ASSERT(!finished_);
+
+    // Classify the transaction (paper §4.2: FAST checks whether the
+    // transaction modified multiple pages, overflowed, or defragged).
+    PageState *modified = nullptr;
+    std::size_t modified_count = 0;
+    for (auto &[pid, st] : pages_) {
+        if (st.fresh || st.io->headerDirty() || st.io->contentDirty()) {
+            modified = &st;
+            modified_count++;
+        }
+    }
+
+    Status status = Status::ok();
+    if (modified_count == 0 && allocs_.empty() && frees_.empty()) {
+        // Read-only transaction: nothing to persist.
+    } else if (engine_.config_.kind == EngineKind::Fast &&
+               modified_count == 1 && allocs_.empty() &&
+               frees_.empty() && !modified->fresh &&
+               modified->io->headerDirty() &&
+               modified->io->shadowBytes().size() <= kCacheLineSize) {
+        status = commitInPlace(*modified);
+        if (status.code() == StatusCode::TxConflict) {
+            // RTM kept aborting: fall back to slot-header logging
+            // (paper §3.2 footnote 1).
+            status = commitLogged();
+        }
+    } else {
+        status = commitLogged();
+    }
+
+    if (!status.isOk())
+        return status;
+    pages_.clear();
+    allocs_.clear();
+    frees_.clear();
+    finished_ = true;
+    engine_.stats_.txCommitted++;
+    return Status::ok();
+}
+
+} // namespace fasp::core

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * FaspEngine: the paper's failure-atomic slotted-paging engines.
+ *
+ * Runs in two modes (paper Section 4):
+ *   FASH — every commit goes through the slot-header log.
+ *   FAST — a transaction that modified exactly one page, allocated and
+ *          freed nothing, and whose new slot header fits a cache line
+ *          commits *in place*: one RTM transaction publishes the new
+ *          header, one clflush makes it durable. Everything else falls
+ *          back to slot-header logging, as does FAST itself when RTM
+ *          exhausts its retry budget.
+ *
+ * There is no DRAM buffer cache: the database pages in PM *are* the
+ * buffer cache (the paper's PM-only buffer caching).
+ */
+
+#ifndef FASP_CORE_FASP_ENGINE_H
+#define FASP_CORE_FASP_ENGINE_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/fasp_page_io.h"
+#include "htm/rtm.h"
+#include "wal/slot_header_log.h"
+
+namespace fasp::core {
+
+class FaspEngine;
+
+/** Transaction for FAST/FASH; see file comment. */
+class FaspTransaction : public Transaction, public btree::TxPageIO
+{
+  public:
+    FaspTransaction(FaspEngine &engine, TxId id);
+    ~FaspTransaction() override;
+
+    btree::TxPageIO &pageIO() override { return *this; }
+    Status commit() override;
+    void rollback() override;
+
+    // --- TxPageIO ---------------------------------------------------------
+    std::size_t pageSize() const override;
+    page::PageIO &page(PageId pid, bool for_write) override;
+    Result<PageId> allocPage() override;
+    void freePage(PageId pid) override;
+    void deferReclaim(PageId pid, const page::RecordRef &ref) override;
+    PageId directoryPid() const override;
+    pm::PhaseTracker *tracker() const override;
+    pm::Component mutationComponent() const override
+    {
+        return pm::Component::InPlaceInsert;
+    }
+    std::uint16_t maxLeafSlots() const override;
+
+  private:
+    struct PageState
+    {
+        std::unique_ptr<FaspPageIO> io;
+        bool fresh = false;
+        std::vector<page::RecordRef> reclaims;
+    };
+
+    PageState &state(PageId pid);
+    Status commitInPlace(PageState &st);
+    Status commitLogged();
+    void applyReclaims();
+
+    FaspEngine &engine_;
+    std::unordered_map<PageId, PageState> pages_;
+    std::vector<PageId> allocs_;
+    std::vector<PageId> frees_;
+};
+
+/** See file comment. */
+class FaspEngine : public Engine
+{
+  public:
+    FaspEngine(pm::PmDevice &device, const EngineConfig &cfg,
+               const pager::Superblock &sb);
+
+    EngineKind kind() const override { return config_.kind; }
+    std::unique_ptr<Transaction> begin() override;
+    Status recover() override;
+
+    Status initFresh() override;
+
+    wal::SlotHeaderLog &log() { return log_; }
+    htm::Rtm &rtm() { return rtm_; }
+
+  private:
+    friend class FaspTransaction;
+
+    wal::SlotHeaderLog log_;
+    htm::Rtm rtm_;
+
+    /** Volatile mirror of the allocation bitmap (durable updates ride
+     *  the slot-header log). */
+    std::vector<std::uint8_t> bitmap_;
+    pager::VectorBitmapIO bitmapIO_;
+    pager::PageAllocator allocator_;
+};
+
+} // namespace fasp::core
+
+#endif // FASP_CORE_FASP_ENGINE_H

@@ -1,0 +1,138 @@
+#include "core/fasp_page_io.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "page/slotted_page.h"
+#include "pm/device.h"
+
+namespace fasp::core {
+
+FaspPageIO::FaspPageIO(pm::PmDevice &device, PmOffset page_off,
+                       std::size_t page_size, bool write_through)
+    : device_(device), pageOff_(page_off), pageSize_(page_size),
+      writeThrough_(write_through)
+{}
+
+void
+FaspPageIO::track(std::uint16_t off, std::size_t len)
+{
+    if (len == 0)
+        return;
+    // Extend the previous range when writes are adjacent (the common
+    // record-append pattern), else start a new one.
+    if (!dirtyRanges_.empty()) {
+        auto &[last_off, last_len] = dirtyRanges_.back();
+        if (off >= last_off && off <= last_off + last_len) {
+            std::uint16_t end = static_cast<std::uint16_t>(
+                std::max<std::size_t>(last_off + last_len, off + len));
+            last_len = static_cast<std::uint16_t>(end - last_off);
+            return;
+        }
+    }
+    dirtyRanges_.emplace_back(off, static_cast<std::uint16_t>(len));
+}
+
+void
+FaspPageIO::materializeShadow()
+{
+    if (!shadow_.empty())
+        return;
+    std::uint16_t nrec = device_.readU16(pageOff_ + page::kOffNumRecords);
+    std::size_t bytes = page::headerBytes(nrec);
+    shadow_.resize(bytes);
+    device_.read(pageOff_, shadow_.data(), bytes);
+    durableHeaderEnd_ = static_cast<std::uint16_t>(bytes);
+}
+
+void
+FaspPageIO::readHeader(std::uint16_t off, void *dst,
+                       std::size_t len) const
+{
+    if (!shadow_.empty()) {
+        FASP_ASSERT(off + len <= shadow_.size());
+        std::memcpy(dst, shadow_.data() + off, len);
+        return;
+    }
+    device_.read(pageOff_ + off, dst, len);
+}
+
+void
+FaspPageIO::writeHeader(std::uint16_t off, const void *src,
+                        std::size_t len)
+{
+    if (writeThrough_) {
+        device_.write(pageOff_ + off, src, len);
+        track(off, len);
+        return;
+    }
+    FASP_ASSERT(!shadow_.empty() &&
+                "header write before shadow materialization");
+    if (off + len > shadow_.size())
+        shadow_.resize(off + len, 0);
+    std::memcpy(shadow_.data() + off, src, len);
+    headerDirty_ = true;
+    // Keep the shadow trimmed to the current header extent so the
+    // commit unit (and FAST's one-line check) is exact.
+    if (off == page::kOffNumRecords && len >= 2) {
+        std::uint16_t nrec = loadU16(shadow_.data());
+        std::size_t bytes = page::headerBytes(nrec);
+        if (bytes < shadow_.size())
+            shadow_.resize(bytes);
+    }
+}
+
+void
+FaspPageIO::readContent(std::uint16_t off, void *dst,
+                        std::size_t len) const
+{
+    device_.read(pageOff_ + off, dst, len);
+}
+
+void
+FaspPageIO::writeContent(std::uint16_t off, const void *src,
+                         std::size_t len)
+{
+    device_.write(pageOff_ + off, src, len);
+    track(off, len);
+}
+
+void
+FaspPageIO::readScratch(std::uint16_t off, void *dst,
+                        std::size_t len) const
+{
+    device_.read(pageOff_ + off, dst, len);
+}
+
+void
+FaspPageIO::writeScratch(std::uint16_t off, const void *src,
+                         std::size_t len)
+{
+    // Free-list maintenance: stores without flushes; a crash may lose
+    // them, which the lazy rebuild tolerates (paper §4.3).
+    device_.write(pageOff_ + off, src, len);
+}
+
+std::size_t
+FaspPageIO::flushDirtyRanges()
+{
+    if (dirtyRanges_.empty())
+        return 0;
+    // Coalesce by cache line so overlapping ranges flush once.
+    std::vector<PmOffset> lines;
+    for (const auto &[off, len] : dirtyRanges_) {
+        PmOffset start = cacheLineBase(pageOff_ + off);
+        PmOffset end = pageOff_ + off + len;
+        for (PmOffset line = start; line < end; line += kCacheLineSize)
+            lines.push_back(line);
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    for (PmOffset line : lines)
+        device_.clflush(line);
+    dirtyRanges_.clear();
+    return lines.size();
+}
+
+} // namespace fasp::core

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * FaspPageIO: the PageIO backing used by the FAST and FASH engines.
+ *
+ * This class embodies the paper's central mechanism:
+ *
+ *  - Content writes go *in place* to PM. They land in page free space,
+ *    which is "perishable scratch space" (paper §4.4) until the slot
+ *    header commits, so a crash at any point cannot corrupt the page.
+ *    Each write's byte range is tracked so commit can clflush exactly
+ *    the dirty record bytes (Figure 7 "clflush(record)").
+ *
+ *  - Header writes are redirected to a volatile *shadow header* — the
+ *    transaction-private image of the fixed header + record offset
+ *    array. The shadow is published at commit time either by the FAST
+ *    in-place RTM commit (shadow <= one cache line) or through the
+ *    slot-header log.
+ *
+ *  - Scratch writes (intra-page free list) go straight to PM with no
+ *    tracking or flushing: they never need failure atomicity (§4.3).
+ *
+ * Freshly allocated pages are write-through: they are unreachable
+ * until the committing transaction publishes a pointer to them, so
+ * even their headers can be written directly (paper §4.4: a crash
+ * simply garbage-collects the orphan sibling).
+ */
+
+#ifndef FASP_CORE_FASP_PAGE_IO_H
+#define FASP_CORE_FASP_PAGE_IO_H
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "page/page_io.h"
+
+namespace fasp::pm {
+class PmDevice;
+} // namespace fasp::pm
+
+namespace fasp::core {
+
+/** See file comment. */
+class FaspPageIO : public page::PageIO
+{
+  public:
+    /**
+     * @param write_through fresh page: all writes go straight to PM
+     *        (still range-tracked so commit flushes them).
+     */
+    FaspPageIO(pm::PmDevice &device, PmOffset page_off,
+               std::size_t page_size, bool write_through);
+
+    std::size_t pageSize() const override { return pageSize_; }
+
+    void readHeader(std::uint16_t off, void *dst,
+                    std::size_t len) const override;
+    void writeHeader(std::uint16_t off, const void *src,
+                     std::size_t len) override;
+    void readContent(std::uint16_t off, void *dst,
+                     std::size_t len) const override;
+    void writeContent(std::uint16_t off, const void *src,
+                      std::size_t len) override;
+    void readScratch(std::uint16_t off, void *dst,
+                     std::size_t len) const override;
+    void writeScratch(std::uint16_t off, const void *src,
+                      std::size_t len) override;
+
+    /** Durable slot-header extent: content writes below this would
+     *  tear the committed header on a crash (see PageIO doc). */
+    std::uint16_t contentFloor() const override
+    {
+        return durableHeaderEnd_;
+    }
+
+    // --- Shadow management (engine side) ---------------------------------
+
+    /** Copy the page's current durable header into the shadow. */
+    void materializeShadow();
+
+    bool hasShadow() const { return !shadow_.empty(); }
+
+    /** True once any header write hit the shadow. */
+    bool headerDirty() const { return headerDirty_; }
+
+    /** The new slot header to publish at commit. */
+    std::span<const std::uint8_t> shadowBytes() const
+    {
+        return std::span<const std::uint8_t>(shadow_);
+    }
+
+    /** True if any tracked (content / write-through) write happened. */
+    bool contentDirty() const { return !dirtyRanges_.empty(); }
+
+    bool writeThrough() const { return writeThrough_; }
+
+    PmOffset pageOff() const { return pageOff_; }
+
+    /**
+     * clflush every tracked dirty byte range (coalesced by cache
+     * line). Returns the number of flushes issued.
+     */
+    std::size_t flushDirtyRanges();
+
+  private:
+    void track(std::uint16_t off, std::size_t len);
+
+    pm::PmDevice &device_;
+    PmOffset pageOff_;
+    std::size_t pageSize_;
+    bool writeThrough_;
+    bool headerDirty_ = false;
+
+    /** End of the page's durable slot header, captured when the
+     *  shadow is materialized (0 for write-through pages). */
+    std::uint16_t durableHeaderEnd_ = 0;
+
+    /** Shadow header: fixed header + offset array; empty until
+     *  materialized. Always sized to the current header extent. */
+    std::vector<std::uint8_t> shadow_;
+
+    /** Page-relative dirty byte ranges awaiting clflush at commit. */
+    std::vector<std::pair<std::uint16_t, std::uint16_t>> dirtyRanges_;
+};
+
+} // namespace fasp::core
+
+#endif // FASP_CORE_FASP_PAGE_IO_H

@@ -1,0 +1,44 @@
+#include "db/ast.h"
+
+namespace fasp::db {
+
+std::unique_ptr<Expr>
+Expr::makeLiteral(Value v)
+{
+    auto expr = std::make_unique<Expr>();
+    expr->kind = ExprKind::Literal;
+    expr->literal = std::move(v);
+    return expr;
+}
+
+std::unique_ptr<Expr>
+Expr::makeColumn(std::string name)
+{
+    auto expr = std::make_unique<Expr>();
+    expr->kind = ExprKind::ColumnRef;
+    expr->column = std::move(name);
+    return expr;
+}
+
+std::unique_ptr<Expr>
+Expr::makeUnary(Op op, std::unique_ptr<Expr> x)
+{
+    auto expr = std::make_unique<Expr>();
+    expr->kind = ExprKind::Unary;
+    expr->op = op;
+    expr->lhs = std::move(x);
+    return expr;
+}
+
+std::unique_ptr<Expr>
+Expr::makeBinary(Op op, std::unique_ptr<Expr> l, std::unique_ptr<Expr> r)
+{
+    auto expr = std::make_unique<Expr>();
+    expr->kind = ExprKind::Binary;
+    expr->op = op;
+    expr->lhs = std::move(l);
+    expr->rhs = std::move(r);
+    return expr;
+}
+
+} // namespace fasp::db

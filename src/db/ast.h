@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Abstract syntax tree for the fasp SQL subset.
+ */
+
+#ifndef FASP_DB_AST_H
+#define FASP_DB_AST_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+
+namespace fasp::db {
+
+// --- Expressions -----------------------------------------------------------
+
+/** Expression node kinds. */
+enum class ExprKind : std::uint8_t {
+    Literal,   //!< constant Value
+    ColumnRef, //!< column name
+    Unary,     //!< NOT x, -x
+    Binary,    //!< comparisons, AND/OR, arithmetic
+};
+
+/** Binary / unary operators. */
+enum class Op : std::uint8_t {
+    Eq, Ne, Lt, Le, Gt, Ge,
+    And, Or, Not,
+    Add, Sub, Mul, Div,
+    Neg,
+};
+
+/** Expression tree node. */
+struct Expr
+{
+    ExprKind kind = ExprKind::Literal;
+    Value literal;                 //!< Literal
+    std::string column;            //!< ColumnRef
+    Op op = Op::Eq;                //!< Unary / Binary
+    std::unique_ptr<Expr> lhs;
+    std::unique_ptr<Expr> rhs;     //!< Binary only
+
+    static std::unique_ptr<Expr> makeLiteral(Value v);
+    static std::unique_ptr<Expr> makeColumn(std::string name);
+    static std::unique_ptr<Expr> makeUnary(Op op,
+                                           std::unique_ptr<Expr> x);
+    static std::unique_ptr<Expr> makeBinary(Op op,
+                                            std::unique_ptr<Expr> l,
+                                            std::unique_ptr<Expr> r);
+};
+
+// --- Statements --------------------------------------------------------------
+
+/** Column definition in CREATE TABLE. */
+struct ColumnDef
+{
+    std::string name;
+    ValueType type = ValueType::Integer;
+    bool primaryKey = false;
+};
+
+struct CreateTableStmt
+{
+    std::string table;
+    std::vector<ColumnDef> columns;
+};
+
+struct DropTableStmt
+{
+    std::string table;
+};
+
+struct InsertStmt
+{
+    std::string table;
+    /** One expression list per row (multi-row VALUES supported). */
+    std::vector<std::vector<std::unique_ptr<Expr>>> rows;
+};
+
+struct SelectStmt
+{
+    std::string table;
+    bool countStar = false;           //!< SELECT COUNT(*)
+    std::vector<std::string> columns; //!< empty = *
+    std::unique_ptr<Expr> where;      //!< may be null
+    std::optional<std::string> orderBy;
+    bool orderDesc = false;
+    std::optional<std::uint64_t> limit;
+};
+
+struct UpdateStmt
+{
+    std::string table;
+    std::vector<std::pair<std::string, std::unique_ptr<Expr>>>
+        assignments;
+    std::unique_ptr<Expr> where;
+};
+
+struct DeleteStmt
+{
+    std::string table;
+    std::unique_ptr<Expr> where;
+};
+
+/** Statement kinds. */
+enum class StmtKind : std::uint8_t {
+    CreateTable,
+    DropTable,
+    Insert,
+    Select,
+    Update,
+    Delete,
+    Begin,
+    Commit,
+    Rollback,
+};
+
+/** One parsed statement (tagged union via optionals). */
+struct Statement
+{
+    StmtKind kind;
+    std::optional<CreateTableStmt> createTable;
+    std::optional<DropTableStmt> dropTable;
+    std::optional<InsertStmt> insert;
+    std::optional<SelectStmt> select;
+    std::optional<UpdateStmt> update;
+    std::optional<DeleteStmt> del;
+};
+
+} // namespace fasp::db
+
+#endif // FASP_DB_AST_H

@@ -1,0 +1,187 @@
+#include "db/catalog.h"
+
+#include <algorithm>
+
+#include "db/row_codec.h"
+
+namespace fasp::db {
+
+using btree::BTree;
+
+int
+TableSchema::columnIndex(const std::string &column_name) const
+{
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i].name == column_name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+namespace {
+
+/** Schema <-> catalog record payload via the row codec. */
+void
+encodeSchema(const TableSchema &schema, std::vector<std::uint8_t> &out)
+{
+    Row row;
+    row.push_back(Value::text(schema.name));
+    row.push_back(Value::integer(schema.pkColumn));
+    row.push_back(
+        Value::integer(static_cast<std::int64_t>(schema.columns.size())));
+    for (const ColumnDef &col : schema.columns) {
+        row.push_back(Value::text(col.name));
+        row.push_back(
+            Value::integer(static_cast<std::int64_t>(col.type)));
+    }
+    encodeRow(row, out);
+}
+
+Status
+decodeSchema(TreeId tree_id, const std::vector<std::uint8_t> &bytes,
+             TableSchema &schema)
+{
+    Row row;
+    FASP_RETURN_IF_ERROR(decodeRow(bytes, row));
+    if (row.size() < 3)
+        return statusCorruption("catalog record too short");
+    schema.name = row[0].asText();
+    schema.treeId = tree_id;
+    schema.pkColumn = static_cast<int>(row[1].asInteger());
+    auto ncols = static_cast<std::size_t>(row[2].asInteger());
+    if (row.size() != 3 + 2 * ncols)
+        return statusCorruption("catalog record column mismatch");
+    schema.columns.clear();
+    for (std::size_t i = 0; i < ncols; ++i) {
+        ColumnDef col;
+        col.name = row[3 + 2 * i].asText();
+        col.type = static_cast<ValueType>(row[4 + 2 * i].asInteger());
+        col.primaryKey =
+            schema.pkColumn == static_cast<int>(i);
+        schema.columns.push_back(std::move(col));
+    }
+    return Status::ok();
+}
+
+} // namespace
+
+Status
+Catalog::initFresh()
+{
+    auto tree = engine_.createTree(kCatalogTree);
+    if (!tree.isOk())
+        return tree.status();
+    loaded_ = false;
+    return Status::ok();
+}
+
+Status
+Catalog::loadAll(core::Transaction &tx)
+{
+    if (loaded_)
+        return Status::ok();
+    cache_.clear();
+    auto catalog = BTree::open(tx.pageIO(), kCatalogTree);
+    if (!catalog.isOk())
+        return catalog.status();
+
+    Status decode_status;
+    Status status = catalog->scan(
+        tx.pageIO(), 0, ~std::uint64_t{0},
+        [&](std::uint64_t tree_id, std::span<const std::uint8_t> bytes) {
+            TableSchema schema;
+            std::vector<std::uint8_t> copy(bytes.begin(), bytes.end());
+            decode_status = decodeSchema(
+                static_cast<TreeId>(tree_id), copy, schema);
+            if (!decode_status.isOk())
+                return false;
+            cache_[schema.name] = std::move(schema);
+            return true;
+        });
+    FASP_RETURN_IF_ERROR(status);
+    FASP_RETURN_IF_ERROR(decode_status);
+    loaded_ = true;
+    return Status::ok();
+}
+
+Result<TableSchema>
+Catalog::get(core::Transaction &tx, const std::string &table)
+{
+    FASP_RETURN_IF_ERROR(loadAll(tx));
+    auto it = cache_.find(table);
+    if (it == cache_.end())
+        return statusNotFound("no such table: " + table);
+    return it->second;
+}
+
+Result<TableSchema>
+Catalog::create(core::Transaction &tx, const CreateTableStmt &stmt)
+{
+    FASP_RETURN_IF_ERROR(loadAll(tx));
+    if (cache_.count(stmt.table))
+        return statusAlreadyExists("table exists: " + stmt.table);
+    if (stmt.columns.empty())
+        return statusInvalid("table needs at least one column");
+
+    TableSchema schema;
+    schema.name = stmt.table;
+    schema.columns = stmt.columns;
+    schema.pkColumn = -1;
+    for (std::size_t i = 0; i < stmt.columns.size(); ++i) {
+        if (!stmt.columns[i].primaryKey)
+            continue;
+        if (schema.pkColumn >= 0)
+            return statusInvalid("multiple PRIMARY KEY columns");
+        if (stmt.columns[i].type != ValueType::Integer)
+            return statusInvalid("PRIMARY KEY must be INTEGER");
+        schema.pkColumn = static_cast<int>(i);
+    }
+
+    // Allocate the next tree id above every existing table.
+    TreeId next = kFirstTableTree;
+    for (const auto &[name, cached] : cache_)
+        next = std::max(next, cached.treeId + 1);
+    schema.treeId = next;
+
+    auto tree = BTree::create(tx.pageIO(), schema.treeId);
+    if (!tree.isOk())
+        return tree.status();
+
+    auto catalog = BTree::open(tx.pageIO(), kCatalogTree);
+    if (!catalog.isOk())
+        return catalog.status();
+    std::vector<std::uint8_t> payload;
+    encodeSchema(schema, payload);
+    FASP_RETURN_IF_ERROR(catalog->insert(
+        tx.pageIO(), schema.treeId,
+        std::span<const std::uint8_t>(payload)));
+
+    cache_[schema.name] = schema;
+    return schema;
+}
+
+Status
+Catalog::drop(core::Transaction &tx, const std::string &table)
+{
+    FASP_ASSIGN_OR_RETURN(TableSchema schema, get(tx, table));
+    FASP_RETURN_IF_ERROR(BTree::drop(tx.pageIO(), schema.treeId));
+    auto catalog = BTree::open(tx.pageIO(), kCatalogTree);
+    if (!catalog.isOk())
+        return catalog.status();
+    FASP_RETURN_IF_ERROR(catalog->erase(tx.pageIO(), schema.treeId));
+    cache_.erase(table);
+    return Status::ok();
+}
+
+Result<std::vector<std::string>>
+Catalog::tables(core::Transaction &tx)
+{
+    FASP_RETURN_IF_ERROR(loadAll(tx));
+    std::vector<std::string> names;
+    names.reserve(cache_.size());
+    for (const auto &[name, schema] : cache_)
+        names.push_back(name);
+    return names;
+}
+
+} // namespace fasp::db

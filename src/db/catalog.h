@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Catalog: table schemas stored durably in a dedicated catalog B-tree
+ * (tree id 1), the way SQLite stores schemas in sqlite_master.
+ *
+ * Catalog records are keyed by the table's tree id and hold the
+ * serialized schema (encoded with the ordinary row codec), so schema
+ * changes are transactional exactly like data changes.
+ */
+
+#ifndef FASP_DB_CATALOG_H
+#define FASP_DB_CATALOG_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "db/ast.h"
+
+namespace fasp::db {
+
+/** A table's schema as stored in the catalog. */
+struct TableSchema
+{
+    std::string name;
+    TreeId treeId = 0;
+    std::vector<ColumnDef> columns;
+    int pkColumn = -1; //!< INTEGER PRIMARY KEY column index; -1 = rowid
+
+    /** Index of @p column_name, or -1. */
+    int columnIndex(const std::string &column_name) const;
+};
+
+/**
+ * Schema manager over one engine. Caches schemas in memory; the cache
+ * is rebuilt lazily after invalidation (DDL or recovery).
+ */
+class Catalog
+{
+  public:
+    static constexpr TreeId kCatalogTree = 1;
+    static constexpr TreeId kFirstTableTree = 2;
+
+    explicit Catalog(core::Engine &engine) : engine_(engine) {}
+
+    /** Create the catalog tree on a freshly formatted database. */
+    Status initFresh();
+
+    /** Look up a table; NotFound if absent. */
+    Result<TableSchema> get(core::Transaction &tx,
+                            const std::string &table);
+
+    /** Create @p stmt's table: allocate a tree id, create the B-tree,
+     *  persist the schema. AlreadyExists on duplicates. */
+    Result<TableSchema> create(core::Transaction &tx,
+                               const CreateTableStmt &stmt);
+
+    /** Drop a table: delete its B-tree and catalog record. */
+    Status drop(core::Transaction &tx, const std::string &table);
+
+    /** List all table names (sorted). */
+    Result<std::vector<std::string>> tables(core::Transaction &tx);
+
+    /** Drop the in-memory schema cache (after rollback/recovery). */
+    void invalidate() { loaded_ = false; }
+
+  private:
+    Status loadAll(core::Transaction &tx);
+
+    core::Engine &engine_;
+    std::map<std::string, TableSchema> cache_;
+    bool loaded_ = false;
+};
+
+} // namespace fasp::db
+
+#endif // FASP_DB_CATALOG_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Database: the SQLite-like facade tying SQL to a storage engine.
+ *
+ * This is the layer the paper's Figures 11-12 measure: full query
+ * response time including SQL parsing and execution, not just pager /
+ * B-tree time. Statements outside an explicit BEGIN...COMMIT run in
+ * their own auto-commit transaction (SQLite semantics — and the
+ * single-insert auto-commit transaction is exactly the mobile workload
+ * FAST's in-place commit optimizes).
+ */
+
+#ifndef FASP_DB_DATABASE_H
+#define FASP_DB_DATABASE_H
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "db/catalog.h"
+#include "db/executor.h"
+
+namespace fasp::db {
+
+/**
+ * One open database over a storage engine.
+ */
+class Database
+{
+  public:
+    /**
+     * Open a database on @p device.
+     * @param format true = format fresh (and create the catalog);
+     *        false = open existing (crash recovery runs).
+     */
+    static Result<std::unique_ptr<Database>>
+    open(pm::PmDevice &device, const core::EngineConfig &config,
+         bool format);
+
+    /** Execute one SQL statement. */
+    Result<ResultSet> exec(const std::string &sql);
+
+    /**
+     * Execute a ';'-separated script (quotes respected); stops at the
+     * first error. Returns the LAST statement's result set.
+     */
+    Result<ResultSet> execScript(const std::string &script);
+
+    /** True while inside an explicit BEGIN...COMMIT block. */
+    bool inTransaction() const { return current_ != nullptr; }
+
+    core::Engine &engine() { return *engine_; }
+    Catalog &catalog() { return catalog_; }
+
+  private:
+    Database(std::unique_ptr<core::Engine> engine)
+        : engine_(std::move(engine)), catalog_(*engine_),
+          executor_(*engine_, catalog_)
+    {}
+
+    std::unique_ptr<core::Engine> engine_;
+    Catalog catalog_;
+    Executor executor_;
+    std::unique_ptr<core::Transaction> current_;
+};
+
+} // namespace fasp::db
+
+#endif // FASP_DB_DATABASE_H

@@ -1,0 +1,540 @@
+#include "db/executor.h"
+
+#include <algorithm>
+
+#include "btree/btree.h"
+
+namespace fasp::db {
+
+using btree::BTree;
+
+std::string
+ResultSet::toString() const
+{
+    // Render every cell first to compute column widths.
+    std::vector<std::vector<std::string>> cells;
+    cells.reserve(rows.size());
+    for (const Row &row : rows) {
+        std::vector<std::string> line;
+        line.reserve(row.size());
+        for (const Value &value : row)
+            line.push_back(value.toString());
+        cells.push_back(std::move(line));
+    }
+    std::vector<std::size_t> widths(columns.size(), 0);
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        widths[c] = columns[c].size();
+    for (const auto &line : cells) {
+        for (std::size_t c = 0; c < line.size() && c < widths.size();
+             ++c) {
+            widths[c] = std::max(widths[c], line[c].size());
+        }
+    }
+
+    std::string out;
+    auto emit_row = [&](const std::vector<std::string> &line) {
+        for (std::size_t c = 0; c < line.size(); ++c) {
+            out += line[c];
+            if (c + 1 < line.size()) {
+                out.append(widths[c] >= line[c].size()
+                               ? widths[c] - line[c].size() + 2
+                               : 2,
+                           ' ');
+            }
+        }
+        out += '\n';
+    };
+    if (!columns.empty()) {
+        emit_row(columns);
+        std::vector<std::string> rule;
+        for (std::size_t w : widths)
+            rule.push_back(std::string(w, '-'));
+        emit_row(rule);
+    }
+    for (const auto &line : cells)
+        emit_row(line);
+    return out;
+}
+
+Result<ResultSet>
+Executor::execute(core::Transaction &tx, const Statement &stmt)
+{
+    switch (stmt.kind) {
+      case StmtKind::CreateTable:
+        return executeCreate(tx, *stmt.createTable);
+      case StmtKind::DropTable:
+        return executeDrop(tx, *stmt.dropTable);
+      case StmtKind::Insert:
+        return executeInsert(tx, *stmt.insert);
+      case StmtKind::Select:
+        return executeSelect(tx, *stmt.select);
+      case StmtKind::Update:
+        return executeUpdate(tx, *stmt.update);
+      case StmtKind::Delete:
+        return executeDelete(tx, *stmt.del);
+      case StmtKind::Begin:
+      case StmtKind::Commit:
+      case StmtKind::Rollback:
+        return statusInvalid("transaction control handled by Database");
+    }
+    return statusInvalid("unknown statement kind");
+}
+
+Result<ResultSet>
+Executor::executeCreate(core::Transaction &tx,
+                        const CreateTableStmt &stmt)
+{
+    auto schema = catalog_.create(tx, stmt);
+    if (!schema.isOk())
+        return schema.status();
+    return ResultSet{};
+}
+
+Result<ResultSet>
+Executor::executeDrop(core::Transaction &tx, const DropTableStmt &stmt)
+{
+    FASP_RETURN_IF_ERROR(catalog_.drop(tx, stmt.table));
+    return ResultSet{};
+}
+
+Result<Value>
+Executor::eval(const Expr &expr, const TableSchema *schema,
+               const Row *row)
+{
+    switch (expr.kind) {
+      case ExprKind::Literal:
+        return expr.literal;
+
+      case ExprKind::ColumnRef: {
+        if (!schema || !row)
+            return statusInvalid("column reference outside a row "
+                                 "context: " +
+                                 expr.column);
+        int index = schema->columnIndex(expr.column);
+        if (index < 0)
+            return statusInvalid("no such column: " + expr.column);
+        if (static_cast<std::size_t>(index) >= row->size())
+            return statusCorruption("row narrower than schema");
+        return (*row)[index];
+      }
+
+      case ExprKind::Unary: {
+        FASP_ASSIGN_OR_RETURN(Value inner,
+                              eval(*expr.lhs, schema, row));
+        if (expr.op == Op::Not)
+            return Value::integer(inner.truthy() ? 0 : 1);
+        if (expr.op == Op::Neg) {
+            if (inner.type() == ValueType::Integer)
+                return Value::integer(-inner.asInteger());
+            return Value::real(-inner.asReal());
+        }
+        return statusInvalid("bad unary operator");
+      }
+
+      case ExprKind::Binary: {
+        // Short-circuit logic operators.
+        if (expr.op == Op::And || expr.op == Op::Or) {
+            FASP_ASSIGN_OR_RETURN(Value lhs,
+                                  eval(*expr.lhs, schema, row));
+            bool lt = lhs.truthy();
+            if (expr.op == Op::And && !lt)
+                return Value::integer(0);
+            if (expr.op == Op::Or && lt)
+                return Value::integer(1);
+            FASP_ASSIGN_OR_RETURN(Value rhs,
+                                  eval(*expr.rhs, schema, row));
+            return Value::integer(rhs.truthy() ? 1 : 0);
+        }
+
+        FASP_ASSIGN_OR_RETURN(Value lhs, eval(*expr.lhs, schema, row));
+        FASP_ASSIGN_OR_RETURN(Value rhs, eval(*expr.rhs, schema, row));
+
+        switch (expr.op) {
+          case Op::Eq:
+            return Value::integer(lhs.compare(rhs) == 0 ? 1 : 0);
+          case Op::Ne:
+            return Value::integer(lhs.compare(rhs) != 0 ? 1 : 0);
+          case Op::Lt:
+            return Value::integer(lhs.compare(rhs) < 0 ? 1 : 0);
+          case Op::Le:
+            return Value::integer(lhs.compare(rhs) <= 0 ? 1 : 0);
+          case Op::Gt:
+            return Value::integer(lhs.compare(rhs) > 0 ? 1 : 0);
+          case Op::Ge:
+            return Value::integer(lhs.compare(rhs) >= 0 ? 1 : 0);
+          case Op::Add:
+          case Op::Sub:
+          case Op::Mul:
+          case Op::Div: {
+            bool both_int = lhs.type() == ValueType::Integer &&
+                            rhs.type() == ValueType::Integer;
+            if (both_int) {
+                std::int64_t a = lhs.asInteger();
+                std::int64_t b = rhs.asInteger();
+                switch (expr.op) {
+                  case Op::Add: return Value::integer(a + b);
+                  case Op::Sub: return Value::integer(a - b);
+                  case Op::Mul: return Value::integer(a * b);
+                  case Op::Div:
+                    if (b == 0)
+                        return Value::null();
+                    return Value::integer(a / b);
+                  default: break;
+                }
+            }
+            double a = lhs.asReal();
+            double b = rhs.asReal();
+            switch (expr.op) {
+              case Op::Add: return Value::real(a + b);
+              case Op::Sub: return Value::real(a - b);
+              case Op::Mul: return Value::real(a * b);
+              case Op::Div:
+                if (b == 0.0)
+                    return Value::null();
+                return Value::real(a / b);
+              default: break;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        return statusInvalid("bad binary operator");
+      }
+    }
+    return statusInvalid("bad expression");
+}
+
+Executor::KeyRange
+Executor::extractKeyRange(const Expr *where, const TableSchema &schema)
+{
+    KeyRange range;
+    if (!where || schema.pkColumn < 0)
+        return range;
+    const std::string &pk = schema.columns[schema.pkColumn].name;
+
+    // Walk conjunctive terms only: AND nodes and pk-vs-literal leaves.
+    std::vector<const Expr *> stack{where};
+    while (!stack.empty()) {
+        const Expr *expr = stack.back();
+        stack.pop_back();
+        if (expr->kind != ExprKind::Binary)
+            continue;
+        if (expr->op == Op::And) {
+            stack.push_back(expr->lhs.get());
+            stack.push_back(expr->rhs.get());
+            continue;
+        }
+        // pk <op> literal (or literal <op> pk).
+        const Expr *col = nullptr;
+        const Expr *lit = nullptr;
+        bool flipped = false;
+        if (expr->lhs->kind == ExprKind::ColumnRef &&
+            expr->rhs->kind == ExprKind::Literal) {
+            col = expr->lhs.get();
+            lit = expr->rhs.get();
+        } else if (expr->rhs->kind == ExprKind::ColumnRef &&
+                   expr->lhs->kind == ExprKind::Literal) {
+            col = expr->rhs.get();
+            lit = expr->lhs.get();
+            flipped = true;
+        } else {
+            continue;
+        }
+        if (col->column != pk ||
+            lit->literal.type() != ValueType::Integer) {
+            continue;
+        }
+        std::int64_t raw = lit->literal.asInteger();
+        if (raw < 0) {
+            // Negative rowids never match (rowids are unsigned here).
+            range.impossible = true;
+            continue;
+        }
+        auto key = static_cast<std::uint64_t>(raw);
+
+        Op op = expr->op;
+        if (flipped) {
+            switch (op) {
+              case Op::Lt: op = Op::Gt; break;
+              case Op::Le: op = Op::Ge; break;
+              case Op::Gt: op = Op::Lt; break;
+              case Op::Ge: op = Op::Le; break;
+              default: break;
+            }
+        }
+        switch (op) {
+          case Op::Eq:
+            range.lo = std::max(range.lo, key);
+            range.hi = std::min(range.hi, key);
+            break;
+          case Op::Le:
+            range.hi = std::min(range.hi, key);
+            break;
+          case Op::Lt:
+            range.hi = std::min(range.hi,
+                                key == 0 ? 0 : key - 1);
+            if (key == 0)
+                range.impossible = true;
+            break;
+          case Op::Ge:
+            range.lo = std::max(range.lo, key);
+            break;
+          case Op::Gt:
+            if (key == ~std::uint64_t{0})
+                range.impossible = true;
+            else
+                range.lo = std::max(range.lo, key + 1);
+            break;
+          default:
+            break;
+        }
+    }
+    if (range.lo > range.hi)
+        range.impossible = true;
+    return range;
+}
+
+Status
+Executor::collectMatches(
+    core::Transaction &tx, const TableSchema &schema, const Expr *where,
+    std::vector<std::pair<std::uint64_t, Row>> &out)
+{
+    auto tree = BTree::open(tx.pageIO(), schema.treeId);
+    if (!tree.isOk())
+        return tree.status();
+
+    KeyRange range = extractKeyRange(where, schema);
+    if (range.impossible)
+        return Status::ok();
+
+    Status inner;
+    Status status = tree->scan(
+        tx.pageIO(), range.lo, range.hi,
+        [&](std::uint64_t rowid, std::span<const std::uint8_t> bytes) {
+            Row row;
+            std::vector<std::uint8_t> copy(bytes.begin(), bytes.end());
+            inner = decodeRow(copy, row);
+            if (!inner.isOk())
+                return false;
+            if (where) {
+                auto verdict = eval(*where, &schema, &row);
+                if (!verdict.isOk()) {
+                    inner = verdict.status();
+                    return false;
+                }
+                if (!verdict->truthy())
+                    return true;
+            }
+            out.emplace_back(rowid, std::move(row));
+            return true;
+        });
+    FASP_RETURN_IF_ERROR(status);
+    return inner;
+}
+
+Result<std::uint64_t>
+Executor::rowidForInsert(core::Transaction &tx, btree::BTree &tree,
+                         const TableSchema &schema, const Row &row)
+{
+    if (schema.pkColumn >= 0) {
+        const Value &pk =
+            row[static_cast<std::size_t>(schema.pkColumn)];
+        if (pk.type() != ValueType::Integer)
+            return statusInvalid("PRIMARY KEY must be an integer");
+        std::int64_t raw = pk.asInteger();
+        if (raw < 0)
+            return statusInvalid("negative rowids unsupported");
+        return static_cast<std::uint64_t>(raw);
+    }
+    // Implicit rowid: max + 1 (SQLite's default allocation).
+    auto max = tree.maxKey(tx.pageIO());
+    if (!max.isOk()) {
+        if (max.status().code() == StatusCode::NotFound)
+            return std::uint64_t{1};
+        return max.status();
+    }
+    return *max + 1;
+}
+
+Result<ResultSet>
+Executor::executeInsert(core::Transaction &tx, const InsertStmt &stmt)
+{
+    FASP_ASSIGN_OR_RETURN(TableSchema schema,
+                          catalog_.get(tx, stmt.table));
+    auto tree = BTree::open(tx.pageIO(), schema.treeId);
+    if (!tree.isOk())
+        return tree.status();
+
+    ResultSet result;
+    std::vector<std::uint8_t> payload;
+    for (const auto &exprs : stmt.rows) {
+        if (exprs.size() != schema.columns.size()) {
+            return statusInvalid(
+                "INSERT value count does not match column count");
+        }
+        Row row;
+        row.reserve(exprs.size());
+        for (const auto &expr : exprs) {
+            FASP_ASSIGN_OR_RETURN(Value value,
+                                  eval(*expr, nullptr, nullptr));
+            row.push_back(std::move(value));
+        }
+        FASP_ASSIGN_OR_RETURN(
+            std::uint64_t rowid,
+            rowidForInsert(tx, *tree, schema, row));
+        encodeRow(row, payload);
+        FASP_RETURN_IF_ERROR(tree->insert(
+            tx.pageIO(), rowid,
+            std::span<const std::uint8_t>(payload)));
+        result.affected++;
+    }
+    return result;
+}
+
+Result<ResultSet>
+Executor::executeSelect(core::Transaction &tx, const SelectStmt &stmt)
+{
+    FASP_ASSIGN_OR_RETURN(TableSchema schema,
+                          catalog_.get(tx, stmt.table));
+
+    if (stmt.countStar) {
+        std::vector<std::pair<std::uint64_t, Row>> matches;
+        FASP_RETURN_IF_ERROR(
+            collectMatches(tx, schema, stmt.where.get(), matches));
+        ResultSet result;
+        result.columns = {"COUNT(*)"};
+        result.rows.push_back(Row{Value::integer(
+            static_cast<std::int64_t>(matches.size()))});
+        return result;
+    }
+
+    // Resolve projection.
+    std::vector<int> projection;
+    ResultSet result;
+    if (stmt.columns.empty()) {
+        for (std::size_t i = 0; i < schema.columns.size(); ++i) {
+            projection.push_back(static_cast<int>(i));
+            result.columns.push_back(schema.columns[i].name);
+        }
+    } else {
+        for (const std::string &name : stmt.columns) {
+            int index = schema.columnIndex(name);
+            if (index < 0)
+                return statusInvalid("no such column: " + name);
+            projection.push_back(index);
+            result.columns.push_back(name);
+        }
+    }
+
+    std::vector<std::pair<std::uint64_t, Row>> matches;
+    FASP_RETURN_IF_ERROR(
+        collectMatches(tx, schema, stmt.where.get(), matches));
+
+    if (stmt.orderBy) {
+        int order_col = schema.columnIndex(*stmt.orderBy);
+        if (order_col < 0)
+            return statusInvalid("no such column: " + *stmt.orderBy);
+        std::stable_sort(
+            matches.begin(), matches.end(),
+            [&](const auto &a, const auto &b) {
+                int cmp = a.second[order_col].compare(
+                    b.second[order_col]);
+                return stmt.orderDesc ? cmp > 0 : cmp < 0;
+            });
+    }
+
+    std::uint64_t limit =
+        stmt.limit ? *stmt.limit : ~std::uint64_t{0};
+    for (const auto &[rowid, row] : matches) {
+        if (result.rows.size() >= limit)
+            break;
+        Row projected;
+        projected.reserve(projection.size());
+        for (int index : projection)
+            projected.push_back(row[index]);
+        result.rows.push_back(std::move(projected));
+    }
+    return result;
+}
+
+Result<ResultSet>
+Executor::executeUpdate(core::Transaction &tx, const UpdateStmt &stmt)
+{
+    FASP_ASSIGN_OR_RETURN(TableSchema schema,
+                          catalog_.get(tx, stmt.table));
+    auto tree = BTree::open(tx.pageIO(), schema.treeId);
+    if (!tree.isOk())
+        return tree.status();
+
+    // Resolve assignment targets once.
+    std::vector<int> targets;
+    for (const auto &[name, expr] : stmt.assignments) {
+        int index = schema.columnIndex(name);
+        if (index < 0)
+            return statusInvalid("no such column: " + name);
+        targets.push_back(index);
+    }
+
+    std::vector<std::pair<std::uint64_t, Row>> matches;
+    FASP_RETURN_IF_ERROR(
+        collectMatches(tx, schema, stmt.where.get(), matches));
+
+    ResultSet result;
+    std::vector<std::uint8_t> payload;
+    for (auto &[rowid, row] : matches) {
+        Row updated = row;
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            FASP_ASSIGN_OR_RETURN(
+                Value value,
+                eval(*stmt.assignments[i].second, &schema, &row));
+            updated[targets[i]] = std::move(value);
+        }
+        // A changed INTEGER PRIMARY KEY moves the row.
+        std::uint64_t new_rowid = rowid;
+        if (schema.pkColumn >= 0) {
+            const Value &pk = updated[schema.pkColumn];
+            if (pk.type() != ValueType::Integer ||
+                pk.asInteger() < 0) {
+                return statusInvalid("invalid PRIMARY KEY value");
+            }
+            new_rowid = static_cast<std::uint64_t>(pk.asInteger());
+        }
+        encodeRow(updated, payload);
+        if (new_rowid == rowid) {
+            FASP_RETURN_IF_ERROR(tree->update(
+                tx.pageIO(), rowid,
+                std::span<const std::uint8_t>(payload)));
+        } else {
+            FASP_RETURN_IF_ERROR(tree->insert(
+                tx.pageIO(), new_rowid,
+                std::span<const std::uint8_t>(payload)));
+            FASP_RETURN_IF_ERROR(tree->erase(tx.pageIO(), rowid));
+        }
+        result.affected++;
+    }
+    return result;
+}
+
+Result<ResultSet>
+Executor::executeDelete(core::Transaction &tx, const DeleteStmt &stmt)
+{
+    FASP_ASSIGN_OR_RETURN(TableSchema schema,
+                          catalog_.get(tx, stmt.table));
+    auto tree = BTree::open(tx.pageIO(), schema.treeId);
+    if (!tree.isOk())
+        return tree.status();
+
+    std::vector<std::pair<std::uint64_t, Row>> matches;
+    FASP_RETURN_IF_ERROR(
+        collectMatches(tx, schema, stmt.where.get(), matches));
+
+    ResultSet result;
+    for (const auto &[rowid, row] : matches) {
+        FASP_RETURN_IF_ERROR(tree->erase(tx.pageIO(), rowid));
+        result.affected++;
+    }
+    return result;
+}
+
+} // namespace fasp::db

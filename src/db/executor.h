@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Executor: runs parsed statements against the storage engine.
+ *
+ * The planner is deliberately SQLite-simple: point lookups and range
+ * scans on the rowid / INTEGER PRIMARY KEY (extracted from conjunctive
+ * WHERE terms), full scans with predicate filtering otherwise.
+ */
+
+#ifndef FASP_DB_EXECUTOR_H
+#define FASP_DB_EXECUTOR_H
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "db/ast.h"
+#include "db/catalog.h"
+#include "db/row_codec.h"
+
+namespace fasp::db {
+
+/** Result of one statement. */
+struct ResultSet
+{
+    std::vector<std::string> columns;
+    std::vector<Row> rows;
+    std::uint64_t affected = 0; //!< rows written/deleted (DML)
+
+    /** Render as an aligned ASCII table (examples / debugging). */
+    std::string toString() const;
+};
+
+/**
+ * Statement executor bound to an engine and its catalog.
+ */
+class Executor
+{
+  public:
+    Executor(core::Engine &engine, Catalog &catalog)
+        : engine_(engine), catalog_(catalog)
+    {}
+
+    /** Execute @p stmt inside @p tx (Begin/Commit/Rollback are the
+     *  Database facade's job and are rejected here). */
+    Result<ResultSet> execute(core::Transaction &tx,
+                              const Statement &stmt);
+
+  private:
+    /** Rowid bounds extracted from a WHERE clause. */
+    struct KeyRange
+    {
+        std::uint64_t lo = 0;
+        std::uint64_t hi = ~std::uint64_t{0};
+        bool impossible = false; //!< e.g. pk = 3 AND pk = 5
+    };
+
+    Result<ResultSet> executeCreate(core::Transaction &tx,
+                                    const CreateTableStmt &stmt);
+    Result<ResultSet> executeDrop(core::Transaction &tx,
+                                  const DropTableStmt &stmt);
+    Result<ResultSet> executeInsert(core::Transaction &tx,
+                                    const InsertStmt &stmt);
+    Result<ResultSet> executeSelect(core::Transaction &tx,
+                                    const SelectStmt &stmt);
+    Result<ResultSet> executeUpdate(core::Transaction &tx,
+                                    const UpdateStmt &stmt);
+    Result<ResultSet> executeDelete(core::Transaction &tx,
+                                    const DeleteStmt &stmt);
+
+    /** Evaluate @p expr against @p row (may be null for INSERT). */
+    Result<Value> eval(const Expr &expr, const TableSchema *schema,
+                       const Row *row);
+
+    /** Narrow the scan using pk comparisons in conjunctive terms. */
+    static KeyRange extractKeyRange(const Expr *where,
+                                    const TableSchema &schema);
+
+    /** Collect (rowid, row) pairs matching @p where. */
+    Status collectMatches(
+        core::Transaction &tx, const TableSchema &schema,
+        const Expr *where,
+        std::vector<std::pair<std::uint64_t, Row>> &out);
+
+    /** Rowid for a new row: pk column value or max+1. */
+    Result<std::uint64_t> rowidForInsert(core::Transaction &tx,
+                                         btree::BTree &tree,
+                                         const TableSchema &schema,
+                                         const Row &row);
+
+    core::Engine &engine_;
+    Catalog &catalog_;
+};
+
+} // namespace fasp::db
+
+#endif // FASP_DB_EXECUTOR_H

@@ -1,0 +1,486 @@
+#include "db/parser.h"
+
+#include <functional>
+
+#include "db/tokenizer.h"
+
+namespace fasp::db {
+
+namespace {
+
+/**
+ * Token-stream cursor with the usual peek/expect helpers. Parse errors
+ * are returned as ParseError Status values.
+ */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : tokens_(std::move(tokens))
+    {}
+
+    Result<Statement> parse()
+    {
+        FASP_ASSIGN_OR_RETURN(auto stmt, parseInner());
+        acceptSymbol(";");
+        if (peek().type != TokenType::End)
+            return err("trailing input after statement");
+        return stmt;
+    }
+
+  private:
+    Result<Statement> parseInner();
+
+    const Token &peek() const { return tokens_[pos_]; }
+
+    const Token &advance() { return tokens_[pos_++]; }
+
+    bool atKeyword(const char *kw) const
+    {
+        return peek().type == TokenType::Keyword && peek().text == kw;
+    }
+
+    bool atSymbol(const char *sym) const
+    {
+        return peek().type == TokenType::Symbol && peek().text == sym;
+    }
+
+    bool acceptKeyword(const char *kw)
+    {
+        if (!atKeyword(kw))
+            return false;
+        advance();
+        return true;
+    }
+
+    bool acceptSymbol(const char *sym)
+    {
+        if (!atSymbol(sym))
+            return false;
+        advance();
+        return true;
+    }
+
+    Status expectKeyword(const char *kw)
+    {
+        if (!acceptKeyword(kw))
+            return err(std::string("expected ") + kw);
+        return Status::ok();
+    }
+
+    Status expectSymbol(const char *sym)
+    {
+        if (!acceptSymbol(sym))
+            return err(std::string("expected '") + sym + "'");
+        return Status::ok();
+    }
+
+    Result<std::string> expectIdentifier()
+    {
+        if (peek().type != TokenType::Identifier)
+            return err("expected identifier");
+        return advance().text;
+    }
+
+    Status err(const std::string &message) const
+    {
+        return statusParseError(message + " near offset " +
+                                std::to_string(peek().position));
+    }
+
+    Result<Statement> parseCreateTable();
+    Result<Statement> parseDropTable();
+    Result<Statement> parseInsert();
+    Result<Statement> parseSelect();
+    Result<Statement> parseUpdate();
+    Result<Statement> parseDelete();
+
+    /** Expression grammar (precedence climbing):
+     *  or := and (OR and)*
+     *  and := not (AND not)*
+     *  not := NOT not | cmp
+     *  cmp := add ((= != < <= > >=) add | BETWEEN add AND add)?
+     *  add := mul ((+|-) mul)*
+     *  mul := unary ((*|/) unary)*
+     *  unary := - unary | primary
+     *  primary := literal | column | ( or ) */
+    Result<std::unique_ptr<Expr>> parseExpr() { return parseOr(); }
+    Result<std::unique_ptr<Expr>> parseOr();
+    Result<std::unique_ptr<Expr>> parseAnd();
+    Result<std::unique_ptr<Expr>> parseNot();
+    Result<std::unique_ptr<Expr>> parseCmp();
+    Result<std::unique_ptr<Expr>> parseAdd();
+    Result<std::unique_ptr<Expr>> parseMul();
+    Result<std::unique_ptr<Expr>> parseUnary();
+    Result<std::unique_ptr<Expr>> parsePrimary();
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+Result<Statement>
+Parser::parseInner()
+{
+    Statement out;
+    if (acceptKeyword("CREATE"))
+        return parseCreateTable();
+    if (acceptKeyword("DROP"))
+        return parseDropTable();
+    if (acceptKeyword("INSERT"))
+        return parseInsert();
+    if (acceptKeyword("SELECT"))
+        return parseSelect();
+    if (acceptKeyword("UPDATE"))
+        return parseUpdate();
+    if (acceptKeyword("DELETE"))
+        return parseDelete();
+    if (acceptKeyword("BEGIN")) {
+        out.kind = StmtKind::Begin;
+        return out;
+    }
+    if (acceptKeyword("COMMIT")) {
+        out.kind = StmtKind::Commit;
+        return out;
+    }
+    if (acceptKeyword("ROLLBACK")) {
+        out.kind = StmtKind::Rollback;
+        return out;
+    }
+    return err("expected a statement");
+}
+
+Result<Statement>
+Parser::parseCreateTable()
+{
+    FASP_RETURN_IF_ERROR(expectKeyword("TABLE"));
+    CreateTableStmt stmt;
+    FASP_ASSIGN_OR_RETURN(stmt.table, expectIdentifier());
+    FASP_RETURN_IF_ERROR(expectSymbol("("));
+
+    do {
+        ColumnDef col;
+        FASP_ASSIGN_OR_RETURN(col.name, expectIdentifier());
+        if (acceptKeyword("INTEGER"))
+            col.type = ValueType::Integer;
+        else if (acceptKeyword("REAL"))
+            col.type = ValueType::Real;
+        else if (acceptKeyword("TEXT"))
+            col.type = ValueType::Text;
+        else if (acceptKeyword("BLOB"))
+            col.type = ValueType::Blob;
+        else
+            return err("expected column type");
+        if (acceptKeyword("PRIMARY")) {
+            FASP_RETURN_IF_ERROR(expectKeyword("KEY"));
+            col.primaryKey = true;
+        }
+        stmt.columns.push_back(std::move(col));
+    } while (acceptSymbol(","));
+
+    FASP_RETURN_IF_ERROR(expectSymbol(")"));
+    Statement out;
+    out.kind = StmtKind::CreateTable;
+    out.createTable = std::move(stmt);
+    return out;
+}
+
+Result<Statement>
+Parser::parseDropTable()
+{
+    FASP_RETURN_IF_ERROR(expectKeyword("TABLE"));
+    DropTableStmt stmt;
+    FASP_ASSIGN_OR_RETURN(stmt.table, expectIdentifier());
+    Statement out;
+    out.kind = StmtKind::DropTable;
+    out.dropTable = std::move(stmt);
+    return out;
+}
+
+Result<Statement>
+Parser::parseInsert()
+{
+    FASP_RETURN_IF_ERROR(expectKeyword("INTO"));
+    InsertStmt stmt;
+    FASP_ASSIGN_OR_RETURN(stmt.table, expectIdentifier());
+    FASP_RETURN_IF_ERROR(expectKeyword("VALUES"));
+
+    do {
+        FASP_RETURN_IF_ERROR(expectSymbol("("));
+        std::vector<std::unique_ptr<Expr>> row;
+        do {
+            FASP_ASSIGN_OR_RETURN(auto expr, parseExpr());
+            row.push_back(std::move(expr));
+        } while (acceptSymbol(","));
+        FASP_RETURN_IF_ERROR(expectSymbol(")"));
+        stmt.rows.push_back(std::move(row));
+    } while (acceptSymbol(","));
+
+    Statement out;
+    out.kind = StmtKind::Insert;
+    out.insert = std::move(stmt);
+    return out;
+}
+
+Result<Statement>
+Parser::parseSelect()
+{
+    SelectStmt stmt;
+    if (acceptKeyword("COUNT")) {
+        FASP_RETURN_IF_ERROR(expectSymbol("("));
+        FASP_RETURN_IF_ERROR(expectSymbol("*"));
+        FASP_RETURN_IF_ERROR(expectSymbol(")"));
+        stmt.countStar = true;
+    } else if (!acceptSymbol("*")) {
+        do {
+            FASP_ASSIGN_OR_RETURN(auto name, expectIdentifier());
+            stmt.columns.push_back(std::move(name));
+        } while (acceptSymbol(","));
+    }
+    FASP_RETURN_IF_ERROR(expectKeyword("FROM"));
+    FASP_ASSIGN_OR_RETURN(stmt.table, expectIdentifier());
+    if (acceptKeyword("WHERE")) {
+        FASP_ASSIGN_OR_RETURN(stmt.where, parseExpr());
+    }
+    if (acceptKeyword("ORDER")) {
+        FASP_RETURN_IF_ERROR(expectKeyword("BY"));
+        FASP_ASSIGN_OR_RETURN(auto name, expectIdentifier());
+        stmt.orderBy = std::move(name);
+        if (acceptKeyword("DESC"))
+            stmt.orderDesc = true;
+        else
+            acceptKeyword("ASC");
+    }
+    if (acceptKeyword("LIMIT")) {
+        if (peek().type != TokenType::Integer)
+            return err("expected integer after LIMIT");
+        stmt.limit = static_cast<std::uint64_t>(advance().intValue);
+    }
+    Statement out;
+    out.kind = StmtKind::Select;
+    out.select = std::move(stmt);
+    return out;
+}
+
+Result<Statement>
+Parser::parseUpdate()
+{
+    UpdateStmt stmt;
+    FASP_ASSIGN_OR_RETURN(stmt.table, expectIdentifier());
+    FASP_RETURN_IF_ERROR(expectKeyword("SET"));
+    do {
+        FASP_ASSIGN_OR_RETURN(auto name, expectIdentifier());
+        FASP_RETURN_IF_ERROR(expectSymbol("="));
+        FASP_ASSIGN_OR_RETURN(auto expr, parseExpr());
+        stmt.assignments.emplace_back(std::move(name),
+                                      std::move(expr));
+    } while (acceptSymbol(","));
+    if (acceptKeyword("WHERE")) {
+        FASP_ASSIGN_OR_RETURN(stmt.where, parseExpr());
+    }
+    Statement out;
+    out.kind = StmtKind::Update;
+    out.update = std::move(stmt);
+    return out;
+}
+
+Result<Statement>
+Parser::parseDelete()
+{
+    FASP_RETURN_IF_ERROR(expectKeyword("FROM"));
+    DeleteStmt stmt;
+    FASP_ASSIGN_OR_RETURN(stmt.table, expectIdentifier());
+    if (acceptKeyword("WHERE")) {
+        FASP_ASSIGN_OR_RETURN(stmt.where, parseExpr());
+    }
+    Statement out;
+    out.kind = StmtKind::Delete;
+    out.del = std::move(stmt);
+    return out;
+}
+
+Result<std::unique_ptr<Expr>>
+Parser::parseOr()
+{
+    FASP_ASSIGN_OR_RETURN(auto lhs, parseAnd());
+    while (acceptKeyword("OR")) {
+        FASP_ASSIGN_OR_RETURN(auto rhs, parseAnd());
+        lhs = Expr::makeBinary(Op::Or, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+}
+
+Result<std::unique_ptr<Expr>>
+Parser::parseAnd()
+{
+    FASP_ASSIGN_OR_RETURN(auto lhs, parseNot());
+    while (acceptKeyword("AND")) {
+        FASP_ASSIGN_OR_RETURN(auto rhs, parseNot());
+        lhs = Expr::makeBinary(Op::And, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+}
+
+Result<std::unique_ptr<Expr>>
+Parser::parseNot()
+{
+    if (acceptKeyword("NOT")) {
+        FASP_ASSIGN_OR_RETURN(auto inner, parseNot());
+        return Expr::makeUnary(Op::Not, std::move(inner));
+    }
+    return parseCmp();
+}
+
+Result<std::unique_ptr<Expr>>
+Parser::parseCmp()
+{
+    FASP_ASSIGN_OR_RETURN(auto lhs, parseAdd());
+    struct OpMap
+    {
+        const char *sym;
+        Op op;
+    };
+    static const OpMap kOps[] = {
+        {"=", Op::Eq},  {"!=", Op::Ne}, {"<=", Op::Le},
+        {">=", Op::Ge}, {"<", Op::Lt},  {">", Op::Gt},
+    };
+    for (const OpMap &entry : kOps) {
+        if (acceptSymbol(entry.sym)) {
+            FASP_ASSIGN_OR_RETURN(auto rhs, parseAdd());
+            return Expr::makeBinary(entry.op, std::move(lhs),
+                                    std::move(rhs));
+        }
+    }
+    if (acceptKeyword("BETWEEN")) {
+        // x BETWEEN a AND b  ->  x >= a AND x <= b. The column
+        // expression is shared structurally by deep-copying via a
+        // second parse of... simpler: build both sides referencing
+        // clones of lhs.
+        FASP_ASSIGN_OR_RETURN(auto lo, parseAdd());
+        FASP_RETURN_IF_ERROR(expectKeyword("AND"));
+        FASP_ASSIGN_OR_RETURN(auto hi, parseAdd());
+
+        // Clone the lhs column/literal (BETWEEN limited to simple
+        // operands for clone simplicity).
+        std::function<std::unique_ptr<Expr>(const Expr &)> clone =
+            [&](const Expr &e) -> std::unique_ptr<Expr> {
+            auto out = std::make_unique<Expr>();
+            out->kind = e.kind;
+            out->literal = e.literal;
+            out->column = e.column;
+            out->op = e.op;
+            if (e.lhs)
+                out->lhs = clone(*e.lhs);
+            if (e.rhs)
+                out->rhs = clone(*e.rhs);
+            return out;
+        };
+        auto lhs2 = clone(*lhs);
+        auto ge = Expr::makeBinary(Op::Ge, std::move(lhs),
+                                   std::move(lo));
+        auto le = Expr::makeBinary(Op::Le, std::move(lhs2),
+                                   std::move(hi));
+        return Expr::makeBinary(Op::And, std::move(ge), std::move(le));
+    }
+    return lhs;
+}
+
+Result<std::unique_ptr<Expr>>
+Parser::parseAdd()
+{
+    FASP_ASSIGN_OR_RETURN(auto lhs, parseMul());
+    while (true) {
+        if (acceptSymbol("+")) {
+            FASP_ASSIGN_OR_RETURN(auto rhs, parseMul());
+            lhs = Expr::makeBinary(Op::Add, std::move(lhs),
+                                   std::move(rhs));
+        } else if (acceptSymbol("-")) {
+            FASP_ASSIGN_OR_RETURN(auto rhs, parseMul());
+            lhs = Expr::makeBinary(Op::Sub, std::move(lhs),
+                                   std::move(rhs));
+        } else {
+            return lhs;
+        }
+    }
+}
+
+Result<std::unique_ptr<Expr>>
+Parser::parseMul()
+{
+    FASP_ASSIGN_OR_RETURN(auto lhs, parseUnary());
+    while (true) {
+        if (acceptSymbol("*")) {
+            FASP_ASSIGN_OR_RETURN(auto rhs, parseUnary());
+            lhs = Expr::makeBinary(Op::Mul, std::move(lhs),
+                                   std::move(rhs));
+        } else if (acceptSymbol("/")) {
+            FASP_ASSIGN_OR_RETURN(auto rhs, parseUnary());
+            lhs = Expr::makeBinary(Op::Div, std::move(lhs),
+                                   std::move(rhs));
+        } else {
+            return lhs;
+        }
+    }
+}
+
+Result<std::unique_ptr<Expr>>
+Parser::parseUnary()
+{
+    if (acceptSymbol("-")) {
+        FASP_ASSIGN_OR_RETURN(auto inner, parseUnary());
+        return Expr::makeUnary(Op::Neg, std::move(inner));
+    }
+    return parsePrimary();
+}
+
+Result<std::unique_ptr<Expr>>
+Parser::parsePrimary()
+{
+    const Token &token = peek();
+    switch (token.type) {
+      case TokenType::Integer:
+        advance();
+        return Expr::makeLiteral(Value::integer(token.intValue));
+      case TokenType::Real:
+        advance();
+        return Expr::makeLiteral(Value::real(token.realValue));
+      case TokenType::String:
+        advance();
+        return Expr::makeLiteral(Value::text(token.text));
+      case TokenType::Blob:
+        advance();
+        return Expr::makeLiteral(Value::blob(token.blobValue));
+      case TokenType::Identifier:
+        advance();
+        return Expr::makeColumn(token.text);
+      case TokenType::Keyword:
+        if (token.text == "NULL") {
+            advance();
+            return Expr::makeLiteral(Value::null());
+        }
+        break;
+      case TokenType::Symbol:
+        if (token.text == "(") {
+            advance();
+            FASP_ASSIGN_OR_RETURN(auto inner, parseExpr());
+            FASP_RETURN_IF_ERROR(expectSymbol(")"));
+            return inner;
+        }
+        break;
+      default:
+        break;
+    }
+    return err("expected expression");
+}
+
+} // namespace
+
+Result<Statement>
+parseStatement(const std::string &sql)
+{
+    FASP_ASSIGN_OR_RETURN(auto tokens, tokenize(sql));
+    Parser parser(std::move(tokens));
+    FASP_ASSIGN_OR_RETURN(auto stmt, parser.parse());
+    return stmt;
+}
+
+} // namespace fasp::db

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Recursive-descent parser for the fasp SQL subset:
+ *
+ *   CREATE TABLE t (c INTEGER PRIMARY KEY, d TEXT, ...)
+ *   DROP TABLE t
+ *   INSERT INTO t VALUES (...), (...)
+ *   SELECT [* | cols] FROM t [WHERE e] [ORDER BY c [ASC|DESC]]
+ *          [LIMIT n]
+ *   UPDATE t SET c = e [, ...] [WHERE e]
+ *   DELETE FROM t [WHERE e]
+ *   BEGIN / COMMIT / ROLLBACK
+ *
+ * Expressions: literals, column refs, comparison operators, BETWEEN,
+ * AND/OR/NOT, + - * /, parentheses.
+ */
+
+#ifndef FASP_DB_PARSER_H
+#define FASP_DB_PARSER_H
+
+#include <string>
+
+#include "common/status.h"
+#include "db/ast.h"
+
+namespace fasp::db {
+
+/** Parse one SQL statement (a trailing ';' is allowed). */
+Result<Statement> parseStatement(const std::string &sql);
+
+} // namespace fasp::db
+
+#endif // FASP_DB_PARSER_H

@@ -1,0 +1,134 @@
+#include "db/row_codec.h"
+
+#include <cstring>
+
+#include "common/byte_io.h"
+
+namespace fasp::db {
+
+void
+encodeRow(const Row &row, std::vector<std::uint8_t> &out)
+{
+    out.clear();
+    out.resize(2);
+    storeU16(out.data(), static_cast<std::uint16_t>(row.size()));
+
+    auto append = [&](const void *src, std::size_t len) {
+        const auto *bytes = static_cast<const std::uint8_t *>(src);
+        out.insert(out.end(), bytes, bytes + len);
+    };
+
+    for (const Value &value : row) {
+        out.push_back(static_cast<std::uint8_t>(value.type()));
+        switch (value.type()) {
+          case ValueType::Null:
+            break;
+          case ValueType::Integer: {
+            std::uint8_t buf[8];
+            storeU64(buf,
+                     static_cast<std::uint64_t>(value.asInteger()));
+            append(buf, 8);
+            break;
+          }
+          case ValueType::Real: {
+            double d = value.asReal();
+            std::uint64_t bits;
+            std::memcpy(&bits, &d, 8);
+            std::uint8_t buf[8];
+            storeU64(buf, bits);
+            append(buf, 8);
+            break;
+          }
+          case ValueType::Text: {
+            const std::string &text = value.asText();
+            std::uint8_t buf[4];
+            storeU32(buf, static_cast<std::uint32_t>(text.size()));
+            append(buf, 4);
+            append(text.data(), text.size());
+            break;
+          }
+          case ValueType::Blob: {
+            const auto &blob = value.asBlob();
+            std::uint8_t buf[4];
+            storeU32(buf, static_cast<std::uint32_t>(blob.size()));
+            append(buf, 4);
+            append(blob.data(), blob.size());
+            break;
+          }
+        }
+    }
+}
+
+Status
+decodeRow(const std::vector<std::uint8_t> &bytes, Row &row)
+{
+    row.clear();
+    if (bytes.size() < 2)
+        return statusCorruption("row too short");
+    std::uint16_t ncols = loadU16(bytes.data());
+    std::size_t cursor = 2;
+    row.reserve(ncols);
+
+    auto need = [&](std::size_t n) {
+        return cursor + n <= bytes.size();
+    };
+
+    for (std::uint16_t i = 0; i < ncols; ++i) {
+        if (!need(1))
+            return statusCorruption("row truncated at type tag");
+        auto type = static_cast<ValueType>(bytes[cursor++]);
+        switch (type) {
+          case ValueType::Null:
+            row.push_back(Value::null());
+            break;
+          case ValueType::Integer: {
+            if (!need(8))
+                return statusCorruption("row truncated at integer");
+            row.push_back(Value::integer(static_cast<std::int64_t>(
+                loadU64(bytes.data() + cursor))));
+            cursor += 8;
+            break;
+          }
+          case ValueType::Real: {
+            if (!need(8))
+                return statusCorruption("row truncated at real");
+            std::uint64_t bits = loadU64(bytes.data() + cursor);
+            double d;
+            std::memcpy(&d, &bits, 8);
+            row.push_back(Value::real(d));
+            cursor += 8;
+            break;
+          }
+          case ValueType::Text: {
+            if (!need(4))
+                return statusCorruption("row truncated at text len");
+            std::uint32_t len = loadU32(bytes.data() + cursor);
+            cursor += 4;
+            if (!need(len))
+                return statusCorruption("row truncated at text");
+            row.push_back(Value::text(std::string(
+                reinterpret_cast<const char *>(bytes.data() + cursor),
+                len)));
+            cursor += len;
+            break;
+          }
+          case ValueType::Blob: {
+            if (!need(4))
+                return statusCorruption("row truncated at blob len");
+            std::uint32_t len = loadU32(bytes.data() + cursor);
+            cursor += 4;
+            if (!need(len))
+                return statusCorruption("row truncated at blob");
+            row.push_back(Value::blob(std::vector<std::uint8_t>(
+                bytes.begin() + cursor, bytes.begin() + cursor + len)));
+            cursor += len;
+            break;
+          }
+          default:
+            return statusCorruption("unknown value type tag");
+        }
+    }
+    return Status::ok();
+}
+
+} // namespace fasp::db

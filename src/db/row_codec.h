@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Row serialization: a row (vector of Values) to/from the byte payload
+ * stored in a B-tree leaf record.
+ *
+ * Format: [u16 ncols] then per column
+ *   [u8 type][payload]: Integer = 8 bytes LE; Real = 8-byte IEEE bits;
+ *   Text/Blob = u32 length + bytes; Null = nothing.
+ */
+
+#ifndef FASP_DB_ROW_CODEC_H
+#define FASP_DB_ROW_CODEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "db/value.h"
+
+namespace fasp::db {
+
+using Row = std::vector<Value>;
+
+/** Serialize @p row into @p out (replaced). */
+void encodeRow(const Row &row, std::vector<std::uint8_t> &out);
+
+/** Deserialize @p bytes into @p row; Corruption on malformed input. */
+Status decodeRow(const std::vector<std::uint8_t> &bytes, Row &row);
+
+} // namespace fasp::db
+
+#endif // FASP_DB_ROW_CODEC_H

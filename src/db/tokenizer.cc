@@ -1,0 +1,201 @@
+#include "db/tokenizer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace fasp::db {
+
+namespace {
+
+const std::array<const char *, 32> kKeywords = {
+    "CREATE", "TABLE",  "DROP",   "INSERT", "INTO",   "VALUES",
+    "SELECT", "FROM",   "WHERE",  "UPDATE", "SET",    "DELETE",
+    "BEGIN",  "COMMIT", "ROLLBACK", "AND",  "OR",     "NOT",
+    "NULL",   "INTEGER", "REAL",  "TEXT",   "BLOB",   "PRIMARY",
+    "KEY",    "ORDER",  "BY",     "ASC",    "DESC",   "LIMIT",
+    "BETWEEN", "COUNT",
+};
+
+bool
+isKeyword(const std::string &upper)
+{
+    return std::find_if(kKeywords.begin(), kKeywords.end(),
+                        [&](const char *kw) { return upper == kw; }) !=
+           kKeywords.end();
+}
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+Result<std::vector<Token>>
+tokenize(const std::string &sql)
+{
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    const std::size_t n = sql.size();
+
+    auto error = [&](const std::string &message) {
+        return statusParseError(message + " at offset " +
+                                std::to_string(i));
+    };
+
+    while (i < n) {
+        char c = sql[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // -- comment to end of line.
+        if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+            while (i < n && sql[i] != '\n')
+                ++i;
+            continue;
+        }
+
+        Token token;
+        token.position = i;
+
+        // Blob literal x'....'
+        if ((c == 'x' || c == 'X') && i + 1 < n && sql[i + 1] == '\'') {
+            i += 2;
+            token.type = TokenType::Blob;
+            while (i + 1 < n && sql[i] != '\'') {
+                int hi = hexDigit(sql[i]);
+                int lo = hexDigit(sql[i + 1]);
+                if (hi < 0 || lo < 0)
+                    return error("bad hex digit in blob literal");
+                token.blobValue.push_back(
+                    static_cast<std::uint8_t>(hi * 16 + lo));
+                i += 2;
+            }
+            if (i >= n || sql[i] != '\'')
+                return error("unterminated blob literal");
+            ++i;
+            tokens.push_back(std::move(token));
+            continue;
+        }
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = i;
+            while (i < n &&
+                   (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                    sql[i] == '_')) {
+                ++i;
+            }
+            std::string word = sql.substr(start, i - start);
+            std::string upper = word;
+            std::transform(upper.begin(), upper.end(), upper.begin(),
+                           [](unsigned char ch) {
+                               return std::toupper(ch);
+                           });
+            if (isKeyword(upper)) {
+                token.type = TokenType::Keyword;
+                token.text = upper;
+            } else {
+                token.type = TokenType::Identifier;
+                token.text = word;
+            }
+            tokens.push_back(std::move(token));
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+            std::size_t start = i;
+            bool is_real = false;
+            while (i < n &&
+                   (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                    sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+                    ((sql[i] == '+' || sql[i] == '-') && i > start &&
+                     (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+                if (sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E')
+                    is_real = true;
+                ++i;
+            }
+            std::string num = sql.substr(start, i - start);
+            token.text = num;
+            if (is_real) {
+                token.type = TokenType::Real;
+                token.realValue = std::strtod(num.c_str(), nullptr);
+            } else {
+                token.type = TokenType::Integer;
+                token.intValue = std::strtoll(num.c_str(), nullptr, 10);
+            }
+            tokens.push_back(std::move(token));
+            continue;
+        }
+
+        if (c == '\'') {
+            ++i;
+            token.type = TokenType::String;
+            while (i < n) {
+                if (sql[i] == '\'') {
+                    if (i + 1 < n && sql[i + 1] == '\'') {
+                        token.text += '\''; // escaped quote
+                        i += 2;
+                        continue;
+                    }
+                    break;
+                }
+                token.text += sql[i++];
+            }
+            if (i >= n || sql[i] != '\'')
+                return error("unterminated string literal");
+            ++i;
+            tokens.push_back(std::move(token));
+            continue;
+        }
+
+        // Multi-char symbols first.
+        auto symbol = [&](const std::string &text) {
+            token.type = TokenType::Symbol;
+            token.text = text;
+            i += text.size();
+            tokens.push_back(token);
+        };
+        if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+            symbol("!=");
+            continue;
+        }
+        if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+            symbol("!=");
+            i = token.position + 2;
+            continue;
+        }
+        if (c == '<' && i + 1 < n && sql[i + 1] == '=') {
+            symbol("<=");
+            continue;
+        }
+        if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+            symbol(">=");
+            continue;
+        }
+        if (std::string("(),;=<>*+-/").find(c) != std::string::npos) {
+            symbol(std::string(1, c));
+            continue;
+        }
+        return error(std::string("unexpected character '") + c + "'");
+    }
+
+    Token end;
+    end.type = TokenType::End;
+    end.position = n;
+    tokens.push_back(end);
+    return tokens;
+}
+
+} // namespace fasp::db

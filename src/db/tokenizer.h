@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SQL tokenizer for the fasp SQL subset.
+ */
+
+#ifndef FASP_DB_TOKENIZER_H
+#define FASP_DB_TOKENIZER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fasp::db {
+
+/** Lexical token categories. */
+enum class TokenType : std::uint8_t {
+    Keyword,    //!< case-insensitive SQL keyword (uppercased text)
+    Identifier, //!< table / column name
+    Integer,    //!< integer literal
+    Real,       //!< floating literal
+    String,     //!< 'quoted' text literal (unescaped content)
+    Blob,       //!< x'hex' literal (decoded bytes in blobValue)
+    Symbol,     //!< punctuation / operator: ( ) , ; = != < <= > >= * + - /
+    End,        //!< end of input
+};
+
+/** One token. */
+struct Token
+{
+    TokenType type = TokenType::End;
+    std::string text;                     //!< raw (keywords uppercased)
+    std::int64_t intValue = 0;
+    double realValue = 0.0;
+    std::vector<std::uint8_t> blobValue;
+    std::size_t position = 0;             //!< byte offset for errors
+};
+
+/**
+ * Tokenize @p sql. Keywords are recognized from a fixed list and
+ * uppercased; anything else alphanumeric is an Identifier.
+ * @return the token list ending with an End token, or ParseError.
+ */
+Result<std::vector<Token>> tokenize(const std::string &sql);
+
+} // namespace fasp::db
+
+#endif // FASP_DB_TOKENIZER_H

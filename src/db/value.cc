@@ -1,0 +1,158 @@
+#include "db/value.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace fasp::db {
+
+const char *
+valueTypeName(ValueType type)
+{
+    switch (type) {
+      case ValueType::Null: return "NULL";
+      case ValueType::Integer: return "INTEGER";
+      case ValueType::Real: return "REAL";
+      case ValueType::Text: return "TEXT";
+      case ValueType::Blob: return "BLOB";
+    }
+    return "?";
+}
+
+std::int64_t
+Value::asInteger() const
+{
+    if (type() == ValueType::Integer)
+        return std::get<std::int64_t>(data_);
+    if (type() == ValueType::Real)
+        return static_cast<std::int64_t>(std::get<double>(data_));
+    return 0;
+}
+
+double
+Value::asReal() const
+{
+    if (type() == ValueType::Real)
+        return std::get<double>(data_);
+    if (type() == ValueType::Integer)
+        return static_cast<double>(std::get<std::int64_t>(data_));
+    return 0.0;
+}
+
+const std::string &
+Value::asText() const
+{
+    static const std::string empty;
+    if (type() == ValueType::Text)
+        return std::get<std::string>(data_);
+    return empty;
+}
+
+const std::vector<std::uint8_t> &
+Value::asBlob() const
+{
+    static const std::vector<std::uint8_t> empty;
+    if (type() == ValueType::Blob)
+        return std::get<std::vector<std::uint8_t>>(data_);
+    return empty;
+}
+
+namespace {
+
+/** Cross-type rank per SQLite: NULL < numeric < TEXT < BLOB. */
+int
+typeRank(ValueType type)
+{
+    switch (type) {
+      case ValueType::Null: return 0;
+      case ValueType::Integer:
+      case ValueType::Real: return 1;
+      case ValueType::Text: return 2;
+      case ValueType::Blob: return 3;
+    }
+    return 4;
+}
+
+template <typename T>
+int
+threeWay(const T &a, const T &b)
+{
+    if (a < b)
+        return -1;
+    if (b < a)
+        return 1;
+    return 0;
+}
+
+} // namespace
+
+int
+Value::compare(const Value &other) const
+{
+    int rank_a = typeRank(type());
+    int rank_b = typeRank(other.type());
+    if (rank_a != rank_b)
+        return rank_a < rank_b ? -1 : 1;
+
+    switch (type()) {
+      case ValueType::Null:
+        return 0;
+      case ValueType::Integer:
+      case ValueType::Real:
+        if (type() == ValueType::Integer &&
+            other.type() == ValueType::Integer) {
+            return threeWay(asInteger(), other.asInteger());
+        }
+        return threeWay(asReal(), other.asReal());
+      case ValueType::Text:
+        return threeWay(asText(), other.asText());
+      case ValueType::Blob:
+        return threeWay(asBlob(), other.asBlob());
+    }
+    return 0;
+}
+
+bool
+Value::truthy() const
+{
+    switch (type()) {
+      case ValueType::Integer: return asInteger() != 0;
+      case ValueType::Real: return asReal() != 0.0;
+      default: return false;
+    }
+}
+
+std::string
+Value::toString() const
+{
+    switch (type()) {
+      case ValueType::Null:
+        return "NULL";
+      case ValueType::Integer: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRId64, asInteger());
+        return buf;
+      }
+      case ValueType::Real: {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.12g", asReal());
+        return buf;
+      }
+      case ValueType::Text:
+        return "'" + asText() + "'";
+      case ValueType::Blob: {
+        std::string out = "x'";
+        for (std::uint8_t b : asBlob()) {
+            char hex[3];
+            std::snprintf(hex, sizeof(hex), "%02x", b);
+            out += hex;
+        }
+        out += "'";
+        return out;
+      }
+    }
+    return "?";
+}
+
+} // namespace fasp::db

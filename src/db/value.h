@@ -1,0 +1,109 @@
+/**
+ * @file
+ * SQL value type: the dynamic datatype flowing through the SQL layer
+ * (SQLite's NULL / INTEGER / REAL / TEXT / BLOB model).
+ */
+
+#ifndef FASP_DB_VALUE_H
+#define FASP_DB_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fasp::db {
+
+/** SQL datatype tags (also the serialized type bytes). */
+enum class ValueType : std::uint8_t {
+    Null = 0,
+    Integer = 1,
+    Real = 2,
+    Text = 3,
+    Blob = 4,
+};
+
+const char *valueTypeName(ValueType type);
+
+/**
+ * One SQL value.
+ */
+class Value
+{
+  public:
+    /** NULL. */
+    Value() : data_(std::monostate{}) {}
+
+    static Value null() { return Value(); }
+
+    static Value integer(std::int64_t v)
+    {
+        Value out;
+        out.data_ = v;
+        return out;
+    }
+
+    static Value real(double v)
+    {
+        Value out;
+        out.data_ = v;
+        return out;
+    }
+
+    static Value text(std::string v)
+    {
+        Value out;
+        out.data_ = std::move(v);
+        return out;
+    }
+
+    static Value blob(std::vector<std::uint8_t> v)
+    {
+        Value out;
+        out.data_ = std::move(v);
+        return out;
+    }
+
+    ValueType type() const
+    {
+        return static_cast<ValueType>(data_.index());
+    }
+
+    bool isNull() const { return type() == ValueType::Null; }
+
+    /** Integer content; 0 for non-integers (check type() first). */
+    std::int64_t asInteger() const;
+
+    /** Numeric content with int->real coercion. */
+    double asReal() const;
+
+    const std::string &asText() const;
+    const std::vector<std::uint8_t> &asBlob() const;
+
+    /** SQL-style three-way comparison with numeric coercion across
+     *  Integer/Real. Cross-type order: Null < numbers < Text < Blob
+     *  (SQLite's ordering). */
+    int compare(const Value &other) const;
+
+    bool operator==(const Value &other) const
+    {
+        return compare(other) == 0;
+    }
+
+    /** Truthiness for WHERE: non-zero numeric; NULL and others false. */
+    bool truthy() const;
+
+    /** Render for result display ("NULL", 42, 3.5, 'abc', x'0ff0'). */
+    std::string toString() const;
+
+  private:
+    std::variant<std::monostate, std::int64_t, double, std::string,
+                 std::vector<std::uint8_t>>
+        data_;
+};
+
+} // namespace fasp::db
+
+#endif // FASP_DB_VALUE_H

@@ -1,0 +1,94 @@
+#include "htm/rtm.h"
+
+#include "common/logging.h"
+#include "pm/device.h"
+
+namespace fasp::htm {
+
+void
+RtmRegion::write(PmOffset off, const void *src, std::size_t len)
+{
+    StagedWrite staged;
+    staged.off = off;
+    const auto *bytes = static_cast<const std::uint8_t *>(src);
+    staged.bytes.assign(bytes, bytes + len);
+    writes_.push_back(std::move(staged));
+}
+
+Rtm::Rtm(pm::PmDevice &device, const RtmConfig &config)
+    : device_(device), config_(config), rng_(config.seed)
+{}
+
+void
+Rtm::setConfig(const RtmConfig &config)
+{
+    config_ = config;
+    rng_ = Rng(config.seed);
+}
+
+void
+Rtm::checkWriteSet(const RtmRegion &region) const
+{
+    if (!config_.enforceSingleLine)
+        return;
+    bool have_line = false;
+    PmOffset line = 0;
+    for (const auto &staged : region.writes_) {
+        if (staged.bytes.empty())
+            continue;
+        PmOffset first = cacheLineBase(staged.off);
+        PmOffset last =
+            cacheLineBase(staged.off + staged.bytes.size() - 1);
+        if (first != last) {
+            faspPanic("RTM write set spans multiple cache lines "
+                      "(off=%llu len=%zu)",
+                      static_cast<unsigned long long>(staged.off),
+                      staged.bytes.size());
+        }
+        if (!have_line) {
+            line = first;
+            have_line = true;
+        } else if (line != first) {
+            faspPanic("RTM write set touches two cache lines "
+                      "(%llu and %llu)",
+                      static_cast<unsigned long long>(line),
+                      static_cast<unsigned long long>(first));
+        }
+    }
+}
+
+void
+Rtm::apply(const RtmRegion &region)
+{
+    // XEND: the staged stores become visible. They remain volatile (in
+    // the simulated CPU cache) until the caller flushes them, and since
+    // the write set is one line they can never be torn by a crash.
+    for (const auto &staged : region.writes_)
+        device_.write(staged.off, staged.bytes.data(),
+                      staged.bytes.size());
+}
+
+bool
+Rtm::execute(const std::function<void(RtmRegion &)> &body)
+{
+    for (unsigned attempt = 0; attempt <= config_.maxRetries; ++attempt) {
+        stats_.begins++;
+        RtmRegion region;
+        body(region);
+        checkWriteSet(region);
+
+        bool injected_abort = config_.abortProbability > 0.0 &&
+                              rng_.nextBool(config_.abortProbability);
+        if (region.explicitAbort_ || injected_abort) {
+            stats_.aborts++;
+            continue;
+        }
+        apply(region);
+        stats_.commits++;
+        return true;
+    }
+    stats_.fallbacks++;
+    return false;
+}
+
+} // namespace fasp::htm

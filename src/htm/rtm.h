@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Software emulation of Intel Restricted Transactional Memory (RTM).
+ *
+ * The paper uses RTM (XBEGIN / XEND / XABORT) for exactly one purpose:
+ * making the update of a slot header that fits in one cache line
+ * failure-atomic. Stores inside an RTM region stay invisible (in the
+ * write-combining store buffer) until XEND; restricting the write set to
+ * a single cache line means the header either persists whole (after the
+ * subsequent clflush) or not at all.
+ *
+ * This emulation preserves that contract: writes made through an
+ * RtmRegion are staged in a volatile buffer and applied to the PM device
+ * only when the region commits. A crash that fires during the region or
+ * before the post-region clflush therefore loses the whole update —
+ * exactly the hardware behaviour the paper relies on.
+ *
+ * Aborts are injected probabilistically to exercise the fallback paths
+ * the paper describes (retry until success, or fall back to slot-header
+ * logging after repeated aborts).
+ */
+
+#ifndef FASP_HTM_RTM_H
+#define FASP_HTM_RTM_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace fasp::pm {
+class PmDevice;
+} // namespace fasp::pm
+
+namespace fasp::htm {
+
+/** Abort/retry policy of the emulated RTM. */
+struct RtmConfig
+{
+    /** Probability that any single attempt aborts (injected). Real RTM
+     *  aborts on conflicts, interrupts, and capacity; the emulation
+     *  rolls a die instead. */
+    double abortProbability = 0.0;
+
+    /** Attempts before execute() gives up and reports fallback. The
+     *  paper's default handler retries until success; a finite value
+     *  models the alternative fallback-to-logging handler. */
+    unsigned maxRetries = 1u << 20;
+
+    /** Panic if a region's write set spans more than one cache line
+     *  (the paper restricts the RTM working set to one line because PM
+     *  cannot persist two lines atomically). */
+    bool enforceSingleLine = true;
+
+    /** Seed for the abort-injection RNG. */
+    std::uint64_t seed = 7;
+};
+
+/** Counters describing RTM behaviour (ablation Table C). */
+struct RtmStats
+{
+    std::uint64_t begins = 0;    //!< attempts started
+    std::uint64_t commits = 0;   //!< attempts that committed
+    std::uint64_t aborts = 0;    //!< attempts that aborted
+    std::uint64_t fallbacks = 0; //!< execute() calls that gave up
+
+    void reset() { *this = RtmStats{}; }
+};
+
+/**
+ * Staging area handed to the transactional body. Writes are buffered and
+ * only reach the device if the region commits.
+ */
+class RtmRegion
+{
+  public:
+    /** Stage a store of @p len bytes at device offset @p off. */
+    void write(PmOffset off, const void *src, std::size_t len);
+
+    /** Explicitly abort this attempt (XABORT). */
+    void abort() { explicitAbort_ = true; }
+
+  private:
+    friend class Rtm;
+
+    struct StagedWrite
+    {
+        PmOffset off;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    std::vector<StagedWrite> writes_;
+    bool explicitAbort_ = false;
+};
+
+/**
+ * RTM execution engine bound to one PM device.
+ */
+class Rtm
+{
+  public:
+    Rtm(pm::PmDevice &device, const RtmConfig &config);
+
+    /**
+     * Run @p body transactionally. The body stages writes through the
+     * region; on commit they are applied to the device as ordinary
+     * (volatile) stores, which the caller must then clflush + sfence to
+     * make durable.
+     *
+     * @return true if an attempt committed; false if the retry budget
+     *         was exhausted (caller falls back to slot-header logging).
+     */
+    bool execute(const std::function<void(RtmRegion &)> &body);
+
+    RtmStats &stats() { return stats_; }
+    const RtmStats &stats() const { return stats_; }
+
+    const RtmConfig &config() const { return config_; }
+
+    /** Replace the abort policy (used by the abort-injection bench). */
+    void setConfig(const RtmConfig &config);
+
+  private:
+    void apply(const RtmRegion &region);
+    void checkWriteSet(const RtmRegion &region) const;
+
+    pm::PmDevice &device_;
+    RtmConfig config_;
+    Rng rng_;
+    RtmStats stats_;
+};
+
+} // namespace fasp::htm
+
+#endif // FASP_HTM_RTM_H

@@ -1,0 +1,23 @@
+#include "page/page_io.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace fasp::page {
+
+void
+BufferPageIO::copyOut(std::uint16_t off, void *dst, std::size_t len) const
+{
+    FASP_ASSERT(off + len <= size_);
+    std::memcpy(dst, buf_ + off, len);
+}
+
+void
+BufferPageIO::copyIn(std::uint16_t off, const void *src, std::size_t len)
+{
+    FASP_ASSERT(off + len <= size_);
+    std::memcpy(buf_ + off, src, len);
+}
+
+} // namespace fasp::page

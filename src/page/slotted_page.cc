@@ -1,0 +1,747 @@
+#include "page/slotted_page.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace fasp::page {
+
+namespace {
+
+/** Page-relative offset of the scratch freeHead field. */
+std::uint16_t
+freeHeadOff(const PageIO &io)
+{
+    return static_cast<std::uint16_t>(io.pageSize() - kScratchBytes);
+}
+
+/** Page-relative offset of the scratch freeTotal field. */
+std::uint16_t
+freeTotalOff(const PageIO &io)
+{
+    return static_cast<std::uint16_t>(io.pageSize() - kScratchBytes + 2);
+}
+
+/** End (exclusive) of the record content area. */
+std::uint16_t
+contentEnd(const PageIO &io)
+{
+    return static_cast<std::uint16_t>(io.pageSize() - kScratchBytes);
+}
+
+std::uint16_t
+freeHead(const PageIO &io)
+{
+    return io.readScratchU16(freeHeadOff(io));
+}
+
+void
+setFreeHead(PageIO &io, std::uint16_t off)
+{
+    io.writeScratchU16(freeHeadOff(io), off);
+}
+
+void
+setFragFree(PageIO &io, std::uint16_t total)
+{
+    io.writeScratchU16(freeTotalOff(io), total);
+}
+
+/** Slot-array byte offset of slot @p slot. */
+std::uint16_t
+slotPos(std::uint16_t slot)
+{
+    return static_cast<std::uint16_t>(kSlotArrayOff + 2 * slot);
+}
+
+/**
+ * Allocation footprint of a payload: record framing rounded up to
+ * 2-byte alignment. Keeping every allocation even keeps the free gap
+ * even, so the gap can never strand at 1 byte — too small for a slot
+ * entry but nonzero — a state that forces needless copy-on-write
+ * defragmentation cycles.
+ */
+std::uint16_t
+allocFootprint(std::size_t payload_len)
+{
+    return static_cast<std::uint16_t>(
+        (kRecordHeaderBytes + payload_len + 1) & ~std::size_t{1});
+}
+
+/** Live record extents (off, footprint), sorted by offset. */
+std::vector<std::pair<std::uint16_t, std::uint16_t>>
+recordExtents(const PageIO &io)
+{
+    std::uint16_t nrec = numRecords(io);
+    std::vector<std::pair<std::uint16_t, std::uint16_t>> extents;
+    extents.reserve(nrec);
+    for (std::uint16_t i = 0; i < nrec; ++i) {
+        RecordRef ref = record(io, i);
+        extents.emplace_back(
+            ref.off,
+            static_cast<std::uint16_t>(kRecordHeaderBytes +
+                                       ref.payloadLen));
+    }
+    std::sort(extents.begin(), extents.end());
+    return extents;
+}
+
+/**
+ * Pop a free block of at least @p need bytes (first fit, allocating
+ * from the block's tail so the list links stay in place). Returns 0 if
+ * no block fits. Rebuilds the list and retries once if the chain is
+ * found inconsistent (§4.3 lazy repair).
+ */
+std::uint16_t
+popFreeBlock(PageIO &io, std::uint16_t need)
+{
+    for (int pass = 0; pass < 2; ++pass) {
+        std::uint16_t prev = 0;
+        std::uint16_t cur = freeHead(io);
+        std::size_t steps = 0;
+        const std::uint16_t end = contentEnd(io);
+        bool bad = false;
+        while (cur != 0) {
+            if (cur < kSlotArrayOff || cur + kMinFreeBlock > end ||
+                ++steps > io.pageSize() / kMinFreeBlock) {
+                bad = true;
+                break;
+            }
+            std::uint16_t size = io.readScratchU16(cur);
+            std::uint16_t next = io.readScratchU16(cur + 2);
+            if (size < kMinFreeBlock || cur + size > end) {
+                bad = true;
+                break;
+            }
+            if (size >= need) {
+                std::uint16_t total = fragFree(io);
+                std::uint16_t taken;
+                std::uint16_t result;
+                if (size - need >= kMinFreeBlock) {
+                    // Allocate from the tail; shrink the block in place.
+                    io.writeScratchU16(
+                        cur, static_cast<std::uint16_t>(size - need));
+                    result = static_cast<std::uint16_t>(cur + size -
+                                                        need);
+                    taken = need;
+                } else {
+                    // Take the whole block (<=3 slack bytes leak until
+                    // the next copy-on-write defragmentation).
+                    if (prev == 0)
+                        setFreeHead(io, next);
+                    else
+                        io.writeScratchU16(prev + 2, next);
+                    result = cur;
+                    taken = size;
+                }
+                setFragFree(io, static_cast<std::uint16_t>(
+                    total >= taken ? total - taken : 0));
+                return result;
+            }
+            prev = cur;
+            cur = next;
+        }
+        if (!bad)
+            return 0;
+        rebuildFreeList(io);
+    }
+    return 0;
+}
+
+/** Largest free block on the list (0 if empty/inconsistent). */
+std::uint16_t
+largestFreeBlock(const PageIO &io)
+{
+    std::uint16_t best = 0;
+    std::uint16_t cur = freeHead(io);
+    std::size_t steps = 0;
+    const std::uint16_t end = contentEnd(io);
+    while (cur != 0) {
+        if (cur < kSlotArrayOff || cur + kMinFreeBlock > end ||
+            ++steps > io.pageSize() / kMinFreeBlock) {
+            return 0;
+        }
+        std::uint16_t size = io.readScratchU16(cur);
+        if (size < kMinFreeBlock || cur + size > end)
+            return 0;
+        best = std::max(best, size);
+        cur = io.readScratchU16(cur + 2);
+    }
+    return best;
+}
+
+/**
+ * Sum of the contiguous run of free blocks starting exactly at
+ * contentStart. These blocks border the gap and can be absorbed back
+ * into it (contentStart is a header field, so raising it commits
+ * atomically with the transaction). Without this reclamation
+ * contentStart only ever sinks and pages drift into gap exhaustion,
+ * forcing needless copy-on-write defragmentation.
+ */
+std::uint16_t
+absorbableRun(const PageIO &io)
+{
+    std::uint16_t cs = contentStart(io);
+    const std::uint16_t end = contentEnd(io);
+    std::vector<std::pair<std::uint16_t, std::uint16_t>> blocks;
+    std::uint16_t cur = freeHead(io);
+    std::size_t steps = 0;
+    while (cur != 0) {
+        if (cur < kSlotArrayOff || cur + kMinFreeBlock > end ||
+            ++steps > io.pageSize() / kMinFreeBlock) {
+            return 0; // inconsistent chain; repaired lazily elsewhere
+        }
+        std::uint16_t size = io.readScratchU16(cur);
+        if (size < kMinFreeBlock || cur + size > end)
+            return 0;
+        blocks.emplace_back(cur, size);
+        cur = io.readScratchU16(cur + 2);
+    }
+    std::sort(blocks.begin(), blocks.end());
+    std::uint16_t run = 0;
+    for (const auto &[off, size] : blocks) {
+        if (off != cs + run)
+            break;
+        run = static_cast<std::uint16_t>(run + size);
+    }
+    return run;
+}
+
+/**
+ * Absorb the free-block run bordering the gap into the gap: unlink
+ * each block whose offset equals contentStart and raise contentStart
+ * past it. Returns the new contentStart.
+ */
+std::uint16_t
+absorbGapAdjacentBlocks(PageIO &io)
+{
+    std::uint16_t cs = contentStart(io);
+    const std::uint16_t end = contentEnd(io);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        std::uint16_t prev = 0;
+        std::uint16_t cur = freeHead(io);
+        std::size_t steps = 0;
+        while (cur != 0) {
+            if (cur < kSlotArrayOff || cur + kMinFreeBlock > end ||
+                ++steps > io.pageSize() / kMinFreeBlock) {
+                return cs; // inconsistent; leave for lazy repair
+            }
+            std::uint16_t size = io.readScratchU16(cur);
+            std::uint16_t next = io.readScratchU16(cur + 2);
+            if (size < kMinFreeBlock || cur + size > end)
+                return cs;
+            if (cur == cs) {
+                if (prev == 0)
+                    setFreeHead(io, next);
+                else
+                    io.writeScratchU16(prev + 2, next);
+                std::uint16_t total = fragFree(io);
+                setFragFree(io, static_cast<std::uint16_t>(
+                    total >= size ? total - size : 0));
+                cs = static_cast<std::uint16_t>(cs + size);
+                io.writeHeaderU16(kOffContentStart, cs);
+                progress = true;
+                break; // rescan for the next adjacent block
+            }
+            prev = cur;
+            cur = next;
+        }
+    }
+    return cs;
+}
+
+/**
+ * Allocate @p need content bytes: from the gap first (cheap, shrinks
+ * contentStart via a header write), then from the free list,
+ * reclaiming gap-adjacent free blocks when the gap alone is short.
+ * @p slot_reserve bytes of gap are kept back for slot-array growth.
+ * Returns 0 on failure.
+ */
+std::uint16_t
+allocateSpace(PageIO &io, std::uint16_t need, std::uint16_t slot_reserve)
+{
+    std::uint16_t nrec = numRecords(io);
+    std::uint16_t reserved = reservedSlots(io);
+    // Within the reserved slot region, slot growth is free.
+    if (nrec < reserved)
+        slot_reserve = 0;
+    std::uint16_t cs = contentStart(io);
+    std::uint16_t slot_end =
+        std::max({headerBytes(std::max(nrec, reserved)),
+                  io.contentFloor()});
+    FASP_ASSERT(cs >= headerBytes(nrec));
+    std::uint16_t gap =
+        cs >= slot_end ? static_cast<std::uint16_t>(cs - slot_end) : 0;
+
+    if (gap < need + slot_reserve) {
+        cs = absorbGapAdjacentBlocks(io);
+        gap = cs >= slot_end
+                  ? static_cast<std::uint16_t>(cs - slot_end)
+                  : 0;
+    }
+    if (gap >= need + slot_reserve) {
+        std::uint16_t off = static_cast<std::uint16_t>(cs - need);
+        io.writeHeaderU16(kOffContentStart, off);
+        return off;
+    }
+    if (gap < slot_reserve)
+        return 0;
+    return popFreeBlock(io, need);
+}
+
+} // namespace
+
+// --- Field accessors -----------------------------------------------------
+
+std::uint16_t
+numRecords(const PageIO &io)
+{
+    return io.readHeaderU16(kOffNumRecords);
+}
+
+std::uint16_t
+contentStart(const PageIO &io)
+{
+    return io.readHeaderU16(kOffContentStart);
+}
+
+PageType
+pageType(const PageIO &io)
+{
+    return static_cast<PageType>(io.readHeaderU16(kOffFlags) & 0x0f);
+}
+
+std::uint16_t
+reservedSlots(const PageIO &io)
+{
+    return static_cast<std::uint16_t>(io.readHeaderU16(kOffFlags) >> 4);
+}
+
+std::uint16_t
+level(const PageIO &io)
+{
+    return io.readHeaderU16(kOffLevel);
+}
+
+std::uint32_t
+aux(const PageIO &io)
+{
+    return io.readHeaderU32(kOffAux);
+}
+
+void
+setAux(PageIO &io, std::uint32_t value)
+{
+    io.writeHeaderU32(kOffAux, value);
+}
+
+std::uint16_t
+slotOffset(const PageIO &io, std::uint16_t slot)
+{
+    return io.readHeaderU16(slotPos(slot));
+}
+
+// --- Initialization ------------------------------------------------------
+
+void
+init(PageIO &io, PageType type, std::uint16_t lvl,
+     std::uint32_t aux_value, std::uint16_t reserved_slots)
+{
+    FASP_ASSERT(reserved_slots < (1u << 12));
+    io.writeHeaderU16(kOffNumRecords, 0);
+    io.writeHeaderU16(kOffContentStart, contentEnd(io));
+    io.writeHeaderU16(kOffFlags, static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(type) |
+        static_cast<std::uint16_t>(reserved_slots << 4)));
+    io.writeHeaderU16(kOffLevel, lvl);
+    io.writeHeaderU32(kOffAux, aux_value);
+    setFreeHead(io, 0);
+    setFragFree(io, 0);
+}
+
+// --- Record access -------------------------------------------------------
+
+RecordRef
+record(const PageIO &io, std::uint16_t slot)
+{
+    FASP_ASSERT(slot < numRecords(io));
+    RecordRef ref;
+    ref.off = slotOffset(io, slot);
+    ref.payloadLen = io.readContentU16(ref.off);
+    return ref;
+}
+
+std::uint64_t
+recordKey(const PageIO &io, std::uint16_t slot)
+{
+    RecordRef ref = record(io, slot);
+    return io.readContentU64(ref.off + kRecordHeaderBytes);
+}
+
+void
+readPayload(const PageIO &io, std::uint16_t slot,
+            std::vector<std::uint8_t> &out)
+{
+    RecordRef ref = record(io, slot);
+    out.resize(ref.payloadLen);
+    io.readContent(ref.off + kRecordHeaderBytes, out.data(),
+                   ref.payloadLen);
+}
+
+PageId
+childPid(const PageIO &io, std::uint16_t slot)
+{
+    RecordRef ref = record(io, slot);
+    FASP_ASSERT(ref.payloadLen >= 12);
+    return io.readContentU32(ref.off + kRecordHeaderBytes + 8);
+}
+
+// --- Search --------------------------------------------------------------
+
+SearchResult
+lowerBound(const PageIO &io, std::uint64_t key)
+{
+    std::uint16_t lo = 0;
+    std::uint16_t hi = numRecords(io);
+    while (lo < hi) {
+        std::uint16_t mid = static_cast<std::uint16_t>((lo + hi) / 2);
+        if (recordKey(io, mid) < key)
+            lo = static_cast<std::uint16_t>(mid + 1);
+        else
+            hi = mid;
+    }
+    SearchResult res;
+    res.slot = lo;
+    res.found = lo < numRecords(io) && recordKey(io, lo) == key;
+    return res;
+}
+
+// --- Space accounting ----------------------------------------------------
+
+std::uint16_t
+freeGap(const PageIO &io)
+{
+    std::uint16_t cs = contentStart(io);
+    std::uint16_t slot_end = headerBytes(numRecords(io));
+    return cs >= slot_end ? static_cast<std::uint16_t>(cs - slot_end) : 0;
+}
+
+std::uint16_t
+fragFree(const PageIO &io)
+{
+    return io.readScratchU16(freeTotalOff(io));
+}
+
+FitResult
+checkFit(const PageIO &io, std::uint16_t payload_len, bool needs_new_slot)
+{
+    std::uint16_t need = allocFootprint(payload_len);
+    std::uint16_t nrec = numRecords(io);
+    std::uint16_t reserved = reservedSlots(io);
+    std::uint16_t slot_extra =
+        needs_new_slot && nrec >= reserved ? 2 : 0;
+    std::uint16_t cs = contentStart(io);
+    std::uint16_t slot_end =
+        std::max({headerBytes(std::max(nrec, reserved)),
+                  io.contentFloor()});
+    std::uint16_t gap =
+        cs >= slot_end ? static_cast<std::uint16_t>(cs - slot_end) : 0;
+
+    if (gap >= need + slot_extra)
+        return FitResult::Fits;
+    // The gap can be extended by absorbing adjacent free blocks.
+    if (static_cast<std::size_t>(gap) + absorbableRun(io) >=
+        static_cast<std::size_t>(need) + slot_extra) {
+        return FitResult::Fits;
+    }
+    if (gap >= slot_extra && largestFreeBlock(io) >= need)
+        return FitResult::Fits;
+
+    // Not placeable in this layout. Decide between copy-on-write
+    // defragmentation and a split by asking whether a *compacted* copy
+    // of the live records plus the new one would fit a fresh page:
+    // this correctly counts fragmented blocks, alignment leaks, AND
+    // the space pinned by pre-commit immutability (deferred reclaims,
+    // the durable-header floor) — all of which CoW recovers. This is
+    // the paper's same-transaction copy-on-write rule (§4.3).
+    std::size_t live = 0;
+    for (std::uint16_t i = 0; i < nrec; ++i)
+        live += allocFootprint(record(io, i).payloadLen);
+    std::size_t compact_total =
+        headerBytes(std::max<std::uint16_t>(
+            static_cast<std::uint16_t>(nrec +
+                                       (needs_new_slot ? 1 : 0)),
+            reserved)) +
+        live + need;
+    if (compact_total <= io.pageSize() - kScratchBytes)
+        return FitResult::NeedsDefrag;
+    return FitResult::NeedsSplit;
+}
+
+// --- Mutations -----------------------------------------------------------
+
+Status
+insertRecord(PageIO &io, std::uint64_t key,
+             std::span<const std::uint8_t> payload)
+{
+    FASP_ASSERT(payload.size() >= 8);
+    std::uint16_t need = allocFootprint(payload.size());
+    std::uint16_t off = allocateSpace(io, need, 2);
+    if (off == 0) {
+        if (getenv("FASP_DEBUG_ALLOC")) {
+            fprintf(stderr,
+                    "alloc fail: need=%u nrec=%u reserved=%u cs=%u "
+                    "floor=%u frag=%u head=%u\n",
+                    need, numRecords(io), reservedSlots(io),
+                    contentStart(io), io.contentFloor(), fragFree(io),
+                    io.readScratchU16(static_cast<std::uint16_t>(
+                        io.pageSize() - kScratchBytes)));
+        }
+        return statusPageFull("insertRecord: no space");
+    }
+
+    // (i) the record goes into free space: harmless before commit.
+    io.writeContentU16(off, static_cast<std::uint16_t>(payload.size()));
+    io.writeContent(off + kRecordHeaderBytes, payload.data(),
+                    payload.size());
+
+    // (ii) slot-header update: shift the tail of the offset array right
+    // and splice in the new offset. For the PM engines this lands in
+    // the volatile shadow and is only published at commit.
+    std::uint16_t nrec = numRecords(io);
+    SearchResult pos = lowerBound(io, key);
+    if (pos.found)
+        return statusAlreadyExists("insertRecord: duplicate key");
+    std::uint16_t tail =
+        static_cast<std::uint16_t>(nrec - pos.slot);
+    if (tail > 0) {
+        std::vector<std::uint8_t> buf(2 * tail);
+        io.readHeader(slotPos(pos.slot), buf.data(), buf.size());
+        io.writeHeader(slotPos(pos.slot + 1), buf.data(), buf.size());
+    }
+    io.writeHeaderU16(slotPos(pos.slot), off);
+    io.writeHeaderU16(kOffNumRecords,
+                      static_cast<std::uint16_t>(nrec + 1));
+    return Status::ok();
+}
+
+Status
+updateRecord(PageIO &io, std::uint16_t slot,
+             std::span<const std::uint8_t> payload, RecordRef *old_ref)
+{
+    FASP_ASSERT(slot < numRecords(io));
+    RecordRef old = record(io, slot);
+    if (old_ref)
+        *old_ref = old;
+
+    std::uint16_t need = allocFootprint(payload.size());
+    std::uint16_t off = allocateSpace(io, need, 0);
+    if (off == 0)
+        return statusPageFull("updateRecord: no space");
+
+    io.writeContentU16(off, static_cast<std::uint16_t>(payload.size()));
+    io.writeContent(off + kRecordHeaderBytes, payload.data(),
+                    payload.size());
+    // Atomically redirect the slot; the old record stays intact for
+    // recovery until the engine reclaims it post-commit.
+    io.writeHeaderU16(slotPos(slot), off);
+    return Status::ok();
+}
+
+Status
+eraseRecord(PageIO &io, std::uint16_t slot, RecordRef *old_ref)
+{
+    std::uint16_t nrec = numRecords(io);
+    FASP_ASSERT(slot < nrec);
+    RecordRef old = record(io, slot);
+    if (old_ref)
+        *old_ref = old;
+
+    std::uint16_t tail = static_cast<std::uint16_t>(nrec - slot - 1);
+    if (tail > 0) {
+        std::vector<std::uint8_t> buf(2 * tail);
+        io.readHeader(slotPos(slot + 1), buf.data(), buf.size());
+        io.writeHeader(slotPos(slot), buf.data(), buf.size());
+    }
+    io.writeHeaderU16(kOffNumRecords,
+                      static_cast<std::uint16_t>(nrec - 1));
+    return Status::ok();
+}
+
+Status
+dropLowerSlots(PageIO &io, std::uint16_t count,
+               std::vector<RecordRef> *dropped)
+{
+    std::uint16_t nrec = numRecords(io);
+    FASP_ASSERT(count <= nrec);
+    if (dropped) {
+        for (std::uint16_t i = 0; i < count; ++i)
+            dropped->push_back(record(io, i));
+    }
+    std::uint16_t tail = static_cast<std::uint16_t>(nrec - count);
+    if (tail > 0) {
+        std::vector<std::uint8_t> buf(2 * tail);
+        io.readHeader(slotPos(count), buf.data(), buf.size());
+        io.writeHeader(slotPos(0), buf.data(), buf.size());
+    }
+    io.writeHeaderU16(kOffNumRecords, tail);
+    return Status::ok();
+}
+
+void
+reclaimExtent(PageIO &io, const RecordRef &ref)
+{
+    // Free the full (alignment-padded) allocation footprint.
+    std::uint16_t size = allocFootprint(ref.payloadLen);
+    if (size < kMinFreeBlock)
+        return; // too small to track; recovered by the next CoW defrag
+    io.writeScratchU16(ref.off, size);
+    io.writeScratchU16(ref.off + 2, freeHead(io));
+    setFreeHead(io, ref.off);
+    setFragFree(io, static_cast<std::uint16_t>(fragFree(io) + size));
+}
+
+Status
+defragmentInto(const PageIO &src, PageIO &dst)
+{
+    FASP_ASSERT(src.pageSize() == dst.pageSize());
+    std::uint16_t nrec = numRecords(src);
+    std::size_t live = 0;
+    for (std::uint16_t i = 0; i < nrec; ++i)
+        live += allocFootprint(record(src, i).payloadLen);
+    // Preserve a fixed (FAST) reservation; otherwise re-reserve
+    // adaptively for the page's current occupancy plus headroom,
+    // clamped so the live records still fit.
+    std::uint16_t reserve = clampReserve(
+        src.pageSize(),
+        std::max<std::uint16_t>(
+            reservedSlots(src),
+            static_cast<std::uint16_t>(nrec + nrec / 2 + 4)),
+        live, nrec);
+    init(dst, pageType(src), level(src), aux(src), reserve);
+    std::vector<std::uint8_t> payload;
+    for (std::uint16_t i = 0; i < nrec; ++i) {
+        std::uint64_t key = recordKey(src, i);
+        readPayload(src, i, payload);
+        Status status = insertRecord(
+            dst, key, std::span<const std::uint8_t>(payload));
+        FASP_RETURN_IF_ERROR(status);
+    }
+    return Status::ok();
+}
+
+// --- Free-list maintenance -----------------------------------------------
+
+bool
+freeListConsistent(const PageIO &io)
+{
+    auto extents = recordExtents(io);
+    const std::uint16_t end = contentEnd(io);
+    std::uint16_t cur = freeHead(io);
+    std::size_t sum = 0;
+    std::size_t steps = 0;
+    while (cur != 0) {
+        if (cur < kSlotArrayOff || cur + kMinFreeBlock > end ||
+            ++steps > io.pageSize() / kMinFreeBlock) {
+            return false;
+        }
+        std::uint16_t size = io.readScratchU16(cur);
+        if (size < kMinFreeBlock || cur + size > end)
+            return false;
+        // Overlap with any live record?
+        for (const auto &[roff, rlen] : extents) {
+            if (cur < roff + rlen && roff < cur + size)
+                return false;
+        }
+        sum += size;
+        cur = io.readScratchU16(cur + 2);
+    }
+    return sum == fragFree(io);
+}
+
+void
+rebuildFreeList(PageIO &io)
+{
+    auto extents = recordExtents(io);
+    const std::uint16_t end = contentEnd(io);
+    std::uint16_t cursor = contentStart(io);
+    std::uint16_t head = 0;
+    std::uint16_t prev = 0;
+    std::size_t total = 0;
+
+    auto emit_gap = [&](std::uint16_t gap_off, std::uint16_t gap_len) {
+        if (gap_len < kMinFreeBlock)
+            return; // leaked until CoW defragmentation
+        io.writeScratchU16(gap_off, gap_len);
+        io.writeScratchU16(gap_off + 2, 0);
+        if (prev == 0)
+            head = gap_off;
+        else
+            io.writeScratchU16(prev + 2, gap_off);
+        prev = gap_off;
+        total += gap_len;
+    };
+
+    for (const auto &[roff, rlen] : extents) {
+        if (roff > cursor)
+            emit_gap(cursor, static_cast<std::uint16_t>(roff - cursor));
+        cursor = std::max<std::uint16_t>(
+            cursor, static_cast<std::uint16_t>(roff + rlen));
+    }
+    if (end > cursor)
+        emit_gap(cursor, static_cast<std::uint16_t>(end - cursor));
+
+    setFreeHead(io, head);
+    setFragFree(io, static_cast<std::uint16_t>(total));
+}
+
+// --- Integrity -----------------------------------------------------------
+
+Status
+checkIntegrity(const PageIO &io)
+{
+    const std::size_t psize = io.pageSize();
+    const std::uint16_t end = contentEnd(io);
+    std::uint16_t nrec = numRecords(io);
+    std::uint16_t cs = contentStart(io);
+
+    if (headerBytes(std::max(nrec, reservedSlots(io))) > cs)
+        return statusCorruption("slot array overlaps content area");
+    if (cs > end)
+        return statusCorruption("contentStart beyond content area");
+    if (psize < kSlotArrayOff + kScratchBytes)
+        return statusCorruption("page too small");
+
+    std::vector<std::pair<std::uint16_t, std::uint16_t>> extents;
+    std::uint64_t prev_key = 0;
+    for (std::uint16_t i = 0; i < nrec; ++i) {
+        std::uint16_t off = slotOffset(io, i);
+        if (off < cs || off + kRecordHeaderBytes > end)
+            return statusCorruption("record offset out of range");
+        std::uint16_t len = io.readContentU16(off);
+        if (off + kRecordHeaderBytes + len > end)
+            return statusCorruption("record extends past content area");
+        if (len < 8)
+            return statusCorruption("record payload shorter than key");
+        std::uint64_t key = io.readContentU64(off + kRecordHeaderBytes);
+        if (i > 0 && key <= prev_key)
+            return statusCorruption("slot keys not strictly ascending");
+        prev_key = key;
+        extents.emplace_back(
+            off,
+            static_cast<std::uint16_t>(kRecordHeaderBytes + len));
+    }
+    std::sort(extents.begin(), extents.end());
+    for (std::size_t i = 1; i < extents.size(); ++i) {
+        if (extents[i - 1].first + extents[i - 1].second >
+            extents[i].first) {
+            return statusCorruption("record extents overlap");
+        }
+    }
+    return Status::ok();
+}
+
+} // namespace fasp::page

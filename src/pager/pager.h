@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Pager: database-file layout and page-allocation policy.
+ *
+ * Device layout (page size P, page count N):
+ *
+ *   page 0                 superblock
+ *   pages 1..B             page-allocation bitmap (1 bit per page)
+ *   page B+1               tree directory (slotted; tree-id -> root pid)
+ *   pages B+2..N-1         data pages (B-tree / overflow)
+ *   [N*P, N*P + logLen)    engine log region (slot-header log, NVWAL
+ *                          heap+WAL, rollback journal, ...)
+ *
+ * Bitmap persistence is engine-specific (it must be transactional), so
+ * the allocator here operates through a BitmapIO abstraction: the PM
+ * engines back it with a volatile mirror whose updates are carried in
+ * the slot-header log; the buffered engines back it with cached copies
+ * of the bitmap pages that their WAL/journal mechanisms persist.
+ */
+
+#ifndef FASP_PAGER_PAGER_H
+#define FASP_PAGER_PAGER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "pager/superblock.h"
+
+namespace fasp::pm {
+class PmDevice;
+} // namespace fasp::pm
+
+namespace fasp::pager {
+
+/** Byte-granularity accessor over the allocation bitmap. @p index is a
+ *  global byte index across all bitmap pages. */
+class BitmapIO
+{
+  public:
+    virtual ~BitmapIO() = default;
+    virtual std::uint8_t readByte(std::uint32_t index) const = 0;
+    virtual void writeByte(std::uint32_t index, std::uint8_t value) = 0;
+};
+
+/** BitmapIO over a plain in-memory vector (the PM engines' volatile
+ *  mirror; also used by tests). */
+class VectorBitmapIO : public BitmapIO
+{
+  public:
+    explicit VectorBitmapIO(std::vector<std::uint8_t> &bytes)
+        : bytes_(bytes)
+    {}
+
+    std::uint8_t readByte(std::uint32_t index) const override
+    {
+        return bytes_[index];
+    }
+
+    void writeByte(std::uint32_t index, std::uint8_t value) override
+    {
+        bytes_[index] = value;
+    }
+
+  private:
+    std::vector<std::uint8_t> &bytes_;
+};
+
+/**
+ * First-fit page allocator over a BitmapIO. Stateless besides a scan
+ * hint; every engine instantiates one over its own bitmap backing.
+ */
+class PageAllocator
+{
+  public:
+    PageAllocator(BitmapIO &io, const Superblock &sb)
+        : io_(io), pageCount_(sb.pageCount), hint_(sb.firstDataPid())
+    {}
+
+    /** Allocate the lowest free page at or above the scan hint. */
+    Result<PageId> allocate();
+
+    /** Mark @p pid free. */
+    void free(PageId pid);
+
+    /** Mark @p pid allocated (recovery replay; idempotent). */
+    void markAllocated(PageId pid);
+
+    bool isAllocated(PageId pid) const;
+
+    /** Number of allocated pages (linear scan; stats/tests). */
+    std::uint32_t allocatedCount() const;
+
+  private:
+    BitmapIO &io_;
+    std::uint32_t pageCount_;
+    PageId hint_;
+};
+
+/** Byte index / bit mask of @p pid inside the bitmap. */
+struct BitmapSlot
+{
+    std::uint32_t byteIndex;
+    std::uint8_t mask;
+};
+
+BitmapSlot bitmapSlot(PageId pid);
+
+/**
+ * Format / open helpers for the on-device layout.
+ */
+class Pager
+{
+  public:
+    /** Formatting parameters. */
+    struct FormatParams
+    {
+        std::uint32_t pageSize = kDefaultPageSize;
+        std::uint64_t logLen = 8u << 20; //!< engine log region bytes
+    };
+
+    /**
+     * Initialize @p device: write the superblock, zero the bitmap, mark
+     * the meta pages allocated, and initialize an empty directory page.
+     * Sizes the page area to fill everything before the log region.
+     */
+    static Result<Superblock> format(pm::PmDevice &device,
+                                     const FormatParams &params);
+
+    /** Read and validate the superblock of a formatted device. */
+    static Result<Superblock> open(pm::PmDevice &device);
+
+    /** Load the durable bitmap into @p out (engine open/recovery). */
+    static void loadBitmap(pm::PmDevice &device, const Superblock &sb,
+                           std::vector<std::uint8_t> &out);
+
+    /** Device offset of bitmap byte @p index. */
+    static PmOffset bitmapByteOffset(const Superblock &sb,
+                                     std::uint32_t index);
+};
+
+} // namespace fasp::pager
+
+#endif // FASP_PAGER_PAGER_H

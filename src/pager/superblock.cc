@@ -1,0 +1,59 @@
+#include "pager/superblock.h"
+
+#include <array>
+
+#include "common/byte_io.h"
+#include "common/crc32.h"
+#include "pm/device.h"
+
+namespace fasp::pager {
+
+void
+Superblock::writeTo(pm::PmDevice &device) const
+{
+    std::array<std::uint8_t, kEncodedBytes> buf{};
+    storeU64(buf.data() + 0, kMagic);
+    storeU32(buf.data() + 8, kVersion);
+    storeU32(buf.data() + 12, pageSize);
+    storeU32(buf.data() + 16, pageCount);
+    storeU32(buf.data() + 20, bitmapPages);
+    storeU32(buf.data() + 24, directoryPid);
+    storeU64(buf.data() + 28, logOff);
+    storeU64(buf.data() + 36, logLen);
+    storeU32(buf.data() + 44, crc32c(buf.data(), 44));
+    device.write(0, buf.data(), buf.size());
+    device.flushRange(0, buf.size());
+    device.sfence();
+}
+
+Result<Superblock>
+Superblock::readFrom(pm::PmDevice &device)
+{
+    std::array<std::uint8_t, kEncodedBytes> buf{};
+    device.read(0, buf.data(), buf.size());
+
+    if (loadU64(buf.data()) != kMagic)
+        return Status(StatusCode::Corruption, "superblock magic mismatch");
+    if (loadU32(buf.data() + 8) != kVersion)
+        return Status(StatusCode::Corruption, "superblock version");
+    if (loadU32(buf.data() + 44) != crc32c(buf.data(), 44))
+        return Status(StatusCode::Corruption, "superblock CRC mismatch");
+
+    Superblock sb;
+    sb.pageSize = loadU32(buf.data() + 12);
+    sb.pageCount = loadU32(buf.data() + 16);
+    sb.bitmapPages = loadU32(buf.data() + 20);
+    sb.directoryPid = loadU32(buf.data() + 24);
+    sb.logOff = loadU64(buf.data() + 28);
+    sb.logLen = loadU64(buf.data() + 36);
+
+    if (sb.pageSize < 256 || sb.pageCount == 0 ||
+        sb.logOff + sb.logLen > device.size() ||
+        static_cast<std::uint64_t>(sb.pageCount) * sb.pageSize >
+            device.size()) {
+        return Status(StatusCode::Corruption, "superblock bounds");
+    }
+    return sb;
+}
+
+} // namespace fasp::pager

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Crash-point injection for failure-atomicity testing.
+ *
+ * The PM device raises a persistence event at every store, clflush, and
+ * fence. An installed CrashInjector may request a crash at any event;
+ * the device then drops (or adversarially part-persists) its simulated
+ * CPU cache and throws CrashException, which test harnesses catch at the
+ * top level before re-opening the database from the durable image.
+ */
+
+#ifndef FASP_PM_CRASH_H
+#define FASP_PM_CRASH_H
+
+#include <cstdint>
+#include <exception>
+
+namespace fasp::pm {
+
+/** Kind of persistence event at which a crash may be injected. */
+enum class PmEvent : std::uint8_t {
+    Store,  //!< a store to PM (still volatile in the CPU cache)
+    Flush,  //!< a clflush of one cache line
+    Fence,  //!< an sfence/mfence
+};
+
+/** Thrown by PmDevice when an injected crash fires. */
+class CrashException : public std::exception
+{
+  public:
+    explicit CrashException(std::uint64_t event_index)
+        : eventIndex_(event_index)
+    {}
+
+    const char *what() const noexcept override
+    {
+        return "injected PM crash";
+    }
+
+    /** Global persistence-event index at which the crash fired. */
+    std::uint64_t eventIndex() const { return eventIndex_; }
+
+  private:
+    std::uint64_t eventIndex_;
+};
+
+/**
+ * Decides, per persistence event, whether to crash. Implementations are
+ * installed on a PmDevice; a true return triggers the crash.
+ */
+class CrashInjector
+{
+  public:
+    virtual ~CrashInjector() = default;
+
+    /**
+     * @param event the event kind
+     * @param index global 0-based persistence-event counter
+     * @return true to crash the device at this event
+     */
+    virtual bool shouldCrash(PmEvent event, std::uint64_t index) = 0;
+};
+
+/** Crashes at exactly one global event index (exhaustive sweeps). */
+class PointCrashInjector : public CrashInjector
+{
+  public:
+    explicit PointCrashInjector(std::uint64_t target) : target_(target) {}
+
+    bool shouldCrash(PmEvent, std::uint64_t index) override
+    {
+        return index == target_;
+    }
+
+  private:
+    std::uint64_t target_;
+};
+
+} // namespace fasp::pm
+
+#endif // FASP_PM_CRASH_H

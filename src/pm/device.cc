@@ -1,0 +1,294 @@
+#include "pm/device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fasp::pm {
+
+namespace {
+
+/** Round up to the next power of two (minimum 1). */
+std::size_t
+roundUpPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+PmDevice::PmDevice(const PmConfig &config)
+    : config_(config),
+      durable_(config.size, 0),
+      crashRng_(std::make_unique<Rng>(config.crashSeed))
+{
+    FASP_ASSERT(config.size % kCacheLineSize == 0);
+    std::size_t lines = roundUpPow2(std::max<std::size_t>(
+        config.tagCacheLines, 64));
+    tags_.assign(lines, 0);
+    tagMask_ = lines - 1;
+}
+
+PmDevice::~PmDevice() = default;
+
+void
+PmDevice::checkRange(PmOffset off, std::size_t len) const
+{
+    if (off + len > durable_.size() || off + len < off) {
+        faspPanic("PM access out of range: off=%llu len=%zu size=%zu",
+                  static_cast<unsigned long long>(off), len,
+                  durable_.size());
+    }
+}
+
+void
+PmDevice::checkAlive() const
+{
+    if (crashed_)
+        faspPanic("access to crashed PM device before recovery");
+}
+
+void
+PmDevice::raiseEvent(PmEvent event)
+{
+    std::uint64_t index = eventCount_++;
+    if (injector_ && injector_->shouldCrash(event, index)) {
+        crash();
+        throw CrashException(index);
+    }
+}
+
+PmDevice::LineBuf &
+PmDevice::cacheLineFor(PmOffset line_base)
+{
+    auto it = cache_.find(line_base);
+    if (it == cache_.end()) {
+        LineBuf buf;
+        std::memcpy(buf.data(), durable_.data() + line_base,
+                    kCacheLineSize);
+        it = cache_.emplace(line_base, buf).first;
+    }
+    return it->second;
+}
+
+void
+PmDevice::write(PmOffset off, const void *src, std::size_t len)
+{
+    checkAlive();
+    checkRange(off, len);
+    if (len == 0)
+        return;
+    raiseEvent(PmEvent::Store);
+    stats_.stores++;
+    stats_.storeBytes += len;
+
+    const auto *bytes = static_cast<const std::uint8_t *>(src);
+    if (config_.mode == PmMode::Direct) {
+        std::memcpy(durable_.data() + off, bytes, len);
+    } else {
+        // Scatter the store across the dirty lines it touches.
+        PmOffset cur = off;
+        std::size_t remaining = len;
+        while (remaining > 0) {
+            PmOffset base = cacheLineBase(cur);
+            std::size_t in_line = std::min<std::size_t>(
+                remaining, base + kCacheLineSize - cur);
+            LineBuf &line = cacheLineFor(base);
+            std::memcpy(line.data() + (cur - base), bytes, in_line);
+            bytes += in_line;
+            cur += in_line;
+            remaining -= in_line;
+        }
+    }
+
+    // Write-allocate into the simulated read cache (no charge: the CPU
+    // cache hides store latency, per the paper's emulation rule).
+    for (PmOffset base = cacheLineBase(off);
+         base < off + len; base += kCacheLineSize) {
+        tags_[(base / kCacheLineSize) & tagMask_] = base + 1;
+    }
+}
+
+void
+PmDevice::read(PmOffset off, void *dst, std::size_t len)
+{
+    checkAlive();
+    checkRange(off, len);
+    if (len == 0)
+        return;
+    stats_.loads++;
+    stats_.loadBytes += len;
+    if (config_.chargeReads)
+        chargeReadLatency(off, len);
+
+    auto *out = static_cast<std::uint8_t *>(dst);
+    if (config_.mode == PmMode::Direct || cache_.empty()) {
+        std::memcpy(out, durable_.data() + off, len);
+        return;
+    }
+    // Gather: dirty lines override the durable image.
+    PmOffset cur = off;
+    std::size_t remaining = len;
+    while (remaining > 0) {
+        PmOffset base = cacheLineBase(cur);
+        std::size_t in_line = std::min<std::size_t>(
+            remaining, base + kCacheLineSize - cur);
+        auto it = cache_.find(base);
+        const std::uint8_t *src = (it != cache_.end())
+            ? it->second.data() + (cur - base)
+            : durable_.data() + cur;
+        std::memcpy(out, src, in_line);
+        out += in_line;
+        cur += in_line;
+        remaining -= in_line;
+    }
+}
+
+void
+PmDevice::readDurable(PmOffset off, void *dst, std::size_t len) const
+{
+    checkRange(off, len);
+    std::memcpy(dst, durable_.data() + off, len);
+}
+
+void
+PmDevice::memset(PmOffset off, std::uint8_t byte, std::size_t len)
+{
+    checkAlive();
+    checkRange(off, len);
+    std::array<std::uint8_t, 256> chunk;
+    chunk.fill(byte);
+    while (len > 0) {
+        std::size_t n = std::min(len, chunk.size());
+        write(off, chunk.data(), n);
+        off += n;
+        len -= n;
+    }
+}
+
+void
+PmDevice::chargeReadLatency(PmOffset off, std::size_t len)
+{
+    std::uint64_t penalty = config_.latency.readPenaltyNs();
+    for (PmOffset base = cacheLineBase(off);
+         base < off + len; base += kCacheLineSize) {
+        std::size_t idx = (base / kCacheLineSize) & tagMask_;
+        if (tags_[idx] != base + 1) {
+            tags_[idx] = base + 1;
+            stats_.readMisses++;
+            stats_.modelNs += penalty;
+            if (tracker_) {
+                tracker_->addModelNs(penalty);
+                tracker_->countReadMiss();
+            }
+        }
+    }
+}
+
+void
+PmDevice::clflush(PmOffset off)
+{
+    checkAlive();
+    checkRange(off, 1);
+    raiseEvent(PmEvent::Flush);
+    PmOffset base = cacheLineBase(off);
+
+    if (config_.mode == PmMode::CacheSim) {
+        auto it = cache_.find(base);
+        if (it != cache_.end()) {
+            std::memcpy(durable_.data() + base, it->second.data(),
+                        kCacheLineSize);
+            cache_.erase(it);
+        }
+    }
+    // CLFLUSH evicts the line (the next read misses); CLWB writes it
+    // back but keeps it cached.
+    if (!config_.useClwb)
+        tags_[(base / kCacheLineSize) & tagMask_] = 0;
+
+    stats_.clflushes++;
+    stats_.modelNs += config_.latency.pmWriteNs;
+    if (tracker_) {
+        tracker_->addModelNs(config_.latency.pmWriteNs);
+        tracker_->countFlush();
+    }
+}
+
+void
+PmDevice::flushRange(PmOffset off, std::size_t len)
+{
+    if (len == 0)
+        return;
+    for (PmOffset base = cacheLineBase(off);
+         base < off + len; base += kCacheLineSize) {
+        clflush(base);
+    }
+}
+
+void
+PmDevice::sfence()
+{
+    checkAlive();
+    raiseEvent(PmEvent::Fence);
+    stats_.fences++;
+    stats_.modelNs += config_.latency.fenceNs;
+    if (tracker_) {
+        tracker_->addModelNs(config_.latency.fenceNs);
+        tracker_->countFence();
+    }
+}
+
+void
+PmDevice::crash()
+{
+    FASP_ASSERT(config_.mode == PmMode::CacheSim);
+    switch (config_.crashPolicy) {
+      case CrashPolicy::DropAll:
+        break;
+      case CrashPolicy::RandomLines:
+        // The cache may have evicted any dirty line to PM before power
+        // was lost: persist an arbitrary subset, whole lines at a time.
+        for (const auto &[base, line] : cache_) {
+            if (crashRng_->nextBool(0.5)) {
+                std::memcpy(durable_.data() + base, line.data(),
+                            kCacheLineSize);
+            }
+        }
+        break;
+      case CrashPolicy::TornLines:
+        // Only 8-byte units are atomic: each aligned word of each dirty
+        // line independently reaches PM or not.
+        for (const auto &[base, line] : cache_) {
+            for (std::size_t w = 0; w < kCacheLineSize; w += 8) {
+                if (crashRng_->nextBool(0.5)) {
+                    std::memcpy(durable_.data() + base + w,
+                                line.data() + w, 8);
+                }
+            }
+        }
+        break;
+    }
+    cache_.clear();
+    crashed_ = true;
+}
+
+void
+PmDevice::reviveAfterCrash()
+{
+    cache_.clear();
+    crashed_ = false;
+    invalidateTagCache();
+}
+
+void
+PmDevice::invalidateTagCache()
+{
+    std::fill(tags_.begin(), tags_.end(), 0);
+}
+
+} // namespace fasp::pm

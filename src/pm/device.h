@@ -1,0 +1,241 @@
+/**
+ * @file
+ * PmDevice: the emulated persistent-memory device.
+ *
+ * The device models a flat byte-addressable PM address space plus the
+ * volatile CPU cache that sits in front of it. It supports two modes:
+ *
+ *  - Direct: stores hit the durable image immediately. Used by the
+ *    benchmarks; latency is still charged through the model, but crashes
+ *    cannot be simulated. Fast.
+ *
+ *  - CacheSim: stores land in a simulated CPU cache (a map of dirty
+ *    64-byte lines) and only reach the durable image on clflush. crash()
+ *    discards the cache — exactly what power failure does to unflushed
+ *    data. Used by the failure-atomicity property tests.
+ *
+ * All PM accesses made by the library are mediated by this class, which
+ * is what makes both the latency accounting and the crash simulation
+ * sound.
+ */
+
+#ifndef FASP_PM_DEVICE_H
+#define FASP_PM_DEVICE_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/byte_io.h"
+#include "common/types.h"
+#include "pm/crash.h"
+#include "pm/latency.h"
+#include "pm/phase.h"
+#include "pm/stats.h"
+
+namespace fasp {
+class Rng;
+} // namespace fasp
+
+namespace fasp::pm {
+
+/** Device operating mode; see file comment. */
+enum class PmMode : std::uint8_t {
+    Direct,   //!< stores persist immediately (benchmarking)
+    CacheSim, //!< stores buffered in a simulated CPU cache (crash tests)
+};
+
+/** How crash() treats dirty cache lines. */
+enum class CrashPolicy : std::uint8_t {
+    DropAll,      //!< no dirty line survives (clean power cut)
+    RandomLines,  //!< each dirty line independently persists or not
+                  //!< (models arbitrary cache eviction before the crash)
+    TornLines,    //!< each aligned 8-byte word of each dirty line
+                  //!< independently persists (8-byte atomic unit only;
+                  //!< the adversary for schemes needing line atomicity)
+};
+
+/** Construction-time configuration of a device. */
+struct PmConfig
+{
+    std::size_t size = 64u << 20;        //!< device capacity in bytes
+    PmMode mode = PmMode::Direct;
+    LatencyModel latency;
+    bool chargeReads = true;             //!< model read-miss latency
+    std::size_t tagCacheLines = 1u << 19;//!< simulated CPU cache capacity
+                                         //!< (default 32 MiB of lines,
+                                         //!< close to the testbed's LLC)
+    CrashPolicy crashPolicy = CrashPolicy::DropAll;
+    std::uint64_t crashSeed = 42;        //!< RNG seed for adversarial
+                                         //!< crash policies
+
+    /** Model CLWB instead of CLFLUSH: the written-back line stays in
+     *  the CPU cache, so later reads of it do not pay PM latency
+     *  (the paper's Figure 3 issues CLWBs). Same write-latency charge
+     *  and durability semantics. */
+    bool useClwb = false;
+};
+
+/**
+ * Emulated PM device. Not thread-safe; the reproduced system (SQLite) is
+ * single-writer.
+ */
+class PmDevice
+{
+  public:
+    explicit PmDevice(const PmConfig &config);
+    ~PmDevice();
+
+    PmDevice(const PmDevice &) = delete;
+    PmDevice &operator=(const PmDevice &) = delete;
+
+    /** Device capacity in bytes. */
+    std::size_t size() const { return durable_.size(); }
+
+    PmMode mode() const { return config_.mode; }
+
+    const LatencyModel &latency() const { return config_.latency; }
+
+    /** Replace the latency model (benchmark sweeps). */
+    void setLatency(const LatencyModel &model)
+    {
+        config_.latency = model;
+    }
+
+    // --- Data path -----------------------------------------------------
+
+    /** Store @p len bytes from @p src at @p off. Volatile until flushed
+     *  (CacheSim) or immediately durable (Direct). */
+    void write(PmOffset off, const void *src, std::size_t len);
+
+    /** Load @p len bytes at @p off into @p dst, charging read latency. */
+    void read(PmOffset off, void *dst, std::size_t len);
+
+    /** Typed store/load helpers (little-endian on-PM format). */
+    void writeU16(PmOffset off, std::uint16_t v) { write(off, &v, 2); }
+    void writeU32(PmOffset off, std::uint32_t v) { write(off, &v, 4); }
+    void writeU64(PmOffset off, std::uint64_t v) { write(off, &v, 8); }
+
+    std::uint16_t readU16(PmOffset off)
+    {
+        std::uint16_t v;
+        read(off, &v, 2);
+        return v;
+    }
+
+    std::uint32_t readU32(PmOffset off)
+    {
+        std::uint32_t v;
+        read(off, &v, 4);
+        return v;
+    }
+
+    std::uint64_t readU64(PmOffset off)
+    {
+        std::uint64_t v;
+        read(off, &v, 8);
+        return v;
+    }
+
+    /** Fill [off, off+len) with @p byte (a store). */
+    void memset(PmOffset off, std::uint8_t byte, std::size_t len);
+
+    // --- Persistence path ----------------------------------------------
+
+    /** Flush the cache line containing @p off to the durable image. */
+    void clflush(PmOffset off);
+
+    /** clflush every line overlapping [off, off+len). */
+    void flushRange(PmOffset off, std::size_t len);
+
+    /** Store fence: orders prior flushes before later stores. Modelled
+     *  as an accounting event only. */
+    void sfence();
+
+    // --- Crash simulation ----------------------------------------------
+
+    /** Simulate power failure per the configured CrashPolicy
+     *  (CacheSim mode only). All unflushed lines are (partially)
+     *  discarded; subsequent access panics until the device image is
+     *  re-opened by a new engine. */
+    void crash();
+
+    /** True once crash() ran (or an injected crash fired). */
+    bool crashed() const { return crashed_; }
+
+    /** Forget the crashed state so a recovery pass may re-open the
+     *  durable image in place. Clears the simulated cache. */
+    void reviveAfterCrash();
+
+    /** Number of dirty (unflushed) lines in the simulated cache. */
+    std::size_t dirtyLineCount() const { return cache_.size(); }
+
+    /** Install @p injector (nullptr to remove). The device consults it
+     *  at every persistence event. */
+    void setCrashInjector(CrashInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** Global persistence-event counter (stores+flushes+fences). */
+    std::uint64_t eventCount() const { return eventCount_; }
+
+    // --- Accounting ----------------------------------------------------
+
+    PmStats &stats() { return stats_; }
+    const PmStats &stats() const { return stats_; }
+
+    /** Attach a per-component tracker (nullptr to detach). */
+    void setPhaseTracker(PhaseTracker *tracker) { tracker_ = tracker; }
+
+    PhaseTracker *phaseTracker() const { return tracker_; }
+
+    /** Forget which lines the simulated CPU cache holds, so the next
+     *  read of every line is a miss (used between benchmark phases). */
+    void invalidateTagCache();
+
+    // --- Test-only inspection -------------------------------------------
+
+    /** Direct pointer to the durable image (what survives a crash).
+     *  Reading through this performs no accounting; tests only. */
+    const std::uint8_t *durableData() const { return durable_.data(); }
+
+    /** Read @p len bytes of the durable image without accounting or the
+     *  cache overlay; tests only. */
+    void readDurable(PmOffset off, void *dst, std::size_t len) const;
+
+  private:
+    using LineBuf = std::array<std::uint8_t, kCacheLineSize>;
+
+    void raiseEvent(PmEvent event);
+    void chargeReadLatency(PmOffset off, std::size_t len);
+    void checkRange(PmOffset off, std::size_t len) const;
+    void checkAlive() const;
+
+    /** Find-or-create the dirty-cache line holding @p line_base. */
+    LineBuf &cacheLineFor(PmOffset line_base);
+
+    PmConfig config_;
+    std::vector<std::uint8_t> durable_;
+
+    /** Simulated CPU cache: dirty lines only (CacheSim mode). */
+    std::unordered_map<PmOffset, LineBuf> cache_;
+
+    /** Direct-mapped tag array for read-latency charging. Entry value is
+     *  line_base + 1 (0 = empty). */
+    std::vector<PmOffset> tags_;
+    std::size_t tagMask_;
+
+    PmStats stats_;
+    PhaseTracker *tracker_ = nullptr;
+    CrashInjector *injector_ = nullptr;
+    std::uint64_t eventCount_ = 0;
+    bool crashed_ = false;
+    std::unique_ptr<Rng> crashRng_;
+};
+
+} // namespace fasp::pm
+
+#endif // FASP_PM_DEVICE_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Persistent-memory latency model.
+ *
+ * Mirrors the paper's Quartz-based emulation rules (Section 5):
+ *  - PM write latency is charged once per clflush instruction (store
+ *    instructions are free: the CPU cache hides them);
+ *  - PM read latency is charged per cache-line miss through a simulated
+ *    CPU-side cache (Quartz charges per LLC miss epoch);
+ *  - DRAM accesses cost only real wall time.
+ *
+ * Latencies are charged into a deterministic model-time accumulator
+ * instead of busy-wait spinning, so figures are reproducible.
+ */
+
+#ifndef FASP_PM_LATENCY_H
+#define FASP_PM_LATENCY_H
+
+#include <cstdint>
+
+namespace fasp::pm {
+
+/** Latency parameters in nanoseconds. */
+struct LatencyModel
+{
+    /** Local DRAM access latency (the paper's testbed measures 120 ns). */
+    std::uint64_t dramReadNs = 120;
+
+    /** PM read latency charged per simulated-cache miss. */
+    std::uint64_t pmReadNs = 300;
+
+    /** PM write latency charged per clflush. */
+    std::uint64_t pmWriteNs = 300;
+
+    /** Cost of a memory fence (not charged by the paper; default 0). */
+    std::uint64_t fenceNs = 0;
+
+    /** Extra PM read cost over DRAM, charged on a miss. */
+    std::uint64_t readPenaltyNs() const
+    {
+        return pmReadNs > dramReadNs ? pmReadNs - dramReadNs : 0;
+    }
+
+    /** Model with read/write latency @p read / @p write ns. */
+    static LatencyModel of(std::uint64_t read, std::uint64_t write)
+    {
+        LatencyModel m;
+        m.pmReadNs = read;
+        m.pmWriteNs = write;
+        return m;
+    }
+
+    /** DRAM-speed PM (the paper's 120/120 baseline point). */
+    static LatencyModel dramSpeed() { return of(120, 120); }
+};
+
+} // namespace fasp::pm
+
+#endif // FASP_PM_LATENCY_H

@@ -1,0 +1,138 @@
+#include "pm/phase.h"
+
+#include "common/logging.h"
+
+namespace fasp::pm {
+
+const char *
+componentName(Component comp)
+{
+    switch (comp) {
+      case Component::None: return "none";
+      case Component::Search: return "search";
+      case Component::VolatileCopy: return "volatile-buffer-caching";
+      case Component::InPlaceInsert: return "in-place-record-insert";
+      case Component::UpdateSlotHeader: return "update-slot-header";
+      case Component::FlushRecord: return "clflush(record)";
+      case Component::Defrag: return "defragment(page)";
+      case Component::NvwalCompute: return "nvwal-computation";
+      case Component::HeapMgmt: return "heap-management";
+      case Component::LogFlush: return "log-flush";
+      case Component::WalIndex: return "wal-index";
+      case Component::Checkpoint: return "checkpointing";
+      case Component::Atomic64BWrite: return "atomic-64B-write";
+      case Component::CommitMisc: return "misc";
+      case Component::Recovery: return "recovery";
+      case Component::SqlFrontend: return "sql-frontend";
+      case Component::NumComponents: break;
+    }
+    return "?";
+}
+
+PhaseTracker::PhaseTracker()
+{
+    reset();
+}
+
+void
+PhaseTracker::reset()
+{
+    stack_.fill(Component::None);
+    depth_ = 0;
+    lastMark_ = Clock::now();
+    wallNs_.fill(0);
+    modelNs_.fill(0);
+    flushes_.fill(0);
+    fences_.fill(0);
+    readMisses_.fill(0);
+    scopes_.fill(0);
+}
+
+void
+PhaseTracker::settle()
+{
+    auto now = Clock::now();
+    auto delta = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        now - lastMark_).count();
+    wallNs_[topIndex()] += static_cast<std::uint64_t>(delta);
+    lastMark_ = now;
+}
+
+void
+PhaseTracker::push(Component comp)
+{
+    FASP_ASSERT(depth_ + 1 < kMaxDepth);
+    settle();
+    stack_[++depth_] = comp;
+    scopes_[static_cast<std::size_t>(comp)]++;
+}
+
+void
+PhaseTracker::pop()
+{
+    FASP_ASSERT(depth_ > 0);
+    settle();
+    --depth_;
+}
+
+std::uint64_t
+PhaseTracker::wallNs(Component comp) const
+{
+    return wallNs_[static_cast<std::size_t>(comp)];
+}
+
+std::uint64_t
+PhaseTracker::modelNs(Component comp) const
+{
+    return modelNs_[static_cast<std::size_t>(comp)];
+}
+
+std::uint64_t
+PhaseTracker::totalNs(Component comp) const
+{
+    return wallNs(comp) + modelNs(comp);
+}
+
+std::uint64_t
+PhaseTracker::flushCount(Component comp) const
+{
+    return flushes_[static_cast<std::size_t>(comp)];
+}
+
+std::uint64_t
+PhaseTracker::fenceCount(Component comp) const
+{
+    return fences_[static_cast<std::size_t>(comp)];
+}
+
+std::uint64_t
+PhaseTracker::readMissCount(Component comp) const
+{
+    return readMisses_[static_cast<std::size_t>(comp)];
+}
+
+std::uint64_t
+PhaseTracker::scopeCount(Component comp) const
+{
+    return scopes_[static_cast<std::size_t>(comp)];
+}
+
+std::uint64_t
+PhaseTracker::grandTotalNs() const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t i = 1; i < kNumComponents; ++i)
+        sum += wallNs_[i] + modelNs_[i];
+    return sum;
+}
+
+std::uint64_t
+PhaseTracker::grandTotalFlushes() const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kNumComponents; ++i)
+        sum += flushes_[i];
+    return sum;
+}
+
+} // namespace fasp::pm

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Execution-phase accounting used to reproduce the paper's breakdown
+ * figures (Figures 6, 7, and 8).
+ *
+ * Code regions are tagged with a Component via RAII PhaseScope objects.
+ * Each component accumulates (a) exclusive wall-clock compute time and
+ * (b) modelled PM latency charged by the device while the component is
+ * active, plus event counters (clflush / fence / read-miss counts).
+ */
+
+#ifndef FASP_PM_PHASE_H
+#define FASP_PM_PHASE_H
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace fasp::pm {
+
+/**
+ * Fine-grained cost components. The bench layer groups these into the
+ * paper's Search / Page Update / Commit stacks.
+ */
+enum class Component : std::uint8_t {
+    None = 0,        //!< untagged execution
+    Search,          //!< B-tree root-to-leaf traversal (Fig. 6)
+    // --- Page Update sub-components (Fig. 7) ---
+    VolatileCopy,    //!< NVWAL: updating the volatile buffer-cache copy
+    InPlaceInsert,   //!< FAST/FASH: in-place record store into free space
+    UpdateSlotHeader,//!< building/copying the new slot header (volatile)
+    FlushRecord,     //!< clflush of in-place record bytes
+    Defrag,          //!< on-demand page defragmentation
+    // --- Commit sub-components (Fig. 8) ---
+    NvwalCompute,    //!< NVWAL differential-log computation
+    HeapMgmt,        //!< NVWAL persistent heap manager (pmalloc/pfree)
+    LogFlush,        //!< flushing log / WAL frames + commit mark
+    WalIndex,        //!< NVWAL volatile WAL-index construction
+    Checkpoint,      //!< eager checkpoint of slot-header log entries
+    Atomic64BWrite,  //!< FAST in-place commit (RTM + header-line flush)
+    CommitMisc,      //!< other commit-path bookkeeping
+    // --- Not part of insert breakdown ---
+    Recovery,        //!< post-crash log scan and replay
+    SqlFrontend,     //!< SQL parse/plan time (Figs. 11-12)
+    NumComponents,
+};
+
+/** Short printable name of a component. */
+const char *componentName(Component comp);
+
+/**
+ * Per-component accumulator. One tracker per engine/benchmark run; not
+ * thread-safe (the paper's workload is single-threaded SQLite).
+ */
+class PhaseTracker
+{
+  public:
+    static constexpr std::size_t kNumComponents =
+        static_cast<std::size_t>(Component::NumComponents);
+
+    PhaseTracker();
+
+    /** Reset all accumulators. */
+    void reset();
+
+    /** Enter @p comp; pairs with pop(). Prefer PhaseScope. */
+    void push(Component comp);
+
+    /** Leave the current component. */
+    void pop();
+
+    /** Component currently on top of the stack. */
+    Component current() const { return stack_[depth_]; }
+
+    /** Charge @p ns of modelled PM latency to the current component. */
+    void addModelNs(std::uint64_t ns) { modelNs_[topIndex()] += ns; }
+
+    /** Count one clflush against the current component. */
+    void countFlush() { ++flushes_[topIndex()]; }
+
+    /** Count one fence against the current component. */
+    void countFence() { ++fences_[topIndex()]; }
+
+    /** Count one simulated read miss against the current component. */
+    void countReadMiss() { ++readMisses_[topIndex()]; }
+
+    /** Exclusive wall time spent in @p comp, nanoseconds. */
+    std::uint64_t wallNs(Component comp) const;
+
+    /** Modelled PM delay charged while @p comp was active, nanoseconds. */
+    std::uint64_t modelNs(Component comp) const;
+
+    /** wallNs + modelNs: the reported figure time for @p comp. */
+    std::uint64_t totalNs(Component comp) const;
+
+    /** clflush count attributed to @p comp. */
+    std::uint64_t flushCount(Component comp) const;
+
+    /** fence count attributed to @p comp. */
+    std::uint64_t fenceCount(Component comp) const;
+
+    /** read-miss count attributed to @p comp. */
+    std::uint64_t readMissCount(Component comp) const;
+
+    /** Number of times a scope for @p comp was entered. */
+    std::uint64_t scopeCount(Component comp) const;
+
+    /** Sum of totalNs over every component. */
+    std::uint64_t grandTotalNs() const;
+
+    /** Sum of flush counts over every component. */
+    std::uint64_t grandTotalFlushes() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    std::size_t topIndex() const
+    {
+        return static_cast<std::size_t>(stack_[depth_]);
+    }
+
+    /** Charge wall time since lastMark_ to the current component. */
+    void settle();
+
+    static constexpr std::size_t kMaxDepth = 16;
+
+    std::array<Component, kMaxDepth> stack_;
+    std::size_t depth_;
+    Clock::time_point lastMark_;
+
+    std::array<std::uint64_t, kNumComponents> wallNs_;
+    std::array<std::uint64_t, kNumComponents> modelNs_;
+    std::array<std::uint64_t, kNumComponents> flushes_;
+    std::array<std::uint64_t, kNumComponents> fences_;
+    std::array<std::uint64_t, kNumComponents> readMisses_;
+    std::array<std::uint64_t, kNumComponents> scopes_;
+};
+
+/**
+ * RAII tag for a code region. Null tracker means accounting disabled.
+ */
+class PhaseScope
+{
+  public:
+    PhaseScope(PhaseTracker *tracker, Component comp) : tracker_(tracker)
+    {
+        if (tracker_)
+            tracker_->push(comp);
+    }
+
+    ~PhaseScope()
+    {
+        if (tracker_)
+            tracker_->pop();
+    }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+  private:
+    PhaseTracker *tracker_;
+};
+
+} // namespace fasp::pm
+
+#endif // FASP_PM_PHASE_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Raw operation counters for a PM device.
+ */
+
+#ifndef FASP_PM_STATS_H
+#define FASP_PM_STATS_H
+
+#include <cstdint>
+
+namespace fasp::pm {
+
+/**
+ * Monotonic counters of every operation the device performed. These feed
+ * the write-amplification table and Figure 9b (clflush counts).
+ */
+struct PmStats
+{
+    std::uint64_t stores = 0;      //!< store operations to PM
+    std::uint64_t storeBytes = 0;  //!< bytes stored to PM
+    std::uint64_t loads = 0;       //!< load operations from PM
+    std::uint64_t loadBytes = 0;   //!< bytes loaded from PM
+    std::uint64_t clflushes = 0;   //!< cache-line flushes issued
+    std::uint64_t fences = 0;      //!< memory fences issued
+    std::uint64_t readMisses = 0;  //!< simulated CPU-cache read misses
+    std::uint64_t modelNs = 0;     //!< total modelled PM latency charged
+
+    void reset() { *this = PmStats{}; }
+
+    /** Element-wise difference (for measuring an interval). */
+    PmStats since(const PmStats &base) const
+    {
+        PmStats d;
+        d.stores = stores - base.stores;
+        d.storeBytes = storeBytes - base.storeBytes;
+        d.loads = loads - base.loads;
+        d.loadBytes = loadBytes - base.loadBytes;
+        d.clflushes = clflushes - base.clflushes;
+        d.fences = fences - base.fences;
+        d.readMisses = readMisses - base.readMisses;
+        d.modelNs = modelNs - base.modelNs;
+        return d;
+    }
+};
+
+} // namespace fasp::pm
+
+#endif // FASP_PM_STATS_H

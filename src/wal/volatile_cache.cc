@@ -1,0 +1,140 @@
+#include "wal/volatile_cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fasp::wal {
+
+VolatileCache::VolatileCache(std::size_t page_size,
+                             std::size_t capacity_pages, Fetcher fetcher)
+    : pageSize_(page_size), capacity_(capacity_pages),
+      fetcher_(std::move(fetcher))
+{
+    FASP_ASSERT(capacity_ > 0);
+}
+
+CachedPage &
+VolatileCache::get(PageId pid)
+{
+    auto it = pages_.find(pid);
+    if (it != pages_.end()) {
+        hits_++;
+        it->second.lruTick = ++tick_;
+        return it->second;
+    }
+    misses_++;
+    maybeEvict();
+    CachedPage &page = pages_[pid];
+    page.data.resize(pageSize_);
+    fetcher_(pid, page.data);
+    page.clean = page.data;
+    page.lruTick = ++tick_;
+    return page;
+}
+
+CachedPage *
+VolatileCache::find(PageId pid)
+{
+    auto it = pages_.find(pid);
+    if (it == pages_.end())
+        return nullptr;
+    it->second.lruTick = ++tick_;
+    return &it->second;
+}
+
+CachedPage &
+VolatileCache::installFresh(PageId pid)
+{
+    maybeEvict();
+    CachedPage &page = pages_[pid];
+    page.data.assign(pageSize_, 0);
+    page.clean.assign(pageSize_, 0);
+    page.lruTick = ++tick_;
+    return page;
+}
+
+void
+VolatileCache::markDirty(PageId pid)
+{
+    auto it = pages_.find(pid);
+    FASP_ASSERT(it != pages_.end());
+    it->second.dirty = true;
+}
+
+void
+VolatileCache::pin(PageId pid)
+{
+    auto it = pages_.find(pid);
+    FASP_ASSERT(it != pages_.end());
+    it->second.pinned = true;
+}
+
+void
+VolatileCache::unpinAll()
+{
+    for (auto &[pid, page] : pages_)
+        page.pinned = false;
+}
+
+std::vector<PageId>
+VolatileCache::dirtyPages() const
+{
+    std::vector<PageId> out;
+    for (const auto &[pid, page] : pages_) {
+        if (page.dirty)
+            out.push_back(pid);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+VolatileCache::commitPage(PageId pid)
+{
+    auto it = pages_.find(pid);
+    FASP_ASSERT(it != pages_.end());
+    it->second.clean = it->second.data;
+    it->second.dirty = false;
+}
+
+void
+VolatileCache::rollbackPage(PageId pid)
+{
+    auto it = pages_.find(pid);
+    FASP_ASSERT(it != pages_.end());
+    it->second.data = it->second.clean;
+    it->second.dirty = false;
+}
+
+void
+VolatileCache::drop(PageId pid)
+{
+    pages_.erase(pid);
+}
+
+void
+VolatileCache::clear()
+{
+    pages_.clear();
+}
+
+void
+VolatileCache::maybeEvict()
+{
+    if (pages_.size() < capacity_)
+        return;
+    // Evict the least-recently-used clean unpinned page.
+    PageId victim = kInvalidPageId;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (const auto &[pid, page] : pages_) {
+        if (!page.dirty && !page.pinned && page.lruTick < oldest) {
+            oldest = page.lruTick;
+            victim = pid;
+        }
+    }
+    if (victim != kInvalidPageId)
+        pages_.erase(victim);
+}
+
+} // namespace fasp::wal

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * VolatileCache: the DRAM buffer cache used by the baseline engines
+ * (NVWAL, rollback journal, legacy WAL).
+ *
+ * The paper's key observation is that this cache forces redundant
+ * copies: every transaction updates a volatile copy first and persists
+ * it again at commit. The FAST/FASH engines do not use this class at
+ * all — their buffer cache *is* persistent memory.
+ *
+ * Each cached page keeps two images: `data` (the working copy the
+ * transaction mutates) and `clean` (a snapshot as of the last commit),
+ * which NVWAL's differential logging diffs against and which rollback
+ * restores.
+ */
+
+#ifndef FASP_WAL_VOLATILE_CACHE_H
+#define FASP_WAL_VOLATILE_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fasp::wal {
+
+/** One cached page: working copy + clean snapshot. */
+struct CachedPage
+{
+    std::vector<std::uint8_t> data;  //!< working copy (tx mutations)
+    std::vector<std::uint8_t> clean; //!< snapshot at last commit
+    bool dirty = false;
+    bool pinned = false;             //!< referenced by the live tx
+    std::uint64_t lruTick = 0;
+};
+
+/**
+ * LRU page cache with a miss-fetch callback.
+ */
+class VolatileCache
+{
+  public:
+    /** Fills a page buffer from durable state on a cache miss. */
+    using Fetcher =
+        std::function<void(PageId, std::vector<std::uint8_t> &)>;
+
+    /**
+     * @param page_size page size in bytes
+     * @param capacity_pages eviction threshold (clean pages only are
+     *        evicted; dirty pages pin themselves until commit)
+     * @param fetcher durable-state reader for misses
+     */
+    VolatileCache(std::size_t page_size, std::size_t capacity_pages,
+                  Fetcher fetcher);
+
+    /** Get (fetching on miss) the cached page for @p pid. */
+    CachedPage &get(PageId pid);
+
+    /** Get without fetching; nullptr if absent. */
+    CachedPage *find(PageId pid);
+
+    /** Create a zeroed cache entry for a freshly allocated page (no
+     *  durable base image to fetch). */
+    CachedPage &installFresh(PageId pid);
+
+    /** Mark @p pid dirty (pins it until commitPage/rollbackPage). */
+    void markDirty(PageId pid);
+
+    /** Pin @p pid for the duration of the running transaction so the
+     *  PageIO views handed to the B-tree stay valid. */
+    void pin(PageId pid);
+
+    /** Release every pin (transaction end). */
+    void unpinAll();
+
+    /** All currently dirty page ids (sorted, deterministic). */
+    std::vector<PageId> dirtyPages() const;
+
+    /** Promote the working copy to the clean snapshot; clears dirty. */
+    void commitPage(PageId pid);
+
+    /** Restore the working copy from the clean snapshot. */
+    void rollbackPage(PageId pid);
+
+    /** Drop a page from the cache entirely. */
+    void drop(PageId pid);
+
+    /** Drop everything (crash simulation: DRAM contents vanish). */
+    void clear();
+
+    std::size_t size() const { return pages_.size(); }
+    std::size_t pageSize() const { return pageSize_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    void maybeEvict();
+
+    std::size_t pageSize_;
+    std::size_t capacity_;
+    Fetcher fetcher_;
+    std::unordered_map<PageId, CachedPage> pages_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace fasp::wal
+
+#endif // FASP_WAL_VOLATILE_CACHE_H

@@ -1,0 +1,84 @@
+#include "workload/workload.h"
+
+#include "common/logging.h"
+
+namespace fasp::workload {
+
+KeyStream::KeyStream(KeyPattern pattern, std::uint64_t seed,
+                     std::uint64_t population)
+    : pattern_(pattern), rng_(seed), zipf_(population, 0.99)
+{}
+
+std::uint64_t
+KeyStream::next()
+{
+    switch (pattern_) {
+      case KeyPattern::Sequential:
+        return ++counter_;
+      case KeyPattern::UniformRandom:
+        // Avoid 0 so tests can use it as a sentinel.
+        return rng_.next() | 1;
+      case KeyPattern::Zipfian:
+        return zipf_.next(rng_) + 1;
+    }
+    faspPanic("bad key pattern");
+}
+
+ValueGen
+ValueGen::fixed(std::size_t size, std::uint64_t seed)
+{
+    return ValueGen(size, size, seed);
+}
+
+ValueGen
+ValueGen::uniform(std::size_t lo, std::size_t hi, std::uint64_t seed)
+{
+    FASP_ASSERT(lo <= hi);
+    return ValueGen(lo, hi, seed);
+}
+
+void
+ValueGen::next(std::vector<std::uint8_t> &out)
+{
+    std::size_t size =
+        lo_ == hi_ ? lo_ : rng_.nextInRange(lo_, hi_);
+    out.resize(size);
+    rng_.fillBytes(out.data(), out.size());
+}
+
+MixedWorkload::MixedWorkload(Mix mix, std::uint64_t seed)
+    : mix_(mix), rng_(seed)
+{
+    FASP_ASSERT(mix.insertPct + mix.updatePct + mix.deletePct <= 100);
+}
+
+std::uint64_t
+MixedWorkload::freshKey()
+{
+    // Keep keys within the positive int64 range so they survive a
+    // round trip through SQL integer literals.
+    return (rng_.next() >> 1) | 1;
+}
+
+Op
+MixedWorkload::next()
+{
+    std::uint64_t dice = rng_.nextBounded(100);
+    if (live_.empty() || dice < mix_.insertPct) {
+        std::uint64_t key = freshKey();
+        live_.push_back(key);
+        return Op{OpType::Insert, key};
+    }
+    std::size_t pick = rng_.nextBounded(live_.size());
+    if (dice < mix_.insertPct + mix_.updatePct)
+        return Op{OpType::Update, live_[pick]};
+    if (dice < mix_.insertPct + mix_.updatePct + mix_.deletePct) {
+        std::uint64_t key = live_[pick];
+        live_[pick] = live_.back();
+        live_.pop_back();
+        return Op{OpType::Delete, key};
+    }
+    return Op{OpType::Lookup, live_[pick]};
+}
+
+} // namespace fasp::workload

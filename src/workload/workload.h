@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Workload generators reproducing the paper's experimental setups:
+ * randomly-keyed single-record INSERT transactions (Section 5's main
+ * workload), record-size sweeps (Figure 9), multi-record transactions
+ * (Figure 10), and Mobibench-style mobile op mixes (Figures 11-12).
+ */
+
+#ifndef FASP_WORKLOAD_WORKLOAD_H
+#define FASP_WORKLOAD_WORKLOAD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fasp::workload {
+
+/** Key-sequence shapes. */
+enum class KeyPattern : std::uint8_t {
+    Sequential,    //!< 1, 2, 3, ... (append-heavy; B-tree right edge)
+    UniformRandom, //!< uniform 64-bit keys (the paper's default)
+    Zipfian,       //!< skewed over a fixed population
+};
+
+/**
+ * Deterministic key stream. UniformRandom keys are effectively unique
+ * (64-bit space); Zipfian draws ranks over [1, population].
+ */
+class KeyStream
+{
+  public:
+    KeyStream(KeyPattern pattern, std::uint64_t seed,
+              std::uint64_t population = 1u << 20);
+
+    std::uint64_t next();
+
+  private:
+    KeyPattern pattern_;
+    Rng rng_;
+    std::uint64_t counter_ = 0;
+    ZipfGenerator zipf_;
+};
+
+/** Record-size distributions (Figure 9 sweeps the fixed size). */
+class ValueGen
+{
+  public:
+    /** Fixed @p size bytes per value. */
+    static ValueGen fixed(std::size_t size, std::uint64_t seed = 11);
+
+    /** Uniform size in [lo, hi]. */
+    static ValueGen uniform(std::size_t lo, std::size_t hi,
+                            std::uint64_t seed = 11);
+
+    /** Produce the next value into @p out. */
+    void next(std::vector<std::uint8_t> &out);
+
+    std::size_t maxSize() const { return hi_; }
+
+  private:
+    ValueGen(std::size_t lo, std::size_t hi, std::uint64_t seed)
+        : lo_(lo), hi_(hi), rng_(seed)
+    {}
+
+    std::size_t lo_;
+    std::size_t hi_;
+    Rng rng_;
+};
+
+/** Operation types of the mixed (Mobibench-style) workload. */
+enum class OpType : std::uint8_t { Insert, Update, Delete, Lookup };
+
+/** One generated operation. */
+struct Op
+{
+    OpType type;
+    std::uint64_t key;
+};
+
+/**
+ * Mixed-operation generator that tracks the live key set so updates,
+ * deletes, and lookups always target existing keys (as Mobibench's
+ * SQLite workloads do).
+ */
+class MixedWorkload
+{
+  public:
+    /** Percentages must sum to <= 100; the remainder are lookups. */
+    struct Mix
+    {
+        unsigned insertPct = 50;
+        unsigned updatePct = 20;
+        unsigned deletePct = 10;
+    };
+
+    MixedWorkload(Mix mix, std::uint64_t seed);
+
+    /** Generate the next operation (inserts when the table is empty). */
+    Op next();
+
+    std::size_t liveKeys() const { return live_.size(); }
+
+  private:
+    std::uint64_t freshKey();
+
+    Mix mix_;
+    Rng rng_;
+    std::vector<std::uint64_t> live_;
+};
+
+} // namespace fasp::workload
+
+#endif // FASP_WORKLOAD_WORKLOAD_H

@@ -1,0 +1,498 @@
+/**
+ * @file
+ * B-tree unit and property tests over a minimal in-memory TxPageIO
+ * (no engine, no PM): splits, defragmentation, overflow chains, scans,
+ * and a randomized workload checked against std::map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fasp::btree {
+namespace {
+
+/** Plain-memory TxPageIO: pages are heap buffers, allocation is a
+ *  bump counter, reclaims apply immediately. */
+class MemTxPageIO : public TxPageIO
+{
+  public:
+    explicit MemTxPageIO(std::size_t page_size, std::uint16_t leaf_cap = 0)
+        : pageSize_(page_size), leafCap_(leaf_cap)
+    {
+        // Page 0 plays superblock, page 1 is the directory.
+        pages_[0] = std::make_unique<Page>(pageSize_);
+        pages_[1] = std::make_unique<Page>(pageSize_);
+        page::init(*pages_[1]->io, page::PageType::Leaf, 0);
+        next_ = 2;
+    }
+
+    std::size_t pageSize() const override { return pageSize_; }
+
+    page::PageIO &page(PageId pid, bool) override
+    {
+        auto it = pages_.find(pid);
+        if (it == pages_.end())
+            faspPanic("access to unallocated page %u", pid);
+        return *it->second->io;
+    }
+
+    Result<PageId> allocPage() override
+    {
+        PageId pid = next_++;
+        pages_[pid] = std::make_unique<Page>(pageSize_);
+        allocated_++;
+        return pid;
+    }
+
+    void freePage(PageId pid) override
+    {
+        pages_.erase(pid);
+        freed_++;
+    }
+
+    void deferReclaim(PageId pid, const page::RecordRef &ref) override
+    {
+        page::reclaimExtent(page(pid, true), ref);
+    }
+
+    PageId directoryPid() const override { return 1; }
+
+    std::uint16_t maxLeafSlots() const override { return leafCap_; }
+
+    std::size_t livePages() const { return pages_.size(); }
+    std::uint64_t allocated() const { return allocated_; }
+    std::uint64_t freed() const { return freed_; }
+
+  private:
+    struct Page
+    {
+        explicit Page(std::size_t size)
+            : bytes(size, 0),
+              io(std::make_unique<page::BufferPageIO>(bytes.data(),
+                                                      size))
+        {}
+
+        std::vector<std::uint8_t> bytes;
+        std::unique_ptr<page::BufferPageIO> io;
+    };
+
+    std::size_t pageSize_;
+    std::uint16_t leafCap_;
+    std::unordered_map<PageId, std::unique_ptr<Page>> pages_;
+    PageId next_;
+    std::uint64_t allocated_ = 0;
+    std::uint64_t freed_ = 0;
+};
+
+std::vector<std::uint8_t>
+value(std::uint64_t seed, std::size_t len)
+{
+    std::vector<std::uint8_t> out(len);
+    Rng rng(seed);
+    rng.fillBytes(out.data(), out.size());
+    return out;
+}
+
+class BTreeTest : public ::testing::Test
+{
+  protected:
+    BTreeTest() : io_(4096) {}
+
+    BTree makeTree(TreeId id = 7)
+    {
+        auto tree = BTree::create(io_, id);
+        EXPECT_TRUE(tree.isOk());
+        return *tree;
+    }
+
+    MemTxPageIO io_;
+};
+
+TEST_F(BTreeTest, CreateOpenDuplicate)
+{
+    auto created = BTree::create(io_, 3);
+    ASSERT_TRUE(created.isOk());
+    EXPECT_TRUE(BTree::open(io_, 3).isOk());
+    EXPECT_EQ(BTree::create(io_, 3).status().code(),
+              StatusCode::AlreadyExists);
+    EXPECT_EQ(BTree::open(io_, 99).status().code(),
+              StatusCode::NotFound);
+}
+
+TEST_F(BTreeTest, InsertGetRoundTrip)
+{
+    BTree tree = makeTree();
+    auto v = value(1, 32);
+    ASSERT_TRUE(
+        tree.insert(io_, 42, std::span<const std::uint8_t>(v)).isOk());
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(tree.get(io_, 42, out).isOk());
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(tree.get(io_, 43, out).code(), StatusCode::NotFound);
+}
+
+TEST_F(BTreeTest, DuplicateInsertRejected)
+{
+    BTree tree = makeTree();
+    auto v = value(1, 8);
+    ASSERT_TRUE(
+        tree.insert(io_, 1, std::span<const std::uint8_t>(v)).isOk());
+    EXPECT_EQ(
+        tree.insert(io_, 1, std::span<const std::uint8_t>(v)).code(),
+        StatusCode::AlreadyExists);
+}
+
+TEST_F(BTreeTest, ManyInsertsForceSplits)
+{
+    BTree tree = makeTree();
+    Rng rng(11);
+    std::map<std::uint64_t, std::uint8_t> model;
+    for (int i = 0; i < 3000; ++i) {
+        std::uint64_t key = rng.next();
+        if (model.count(key))
+            continue;
+        auto v = value(key, 24);
+        ASSERT_TRUE(
+            tree.insert(io_, key, std::span<const std::uint8_t>(v))
+                .isOk());
+        model[key] = 1;
+    }
+    auto stats = tree.stats(io_);
+    ASSERT_TRUE(stats.isOk());
+    EXPECT_EQ(stats->records, model.size());
+    EXPECT_GT(stats->leafPages, 1u) << "splits must have happened";
+    EXPECT_GE(stats->depth, 2u);
+    EXPECT_TRUE(tree.checkIntegrity(io_).isOk());
+
+    // Every key is still reachable.
+    std::vector<std::uint8_t> out;
+    for (const auto &[key, _] : model)
+        EXPECT_TRUE(tree.get(io_, key, out).isOk()) << key;
+}
+
+TEST_F(BTreeTest, SequentialInsertAscending)
+{
+    BTree tree = makeTree();
+    for (std::uint64_t key = 1; key <= 2000; ++key) {
+        auto v = value(key, 16);
+        Status status =
+            tree.insert(io_, key, std::span<const std::uint8_t>(v));
+        ASSERT_TRUE(status.isOk())
+            << "key " << key << ": " << status.toString();
+    }
+    EXPECT_TRUE(tree.checkIntegrity(io_).isOk());
+    auto n = tree.count(io_);
+    ASSERT_TRUE(n.isOk());
+    EXPECT_EQ(*n, 2000u);
+}
+
+TEST_F(BTreeTest, SequentialInsertDescending)
+{
+    BTree tree = makeTree();
+    for (std::uint64_t key = 2000; key >= 1; --key) {
+        auto v = value(key, 16);
+        ASSERT_TRUE(
+            tree.insert(io_, key, std::span<const std::uint8_t>(v))
+                .isOk());
+    }
+    EXPECT_TRUE(tree.checkIntegrity(io_).isOk());
+    auto n = tree.count(io_);
+    ASSERT_TRUE(n.isOk());
+    EXPECT_EQ(*n, 2000u);
+}
+
+TEST_F(BTreeTest, UpdateChangesValueAndSize)
+{
+    BTree tree = makeTree();
+    auto v1 = value(1, 16);
+    ASSERT_TRUE(
+        tree.insert(io_, 5, std::span<const std::uint8_t>(v1)).isOk());
+    auto v2 = value(2, 200); // grows
+    ASSERT_TRUE(
+        tree.update(io_, 5, std::span<const std::uint8_t>(v2)).isOk());
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(tree.get(io_, 5, out).isOk());
+    EXPECT_EQ(out, v2);
+    auto v3 = value(3, 4); // shrinks
+    ASSERT_TRUE(
+        tree.update(io_, 5, std::span<const std::uint8_t>(v3)).isOk());
+    ASSERT_TRUE(tree.get(io_, 5, out).isOk());
+    EXPECT_EQ(out, v3);
+    EXPECT_EQ(
+        tree.update(io_, 6, std::span<const std::uint8_t>(v3)).code(),
+        StatusCode::NotFound);
+}
+
+TEST_F(BTreeTest, EraseRemoves)
+{
+    BTree tree = makeTree();
+    for (std::uint64_t key = 1; key <= 100; ++key) {
+        auto v = value(key, 16);
+        ASSERT_TRUE(
+            tree.insert(io_, key, std::span<const std::uint8_t>(v))
+                .isOk());
+    }
+    for (std::uint64_t key = 2; key <= 100; key += 2)
+        ASSERT_TRUE(tree.erase(io_, key).isOk());
+    EXPECT_EQ(tree.erase(io_, 2).code(), StatusCode::NotFound);
+    auto n = tree.count(io_);
+    ASSERT_TRUE(n.isOk());
+    EXPECT_EQ(*n, 50u);
+    std::vector<std::uint8_t> out;
+    EXPECT_TRUE(tree.get(io_, 1, out).isOk());
+    EXPECT_EQ(tree.get(io_, 2, out).code(), StatusCode::NotFound);
+    EXPECT_TRUE(tree.checkIntegrity(io_).isOk());
+}
+
+TEST_F(BTreeTest, OverflowValuesRoundTrip)
+{
+    BTree tree = makeTree();
+    // Far above maxInlineValue(4096) == 1024: spans multiple pages.
+    auto big = value(9, 10000);
+    ASSERT_TRUE(
+        tree.insert(io_, 1, std::span<const std::uint8_t>(big)).isOk());
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(tree.get(io_, 1, out).isOk());
+    EXPECT_EQ(out, big);
+
+    auto stats = tree.stats(io_);
+    ASSERT_TRUE(stats.isOk());
+    EXPECT_GE(stats->overflowPages, 3u);
+    EXPECT_TRUE(tree.checkIntegrity(io_).isOk());
+}
+
+TEST_F(BTreeTest, OverflowChainFreedOnUpdateAndErase)
+{
+    BTree tree = makeTree();
+    auto big = value(9, 9000);
+    ASSERT_TRUE(
+        tree.insert(io_, 1, std::span<const std::uint8_t>(big)).isOk());
+    std::uint64_t freed_before = io_.freed();
+    auto small = value(10, 8);
+    ASSERT_TRUE(
+        tree.update(io_, 1, std::span<const std::uint8_t>(small))
+            .isOk());
+    EXPECT_GT(io_.freed(), freed_before)
+        << "old overflow chain must be freed";
+
+    ASSERT_TRUE(
+        tree.update(io_, 1, std::span<const std::uint8_t>(big)).isOk());
+    freed_before = io_.freed();
+    ASSERT_TRUE(tree.erase(io_, 1).isOk());
+    EXPECT_GT(io_.freed(), freed_before);
+}
+
+TEST_F(BTreeTest, ScanRangeInOrder)
+{
+    BTree tree = makeTree();
+    for (std::uint64_t key = 10; key <= 1000; key += 10) {
+        auto v = value(key, 8);
+        ASSERT_TRUE(
+            tree.insert(io_, key, std::span<const std::uint8_t>(v))
+                .isOk());
+    }
+    std::vector<std::uint64_t> seen;
+    ASSERT_TRUE(tree.scan(io_, 95, 305,
+                          [&](std::uint64_t k,
+                              std::span<const std::uint8_t>) {
+                              seen.push_back(k);
+                              return true;
+                          })
+                    .isOk());
+    std::vector<std::uint64_t> expect;
+    for (std::uint64_t k = 100; k <= 300; k += 10)
+        expect.push_back(k);
+    EXPECT_EQ(seen, expect);
+}
+
+TEST_F(BTreeTest, ScanEarlyStop)
+{
+    BTree tree = makeTree();
+    for (std::uint64_t key = 1; key <= 100; ++key) {
+        auto v = value(key, 8);
+        ASSERT_TRUE(
+            tree.insert(io_, key, std::span<const std::uint8_t>(v))
+                .isOk());
+    }
+    int visits = 0;
+    ASSERT_TRUE(tree.scan(io_, 1, 100,
+                          [&](std::uint64_t,
+                              std::span<const std::uint8_t>) {
+                              return ++visits < 5;
+                          })
+                    .isOk());
+    EXPECT_EQ(visits, 5);
+}
+
+TEST_F(BTreeTest, LowerBoundKey)
+{
+    BTree tree = makeTree();
+    for (std::uint64_t key : {10u, 20u, 30u}) {
+        auto v = value(key, 8);
+        ASSERT_TRUE(
+            tree.insert(io_, key, std::span<const std::uint8_t>(v))
+                .isOk());
+    }
+    auto lb = tree.lowerBoundKey(io_, 15);
+    ASSERT_TRUE(lb.isOk());
+    EXPECT_EQ(*lb, 20u);
+    lb = tree.lowerBoundKey(io_, 20);
+    ASSERT_TRUE(lb.isOk());
+    EXPECT_EQ(*lb, 20u);
+    EXPECT_EQ(tree.lowerBoundKey(io_, 31).status().code(),
+              StatusCode::NotFound);
+}
+
+TEST_F(BTreeTest, DropFreesEverything)
+{
+    BTree tree = makeTree();
+    for (std::uint64_t key = 1; key <= 500; ++key) {
+        auto v = value(key, 64);
+        ASSERT_TRUE(
+            tree.insert(io_, key, std::span<const std::uint8_t>(v))
+                .isOk());
+    }
+    auto big = value(1234, 9000);
+    ASSERT_TRUE(tree.insert(io_, 100000,
+                            std::span<const std::uint8_t>(big))
+                    .isOk());
+    ASSERT_TRUE(BTree::drop(io_, tree.id()).isOk());
+    // Only the superblock stand-in and directory remain.
+    EXPECT_EQ(io_.livePages(), 2u);
+    EXPECT_EQ(BTree::open(io_, tree.id()).status().code(),
+              StatusCode::NotFound);
+}
+
+TEST_F(BTreeTest, MultipleTreesAreIndependent)
+{
+    BTree a = makeTree(1);
+    BTree b = makeTree(2);
+    auto va = value(1, 8);
+    auto vb = value(2, 8);
+    ASSERT_TRUE(
+        a.insert(io_, 5, std::span<const std::uint8_t>(va)).isOk());
+    ASSERT_TRUE(
+        b.insert(io_, 5, std::span<const std::uint8_t>(vb)).isOk());
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(a.get(io_, 5, out).isOk());
+    EXPECT_EQ(out, va);
+    ASSERT_TRUE(b.get(io_, 5, out).isOk());
+    EXPECT_EQ(out, vb);
+}
+
+// --- Property test: random workload vs std::map reference -------------------
+
+struct FuzzParams
+{
+    std::uint64_t seed;
+    std::uint16_t leafCap; // 0 = FASH-style, 26 = FAST-style
+    std::size_t maxValue;
+};
+
+class BTreeFuzzTest : public ::testing::TestWithParam<FuzzParams>
+{};
+
+TEST_P(BTreeFuzzTest, MatchesReferenceModel)
+{
+    const FuzzParams &params = GetParam();
+    MemTxPageIO io(4096, params.leafCap);
+    auto tree_res = BTree::create(io, 1);
+    ASSERT_TRUE(tree_res.isOk());
+    BTree tree = *tree_res;
+
+    Rng rng(params.seed);
+    std::map<std::uint64_t, std::vector<std::uint8_t>> model;
+
+    for (int step = 0; step < 4000; ++step) {
+        std::uint64_t key = rng.nextBounded(800); // dense: collisions
+        std::size_t len = rng.nextBounded(params.maxValue) + 1;
+        auto v = value(rng.next(), len);
+        std::uint64_t dice = rng.nextBounded(100);
+
+        if (dice < 50) { // insert
+            Status status =
+                tree.insert(io, key, std::span<const std::uint8_t>(v));
+            if (model.count(key)) {
+                EXPECT_EQ(status.code(), StatusCode::AlreadyExists);
+            } else {
+                ASSERT_TRUE(status.isOk()) << status.toString();
+                model[key] = v;
+            }
+        } else if (dice < 75) { // update
+            Status status =
+                tree.update(io, key, std::span<const std::uint8_t>(v));
+            if (model.count(key)) {
+                ASSERT_TRUE(status.isOk()) << status.toString();
+                model[key] = v;
+            } else {
+                EXPECT_EQ(status.code(), StatusCode::NotFound);
+            }
+        } else if (dice < 90) { // erase
+            Status status = tree.erase(io, key);
+            if (model.count(key)) {
+                ASSERT_TRUE(status.isOk()) << status.toString();
+                model.erase(key);
+            } else {
+                EXPECT_EQ(status.code(), StatusCode::NotFound);
+            }
+        } else { // point lookup
+            std::vector<std::uint8_t> out;
+            Status status = tree.get(io, key, out);
+            if (model.count(key)) {
+                ASSERT_TRUE(status.isOk());
+                EXPECT_EQ(out, model[key]);
+            } else {
+                EXPECT_EQ(status.code(), StatusCode::NotFound);
+            }
+        }
+
+        if (step % 500 == 499) {
+            ASSERT_TRUE(tree.checkIntegrity(io).isOk())
+                << "step " << step;
+        }
+    }
+
+    // Final: full contents match via scan.
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+        scanned;
+    ASSERT_TRUE(tree.scan(io, 0, ~std::uint64_t{0},
+                          [&](std::uint64_t k,
+                              std::span<const std::uint8_t> v) {
+                              scanned.emplace_back(
+                                  k, std::vector<std::uint8_t>(
+                                         v.begin(), v.end()));
+                              return true;
+                          })
+                    .isOk());
+    ASSERT_EQ(scanned.size(), model.size());
+    auto it = model.begin();
+    for (const auto &[k, v] : scanned) {
+        EXPECT_EQ(k, it->first);
+        EXPECT_EQ(v, it->second);
+        ++it;
+    }
+    EXPECT_TRUE(tree.checkIntegrity(io).isOk());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, BTreeFuzzTest,
+    ::testing::Values(FuzzParams{1, 0, 64}, FuzzParams{2, 0, 300},
+                      FuzzParams{3, 0, 2000}, FuzzParams{4, 26, 64},
+                      FuzzParams{5, 26, 300}, FuzzParams{6, 26, 2000},
+                      FuzzParams{7, 26, 5000}, FuzzParams{8, 0, 5000}),
+    [](const ::testing::TestParamInfo<FuzzParams> &info) {
+        return "seed" + std::to_string(info.param.seed) + "_cap" +
+               std::to_string(info.param.leafCap) + "_val" +
+               std::to_string(info.param.maxValue);
+    });
+
+} // namespace
+} // namespace fasp::btree

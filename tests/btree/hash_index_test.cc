@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Tests for the hash index: unit behaviour over the in-memory
+ * TxPageIO, a randomized reference-model workload, engine integration
+ * (the paper's claim that failure-atomic slotted paging serves
+ * hash-based indexes too), and crash atomicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "btree/hash_index.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "pm/device.h"
+
+namespace fasp::btree {
+namespace {
+
+/** Minimal in-memory TxPageIO (mirrors the one in btree_test). */
+class MemTxPageIO : public TxPageIO
+{
+  public:
+    explicit MemTxPageIO(std::size_t page_size,
+                         std::uint16_t leaf_cap = 0)
+        : pageSize_(page_size), leafCap_(leaf_cap)
+    {
+        pages_[0] = std::make_unique<Page>(pageSize_);
+        pages_[1] = std::make_unique<Page>(pageSize_);
+        page::init(*pages_[1]->io, page::PageType::Leaf, 0);
+        next_ = 2;
+    }
+
+    std::size_t pageSize() const override { return pageSize_; }
+
+    page::PageIO &page(PageId pid, bool) override
+    {
+        auto it = pages_.find(pid);
+        if (it == pages_.end())
+            faspPanic("access to unallocated page %u", pid);
+        return *it->second->io;
+    }
+
+    Result<PageId> allocPage() override
+    {
+        PageId pid = next_++;
+        pages_[pid] = std::make_unique<Page>(pageSize_);
+        return pid;
+    }
+
+    void freePage(PageId pid) override { pages_.erase(pid); }
+
+    void deferReclaim(PageId pid, const page::RecordRef &ref) override
+    {
+        page::reclaimExtent(page(pid, true), ref);
+    }
+
+    PageId directoryPid() const override { return 1; }
+    std::uint16_t maxLeafSlots() const override { return leafCap_; }
+
+    std::size_t livePages() const { return pages_.size(); }
+
+  private:
+    struct Page
+    {
+        explicit Page(std::size_t size)
+            : bytes(size, 0),
+              io(std::make_unique<page::BufferPageIO>(bytes.data(),
+                                                      size))
+        {}
+        std::vector<std::uint8_t> bytes;
+        std::unique_ptr<page::BufferPageIO> io;
+    };
+
+    std::size_t pageSize_;
+    std::uint16_t leafCap_;
+    std::unordered_map<PageId, std::unique_ptr<Page>> pages_;
+    PageId next_;
+};
+
+std::vector<std::uint8_t>
+value(std::uint64_t seed, std::size_t len)
+{
+    std::vector<std::uint8_t> out(len);
+    Rng rng(seed);
+    rng.fillBytes(out.data(), out.size());
+    return out;
+}
+
+std::span<const std::uint8_t>
+asSpan(const std::vector<std::uint8_t> &v)
+{
+    return std::span<const std::uint8_t>(v);
+}
+
+class HashIndexTest : public ::testing::Test
+{
+  protected:
+    HashIndexTest() : io_(4096) {}
+
+    HashIndex makeIndex(std::uint32_t buckets = 16)
+    {
+        auto index = HashIndex::create(io_, 9, buckets);
+        EXPECT_TRUE(index.isOk()) << index.status().toString();
+        return *index;
+    }
+
+    MemTxPageIO io_;
+};
+
+TEST_F(HashIndexTest, CreateValidatesBucketCount)
+{
+    EXPECT_FALSE(HashIndex::create(io_, 1, 0).isOk());
+    EXPECT_FALSE(HashIndex::create(io_, 2, 12).isOk()); // not pow2
+    EXPECT_FALSE(HashIndex::create(io_, 3, 1u << 12).isOk())
+        << "directory must fit one page";
+    EXPECT_TRUE(HashIndex::create(io_, 4, 64).isOk());
+    EXPECT_EQ(HashIndex::create(io_, 4, 8).status().code(),
+              StatusCode::AlreadyExists);
+}
+
+TEST_F(HashIndexTest, InsertGetUpdateErase)
+{
+    HashIndex index = makeIndex();
+    auto v1 = value(1, 32);
+    ASSERT_TRUE(index.insert(io_, 42, asSpan(v1)).isOk());
+    EXPECT_EQ(index.insert(io_, 42, asSpan(v1)).code(),
+              StatusCode::AlreadyExists);
+
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(index.get(io_, 42, out).isOk());
+    EXPECT_EQ(out, v1);
+    EXPECT_EQ(index.get(io_, 43, out).code(), StatusCode::NotFound);
+
+    auto v2 = value(2, 200);
+    ASSERT_TRUE(index.update(io_, 42, asSpan(v2)).isOk());
+    ASSERT_TRUE(index.get(io_, 42, out).isOk());
+    EXPECT_EQ(out, v2);
+    EXPECT_EQ(index.update(io_, 43, asSpan(v2)).code(),
+              StatusCode::NotFound);
+
+    ASSERT_TRUE(index.erase(io_, 42).isOk());
+    EXPECT_EQ(index.erase(io_, 42).code(), StatusCode::NotFound);
+}
+
+TEST_F(HashIndexTest, RejectsOversizedValues)
+{
+    HashIndex index = makeIndex();
+    auto big = value(1, 3000); // > maxInlineValue(4096) == 960
+    EXPECT_EQ(index.insert(io_, 1, asSpan(big)).code(),
+              StatusCode::NotSupported);
+}
+
+TEST_F(HashIndexTest, ChainsGrowUnderLoad)
+{
+    HashIndex index = makeIndex(4); // tiny directory: long chains
+    for (std::uint64_t key = 1; key <= 800; ++key) {
+        auto v = value(key, 48);
+        ASSERT_TRUE(index.insert(io_, key, asSpan(v)).isOk()) << key;
+    }
+    auto stats = index.stats(io_);
+    ASSERT_TRUE(stats.isOk());
+    EXPECT_EQ(stats->records, 800u);
+    EXPECT_EQ(stats->buckets, 4u);
+    EXPECT_GT(stats->longestChain, 1u);
+    EXPECT_TRUE(index.checkIntegrity(io_).isOk());
+
+    std::vector<std::uint8_t> out;
+    for (std::uint64_t key = 1; key <= 800; ++key)
+        ASSERT_TRUE(index.get(io_, key, out).isOk()) << key;
+}
+
+TEST_F(HashIndexTest, ForEachVisitsEverythingOnce)
+{
+    HashIndex index = makeIndex(8);
+    std::map<std::uint64_t, std::vector<std::uint8_t>> model;
+    Rng rng(5);
+    for (int i = 0; i < 300; ++i) {
+        std::uint64_t key = rng.next() | 1;
+        auto v = value(key, 24);
+        ASSERT_TRUE(index.insert(io_, key, asSpan(v)).isOk());
+        model[key] = v;
+    }
+    std::map<std::uint64_t, int> seen;
+    ASSERT_TRUE(index
+                    .forEach(io_,
+                             [&](std::uint64_t k,
+                                 std::span<const std::uint8_t> v) {
+                                 seen[k]++;
+                                 EXPECT_TRUE(std::equal(
+                                     v.begin(), v.end(),
+                                     model[k].begin(),
+                                     model[k].end()));
+                                 return true;
+                             })
+                    .isOk());
+    EXPECT_EQ(seen.size(), model.size());
+    for (const auto &[k, n] : seen)
+        EXPECT_EQ(n, 1) << k;
+}
+
+TEST_F(HashIndexTest, DropFreesEverything)
+{
+    HashIndex index = makeIndex(8);
+    for (std::uint64_t key = 1; key <= 400; ++key) {
+        auto v = value(key, 64);
+        ASSERT_TRUE(index.insert(io_, key, asSpan(v)).isOk());
+    }
+    ASSERT_TRUE(HashIndex::drop(io_, index.id()).isOk());
+    EXPECT_EQ(io_.livePages(), 2u);
+    EXPECT_EQ(HashIndex::open(io_, index.id()).status().code(),
+              StatusCode::NotFound);
+}
+
+TEST_F(HashIndexTest, FuzzAgainstReferenceModel)
+{
+    HashIndex index = makeIndex(32);
+    Rng rng(77);
+    std::map<std::uint64_t, std::vector<std::uint8_t>> model;
+    for (int step = 0; step < 5000; ++step) {
+        std::uint64_t key = rng.nextBounded(600) + 1;
+        auto v = value(rng.next(), 8 + rng.nextBounded(120));
+        std::uint64_t dice = rng.nextBounded(100);
+        if (dice < 50) {
+            Status status = index.insert(io_, key, asSpan(v));
+            if (model.count(key))
+                EXPECT_EQ(status.code(), StatusCode::AlreadyExists);
+            else {
+                ASSERT_TRUE(status.isOk()) << status.toString();
+                model[key] = v;
+            }
+        } else if (dice < 75) {
+            Status status = index.update(io_, key, asSpan(v));
+            if (model.count(key)) {
+                ASSERT_TRUE(status.isOk()) << status.toString();
+                model[key] = v;
+            } else {
+                EXPECT_EQ(status.code(), StatusCode::NotFound);
+            }
+        } else if (dice < 90) {
+            Status status = index.erase(io_, key);
+            if (model.count(key)) {
+                ASSERT_TRUE(status.isOk());
+                model.erase(key);
+            } else {
+                EXPECT_EQ(status.code(), StatusCode::NotFound);
+            }
+        } else {
+            std::vector<std::uint8_t> out;
+            Status status = index.get(io_, key, out);
+            if (model.count(key)) {
+                ASSERT_TRUE(status.isOk());
+                EXPECT_EQ(out, model[key]);
+            } else {
+                EXPECT_EQ(status.code(), StatusCode::NotFound);
+            }
+        }
+        if (step % 1000 == 999) {
+            ASSERT_TRUE(index.checkIntegrity(io_).isOk())
+                << "step " << step;
+        }
+    }
+    auto n = index.count(io_);
+    ASSERT_TRUE(n.isOk());
+    EXPECT_EQ(*n, model.size());
+}
+
+// --- Engine integration (all five engines share the index) --------------------
+
+class HashEngineTest : public ::testing::TestWithParam<core::EngineKind>
+{};
+
+TEST_P(HashEngineTest, WorksThroughEveryEngine)
+{
+    pm::PmConfig pm_cfg;
+    pm_cfg.size = 32u << 20;
+    pm::PmDevice device(pm_cfg);
+    core::EngineConfig cfg;
+    cfg.kind = GetParam();
+    cfg.format.logLen = 8u << 20;
+    auto engine =
+        std::move(*core::Engine::create(device, cfg, true));
+
+    {
+        auto tx = engine->begin();
+        ASSERT_TRUE(
+            HashIndex::create(tx->pageIO(), 1, 64).isOk());
+        ASSERT_TRUE(tx->commit().isOk());
+    }
+
+    HashIndex index(1);
+    Rng rng(3);
+    std::map<std::uint64_t, std::vector<std::uint8_t>> model;
+    for (int i = 0; i < 600; ++i) {
+        std::uint64_t key = rng.next() | 1;
+        auto v = value(key, 40);
+        auto tx = engine->begin();
+        ASSERT_TRUE(
+            index.insert(tx->pageIO(), key, asSpan(v)).isOk());
+        ASSERT_TRUE(tx->commit().isOk());
+        model[key] = v;
+    }
+
+    auto tx = engine->begin();
+    ASSERT_TRUE(index.checkIntegrity(tx->pageIO()).isOk());
+    std::vector<std::uint8_t> out;
+    for (const auto &[key, v] : model) {
+        ASSERT_TRUE(index.get(tx->pageIO(), key, out).isOk()) << key;
+        EXPECT_EQ(out, v);
+    }
+    tx->rollback();
+
+    // FAST: single-record hash inserts use the in-place commit path,
+    // which is precisely the paper's portability claim.
+    if (GetParam() == core::EngineKind::Fast) {
+        EXPECT_GT(engine->stats().inPlaceCommits, 400u);
+    }
+}
+
+TEST_P(HashEngineTest, PersistsAcrossReopen)
+{
+    pm::PmConfig pm_cfg;
+    pm_cfg.size = 32u << 20;
+    pm::PmDevice device(pm_cfg);
+    core::EngineConfig cfg;
+    cfg.kind = GetParam();
+    cfg.format.logLen = 8u << 20;
+
+    auto v = value(7, 64);
+    {
+        auto engine =
+            std::move(*core::Engine::create(device, cfg, true));
+        auto tx = engine->begin();
+        ASSERT_TRUE(HashIndex::create(tx->pageIO(), 1, 16).isOk());
+        HashIndex index(1);
+        ASSERT_TRUE(index.insert(tx->pageIO(), 5, asSpan(v)).isOk());
+        ASSERT_TRUE(tx->commit().isOk());
+    }
+    auto engine = std::move(*core::Engine::create(device, cfg, false));
+    auto tx = engine->begin();
+    auto index = HashIndex::open(tx->pageIO(), 1);
+    ASSERT_TRUE(index.isOk());
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(index->get(tx->pageIO(), 5, out).isOk());
+    EXPECT_EQ(out, v);
+    tx->rollback();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, HashEngineTest,
+    ::testing::Values(core::EngineKind::Fast, core::EngineKind::Fash,
+                      core::EngineKind::Nvwal,
+                      core::EngineKind::LegacyWal,
+                      core::EngineKind::Journal),
+    [](const ::testing::TestParamInfo<core::EngineKind> &info) {
+        return core::engineKindName(info.param);
+    });
+
+TEST(HashCrashTest, InFlightInsertIsAtomic)
+{
+    // Sweep a crash through every persistence event of one hash insert
+    // under the adversarial RandomLines policy.
+    for (std::uint64_t k = 0;; ++k) {
+        pm::PmConfig pm_cfg;
+        pm_cfg.size = 8u << 20;
+        pm_cfg.mode = pm::PmMode::CacheSim;
+        pm_cfg.crashPolicy = pm::CrashPolicy::RandomLines;
+        pm_cfg.crashSeed = k + 1;
+        pm::PmDevice device(pm_cfg);
+        core::EngineConfig cfg;
+        cfg.kind = core::EngineKind::Fast;
+        cfg.format.logLen = 1u << 20;
+        auto engine =
+            std::move(*core::Engine::create(device, cfg, true));
+        {
+            auto tx = engine->begin();
+            ASSERT_TRUE(HashIndex::create(tx->pageIO(), 1, 8).isOk());
+            ASSERT_TRUE(tx->commit().isOk());
+        }
+        HashIndex index(1);
+        std::map<std::uint64_t, std::vector<std::uint8_t>> model;
+        for (std::uint64_t key = 1; key <= 30; ++key) {
+            auto v = value(key, 48);
+            auto tx = engine->begin();
+            ASSERT_TRUE(
+                index.insert(tx->pageIO(), key, asSpan(v)).isOk());
+            ASSERT_TRUE(tx->commit().isOk());
+            model[key] = v;
+        }
+
+        pm::PointCrashInjector injector(device.eventCount() + k);
+        device.setCrashInjector(&injector);
+        bool crashed = false;
+        try {
+            auto v = value(999, 48);
+            auto tx = engine->begin();
+            Status status =
+                index.insert(tx->pageIO(), 999, asSpan(v));
+            ASSERT_TRUE(status.isOk());
+            ASSERT_TRUE(tx->commit().isOk());
+        } catch (const pm::CrashException &) {
+            crashed = true;
+        }
+        device.setCrashInjector(nullptr);
+        if (!crashed)
+            break; // swept past the whole insert
+
+        engine.reset();
+        device.reviveAfterCrash();
+        auto recovered =
+            std::move(*core::Engine::create(device, cfg, false));
+        auto tx = recovered->begin();
+        ASSERT_TRUE(index.checkIntegrity(tx->pageIO()).isOk())
+            << "crash point " << k;
+        std::vector<std::uint8_t> out;
+        for (const auto &[key, v] : model) {
+            ASSERT_TRUE(index.get(tx->pageIO(), key, out).isOk())
+                << "crash point " << k << " key " << key;
+            EXPECT_EQ(out, v);
+        }
+        auto survivor = index.contains(tx->pageIO(), 999);
+        ASSERT_TRUE(survivor.isOk());
+        if (*survivor) {
+            ASSERT_TRUE(index.get(tx->pageIO(), 999, out).isOk());
+            EXPECT_EQ(out, value(999, 48));
+        }
+        tx->rollback();
+    }
+}
+
+} // namespace
+} // namespace fasp::btree

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Walk the paper's worked example (Figures 4 and 5) step by step: page
+ * 3 holds keys {11, 13, 15, 17, 19}; inserting key 14 overflows it; a
+ * new LEFT sibling receives the keys at or below the median including
+ * the incoming 14; the parent gains a (separator -> left) entry; the
+ * original page keeps the upper keys, its freed extents becoming the
+ * intra-page free list after checkpointing (Figure 5); and §4.4's
+ * crash cases hold at each stage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "btree/btree.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/fasp_page_io.h"
+#include "pm/device.h"
+
+namespace fasp::btree {
+namespace {
+
+using core::Engine;
+using core::EngineConfig;
+using core::EngineKind;
+using core::FaspPageIO;
+using pm::PmConfig;
+using pm::PmDevice;
+using pm::PmMode;
+
+class PaperSplitTest : public ::testing::Test
+{
+  protected:
+    PaperSplitTest()
+    {
+        PmConfig pm_cfg;
+        pm_cfg.size = 16u << 20;
+        pm_cfg.mode = PmMode::CacheSim;
+        // Small pages and 160-byte values so exactly five records
+        // fill a leaf, as in the figure.
+        device_ = std::make_unique<PmDevice>(pm_cfg);
+        cfg_.kind = EngineKind::Fash;
+        cfg_.format.pageSize = 1024;
+        cfg_.format.logLen = 1u << 20;
+        engine_ = std::move(*Engine::create(*device_, cfg_, true));
+        tree_ = std::make_unique<BTree>(
+            std::move(*engine_->createTree(1)));
+    }
+
+    /** Insert one (key, 160B) record in its own transaction. */
+    void
+    insertKey(std::uint64_t key)
+    {
+        std::vector<std::uint8_t> value(160);
+        Rng rng(key);
+        rng.fillBytes(value.data(), value.size());
+        ASSERT_TRUE(engine_
+                        ->insert(*tree_, key,
+                                 std::span<const std::uint8_t>(value))
+                        .isOk())
+            << key;
+    }
+
+    /** Keys of a page's slots, read from the durable image. */
+    std::vector<std::uint64_t>
+    durableKeys(PageId pid)
+    {
+        FaspPageIO io(*device_, engine_->superblock().pageOffset(pid),
+                      engine_->superblock().pageSize,
+                      /*write_through=*/true);
+        std::vector<std::uint64_t> keys;
+        for (std::uint16_t i = 0; i < page::numRecords(io); ++i)
+            keys.push_back(page::recordKey(io, i));
+        return keys;
+    }
+
+    std::unique_ptr<PmDevice> device_;
+    EngineConfig cfg_;
+    std::unique_ptr<Engine> engine_;
+    std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(PaperSplitTest, Figure4SplitSendsIncomingKeyLeft)
+{
+    // Page 3's initial contents in the figure.
+    for (std::uint64_t key : {17u, 13u, 15u, 19u, 11u})
+        insertKey(key);
+
+    auto tx = engine_->begin();
+    auto root_before = *tree_->rootPid(tx->pageIO());
+    auto n = *tree_->count(tx->pageIO());
+    EXPECT_EQ(n, 5u);
+    tx->rollback();
+
+    // "Insert key=14": causes the overflow and split.
+    insertKey(14);
+
+    auto tx2 = engine_->begin();
+    PageId root = *tree_->rootPid(tx2->pageIO());
+    EXPECT_NE(root, root_before) << "the root leaf split grows a root";
+
+    page::PageIO &root_view = tx2->pageIO().page(root, false);
+    ASSERT_EQ(page::level(root_view), 1);
+    ASSERT_EQ(page::numRecords(root_view), 1);
+    std::uint64_t separator = page::recordKey(root_view, 0);
+    PageId left = page::childPid(root_view, 0);
+    PageId right = page::aux(root_view);
+
+    // Figure 4 (5): the ORIGINAL page is the right child — its parent
+    // entry is the aux pointer, so it "never changes"; the separator
+    // is the largest key in the left sibling and the incoming key 14
+    // is among the keys that moved left (the figure shows the new
+    // sibling holding 11, 13, 14).
+    EXPECT_EQ(right, root_before);
+    std::vector<std::uint64_t> left_keys = durableKeys(left);
+    std::vector<std::uint64_t> right_keys = durableKeys(right);
+    EXPECT_EQ(left_keys.back(), separator);
+    EXPECT_TRUE(std::find(left_keys.begin(), left_keys.end(), 14u) !=
+                left_keys.end())
+        << "the pending key lands in the fresh left sibling";
+    for (std::uint64_t k : left_keys)
+        EXPECT_LE(k, separator);
+    for (std::uint64_t k : right_keys)
+        EXPECT_GT(k, separator);
+    EXPECT_EQ(left_keys.size() + right_keys.size(), 6u);
+    EXPECT_TRUE(tree_->checkIntegrity(tx2->pageIO()).isOk());
+    tx2->rollback();
+}
+
+TEST_F(PaperSplitTest, Figure5FreedExtentsBecomeFreeList)
+{
+    for (std::uint64_t key : {17u, 13u, 15u, 19u, 11u})
+        insertKey(key);
+    auto tx = engine_->begin();
+    PageId original = *tree_->rootPid(tx->pageIO());
+    tx->rollback();
+
+    insertKey(14);
+
+    // After the eager checkpoint, the original page's migrated records
+    // are reclaimed as fragmented free space managed as a linked list
+    // (Figure 5) — and that list must reconcile with the header.
+    FaspPageIO io(*device_,
+                  engine_->superblock().pageOffset(original),
+                  engine_->superblock().pageSize,
+                  /*write_through=*/true);
+    EXPECT_GT(page::fragFree(io), 0)
+        << "the dropped records' space is on the free list";
+    EXPECT_TRUE(page::freeListConsistent(io));
+
+    // Figure 5's closing property: the free list can be reconstructed
+    // from the record offset array from scratch.
+    std::uint16_t before = page::fragFree(io);
+    io.writeScratchU16(
+        static_cast<std::uint16_t>(io.pageSize() - 8), 0);
+    io.writeScratchU16(
+        static_cast<std::uint16_t>(io.pageSize() - 6), 0);
+    page::rebuildFreeList(io);
+    // The rebuild may recover up to one alignment-pad byte per live
+    // record that reclaimExtent's block accounting cannot see.
+    EXPECT_GE(page::fragFree(io), before);
+    EXPECT_LE(page::fragFree(io),
+              before + page::numRecords(io));
+    EXPECT_TRUE(page::freeListConsistent(io));
+}
+
+TEST_F(PaperSplitTest, Section44CrashBeforeCommitIsInvisible)
+{
+    for (std::uint64_t key : {17u, 13u, 15u, 19u, 11u})
+        insertKey(key);
+
+    // §4.4 cases (2)-(4): crash after the sibling was created and the
+    // parent's free space written, but before the commit mark. Crash
+    // at every single event of the splitting insert and require the
+    // durable tree to read exactly {11,13,15,17,19}.
+    for (std::uint64_t k = 0;; ++k) {
+        // Rebuild the same pre-state fresh for each crash point.
+        PmConfig pm_cfg;
+        pm_cfg.size = 16u << 20;
+        pm_cfg.mode = PmMode::CacheSim;
+        PmDevice device(pm_cfg);
+        auto engine = std::move(*Engine::create(device, cfg_, true));
+        auto tree = *engine->createTree(1);
+        std::vector<std::uint8_t> value(160, 0x3c);
+        for (std::uint64_t key : {17u, 13u, 15u, 19u, 11u}) {
+            ASSERT_TRUE(engine
+                            ->insert(tree, key,
+                                     std::span<const std::uint8_t>(
+                                         value))
+                            .isOk());
+        }
+
+        pm::PointCrashInjector injector(device.eventCount() + k);
+        device.setCrashInjector(&injector);
+        bool crashed = false;
+        bool committed = false;
+        try {
+            committed = engine
+                            ->insert(tree, 14,
+                                     std::span<const std::uint8_t>(
+                                         value))
+                            .isOk();
+        } catch (const pm::CrashException &) {
+            crashed = true;
+        }
+        device.setCrashInjector(nullptr);
+        if (!crashed)
+            break; // swept past the whole split
+
+        engine.reset();
+        device.reviveAfterCrash();
+        auto recovered = std::move(*Engine::create(device, cfg_,
+                                                   false));
+        auto tx = recovered->begin();
+        BTree t(1);
+        ASSERT_TRUE(t.checkIntegrity(tx->pageIO()).isOk())
+            << "crash point " << k;
+        auto n = t.count(tx->pageIO());
+        ASSERT_TRUE(n.isOk());
+        auto has14 = t.contains(tx->pageIO(), 14);
+        ASSERT_TRUE(has14.isOk());
+        if (*has14) {
+            EXPECT_EQ(*n, 6u) << "crash point " << k;
+        } else {
+            EXPECT_EQ(*n, 5u) << "crash point " << k;
+            EXPECT_FALSE(committed);
+        }
+        for (std::uint64_t key : {11u, 13u, 15u, 17u, 19u}) {
+            auto present = t.contains(tx->pageIO(), key);
+            ASSERT_TRUE(present.isOk());
+            EXPECT_TRUE(*present)
+                << "crash point " << k << " lost key " << key;
+        }
+        tx->rollback();
+    }
+}
+
+} // namespace
+} // namespace fasp::btree

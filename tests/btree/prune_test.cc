@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for delete-side maintenance: empty leaves unlink and free,
+ * empty internal ancestors collapse, the root shrinks when it loses
+ * its last separator — and all of it stays failure-atomic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "btree/btree.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "pm/device.h"
+
+namespace fasp::btree {
+namespace {
+
+/** Minimal in-memory TxPageIO with live-page accounting. */
+class MemTxPageIO : public TxPageIO
+{
+  public:
+    explicit MemTxPageIO(std::size_t page_size)
+        : pageSize_(page_size)
+    {
+        pages_[0] = std::make_unique<Page>(pageSize_);
+        pages_[1] = std::make_unique<Page>(pageSize_);
+        page::init(*pages_[1]->io, page::PageType::Leaf, 0);
+        next_ = 2;
+    }
+
+    std::size_t pageSize() const override { return pageSize_; }
+
+    page::PageIO &page(PageId pid, bool) override
+    {
+        auto it = pages_.find(pid);
+        if (it == pages_.end())
+            faspPanic("access to unallocated page %u", pid);
+        return *it->second->io;
+    }
+
+    Result<PageId> allocPage() override
+    {
+        PageId pid = next_++;
+        pages_[pid] = std::make_unique<Page>(pageSize_);
+        return pid;
+    }
+
+    void freePage(PageId pid) override { pages_.erase(pid); }
+
+    void deferReclaim(PageId pid, const page::RecordRef &ref) override
+    {
+        page::reclaimExtent(page(pid, true), ref);
+    }
+
+    PageId directoryPid() const override { return 1; }
+
+    std::size_t livePages() const { return pages_.size(); }
+
+  private:
+    struct Page
+    {
+        explicit Page(std::size_t size)
+            : bytes(size, 0),
+              io(std::make_unique<page::BufferPageIO>(bytes.data(),
+                                                      size))
+        {}
+        std::vector<std::uint8_t> bytes;
+        std::unique_ptr<page::BufferPageIO> io;
+    };
+
+    std::size_t pageSize_;
+    std::unordered_map<PageId, std::unique_ptr<Page>> pages_;
+    PageId next_;
+};
+
+std::vector<std::uint8_t>
+value(std::uint64_t key)
+{
+    std::vector<std::uint8_t> out(40);
+    Rng rng(key);
+    rng.fillBytes(out.data(), out.size());
+    return out;
+}
+
+TEST(PruneTest, DeletingEverythingFreesAllButTheRoot)
+{
+    MemTxPageIO io(4096);
+    BTree tree = *BTree::create(io, 7);
+    for (std::uint64_t key = 1; key <= 3000; ++key) {
+        auto v = value(key);
+        ASSERT_TRUE(
+            tree.insert(io, key, std::span<const std::uint8_t>(v))
+                .isOk());
+    }
+    std::size_t peak = io.livePages();
+    EXPECT_GT(peak, 40u);
+
+    for (std::uint64_t key = 1; key <= 3000; ++key)
+        ASSERT_TRUE(tree.erase(io, key).isOk()) << key;
+
+    // Everything pruned away: superblock stand-in, directory, and a
+    // single (empty) root leaf remain.
+    EXPECT_EQ(io.livePages(), 3u)
+        << "all interior/leaf pages must be freed";
+    auto n = tree.count(io);
+    ASSERT_TRUE(n.isOk());
+    EXPECT_EQ(*n, 0u);
+    EXPECT_TRUE(tree.checkIntegrity(io).isOk());
+
+    // And the tree is fully usable again.
+    auto v = value(5);
+    ASSERT_TRUE(
+        tree.insert(io, 5, std::span<const std::uint8_t>(v)).isOk());
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(tree.get(io, 5, out).isOk());
+    EXPECT_EQ(out, v);
+}
+
+TEST(PruneTest, RootCollapsesWhenOnlyOneChildRemains)
+{
+    MemTxPageIO io(4096);
+    BTree tree = *BTree::create(io, 7);
+    for (std::uint64_t key = 1; key <= 500; ++key) {
+        auto v = value(key);
+        ASSERT_TRUE(
+            tree.insert(io, key, std::span<const std::uint8_t>(v))
+                .isOk());
+    }
+    auto stats_before = *tree.stats(io);
+    ASSERT_GE(stats_before.depth, 2u);
+
+    // Deleting the low half empties the left leaves one by one; once
+    // only the rightmost subtree remains the root must collapse.
+    for (std::uint64_t key = 1; key <= 450; ++key)
+        ASSERT_TRUE(tree.erase(io, key).isOk());
+    auto stats_after = *tree.stats(io);
+    EXPECT_LT(stats_after.leafPages, stats_before.leafPages);
+    EXPECT_TRUE(tree.checkIntegrity(io).isOk());
+
+    std::vector<std::uint8_t> out;
+    for (std::uint64_t key = 451; key <= 500; ++key)
+        ASSERT_TRUE(tree.get(io, key, out).isOk()) << key;
+}
+
+TEST(PruneTest, InterleavedInsertEraseStaysCompact)
+{
+    MemTxPageIO io(4096);
+    BTree tree = *BTree::create(io, 7);
+    Rng rng(17);
+    std::map<std::uint64_t, bool> model;
+    std::size_t peak = 0;
+    for (int round = 0; round < 6; ++round) {
+        for (int i = 0; i < 800; ++i) {
+            std::uint64_t key = rng.next() | 1;
+            auto v = value(key);
+            if (tree.insert(io, key,
+                            std::span<const std::uint8_t>(v))
+                    .isOk()) {
+                model[key] = true;
+            }
+        }
+        peak = std::max(peak, io.livePages());
+        // Drain almost everything.
+        std::size_t kept = 0;
+        for (auto it = model.begin(); it != model.end();) {
+            if (kept < 10) {
+                ++kept;
+                ++it;
+                continue;
+            }
+            ASSERT_TRUE(tree.erase(io, it->first).isOk());
+            it = model.erase(it);
+        }
+        ASSERT_TRUE(tree.checkIntegrity(io).isOk()) << round;
+        EXPECT_LT(io.livePages(), peak / 2 + 8)
+            << "pruning must reclaim drained subtrees (round "
+            << round << ")";
+    }
+}
+
+TEST(PruneTest, CrashDuringPruningDeleteIsAtomic)
+{
+    // A delete that empties a leaf mutates leaf + parent (+ possibly
+    // the directory on a root collapse): a multi-page transaction.
+    // Sweep a crash through every persistence event of such a delete
+    // on FAST and verify all-or-nothing behaviour.
+    for (std::uint64_t k = 0;; ++k) {
+        pm::PmConfig pm_cfg;
+        pm_cfg.size = 8u << 20;
+        pm_cfg.mode = pm::PmMode::CacheSim;
+        pm_cfg.crashPolicy = pm::CrashPolicy::RandomLines;
+        pm_cfg.crashSeed = k * 31 + 5;
+        pm::PmDevice device(pm_cfg);
+        core::EngineConfig cfg;
+        cfg.kind = core::EngineKind::Fast;
+        cfg.format.logLen = 1u << 20;
+        auto engine =
+            std::move(*core::Engine::create(device, cfg, true));
+        auto tree = *engine->createTree(1);
+
+        // FAST leaves cap at 26 slots: 30 sequential keys make two
+        // leaves; deleting the lower leaf's survivors one by one, the
+        // final erase prunes it.
+        std::vector<std::uint8_t> v(16, 0x2d);
+        for (std::uint64_t key = 1; key <= 30; ++key) {
+            ASSERT_TRUE(engine
+                            ->insert(tree, key,
+                                     std::span<const std::uint8_t>(v))
+                            .isOk());
+        }
+        auto tx0 = engine->begin();
+        auto root0 = *tree.rootPid(tx0->pageIO());
+        page::PageIO &rv = tx0->pageIO().page(root0, false);
+        ASSERT_GT(page::level(rv), 0) << "need a split for this test";
+        PageId left_leaf = page::childPid(rv, 0);
+        page::PageIO &lv = tx0->pageIO().page(left_leaf, false);
+        std::uint16_t left_count = page::numRecords(lv);
+        std::vector<std::uint64_t> left_keys;
+        for (std::uint16_t i = 0; i < left_count; ++i)
+            left_keys.push_back(page::recordKey(lv, i));
+        tx0->rollback();
+
+        // Empty the left leaf except one record (committed deletes).
+        for (std::size_t i = 0; i + 1 < left_keys.size(); ++i)
+            ASSERT_TRUE(engine->erase(tree, left_keys[i]).isOk());
+
+        // The pruning delete, with a crash injected at event k.
+        pm::PointCrashInjector injector(device.eventCount() + k);
+        device.setCrashInjector(&injector);
+        bool crashed = false;
+        try {
+            ASSERT_TRUE(
+                engine->erase(tree, left_keys.back()).isOk());
+        } catch (const pm::CrashException &) {
+            crashed = true;
+        }
+        device.setCrashInjector(nullptr);
+        if (!crashed)
+            break;
+
+        engine.reset();
+        device.reviveAfterCrash();
+        auto recovered =
+            std::move(*core::Engine::create(device, cfg, false));
+        auto tx = recovered->begin();
+        BTree t(1);
+        ASSERT_TRUE(t.checkIntegrity(tx->pageIO()).isOk())
+            << "crash point " << k;
+        auto gone = t.contains(tx->pageIO(), left_keys.back());
+        ASSERT_TRUE(gone.isOk());
+        // All-or-nothing: the key is either still there (rolled back)
+        // or gone with the structure intact.
+        auto n = t.count(tx->pageIO());
+        ASSERT_TRUE(n.isOk());
+        EXPECT_EQ(*n, *gone ? 30u - left_keys.size() + 1
+                            : 30u - left_keys.size())
+            << "crash point " << k;
+        tx->rollback();
+    }
+}
+
+} // namespace
+} // namespace fasp::btree

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unit tests for CRC32C.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/crc32.h"
+
+namespace fasp {
+namespace {
+
+TEST(Crc32Test, KnownVector)
+{
+    // RFC 3720 test vector: CRC32C("123456789") = 0xe3069283.
+    const char *digits = "123456789";
+    EXPECT_EQ(crc32c(digits, 9), 0xe3069283u);
+}
+
+TEST(Crc32Test, EmptyIsSeedIdentity)
+{
+    EXPECT_EQ(crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip)
+{
+    std::string data(64, 'a');
+    std::uint32_t base = crc32c(data.data(), data.size());
+    data[17] ^= 0x01;
+    EXPECT_NE(crc32c(data.data(), data.size()), base);
+}
+
+TEST(Crc32Test, ChainingMatchesOneShot)
+{
+    std::string data = "the quick brown fox jumps over the lazy dog";
+    std::uint32_t one_shot = crc32c(data.data(), data.size());
+    std::uint32_t first = crc32c(data.data(), 10);
+    std::uint32_t chained = crc32c(data.data() + 10, data.size() - 10,
+                                   first);
+    EXPECT_EQ(chained, one_shot);
+}
+
+TEST(Crc32Test, ZeroBufferNonZeroCrc)
+{
+    unsigned char zeros[32] = {};
+    EXPECT_NE(crc32c(zeros, sizeof(zeros)), 0u);
+}
+
+} // namespace
+} // namespace fasp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and Zipf generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+
+namespace fasp {
+namespace {
+
+TEST(RngTest, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(RngTest, BoundedCoversRange)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t v = rng.nextInRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, FillBytesFillsExactLength)
+{
+    Rng rng(17);
+    unsigned char buf[37];
+    std::fill(std::begin(buf), std::end(buf), 0xcc);
+    rng.fillBytes(buf, 29);
+    // The tail must be untouched.
+    for (int i = 29; i < 37; ++i)
+        EXPECT_EQ(buf[i], 0xcc);
+}
+
+TEST(ZipfTest, SamplesInRange)
+{
+    Rng rng(19);
+    ZipfGenerator zipf(1000, 0.99);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf.next(rng), 1000u);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks)
+{
+    Rng rng(23);
+    ZipfGenerator zipf(10000, 0.99);
+    std::map<std::uint64_t, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        counts[zipf.next(rng)]++;
+    // Rank 0 should dominate: clearly above the uniform expectation.
+    EXPECT_GT(counts[0], n / 10000 * 50);
+    // And the head (first 100 ranks) should hold a large share.
+    int head = 0;
+    for (std::uint64_t r = 0; r < 100; ++r)
+        head += counts.count(r) ? counts[r] : 0;
+    EXPECT_GT(head, n / 3);
+}
+
+TEST(ZipfTest, NearUniformWhenThetaSmall)
+{
+    Rng rng(29);
+    ZipfGenerator zipf(100, 0.01);
+    std::map<std::uint64_t, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        counts[zipf.next(rng)]++;
+    EXPECT_LT(counts[0], n / 100 * 3);
+}
+
+} // namespace
+} // namespace fasp

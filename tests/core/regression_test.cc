@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Regression tests for the three protocol hazards the adversarial
+ * crash sweeps uncovered during development (see DESIGN.md
+ * "hardening"):
+ *
+ *  1. stale-log resurrection (fixed by commit-mark epochs);
+ *  2. in-place writes under the durable slot header after an
+ *     uncommitted same-transaction split (fixed by the content floor);
+ *  3. same-transaction reuse of a freed page in the buffered engines
+ *     (fixed by deferring allocator frees to commit).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "pager/pager.h"
+#include "pm/device.h"
+#include "wal/slot_header_log.h"
+
+namespace fasp::core {
+namespace {
+
+using btree::BTree;
+using pm::PmConfig;
+using pm::PmDevice;
+using pm::PmMode;
+
+std::vector<std::uint8_t>
+value(std::uint64_t seed, std::size_t len = 48)
+{
+    std::vector<std::uint8_t> out(len);
+    Rng rng(seed * 2654435761u + 17);
+    rng.fillBytes(out.data(), out.size());
+    return out;
+}
+
+std::span<const std::uint8_t>
+asSpan(const std::vector<std::uint8_t> &v)
+{
+    return std::span<const std::uint8_t>(v);
+}
+
+// --- Hazard 1: stale-log resurrection ----------------------------------------
+
+TEST(LogEpochRegressionTest, StaleCommittedBytesCannotReplay)
+{
+    PmConfig cfg;
+    cfg.size = 24u << 20;
+    cfg.mode = PmMode::CacheSim;
+    PmDevice device(cfg);
+    auto sb = *pager::Pager::format(device, {});
+
+    // Transaction A commits and is checkpointed; its bytes remain in
+    // the log region beyond the truncation point.
+    wal::SlotHeaderLog log(device, sb);
+    std::vector<std::uint8_t> header_a(40, 0xaa);
+    log.begin();
+    ASSERT_TRUE(log.appendPageHeader(sb.firstDataPid(),
+                                     asSpan(header_a))
+                    .isOk());
+    ASSERT_TRUE(log.commit(1).isOk());
+    ASSERT_TRUE(log.checkpointAndTruncate().isOk());
+    std::uint64_t epoch_after_a = log.epoch();
+
+    // Adversary: transaction B starts appending over the log head but
+    // only its FIRST store survives the crash (RandomLines-style);
+    // because A's first entry had identical framing, the durable bytes
+    // now read as A's complete transaction again — CRC and all. The
+    // epoch in A's commit mark must reject the replay.
+    std::vector<std::uint8_t> header_b(40, 0xbb);
+    log.begin();
+    ASSERT_TRUE(log.appendPageHeader(sb.firstDataPid(),
+                                     asSpan(header_b))
+                    .isOk());
+    // Crash without any flush: drop every line B dirtied.
+    device.crash();
+    device.reviveAfterCrash();
+
+    // Overwrite page content so a (wrong) replay would be visible.
+    device.memset(sb.pageOffset(sb.firstDataPid()), 0xcc, 40);
+    device.flushRange(sb.pageOffset(sb.firstDataPid()), 40);
+    device.sfence();
+
+    wal::SlotHeaderLog fresh(device, sb);
+    auto result = fresh.recover();
+    ASSERT_TRUE(result.isOk());
+    EXPECT_FALSE(result->replayed)
+        << "a stale commit mark from epoch " << epoch_after_a - 1
+        << " must not replay under epoch " << epoch_after_a;
+    std::uint8_t probe;
+    device.readDurable(sb.pageOffset(sb.firstDataPid()), &probe, 1);
+    EXPECT_EQ(probe, 0xcc) << "page must not have been overwritten";
+}
+
+TEST(LogEpochRegressionTest, EpochSurvivesReopen)
+{
+    PmConfig cfg;
+    cfg.size = 24u << 20;
+    PmDevice device(cfg);
+    auto sb = *pager::Pager::format(device, {});
+    std::uint64_t epoch;
+    {
+        wal::SlotHeaderLog log(device, sb);
+        log.begin();
+        ASSERT_TRUE(log.commit(1).isOk());
+        ASSERT_TRUE(log.checkpointAndTruncate().isOk());
+        epoch = log.epoch();
+        EXPECT_GT(epoch, 1u);
+    }
+    wal::SlotHeaderLog reopened(device, sb);
+    reopened.begin();
+    EXPECT_EQ(reopened.epoch(), epoch);
+}
+
+// --- Hazard 2: durable-header floor -------------------------------------------
+
+TEST(ContentFloorRegressionTest, UncommittedSplitNeverTearsHeader)
+{
+    // Fill one FASH leaf to capacity, then run a multi-insert
+    // transaction that splits it and keeps inserting, and ABANDON the
+    // transaction. The durable page must be byte-identical readable:
+    // every committed record reachable, header intact.
+    PmConfig cfg;
+    cfg.size = 24u << 20;
+    cfg.mode = PmMode::CacheSim;
+    PmDevice device(cfg);
+    EngineConfig engine_cfg;
+    engine_cfg.kind = EngineKind::Fash;
+    engine_cfg.format.logLen = 2u << 20;
+    auto engine = std::move(*Engine::create(device, engine_cfg, true));
+    auto tree = *engine->createTree(1);
+
+    std::map<std::uint64_t, std::vector<std::uint8_t>> model;
+    for (std::uint64_t key = 1; key <= 61; ++key) {
+        auto v = value(key);
+        ASSERT_TRUE(engine->insert(tree, key, asSpan(v)).isOk());
+        model[key] = v;
+    }
+
+    {
+        auto tx = engine->begin();
+        for (std::uint64_t key = 1000; key <= 1012; ++key) {
+            auto v = value(key);
+            ASSERT_TRUE(
+                tree.insert(tx->pageIO(), key, asSpan(v)).isOk());
+        }
+        tx->rollback(); // abandon: splits must leave no durable trace
+    }
+
+    auto tx = engine->begin();
+    ASSERT_TRUE(tree.checkIntegrity(tx->pageIO()).isOk());
+    std::vector<std::uint8_t> out;
+    for (const auto &[key, v] : model) {
+        ASSERT_TRUE(tree.get(tx->pageIO(), key, out).isOk()) << key;
+        EXPECT_EQ(out, v);
+    }
+    auto n = tree.count(tx->pageIO());
+    ASSERT_TRUE(n.isOk());
+    EXPECT_EQ(*n, model.size());
+    tx->rollback();
+}
+
+// --- Hazard 3: same-transaction page reuse (buffered engines) ------------------
+
+TEST(PageReuseRegressionTest, DefragThenSplitInOneTransaction)
+{
+    // The historical failure: copy-on-write defragmentation frees the
+    // old page, a split later in the SAME transaction reallocates that
+    // id as its left sibling, and the commit-time freed-page cleanup
+    // wiped the sibling. Drive defrag+split in one transaction on
+    // every buffered engine and verify the full contents.
+    for (EngineKind kind : {EngineKind::Nvwal, EngineKind::LegacyWal,
+                            EngineKind::Journal}) {
+        PmConfig cfg;
+        cfg.size = 32u << 20;
+        PmDevice device(cfg);
+        EngineConfig engine_cfg;
+        engine_cfg.kind = kind;
+        engine_cfg.format.logLen = 8u << 20;
+        auto engine =
+            std::move(*Engine::create(device, engine_cfg, true));
+        auto tree = *engine->createTree(1);
+
+        // Variable-size records fragment pages, making CoW defrag
+        // likely; a large batch guarantees splits.
+        Rng rng(99);
+        std::map<std::uint64_t, std::vector<std::uint8_t>> model;
+        auto tx = engine->begin();
+        for (int i = 0; i < 400; ++i) {
+            std::uint64_t key = rng.nextBounded(1u << 20) | 1;
+            if (model.count(key))
+                continue;
+            auto v = value(key, 8 + rng.nextBounded(200));
+            ASSERT_TRUE(
+                tree.insert(tx->pageIO(), key, asSpan(v)).isOk());
+            model[key] = v;
+            // Interleave updates/deletes to churn free space.
+            if (i % 7 == 3 && !model.empty()) {
+                auto it = model.begin();
+                std::advance(it, rng.nextBounded(model.size()));
+                auto v2 = value(it->first + 5555,
+                                8 + rng.nextBounded(300));
+                ASSERT_TRUE(tree.update(tx->pageIO(), it->first,
+                                        asSpan(v2))
+                                .isOk());
+                it->second = v2;
+            }
+        }
+        ASSERT_TRUE(tx->commit().isOk());
+
+        auto check = engine->begin();
+        ASSERT_TRUE(tree.checkIntegrity(check->pageIO()).isOk())
+            << engineKindName(kind);
+        std::vector<std::uint8_t> out;
+        for (const auto &[key, v] : model) {
+            ASSERT_TRUE(tree.get(check->pageIO(), key, out).isOk())
+                << engineKindName(kind) << " key " << key;
+            EXPECT_EQ(out, v);
+        }
+        check->rollback();
+    }
+}
+
+TEST(PageReuseRegressionTest, FreedPageNotReusedWithinTx)
+{
+    // Direct check of the allocator contract: a live page freed inside
+    // a transaction must not be handed out again before commit.
+    PmConfig cfg;
+    cfg.size = 32u << 20;
+    PmDevice device(cfg);
+    EngineConfig engine_cfg;
+    engine_cfg.kind = EngineKind::Nvwal;
+    auto engine = std::move(*Engine::create(device, engine_cfg, true));
+    auto tree = *engine->createTree(1);
+    auto v = value(1, 64);
+    ASSERT_TRUE(engine->insert(tree, 1, asSpan(v)).isOk());
+
+    auto tx = engine->begin();
+    auto pid = tx->pageIO().allocPage();
+    ASSERT_TRUE(pid.isOk());
+    // Freshly allocated page freed again: immediate reuse is fine.
+    tx->pageIO().freePage(*pid);
+    auto pid2 = tx->pageIO().allocPage();
+    ASSERT_TRUE(pid2.isOk());
+    EXPECT_EQ(*pid2, *pid);
+
+    // A LIVE page (the tree root) freed mid-tx must not be recycled.
+    auto root = tree.rootPid(tx->pageIO());
+    ASSERT_TRUE(root.isOk());
+    tx->pageIO().freePage(*root);
+    auto pid3 = tx->pageIO().allocPage();
+    ASSERT_TRUE(pid3.isOk());
+    EXPECT_NE(*pid3, *root)
+        << "live pages stay unavailable until commit";
+    tx->rollback();
+}
+
+} // namespace
+} // namespace fasp::core

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * End-to-end SQL tests over the Database facade, parameterized across
+ * all five storage engines, plus persistence and crash checks at the
+ * SQL level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/database.h"
+#include "pm/device.h"
+
+namespace fasp::db {
+namespace {
+
+using core::EngineConfig;
+using core::EngineKind;
+using pm::PmConfig;
+using pm::PmDevice;
+using pm::PmMode;
+
+class DatabaseTest : public ::testing::TestWithParam<EngineKind>
+{
+  protected:
+    DatabaseTest()
+    {
+        PmConfig cfg;
+        cfg.size = 32u << 20;
+        cfg.mode = PmMode::Direct;
+        device_ = std::make_unique<PmDevice>(cfg);
+        config_.kind = GetParam();
+        auto db = Database::open(*device_, config_, /*format=*/true);
+        EXPECT_TRUE(db.isOk()) << db.status().toString();
+        db_ = std::move(*db);
+    }
+
+    ResultSet
+    mustExec(const std::string &sql)
+    {
+        auto result = db_->exec(sql);
+        EXPECT_TRUE(result.isOk())
+            << sql << " -> " << result.status().toString();
+        if (!result.isOk())
+            return {};
+        return std::move(*result);
+    }
+
+    std::unique_ptr<PmDevice> device_;
+    EngineConfig config_;
+    std::unique_ptr<Database> db_;
+};
+
+TEST_P(DatabaseTest, CreateInsertSelect)
+{
+    mustExec("CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT, "
+             "age INTEGER)");
+    mustExec("INSERT INTO users VALUES (1, 'alice', 30)");
+    mustExec("INSERT INTO users VALUES (2, 'bob', 25), (3, 'eve', 41)");
+
+    auto rs = mustExec("SELECT * FROM users");
+    ASSERT_EQ(rs.rows.size(), 3u);
+    EXPECT_EQ(rs.columns.size(), 3u);
+    EXPECT_EQ(rs.rows[0][1].asText(), "alice");
+    EXPECT_EQ(rs.rows[2][2].asInteger(), 41);
+}
+
+TEST_P(DatabaseTest, PointLookupByPrimaryKey)
+{
+    mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+    for (int i = 1; i <= 50; ++i) {
+        mustExec("INSERT INTO t VALUES (" + std::to_string(i) +
+                 ", 'row" + std::to_string(i) + "')");
+    }
+    auto rs = mustExec("SELECT v FROM t WHERE id = 37");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asText(), "row37");
+}
+
+TEST_P(DatabaseTest, RangeQueryAndPredicates)
+{
+    mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+    for (int i = 1; i <= 40; ++i) {
+        mustExec("INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+                 std::to_string(i * 10) + ")");
+    }
+    auto rs = mustExec(
+        "SELECT id FROM t WHERE id BETWEEN 10 AND 20 AND v > 150");
+    ASSERT_EQ(rs.rows.size(), 5u); // ids 16..20
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 16);
+    EXPECT_EQ(rs.rows[4][0].asInteger(), 20);
+}
+
+TEST_P(DatabaseTest, UpdateAndDelete)
+{
+    mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+    for (int i = 1; i <= 10; ++i) {
+        mustExec("INSERT INTO t VALUES (" + std::to_string(i) + ", 0)");
+    }
+    auto updated = mustExec("UPDATE t SET v = v + 5 WHERE id <= 4");
+    EXPECT_EQ(updated.affected, 4u);
+    auto deleted = mustExec("DELETE FROM t WHERE id > 8");
+    EXPECT_EQ(deleted.affected, 2u);
+
+    auto rs = mustExec("SELECT * FROM t WHERE v = 5");
+    EXPECT_EQ(rs.rows.size(), 4u);
+    rs = mustExec("SELECT * FROM t");
+    EXPECT_EQ(rs.rows.size(), 8u);
+}
+
+TEST_P(DatabaseTest, OrderByAndLimit)
+{
+    mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+    mustExec("INSERT INTO t VALUES (1, 30), (2, 10), (3, 20)");
+    auto rs = mustExec("SELECT id FROM t ORDER BY v");
+    ASSERT_EQ(rs.rows.size(), 3u);
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 2);
+    EXPECT_EQ(rs.rows[2][0].asInteger(), 1);
+
+    rs = mustExec("SELECT id FROM t ORDER BY v DESC LIMIT 1");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 1);
+}
+
+TEST_P(DatabaseTest, ImplicitRowidTable)
+{
+    mustExec("CREATE TABLE log (msg TEXT)");
+    mustExec("INSERT INTO log VALUES ('one')");
+    mustExec("INSERT INTO log VALUES ('two')");
+    auto rs = mustExec("SELECT * FROM log");
+    ASSERT_EQ(rs.rows.size(), 2u);
+    EXPECT_EQ(rs.rows[0][0].asText(), "one");
+    EXPECT_EQ(rs.rows[1][0].asText(), "two");
+}
+
+TEST_P(DatabaseTest, ExplicitTransactionCommitAndRollback)
+{
+    mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+
+    mustExec("BEGIN");
+    EXPECT_TRUE(db_->inTransaction());
+    mustExec("INSERT INTO t VALUES (1, 'kept')");
+    mustExec("INSERT INTO t VALUES (2, 'kept')");
+    mustExec("COMMIT");
+    EXPECT_FALSE(db_->inTransaction());
+
+    mustExec("BEGIN");
+    mustExec("INSERT INTO t VALUES (3, 'dropped')");
+    mustExec("UPDATE t SET v = 'changed' WHERE id = 1");
+    mustExec("ROLLBACK");
+
+    auto rs = mustExec("SELECT * FROM t");
+    ASSERT_EQ(rs.rows.size(), 2u);
+    EXPECT_EQ(rs.rows[0][1].asText(), "kept");
+}
+
+TEST_P(DatabaseTest, ErrorsSurfaceCleanly)
+{
+    mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+    EXPECT_EQ(db_->exec("SELECT * FROM missing").status().code(),
+              StatusCode::NotFound);
+    EXPECT_EQ(db_->exec("CREATE TABLE t (x INTEGER)").status().code(),
+              StatusCode::AlreadyExists);
+    EXPECT_EQ(db_->exec("INSERT INTO t VALUES (1)").status().code(),
+              StatusCode::InvalidArgument); // wrong arity
+    mustExec("INSERT INTO t VALUES (1, 'a')");
+    EXPECT_EQ(
+        db_->exec("INSERT INTO t VALUES (1, 'dup')").status().code(),
+        StatusCode::AlreadyExists);
+    EXPECT_EQ(db_->exec("bogus sql").status().code(),
+              StatusCode::ParseError);
+    // The database is still usable.
+    auto rs = mustExec("SELECT * FROM t");
+    EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+TEST_P(DatabaseTest, DropTable)
+{
+    mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+    mustExec("INSERT INTO t VALUES (1, 'x')");
+    mustExec("DROP TABLE t");
+    EXPECT_FALSE(db_->exec("SELECT * FROM t").isOk());
+    // Recreating reuses the name.
+    mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, w INTEGER)");
+    auto rs = mustExec("SELECT * FROM t");
+    EXPECT_EQ(rs.rows.size(), 0u);
+}
+
+TEST_P(DatabaseTest, PersistsAcrossReopen)
+{
+    mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+    mustExec("INSERT INTO t VALUES (1, 'persisted'), (2, 'also')");
+    db_.reset(); // close
+
+    auto reopened = Database::open(*device_, config_, /*format=*/false);
+    ASSERT_TRUE(reopened.isOk()) << reopened.status().toString();
+    auto rs = (*reopened)->exec("SELECT v FROM t WHERE id = 1");
+    ASSERT_TRUE(rs.isOk());
+    ASSERT_EQ(rs->rows.size(), 1u);
+    EXPECT_EQ(rs->rows[0][0].asText(), "persisted");
+}
+
+TEST_P(DatabaseTest, ManyRowsThroughSql)
+{
+    mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+    for (int i = 1; i <= 400; ++i) {
+        mustExec("INSERT INTO t VALUES (" + std::to_string(i) +
+                 ", 'value-" + std::to_string(i) + "')");
+    }
+    auto rs = mustExec("SELECT * FROM t WHERE id > 390");
+    EXPECT_EQ(rs.rows.size(), 10u);
+    rs = mustExec("SELECT * FROM t");
+    EXPECT_EQ(rs.rows.size(), 400u);
+}
+
+TEST_P(DatabaseTest, MultipleTables)
+{
+    mustExec("CREATE TABLE a (id INTEGER PRIMARY KEY, v TEXT)");
+    mustExec("CREATE TABLE b (id INTEGER PRIMARY KEY, w INTEGER)");
+    mustExec("INSERT INTO a VALUES (1, 'in-a')");
+    mustExec("INSERT INTO b VALUES (1, 99)");
+    auto rs = mustExec("SELECT * FROM a");
+    EXPECT_EQ(rs.rows[0][1].asText(), "in-a");
+    rs = mustExec("SELECT * FROM b");
+    EXPECT_EQ(rs.rows[0][1].asInteger(), 99);
+}
+
+TEST_P(DatabaseTest, BlobAndRealColumns)
+{
+    mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, score REAL, "
+             "payload BLOB)");
+    mustExec("INSERT INTO t VALUES (1, 2.5, x'deadbeef')");
+    auto rs = mustExec("SELECT score, payload FROM t WHERE id = 1");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(rs.rows[0][0].asReal(), 2.5);
+    ASSERT_EQ(rs.rows[0][1].asBlob().size(), 4u);
+    EXPECT_EQ(rs.rows[0][1].asBlob()[0], 0xde);
+}
+
+TEST_P(DatabaseTest, PrimaryKeyChangeViaUpdate)
+{
+    mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+    mustExec("INSERT INTO t VALUES (1, 'movable')");
+    mustExec("UPDATE t SET id = 100 WHERE id = 1");
+    auto rs = mustExec("SELECT * FROM t WHERE id = 100");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    rs = mustExec("SELECT * FROM t WHERE id = 1");
+    EXPECT_EQ(rs.rows.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, DatabaseTest,
+    ::testing::Values(EngineKind::Fast, EngineKind::Fash,
+                      EngineKind::Nvwal, EngineKind::LegacyWal,
+                      EngineKind::Journal),
+    [](const ::testing::TestParamInfo<EngineKind> &info) {
+        return core::engineKindName(info.param);
+    });
+
+TEST(DatabaseCrashTest, SqlLevelCrashAtomicity)
+{
+    PmConfig pm_cfg;
+    pm_cfg.size = 16u << 20;
+    pm_cfg.mode = PmMode::CacheSim;
+    PmDevice device(pm_cfg);
+    EngineConfig config;
+    config.kind = EngineKind::Fast;
+
+    {
+        auto db = Database::open(device, config, /*format=*/true);
+        ASSERT_TRUE(db.isOk());
+        ASSERT_TRUE((*db)->exec("CREATE TABLE t (id INTEGER PRIMARY "
+                                "KEY, v TEXT)")
+                        .isOk());
+        ASSERT_TRUE(
+            (*db)->exec("INSERT INTO t VALUES (1, 'committed')")
+                .isOk());
+        // An explicit transaction left open at "power failure".
+        ASSERT_TRUE((*db)->exec("BEGIN").isOk());
+        ASSERT_TRUE(
+            (*db)->exec("INSERT INTO t VALUES (2, 'uncommitted')")
+                .isOk());
+        device.crash();
+        device.reviveAfterCrash();
+        // db destroyed without commit.
+    }
+
+    auto db = Database::open(device, config, /*format=*/false);
+    ASSERT_TRUE(db.isOk()) << db.status().toString();
+    auto rs = (*db)->exec("SELECT * FROM t");
+    ASSERT_TRUE(rs.isOk());
+    ASSERT_EQ(rs->rows.size(), 1u);
+    EXPECT_EQ(rs->rows[0][1].asText(), "committed");
+}
+
+} // namespace
+} // namespace fasp::db

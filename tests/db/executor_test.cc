@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Focused executor tests: expression evaluation semantics, primary-key
+ * range planning behaviour, type handling, catalog persistence, and
+ * result rendering. Complements database_test.cc's end-to-end runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/database.h"
+#include "pm/device.h"
+
+namespace fasp::db {
+namespace {
+
+using core::EngineConfig;
+using core::EngineKind;
+using pm::PmConfig;
+using pm::PmDevice;
+
+class ExecutorTest : public ::testing::Test
+{
+  protected:
+    ExecutorTest()
+    {
+        PmConfig cfg;
+        cfg.size = 32u << 20;
+        device_ = std::make_unique<PmDevice>(cfg);
+        EngineConfig engine_cfg;
+        engine_cfg.kind = EngineKind::Fast;
+        db_ = std::move(
+            *Database::open(*device_, engine_cfg, /*format=*/true));
+        exec("CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, "
+             "b REAL, c TEXT)");
+        exec("INSERT INTO t VALUES (1, 10, 1.5, 'one'), "
+             "(2, 20, 2.5, 'two'), (3, 30, 3.5, 'three'), "
+             "(4, 40, 4.5, 'four'), (5, 50, 5.5, 'five')");
+    }
+
+    ResultSet
+    exec(const std::string &sql)
+    {
+        auto result = db_->exec(sql);
+        EXPECT_TRUE(result.isOk())
+            << sql << " -> " << result.status().toString();
+        return result.isOk() ? std::move(*result) : ResultSet{};
+    }
+
+    std::unique_ptr<PmDevice> device_;
+    std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExecutorTest, ArithmeticInProjectedPredicates)
+{
+    auto rs = exec("SELECT id FROM t WHERE a + 10 = 30");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 2);
+
+    rs = exec("SELECT id FROM t WHERE a * 2 > 60 AND a / 10 < 5");
+    ASSERT_EQ(rs.rows.size(), 1u); // a=40 only
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 4);
+}
+
+TEST_F(ExecutorTest, IntRealCoercion)
+{
+    auto rs = exec("SELECT id FROM t WHERE b > 3");
+    EXPECT_EQ(rs.rows.size(), 3u); // 3.5, 4.5, 5.5
+    rs = exec("SELECT id FROM t WHERE b = 2.5");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 2);
+    rs = exec("SELECT id FROM t WHERE a = 20.0");
+    EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+TEST_F(ExecutorTest, TextComparison)
+{
+    auto rs = exec("SELECT id FROM t WHERE c = 'three'");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 3);
+    rs = exec("SELECT id FROM t WHERE c < 'four'"); // 'five' only
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 5);
+}
+
+TEST_F(ExecutorTest, LogicalOperators)
+{
+    auto rs = exec("SELECT id FROM t WHERE a = 10 OR a = 50");
+    EXPECT_EQ(rs.rows.size(), 2u);
+    rs = exec("SELECT id FROM t WHERE NOT (a = 10)");
+    EXPECT_EQ(rs.rows.size(), 4u);
+    rs = exec("SELECT id FROM t WHERE a > 10 AND NOT a = 30 AND "
+              "(c = 'two' OR c = 'four')");
+    EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, DivisionByZeroYieldsNull)
+{
+    // NULL is not truthy, so the row is filtered out, not an error.
+    auto rs = exec("SELECT id FROM t WHERE a / 0 = 1");
+    EXPECT_EQ(rs.rows.size(), 0u);
+}
+
+TEST_F(ExecutorTest, PkRangePlanningMatchesFullScanSemantics)
+{
+    // These exercise the KeyRange extractor: results must be identical
+    // to predicate filtering even when the planner narrows the scan.
+    auto rs = exec("SELECT id FROM t WHERE id = 3");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    rs = exec("SELECT id FROM t WHERE 3 = id");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    rs = exec("SELECT id FROM t WHERE id >= 2 AND id < 5");
+    EXPECT_EQ(rs.rows.size(), 3u);
+    rs = exec("SELECT id FROM t WHERE 2 <= id AND 5 > id");
+    EXPECT_EQ(rs.rows.size(), 3u);
+    rs = exec("SELECT id FROM t WHERE id = 2 AND id = 4");
+    EXPECT_EQ(rs.rows.size(), 0u) << "contradictory point constraints";
+    rs = exec("SELECT id FROM t WHERE id = -5");
+    EXPECT_EQ(rs.rows.size(), 0u) << "negative rowids never match";
+    rs = exec("SELECT id FROM t WHERE id > 3 OR id = 1");
+    EXPECT_EQ(rs.rows.size(), 3u)
+        << "disjunctions must not narrow the scan";
+}
+
+TEST_F(ExecutorTest, UpdateWithExpressionsOverOldValues)
+{
+    exec("UPDATE t SET a = a + 1, c = 'bumped' WHERE id >= 4");
+    auto rs = exec("SELECT a, c FROM t WHERE id = 5");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 51);
+    EXPECT_EQ(rs.rows[0][1].asText(), "bumped");
+    rs = exec("SELECT a FROM t WHERE id = 3");
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 30);
+}
+
+TEST_F(ExecutorTest, DeleteAllThenTableIsEmpty)
+{
+    auto deleted = exec("DELETE FROM t");
+    EXPECT_EQ(deleted.affected, 5u);
+    auto rs = exec("SELECT * FROM t");
+    EXPECT_EQ(rs.rows.size(), 0u);
+}
+
+TEST_F(ExecutorTest, NullHandling)
+{
+    exec("INSERT INTO t VALUES (6, NULL, NULL, NULL)");
+    auto rs = exec("SELECT a FROM t WHERE id = 6");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_TRUE(rs.rows[0][0].isNull());
+    // NULL = NULL evaluates truthy here? Our Value::compare treats
+    // NULLs as equal, so the predicate matches row 6 only.
+    rs = exec("SELECT id FROM t WHERE a = NULL");
+    EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+TEST_F(ExecutorTest, ResultSetRendering)
+{
+    auto rs = exec("SELECT id, c FROM t WHERE id <= 2");
+    std::string text = rs.toString();
+    EXPECT_NE(text.find("id"), std::string::npos);
+    EXPECT_NE(text.find("'one'"), std::string::npos);
+    EXPECT_NE(text.find("'two'"), std::string::npos);
+    EXPECT_NE(text.find('\n'), std::string::npos);
+}
+
+TEST_F(ExecutorTest, CatalogSurvivesReopenWithManyTables)
+{
+    for (int i = 0; i < 20; ++i) {
+        exec("CREATE TABLE extra_" + std::to_string(i) +
+             " (id INTEGER PRIMARY KEY, v TEXT)");
+        exec("INSERT INTO extra_" + std::to_string(i) + " VALUES (" +
+             std::to_string(i) + ", 'payload')");
+    }
+    db_.reset();
+
+    EngineConfig engine_cfg;
+    engine_cfg.kind = EngineKind::Fast;
+    db_ = std::move(
+        *Database::open(*device_, engine_cfg, /*format=*/false));
+    for (int i = 0; i < 20; ++i) {
+        auto rs = exec("SELECT v FROM extra_" + std::to_string(i) +
+                       " WHERE id = " + std::to_string(i));
+        ASSERT_EQ(rs.rows.size(), 1u) << i;
+        EXPECT_EQ(rs.rows[0][0].asText(), "payload");
+    }
+    // The original table is intact too.
+    auto rs = exec("SELECT * FROM t");
+    EXPECT_EQ(rs.rows.size(), 5u);
+}
+
+TEST_F(ExecutorTest, ImplicitRowidsContinueAfterDeleteOfMax)
+{
+    exec("CREATE TABLE log (msg TEXT)");
+    exec("INSERT INTO log VALUES ('a')");
+    exec("INSERT INTO log VALUES ('b')");
+    exec("DELETE FROM log WHERE msg = 'b'");
+    // max+1 allocation: the freed rowid may be reused (SQLite reuses
+    // too without AUTOINCREMENT); either way inserts must succeed and
+    // rows stay distinct.
+    exec("INSERT INTO log VALUES ('c')");
+    exec("INSERT INTO log VALUES ('d')");
+    auto rs = exec("SELECT msg FROM log");
+    EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, CountStar)
+{
+    auto rs = exec("SELECT COUNT(*) FROM t");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 5);
+    EXPECT_EQ(rs.columns[0], "COUNT(*)");
+
+    rs = exec("SELECT COUNT(*) FROM t WHERE a >= 30");
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 3);
+
+    rs = exec("SELECT COUNT(*) FROM t WHERE id = 99");
+    EXPECT_EQ(rs.rows[0][0].asInteger(), 0);
+}
+
+TEST_F(ExecutorTest, ExecScriptRunsAllStatements)
+{
+    auto rs = db_->execScript(
+        "CREATE TABLE s (id INTEGER PRIMARY KEY, v TEXT);\n"
+        "INSERT INTO s VALUES (1, 'semi;colon');\n"
+        "INSERT INTO s VALUES (2, 'two');\n"
+        "SELECT COUNT(*) FROM s;");
+    ASSERT_TRUE(rs.isOk()) << rs.status().toString();
+    ASSERT_EQ(rs->rows.size(), 1u);
+    EXPECT_EQ(rs->rows[0][0].asInteger(), 2);
+
+    // Quoted semicolons must not split statements.
+    auto check = exec("SELECT v FROM s WHERE id = 1");
+    EXPECT_EQ(check.rows[0][0].asText(), "semi;colon");
+
+    // Errors stop the script.
+    auto bad = db_->execScript(
+        "INSERT INTO s VALUES (3, 'x'); BOGUS; "
+        "INSERT INTO s VALUES (4, 'y');");
+    EXPECT_FALSE(bad.isOk());
+    auto n = exec("SELECT COUNT(*) FROM s");
+    EXPECT_EQ(n.rows[0][0].asInteger(), 3)
+        << "statements after the error must not run";
+}
+
+} // namespace
+} // namespace fasp::db

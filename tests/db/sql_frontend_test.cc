@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit tests for the SQL front end: values, row codec, tokenizer, and
+ * parser (no storage engine involved).
+ */
+
+#include <gtest/gtest.h>
+
+#include "db/parser.h"
+#include "db/row_codec.h"
+#include "db/tokenizer.h"
+#include "db/value.h"
+
+namespace fasp::db {
+namespace {
+
+// --- Value -------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors)
+{
+    EXPECT_TRUE(Value::null().isNull());
+    EXPECT_EQ(Value::integer(42).asInteger(), 42);
+    EXPECT_DOUBLE_EQ(Value::real(2.5).asReal(), 2.5);
+    EXPECT_EQ(Value::text("hi").asText(), "hi");
+    EXPECT_EQ(Value::blob({1, 2, 3}).asBlob().size(), 3u);
+}
+
+TEST(ValueTest, NumericCoercionInComparison)
+{
+    EXPECT_EQ(Value::integer(2).compare(Value::real(2.0)), 0);
+    EXPECT_LT(Value::integer(2).compare(Value::real(2.5)), 0);
+    EXPECT_GT(Value::real(3.5).compare(Value::integer(3)), 0);
+}
+
+TEST(ValueTest, CrossTypeOrdering)
+{
+    // SQLite ordering: NULL < numbers < TEXT < BLOB.
+    EXPECT_LT(Value::null().compare(Value::integer(-100)), 0);
+    EXPECT_LT(Value::integer(1000).compare(Value::text("a")), 0);
+    EXPECT_LT(Value::text("zzz").compare(Value::blob({0})), 0);
+}
+
+TEST(ValueTest, Truthiness)
+{
+    EXPECT_TRUE(Value::integer(1).truthy());
+    EXPECT_FALSE(Value::integer(0).truthy());
+    EXPECT_TRUE(Value::real(0.1).truthy());
+    EXPECT_FALSE(Value::null().truthy());
+    EXPECT_FALSE(Value::text("x").truthy());
+}
+
+TEST(ValueTest, ToStringRendering)
+{
+    EXPECT_EQ(Value::null().toString(), "NULL");
+    EXPECT_EQ(Value::integer(-5).toString(), "-5");
+    EXPECT_EQ(Value::text("ab").toString(), "'ab'");
+    EXPECT_EQ(Value::blob({0x0f, 0xf0}).toString(), "x'0ff0'");
+}
+
+// --- Row codec ---------------------------------------------------------------
+
+TEST(RowCodecTest, RoundTripAllTypes)
+{
+    Row row;
+    row.push_back(Value::null());
+    row.push_back(Value::integer(-123456789));
+    row.push_back(Value::real(3.14159));
+    row.push_back(Value::text("hello world"));
+    row.push_back(Value::blob({0, 1, 2, 255}));
+
+    std::vector<std::uint8_t> bytes;
+    encodeRow(row, bytes);
+    Row decoded;
+    ASSERT_TRUE(decodeRow(bytes, decoded).isOk());
+    ASSERT_EQ(decoded.size(), row.size());
+    for (std::size_t i = 0; i < row.size(); ++i)
+        EXPECT_EQ(decoded[i].compare(row[i]), 0) << "column " << i;
+}
+
+TEST(RowCodecTest, EmptyRow)
+{
+    Row row;
+    std::vector<std::uint8_t> bytes;
+    encodeRow(row, bytes);
+    Row decoded;
+    ASSERT_TRUE(decodeRow(bytes, decoded).isOk());
+    EXPECT_TRUE(decoded.empty());
+}
+
+TEST(RowCodecTest, TruncationDetected)
+{
+    Row row{Value::text("a long-ish text value")};
+    std::vector<std::uint8_t> bytes;
+    encodeRow(row, bytes);
+    bytes.resize(bytes.size() - 3);
+    Row decoded;
+    EXPECT_FALSE(decodeRow(bytes, decoded).isOk());
+}
+
+// --- Tokenizer ---------------------------------------------------------------
+
+TEST(TokenizerTest, KeywordsUppercasedIdentifiersKept)
+{
+    auto tokens = tokenize("select Foo from bar");
+    ASSERT_TRUE(tokens.isOk());
+    EXPECT_EQ((*tokens)[0].type, TokenType::Keyword);
+    EXPECT_EQ((*tokens)[0].text, "SELECT");
+    EXPECT_EQ((*tokens)[1].type, TokenType::Identifier);
+    EXPECT_EQ((*tokens)[1].text, "Foo");
+    EXPECT_EQ((*tokens)[3].text, "bar");
+}
+
+TEST(TokenizerTest, NumericLiterals)
+{
+    auto tokens = tokenize("42 -7 3.5 1e3");
+    ASSERT_TRUE(tokens.isOk());
+    EXPECT_EQ((*tokens)[0].intValue, 42);
+    EXPECT_EQ((*tokens)[1].text, "-"); // unary minus handled in parser
+    EXPECT_EQ((*tokens)[2].intValue, 7);
+    EXPECT_DOUBLE_EQ((*tokens)[3].realValue, 3.5);
+    EXPECT_DOUBLE_EQ((*tokens)[4].realValue, 1000.0);
+}
+
+TEST(TokenizerTest, StringsWithEscapedQuotes)
+{
+    auto tokens = tokenize("'it''s'");
+    ASSERT_TRUE(tokens.isOk());
+    EXPECT_EQ((*tokens)[0].type, TokenType::String);
+    EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(TokenizerTest, BlobLiteral)
+{
+    auto tokens = tokenize("x'0aFF'");
+    ASSERT_TRUE(tokens.isOk());
+    EXPECT_EQ((*tokens)[0].type, TokenType::Blob);
+    ASSERT_EQ((*tokens)[0].blobValue.size(), 2u);
+    EXPECT_EQ((*tokens)[0].blobValue[0], 0x0a);
+    EXPECT_EQ((*tokens)[0].blobValue[1], 0xff);
+}
+
+TEST(TokenizerTest, MultiCharOperators)
+{
+    auto tokens = tokenize("a != b <= c >= d <> e");
+    ASSERT_TRUE(tokens.isOk());
+    EXPECT_EQ((*tokens)[1].text, "!=");
+    EXPECT_EQ((*tokens)[3].text, "<=");
+    EXPECT_EQ((*tokens)[5].text, ">=");
+    EXPECT_EQ((*tokens)[7].text, "!="); // <> normalizes to !=
+}
+
+TEST(TokenizerTest, CommentsSkipped)
+{
+    auto tokens = tokenize("select -- comment here\n 1");
+    ASSERT_TRUE(tokens.isOk());
+    EXPECT_EQ((*tokens)[0].text, "SELECT");
+    EXPECT_EQ((*tokens)[1].intValue, 1);
+}
+
+TEST(TokenizerTest, ErrorsOnUnterminatedString)
+{
+    EXPECT_FALSE(tokenize("'oops").isOk());
+    EXPECT_FALSE(tokenize("x'0a").isOk());
+    EXPECT_FALSE(tokenize("x'0g'").isOk());
+}
+
+TEST(TokenizerTest, ErrorsOnBadCharacter)
+{
+    EXPECT_FALSE(tokenize("select @foo").isOk());
+}
+
+// --- Parser ------------------------------------------------------------------
+
+TEST(ParserTest, CreateTable)
+{
+    auto stmt = parseStatement(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, "
+        "score REAL, data BLOB);");
+    ASSERT_TRUE(stmt.isOk()) << stmt.status().toString();
+    ASSERT_EQ(stmt->kind, StmtKind::CreateTable);
+    const auto &create = *stmt->createTable;
+    EXPECT_EQ(create.table, "t");
+    ASSERT_EQ(create.columns.size(), 4u);
+    EXPECT_TRUE(create.columns[0].primaryKey);
+    EXPECT_EQ(create.columns[1].type, ValueType::Text);
+    EXPECT_EQ(create.columns[2].type, ValueType::Real);
+    EXPECT_EQ(create.columns[3].type, ValueType::Blob);
+}
+
+TEST(ParserTest, InsertMultiRow)
+{
+    auto stmt = parseStatement(
+        "INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, x'00ff')");
+    ASSERT_TRUE(stmt.isOk());
+    ASSERT_EQ(stmt->kind, StmtKind::Insert);
+    EXPECT_EQ(stmt->insert->rows.size(), 3u);
+    EXPECT_EQ(stmt->insert->rows[0].size(), 2u);
+}
+
+TEST(ParserTest, SelectWithEverything)
+{
+    auto stmt = parseStatement(
+        "SELECT id, name FROM t WHERE id >= 5 AND name != 'x' "
+        "ORDER BY name DESC LIMIT 10");
+    ASSERT_TRUE(stmt.isOk()) << stmt.status().toString();
+    const auto &select = *stmt->select;
+    EXPECT_EQ(select.columns.size(), 2u);
+    ASSERT_NE(select.where, nullptr);
+    EXPECT_EQ(select.where->op, Op::And);
+    ASSERT_TRUE(select.orderBy.has_value());
+    EXPECT_EQ(*select.orderBy, "name");
+    EXPECT_TRUE(select.orderDesc);
+    ASSERT_TRUE(select.limit.has_value());
+    EXPECT_EQ(*select.limit, 10u);
+}
+
+TEST(ParserTest, SelectStar)
+{
+    auto stmt = parseStatement("SELECT * FROM t");
+    ASSERT_TRUE(stmt.isOk());
+    EXPECT_TRUE(stmt->select->columns.empty());
+    EXPECT_EQ(stmt->select->where, nullptr);
+}
+
+TEST(ParserTest, UpdateMultipleAssignments)
+{
+    auto stmt = parseStatement(
+        "UPDATE t SET a = a + 1, b = 'x' WHERE id = 3");
+    ASSERT_TRUE(stmt.isOk());
+    EXPECT_EQ(stmt->update->assignments.size(), 2u);
+    EXPECT_NE(stmt->update->where, nullptr);
+}
+
+TEST(ParserTest, DeleteWithWhere)
+{
+    auto stmt = parseStatement("DELETE FROM t WHERE id < 100");
+    ASSERT_TRUE(stmt.isOk());
+    EXPECT_EQ(stmt->kind, StmtKind::Delete);
+    EXPECT_NE(stmt->del->where, nullptr);
+}
+
+TEST(ParserTest, TransactionControl)
+{
+    EXPECT_EQ(parseStatement("BEGIN")->kind, StmtKind::Begin);
+    EXPECT_EQ(parseStatement("COMMIT;")->kind, StmtKind::Commit);
+    EXPECT_EQ(parseStatement("ROLLBACK")->kind, StmtKind::Rollback);
+}
+
+TEST(ParserTest, BetweenDesugarsToRange)
+{
+    auto stmt =
+        parseStatement("SELECT * FROM t WHERE id BETWEEN 3 AND 7");
+    ASSERT_TRUE(stmt.isOk()) << stmt.status().toString();
+    const Expr *where = stmt->select->where.get();
+    ASSERT_NE(where, nullptr);
+    EXPECT_EQ(where->op, Op::And);
+    EXPECT_EQ(where->lhs->op, Op::Ge);
+    EXPECT_EQ(where->rhs->op, Op::Le);
+}
+
+TEST(ParserTest, OperatorPrecedence)
+{
+    // 1 + 2 * 3 = 7 parses as 1 + (2*3); equality binds looser.
+    auto stmt = parseStatement("SELECT * FROM t WHERE a = 1 + 2 * 3");
+    ASSERT_TRUE(stmt.isOk());
+    const Expr *where = stmt->select->where.get();
+    EXPECT_EQ(where->op, Op::Eq);
+    EXPECT_EQ(where->rhs->op, Op::Add);
+    EXPECT_EQ(where->rhs->rhs->op, Op::Mul);
+}
+
+TEST(ParserTest, SyntaxErrorsReported)
+{
+    EXPECT_FALSE(parseStatement("SELECT FROM").isOk());
+    EXPECT_FALSE(parseStatement("CREATE TABLE t ()").isOk());
+    EXPECT_FALSE(parseStatement("INSERT INTO t (1)").isOk());
+    EXPECT_FALSE(parseStatement("SELECT * FROM t WHERE").isOk());
+    EXPECT_FALSE(parseStatement("SELECT * FROM t extra junk").isOk());
+    EXPECT_FALSE(parseStatement("").isOk());
+}
+
+TEST(ParserTest, NegativeNumbersViaUnaryMinus)
+{
+    auto stmt = parseStatement("INSERT INTO t VALUES (-5)");
+    ASSERT_TRUE(stmt.isOk());
+    const Expr &expr = *stmt->insert->rows[0][0];
+    EXPECT_EQ(expr.kind, ExprKind::Unary);
+    EXPECT_EQ(expr.op, Op::Neg);
+}
+
+} // namespace
+} // namespace fasp::db

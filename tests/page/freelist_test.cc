@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for intra-page free-list maintenance: consistency checks,
+ * lazy rebuild after scratch corruption (paper §4.3), and allocation
+ * behaviour from fragmented space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "page/page_io.h"
+#include "page/slotted_page.h"
+
+namespace fasp::page {
+namespace {
+
+constexpr std::size_t kPage = 4096;
+
+class FreeListTest : public ::testing::Test
+{
+  protected:
+    FreeListTest() : buf_(kPage, 0), io_(buf_.data(), kPage)
+    {
+        init(io_, PageType::Leaf, 0);
+    }
+
+    Status
+    insert(std::uint64_t key, std::size_t value_len)
+    {
+        std::vector<std::uint8_t> payload(8 + value_len, 0x44);
+        storeU64(payload.data(), key);
+        return insertRecord(io_, key,
+                            std::span<const std::uint8_t>(payload));
+    }
+
+    /** Delete + reclaim slot @p slot. */
+    void
+    eraseAndReclaim(std::uint16_t slot)
+    {
+        RecordRef old_ref{};
+        ASSERT_TRUE(eraseRecord(io_, slot, &old_ref).isOk());
+        reclaimExtent(io_, old_ref);
+    }
+
+    std::uint16_t
+    scratchFreeHead()
+    {
+        return io_.readScratchU16(
+            static_cast<std::uint16_t>(kPage - kScratchBytes));
+    }
+
+    std::vector<std::uint8_t> buf_;
+    BufferPageIO io_;
+};
+
+TEST_F(FreeListTest, EmptyListIsConsistent)
+{
+    EXPECT_TRUE(freeListConsistent(io_));
+    EXPECT_EQ(fragFree(io_), 0);
+}
+
+TEST_F(FreeListTest, ReclaimedExtentsChainUp)
+{
+    for (std::uint64_t key = 1; key <= 5; ++key)
+        ASSERT_TRUE(insert(key, 24).isOk());
+    eraseAndReclaim(1);
+    eraseAndReclaim(2); // was slot 3 before the first erase
+    EXPECT_EQ(fragFree(io_), 2 * (2 + 8 + 24));
+    EXPECT_TRUE(freeListConsistent(io_));
+}
+
+TEST_F(FreeListTest, ConsistencyDetectsBadTotal)
+{
+    for (std::uint64_t key = 1; key <= 3; ++key)
+        ASSERT_TRUE(insert(key, 24).isOk());
+    eraseAndReclaim(0);
+    ASSERT_TRUE(freeListConsistent(io_));
+    // Corrupt freeTotal.
+    io_.writeScratchU16(static_cast<std::uint16_t>(kPage - 6), 9999);
+    EXPECT_FALSE(freeListConsistent(io_));
+}
+
+TEST_F(FreeListTest, ConsistencyDetectsDanglingHead)
+{
+    io_.writeScratchU16(static_cast<std::uint16_t>(kPage - 8), 0xfff0);
+    EXPECT_FALSE(freeListConsistent(io_));
+}
+
+TEST_F(FreeListTest, ConsistencyDetectsOverlapWithRecord)
+{
+    ASSERT_TRUE(insert(1, 24).isOk());
+    std::uint16_t rec_off = slotOffset(io_, 0);
+    // Forge a free block right on top of the live record.
+    io_.writeScratchU16(rec_off, 16);
+    io_.writeScratchU16(rec_off + 2, 0);
+    io_.writeScratchU16(static_cast<std::uint16_t>(kPage - 8), rec_off);
+    io_.writeScratchU16(static_cast<std::uint16_t>(kPage - 6), 16);
+    EXPECT_FALSE(freeListConsistent(io_));
+}
+
+TEST_F(FreeListTest, RebuildRecoversAllGaps)
+{
+    for (std::uint64_t key = 1; key <= 8; ++key)
+        ASSERT_TRUE(insert(key, 24).isOk());
+    eraseAndReclaim(1);
+    eraseAndReclaim(3);
+    eraseAndReclaim(5);
+    std::uint16_t expected = fragFree(io_);
+    ASSERT_GT(expected, 0);
+
+    // Simulate a crash that lost every scratch write: zero the footer.
+    io_.writeScratchU16(static_cast<std::uint16_t>(kPage - 8), 0);
+    io_.writeScratchU16(static_cast<std::uint16_t>(kPage - 6), 0);
+    EXPECT_EQ(fragFree(io_), 0);
+
+    rebuildFreeList(io_);
+    EXPECT_EQ(fragFree(io_), expected);
+    EXPECT_TRUE(freeListConsistent(io_));
+}
+
+TEST_F(FreeListTest, RebuildOnEmptyPageYieldsNothing)
+{
+    rebuildFreeList(io_);
+    EXPECT_EQ(fragFree(io_), 0);
+    EXPECT_EQ(scratchFreeHead(), 0);
+    EXPECT_TRUE(freeListConsistent(io_));
+}
+
+TEST_F(FreeListTest, AllocationSelfHealsFromGarbageChain)
+{
+    // Fill the gap, then free a record so an allocation must walk the
+    // free list.
+    std::uint64_t key = 1;
+    while (checkFit(io_, 32) == FitResult::Fits)
+        ASSERT_TRUE(insert(key++, 24).isOk());
+    eraseAndReclaim(0);
+
+    // Corrupt the chain head to a bogus offset; the allocator must
+    // rebuild lazily and still succeed (paper §4.3: inconsistent free
+    // lists are corrected in a lazy manner).
+    io_.writeScratchU16(static_cast<std::uint16_t>(kPage - 8), 0xfffc);
+    std::vector<std::uint8_t> payload(32, 0x11);
+    storeU64(payload.data(), key);
+    EXPECT_TRUE(insertRecord(io_, key,
+                             std::span<const std::uint8_t>(payload))
+                    .isOk());
+    EXPECT_TRUE(checkIntegrity(io_).isOk());
+}
+
+TEST_F(FreeListTest, SplitBlockLeavesRemainderOnList)
+{
+    for (std::uint64_t key = 1; key <= 2; ++key)
+        ASSERT_TRUE(insert(key, 100).isOk());
+    // Exhaust the gap.
+    std::uint64_t key = 10;
+    while (checkFit(io_, 32) == FitResult::Fits)
+        ASSERT_TRUE(insert(key++, 24).isOk());
+    // Free the 100-byte-value record: a 110-byte block.
+    eraseAndReclaim(0);
+    std::uint16_t before = fragFree(io_);
+    ASSERT_EQ(before, 110);
+
+    // Insert a 24-byte-value record (34-byte footprint): splits block.
+    std::vector<std::uint8_t> payload(32, 0x22);
+    storeU64(payload.data(), 9999999);
+    ASSERT_TRUE(insertRecord(io_, 9999999,
+                             std::span<const std::uint8_t>(payload))
+                    .isOk());
+    EXPECT_EQ(fragFree(io_), 110 - 34);
+    EXPECT_TRUE(freeListConsistent(io_));
+    EXPECT_TRUE(checkIntegrity(io_).isOk());
+}
+
+TEST_F(FreeListTest, TinyRemainderTakenWhole)
+{
+    ASSERT_TRUE(insert(1, 30).isOk()); // footprint 40
+    std::uint64_t key = 10;
+    while (checkFit(io_, 32) == FitResult::Fits)
+        ASSERT_TRUE(insert(key++, 24).isOk());
+    eraseAndReclaim(0); // 40-byte block
+    // 38-byte footprint leaves remainder 2 < kMinFreeBlock: take all.
+    std::vector<std::uint8_t> payload(36, 0x33);
+    storeU64(payload.data(), 8888888);
+    ASSERT_TRUE(insertRecord(io_, 8888888,
+                             std::span<const std::uint8_t>(payload))
+                    .isOk());
+    EXPECT_EQ(fragFree(io_), 0);
+    EXPECT_EQ(scratchFreeHead(), 0);
+    EXPECT_TRUE(checkIntegrity(io_).isOk());
+}
+
+} // namespace
+} // namespace fasp::page

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the CLWB model (persist without eviction) and its
+ * interaction with the read-latency accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pm/device.h"
+
+namespace fasp::pm {
+namespace {
+
+PmConfig
+config(bool clwb, PmMode mode = PmMode::Direct)
+{
+    PmConfig cfg;
+    cfg.size = 1u << 16;
+    cfg.mode = mode;
+    cfg.latency = LatencyModel::of(500, 500);
+    cfg.useClwb = clwb;
+    return cfg;
+}
+
+TEST(ClwbTest, ClflushEvictsClwbDoesNot)
+{
+    {
+        PmDevice dev(config(/*clwb=*/false));
+        dev.writeU64(4096, 7);
+        dev.clflush(4096);
+        std::uint64_t misses = dev.stats().readMisses;
+        std::uint8_t buf[8];
+        dev.read(4096, buf, 8);
+        EXPECT_EQ(dev.stats().readMisses, misses + 1)
+            << "CLFLUSH must evict: the next read misses";
+    }
+    {
+        PmDevice dev(config(/*clwb=*/true));
+        dev.writeU64(4096, 7);
+        dev.clflush(4096); // modelled as CLWB
+        std::uint64_t misses = dev.stats().readMisses;
+        std::uint8_t buf[8];
+        dev.read(4096, buf, 8);
+        EXPECT_EQ(dev.stats().readMisses, misses)
+            << "CLWB keeps the line cached: the next read hits";
+    }
+}
+
+TEST(ClwbTest, SameWriteLatencyCharge)
+{
+    PmDevice flush_dev(config(false));
+    PmDevice clwb_dev(config(true));
+    flush_dev.writeU64(0, 1);
+    clwb_dev.writeU64(0, 1);
+    flush_dev.clflush(0);
+    clwb_dev.clflush(0);
+    EXPECT_EQ(flush_dev.stats().modelNs, clwb_dev.stats().modelNs)
+        << "persisting costs the same either way";
+    EXPECT_EQ(flush_dev.stats().clflushes, 1u);
+    EXPECT_EQ(clwb_dev.stats().clflushes, 1u);
+}
+
+TEST(ClwbTest, DurabilityIdenticalInCacheSim)
+{
+    PmDevice dev(config(/*clwb=*/true, PmMode::CacheSim));
+    dev.writeU64(0, 0x77);
+    EXPECT_EQ(dev.durableData()[0], 0);
+    dev.clflush(0);
+    EXPECT_EQ(dev.durableData()[0], 0x77);
+    EXPECT_EQ(dev.dirtyLineCount(), 0u)
+        << "CLWB makes the line durable exactly like CLFLUSH";
+
+    // Crash after CLWB: the written-back data survives.
+    dev.writeU64(64, 0x88);
+    dev.clflush(64);
+    dev.writeU64(128, 0x99); // never written back
+    dev.crash();
+    dev.reviveAfterCrash();
+    EXPECT_EQ(dev.readU64(64), 0x88u);
+    EXPECT_EQ(dev.readU64(128), 0u);
+}
+
+} // namespace
+} // namespace fasp::pm

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the phase tracker and its interaction with the device.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pm/device.h"
+#include "pm/phase.h"
+
+namespace fasp::pm {
+namespace {
+
+TEST(PhaseTrackerTest, StartsAtZero)
+{
+    PhaseTracker tracker;
+    EXPECT_EQ(tracker.totalNs(Component::Search), 0u);
+    EXPECT_EQ(tracker.grandTotalNs(), 0u);
+    EXPECT_EQ(tracker.grandTotalFlushes(), 0u);
+}
+
+TEST(PhaseTrackerTest, ModelTimeAttributedToCurrentComponent)
+{
+    PhaseTracker tracker;
+    {
+        PhaseScope scope(&tracker, Component::LogFlush);
+        tracker.addModelNs(500);
+    }
+    {
+        PhaseScope scope(&tracker, Component::Checkpoint);
+        tracker.addModelNs(200);
+    }
+    EXPECT_EQ(tracker.modelNs(Component::LogFlush), 500u);
+    EXPECT_EQ(tracker.modelNs(Component::Checkpoint), 200u);
+    EXPECT_EQ(tracker.modelNs(Component::Search), 0u);
+}
+
+TEST(PhaseTrackerTest, NestedScopesAttributeExclusively)
+{
+    PhaseTracker tracker;
+    {
+        PhaseScope outer(&tracker, Component::Search);
+        tracker.addModelNs(100);
+        {
+            PhaseScope inner(&tracker, Component::FlushRecord);
+            tracker.addModelNs(40);
+        }
+        tracker.addModelNs(1);
+    }
+    EXPECT_EQ(tracker.modelNs(Component::Search), 101u);
+    EXPECT_EQ(tracker.modelNs(Component::FlushRecord), 40u);
+}
+
+TEST(PhaseTrackerTest, WallTimeAccumulates)
+{
+    PhaseTracker tracker;
+    {
+        PhaseScope scope(&tracker, Component::NvwalCompute);
+        volatile std::uint64_t sink = 0;
+        for (int i = 0; i < 100000; ++i)
+            sink = sink + i;
+    }
+    EXPECT_GT(tracker.wallNs(Component::NvwalCompute), 0u);
+}
+
+TEST(PhaseTrackerTest, ResetClears)
+{
+    PhaseTracker tracker;
+    {
+        PhaseScope scope(&tracker, Component::Search);
+        tracker.addModelNs(5);
+        tracker.countFlush();
+    }
+    tracker.reset();
+    EXPECT_EQ(tracker.modelNs(Component::Search), 0u);
+    EXPECT_EQ(tracker.flushCount(Component::Search), 0u);
+}
+
+TEST(PhaseTrackerTest, NullTrackerScopeIsNoop)
+{
+    PhaseScope scope(nullptr, Component::Search); // must not crash
+}
+
+TEST(PhaseDeviceTest, DeviceChargesIntoActiveComponent)
+{
+    PmConfig cfg;
+    cfg.size = 4096;
+    cfg.latency = LatencyModel::of(300, 700);
+    PmDevice dev(cfg);
+    PhaseTracker tracker;
+    dev.setPhaseTracker(&tracker);
+
+    {
+        PhaseScope scope(&tracker, Component::FlushRecord);
+        dev.writeU64(0, 1);
+        dev.clflush(0);
+    }
+    {
+        PhaseScope scope(&tracker, Component::LogFlush);
+        dev.writeU64(64, 2);
+        dev.clflush(64);
+        dev.clflush(64);
+    }
+    EXPECT_EQ(tracker.modelNs(Component::FlushRecord), 700u);
+    EXPECT_EQ(tracker.flushCount(Component::FlushRecord), 1u);
+    EXPECT_EQ(tracker.modelNs(Component::LogFlush), 1400u);
+    EXPECT_EQ(tracker.flushCount(Component::LogFlush), 2u);
+    EXPECT_EQ(tracker.grandTotalFlushes(), 3u);
+}
+
+TEST(PhaseDeviceTest, ReadMissChargedToActiveComponent)
+{
+    PmConfig cfg;
+    cfg.size = 1u << 16;
+    cfg.latency = LatencyModel::of(620, 300); // penalty 500
+    PmDevice dev(cfg);
+    PhaseTracker tracker;
+    dev.setPhaseTracker(&tracker);
+    dev.invalidateTagCache();
+
+    std::uint8_t buf[8];
+    {
+        PhaseScope scope(&tracker, Component::Search);
+        dev.read(4096, buf, 8);
+    }
+    EXPECT_EQ(tracker.modelNs(Component::Search), 500u);
+    EXPECT_EQ(tracker.readMissCount(Component::Search), 1u);
+}
+
+TEST(PhaseTrackerTest, ComponentNamesAreDistinct)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Component::NumComponents); ++i) {
+        const char *name = componentName(static_cast<Component>(i));
+        EXPECT_STRNE(name, "?");
+    }
+}
+
+} // namespace
+} // namespace fasp::pm

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the volatile buffer cache used by the baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wal/volatile_cache.h"
+
+namespace fasp::wal {
+namespace {
+
+class VolatileCacheTest : public ::testing::Test
+{
+  protected:
+    VolatileCacheTest()
+        : cache_(256, 4,
+                 [this](PageId pid, std::vector<std::uint8_t> &out) {
+                     fetches_++;
+                     out.assign(256, static_cast<std::uint8_t>(pid));
+                 })
+    {}
+
+    VolatileCache cache_;
+    int fetches_ = 0;
+};
+
+TEST_F(VolatileCacheTest, MissFetchesHitDoesNot)
+{
+    CachedPage &page = cache_.get(7);
+    EXPECT_EQ(page.data[0], 7);
+    EXPECT_EQ(fetches_, 1);
+    cache_.get(7);
+    EXPECT_EQ(fetches_, 1);
+    EXPECT_EQ(cache_.hits(), 1u);
+    EXPECT_EQ(cache_.misses(), 1u);
+}
+
+TEST_F(VolatileCacheTest, CommitPromotesCleanSnapshot)
+{
+    CachedPage &page = cache_.get(1);
+    cache_.markDirty(1);
+    page.data[10] = 0xff;
+    EXPECT_NE(page.data, page.clean);
+    cache_.commitPage(1);
+    EXPECT_EQ(page.data, page.clean);
+    EXPECT_FALSE(page.dirty);
+}
+
+TEST_F(VolatileCacheTest, RollbackRestoresClean)
+{
+    CachedPage &page = cache_.get(1);
+    cache_.markDirty(1);
+    page.data[10] = 0xff;
+    cache_.rollbackPage(1);
+    EXPECT_EQ(page.data[10], 1);
+    EXPECT_FALSE(page.dirty);
+}
+
+TEST_F(VolatileCacheTest, EvictsLruCleanPage)
+{
+    for (PageId pid = 1; pid <= 4; ++pid)
+        cache_.get(pid);
+    EXPECT_EQ(cache_.size(), 4u);
+    cache_.get(2); // touch: 1 is now LRU
+    cache_.get(5); // evicts 1
+    EXPECT_EQ(cache_.size(), 4u);
+    EXPECT_EQ(cache_.find(1), nullptr);
+    EXPECT_NE(cache_.find(2), nullptr);
+}
+
+TEST_F(VolatileCacheTest, DirtyPagesPinAgainstEviction)
+{
+    for (PageId pid = 1; pid <= 4; ++pid) {
+        cache_.get(pid);
+        cache_.markDirty(pid);
+    }
+    cache_.get(5); // nothing evictable: cache grows
+    EXPECT_EQ(cache_.size(), 5u);
+    for (PageId pid = 1; pid <= 4; ++pid)
+        EXPECT_NE(cache_.find(pid), nullptr);
+}
+
+TEST_F(VolatileCacheTest, PinnedPagesSurviveEviction)
+{
+    for (PageId pid = 1; pid <= 4; ++pid) {
+        cache_.get(pid);
+        cache_.pin(pid);
+    }
+    cache_.get(9);
+    for (PageId pid = 1; pid <= 4; ++pid)
+        EXPECT_NE(cache_.find(pid), nullptr);
+    cache_.unpinAll();
+    // With pins released, eviction works again: each further miss
+    // evicts one clean page, so the size stays bounded.
+    std::size_t size_before = cache_.size();
+    cache_.get(10);
+    cache_.get(11);
+    EXPECT_EQ(cache_.size(), size_before);
+}
+
+TEST_F(VolatileCacheTest, DirtyPagesSortedDeterministically)
+{
+    cache_.get(3);
+    cache_.get(1);
+    cache_.get(2);
+    cache_.markDirty(3);
+    cache_.markDirty(1);
+    auto dirty = cache_.dirtyPages();
+    ASSERT_EQ(dirty.size(), 2u);
+    EXPECT_EQ(dirty[0], 1u);
+    EXPECT_EQ(dirty[1], 3u);
+}
+
+TEST_F(VolatileCacheTest, InstallFreshZeroed)
+{
+    CachedPage &page = cache_.installFresh(42);
+    EXPECT_EQ(page.data.size(), 256u);
+    for (auto b : page.data)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(fetches_, 0);
+}
+
+TEST_F(VolatileCacheTest, ClearDropsEverything)
+{
+    cache_.get(1);
+    cache_.get(2);
+    cache_.clear();
+    EXPECT_EQ(cache_.size(), 0u);
+}
+
+} // namespace
+} // namespace fasp::wal

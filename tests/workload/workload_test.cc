@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/workload.h"
+
+namespace fasp::workload {
+namespace {
+
+TEST(KeyStreamTest, SequentialCountsUp)
+{
+    KeyStream keys(KeyPattern::Sequential, 1);
+    EXPECT_EQ(keys.next(), 1u);
+    EXPECT_EQ(keys.next(), 2u);
+    EXPECT_EQ(keys.next(), 3u);
+}
+
+TEST(KeyStreamTest, UniformIsDeterministicAndDistinct)
+{
+    KeyStream a(KeyPattern::UniformRandom, 7);
+    KeyStream b(KeyPattern::UniformRandom, 7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t key = a.next();
+        EXPECT_EQ(key, b.next());
+        seen.insert(key);
+    }
+    EXPECT_EQ(seen.size(), 10000u) << "64-bit keys must not collide";
+}
+
+TEST(KeyStreamTest, ZipfStaysInPopulation)
+{
+    KeyStream keys(KeyPattern::Zipfian, 3, 1000);
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t key = keys.next();
+        EXPECT_GE(key, 1u);
+        EXPECT_LE(key, 1000u);
+    }
+}
+
+TEST(ValueGenTest, FixedSizeExact)
+{
+    ValueGen gen = ValueGen::fixed(77);
+    std::vector<std::uint8_t> out;
+    for (int i = 0; i < 10; ++i) {
+        gen.next(out);
+        EXPECT_EQ(out.size(), 77u);
+    }
+}
+
+TEST(ValueGenTest, UniformSizeInRange)
+{
+    ValueGen gen = ValueGen::uniform(10, 50);
+    std::set<std::size_t> sizes;
+    std::vector<std::uint8_t> out;
+    for (int i = 0; i < 2000; ++i) {
+        gen.next(out);
+        EXPECT_GE(out.size(), 10u);
+        EXPECT_LE(out.size(), 50u);
+        sizes.insert(out.size());
+    }
+    EXPECT_GT(sizes.size(), 30u) << "sizes should vary";
+}
+
+TEST(ValueGenTest, ContentVaries)
+{
+    ValueGen gen = ValueGen::fixed(32);
+    std::vector<std::uint8_t> a, b;
+    gen.next(a);
+    gen.next(b);
+    EXPECT_NE(a, b);
+}
+
+TEST(MixedWorkloadTest, OnlyTargetsLiveKeys)
+{
+    MixedWorkload workload({40, 25, 20}, 5);
+    std::set<std::uint64_t> live;
+    for (int i = 0; i < 20000; ++i) {
+        Op op = workload.next();
+        switch (op.type) {
+          case OpType::Insert:
+            EXPECT_EQ(live.count(op.key), 0u);
+            live.insert(op.key);
+            break;
+          case OpType::Update:
+          case OpType::Lookup:
+            EXPECT_EQ(live.count(op.key), 1u);
+            break;
+          case OpType::Delete:
+            EXPECT_EQ(live.count(op.key), 1u);
+            live.erase(op.key);
+            break;
+        }
+    }
+    EXPECT_EQ(live.size(), workload.liveKeys());
+}
+
+TEST(MixedWorkloadTest, MixRoughlyCalibrated)
+{
+    MixedWorkload workload({50, 20, 10}, 11);
+    std::map<OpType, int> counts;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        counts[workload.next().type]++;
+    EXPECT_NEAR(counts[OpType::Insert] / double(n), 0.50, 0.03);
+    EXPECT_NEAR(counts[OpType::Update] / double(n), 0.20, 0.03);
+    EXPECT_NEAR(counts[OpType::Delete] / double(n), 0.10, 0.03);
+    EXPECT_NEAR(counts[OpType::Lookup] / double(n), 0.20, 0.03);
+}
+
+TEST(MixedWorkloadTest, FirstOpIsAlwaysInsert)
+{
+    MixedWorkload workload({0, 50, 25}, 13);
+    // Even with 0% insert weight, an empty table forces inserts.
+    Op op = workload.next();
+    EXPECT_EQ(op.type, OpType::Insert);
+}
+
+TEST(MixedWorkloadTest, KeysFitSignedInt64)
+{
+    MixedWorkload workload({100, 0, 0}, 17);
+    for (int i = 0; i < 10000; ++i) {
+        Op op = workload.next();
+        EXPECT_LE(op.key,
+                  static_cast<std::uint64_t>(
+                      std::numeric_limits<std::int64_t>::max()))
+            << "keys must survive a SQL integer-literal round trip";
+    }
+}
+
+} // namespace
+} // namespace fasp::workload
