@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_commit_breakdown.dir/fig08_commit_breakdown.cc.o"
+  "CMakeFiles/fig08_commit_breakdown.dir/fig08_commit_breakdown.cc.o.d"
+  "fig08_commit_breakdown"
+  "fig08_commit_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_commit_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

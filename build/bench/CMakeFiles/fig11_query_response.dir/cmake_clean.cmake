@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_query_response.dir/fig11_query_response.cc.o"
+  "CMakeFiles/fig11_query_response.dir/fig11_query_response.cc.o.d"
+  "fig11_query_response"
+  "fig11_query_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_query_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tblA_write_amplification.dir/tblA_write_amplification.cc.o"
+  "CMakeFiles/tblA_write_amplification.dir/tblA_write_amplification.cc.o.d"
+  "tblA_write_amplification"
+  "tblA_write_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tblA_write_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tblB_defrag_overhead.dir/tblB_defrag_overhead.cc.o"
+  "CMakeFiles/tblB_defrag_overhead.dir/tblB_defrag_overhead.cc.o.d"
+  "tblB_defrag_overhead"
+  "tblB_defrag_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tblB_defrag_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tblC_htm_aborts.dir/tblC_htm_aborts.cc.o"
+  "CMakeFiles/tblC_htm_aborts.dir/tblC_htm_aborts.cc.o.d"
+  "tblC_htm_aborts"
+  "tblC_htm_aborts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tblC_htm_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

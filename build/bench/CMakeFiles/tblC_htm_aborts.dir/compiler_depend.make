@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tblC_htm_aborts.
+# This may be replaced when dependencies are built.

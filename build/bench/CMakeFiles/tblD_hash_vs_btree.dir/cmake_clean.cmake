@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tblD_hash_vs_btree.dir/tblD_hash_vs_btree.cc.o"
+  "CMakeFiles/tblD_hash_vs_btree.dir/tblD_hash_vs_btree.cc.o.d"
+  "tblD_hash_vs_btree"
+  "tblD_hash_vs_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tblD_hash_vs_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

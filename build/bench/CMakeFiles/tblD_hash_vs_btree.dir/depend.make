@@ -1,0 +1,2 @@
+# Empty dependencies file for tblD_hash_vs_btree.
+# This may be replaced when dependencies are built.

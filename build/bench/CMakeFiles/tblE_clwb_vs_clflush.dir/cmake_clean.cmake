@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tblE_clwb_vs_clflush.dir/tblE_clwb_vs_clflush.cc.o"
+  "CMakeFiles/tblE_clwb_vs_clflush.dir/tblE_clwb_vs_clflush.cc.o.d"
+  "tblE_clwb_vs_clflush"
+  "tblE_clwb_vs_clflush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tblE_clwb_vs_clflush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

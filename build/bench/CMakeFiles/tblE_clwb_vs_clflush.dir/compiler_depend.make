@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tblE_clwb_vs_clflush.
+# This may be replaced when dependencies are built.

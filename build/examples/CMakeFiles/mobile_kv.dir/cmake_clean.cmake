@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_kv.dir/mobile_kv.cpp.o"
+  "CMakeFiles/mobile_kv.dir/mobile_kv.cpp.o.d"
+  "mobile_kv"
+  "mobile_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

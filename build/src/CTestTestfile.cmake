@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("pm")
+subdirs("htm")
+subdirs("page")
+subdirs("pager")
+subdirs("wal")
+subdirs("btree")
+subdirs("core")
+subdirs("db")
+subdirs("workload")
+subdirs("bench_util")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasp_bench_util.dir/runner.cc.o"
+  "CMakeFiles/fasp_bench_util.dir/runner.cc.o.d"
+  "CMakeFiles/fasp_bench_util.dir/table.cc.o"
+  "CMakeFiles/fasp_bench_util.dir/table.cc.o.d"
+  "libfasp_bench_util.a"
+  "libfasp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/btree/CMakeFiles/fasp_btree.dir/btree.cc.o" "gcc" "src/btree/CMakeFiles/fasp_btree.dir/btree.cc.o.d"
+  "/root/repo/src/btree/hash_index.cc" "src/btree/CMakeFiles/fasp_btree.dir/hash_index.cc.o" "gcc" "src/btree/CMakeFiles/fasp_btree.dir/hash_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fasp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/fasp_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/fasp_pm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

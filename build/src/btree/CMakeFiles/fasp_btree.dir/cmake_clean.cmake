@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasp_btree.dir/btree.cc.o"
+  "CMakeFiles/fasp_btree.dir/btree.cc.o.d"
+  "CMakeFiles/fasp_btree.dir/hash_index.cc.o"
+  "CMakeFiles/fasp_btree.dir/hash_index.cc.o.d"
+  "libfasp_btree.a"
+  "libfasp_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasp_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

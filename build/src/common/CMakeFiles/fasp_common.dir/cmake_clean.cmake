@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasp_common.dir/crc32.cc.o"
+  "CMakeFiles/fasp_common.dir/crc32.cc.o.d"
+  "CMakeFiles/fasp_common.dir/logging.cc.o"
+  "CMakeFiles/fasp_common.dir/logging.cc.o.d"
+  "CMakeFiles/fasp_common.dir/rng.cc.o"
+  "CMakeFiles/fasp_common.dir/rng.cc.o.d"
+  "CMakeFiles/fasp_common.dir/status.cc.o"
+  "CMakeFiles/fasp_common.dir/status.cc.o.d"
+  "libfasp_common.a"
+  "libfasp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

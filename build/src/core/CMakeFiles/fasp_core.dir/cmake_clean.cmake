@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasp_core.dir/buffered_engine.cc.o"
+  "CMakeFiles/fasp_core.dir/buffered_engine.cc.o.d"
+  "CMakeFiles/fasp_core.dir/engine.cc.o"
+  "CMakeFiles/fasp_core.dir/engine.cc.o.d"
+  "CMakeFiles/fasp_core.dir/fasp_engine.cc.o"
+  "CMakeFiles/fasp_core.dir/fasp_engine.cc.o.d"
+  "CMakeFiles/fasp_core.dir/fasp_page_io.cc.o"
+  "CMakeFiles/fasp_core.dir/fasp_page_io.cc.o.d"
+  "libfasp_core.a"
+  "libfasp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/ast.cc" "src/db/CMakeFiles/fasp_db.dir/ast.cc.o" "gcc" "src/db/CMakeFiles/fasp_db.dir/ast.cc.o.d"
+  "/root/repo/src/db/catalog.cc" "src/db/CMakeFiles/fasp_db.dir/catalog.cc.o" "gcc" "src/db/CMakeFiles/fasp_db.dir/catalog.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/fasp_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/fasp_db.dir/database.cc.o.d"
+  "/root/repo/src/db/executor.cc" "src/db/CMakeFiles/fasp_db.dir/executor.cc.o" "gcc" "src/db/CMakeFiles/fasp_db.dir/executor.cc.o.d"
+  "/root/repo/src/db/parser.cc" "src/db/CMakeFiles/fasp_db.dir/parser.cc.o" "gcc" "src/db/CMakeFiles/fasp_db.dir/parser.cc.o.d"
+  "/root/repo/src/db/row_codec.cc" "src/db/CMakeFiles/fasp_db.dir/row_codec.cc.o" "gcc" "src/db/CMakeFiles/fasp_db.dir/row_codec.cc.o.d"
+  "/root/repo/src/db/tokenizer.cc" "src/db/CMakeFiles/fasp_db.dir/tokenizer.cc.o" "gcc" "src/db/CMakeFiles/fasp_db.dir/tokenizer.cc.o.d"
+  "/root/repo/src/db/value.cc" "src/db/CMakeFiles/fasp_db.dir/value.cc.o" "gcc" "src/db/CMakeFiles/fasp_db.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fasp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fasp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/fasp_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/fasp_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/fasp_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/pager/CMakeFiles/fasp_pager.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/fasp_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/fasp_page.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasp_db.dir/ast.cc.o"
+  "CMakeFiles/fasp_db.dir/ast.cc.o.d"
+  "CMakeFiles/fasp_db.dir/catalog.cc.o"
+  "CMakeFiles/fasp_db.dir/catalog.cc.o.d"
+  "CMakeFiles/fasp_db.dir/database.cc.o"
+  "CMakeFiles/fasp_db.dir/database.cc.o.d"
+  "CMakeFiles/fasp_db.dir/executor.cc.o"
+  "CMakeFiles/fasp_db.dir/executor.cc.o.d"
+  "CMakeFiles/fasp_db.dir/parser.cc.o"
+  "CMakeFiles/fasp_db.dir/parser.cc.o.d"
+  "CMakeFiles/fasp_db.dir/row_codec.cc.o"
+  "CMakeFiles/fasp_db.dir/row_codec.cc.o.d"
+  "CMakeFiles/fasp_db.dir/tokenizer.cc.o"
+  "CMakeFiles/fasp_db.dir/tokenizer.cc.o.d"
+  "CMakeFiles/fasp_db.dir/value.cc.o"
+  "CMakeFiles/fasp_db.dir/value.cc.o.d"
+  "libfasp_db.a"
+  "libfasp_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasp_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfasp_db.a"
+)

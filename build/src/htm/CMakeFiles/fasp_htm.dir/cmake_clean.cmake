@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasp_htm.dir/rtm.cc.o"
+  "CMakeFiles/fasp_htm.dir/rtm.cc.o.d"
+  "libfasp_htm.a"
+  "libfasp_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasp_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

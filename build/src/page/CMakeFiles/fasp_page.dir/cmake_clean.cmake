@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasp_page.dir/page_io.cc.o"
+  "CMakeFiles/fasp_page.dir/page_io.cc.o.d"
+  "CMakeFiles/fasp_page.dir/slotted_page.cc.o"
+  "CMakeFiles/fasp_page.dir/slotted_page.cc.o.d"
+  "libfasp_page.a"
+  "libfasp_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasp_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasp_pager.dir/pager.cc.o"
+  "CMakeFiles/fasp_pager.dir/pager.cc.o.d"
+  "CMakeFiles/fasp_pager.dir/superblock.cc.o"
+  "CMakeFiles/fasp_pager.dir/superblock.cc.o.d"
+  "libfasp_pager.a"
+  "libfasp_pager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasp_pager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasp_pm.dir/device.cc.o"
+  "CMakeFiles/fasp_pm.dir/device.cc.o.d"
+  "CMakeFiles/fasp_pm.dir/phase.cc.o"
+  "CMakeFiles/fasp_pm.dir/phase.cc.o.d"
+  "libfasp_pm.a"
+  "libfasp_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasp_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

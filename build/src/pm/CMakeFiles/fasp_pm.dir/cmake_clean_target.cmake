@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfasp_pm.a"
+)

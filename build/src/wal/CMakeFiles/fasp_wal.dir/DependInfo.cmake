@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wal/journal.cc" "src/wal/CMakeFiles/fasp_wal.dir/journal.cc.o" "gcc" "src/wal/CMakeFiles/fasp_wal.dir/journal.cc.o.d"
+  "/root/repo/src/wal/legacy_wal.cc" "src/wal/CMakeFiles/fasp_wal.dir/legacy_wal.cc.o" "gcc" "src/wal/CMakeFiles/fasp_wal.dir/legacy_wal.cc.o.d"
+  "/root/repo/src/wal/nv_heap.cc" "src/wal/CMakeFiles/fasp_wal.dir/nv_heap.cc.o" "gcc" "src/wal/CMakeFiles/fasp_wal.dir/nv_heap.cc.o.d"
+  "/root/repo/src/wal/nvwal_log.cc" "src/wal/CMakeFiles/fasp_wal.dir/nvwal_log.cc.o" "gcc" "src/wal/CMakeFiles/fasp_wal.dir/nvwal_log.cc.o.d"
+  "/root/repo/src/wal/slot_header_log.cc" "src/wal/CMakeFiles/fasp_wal.dir/slot_header_log.cc.o" "gcc" "src/wal/CMakeFiles/fasp_wal.dir/slot_header_log.cc.o.d"
+  "/root/repo/src/wal/volatile_cache.cc" "src/wal/CMakeFiles/fasp_wal.dir/volatile_cache.cc.o" "gcc" "src/wal/CMakeFiles/fasp_wal.dir/volatile_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fasp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/fasp_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pager/CMakeFiles/fasp_pager.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/fasp_page.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

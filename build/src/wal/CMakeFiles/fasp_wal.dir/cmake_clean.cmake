@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasp_wal.dir/journal.cc.o"
+  "CMakeFiles/fasp_wal.dir/journal.cc.o.d"
+  "CMakeFiles/fasp_wal.dir/legacy_wal.cc.o"
+  "CMakeFiles/fasp_wal.dir/legacy_wal.cc.o.d"
+  "CMakeFiles/fasp_wal.dir/nv_heap.cc.o"
+  "CMakeFiles/fasp_wal.dir/nv_heap.cc.o.d"
+  "CMakeFiles/fasp_wal.dir/nvwal_log.cc.o"
+  "CMakeFiles/fasp_wal.dir/nvwal_log.cc.o.d"
+  "CMakeFiles/fasp_wal.dir/slot_header_log.cc.o"
+  "CMakeFiles/fasp_wal.dir/slot_header_log.cc.o.d"
+  "CMakeFiles/fasp_wal.dir/volatile_cache.cc.o"
+  "CMakeFiles/fasp_wal.dir/volatile_cache.cc.o.d"
+  "libfasp_wal.a"
+  "libfasp_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasp_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

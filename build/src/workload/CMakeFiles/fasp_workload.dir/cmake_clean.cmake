@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasp_workload.dir/workload.cc.o"
+  "CMakeFiles/fasp_workload.dir/workload.cc.o.d"
+  "libfasp_workload.a"
+  "libfasp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomicity_assumptions_test.dir/recovery/atomicity_assumptions_test.cc.o"
+  "CMakeFiles/atomicity_assumptions_test.dir/recovery/atomicity_assumptions_test.cc.o.d"
+  "atomicity_assumptions_test"
+  "atomicity_assumptions_test.pdb"
+  "atomicity_assumptions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomicity_assumptions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_sweep_test.dir/recovery/crash_sweep_test.cc.o"
+  "CMakeFiles/crash_sweep_test.dir/recovery/crash_sweep_test.cc.o.d"
+  "crash_sweep_test"
+  "crash_sweep_test.pdb"
+  "crash_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

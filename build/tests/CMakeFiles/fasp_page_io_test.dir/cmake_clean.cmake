@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasp_page_io_test.dir/core/fasp_page_io_test.cc.o"
+  "CMakeFiles/fasp_page_io_test.dir/core/fasp_page_io_test.cc.o.d"
+  "fasp_page_io_test"
+  "fasp_page_io_test.pdb"
+  "fasp_page_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasp_page_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/htm/rtm_test.cc" "tests/CMakeFiles/htm_test.dir/htm/rtm_test.cc.o" "gcc" "tests/CMakeFiles/htm_test.dir/htm/rtm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fasp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/fasp_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/fasp_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/fasp_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/pager/CMakeFiles/fasp_pager.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/fasp_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/fasp_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fasp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/fasp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fasp_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_param_test.dir/page/page_param_test.cc.o"
+  "CMakeFiles/page_param_test.dir/page/page_param_test.cc.o.d"
+  "page_param_test"
+  "page_param_test.pdb"
+  "page_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

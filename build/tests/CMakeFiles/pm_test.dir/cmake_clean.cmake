@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_test.dir/pm/clwb_test.cc.o"
+  "CMakeFiles/pm_test.dir/pm/clwb_test.cc.o.d"
+  "CMakeFiles/pm_test.dir/pm/device_test.cc.o"
+  "CMakeFiles/pm_test.dir/pm/device_test.cc.o.d"
+  "CMakeFiles/pm_test.dir/pm/phase_test.cc.o"
+  "CMakeFiles/pm_test.dir/pm/phase_test.cc.o.d"
+  "pm_test"
+  "pm_test.pdb"
+  "pm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

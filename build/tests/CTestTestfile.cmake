@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/pm_test[1]_include.cmake")
+include("/root/repo/build/tests/htm_test[1]_include.cmake")
+include("/root/repo/build/tests/page_test[1]_include.cmake")
+include("/root/repo/build/tests/pager_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/fasp_page_io_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_test[1]_include.cmake")
+include("/root/repo/build/tests/page_param_test[1]_include.cmake")
+include("/root/repo/build/tests/page_size_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_index_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_figures_test[1]_include.cmake")
+include("/root/repo/build/tests/atomicity_assumptions_test[1]_include.cmake")
+include("/root/repo/build/tests/prune_test[1]_include.cmake")
