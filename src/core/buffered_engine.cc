@@ -53,7 +53,9 @@ BufferedEngine::CachedBitmapIO::writeByte(std::uint32_t index,
 
 BufferedTransaction::BufferedTransaction(BufferedEngine &engine, TxId id)
     : Transaction(id), engine_(engine)
-{}
+{
+    engine_.device_.txBegin();
+}
 
 BufferedTransaction::~BufferedTransaction()
 {
@@ -154,6 +156,7 @@ BufferedTransaction::rollback()
     allocs_.clear();
     frees_.clear();
     finished_ = true;
+    engine_.device_.txEnd(/*committed=*/false);
     engine_.stats_.txRolledBack++;
 }
 
@@ -187,6 +190,7 @@ BufferedTransaction::commit()
     allocs_.clear();
     frees_.clear();
     finished_ = true;
+    engine_.device_.txEnd(/*committed=*/true);
     engine_.stats_.txCommitted++;
     engine_.stats_.logCommits++;
     return Status::ok();
@@ -293,6 +297,7 @@ JournalEngine::persistCommit(TxId txid, const std::vector<PageId> &dirty)
     }
     {
         PhaseScope phase(device_.phaseTracker(), Component::Checkpoint);
+        pm::SiteScope site(device_, "JournalEngine::persistCommit");
         for (PageId pid : dirty) {
             wal::CachedPage *cached = cache_.find(pid);
             FASP_ASSERT(cached != nullptr);

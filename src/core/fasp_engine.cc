@@ -71,7 +71,9 @@ FaspEngine::begin()
 
 FaspTransaction::FaspTransaction(FaspEngine &engine, TxId id)
     : Transaction(id), engine_(engine)
-{}
+{
+    engine_.device_.txBegin();
+}
 
 FaspTransaction::~FaspTransaction()
 {
@@ -160,6 +162,10 @@ FaspTransaction::freePage(PageId pid)
         // (recovery) image in place.
         frees_.push_back(pid);
     }
+    // Whatever this transaction stored into the page is now dead data:
+    // it will never be flushed, by design.
+    engine_.device_.markScratch(engine_.sb_.pageOffset(pid),
+                                engine_.sb_.pageSize);
     pages_.erase(pid);
 }
 
@@ -194,12 +200,14 @@ FaspTransaction::rollback()
     allocs_.clear();
     frees_.clear();
     finished_ = true;
+    engine_.device_.txEnd(/*committed=*/false);
     engine_.stats_.txRolledBack++;
 }
 
 Status
 FaspTransaction::commitInPlace(PageState &st)
 {
+    pm::SiteScope site(engine_.device_, "FaspTransaction::commitInPlace");
     pm::PhaseTracker *trk = tracker();
     // (i) Persist the in-place record writes (Figure 7).
     {
@@ -213,6 +221,9 @@ FaspTransaction::commitInPlace(PageState &st)
     // new slot header, one clflush makes it durable (paper §3.2).
     {
         PhaseScope phase(trk, Component::Atomic64BWrite);
+        // The record writes above must be fenced before the header
+        // publish makes them reachable.
+        engine_.device_.txCommitPoint();
         auto header = st.io->shadowBytes();
         FASP_ASSERT(header.size() <= kCacheLineSize);
         bool committed = engine_.rtm_.execute(
@@ -238,6 +249,7 @@ FaspTransaction::commitInPlace(PageState &st)
 Status
 FaspTransaction::commitLogged()
 {
+    pm::SiteScope site(engine_.device_, "FaspTransaction::commitLogged");
     pm::PhaseTracker *trk = tracker();
 
     // (1) Flush in-place record writes; order among them is free as
@@ -336,6 +348,7 @@ FaspTransaction::commit()
     allocs_.clear();
     frees_.clear();
     finished_ = true;
+    engine_.device_.txEnd(/*committed=*/true);
     engine_.stats_.txCommitted++;
     return Status::ok();
 }

@@ -110,8 +110,9 @@ FaspPageIO::writeScratch(std::uint16_t off, const void *src,
                          std::size_t len)
 {
     // Free-list maintenance: stores without flushes; a crash may lose
-    // them, which the lazy rebuild tolerates (paper §4.3).
-    device_.write(pageOff_ + off, src, len);
+    // them, which the lazy rebuild tolerates (paper §4.3). The scratch
+    // write tells the persistency checker not to demand durability.
+    device_.writeScratch(pageOff_ + off, src, len);
 }
 
 std::size_t

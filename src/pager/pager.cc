@@ -85,6 +85,7 @@ PageAllocator::allocatedCount() const
 Result<Superblock>
 Pager::format(pm::PmDevice &device, const FormatParams &params)
 {
+    pm::SiteScope site(device, "Pager::format");
     const std::uint32_t psize = params.pageSize;
     if (psize < 256 || psize > 32768 || (psize & (psize - 1)) != 0) {
         return statusInvalid(
@@ -135,8 +136,10 @@ Pager::format(pm::PmDevice &device, const FormatParams &params)
     device.memset(sb.logOff, 0,
                   std::min<std::uint64_t>(sb.logLen, psize));
 
-    device.flushRange(sb.pageOffset(1),
-                      static_cast<std::size_t>(sb.directoryPid) * psize);
+    // Flush from offset 0: page 0 was zeroed by the memset above, and
+    // its lines beyond the superblock would otherwise stay dirty.
+    device.flushRange(0, static_cast<std::size_t>(sb.directoryPid + 1) *
+                             psize);
     device.flushRange(sb.logOff,
                       std::min<std::uint64_t>(sb.logLen, psize));
     device.sfence();

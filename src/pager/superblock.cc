@@ -11,6 +11,7 @@ namespace fasp::pager {
 void
 Superblock::writeTo(pm::PmDevice &device) const
 {
+    pm::SiteScope site(device, "Superblock::writeTo");
     std::array<std::uint8_t, kEncodedBytes> buf{};
     storeU64(buf.data() + 0, kMagic);
     storeU32(buf.data() + 8, kVersion);

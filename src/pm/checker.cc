@@ -1,0 +1,304 @@
+#include "pm/checker.h"
+
+#include <algorithm>
+
+namespace fasp::pm {
+
+PersistencyChecker::PersistencyChecker(const Config &config)
+    : config_(config)
+{}
+
+void
+PersistencyChecker::LineInfo::record(LineTraceEvent::Op op,
+                                     std::uint64_t eventIndex,
+                                     const char *site)
+{
+    trace[traceHead] = LineTraceEvent{op, eventIndex, site};
+    traceHead = static_cast<std::uint8_t>(
+        (traceHead + 1) % Violation::kTraceDepth);
+    if (traceLen < Violation::kTraceDepth)
+        traceLen++;
+}
+
+void
+PersistencyChecker::reportLine(ViolationKind kind, PmOffset base,
+                               const LineInfo &info,
+                               std::uint64_t eventIndex,
+                               const char *site)
+{
+    Violation v;
+    v.kind = kind;
+    v.lineBase = base;
+    v.eventIndex = eventIndex;
+    v.site = site;
+    v.traceLen = info.traceLen;
+    // Copy the ring oldest-first.
+    std::size_t oldest =
+        (info.traceHead + Violation::kTraceDepth - info.traceLen) %
+        Violation::kTraceDepth;
+    for (std::size_t i = 0; i < info.traceLen; ++i)
+        v.trace[i] = info.trace[(oldest + i) % Violation::kTraceDepth];
+    report_.add(std::move(v));
+}
+
+void
+PersistencyChecker::storeLine(PmOffset base, bool scratch,
+                              std::uint64_t eventIndex,
+                              const char *site)
+{
+    LineInfo &li = lines_[base];
+    li.record(scratch ? LineTraceEvent::Op::ScratchStore
+                      : LineTraceEvent::Op::Store,
+              eventIndex, site);
+    switch (li.state) {
+      case LineState::Clean:
+      case LineState::Fenced:
+        li.state = LineState::Dirty;
+        li.scratchOnly = scratch;
+        break;
+      case LineState::Dirty:
+        if (!scratch)
+            li.scratchOnly = false;
+        break;
+      case LineState::Flushed:
+        // Store into the flush->fence window. Judged at the fence: if
+        // the line is re-flushed first (adjacent log frames sharing a
+        // boundary line do this) the window closed harmlessly.
+        li.state = LineState::Dirty;
+        if (scratch) {
+            li.scratchOnly = true;
+        } else {
+            li.scratchOnly = false;
+            li.flushAmbiguous = true;
+        }
+        break;
+    }
+    if (txActive_ && !scratch && !li.inTxSet) {
+        li.inTxSet = true;
+        txLines_.push_back(base);
+    }
+}
+
+void
+PersistencyChecker::onStore(PmOffset off, std::size_t len, bool scratch,
+                            std::uint64_t eventIndex, const char *site)
+{
+    if (len == 0)
+        return;
+    for (PmOffset base = cacheLineBase(off); base < off + len;
+         base += kCacheLineSize) {
+        storeLine(base, scratch, eventIndex, site);
+    }
+}
+
+void
+PersistencyChecker::onFlush(PmOffset off, std::uint64_t eventIndex,
+                            const char *site)
+{
+    PmOffset base = cacheLineBase(off);
+    LineInfo &li = lines_[base];
+    li.record(LineTraceEvent::Op::Flush, eventIndex, site);
+    switch (li.state) {
+      case LineState::Dirty:
+        li.state = LineState::Flushed;
+        li.flushAmbiguous = false;
+        flushedSinceFence_.push_back(base);
+        break;
+      case LineState::Clean:
+      case LineState::Flushed:
+      case LineState::Fenced:
+        // Nothing dirty to write back.
+        if (config_.trackRedundantFlush)
+            reportLine(ViolationKind::RedundantFlush, base, li,
+                       eventIndex, site);
+        break;
+    }
+}
+
+void
+PersistencyChecker::onFence(std::uint64_t eventIndex, const char *site)
+{
+    for (PmOffset base : flushedSinceFence_) {
+        auto it = lines_.find(base);
+        if (it == lines_.end())
+            continue;
+        LineInfo &li = it->second;
+        if (li.state == LineState::Flushed) {
+            li.state = LineState::Fenced;
+            li.record(LineTraceEvent::Op::Fence, eventIndex, site);
+        } else if (li.state == LineState::Dirty && li.flushAmbiguous) {
+            // The store that landed between flush and fence was never
+            // re-flushed: the fence ordered a stale writeback and the
+            // line can tear at a later crash.
+            li.record(LineTraceEvent::Op::Fence, eventIndex, site);
+            reportLine(ViolationKind::StoreInFlushFenceWindow, base,
+                       li, eventIndex, site);
+            li.flushAmbiguous = false;
+        }
+        // Fenced: duplicate entry for a line flushed twice this epoch.
+    }
+    flushedSinceFence_.clear();
+}
+
+void
+PersistencyChecker::onCrash()
+{
+    atRiskAtCrash_.clear();
+    for (const auto &[base, li] : lines_) {
+        if (li.state == LineState::Dirty)
+            atRiskAtCrash_.insert(base);
+    }
+    lines_.clear();
+    flushedSinceFence_.clear();
+    txLines_.clear();
+    txActive_ = false;
+}
+
+void
+PersistencyChecker::onMarkScratch(PmOffset off, std::size_t len)
+{
+    if (len == 0)
+        return;
+    for (PmOffset base = cacheLineBase(off); base < off + len;
+         base += kCacheLineSize) {
+        auto it = lines_.find(base);
+        if (it == lines_.end())
+            continue;
+        if (it->second.state == LineState::Dirty ||
+            it->second.state == LineState::Flushed) {
+            it->second.scratchOnly = true;
+            it->second.flushAmbiguous = false;
+        }
+    }
+}
+
+void
+PersistencyChecker::onTxBegin()
+{
+    if (txActive_)
+        return; // joined an enclosing transaction
+    txActive_ = true;
+    txLines_.clear();
+}
+
+void
+PersistencyChecker::checkTxSetPersisted(std::uint64_t eventIndex,
+                                        const char *site)
+{
+    for (PmOffset base : txLines_) {
+        auto it = lines_.find(base);
+        if (it == lines_.end())
+            continue;
+        LineInfo &li = it->second;
+        if (li.scratchOnly || li.reportedThisTx)
+            continue;
+        if (li.state == LineState::Dirty) {
+            reportLine(ViolationKind::UnflushedStoreAtCommit, base, li,
+                       eventIndex, site);
+            li.reportedThisTx = true;
+        } else if (li.state == LineState::Flushed) {
+            reportLine(ViolationKind::UnfencedFlushAtCommit, base, li,
+                       eventIndex, site);
+            li.reportedThisTx = true;
+        }
+    }
+}
+
+void
+PersistencyChecker::onTxCommitPoint(std::uint64_t eventIndex,
+                                    const char *site)
+{
+    if (!txActive_)
+        return;
+    checkTxSetPersisted(eventIndex, site);
+}
+
+void
+PersistencyChecker::onTxEnd(bool committed, std::uint64_t eventIndex,
+                            const char *site)
+{
+    if (!txActive_)
+        return;
+    if (committed) {
+        checkTxSetPersisted(eventIndex, site);
+    } else {
+        // Aborted: whatever the transaction left dirty is dead data
+        // the engine has forgotten; treat it as scratch.
+        for (PmOffset base : txLines_) {
+            auto it = lines_.find(base);
+            if (it == lines_.end())
+                continue;
+            if (it->second.state == LineState::Dirty ||
+                it->second.state == LineState::Flushed) {
+                it->second.scratchOnly = true;
+                it->second.flushAmbiguous = false;
+            }
+        }
+    }
+    for (PmOffset base : txLines_) {
+        auto it = lines_.find(base);
+        if (it != lines_.end()) {
+            it->second.inTxSet = false;
+            it->second.reportedThisTx = false;
+        }
+    }
+    txLines_.clear();
+    txActive_ = false;
+}
+
+void
+PersistencyChecker::checkCleanShutdown(std::uint64_t eventIndex)
+{
+    std::vector<PmOffset> bases;
+    for (const auto &[base, li] : lines_) {
+        if (li.scratchOnly)
+            continue;
+        if (li.state == LineState::Dirty ||
+            li.state == LineState::Flushed)
+            bases.push_back(base);
+    }
+    std::sort(bases.begin(), bases.end());
+    for (PmOffset base : bases) {
+        reportLine(ViolationKind::DirtyAtShutdown, base, lines_[base],
+                   eventIndex, nullptr);
+    }
+}
+
+void
+PersistencyChecker::forgiveUnflushed()
+{
+    for (auto &[base, li] : lines_) {
+        if (li.state == LineState::Dirty ||
+            li.state == LineState::Flushed) {
+            li.scratchOnly = true;
+            li.flushAmbiguous = false;
+        }
+    }
+    flushedSinceFence_.clear();
+}
+
+PersistencyChecker::LineState
+PersistencyChecker::lineState(PmOffset off) const
+{
+    auto it = lines_.find(cacheLineBase(off));
+    return it == lines_.end() ? LineState::Clean : it->second.state;
+}
+
+bool
+PersistencyChecker::wasAtRiskAtCrash(PmOffset off) const
+{
+    return atRiskAtCrash_.count(cacheLineBase(off)) > 0;
+}
+
+void
+PersistencyChecker::reset()
+{
+    lines_.clear();
+    flushedSinceFence_.clear();
+    txLines_.clear();
+    txActive_ = false;
+    atRiskAtCrash_.clear();
+    report_.clear();
+}
+
+} // namespace fasp::pm

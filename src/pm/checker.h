@@ -1,0 +1,151 @@
+/**
+ * @file
+ * PersistencyChecker: a pmemcheck-style dynamic analysis pass over the
+ * PmDevice event stream.
+ *
+ * Every store, clflush and sfence the device executes drives a per-
+ * cache-line state machine:
+ *
+ *      store          clflush           sfence
+ *   CLEAN ----> DIRTY -------> FLUSHED -------> FENCED
+ *                 ^  store        |  store (torn-durability window,
+ *                 +---------------+  flagged and judged at the fence)
+ *
+ * Engines annotate their commit protocol through the narrow
+ * PmDevice::txBegin()/txCommitPoint()/txEnd() API; the checker keeps
+ * the set of lines stored inside the transaction and demands that each
+ * of them is FENCED by the time the commit point (the store that makes
+ * the transaction visible to recovery) executes. Five violation
+ * classes result — see ViolationKind in checker_report.h.
+ *
+ * Lines written through PmDevice::writeScratch() (or ranges passed to
+ * markScratch()) are best-effort by contract — free-list hints, freed
+ * pages — and are exempt from the durability checks (V1/V3/V4/V5) but
+ * still participate in redundant-flush detection.
+ *
+ * The checker is passive: it never changes device behaviour, and it is
+ * crash-safe — onCrash() snapshots which lines were at risk (dirty,
+ * hence possibly lost or torn) and resets, so recovery runs against a
+ * clean analysis state.
+ */
+
+#ifndef FASP_PM_CHECKER_H
+#define FASP_PM_CHECKER_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "pm/checker_report.h"
+
+namespace fasp::pm {
+
+/**
+ * Per-cache-line persistency-ordering state machine. Attach to a
+ * PmDevice with PmDevice::setChecker(); all hooks are then driven by
+ * the device. Not thread-safe (neither is the device).
+ */
+class PersistencyChecker
+{
+  public:
+    /** State of one cache line; see file comment for transitions. */
+    enum class LineState : std::uint8_t {
+        Clean,   //!< no un-persisted store
+        Dirty,   //!< stored, not flushed
+        Flushed, //!< written back, writeback not yet ordered
+        Fenced,  //!< writeback ordered: durable on any later crash
+    };
+
+    struct Config
+    {
+        /** Report V2 (clflush of a line with nothing to write back).
+         *  On by default; a perf-tuning pass may turn it off to run
+         *  the durability checks alone. */
+        bool trackRedundantFlush = true;
+    };
+
+    PersistencyChecker() : PersistencyChecker(Config()) {}
+    explicit PersistencyChecker(const Config &config);
+
+    // --- Hooks driven by PmDevice ---------------------------------------
+
+    void onStore(PmOffset off, std::size_t len, bool scratch,
+                 std::uint64_t eventIndex, const char *site);
+    void onFlush(PmOffset off, std::uint64_t eventIndex,
+                 const char *site);
+    void onFence(std::uint64_t eventIndex, const char *site);
+    void onCrash();
+    void onMarkScratch(PmOffset off, std::size_t len);
+
+    void onTxBegin();
+    void onTxCommitPoint(std::uint64_t eventIndex, const char *site);
+    void onTxEnd(bool committed, std::uint64_t eventIndex,
+                 const char *site);
+
+    // --- Checks and queries ----------------------------------------------
+
+    /** V5 sweep: every non-scratch line must be CLEAN or FENCED. Call
+     *  at orderly teardown (never after a crash). */
+    void checkCleanShutdown(std::uint64_t eventIndex);
+
+    /** Declare every currently un-persisted line deliberate (tests
+     *  that abandon work in flight without simulating a crash). */
+    void forgiveUnflushed();
+
+    LineState lineState(PmOffset off) const;
+
+    /** True if the line containing @p off was DIRTY when the last
+     *  crash() hit — i.e. the crash policy was free to drop or tear
+     *  it. FENCED and FLUSHED lines are never at risk: the simulated
+     *  cache writes back on clflush, matching device semantics. */
+    bool wasAtRiskAtCrash(PmOffset off) const;
+
+    bool txActive() const { return txActive_; }
+
+    CheckerReport &report() { return report_; }
+    const CheckerReport &report() const { return report_; }
+
+    /** Drop all line state and the report (not the at-risk snapshot). */
+    void reset();
+
+  private:
+    struct LineInfo
+    {
+        LineState state = LineState::Clean;
+        bool scratchOnly = false;    //!< every pending store is scratch
+        bool flushAmbiguous = false; //!< stored-to between flush & fence
+        bool inTxSet = false;
+        bool reportedThisTx = false; //!< already reported at a commit
+                                     //!< point of the current tx
+        std::uint8_t traceLen = 0;
+        std::uint8_t traceHead = 0;
+        std::array<LineTraceEvent, Violation::kTraceDepth> trace{};
+
+        void record(LineTraceEvent::Op op, std::uint64_t eventIndex,
+                    const char *site);
+    };
+
+    void storeLine(PmOffset base, bool scratch,
+                   std::uint64_t eventIndex, const char *site);
+    void checkTxSetPersisted(std::uint64_t eventIndex,
+                             const char *site);
+    void reportLine(ViolationKind kind, PmOffset base,
+                    const LineInfo &info, std::uint64_t eventIndex,
+                    const char *site);
+
+    Config config_;
+    CheckerReport report_;
+    std::unordered_map<PmOffset, LineInfo> lines_;
+    std::vector<PmOffset> flushedSinceFence_;
+    std::vector<PmOffset> txLines_;
+    bool txActive_ = false;
+    std::unordered_set<PmOffset> atRiskAtCrash_;
+};
+
+} // namespace fasp::pm
+
+#endif // FASP_PM_CHECKER_H

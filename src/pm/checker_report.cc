@@ -1,0 +1,106 @@
+#include "pm/checker_report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace fasp::pm {
+
+const char *
+violationKindName(ViolationKind kind)
+{
+    switch (kind) {
+      case ViolationKind::UnflushedStoreAtCommit:
+        return "unflushed-store-at-commit";
+      case ViolationKind::RedundantFlush:
+        return "redundant-flush";
+      case ViolationKind::UnfencedFlushAtCommit:
+        return "unfenced-flush-at-commit";
+      case ViolationKind::StoreInFlushFenceWindow:
+        return "store-in-flush-fence-window";
+      case ViolationKind::DirtyAtShutdown:
+        return "dirty-at-shutdown";
+    }
+    return "?";
+}
+
+const char *
+lineTraceOpName(LineTraceEvent::Op op)
+{
+    switch (op) {
+      case LineTraceEvent::Op::Store:
+        return "store";
+      case LineTraceEvent::Op::ScratchStore:
+        return "scratch-store";
+      case LineTraceEvent::Op::Flush:
+        return "clflush";
+      case LineTraceEvent::Op::Fence:
+        return "sfence";
+    }
+    return "?";
+}
+
+std::string
+Violation::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "[%s] line 0x%" PRIx64 " at event %" PRIu64 " (%s)",
+                  violationKindName(kind),
+                  static_cast<std::uint64_t>(lineBase), eventIndex,
+                  site ? site : "unknown site");
+    std::string out = buf;
+    for (std::size_t i = 0; i < traceLen; ++i) {
+        const LineTraceEvent &ev = trace[i];
+        std::snprintf(buf, sizeof buf, "\n    #%" PRIu64 " %s (%s)",
+                      ev.eventIndex, lineTraceOpName(ev.op),
+                      ev.site ? ev.site : "unknown site");
+        out += buf;
+    }
+    return out;
+}
+
+void
+CheckerReport::add(Violation v)
+{
+    countByKind_[static_cast<std::size_t>(v.kind)]++;
+    total_++;
+    if (violations_.size() < kMaxStored)
+        violations_.push_back(std::move(v));
+    else
+        dropped_++;
+}
+
+std::uint64_t
+CheckerReport::count(ViolationKind kind) const
+{
+    return countByKind_[static_cast<std::size_t>(kind)];
+}
+
+void
+CheckerReport::clear()
+{
+    violations_.clear();
+    countByKind_.fill(0);
+    total_ = 0;
+    dropped_ = 0;
+}
+
+std::string
+CheckerReport::toString() const
+{
+    if (empty())
+        return "";
+    std::string out = "persistency checker: " + std::to_string(total_) +
+                      " violation(s)";
+    for (const Violation &v : violations_) {
+        out += "\n  ";
+        out += v.toString();
+    }
+    if (dropped_ > 0) {
+        out += "\n  ... and " + std::to_string(dropped_) +
+               " more (not stored)";
+    }
+    return out;
+}
+
+} // namespace fasp::pm

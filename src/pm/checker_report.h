@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Structured output of the persistency-ordering checker: one Violation
+ * per detected discipline breach, carrying the offending cache line,
+ * the site tag active when it fired, and a short state-machine trace of
+ * the line's recent history so the report reads like a pmemcheck log.
+ */
+
+#ifndef FASP_PM_CHECKER_REPORT_H
+#define FASP_PM_CHECKER_REPORT_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fasp::pm {
+
+/** The five discipline breaches the checker detects (DESIGN.md
+ *  "§ Persistency checker"). */
+enum class ViolationKind : std::uint8_t {
+    /** V1: a line stored inside a transaction is still DIRTY (never
+     *  flushed) when the engine declares the commit point or finishes
+     *  the transaction. */
+    UnflushedStoreAtCommit,
+    /** V2: clflush of a line with no store since its last writeback —
+     *  pure latency waste the model silently pays for. */
+    RedundantFlush,
+    /** V3: a line stored inside a transaction was flushed but no fence
+     *  ordered the flush before the commit point. */
+    UnfencedFlushAtCommit,
+    /** V4: a line was stored to after its flush but before the fence
+     *  that was meant to order that flush (torn-durability window). */
+    StoreInFlushFenceWindow,
+    /** V5: a non-scratch line is still dirty (or flushed-unfenced) at
+     *  clean shutdown. */
+    DirtyAtShutdown,
+};
+
+const char *violationKindName(ViolationKind kind);
+
+/** One step of a line's recent history, kept in a small per-line ring. */
+struct LineTraceEvent
+{
+    enum class Op : std::uint8_t {
+        Store,
+        ScratchStore,
+        Flush,
+        Fence,
+    };
+
+    Op op = Op::Store;
+    std::uint64_t eventIndex = 0; //!< PmDevice::eventCount() at the op
+    const char *site = nullptr;   //!< active site tag (may be null)
+};
+
+const char *lineTraceOpName(LineTraceEvent::Op op);
+
+/** One detected violation. */
+struct Violation
+{
+    static constexpr std::size_t kTraceDepth = 8;
+
+    ViolationKind kind = ViolationKind::UnflushedStoreAtCommit;
+    PmOffset lineBase = 0;        //!< cache-line base address
+    std::uint64_t eventIndex = 0; //!< device event index when detected
+    const char *site = nullptr;   //!< site tag active at detection
+
+    /** Oldest-first history of the line (up to kTraceDepth entries). */
+    std::array<LineTraceEvent, kTraceDepth> trace{};
+    std::size_t traceLen = 0;
+
+    std::string toString() const;
+};
+
+/**
+ * Accumulates violations. Stores the first kMaxStored in full; beyond
+ * that only the per-kind counters grow, so a hot loop with a systematic
+ * bug cannot blow up memory.
+ */
+class CheckerReport
+{
+  public:
+    static constexpr std::size_t kMaxStored = 64;
+
+    void add(Violation v);
+
+    bool empty() const { return total_ == 0; }
+    std::uint64_t total() const { return total_; }
+    std::uint64_t count(ViolationKind kind) const;
+    std::uint64_t dropped() const { return dropped_; }
+
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+
+    void clear();
+
+    /** Multi-line human-readable report (empty string if clean). */
+    std::string toString() const;
+
+  private:
+    std::vector<Violation> violations_;
+    std::array<std::uint64_t, 5> countByKind_{};
+    std::uint64_t total_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace fasp::pm
+
+#endif // FASP_PM_CHECKER_REPORT_H

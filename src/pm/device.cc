@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "pm/checker.h"
 
 namespace fasp::pm {
 
@@ -53,7 +54,7 @@ PmDevice::checkAlive() const
         faspPanic("access to crashed PM device before recovery");
 }
 
-void
+std::uint64_t
 PmDevice::raiseEvent(PmEvent event)
 {
     std::uint64_t index = eventCount_++;
@@ -61,6 +62,7 @@ PmDevice::raiseEvent(PmEvent event)
         crash();
         throw CrashException(index);
     }
+    return index;
 }
 
 PmDevice::LineBuf &
@@ -79,11 +81,24 @@ PmDevice::cacheLineFor(PmOffset line_base)
 void
 PmDevice::write(PmOffset off, const void *src, std::size_t len)
 {
+    writeImpl(off, src, len, /*scratch=*/false);
+}
+
+void
+PmDevice::writeScratch(PmOffset off, const void *src, std::size_t len)
+{
+    writeImpl(off, src, len, /*scratch=*/true);
+}
+
+void
+PmDevice::writeImpl(PmOffset off, const void *src, std::size_t len,
+                    bool scratch)
+{
     checkAlive();
     checkRange(off, len);
     if (len == 0)
         return;
-    raiseEvent(PmEvent::Store);
+    std::uint64_t index = raiseEvent(PmEvent::Store);
     stats_.stores++;
     stats_.storeBytes += len;
 
@@ -112,6 +127,9 @@ PmDevice::write(PmOffset off, const void *src, std::size_t len)
          base < off + len; base += kCacheLineSize) {
         tags_[(base / kCacheLineSize) & tagMask_] = base + 1;
     }
+
+    if (checker_)
+        checker_->onStore(off, len, scratch, index, site_);
 }
 
 void
@@ -195,7 +213,7 @@ PmDevice::clflush(PmOffset off)
 {
     checkAlive();
     checkRange(off, 1);
-    raiseEvent(PmEvent::Flush);
+    std::uint64_t index = raiseEvent(PmEvent::Flush);
     PmOffset base = cacheLineBase(off);
 
     if (config_.mode == PmMode::CacheSim) {
@@ -217,6 +235,8 @@ PmDevice::clflush(PmOffset off)
         tracker_->addModelNs(config_.latency.pmWriteNs);
         tracker_->countFlush();
     }
+    if (checker_)
+        checker_->onFlush(base, index, site_);
 }
 
 void
@@ -234,13 +254,43 @@ void
 PmDevice::sfence()
 {
     checkAlive();
-    raiseEvent(PmEvent::Fence);
+    std::uint64_t index = raiseEvent(PmEvent::Fence);
     stats_.fences++;
     stats_.modelNs += config_.latency.fenceNs;
     if (tracker_) {
         tracker_->addModelNs(config_.latency.fenceNs);
         tracker_->countFence();
     }
+    if (checker_)
+        checker_->onFence(index, site_);
+}
+
+void
+PmDevice::markScratch(PmOffset off, std::size_t len)
+{
+    if (checker_)
+        checker_->onMarkScratch(off, len);
+}
+
+void
+PmDevice::txBegin()
+{
+    if (checker_)
+        checker_->onTxBegin();
+}
+
+void
+PmDevice::txCommitPoint()
+{
+    if (checker_)
+        checker_->onTxCommitPoint(eventCount_, site_);
+}
+
+void
+PmDevice::txEnd(bool committed)
+{
+    if (checker_)
+        checker_->onTxEnd(committed, eventCount_, site_);
 }
 
 void
@@ -275,6 +325,8 @@ PmDevice::crash()
     }
     cache_.clear();
     crashed_ = true;
+    if (checker_)
+        checker_->onCrash();
 }
 
 void

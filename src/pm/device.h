@@ -41,6 +41,8 @@ class Rng;
 
 namespace fasp::pm {
 
+class PersistencyChecker;
+
 /** Device operating mode; see file comment. */
 enum class PmMode : std::uint8_t {
     Direct,   //!< stores persist immediately (benchmarking)
@@ -142,6 +144,11 @@ class PmDevice
     /** Fill [off, off+len) with @p byte (a store). */
     void memset(PmOffset off, std::uint8_t byte, std::size_t len);
 
+    /** Store that is best-effort by contract (free-list hints, lazily
+     *  rebuilt metadata). Identical to write() on the data path; the
+     *  attached checker does not require it to become durable. */
+    void writeScratch(PmOffset off, const void *src, std::size_t len);
+
     // --- Persistence path ----------------------------------------------
 
     /** Flush the cache line containing @p off to the durable image. */
@@ -153,6 +160,44 @@ class PmDevice
     /** Store fence: orders prior flushes before later stores. Modelled
      *  as an accounting event only. */
     void sfence();
+
+    // --- Persistency checking ------------------------------------------
+
+    /** Attach the persistency-ordering checker (nullptr to detach).
+     *  The checker observes every store/clflush/sfence/crash. */
+    void setChecker(PersistencyChecker *checker) { checker_ = checker; }
+
+    PersistencyChecker *checker() const { return checker_; }
+
+    /** Declare pending stores in [off, off+len) best-effort after the
+     *  fact (e.g. the content of a page being freed). No-op without a
+     *  checker. */
+    void markScratch(PmOffset off, std::size_t len);
+
+    /**
+     * Commit-protocol annotations for the checker. txBegin() opens the
+     * transaction's write set (nested calls join the enclosing one);
+     * txCommitPoint() marks the instant just before the store that
+     * makes the transaction visible to recovery — every line of the
+     * write set must be flushed AND fenced by then; txEnd() closes the
+     * set (committed: re-check; aborted: the leftover dirty lines are
+     * forgotten data, exempt). All three are safe on a crashed device
+     * (they run during unwinding) and no-ops without a checker.
+     */
+    void txBegin();
+    void txCommitPoint();
+    void txEnd(bool committed = true);
+
+    /** Install @p site as the active site tag recorded into checker
+     *  traces, returning the previous tag (see SiteScope). */
+    const char *setSite(const char *site)
+    {
+        const char *prev = site_;
+        site_ = site;
+        return prev;
+    }
+
+    const char *site() const { return site_; }
 
     // --- Crash simulation ----------------------------------------------
 
@@ -209,7 +254,9 @@ class PmDevice
   private:
     using LineBuf = std::array<std::uint8_t, kCacheLineSize>;
 
-    void raiseEvent(PmEvent event);
+    void writeImpl(PmOffset off, const void *src, std::size_t len,
+                   bool scratch);
+    std::uint64_t raiseEvent(PmEvent event);
     void chargeReadLatency(PmOffset off, std::size_t len);
     void checkRange(PmOffset off, std::size_t len) const;
     void checkAlive() const;
@@ -231,9 +278,29 @@ class PmDevice
     PmStats stats_;
     PhaseTracker *tracker_ = nullptr;
     CrashInjector *injector_ = nullptr;
+    PersistencyChecker *checker_ = nullptr;
+    const char *site_ = nullptr;
     std::uint64_t eventCount_ = 0;
     bool crashed_ = false;
     std::unique_ptr<Rng> crashRng_;
+};
+
+/** RAII site tag: names the code region for checker traces. */
+class SiteScope
+{
+  public:
+    SiteScope(PmDevice &device, const char *site)
+        : device_(device), prev_(device.setSite(site))
+    {}
+
+    ~SiteScope() { device_.setSite(prev_); }
+
+    SiteScope(const SiteScope &) = delete;
+    SiteScope &operator=(const SiteScope &) = delete;
+
+  private:
+    PmDevice &device_;
+    const char *prev_;
 };
 
 } // namespace fasp::pm

@@ -24,6 +24,7 @@ RollbackJournal::entryOff(std::uint32_t index) const
 void
 RollbackJournal::format()
 {
+    pm::SiteScope site(device_, "RollbackJournal::format");
     std::uint8_t header[16] = {};
     storeU32(header, kMagic);
     device_.write(region_.off, header, sizeof(header));
@@ -36,6 +37,7 @@ RollbackJournal::format()
 void
 RollbackJournal::begin()
 {
+    device_.txBegin();
     count_ = 0;
     runningCrc_ = 0;
 }
@@ -43,6 +45,7 @@ RollbackJournal::begin()
 Status
 RollbackJournal::journalPage(PageId pid)
 {
+    pm::SiteScope site(device_, "RollbackJournal::journalPage");
     PmOffset off = entryOff(count_);
     if (off + 8 + sb_.pageSize > region_.end())
         return Status(StatusCode::LogFull, "journal full");
@@ -68,11 +71,15 @@ RollbackJournal::journalPage(PageId pid)
 Status
 RollbackJournal::seal()
 {
+    pm::SiteScope site(device_, "RollbackJournal::seal");
     std::uint8_t header[16] = {};
     storeU32(header, kMagic);
     storeU32(header + 4, count_);
     storeU32(header + 8, runningCrc_);
     device_.sfence(); // entries before header
+    // Every journalled entry must be fenced before the sealed header
+    // makes the journal eligible for rollback.
+    device_.txCommitPoint();
     device_.write(region_.off, header, sizeof(header));
     device_.flushRange(region_.off, sizeof(header));
     device_.sfence();
@@ -82,11 +89,16 @@ RollbackJournal::seal()
 void
 RollbackJournal::invalidate()
 {
+    pm::SiteScope site(device_, "RollbackJournal::invalidate");
     std::uint8_t header[16] = {};
     storeU32(header, kMagic);
+    // The in-place database overwrites must be fenced before the
+    // journal is emptied — afterwards there is nothing to roll back.
+    device_.txCommitPoint();
     device_.write(region_.off, header, sizeof(header));
     device_.flushRange(region_.off, sizeof(header));
     device_.sfence();
+    device_.txEnd(/*committed=*/true);
     count_ = 0;
     runningCrc_ = 0;
     stats_.commits++;
@@ -95,6 +107,7 @@ RollbackJournal::invalidate()
 Result<bool>
 RollbackJournal::recover()
 {
+    pm::SiteScope site(device_, "RollbackJournal::recover");
     std::uint8_t header[16];
     device_.read(region_.off, header, sizeof(header));
     if (loadU32(header) != kMagic) {

@@ -22,6 +22,7 @@ LegacyWal::LegacyWal(pm::PmDevice &device, const pager::Superblock &sb)
 void
 LegacyWal::writeLogHeader()
 {
+    pm::SiteScope site(device_, "LegacyWal::writeLogHeader");
     std::uint8_t header[20];
     storeU64(header, kWalMagic);
     storeU64(header + 8, epoch_);
@@ -58,6 +59,7 @@ LegacyWal::format()
 void
 LegacyWal::truncate()
 {
+    pm::SiteScope site(device_, "LegacyWal::truncate");
     ensureAttached();
     // Epoch bump first: stale frames can no longer be replayed even if
     // the End marker write is later overwritten and torn.
@@ -74,7 +76,9 @@ LegacyWal::truncate()
 Status
 LegacyWal::commitTx(TxId txid, std::span<const WalDirtyPage> pages)
 {
+    pm::SiteScope site(device_, "LegacyWal::commitTx");
     ensureAttached();
+    device_.txBegin();
     // Frames for every dirty page...
     std::vector<std::pair<PageId, PmOffset>> appended;
     for (const WalDirtyPage &page : pages) {
@@ -102,6 +106,10 @@ LegacyWal::commitTx(TxId txid, std::span<const WalDirtyPage> pages)
     }
     device_.sfence();
 
+    // Every data frame must be fenced before the commit frame makes
+    // the transaction visible to recovery.
+    device_.txCommitPoint();
+
     // ...then the commit frame.
     std::uint8_t commit[kFrameHeaderBytes] = {};
     storeU32(commit, kKindCommit);
@@ -115,6 +123,7 @@ LegacyWal::commitTx(TxId txid, std::span<const WalDirtyPage> pages)
     writeOff_ += kFrameHeaderBytes;
     stats_.frameBytes += kFrameHeaderBytes;
 
+    device_.txEnd(/*committed=*/true);
     for (const auto &[pid, off] : appended)
         index_[pid] = off;
     stats_.commits++;
@@ -144,6 +153,7 @@ LegacyWal::needsCheckpoint() const
 Status
 LegacyWal::checkpoint()
 {
+    pm::SiteScope site(device_, "LegacyWal::checkpoint");
     std::vector<PageId> pids;
     pids.reserve(index_.size());
     for (const auto &[pid, off] : index_)
@@ -166,6 +176,7 @@ LegacyWal::checkpoint()
 Status
 LegacyWal::recover()
 {
+    pm::SiteScope site(device_, "LegacyWal::recover");
     ensureAttached();
     index_.clear();
     lastTxid_ = 0;

@@ -29,6 +29,7 @@ NvHeap::writeBlockHeader(PmOffset block_off, std::uint32_t state,
 void
 NvHeap::formatRegion()
 {
+    pm::SiteScope site(device_, "NvHeap::formatRegion");
     device_.writeU64(region_.off, kHeapMagic);
     writeBlockHeader(firstBlockOff(), kStateEnd, 0, /*flush=*/false);
     device_.flushRange(region_.off, 16 + kBlockHeaderBytes);
@@ -72,6 +73,7 @@ NvHeap::attach()
 Result<PmOffset>
 NvHeap::pmalloc(std::uint32_t size)
 {
+    pm::SiteScope site(device_, "NvHeap::pmalloc");
     std::uint32_t rounded = roundSize(size);
     stats_.allocs++;
     stats_.bytesAllocated += rounded;
@@ -107,6 +109,7 @@ NvHeap::pmalloc(std::uint32_t size)
 void
 NvHeap::pfree(PmOffset payload_off)
 {
+    pm::SiteScope site(device_, "NvHeap::pfree");
     PmOffset block = payload_off - kBlockHeaderBytes;
     std::uint32_t state = device_.readU32(block);
     std::uint32_t size = device_.readU32(block + 4);

@@ -64,6 +64,8 @@ NvwalLog::computeDiff(
 Status
 NvwalLog::commitTx(TxId txid, std::span<const NvwalDirtyPage> pages)
 {
+    pm::SiteScope site(device_, "NvwalLog::commitTx");
+    device_.txBegin();
     pm::PhaseTracker *tracker = device_.phaseTracker();
     struct FramePlan
     {
@@ -158,6 +160,9 @@ NvwalLog::commitTx(TxId txid, std::span<const NvwalDirtyPage> pages)
                 return res.status();
             commit_off = *res;
         }
+        // Every data frame (and the commit frame's heap headers) must
+        // be fenced before the commit frame itself is stored.
+        device_.txCommitPoint();
         device_.write(commit_off, commit, sizeof(commit));
         device_.flushRange(commit_off, sizeof(commit));
         device_.sfence();
@@ -174,6 +179,7 @@ NvwalLog::commitTx(TxId txid, std::span<const NvwalDirtyPage> pages)
         }
     }
 
+    device_.txEnd(/*committed=*/true);
     stats_.commits++;
     return Status::ok();
 }
@@ -225,6 +231,7 @@ NvwalLog::needsCheckpoint() const
 Status
 NvwalLog::checkpoint()
 {
+    pm::SiteScope site(device_, "NvwalLog::checkpoint");
     pm::PhaseTracker *tracker = device_.phaseTracker();
     PhaseScope scope(tracker, Component::Checkpoint);
 
@@ -253,6 +260,7 @@ NvwalLog::checkpoint()
 Status
 NvwalLog::recover()
 {
+    pm::SiteScope site(device_, "NvwalLog::recover");
     index_.clear();
     FASP_RETURN_IF_ERROR(heap_.attach());
 

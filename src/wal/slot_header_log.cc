@@ -25,6 +25,7 @@ SlotHeaderLog::SlotHeaderLog(pm::PmDevice &device,
 void
 SlotHeaderLog::writeLogHeader()
 {
+    pm::SiteScope site(device_, "SlotHeaderLog::writeLogHeader");
     std::uint8_t header[20];
     storeU64(header, kLogMagic);
     storeU64(header + 8, epoch_);
@@ -55,6 +56,7 @@ void
 SlotHeaderLog::begin()
 {
     ensureAttached();
+    device_.txBegin();
     writeOff_ = entryStart();
     runningCrc_ = 0;
     pending_.clear();
@@ -131,9 +133,15 @@ SlotHeaderLog::appendPageFree(PageId pid)
 Status
 SlotHeaderLog::commit(TxId txid)
 {
+    pm::SiteScope site(device_, "SlotHeaderLog::commit");
+
     // (1) Flush every entry line; ordering among them is free.
     device_.flushRange(entryStart(), writeOff_ - entryStart());
     device_.sfence();
+
+    // Everything the transaction logged (and the pages it pre-flushed)
+    // must be ordered before the commit mark below.
+    device_.txCommitPoint();
 
     // (2) The commit mark: only after it is durable is the transaction
     // committed (paper §4.4). It embeds the current epoch so a stale
@@ -188,6 +196,7 @@ SlotHeaderLog::applyEntry(const PendingEntry &entry,
 Status
 SlotHeaderLog::checkpointAndTruncate()
 {
+    pm::SiteScope site(device_, "SlotHeaderLog::checkpointAndTruncate");
     std::vector<std::uint32_t> bitmap_bytes;
     for (const PendingEntry &entry : pending_)
         applyEntry(entry, bitmap_bytes);
@@ -206,6 +215,7 @@ SlotHeaderLog::checkpointAndTruncate()
     device_.sfence();
 
     truncate();
+    device_.txEnd(/*committed=*/true);
     pending_.clear();
     begin();
     return Status::ok();
@@ -226,6 +236,7 @@ SlotHeaderLog::truncate()
 Result<SlotHeaderRecovery>
 SlotHeaderLog::recover()
 {
+    pm::SiteScope site(device_, "SlotHeaderLog::recover");
     ensureAttached();
     SlotHeaderRecovery result;
     PmOffset cursor = entryStart();

@@ -12,6 +12,7 @@
 #include "page/slotted_page.h"
 #include "pager/pager.h"
 #include "pm/device.h"
+#include "support/checker_guard.h"
 
 namespace fasp::pager {
 namespace {
@@ -33,6 +34,7 @@ makeDevice(std::size_t size = 16u << 20,
 TEST(SuperblockTest, RoundTrip)
 {
     auto dev = makeDevice();
+    testsupport::PmCheckerGuard guard(dev);
     Superblock sb;
     sb.pageSize = 4096;
     sb.pageCount = 1024;
@@ -56,6 +58,7 @@ TEST(SuperblockTest, RoundTrip)
 TEST(SuperblockTest, DetectsCorruption)
 {
     auto dev = makeDevice();
+    testsupport::PmCheckerGuard guard(dev);
     Superblock sb;
     sb.pageSize = 4096;
     sb.pageCount = 1024;
@@ -64,6 +67,8 @@ TEST(SuperblockTest, DetectsCorruption)
     sb.writeTo(dev);
 
     dev.writeU16(12, 0xdead); // flip bytes inside the CRC-covered area
+    dev.clflush(0);           // make the corruption durable
+    dev.sfence();
     auto loaded = Superblock::readFrom(dev);
     EXPECT_FALSE(loaded.isOk());
     EXPECT_EQ(loaded.status().code(), StatusCode::Corruption);
@@ -72,6 +77,7 @@ TEST(SuperblockTest, DetectsCorruption)
 TEST(SuperblockTest, DetectsUnformattedDevice)
 {
     auto dev = makeDevice();
+    testsupport::PmCheckerGuard guard(dev);
     auto loaded = Superblock::readFrom(dev);
     EXPECT_FALSE(loaded.isOk());
 }
@@ -79,6 +85,7 @@ TEST(SuperblockTest, DetectsUnformattedDevice)
 TEST(PagerFormatTest, LayoutIsSane)
 {
     auto dev = makeDevice();
+    testsupport::PmCheckerGuard guard(dev);
     Pager::FormatParams params;
     params.logLen = 2u << 20;
     auto sb = Pager::format(dev, params);
@@ -101,6 +108,7 @@ TEST(PagerFormatTest, LayoutIsSane)
 TEST(PagerFormatTest, DirectoryPageIsEmptySlottedLeaf)
 {
     auto dev = makeDevice();
+    testsupport::PmCheckerGuard guard(dev);
     auto sb = Pager::format(dev, {});
     ASSERT_TRUE(sb.isOk());
 
@@ -115,6 +123,7 @@ TEST(PagerFormatTest, DirectoryPageIsEmptySlottedLeaf)
 TEST(PagerFormatTest, MetaPagesMarkedAllocated)
 {
     auto dev = makeDevice();
+    testsupport::PmCheckerGuard guard(dev);
     auto sb = Pager::format(dev, {});
     ASSERT_TRUE(sb.isOk());
 
@@ -131,6 +140,7 @@ TEST(PagerFormatTest, MetaPagesMarkedAllocated)
 TEST(PagerFormatTest, RejectsBadPageSize)
 {
     auto dev = makeDevice();
+    testsupport::PmCheckerGuard guard(dev);
     Pager::FormatParams params;
     params.pageSize = 3000; // not a power of two
     EXPECT_FALSE(Pager::format(dev, params).isOk());
@@ -143,6 +153,7 @@ TEST(PagerFormatTest, RejectsBadPageSize)
 TEST(PagerFormatTest, AcceptsLargestSupportedPageSize)
 {
     auto dev = makeDevice(64u << 20);
+    testsupport::PmCheckerGuard guard(dev);
     Pager::FormatParams params;
     params.pageSize = 32768;
     auto sb = Pager::format(dev, params);
@@ -154,6 +165,7 @@ TEST(PagerFormatTest, AcceptsLargestSupportedPageSize)
 TEST(PagerFormatTest, RejectsTooSmallDevice)
 {
     auto dev = makeDevice(1u << 16);
+    testsupport::PmCheckerGuard guard(dev);
     Pager::FormatParams params;
     params.logLen = 1u << 20;
     EXPECT_FALSE(Pager::format(dev, params).isOk());
@@ -162,6 +174,7 @@ TEST(PagerFormatTest, RejectsTooSmallDevice)
 TEST(PagerFormatTest, FormatIsDurableInCacheSimMode)
 {
     auto dev = makeDevice(16u << 20, PmMode::CacheSim);
+    testsupport::PmCheckerGuard guard(dev);
     auto sb = Pager::format(dev, {});
     ASSERT_TRUE(sb.isOk());
     // A crash immediately after format must not lose the layout.

@@ -23,6 +23,7 @@
 #include "core/fasp_page_io.h"
 #include "page/slotted_page.h"
 #include "pm/device.h"
+#include "support/checker_guard.h"
 
 namespace fasp::core {
 namespace {
@@ -47,6 +48,7 @@ crashOneInsert(CrashPolicy policy, std::uint64_t seed, std::uint64_t k,
     pm_cfg.crashPolicy = policy;
     pm_cfg.crashSeed = seed;
     PmDevice device(pm_cfg);
+    testsupport::PmCheckerGuard guard(device);
     EngineConfig cfg;
     cfg.kind = EngineKind::Fast;
     cfg.format.logLen = 1u << 20;
@@ -142,6 +144,7 @@ TEST(AtomicityAssumptionTest, FashSurvivesTornLinesHere)
         pm_cfg.crashPolicy = CrashPolicy::TornLines;
         pm_cfg.crashSeed = 777 + k;
         PmDevice device(pm_cfg);
+        testsupport::PmCheckerGuard guard(device);
         EngineConfig cfg;
         cfg.kind = EngineKind::Fash;
         cfg.format.logLen = 1u << 20;

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Negative harness for the persistency checker: a deliberately buggy
+ * toy engine whose commit protocol can elide individual ordering steps.
+ * Each elision must trip exactly the corresponding detector — this is
+ * the proof that the checker would catch the same bug if it crept into
+ * a real engine's commit path.
+ *
+ * The toy engine mimics the shape every real engine here shares: write
+ * a payload, flush it, fence, commit point, write a commit mark, flush
+ * and fence that too, end the transaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <gtest/gtest-spi.h>
+
+#include <vector>
+
+#include "pm/checker.h"
+#include "pm/device.h"
+#include "support/checker_guard.h"
+
+namespace fasp::pm {
+namespace {
+
+enum class Bug {
+    None,             // correct protocol, zero violations
+    SkipPayloadFlush, // payload never flushed -> UnflushedStoreAtCommit
+    SkipPayloadFence, // flushed but never fenced -> UnfencedFlushAtCommit
+    DoubleFlush,      // flushes an already-flushed line -> RedundantFlush
+    StoreAfterFlush,  // re-dirties a flushed line, no re-flush
+                      //   -> StoreInFlushFenceWindow
+    LeakDirtyLine,    // extra store outside the protocol, never flushed
+                      //   -> DirtyAtShutdown
+};
+
+constexpr PmOffset kPayloadOff = 0;
+constexpr std::size_t kPayloadLen = 2 * kCacheLineSize;
+constexpr PmOffset kCommitMarkOff = 4096;
+constexpr PmOffset kLeakOff = 8192;
+
+/** One commit of the toy engine, with one protocol step elided. */
+void
+runToyCommit(PmDevice &device, Bug bug)
+{
+    SiteScope site(device, "toy-commit");
+    device.txBegin();
+
+    std::vector<std::uint8_t> payload(kPayloadLen, 0x5a);
+    device.write(kPayloadOff, payload.data(), payload.size());
+
+    if (bug == Bug::LeakDirtyLine)
+        device.writeU64(kLeakOff, 0xdeadbeef);
+
+    if (bug != Bug::SkipPayloadFlush) {
+        device.flushRange(kPayloadOff, kPayloadLen);
+        if (bug == Bug::DoubleFlush)
+            device.clflush(kPayloadOff);
+        if (bug == Bug::StoreAfterFlush)
+            device.writeU64(kPayloadOff, 0x1111); // inside the window
+        if (bug != Bug::SkipPayloadFence)
+            device.sfence();
+    } else {
+        device.sfence(); // fence with nothing flushed
+    }
+
+    device.txCommitPoint();
+
+    device.writeU64(kCommitMarkOff, 1);
+    device.clflush(kCommitMarkOff);
+    device.sfence();
+    device.txEnd(/*committed=*/true);
+}
+
+class CheckerNegativeTest : public ::testing::Test
+{
+  protected:
+    CheckerNegativeTest() : device_(makeConfig())
+    {
+        device_.setChecker(&checker_);
+    }
+
+    ~CheckerNegativeTest() override { device_.setChecker(nullptr); }
+
+    static PmConfig makeConfig()
+    {
+        PmConfig cfg;
+        cfg.size = 1u << 20;
+        cfg.mode = PmMode::CacheSim;
+        return cfg;
+    }
+
+    /** Run one toy commit plus the clean-shutdown sweep and return the
+     *  violation counts the checker accumulated. */
+    const CheckerReport &run(Bug bug)
+    {
+        runToyCommit(device_, bug);
+        checker_.checkCleanShutdown(device_.eventCount());
+        return checker_.report();
+    }
+
+    PmDevice device_;
+    PersistencyChecker checker_;
+};
+
+TEST_F(CheckerNegativeTest, CorrectProtocolIsViolationFree)
+{
+    const CheckerReport &report = run(Bug::None);
+    EXPECT_TRUE(report.empty()) << report.toString();
+}
+
+TEST_F(CheckerNegativeTest, SkippedPayloadFlushFiresV1)
+{
+    const CheckerReport &report = run(Bug::SkipPayloadFlush);
+    EXPECT_EQ(report.count(ViolationKind::UnflushedStoreAtCommit), 2u)
+        << report.toString(); // one per payload line
+    // The dirty payload also surfaces at shutdown; no other kinds.
+    EXPECT_EQ(report.count(ViolationKind::RedundantFlush), 0u);
+    EXPECT_EQ(report.count(ViolationKind::UnfencedFlushAtCommit), 0u);
+    EXPECT_EQ(report.count(ViolationKind::StoreInFlushFenceWindow), 0u);
+}
+
+TEST_F(CheckerNegativeTest, SkippedPayloadFenceFiresV3)
+{
+    const CheckerReport &report = run(Bug::SkipPayloadFence);
+    EXPECT_EQ(report.count(ViolationKind::UnfencedFlushAtCommit), 2u)
+        << report.toString();
+    EXPECT_EQ(report.count(ViolationKind::UnflushedStoreAtCommit), 0u);
+    EXPECT_EQ(report.count(ViolationKind::StoreInFlushFenceWindow), 0u);
+}
+
+TEST_F(CheckerNegativeTest, DoubleFlushFiresV2)
+{
+    const CheckerReport &report = run(Bug::DoubleFlush);
+    EXPECT_EQ(report.count(ViolationKind::RedundantFlush), 1u)
+        << report.toString();
+    EXPECT_EQ(report.total(), 1u) << report.toString();
+}
+
+TEST_F(CheckerNegativeTest, StoreAfterFlushFiresV4)
+{
+    const CheckerReport &report = run(Bug::StoreAfterFlush);
+    EXPECT_EQ(report.count(ViolationKind::StoreInFlushFenceWindow), 1u)
+        << report.toString();
+    // The re-dirtied line is then unflushed at the commit point too.
+    EXPECT_EQ(report.count(ViolationKind::UnflushedStoreAtCommit), 1u)
+        << report.toString();
+}
+
+TEST_F(CheckerNegativeTest, LeakedDirtyLineFiresV5)
+{
+    const CheckerReport &report = run(Bug::LeakDirtyLine);
+    // Caught twice: it is in the transaction's write set at the commit
+    // point, and still dirty at shutdown.
+    EXPECT_EQ(report.count(ViolationKind::DirtyAtShutdown), 1u)
+        << report.toString();
+    EXPECT_EQ(report.count(ViolationKind::UnflushedStoreAtCommit), 1u)
+        << report.toString();
+}
+
+TEST_F(CheckerNegativeTest, EveryDetectorNamesItsSite)
+{
+    const CheckerReport &report = run(Bug::SkipPayloadFlush);
+    ASSERT_FALSE(report.violations().empty());
+    for (const Violation &v : report.violations()) {
+        // The shutdown sweep runs outside any site scope; everything
+        // detected inside the commit protocol must carry its tag.
+        if (v.kind == ViolationKind::DirtyAtShutdown)
+            continue;
+        ASSERT_NE(v.site, nullptr) << v.toString();
+        EXPECT_STREQ(v.site, "toy-commit") << v.toString();
+    }
+}
+
+// The guard used across the real suites must promote a violation to a
+// test failure. gtest-spi lets us assert that the failure fires without
+// failing this test.
+TEST(CheckerGuardTest, GuardTurnsViolationsIntoTestFailures)
+{
+    EXPECT_NONFATAL_FAILURE(
+        {
+            PmConfig cfg;
+            cfg.size = 1u << 20;
+            cfg.mode = PmMode::CacheSim;
+            PmDevice device(cfg);
+            testsupport::PmCheckerGuard guard(device);
+            device.writeU64(0, 0x42); // never flushed
+        },
+        "dirty-at-shutdown");
+}
+
+TEST(CheckerGuardTest, GuardIsSilentOnCleanProtocol)
+{
+    PmConfig cfg;
+    cfg.size = 1u << 20;
+    cfg.mode = PmMode::CacheSim;
+    PmDevice device(cfg);
+    testsupport::PmCheckerGuard guard(device);
+    runToyCommit(device, Bug::None);
+}
+
+} // namespace
+} // namespace fasp::pm

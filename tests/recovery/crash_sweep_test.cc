@@ -33,6 +33,7 @@
 #include "common/rng.h"
 #include "core/engine.h"
 #include "pm/device.h"
+#include "support/checker_guard.h"
 
 namespace fasp::core {
 namespace {
@@ -259,6 +260,11 @@ class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
     runOnce(std::uint64_t k)
     {
         auto device = makeDevice(/*crash_seed=*/k * 7919 + 13);
+        // Every store/flush/fence of the whole run — format, workload,
+        // crash, recovery, verification — is ordering-checked. Declared
+        // after the device and before the engines so its destructor
+        // sweeps for unflushed lines once the engines are gone.
+        testsupport::PmCheckerGuard guard(*device);
         auto engine_res =
             Engine::create(*device, engineConfig(), /*format=*/true);
         if (!engine_res.isOk()) {

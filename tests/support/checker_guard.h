@@ -1,0 +1,56 @@
+/**
+ * @file
+ * PmCheckerGuard: RAII wiring of the PersistencyChecker into a test.
+ *
+ * Attach one guard per PmDevice, declared AFTER the device member (or
+ * below the device local) so it detaches before the device dies. While
+ * alive, every store/clflush/sfence is state-machine-checked. On
+ * destruction it runs the clean-shutdown sweep (unless the device
+ * crashed and was never recovered) and fails the test if any violation
+ * was recorded.
+ */
+
+#ifndef FASP_TESTS_SUPPORT_CHECKER_GUARD_H
+#define FASP_TESTS_SUPPORT_CHECKER_GUARD_H
+
+#include <gtest/gtest.h>
+
+#include "pm/checker.h"
+#include "pm/device.h"
+
+namespace fasp::testsupport {
+
+class PmCheckerGuard
+{
+  public:
+    explicit PmCheckerGuard(pm::PmDevice &device) : device_(device)
+    {
+        device_.setChecker(&checker_);
+    }
+
+    ~PmCheckerGuard()
+    {
+        if (!device_.crashed())
+            checker_.checkCleanShutdown(device_.eventCount());
+        device_.setChecker(nullptr);
+        EXPECT_TRUE(checker_.report().empty())
+            << checker_.report().toString();
+    }
+
+    PmCheckerGuard(const PmCheckerGuard &) = delete;
+    PmCheckerGuard &operator=(const PmCheckerGuard &) = delete;
+
+    pm::PersistencyChecker &checker() { return checker_; }
+
+    /** Declare deliberately abandoned in-flight writes harmless (tests
+     *  that drop a half-built transaction without simulating a crash). */
+    void forgiveUnflushed() { checker_.forgiveUnflushed(); }
+
+  private:
+    pm::PmDevice &device_;
+    pm::PersistencyChecker checker_;
+};
+
+} // namespace fasp::testsupport
+
+#endif // FASP_TESTS_SUPPORT_CHECKER_GUARD_H

@@ -12,6 +12,7 @@
 
 #include "pager/pager.h"
 #include "pm/device.h"
+#include "support/checker_guard.h"
 #include "wal/nv_heap.h"
 #include "wal/nvwal_log.h"
 
@@ -47,6 +48,9 @@ class NvHeapTest : public ::testing::Test
     }
 
     PmDevice device_;
+    // Declared after the device: destroyed first, sweeping for
+    // unflushed lines while the device is still alive.
+    testsupport::PmCheckerGuard guard_{device_};
     pager::Region region_;
     std::unique_ptr<NvHeap> heap_;
 };
@@ -57,6 +61,8 @@ TEST_F(NvHeapTest, AllocWriteReadBack)
     ASSERT_TRUE(off.isOk());
     std::vector<std::uint8_t> data(100, 0x5c);
     device_.write(*off, data.data(), data.size());
+    device_.flushRange(*off, data.size());
+    device_.sfence();
     std::vector<std::uint8_t> out(100);
     device_.read(*off, out.data(), out.size());
     EXPECT_EQ(out, data);
@@ -176,6 +182,7 @@ class NvwalLogTest : public ::testing::Test
     }
 
     PmDevice device_;
+    testsupport::PmCheckerGuard guard_{device_};
     Superblock sb_;
     std::unique_ptr<NvwalLog> log_;
 };
@@ -188,6 +195,7 @@ TEST_F(NvwalLogTest, CommitThenFetchAppliesDiff)
     device_.write(sb_.pageOffset(pid), pair.clean.data(),
                   pair.clean.size());
     device_.flushRange(sb_.pageOffset(pid), pair.clean.size());
+    device_.sfence();
 
     // Modify two separate regions.
     std::memset(pair.data.data() + 100, 0xaa, 40);
