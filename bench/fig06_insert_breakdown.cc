@@ -49,11 +49,16 @@ main(int argc, char **argv)
                 fast_total_last = groups.totalNs();
         }
     }
-    table.print("Figure 6: insertion-time breakdown vs PM latency "
-                "(avg over " +
-                std::to_string(args.numTxns) + " single-record txns)");
+    std::string title =
+        "Figure 6: insertion-time breakdown vs PM latency (avg over " +
+        std::to_string(args.numTxns) + " single-record txns)";
+    table.print(title);
     std::printf("\nFAST speedup over NVWAL at 1200/1200: %.2fx "
                 "(paper: 1.5x-2x across latencies)\n",
                 nvwal_total_last / fast_total_last);
+
+    JsonReport report(args.jsonPath, "fig06_insert_breakdown");
+    report.add(title, table);
+    report.write();
     return 0;
 }

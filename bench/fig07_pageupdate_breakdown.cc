@@ -60,9 +60,14 @@ main(int argc, char **argv)
             }
         }
     }
-    table.print("Figure 7: Page Update breakdown vs PM latency");
+    std::string title = "Figure 7: Page Update breakdown vs PM latency";
+    table.print(title);
     std::printf("\nmax defragmentation share of insertion time: "
                 "%.4f%% (paper: <0.02%%)\n",
                 defrag_share_max * 100.0);
+
+    JsonReport report(args.jsonPath, "fig07_pageupdate_breakdown");
+    report.add(title, table);
+    report.write();
     return 0;
 }

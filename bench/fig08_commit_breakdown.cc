@@ -79,8 +79,10 @@ main(int argc, char **argv)
             }
         }
     }
-    table.print("Figure 8: Commit-time breakdown vs PM write latency "
-                "(read fixed at 300ns)");
+    std::string title =
+        "Figure 8: Commit-time breakdown vs PM write latency "
+        "(read fixed at 300ns)";
+    table.print(title);
     std::printf(
         "\nheadline checks at write latency 1200ns:\n"
         "  NVWAL/FAST commit ratio: %.2fx (paper: up to 6x)\n"
@@ -92,5 +94,9 @@ main(int argc, char **argv)
         fash_ckpt / 1000.0,
         100.0 * (1.0 - fast_ckpt / (fash_ckpt > 0 ? fash_ckpt : 1)),
         100.0 * fash_logflush_share, 100.0 * fast_logflush_share);
+
+    JsonReport report(args.jsonPath, "fig08_commit_breakdown");
+    report.add(title, table);
+    report.write();
     return 0;
 }

@@ -58,12 +58,19 @@ main(int argc, char **argv)
                             0)});
         }
     }
-    time_table.print(
-        "Figure 9(a): insertion time vs record size (300/300ns)");
-    flush_table.print(
-        "Figure 9(b): cache-line flushes per insertion vs record size");
+    std::string time_title =
+        "Figure 9(a): insertion time vs record size (300/300ns)";
+    std::string flush_title =
+        "Figure 9(b): cache-line flushes per insertion vs record size";
+    time_table.print(time_title);
+    flush_table.print(flush_title);
     std::printf("\nexpected: the FAST:NVWAL gap widens with record "
                 "size (NVWAL duplicates data into WAL frames; FAST "
                 "logs a fixed-size slot header)\n");
+
+    JsonReport report(args.jsonPath, "fig09_record_size");
+    report.add(time_title, time_table);
+    report.add(flush_title, flush_table);
+    report.write();
     return 0;
 }

@@ -49,9 +49,15 @@ main(int argc, char **argv)
                  Table::fmt(result.engineStats.inPlaceCommits)});
         }
     }
-    table.print("Figure 10: multi-record transactions (300/300ns)");
+    std::string title =
+        "Figure 10: multi-record transactions (300/300ns)";
+    table.print(title);
     std::printf("\nexpected: FAST uses in-place commit only at 1 "
                 "rec/txn; beyond that FAST == FASH (slot-header "
                 "logging), both below NVWAL\n");
+
+    JsonReport report(args.jsonPath, "fig10_multi_insert");
+    report.add(title, table);
+    report.write();
     return 0;
 }

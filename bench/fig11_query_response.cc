@@ -44,10 +44,16 @@ main(int argc, char **argv)
         if (kind == core::EngineKind::Fast)
             fast_insert = result.insertNs;
     }
-    table.print("Figure 11: SQL query response time by operation "
-                "(300/300ns, Mobibench-style mix)");
+    std::string title =
+        "Figure 11: SQL query response time by operation "
+        "(300/300ns, Mobibench-style mix)";
+    table.print(title);
     std::printf("\nFAST insert response improvement over NVWAL: "
                 "%.1f%% (paper: up to 33%%)\n",
                 100.0 * (1.0 - fast_insert / nvwal_insert));
+
+    JsonReport report(args.jsonPath, "fig11_query_response");
+    report.add(title, table);
+    report.write();
     return 0;
 }

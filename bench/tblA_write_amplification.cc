@@ -41,10 +41,15 @@ main(int argc, char **argv)
                       Table::fmt(result.flushesPerTxn(), 1),
                       Table::fmt(fences, 1)});
     }
-    table.print("Table A: write amplification per 64B insert "
-                "(PM bytes stored / logical bytes)");
+    std::string title = "Table A: write amplification per 64B insert "
+                        "(PM bytes stored / logical bytes)";
+    table.print(title);
     std::printf("\nexpected ordering: JOURNAL >> WAL >> NVWAL > FASH "
                 "> FAST (paper: journaling doubles I/O; FAST needs "
                 "one store+flush for the commit mark)\n");
+
+    JsonReport report(args.jsonPath, "tblA_write_amplification");
+    report.add(title, table);
+    report.write();
     return 0;
 }

@@ -128,9 +128,15 @@ main(int argc, char **argv)
         runFragmentationMix(kind, args.numTxns / 2, table);
     }
 
-    table.print("Table B: copy-on-write defragmentation overhead");
+    std::string title =
+        "Table B: copy-on-write defragmentation overhead";
+    table.print(title);
     std::printf("\npaper claim: <0.02%% of insertion time under the "
                 "insert workload; the frag-heavy mix shows the "
                 "worst-case upper bound\n");
+
+    JsonReport report(args.jsonPath, "tblB_defrag_overhead");
+    report.add(title, table);
+    report.write();
     return 0;
 }

@@ -5,13 +5,24 @@
  * retries until it succeeds, or alternatively falls back to
  * slot-header logging after repeated aborts).
  *
- * Sweeps the injected abort probability and the retry budget; shows
- * the commit cost degrading gracefully toward FASH as more commits
- * take the logging fallback.
+ * Two tables:
+ *
+ *  1. Injected-abort sweep (single client): commit cost degrading
+ *     gracefully toward FASH as more commits take the logging
+ *     fallback.
+ *
+ *  2. Abort-class breakdown by client count: with concurrent clients
+ *     the emulated RTM also aborts on real write-set contention
+ *     (line-lock conflicts at commit), so the per-class counters
+ *     (explicit / injected / contention / capacity) separate "we
+ *     asked for it" aborts from genuine interference. Capacity stays
+ *     0 here — FAST's single-page commits touch one cache line by
+ *     construction — and is exercised by the RTM unit tests instead.
  */
 
 #include <cstdio>
 
+#include "bench_util/mt_driver.h"
 #include "bench_util/runner.h"
 #include "bench_util/table.h"
 
@@ -57,10 +68,52 @@ main(int argc, char **argv)
                                      1000.0,
                                  3)});
     }
-    table.print("Table C: FAST commit under injected RTM aborts "
-                "(retry budget 64, then slot-header-logging fallback)");
+    std::string sweep_title =
+        "Table C: FAST commit under injected RTM aborts "
+        "(retry budget 64, then slot-header-logging fallback)";
+    table.print(sweep_title);
+
+    Table classes({"clients", "begins", "commits", "explicit",
+                   "injected", "contention", "capacity", "fallbacks"});
+    const std::size_t client_counts[] = {1, 2, 4};
+    for (std::size_t clients : client_counts) {
+        MtConfig config;
+        config.kind = core::EngineKind::Fast;
+        config.threads = clients;
+        config.txnsPerThread =
+            std::max<std::size_t>(args.numTxns / clients, 50);
+        MtResult result = runMtInsertBench(config);
+        classes.addRow(
+            {Table::fmt(static_cast<std::uint64_t>(clients)),
+             Table::fmt(static_cast<std::uint64_t>(
+                 result.rtmStats.begins)),
+             Table::fmt(static_cast<std::uint64_t>(
+                 result.rtmStats.commits)),
+             Table::fmt(static_cast<std::uint64_t>(
+                 result.rtmStats.abortsExplicit)),
+             Table::fmt(static_cast<std::uint64_t>(
+                 result.rtmStats.abortsInjected)),
+             Table::fmt(static_cast<std::uint64_t>(
+                 result.rtmStats.abortsContention)),
+             Table::fmt(static_cast<std::uint64_t>(
+                 result.rtmStats.abortsCapacity)),
+             Table::fmt(static_cast<std::uint64_t>(
+                 result.rtmStats.fallbacks))});
+    }
+    std::string class_title =
+        "Table C (cont.): RTM abort classes vs concurrent clients "
+        "(FAST insert workload)";
+    classes.print(class_title);
+
     std::printf("\nexpected: graceful degradation — retries absorb "
                 "moderate abort rates; heavy abort pressure shifts "
-                "commits to the logging path (toward FASH cost)\n");
+                "commits to the logging path (toward FASH cost); "
+                "contention aborts grow with clients, capacity stays "
+                "0 for single-line commits\n");
+
+    JsonReport report(args.jsonPath, "tblC_htm_aborts");
+    report.add(sweep_title, table);
+    report.add(class_title, classes);
+    report.write();
     return 0;
 }

@@ -118,11 +118,17 @@ main(int argc, char **argv)
                       Table::fmt(hash.totalUs),
                       Table::fmt(hash.inPlace)});
     }
-    table.print("Table D: slotted-page B+-tree vs slotted-page hash "
-                "index, single-record inserts (300/300ns)");
+    std::string title =
+        "Table D: slotted-page B+-tree vs slotted-page hash "
+        "index, single-record inserts (300/300ns)";
+    table.print(title);
     std::printf("\nexpected: both index types enjoy FAST's in-place "
                 "commit (the paper's generality claim, §2.2); the "
                 "hash index trades range queries for a flatter "
                 "search path\n");
+
+    JsonReport report(args.jsonPath, "tblD_hash_vs_btree");
+    report.add(title, table);
+    report.write();
     return 0;
 }

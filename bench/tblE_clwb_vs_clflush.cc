@@ -44,11 +44,17 @@ main(int argc, char **argv)
                           Table::fmt(misses, 1)});
         }
     }
-    table.print("Table E: CLWB vs CLFLUSH at 600/600ns (the paper's "
-                "Figure 3 assumes CLWB)");
+    std::string title =
+        "Table E: CLWB vs CLFLUSH at 600/600ns (the paper's "
+        "Figure 3 assumes CLWB)";
+    table.print(title);
     std::printf("\nexpected: CLWB helps the PM-resident engines most "
                 "(their working set lives in PM, so eviction-free "
                 "write-back keeps the B-tree path cached); NVWAL "
                 "reads mostly from DRAM and gains little\n");
+
+    JsonReport report(args.jsonPath, "tblE_clwb_vs_clflush");
+    report.add(title, table);
+    report.write();
     return 0;
 }

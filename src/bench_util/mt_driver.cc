@@ -1,0 +1,207 @@
+#include "bench_util/mt_driver.h"
+
+#include <chrono>
+#include <ctime>
+#include <thread>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/logging.h"
+#include "core/fasp_engine.h"
+#include "pager/latch_table.h"
+#include "pm/checker.h"
+#include "pm/device.h"
+
+namespace fasp::benchutil {
+
+using core::Engine;
+using core::EngineConfig;
+using core::EngineKind;
+
+namespace {
+
+std::size_t
+autoDeviceSize(const MtConfig &config)
+{
+    std::size_t records = config.threads * config.txnsPerThread;
+    std::size_t data = records * (config.recordSize + 96);
+    std::size_t size = 3 * data + (48u << 20);
+    size = (size + (1u << 20) - 1) & ~((std::size_t{1} << 20) - 1);
+    return size;
+}
+
+/** Calling thread's CPU time in ns. */
+std::uint64_t
+threadCpuNs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+struct ClientResult
+{
+    std::uint64_t committed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t activeNs = 0; //!< CPU + modelled PM time
+    std::vector<std::uint64_t> keys;
+};
+
+void
+clientLoop(Engine &engine, btree::BTree tree, const MtConfig &config,
+           std::size_t tid, ClientResult &out)
+{
+    workload::KeyStream keys(workload::KeyPattern::UniformRandom,
+                             config.seed + 1000 * (tid + 1));
+    workload::ValueGen values = workload::ValueGen::fixed(
+        config.recordSize, config.seed + tid + 1);
+    std::vector<std::uint8_t> value;
+    out.keys.reserve(config.txnsPerThread);
+
+    pm::PmDevice::resetThreadModelNs();
+    std::uint64_t cpu_start = threadCpuNs();
+
+    std::uint64_t backoff_us = 0;
+    while (out.committed < config.txnsPerThread) {
+        std::uint64_t key = keys.next();
+        values.next(value);
+        Status status = Status::ok();
+        try {
+            status = engine.insert(
+                tree, key, std::span<const std::uint8_t>(value));
+        } catch (const LatchConflict &) {
+            // Conflict-abort: the transaction rolled back; retry the
+            // same key from scratch after an exponential backoff, so a
+            // conflicting transaction stuck behind the scheduler (or a
+            // commit mutex) gets the cycles to finish. The sleep is
+            // not charged as active time — on real hardware the other
+            // client's core makes progress during it.
+            out.retries++;
+            backoff_us = backoff_us ? std::min<std::uint64_t>(
+                                          backoff_us * 2, 256)
+                                    : 1;
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(backoff_us));
+            continue;
+        }
+        if (status.code() == StatusCode::AlreadyExists)
+            continue; // 64-bit key collision: draw another
+        if (!status.isOk())
+            faspFatal("mt bench insert failed: %s",
+                      status.toString().c_str());
+        backoff_us = 0;
+        out.keys.push_back(key);
+        out.committed++;
+    }
+
+    out.activeNs = (threadCpuNs() - cpu_start) +
+                   pm::PmDevice::threadModelNs();
+}
+
+} // namespace
+
+MtResult
+runMtInsertBench(const MtConfig &config)
+{
+    FASP_ASSERT(config.threads >= 1);
+
+    pm::PmConfig pm_cfg;
+    pm_cfg.size = config.deviceSize ? config.deviceSize
+                                    : autoDeviceSize(config);
+    pm_cfg.mode = pm::PmMode::Direct;
+    pm_cfg.latency = config.latency;
+    pm::PmDevice device(pm_cfg);
+
+    EngineConfig engine_cfg;
+    engine_cfg.kind = config.kind;
+    engine_cfg.format.logLen = 16u << 20;
+    auto engine_res = Engine::create(device, engine_cfg, true);
+    if (!engine_res.isOk())
+        faspFatal("mt bench: engine create failed: %s",
+                  engine_res.status().toString().c_str());
+    std::unique_ptr<Engine> engine = std::move(*engine_res);
+
+    auto tree_res = engine->createTree(2);
+    if (!tree_res.isOk())
+        faspFatal("mt bench: tree create failed");
+    btree::BTree tree = *tree_res;
+
+    pm::PersistencyChecker checker;
+    if (config.attachChecker)
+        device.setChecker(&checker);
+    device.invalidateTagCache();
+    device.stats().reset();
+    engine->stats().reset();
+
+    std::vector<ClientResult> clients(config.threads);
+    std::vector<std::thread> workers;
+    workers.reserve(config.threads);
+
+    auto wall_start = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < config.threads; ++t) {
+        workers.emplace_back(clientLoop, std::ref(*engine), tree,
+                             std::cref(config), t,
+                             std::ref(clients[t]));
+    }
+    for (auto &w : workers)
+        w.join();
+    auto wall_end = std::chrono::steady_clock::now();
+
+    MtResult result;
+    result.threads = config.threads;
+    result.wallSeconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    // Makespan model: clients of the latch-based engines overlap
+    // except where they conflict (and the losers' retries are already
+    // charged to them), so the slowest client bounds the run. The
+    // buffered baselines hold a whole-transaction mutex — client work
+    // never overlaps, and blocking on a mutex burns no CPU — so their
+    // makespan is the *sum* of per-client active time.
+    bool overlapping = config.kind == EngineKind::Fast ||
+                       config.kind == EngineKind::Fash;
+    std::uint64_t makespan = 0;
+    for (const ClientResult &c : clients) {
+        result.txns += c.committed;
+        result.conflictRetries += c.retries;
+        makespan = overlapping ? std::max(makespan, c.activeNs)
+                               : makespan + c.activeNs;
+    }
+    result.modeledSeconds = static_cast<double>(makespan) * 1e-9;
+    result.txnsPerSecond =
+        result.modeledSeconds > 0
+            ? static_cast<double>(result.txns) / result.modeledSeconds
+            : 0;
+    result.engineStats = engine->stats();
+    result.pmStats = device.stats();
+    if (auto *fasp = dynamic_cast<core::FaspEngine *>(engine.get()))
+        result.rtmStats = fasp->rtm().stats();
+
+    if (config.attachChecker) {
+        device.setChecker(nullptr);
+        result.checkerViolations = checker.report().total();
+    }
+
+    // Single-threaded consistency check: the tree must hold exactly
+    // the committed keys.
+    auto counted = tree.count(engine->begin()->pageIO());
+    if (!counted.isOk())
+        faspFatal("mt bench: post-run count failed");
+    if (*counted != result.txns)
+        faspFatal("mt bench: tree holds %llu records, %llu committed",
+                  static_cast<unsigned long long>(*counted),
+                  static_cast<unsigned long long>(result.txns));
+    std::vector<std::uint8_t> read_back;
+    for (const ClientResult &c : clients) {
+        for (std::uint64_t key : c.keys) {
+            Status status = engine->get(tree, key, read_back);
+            if (!status.isOk())
+                faspFatal("mt bench: committed key %llu missing: %s",
+                          static_cast<unsigned long long>(key),
+                          status.toString().c_str());
+        }
+    }
+    return result;
+}
+
+} // namespace fasp::benchutil

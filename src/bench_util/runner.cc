@@ -101,6 +101,14 @@ BenchArgs::parse(int argc, char **argv)
                 static_cast<std::size_t>(std::atoll(arg + 4));
         } else if (std::strcmp(arg, "--quick") == 0) {
             args.numTxns = 2000;
+        } else if (std::strcmp(arg, "--smoke") == 0) {
+            args.smoke = true;
+            args.numTxns = 300;
+        } else if (std::strncmp(arg, "--json=", 7) == 0) {
+            args.jsonPath = arg + 7;
+        } else if (std::strncmp(arg, "--clients=", 10) == 0) {
+            args.clients =
+                static_cast<std::size_t>(std::atoll(arg + 10));
         }
     }
     if (args.numTxns == 0)

@@ -98,10 +98,22 @@ std::array<core::EngineKind, 5> allEngines();
 /** "300/600" style label for a latency model. */
 std::string latencyLabel(const pm::LatencyModel &latency);
 
-/** Parse "--n=NNN" / "--quick" style benchmark argv knobs. */
+/** Parse "--n=NNN" / "--quick" style benchmark argv knobs.
+ *
+ *   --n=NNN       transaction/op count
+ *   --quick       2000 txns (fast local iteration)
+ *   --smoke       300 txns (CI smoke: exercises every code path, no
+ *                 measurement value)
+ *   --json=PATH   also write the printed tables as a JSON report
+ *   --clients=N   multi-client mode with N threads (benches that
+ *                 support it; 0 = single-threaded latency sweep)
+ */
 struct BenchArgs
 {
     std::size_t numTxns = 20000;
+    bool smoke = false;
+    std::string jsonPath;
+    std::size_t clients = 0;
 
     static BenchArgs parse(int argc, char **argv);
 };

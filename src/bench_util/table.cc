@@ -1,6 +1,9 @@
 #include "bench_util/table.h"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
 
 namespace fasp::benchutil {
 
@@ -49,6 +52,103 @@ Table::fmt(std::uint64_t v)
     std::snprintf(buf, sizeof(buf), "%llu",
                   static_cast<unsigned long long>(v));
     return buf;
+}
+
+namespace {
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** Emit a cell: as a bare number if it parses fully as one. */
+void
+appendJsonCell(std::string &out, const std::string &cell)
+{
+    if (!cell.empty()) {
+        char *end = nullptr;
+        std::strtod(cell.c_str(), &end);
+        if (end && *end == '\0' && end != cell.c_str()) {
+            out += cell;
+            return;
+        }
+    }
+    appendJsonString(out, cell);
+}
+
+} // namespace
+
+void
+JsonReport::add(const std::string &title, const Table &table)
+{
+    if (!enabled())
+        return;
+    tables_.emplace_back(title, table);
+}
+
+void
+JsonReport::write() const
+{
+    if (!enabled())
+        return;
+    std::string out = "{\"bench\": ";
+    appendJsonString(out, bench_);
+    out += ", \"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const auto &[title, table] = tables_[t];
+        if (t)
+            out += ", ";
+        out += "\n  {\"title\": ";
+        appendJsonString(out, title);
+        out += ", \"columns\": [";
+        for (std::size_t c = 0; c < table.header().size(); ++c) {
+            if (c)
+                out += ", ";
+            appendJsonString(out, table.header()[c]);
+        }
+        out += "], \"rows\": [";
+        for (std::size_t r = 0; r < table.rows().size(); ++r) {
+            if (r)
+                out += ", ";
+            out += "\n    [";
+            const auto &row = table.rows()[r];
+            for (std::size_t c = 0; c < row.size(); ++c) {
+                if (c)
+                    out += ", ";
+                appendJsonCell(out, row[c]);
+            }
+            out += "]";
+        }
+        out += "]}";
+    }
+    out += "\n]}\n";
+
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f)
+        faspFatal("cannot open json report path: %s", path_.c_str());
+    if (std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
+        std::fclose(f);
+        faspFatal("short write to json report: %s", path_.c_str());
+    }
+    std::fclose(f);
 }
 
 } // namespace fasp::benchutil

@@ -1,6 +1,8 @@
 /**
  * @file
- * Aligned-text table printer for benchmark output.
+ * Aligned-text table printer for benchmark output, plus a JSON report
+ * writer emitting the same tables machine-readably (one schema across
+ * every bench, consumed by the CI bench-smoke artifacts).
  */
 
 #ifndef FASP_BENCH_UTIL_TABLE_H
@@ -8,6 +10,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fasp::benchutil {
@@ -31,6 +34,13 @@ class Table
     /** Print to stdout with a title and separator rule. */
     void print(const std::string &title) const;
 
+    const std::vector<std::string> &header() const { return header_; }
+
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
     /** Format helpers. */
     static std::string fmt(double v, int decimals = 2);
     static std::string fmt(std::uint64_t v);
@@ -38,6 +48,39 @@ class Table
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Machine-readable mirror of a bench run. Collects the same tables the
+ * bench prints and writes
+ *
+ *   {"bench": "<name>", "tables": [
+ *       {"title": "...", "columns": [...], "rows": [[...], ...]}, ...]}
+ *
+ * to a file. Every add/write is a no-op when constructed with an empty
+ * path, so benches call it unconditionally and `--json=PATH` switches
+ * the output on. Cells that parse fully as numbers are emitted as JSON
+ * numbers, everything else as strings.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(std::string path, std::string bench)
+        : path_(std::move(path)), bench_(std::move(bench))
+    {}
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Record @p table under @p title (call next to table.print). */
+    void add(const std::string &title, const Table &table);
+
+    /** Write the report file; fatal on I/O error. */
+    void write() const;
+
+  private:
+    std::string path_;
+    std::string bench_;
+    std::vector<std::pair<std::string, Table>> tables_;
 };
 
 } // namespace fasp::benchutil

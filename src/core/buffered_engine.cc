@@ -52,7 +52,7 @@ BufferedEngine::CachedBitmapIO::writeByte(std::uint32_t index,
 // --- BufferedTransaction -----------------------------------------------------
 
 BufferedTransaction::BufferedTransaction(BufferedEngine &engine, TxId id)
-    : Transaction(id), engine_(engine)
+    : Transaction(id), engine_(engine), txLock_(engine.txMutex_)
 {
     engine_.device_.txBegin();
 }
@@ -158,6 +158,7 @@ BufferedTransaction::rollback()
     finished_ = true;
     engine_.device_.txEnd(/*committed=*/false);
     engine_.stats_.txRolledBack++;
+    txLock_.unlock();
 }
 
 Status
@@ -193,6 +194,7 @@ BufferedTransaction::commit()
     engine_.device_.txEnd(/*committed=*/true);
     engine_.stats_.txCommitted++;
     engine_.stats_.logCommits++;
+    txLock_.unlock();
     return Status::ok();
 }
 
@@ -218,7 +220,7 @@ NvwalEngine::recover()
     FASP_RETURN_IF_ERROR(nvwal_.recover());
     // Resume txids above anything in the surviving WAL so a stale
     // uncommitted frame can never pair with a fresh commit mark.
-    txCounter_ = std::max(txCounter_, nvwal_.lastTxid());
+    txCounter_ = std::max(txCounter_.load(), nvwal_.lastTxid());
     return Status::ok();
 }
 
@@ -336,7 +338,7 @@ LegacyWalEngine::recover()
     PhaseScope phase(device_.phaseTracker(), Component::Recovery);
     cache_.clear();
     FASP_RETURN_IF_ERROR(wal_.recover());
-    txCounter_ = std::max(txCounter_, wal_.lastTxid());
+    txCounter_ = std::max(txCounter_.load(), wal_.lastTxid());
     return Status::ok();
 }
 

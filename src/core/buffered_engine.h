@@ -10,12 +10,20 @@
  * read and written through cached copies of the bitmap pages, so
  * allocation commits and rolls back with the rest of the transaction
  * for free.
+ *
+ * Concurrency: the buffer cache tracks one global dirty set, so these
+ * baselines serialize whole transactions on an engine mutex held from
+ * begin() to commit()/rollback() — reproducing SQLite's single-writer
+ * model, which is also what the paper measured. Multi-client
+ * throughput for them is therefore flat by design; the latch-based
+ * FAST/FASH engines are the ones expected to scale.
  */
 
 #ifndef FASP_CORE_BUFFERED_ENGINE_H
 #define FASP_CORE_BUFFERED_ENGINE_H
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -56,6 +64,11 @@ class BufferedTransaction : public Transaction, public btree::TxPageIO
 
   private:
     BufferedEngine &engine_;
+
+    /** Whole-transaction serialization (see file comment); taken in
+     *  the constructor, dropped when commit()/rollback() finishes. */
+    std::unique_lock<std::mutex> txLock_;
+
     std::unordered_map<PageId, std::unique_ptr<page::BufferPageIO>>
         views_;
     std::vector<PageId> allocs_;
@@ -104,6 +117,7 @@ class BufferedEngine : public Engine
     wal::VolatileCache cache_;
     CachedBitmapIO bitmapIO_;
     pager::PageAllocator allocator_;
+    std::mutex txMutex_; //!< serializes whole transactions
 };
 
 /** NVWAL: differential logging through a persistent heap (paper §2.2). */

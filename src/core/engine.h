@@ -22,6 +22,7 @@
 #ifndef FASP_CORE_ENGINE_H
 #define FASP_CORE_ENGINE_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -75,17 +76,47 @@ struct EngineConfig
     pager::Pager::FormatParams format;
 };
 
-/** Per-engine operation counters. */
+/** Per-engine operation counters. Relaxed atomics so concurrent
+ *  transactions update them tear-free; copies snapshot per field. */
 struct EngineStats
 {
-    std::uint64_t txBegun = 0;
-    std::uint64_t txCommitted = 0;
-    std::uint64_t txRolledBack = 0;
-    std::uint64_t inPlaceCommits = 0;   //!< FAST fast-path commits
-    std::uint64_t logCommits = 0;       //!< slot-header-log commits
-    std::uint64_t rtmFallbacks = 0;     //!< FAST HTM gave up
+    std::atomic<std::uint64_t> txBegun{0};
+    std::atomic<std::uint64_t> txCommitted{0};
+    std::atomic<std::uint64_t> txRolledBack{0};
+    std::atomic<std::uint64_t> inPlaceCommits{0}; //!< FAST fast path
+    std::atomic<std::uint64_t> logCommits{0};     //!< slot-header-log
+                                                  //!< commits
+    std::atomic<std::uint64_t> rtmFallbacks{0};   //!< FAST HTM gave up
+    std::atomic<std::uint64_t> latchConflicts{0}; //!< transactions
+                                                  //!< aborted by a
+                                                  //!< latch conflict
+
+    EngineStats() = default;
+    EngineStats(const EngineStats &other) { copyFrom(other); }
+
+    EngineStats &operator=(const EngineStats &other)
+    {
+        copyFrom(other);
+        return *this;
+    }
 
     void reset() { *this = EngineStats{}; }
+
+  private:
+    void copyFrom(const EngineStats &other)
+    {
+        txBegun = other.txBegun.load(std::memory_order_relaxed);
+        txCommitted = other.txCommitted.load(std::memory_order_relaxed);
+        txRolledBack =
+            other.txRolledBack.load(std::memory_order_relaxed);
+        inPlaceCommits =
+            other.inPlaceCommits.load(std::memory_order_relaxed);
+        logCommits = other.logCommits.load(std::memory_order_relaxed);
+        rtmFallbacks =
+            other.rtmFallbacks.load(std::memory_order_relaxed);
+        latchConflicts =
+            other.latchConflicts.load(std::memory_order_relaxed);
+    }
 };
 
 /**
@@ -124,8 +155,15 @@ class Transaction
 };
 
 /**
- * Storage engine over one PM device. Single-threaded (as is SQLite's
- * write path, which the paper reproduces).
+ * Storage engine over one PM device.
+ *
+ * Thread safety: begin() and the convenience single-operation
+ * transactions may be called from many threads at once. The FAST/FASH
+ * engines run truly concurrent transactions under per-page latches and
+ * abort with LatchConflict when two clients collide (callers retry);
+ * the buffered baselines serialize whole transactions on an internal
+ * mutex, reproducing SQLite's single-writer behaviour. create(),
+ * recover, and stats reset are quiescent-only.
  */
 class Engine
 {
@@ -143,7 +181,8 @@ class Engine
 
     virtual EngineKind kind() const = 0;
 
-    /** Start a transaction. One live transaction at a time. */
+    /** Start a transaction. Each thread drives its own transaction;
+     *  a single Transaction object is not itself thread-safe. */
     virtual std::unique_ptr<Transaction> begin() = 0;
 
     // --- Convenience single-operation transactions -----------------------
@@ -185,13 +224,16 @@ class Engine
     /** Post-crash recovery; runs before create() returns. */
     virtual Status recover() = 0;
 
-    TxId nextTxId() { return ++txCounter_; }
+    TxId nextTxId()
+    {
+        return txCounter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
 
     pm::PmDevice &device_;
     EngineConfig config_;
     pager::Superblock sb_;
     EngineStats stats_;
-    TxId txCounter_ = 0;
+    std::atomic<TxId> txCounter_{0};
 };
 
 } // namespace fasp::core

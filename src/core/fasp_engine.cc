@@ -108,6 +108,47 @@ FaspTransaction::maxLeafSlots() const
                : 0;
 }
 
+void
+FaspTransaction::latchPage(PageId pid, bool exclusive)
+{
+    LatchTable &lt = engine_.latches_;
+    std::size_t slot = lt.slotFor(pid);
+    auto it = latches_.find(slot);
+    if (it == latches_.end()) {
+        bool ok = exclusive ? lt.tryAcquireExclusive(slot)
+                            : lt.tryAcquireShared(slot);
+        if (!ok) {
+            engine_.stats_.latchConflicts.fetch_add(
+                1, std::memory_order_relaxed);
+            throw LatchConflict(pid);
+        }
+        latches_.emplace(slot, exclusive ? LatchMode::Exclusive
+                                         : LatchMode::Shared);
+    } else if (exclusive && it->second == LatchMode::Shared) {
+        // Upgrade is sole-reader-only: failure means waiting could
+        // deadlock against another upgrader, so conflict-abort.
+        if (!lt.tryUpgrade(slot)) {
+            engine_.stats_.latchConflicts.fetch_add(
+                1, std::memory_order_relaxed);
+            throw LatchConflict(pid);
+        }
+        it->second = LatchMode::Exclusive;
+    }
+}
+
+void
+FaspTransaction::releaseLatches()
+{
+    LatchTable &lt = engine_.latches_;
+    for (const auto &[slot, mode] : latches_) {
+        if (mode == LatchMode::Exclusive)
+            lt.releaseExclusive(slot);
+        else
+            lt.releaseShared(slot);
+    }
+    latches_.clear();
+}
+
 FaspTransaction::PageState &
 FaspTransaction::state(PageId pid)
 {
@@ -125,6 +166,7 @@ FaspTransaction::state(PageId pid)
 page::PageIO &
 FaspTransaction::page(PageId pid, bool for_write)
 {
+    latchPage(pid, for_write);
     PageState &st = state(pid);
     if (for_write && !st.fresh && !st.io->hasShadow())
         st.io->materializeShadow();
@@ -134,27 +176,43 @@ FaspTransaction::page(PageId pid, bool for_write)
 Result<PageId>
 FaspTransaction::allocPage()
 {
-    auto pid = engine_.allocator_.allocate();
-    if (!pid.isOk())
-        return pid;
+    PageId pid;
+    {
+        std::lock_guard<std::mutex> lk(engine_.allocMutex_);
+        auto allocated = engine_.allocator_.allocate();
+        if (!allocated.isOk())
+            return allocated;
+        pid = *allocated;
+    }
+    try {
+        // The page is ours alone, but its latch *slot* may be held by
+        // a transaction latching a colliding page.
+        latchPage(pid, /*exclusive=*/true);
+    } catch (const LatchConflict &) {
+        std::lock_guard<std::mutex> lk(engine_.allocMutex_);
+        engine_.allocator_.free(pid);
+        throw;
+    }
     PageState st;
     st.io = std::make_unique<FaspPageIO>(
-        engine_.device_, engine_.sb_.pageOffset(*pid),
+        engine_.device_, engine_.sb_.pageOffset(pid),
         engine_.sb_.pageSize, /*write_through=*/true);
     st.fresh = true;
-    pages_[*pid] = std::move(st);
-    allocs_.push_back(*pid);
+    pages_[pid] = std::move(st);
+    allocs_.push_back(pid);
     return pid;
 }
 
 void
 FaspTransaction::freePage(PageId pid)
 {
+    latchPage(pid, /*exclusive=*/true);
     auto it = std::find(allocs_.begin(), allocs_.end(), pid);
     if (it != allocs_.end()) {
         // Allocated and freed within this transaction: it was never
         // reachable, so it can return to the allocator immediately.
         allocs_.erase(it);
+        std::lock_guard<std::mutex> lk(engine_.allocMutex_);
         engine_.allocator_.free(pid);
     } else {
         // Freeing a live page: it must stay unavailable until commit,
@@ -172,6 +230,7 @@ FaspTransaction::freePage(PageId pid)
 void
 FaspTransaction::deferReclaim(PageId pid, const page::RecordRef &ref)
 {
+    latchPage(pid, /*exclusive=*/true);
     state(pid).reclaims.push_back(ref);
 }
 
@@ -194,13 +253,19 @@ FaspTransaction::rollback()
         return;
     // In-place content writes landed in durable free space and are
     // simply forgotten; shadow headers never reached PM.
-    for (PageId pid : allocs_)
-        engine_.allocator_.free(pid);
+    if (!allocs_.empty()) {
+        std::lock_guard<std::mutex> lk(engine_.allocMutex_);
+        for (PageId pid : allocs_)
+            engine_.allocator_.free(pid);
+    }
     pages_.clear();
     allocs_.clear();
     frees_.clear();
     finished_ = true;
+    // Close the checker's write set before dropping exclusion, so no
+    // foreign store can land in it mid-check.
     engine_.device_.txEnd(/*committed=*/false);
+    releaseLatches();
     engine_.stats_.txRolledBack++;
 }
 
@@ -252,6 +317,12 @@ FaspTransaction::commitLogged()
     pm::SiteScope site(engine_.device_, "FaspTransaction::commitLogged");
     pm::PhaseTracker *trk = tracker();
 
+    // The slot-header log (cursor, frames, truncation) is one shared
+    // region: logged commits serialize on it. Held through txEnd so a
+    // later commit reusing truncated offsets cannot dirty lines still
+    // in this transaction's checked write set.
+    std::lock_guard<std::mutex> logLock(engine_.logMutex_);
+
     // (1) Flush in-place record writes; order among them is free as
     // long as they all precede the commit mark (paper §3.3).
     {
@@ -301,10 +372,14 @@ FaspTransaction::commitLogged()
     {
         PhaseScope phase(trk, Component::CommitMisc);
         applyReclaims();
-        for (PageId pid : frees_)
-            engine_.allocator_.free(pid);
+        if (!frees_.empty()) {
+            std::lock_guard<std::mutex> lk(engine_.allocMutex_);
+            for (PageId pid : frees_)
+                engine_.allocator_.free(pid);
+        }
     }
     engine_.stats_.logCommits++;
+    engine_.device_.txEnd(/*committed=*/true);
     return Status::ok();
 }
 
@@ -325,6 +400,7 @@ FaspTransaction::commit()
     }
 
     Status status = Status::ok();
+    bool logged = false;
     if (modified_count == 0 && allocs_.empty() && frees_.empty()) {
         // Read-only transaction: nothing to persist.
     } else if (engine_.config_.kind == EngineKind::Fast &&
@@ -337,9 +413,11 @@ FaspTransaction::commit()
             // RTM kept aborting: fall back to slot-header logging
             // (paper §3.2 footnote 1).
             status = commitLogged();
+            logged = status.isOk();
         }
     } else {
         status = commitLogged();
+        logged = status.isOk();
     }
 
     if (!status.isOk())
@@ -348,8 +426,12 @@ FaspTransaction::commit()
     allocs_.clear();
     frees_.clear();
     finished_ = true;
-    engine_.device_.txEnd(/*committed=*/true);
+    // The logged path already ran txEnd under the log mutex; the other
+    // paths run it here, still under this transaction's page latches.
+    if (!logged)
+        engine_.device_.txEnd(/*committed=*/true);
     engine_.stats_.txCommitted++;
+    releaseLatches();
     return Status::ok();
 }
 

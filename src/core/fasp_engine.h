@@ -13,18 +13,32 @@
  *
  * There is no DRAM buffer cache: the database pages in PM *are* the
  * buffer cache (the paper's PM-only buffer caching).
+ *
+ * Concurrency (DESIGN.md §9): transactions follow strict two-phase
+ * latching over the engine's striped per-page latch table — shared on
+ * first read, upgraded or taken exclusive on first write, all held to
+ * commit/rollback. Latches are acquired with a bounded spin only;
+ * exhaustion throws LatchConflict, which rolls the transaction back so
+ * the caller can retry — no hold-and-wait, hence no latch deadlock.
+ * The in-place commit publishes its header via RTM while still holding
+ * the page latch; logged commits additionally serialize on the engine
+ * log mutex, since the slot-header log region (and its truncation) is
+ * shared. Allocator bitmap updates take a dedicated mutex, always
+ * nested inside the log mutex when both are held.
  */
 
 #ifndef FASP_CORE_FASP_ENGINE_H
 #define FASP_CORE_FASP_ENGINE_H
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/fasp_page_io.h"
 #include "htm/rtm.h"
+#include "pager/latch_table.h"
 #include "wal/slot_header_log.h"
 
 namespace fasp::core {
@@ -64,15 +78,25 @@ class FaspTransaction : public Transaction, public btree::TxPageIO
         std::vector<page::RecordRef> reclaims;
     };
 
+    enum class LatchMode : std::uint8_t { Shared, Exclusive };
+
     PageState &state(PageId pid);
     Status commitInPlace(PageState &st);
     Status commitLogged();
     void applyReclaims();
 
+    /** Acquire (or upgrade) the latch slot covering @p pid; throws
+     *  LatchConflict when contended past the spin budget. Latches are
+     *  tracked per *slot* so same-slot collisions inside one
+     *  transaction cannot self-deadlock. */
+    void latchPage(PageId pid, bool exclusive);
+    void releaseLatches();
+
     FaspEngine &engine_;
     std::unordered_map<PageId, PageState> pages_;
     std::vector<PageId> allocs_;
     std::vector<PageId> frees_;
+    std::unordered_map<std::size_t, LatchMode> latches_;
 };
 
 /** See file comment. */
@@ -90,12 +114,25 @@ class FaspEngine : public Engine
 
     wal::SlotHeaderLog &log() { return log_; }
     htm::Rtm &rtm() { return rtm_; }
+    LatchTable &latches() { return latches_; }
 
   private:
     friend class FaspTransaction;
 
     wal::SlotHeaderLog log_;
     htm::Rtm rtm_;
+    LatchTable latches_;
+
+    /** Serializes logged commits: the slot-header log region (cursor,
+     *  frames, truncation) is one shared structure. Held across the
+     *  whole commitLogged() including the checker's txEnd, so a later
+     *  transaction reusing truncated log offsets cannot dirty lines
+     *  still in this transaction's checked write set. */
+    std::mutex logMutex_;
+
+    /** Guards the volatile bitmap mirror + allocator cursor. Nested
+     *  inside logMutex_ when both are held, never the reverse. */
+    std::mutex allocMutex_;
 
     /** Volatile mirror of the allocation bitmap (durable updates ride
      *  the slot-header log). */

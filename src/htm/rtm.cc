@@ -1,5 +1,9 @@
 #include "htm/rtm.h"
 
+#include <algorithm>
+#include <thread>
+#include <unordered_set>
+
 #include "common/logging.h"
 #include "pm/device.h"
 
@@ -16,7 +20,8 @@ RtmRegion::write(PmOffset off, const void *src, std::size_t len)
 }
 
 Rtm::Rtm(pm::PmDevice &device, const RtmConfig &config)
-    : device_(device), config_(config), rng_(config.seed)
+    : device_(device), config_(config), rng_(config.seed),
+      lineLocks_(kLineLockSlots)
 {}
 
 void
@@ -57,37 +62,116 @@ Rtm::checkWriteSet(const RtmRegion &region) const
     }
 }
 
-void
-Rtm::apply(const RtmRegion &region)
+bool
+Rtm::rollInjectedAbort()
 {
+    if (config_.abortProbability <= 0.0)
+        return false;
+    std::lock_guard<std::mutex> lk(rngMu_);
+    return rng_.nextBool(config_.abortProbability);
+}
+
+std::vector<std::size_t>
+Rtm::lockSlots(const RtmRegion &region) const
+{
+    std::vector<std::size_t> slots;
+    for (const auto &staged : region.writes_) {
+        if (staged.bytes.empty())
+            continue;
+        for (PmOffset base = cacheLineBase(staged.off);
+             base < staged.off + staged.bytes.size();
+             base += kCacheLineSize) {
+            slots.push_back((base / kCacheLineSize) *
+                            0x9e3779b97f4a7c15ull % kLineLockSlots);
+        }
+    }
+    // Sorted + deduped: locks are taken in a global order, so two
+    // overlapping commits cannot deadlock.
+    std::sort(slots.begin(), slots.end());
+    slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+    return slots;
+}
+
+Rtm::ApplyResult
+Rtm::tryApply(const RtmRegion &region)
+{
+    std::vector<std::size_t> slots = lockSlots(region);
+    std::size_t held = 0;
+    for (; held < slots.size(); ++held) {
+        std::uint8_t expected = 0;
+        if (!lineLocks_[slots[held]].compare_exchange_strong(
+                expected, 1, std::memory_order_acquire,
+                std::memory_order_relaxed)) {
+            // Another thread is committing to this line right now:
+            // the hardware would have aborted us the moment its store
+            // invalidated our read/write set.
+            for (std::size_t i = 0; i < held; ++i)
+                lineLocks_[slots[i]].store(0, std::memory_order_release);
+            return ApplyResult::Contention;
+        }
+    }
     // XEND: the staged stores become visible. They remain volatile (in
     // the simulated CPU cache) until the caller flushes them, and since
     // the write set is one line they can never be torn by a crash.
     for (const auto &staged : region.writes_)
         device_.write(staged.off, staged.bytes.data(),
                       staged.bytes.size());
+    for (std::size_t slot : slots)
+        lineLocks_[slot].store(0, std::memory_order_release);
+    return ApplyResult::Committed;
 }
 
 bool
 Rtm::execute(const std::function<void(RtmRegion &)> &body)
 {
     for (unsigned attempt = 0; attempt <= config_.maxRetries; ++attempt) {
-        stats_.begins++;
+        stats_.begins.fetch_add(1, std::memory_order_relaxed);
         RtmRegion region;
         body(region);
         checkWriteSet(region);
 
-        bool injected_abort = config_.abortProbability > 0.0 &&
-                              rng_.nextBool(config_.abortProbability);
-        if (region.explicitAbort_ || injected_abort) {
-            stats_.aborts++;
+        if (config_.capacityLines > 0) {
+            std::unordered_set<PmOffset> lines;
+            for (const auto &staged : region.writes_) {
+                for (PmOffset base = cacheLineBase(staged.off);
+                     base < staged.off + staged.bytes.size();
+                     base += kCacheLineSize) {
+                    lines.insert(base);
+                }
+            }
+            if (lines.size() > config_.capacityLines) {
+                stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+                stats_.abortsCapacity.fetch_add(
+                    1, std::memory_order_relaxed);
+                // Deterministic: the write set won't shrink on retry.
+                stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+                return false;
+            }
+        }
+
+        if (region.explicitAbort_) {
+            stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+            stats_.abortsExplicit.fetch_add(1, std::memory_order_relaxed);
             continue;
         }
-        apply(region);
-        stats_.commits++;
+        if (rollInjectedAbort()) {
+            stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+            stats_.abortsInjected.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        if (tryApply(region) == ApplyResult::Contention) {
+            stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+            stats_.abortsContention.fetch_add(
+                1, std::memory_order_relaxed);
+            // Brief pause so the winning committer can finish before we
+            // re-execute the body against the updated line.
+            std::this_thread::yield();
+            continue;
+        }
+        stats_.commits.fetch_add(1, std::memory_order_relaxed);
         return true;
     }
-    stats_.fallbacks++;
+    stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
     return false;
 }
 

@@ -2,29 +2,38 @@
  * @file
  * Software emulation of Intel Restricted Transactional Memory (RTM).
  *
- * The paper uses RTM (XBEGIN / XEND / XABORT) for exactly one purpose:
+ * The paper uses RTM (XBEGIN / XEND / XABORT) for two purposes at once:
  * making the update of a slot header that fits in one cache line
- * failure-atomic. Stores inside an RTM region stay invisible (in the
- * write-combining store buffer) until XEND; restricting the write set to
- * a single cache line means the header either persists whole (after the
- * subsequent clflush) or not at all.
+ * failure-atomic, and serializing concurrent clients touching the same
+ * header — RTM is FAST's concurrency control. Stores inside an RTM
+ * region stay invisible (in the write-combining store buffer) until
+ * XEND; restricting the write set to a single cache line means the
+ * header either persists whole (after the subsequent clflush) or not at
+ * all.
  *
- * This emulation preserves that contract: writes made through an
- * RtmRegion are staged in a volatile buffer and applied to the PM device
- * only when the region commits. A crash that fires during the region or
- * before the post-region clflush therefore loses the whole update —
- * exactly the hardware behaviour the paper relies on.
+ * This emulation preserves both contracts: writes made through an
+ * RtmRegion are staged in a volatile buffer and applied to the PM
+ * device only when the region commits, and the apply step acquires
+ * per-cache-line locks from a shared table so two regions whose write
+ * sets overlap conflict — one commits, the other takes a *contention
+ * abort* and re-executes, exactly like real RTM's cache-coherence
+ * conflict detection (just with coarser, commit-time granularity).
  *
- * Aborts are injected probabilistically to exercise the fallback paths
- * the paper describes (retry until success, or fall back to slot-header
- * logging after repeated aborts).
+ * Aborts therefore come in four flavours, counted separately for the
+ * ablation table: explicit (XABORT), injected (the probabilistic model
+ * of interrupts/sharing-induced aborts), contention (another thread
+ * held a write-set line), and capacity (write set exceeded the
+ * configured line budget — real RTM aborts when the write set falls
+ * out of L1).
  */
 
 #ifndef FASP_HTM_RTM_H
 #define FASP_HTM_RTM_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -39,9 +48,9 @@ namespace fasp::htm {
 /** Abort/retry policy of the emulated RTM. */
 struct RtmConfig
 {
-    /** Probability that any single attempt aborts (injected). Real RTM
-     *  aborts on conflicts, interrupts, and capacity; the emulation
-     *  rolls a die instead. */
+    /** Probability that any single attempt aborts (injected). Models
+     *  the abort sources the emulation cannot observe: interrupts,
+     *  false sharing, TLB misses. */
     double abortProbability = 0.0;
 
     /** Attempts before execute() gives up and reports fallback. The
@@ -54,19 +63,67 @@ struct RtmConfig
      *  cannot persist two lines atomically). */
     bool enforceSingleLine = true;
 
+    /** Maximum distinct cache lines a write set may touch before the
+     *  attempt takes a capacity abort (0 = unlimited). Capacity aborts
+     *  are deterministic — retrying cannot help — so execute() falls
+     *  back immediately rather than burning the retry budget, matching
+     *  the _XABORT_CAPACITY handling real fallback handlers use. Only
+     *  meaningful with enforceSingleLine off. */
+    std::size_t capacityLines = 0;
+
     /** Seed for the abort-injection RNG. */
     std::uint64_t seed = 7;
 };
 
-/** Counters describing RTM behaviour (ablation Table C). */
+/**
+ * Counters describing RTM behaviour (ablation Table C). Relaxed
+ * atomics: concurrent clients of one engine update them tear-free;
+ * copies snapshot field-by-field.
+ */
 struct RtmStats
 {
-    std::uint64_t begins = 0;    //!< attempts started
-    std::uint64_t commits = 0;   //!< attempts that committed
-    std::uint64_t aborts = 0;    //!< attempts that aborted
-    std::uint64_t fallbacks = 0; //!< execute() calls that gave up
+    std::atomic<std::uint64_t> begins{0};    //!< attempts started
+    std::atomic<std::uint64_t> commits{0};   //!< attempts that committed
+    std::atomic<std::uint64_t> aborts{0};    //!< attempts that aborted
+    std::atomic<std::uint64_t> fallbacks{0}; //!< execute() calls that
+                                             //!< gave up
+
+    // Abort breakdown (sums to `aborts`).
+    std::atomic<std::uint64_t> abortsExplicit{0};   //!< XABORT
+    std::atomic<std::uint64_t> abortsInjected{0};   //!< modelled
+    std::atomic<std::uint64_t> abortsContention{0}; //!< write-set line
+                                                    //!< held by another
+                                                    //!< thread
+    std::atomic<std::uint64_t> abortsCapacity{0};   //!< write set over
+                                                    //!< capacityLines
+
+    RtmStats() = default;
+    RtmStats(const RtmStats &other) { copyFrom(other); }
+
+    RtmStats &operator=(const RtmStats &other)
+    {
+        copyFrom(other);
+        return *this;
+    }
 
     void reset() { *this = RtmStats{}; }
+
+  private:
+    void copyFrom(const RtmStats &other)
+    {
+        begins = other.begins.load(std::memory_order_relaxed);
+        commits = other.commits.load(std::memory_order_relaxed);
+        aborts = other.aborts.load(std::memory_order_relaxed);
+        fallbacks = other.fallbacks.load(std::memory_order_relaxed);
+        abortsExplicit =
+            other.abortsExplicit.load(std::memory_order_relaxed);
+        abortsInjected =
+            other.abortsInjected.load(std::memory_order_relaxed);
+        abortsContention =
+            other.abortsContention.load(std::memory_order_relaxed);
+        abortsCapacity =
+            other.abortsCapacity.load(std::memory_order_relaxed);
+    }
 };
 
 /**
@@ -96,7 +153,9 @@ class RtmRegion
 };
 
 /**
- * RTM execution engine bound to one PM device.
+ * RTM execution engine bound to one PM device. execute() is safe to
+ * call from many threads at once; setConfig()/reset of stats are
+ * quiescent-only.
  */
 class Rtm
 {
@@ -107,10 +166,15 @@ class Rtm
      * Run @p body transactionally. The body stages writes through the
      * region; on commit they are applied to the device as ordinary
      * (volatile) stores, which the caller must then clflush + sfence to
-     * make durable.
+     * make durable. The apply is atomic with respect to other execute()
+     * calls whose write sets overlap (per-line commit locks).
+     *
+     * The body may run several times (once per attempt) and must be
+     * idempotent up to its staged writes.
      *
      * @return true if an attempt committed; false if the retry budget
-     *         was exhausted (caller falls back to slot-header logging).
+     *         was exhausted or a capacity abort fired (caller falls
+     *         back to slot-header logging).
      */
     bool execute(const std::function<void(RtmRegion &)> &body);
 
@@ -119,17 +183,33 @@ class Rtm
 
     const RtmConfig &config() const { return config_; }
 
-    /** Replace the abort policy (used by the abort-injection bench). */
+    /** Replace the abort policy (used by the abort-injection bench;
+     *  quiescent only). */
     void setConfig(const RtmConfig &config);
 
   private:
-    void apply(const RtmRegion &region);
+    /** Outcome of one commit attempt's lock acquisition. */
+    enum class ApplyResult : std::uint8_t { Committed, Contention };
+
+    ApplyResult tryApply(const RtmRegion &region);
     void checkWriteSet(const RtmRegion &region) const;
+    bool rollInjectedAbort();
+
+    /** Distinct sorted commit-lock slots of a region's write set. */
+    std::vector<std::size_t> lockSlots(const RtmRegion &region) const;
 
     pm::PmDevice &device_;
     RtmConfig config_;
-    Rng rng_;
+    Rng rng_;               //!< guarded by rngMu_
+    std::mutex rngMu_;
     RtmStats stats_;
+
+    /** Commit-time line locks: hashed per cache line, CAS-acquired in
+     *  sorted order during apply. 2048 single-byte slots keep the
+     *  table in a few cache lines; hash collisions just coarsen
+     *  conflict detection (false aborts, never missed ones). */
+    static constexpr std::size_t kLineLockSlots = 2048;
+    std::vector<std::atomic<std::uint8_t>> lineLocks_;
 };
 
 } // namespace fasp::htm

@@ -1,0 +1,126 @@
+#include "pager/latch_table.h"
+
+#include <thread>
+
+namespace fasp {
+
+namespace {
+
+/** CAS attempts before an acquire gives up and reports a conflict.
+ *  Large enough to ride out another client's in-memory critical
+ *  section; far too small to wait for one blocked on modelled PM
+ *  latency, which is the case the conflict-abort path exists for. */
+constexpr int kSpinBudget = 4096;
+
+/** Back off politely once the first few spins fail. */
+void
+relax(int attempt)
+{
+    if (attempt >= 64 && attempt % 64 == 0)
+        std::this_thread::yield();
+}
+
+std::size_t
+roundUpPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+LatchTable::LatchTable(std::size_t stripes)
+{
+    std::size_t n = roundUpPow2(stripes < 2 ? 2 : stripes);
+    slots_ = std::make_unique<Slot[]>(n);
+    mask_ = n - 1;
+}
+
+bool
+LatchTable::tryAcquireShared(std::size_t slot)
+{
+    std::atomic<std::int32_t> &s = slots_[slot].state;
+    for (int i = 0; i < kSpinBudget; ++i) {
+        std::int32_t cur = s.load(std::memory_order_relaxed);
+        if (cur >= 0 &&
+            s.compare_exchange_weak(cur, cur + 1,
+                                    std::memory_order_acquire,
+                                    std::memory_order_relaxed)) {
+            counters_.sharedAcquires.fetch_add(
+                1, std::memory_order_relaxed);
+            return true;
+        }
+        relax(i);
+    }
+    counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+bool
+LatchTable::tryAcquireExclusive(std::size_t slot)
+{
+    std::atomic<std::int32_t> &s = slots_[slot].state;
+    for (int i = 0; i < kSpinBudget; ++i) {
+        std::int32_t cur = 0;
+        if (s.compare_exchange_weak(cur, -1,
+                                    std::memory_order_acquire,
+                                    std::memory_order_relaxed)) {
+            counters_.exclusiveAcquires.fetch_add(
+                1, std::memory_order_relaxed);
+            return true;
+        }
+        relax(i);
+    }
+    counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+bool
+LatchTable::tryUpgrade(std::size_t slot)
+{
+    std::atomic<std::int32_t> &s = slots_[slot].state;
+    std::int32_t sole = 1;
+    if (s.compare_exchange_strong(sole, -1,
+                                  std::memory_order_acquire,
+                                  std::memory_order_relaxed)) {
+        counters_.upgrades.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+LatchTable::releaseShared(std::size_t slot)
+{
+    slots_[slot].state.fetch_sub(1, std::memory_order_release);
+}
+
+void
+LatchTable::releaseExclusive(std::size_t slot)
+{
+    slots_[slot].state.store(0, std::memory_order_release);
+}
+
+void
+LatchTable::downgrade(std::size_t slot)
+{
+    slots_[slot].state.store(1, std::memory_order_release);
+}
+
+LatchStats
+LatchTable::statsSnapshot() const
+{
+    LatchStats out;
+    out.sharedAcquires =
+        counters_.sharedAcquires.load(std::memory_order_relaxed);
+    out.exclusiveAcquires =
+        counters_.exclusiveAcquires.load(std::memory_order_relaxed);
+    out.upgrades = counters_.upgrades.load(std::memory_order_relaxed);
+    out.conflicts = counters_.conflicts.load(std::memory_order_relaxed);
+    return out;
+}
+
+} // namespace fasp

@@ -20,6 +20,12 @@ PersistencyChecker::LineInfo::record(LineTraceEvent::Op op,
         traceLen++;
 }
 
+PersistencyChecker::ThreadState &
+PersistencyChecker::myState()
+{
+    return threads_[std::this_thread::get_id()];
+}
+
 void
 PersistencyChecker::reportLine(ViolationKind kind, PmOffset base,
                                const LineInfo &info,
@@ -44,7 +50,7 @@ PersistencyChecker::reportLine(ViolationKind kind, PmOffset base,
 void
 PersistencyChecker::storeLine(PmOffset base, bool scratch,
                               std::uint64_t eventIndex,
-                              const char *site)
+                              const char *site, ThreadState &ts)
 {
     LineInfo &li = lines_[base];
     li.record(scratch ? LineTraceEvent::Op::ScratchStore
@@ -73,10 +79,8 @@ PersistencyChecker::storeLine(PmOffset base, bool scratch,
         }
         break;
     }
-    if (txActive_ && !scratch && !li.inTxSet) {
-        li.inTxSet = true;
-        txLines_.push_back(base);
-    }
+    if (ts.txActive && !scratch && ts.txMembers.insert(base).second)
+        ts.txLines.push_back(base);
 }
 
 void
@@ -85,9 +89,11 @@ PersistencyChecker::onStore(PmOffset off, std::size_t len, bool scratch,
 {
     if (len == 0)
         return;
+    std::lock_guard<std::mutex> lk(mu_);
+    ThreadState &ts = myState();
     for (PmOffset base = cacheLineBase(off); base < off + len;
          base += kCacheLineSize) {
-        storeLine(base, scratch, eventIndex, site);
+        storeLine(base, scratch, eventIndex, site, ts);
     }
 }
 
@@ -95,6 +101,7 @@ void
 PersistencyChecker::onFlush(PmOffset off, std::uint64_t eventIndex,
                             const char *site)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     PmOffset base = cacheLineBase(off);
     LineInfo &li = lines_[base];
     li.record(LineTraceEvent::Op::Flush, eventIndex, site);
@@ -102,7 +109,7 @@ PersistencyChecker::onFlush(PmOffset off, std::uint64_t eventIndex,
       case LineState::Dirty:
         li.state = LineState::Flushed;
         li.flushAmbiguous = false;
-        flushedSinceFence_.push_back(base);
+        myState().flushedSinceFence.push_back(base);
         break;
       case LineState::Clean:
       case LineState::Flushed:
@@ -118,7 +125,11 @@ PersistencyChecker::onFlush(PmOffset off, std::uint64_t eventIndex,
 void
 PersistencyChecker::onFence(std::uint64_t eventIndex, const char *site)
 {
-    for (PmOffset base : flushedSinceFence_) {
+    std::lock_guard<std::mutex> lk(mu_);
+    // SFENCE orders only the calling thread's own write-backs; other
+    // threads' flushed lines stay FLUSHED until *they* fence.
+    ThreadState &ts = myState();
+    for (PmOffset base : ts.flushedSinceFence) {
         auto it = lines_.find(base);
         if (it == lines_.end())
             continue;
@@ -137,21 +148,20 @@ PersistencyChecker::onFence(std::uint64_t eventIndex, const char *site)
         }
         // Fenced: duplicate entry for a line flushed twice this epoch.
     }
-    flushedSinceFence_.clear();
+    ts.flushedSinceFence.clear();
 }
 
 void
 PersistencyChecker::onCrash()
 {
+    std::lock_guard<std::mutex> lk(mu_);
     atRiskAtCrash_.clear();
     for (const auto &[base, li] : lines_) {
         if (li.state == LineState::Dirty)
             atRiskAtCrash_.insert(base);
     }
     lines_.clear();
-    flushedSinceFence_.clear();
-    txLines_.clear();
-    txActive_ = false;
+    threads_.clear();
 }
 
 void
@@ -159,6 +169,7 @@ PersistencyChecker::onMarkScratch(PmOffset off, std::size_t len)
 {
     if (len == 0)
         return;
+    std::lock_guard<std::mutex> lk(mu_);
     for (PmOffset base = cacheLineBase(off); base < off + len;
          base += kCacheLineSize) {
         auto it = lines_.find(base);
@@ -175,31 +186,36 @@ PersistencyChecker::onMarkScratch(PmOffset off, std::size_t len)
 void
 PersistencyChecker::onTxBegin()
 {
-    if (txActive_)
+    std::lock_guard<std::mutex> lk(mu_);
+    ThreadState &ts = myState();
+    if (ts.txActive)
         return; // joined an enclosing transaction
-    txActive_ = true;
-    txLines_.clear();
+    ts.txActive = true;
+    ts.txLines.clear();
+    ts.txMembers.clear();
+    ts.reported.clear();
 }
 
 void
-PersistencyChecker::checkTxSetPersisted(std::uint64_t eventIndex,
+PersistencyChecker::checkTxSetPersisted(ThreadState &ts,
+                                        std::uint64_t eventIndex,
                                         const char *site)
 {
-    for (PmOffset base : txLines_) {
+    for (PmOffset base : ts.txLines) {
         auto it = lines_.find(base);
         if (it == lines_.end())
             continue;
         LineInfo &li = it->second;
-        if (li.scratchOnly || li.reportedThisTx)
+        if (li.scratchOnly || ts.reported.count(base))
             continue;
         if (li.state == LineState::Dirty) {
             reportLine(ViolationKind::UnflushedStoreAtCommit, base, li,
                        eventIndex, site);
-            li.reportedThisTx = true;
+            ts.reported.insert(base);
         } else if (li.state == LineState::Flushed) {
             reportLine(ViolationKind::UnfencedFlushAtCommit, base, li,
                        eventIndex, site);
-            li.reportedThisTx = true;
+            ts.reported.insert(base);
         }
     }
 }
@@ -208,23 +224,27 @@ void
 PersistencyChecker::onTxCommitPoint(std::uint64_t eventIndex,
                                     const char *site)
 {
-    if (!txActive_)
+    std::lock_guard<std::mutex> lk(mu_);
+    ThreadState &ts = myState();
+    if (!ts.txActive)
         return;
-    checkTxSetPersisted(eventIndex, site);
+    checkTxSetPersisted(ts, eventIndex, site);
 }
 
 void
 PersistencyChecker::onTxEnd(bool committed, std::uint64_t eventIndex,
                             const char *site)
 {
-    if (!txActive_)
+    std::lock_guard<std::mutex> lk(mu_);
+    ThreadState &ts = myState();
+    if (!ts.txActive)
         return;
     if (committed) {
-        checkTxSetPersisted(eventIndex, site);
+        checkTxSetPersisted(ts, eventIndex, site);
     } else {
         // Aborted: whatever the transaction left dirty is dead data
         // the engine has forgotten; treat it as scratch.
-        for (PmOffset base : txLines_) {
+        for (PmOffset base : ts.txLines) {
             auto it = lines_.find(base);
             if (it == lines_.end())
                 continue;
@@ -235,20 +255,24 @@ PersistencyChecker::onTxEnd(bool committed, std::uint64_t eventIndex,
             }
         }
     }
-    for (PmOffset base : txLines_) {
-        auto it = lines_.find(base);
-        if (it != lines_.end()) {
-            it->second.inTxSet = false;
-            it->second.reportedThisTx = false;
-        }
-    }
-    txLines_.clear();
-    txActive_ = false;
+    ts.txLines.clear();
+    ts.txMembers.clear();
+    ts.reported.clear();
+    ts.txActive = false;
+}
+
+bool
+PersistencyChecker::txActive() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = threads_.find(std::this_thread::get_id());
+    return it != threads_.end() && it->second.txActive;
 }
 
 void
 PersistencyChecker::checkCleanShutdown(std::uint64_t eventIndex)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::vector<PmOffset> bases;
     for (const auto &[base, li] : lines_) {
         if (li.scratchOnly)
@@ -267,6 +291,7 @@ PersistencyChecker::checkCleanShutdown(std::uint64_t eventIndex)
 void
 PersistencyChecker::forgiveUnflushed()
 {
+    std::lock_guard<std::mutex> lk(mu_);
     for (auto &[base, li] : lines_) {
         if (li.state == LineState::Dirty ||
             li.state == LineState::Flushed) {
@@ -274,12 +299,14 @@ PersistencyChecker::forgiveUnflushed()
             li.flushAmbiguous = false;
         }
     }
-    flushedSinceFence_.clear();
+    for (auto &[tid, ts] : threads_)
+        ts.flushedSinceFence.clear();
 }
 
 PersistencyChecker::LineState
 PersistencyChecker::lineState(PmOffset off) const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = lines_.find(cacheLineBase(off));
     return it == lines_.end() ? LineState::Clean : it->second.state;
 }
@@ -287,16 +314,16 @@ PersistencyChecker::lineState(PmOffset off) const
 bool
 PersistencyChecker::wasAtRiskAtCrash(PmOffset off) const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     return atRiskAtCrash_.count(cacheLineBase(off)) > 0;
 }
 
 void
 PersistencyChecker::reset()
 {
+    std::lock_guard<std::mutex> lk(mu_);
     lines_.clear();
-    flushedSinceFence_.clear();
-    txLines_.clear();
-    txActive_ = false;
+    threads_.clear();
     atRiskAtCrash_.clear();
     report_.clear();
 }

@@ -35,6 +35,8 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -47,7 +49,17 @@ namespace fasp::pm {
 /**
  * Per-cache-line persistency-ordering state machine. Attach to a
  * PmDevice with PmDevice::setChecker(); all hooks are then driven by
- * the device. Not thread-safe (neither is the device).
+ * the device.
+ *
+ * Thread safety: every hook and query takes one internal mutex, so the
+ * checker observes a total order of events. Transaction write sets and
+ * the flushed-but-unfenced list are kept *per calling thread*, matching
+ * the hardware: SFENCE only orders the issuing core's own write-backs,
+ * and a commit protocol only vouches for the lines its own thread
+ * stored. Per-line state remains global — the engines' latch protocol
+ * guarantees at most one thread mutates a given line at a time, which
+ * is what makes the per-line serialization meaningful (see DESIGN.md
+ * §9).
  */
 class PersistencyChecker
 {
@@ -104,8 +116,11 @@ class PersistencyChecker
      *  cache writes back on clflush, matching device semantics. */
     bool wasAtRiskAtCrash(PmOffset off) const;
 
-    bool txActive() const { return txActive_; }
+    /** True while the *calling thread* has an open transaction. */
+    bool txActive() const;
 
+    /** The report is safe to read only while no hook can fire (workers
+     *  joined or the checker detached). */
     CheckerReport &report() { return report_; }
     const CheckerReport &report() const { return report_; }
 
@@ -118,9 +133,6 @@ class PersistencyChecker
         LineState state = LineState::Clean;
         bool scratchOnly = false;    //!< every pending store is scratch
         bool flushAmbiguous = false; //!< stored-to between flush & fence
-        bool inTxSet = false;
-        bool reportedThisTx = false; //!< already reported at a commit
-                                     //!< point of the current tx
         std::uint8_t traceLen = 0;
         std::uint8_t traceHead = 0;
         std::array<LineTraceEvent, Violation::kTraceDepth> trace{};
@@ -129,9 +141,24 @@ class PersistencyChecker
                     const char *site);
     };
 
+    /** Per-thread protocol state (keyed by std::thread::id). */
+    struct ThreadState
+    {
+        bool txActive = false;
+        std::vector<PmOffset> txLines;          //!< insertion order
+        std::unordered_set<PmOffset> txMembers; //!< dedup for txLines
+        std::unordered_set<PmOffset> reported;  //!< lines already
+                                                //!< reported this tx
+        std::vector<PmOffset> flushedSinceFence;
+    };
+
+    /** State slot of the calling thread; requires mu_ held. */
+    ThreadState &myState();
+
     void storeLine(PmOffset base, bool scratch,
-                   std::uint64_t eventIndex, const char *site);
-    void checkTxSetPersisted(std::uint64_t eventIndex,
+                   std::uint64_t eventIndex, const char *site,
+                   ThreadState &ts);
+    void checkTxSetPersisted(ThreadState &ts, std::uint64_t eventIndex,
                              const char *site);
     void reportLine(ViolationKind kind, PmOffset base,
                     const LineInfo &info, std::uint64_t eventIndex,
@@ -139,10 +166,9 @@ class PersistencyChecker
 
     Config config_;
     CheckerReport report_;
+    mutable std::mutex mu_;
     std::unordered_map<PmOffset, LineInfo> lines_;
-    std::vector<PmOffset> flushedSinceFence_;
-    std::vector<PmOffset> txLines_;
-    bool txActive_ = false;
+    std::unordered_map<std::thread::id, ThreadState> threads_;
     std::unordered_set<PmOffset> atRiskAtCrash_;
 };
 

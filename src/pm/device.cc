@@ -21,6 +21,13 @@ roundUpPow2(std::size_t v)
     return p;
 }
 
+/** Calling thread's active site tag. Thread-local so concurrent
+ *  clients' SiteScopes never clobber each other. */
+thread_local const char *t_site = nullptr;
+
+/** Calling thread's modelled-latency accumulator (see threadModelNs). */
+thread_local std::uint64_t t_modelNs = 0;
+
 } // namespace
 
 PmDevice::PmDevice(const PmConfig &config)
@@ -31,11 +38,46 @@ PmDevice::PmDevice(const PmConfig &config)
     FASP_ASSERT(config.size % kCacheLineSize == 0);
     std::size_t lines = roundUpPow2(std::max<std::size_t>(
         config.tagCacheLines, 64));
-    tags_.assign(lines, 0);
+    tags_ = std::vector<std::atomic<PmOffset>>(lines);
     tagMask_ = lines - 1;
 }
 
 PmDevice::~PmDevice() = default;
+
+const char *
+PmDevice::setSite(const char *site)
+{
+    const char *prev = t_site;
+    t_site = site;
+    return prev;
+}
+
+const char *
+PmDevice::site() const
+{
+    return t_site;
+}
+
+std::uint64_t
+PmDevice::threadModelNs()
+{
+    return t_modelNs;
+}
+
+void
+PmDevice::resetThreadModelNs()
+{
+    t_modelNs = 0;
+}
+
+void
+PmDevice::chargeModelNs(std::uint64_t ns)
+{
+    stats_.modelNs.fetch_add(ns, std::memory_order_relaxed);
+    t_modelNs += ns;
+    if (PhaseTracker *trk = phaseTracker())
+        trk->addModelNs(ns);
+}
 
 void
 PmDevice::checkRange(PmOffset off, std::size_t len) const
@@ -50,32 +92,21 @@ PmDevice::checkRange(PmOffset off, std::size_t len) const
 void
 PmDevice::checkAlive() const
 {
-    if (crashed_)
+    if (crashed())
         faspPanic("access to crashed PM device before recovery");
 }
 
 std::uint64_t
 PmDevice::raiseEvent(PmEvent event)
 {
-    std::uint64_t index = eventCount_++;
-    if (injector_ && injector_->shouldCrash(event, index)) {
+    std::uint64_t index =
+        eventCount_.fetch_add(1, std::memory_order_acq_rel);
+    CrashInjector *injector = injector_.load(std::memory_order_acquire);
+    if (injector && injector->shouldCrash(event, index)) {
         crash();
         throw CrashException(index);
     }
     return index;
-}
-
-PmDevice::LineBuf &
-PmDevice::cacheLineFor(PmOffset line_base)
-{
-    auto it = cache_.find(line_base);
-    if (it == cache_.end()) {
-        LineBuf buf;
-        std::memcpy(buf.data(), durable_.data() + line_base,
-                    kCacheLineSize);
-        it = cache_.emplace(line_base, buf).first;
-    }
-    return it->second;
 }
 
 void
@@ -99,8 +130,8 @@ PmDevice::writeImpl(PmOffset off, const void *src, std::size_t len,
     if (len == 0)
         return;
     std::uint64_t index = raiseEvent(PmEvent::Store);
-    stats_.stores++;
-    stats_.storeBytes += len;
+    stats_.stores.fetch_add(1, std::memory_order_relaxed);
+    stats_.storeBytes.fetch_add(len, std::memory_order_relaxed);
 
     const auto *bytes = static_cast<const std::uint8_t *>(src);
     if (config_.mode == PmMode::Direct) {
@@ -113,8 +144,20 @@ PmDevice::writeImpl(PmOffset off, const void *src, std::size_t len,
             PmOffset base = cacheLineBase(cur);
             std::size_t in_line = std::min<std::size_t>(
                 remaining, base + kCacheLineSize - cur);
-            LineBuf &line = cacheLineFor(base);
-            std::memcpy(line.data() + (cur - base), bytes, in_line);
+            CacheShard &shard = shardFor(base);
+            {
+                std::lock_guard<std::mutex> lk(shard.mu);
+                auto it = shard.lines.find(base);
+                if (it == shard.lines.end()) {
+                    LineBuf buf;
+                    std::memcpy(buf.data(), durable_.data() + base,
+                                kCacheLineSize);
+                    it = shard.lines.emplace(base, buf).first;
+                    dirtyLines_.fetch_add(1, std::memory_order_release);
+                }
+                std::memcpy(it->second.data() + (cur - base), bytes,
+                            in_line);
+            }
             bytes += in_line;
             cur += in_line;
             remaining -= in_line;
@@ -125,11 +168,12 @@ PmDevice::writeImpl(PmOffset off, const void *src, std::size_t len,
     // cache hides store latency, per the paper's emulation rule).
     for (PmOffset base = cacheLineBase(off);
          base < off + len; base += kCacheLineSize) {
-        tags_[(base / kCacheLineSize) & tagMask_] = base + 1;
+        tags_[(base / kCacheLineSize) & tagMask_].store(
+            base + 1, std::memory_order_relaxed);
     }
 
-    if (checker_)
-        checker_->onStore(off, len, scratch, index, site_);
+    if (PersistencyChecker *chk = checker())
+        chk->onStore(off, len, scratch, index, t_site);
 }
 
 void
@@ -139,13 +183,13 @@ PmDevice::read(PmOffset off, void *dst, std::size_t len)
     checkRange(off, len);
     if (len == 0)
         return;
-    stats_.loads++;
-    stats_.loadBytes += len;
+    stats_.loads.fetch_add(1, std::memory_order_relaxed);
+    stats_.loadBytes.fetch_add(len, std::memory_order_relaxed);
     if (config_.chargeReads)
         chargeReadLatency(off, len);
 
     auto *out = static_cast<std::uint8_t *>(dst);
-    if (config_.mode == PmMode::Direct || cache_.empty()) {
+    if (config_.mode == PmMode::Direct || dirtyLineCount() == 0) {
         std::memcpy(out, durable_.data() + off, len);
         return;
     }
@@ -156,11 +200,15 @@ PmDevice::read(PmOffset off, void *dst, std::size_t len)
         PmOffset base = cacheLineBase(cur);
         std::size_t in_line = std::min<std::size_t>(
             remaining, base + kCacheLineSize - cur);
-        auto it = cache_.find(base);
-        const std::uint8_t *src = (it != cache_.end())
-            ? it->second.data() + (cur - base)
-            : durable_.data() + cur;
-        std::memcpy(out, src, in_line);
+        CacheShard &shard = shardFor(base);
+        {
+            std::lock_guard<std::mutex> lk(shard.mu);
+            auto it = shard.lines.find(base);
+            const std::uint8_t *src = (it != shard.lines.end())
+                ? it->second.data() + (cur - base)
+                : durable_.data() + cur;
+            std::memcpy(out, src, in_line);
+        }
         out += in_line;
         cur += in_line;
         remaining -= in_line;
@@ -196,14 +244,12 @@ PmDevice::chargeReadLatency(PmOffset off, std::size_t len)
     for (PmOffset base = cacheLineBase(off);
          base < off + len; base += kCacheLineSize) {
         std::size_t idx = (base / kCacheLineSize) & tagMask_;
-        if (tags_[idx] != base + 1) {
-            tags_[idx] = base + 1;
-            stats_.readMisses++;
-            stats_.modelNs += penalty;
-            if (tracker_) {
-                tracker_->addModelNs(penalty);
-                tracker_->countReadMiss();
-            }
+        if (tags_[idx].load(std::memory_order_relaxed) != base + 1) {
+            tags_[idx].store(base + 1, std::memory_order_relaxed);
+            stats_.readMisses.fetch_add(1, std::memory_order_relaxed);
+            chargeModelNs(penalty);
+            if (PhaseTracker *trk = phaseTracker())
+                trk->countReadMiss();
         }
     }
 }
@@ -217,26 +263,29 @@ PmDevice::clflush(PmOffset off)
     PmOffset base = cacheLineBase(off);
 
     if (config_.mode == PmMode::CacheSim) {
-        auto it = cache_.find(base);
-        if (it != cache_.end()) {
+        CacheShard &shard = shardFor(base);
+        std::lock_guard<std::mutex> lk(shard.mu);
+        auto it = shard.lines.find(base);
+        if (it != shard.lines.end()) {
             std::memcpy(durable_.data() + base, it->second.data(),
                         kCacheLineSize);
-            cache_.erase(it);
+            shard.lines.erase(it);
+            dirtyLines_.fetch_sub(1, std::memory_order_release);
         }
     }
     // CLFLUSH evicts the line (the next read misses); CLWB writes it
     // back but keeps it cached.
-    if (!config_.useClwb)
-        tags_[(base / kCacheLineSize) & tagMask_] = 0;
-
-    stats_.clflushes++;
-    stats_.modelNs += config_.latency.pmWriteNs;
-    if (tracker_) {
-        tracker_->addModelNs(config_.latency.pmWriteNs);
-        tracker_->countFlush();
+    if (!config_.useClwb) {
+        tags_[(base / kCacheLineSize) & tagMask_].store(
+            0, std::memory_order_relaxed);
     }
-    if (checker_)
-        checker_->onFlush(base, index, site_);
+
+    stats_.clflushes.fetch_add(1, std::memory_order_relaxed);
+    chargeModelNs(config_.latency.pmWriteNs);
+    if (PhaseTracker *trk = phaseTracker())
+        trk->countFlush();
+    if (PersistencyChecker *chk = checker())
+        chk->onFlush(base, index, t_site);
 }
 
 void
@@ -255,92 +304,100 @@ PmDevice::sfence()
 {
     checkAlive();
     std::uint64_t index = raiseEvent(PmEvent::Fence);
-    stats_.fences++;
-    stats_.modelNs += config_.latency.fenceNs;
-    if (tracker_) {
-        tracker_->addModelNs(config_.latency.fenceNs);
-        tracker_->countFence();
-    }
-    if (checker_)
-        checker_->onFence(index, site_);
+    stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    chargeModelNs(config_.latency.fenceNs);
+    if (PhaseTracker *trk = phaseTracker())
+        trk->countFence();
+    if (PersistencyChecker *chk = checker())
+        chk->onFence(index, t_site);
 }
 
 void
 PmDevice::markScratch(PmOffset off, std::size_t len)
 {
-    if (checker_)
-        checker_->onMarkScratch(off, len);
+    if (PersistencyChecker *chk = checker())
+        chk->onMarkScratch(off, len);
 }
 
 void
 PmDevice::txBegin()
 {
-    if (checker_)
-        checker_->onTxBegin();
+    if (PersistencyChecker *chk = checker())
+        chk->onTxBegin();
 }
 
 void
 PmDevice::txCommitPoint()
 {
-    if (checker_)
-        checker_->onTxCommitPoint(eventCount_, site_);
+    if (PersistencyChecker *chk = checker())
+        chk->onTxCommitPoint(eventCount(), t_site);
 }
 
 void
 PmDevice::txEnd(bool committed)
 {
-    if (checker_)
-        checker_->onTxEnd(committed, eventCount_, site_);
+    if (PersistencyChecker *chk = checker())
+        chk->onTxEnd(committed, eventCount(), t_site);
 }
 
 void
 PmDevice::crash()
 {
     FASP_ASSERT(config_.mode == PmMode::CacheSim);
-    switch (config_.crashPolicy) {
-      case CrashPolicy::DropAll:
-        break;
-      case CrashPolicy::RandomLines:
-        // The cache may have evicted any dirty line to PM before power
-        // was lost: persist an arbitrary subset, whole lines at a time.
-        for (const auto &[base, line] : cache_) {
-            if (crashRng_->nextBool(0.5)) {
-                std::memcpy(durable_.data() + base, line.data(),
-                            kCacheLineSize);
-            }
-        }
-        break;
-      case CrashPolicy::TornLines:
-        // Only 8-byte units are atomic: each aligned word of each dirty
-        // line independently reaches PM or not.
-        for (const auto &[base, line] : cache_) {
-            for (std::size_t w = 0; w < kCacheLineSize; w += 8) {
+    for (CacheShard &shard : cacheShards_) {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        switch (config_.crashPolicy) {
+          case CrashPolicy::DropAll:
+            break;
+          case CrashPolicy::RandomLines:
+            // The cache may have evicted any dirty line to PM before
+            // power was lost: persist an arbitrary subset, whole lines
+            // at a time.
+            for (const auto &[base, line] : shard.lines) {
                 if (crashRng_->nextBool(0.5)) {
-                    std::memcpy(durable_.data() + base + w,
-                                line.data() + w, 8);
+                    std::memcpy(durable_.data() + base, line.data(),
+                                kCacheLineSize);
                 }
             }
+            break;
+          case CrashPolicy::TornLines:
+            // Only 8-byte units are atomic: each aligned word of each
+            // dirty line independently reaches PM or not.
+            for (const auto &[base, line] : shard.lines) {
+                for (std::size_t w = 0; w < kCacheLineSize; w += 8) {
+                    if (crashRng_->nextBool(0.5)) {
+                        std::memcpy(durable_.data() + base + w,
+                                    line.data() + w, 8);
+                    }
+                }
+            }
+            break;
         }
-        break;
+        shard.lines.clear();
     }
-    cache_.clear();
-    crashed_ = true;
-    if (checker_)
-        checker_->onCrash();
+    dirtyLines_.store(0, std::memory_order_release);
+    crashed_.store(true, std::memory_order_release);
+    if (PersistencyChecker *chk = checker())
+        chk->onCrash();
 }
 
 void
 PmDevice::reviveAfterCrash()
 {
-    cache_.clear();
-    crashed_ = false;
+    for (CacheShard &shard : cacheShards_) {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        shard.lines.clear();
+    }
+    dirtyLines_.store(0, std::memory_order_release);
+    crashed_.store(false, std::memory_order_release);
     invalidateTagCache();
 }
 
 void
 PmDevice::invalidateTagCache()
 {
-    std::fill(tags_.begin(), tags_.end(), 0);
+    for (auto &tag : tags_)
+        tag.store(0, std::memory_order_relaxed);
 }
 
 } // namespace fasp::pm

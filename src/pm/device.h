@@ -17,14 +17,30 @@
  * All PM accesses made by the library are mediated by this class, which
  * is what makes both the latency accounting and the crash simulation
  * sound.
+ *
+ * Thread safety: the data path (write/read/clflush/sfence and the
+ * counters they maintain) is safe to drive from many threads at once —
+ * counters are relaxed atomics, the simulated dirty-line cache is
+ * sharded under per-shard mutexes, and the site tag plus the per-thread
+ * latency accumulator are thread-local. *Logical* exclusion over the
+ * bytes themselves (no two threads mutating one page) is the engines'
+ * job, via the pager's per-page latch table; the device deliberately
+ * does not serialize byte access, so a latch-protocol bug shows up as a
+ * real data race under ThreadSanitizer instead of being masked here.
+ * Crash simulation (crash/reviveAfterCrash/setCrashInjector) and
+ * configuration (setLatency/setChecker/setPhaseTracker) are
+ * quiescent-state operations: call them only while no other thread is
+ * accessing the device.
  */
 
 #ifndef FASP_PM_DEVICE_H
 #define FASP_PM_DEVICE_H
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -81,8 +97,7 @@ struct PmConfig
 };
 
 /**
- * Emulated PM device. Not thread-safe; the reproduced system (SQLite) is
- * single-writer.
+ * Emulated PM device; see file comment for the concurrency contract.
  */
 class PmDevice
 {
@@ -100,7 +115,7 @@ class PmDevice
 
     const LatencyModel &latency() const { return config_.latency; }
 
-    /** Replace the latency model (benchmark sweeps). */
+    /** Replace the latency model (benchmark sweeps; quiescent only). */
     void setLatency(const LatencyModel &model)
     {
         config_.latency = model;
@@ -157,17 +172,24 @@ class PmDevice
     /** clflush every line overlapping [off, off+len). */
     void flushRange(PmOffset off, std::size_t len);
 
-    /** Store fence: orders prior flushes before later stores. Modelled
-     *  as an accounting event only. */
+    /** Store fence: orders the calling thread's prior flushes before
+     *  its later stores. Modelled as an accounting event only. */
     void sfence();
 
     // --- Persistency checking ------------------------------------------
 
-    /** Attach the persistency-ordering checker (nullptr to detach).
-     *  The checker observes every store/clflush/sfence/crash. */
-    void setChecker(PersistencyChecker *checker) { checker_ = checker; }
+    /** Attach the persistency-ordering checker (nullptr to detach;
+     *  quiescent only). The checker observes every
+     *  store/clflush/sfence/crash, from every thread. */
+    void setChecker(PersistencyChecker *checker)
+    {
+        checker_.store(checker, std::memory_order_release);
+    }
 
-    PersistencyChecker *checker() const { return checker_; }
+    PersistencyChecker *checker() const
+    {
+        return checker_.load(std::memory_order_acquire);
+    }
 
     /** Declare pending stores in [off, off+len) best-effort after the
      *  fact (e.g. the content of a page being freed). No-op without a
@@ -176,66 +198,93 @@ class PmDevice
 
     /**
      * Commit-protocol annotations for the checker. txBegin() opens the
-     * transaction's write set (nested calls join the enclosing one);
-     * txCommitPoint() marks the instant just before the store that
-     * makes the transaction visible to recovery — every line of the
-     * write set must be flushed AND fenced by then; txEnd() closes the
-     * set (committed: re-check; aborted: the leftover dirty lines are
-     * forgotten data, exempt). All three are safe on a crashed device
-     * (they run during unwinding) and no-ops without a checker.
+     * *calling thread's* transaction write set (nested calls join the
+     * enclosing one); txCommitPoint() marks the instant just before the
+     * store that makes the transaction visible to recovery — every line
+     * of the write set must be flushed AND fenced by then; txEnd()
+     * closes the set (committed: re-check; aborted: the leftover dirty
+     * lines are forgotten data, exempt). All three are safe on a
+     * crashed device (they run during unwinding) and no-ops without a
+     * checker. Under concurrency, call txEnd() while still holding
+     * whatever excludes other threads from the write set's lines (page
+     * latches, the log mutex) so no foreign store lands in the set
+     * between the last fence and the check.
      */
     void txBegin();
     void txCommitPoint();
     void txEnd(bool committed = true);
 
-    /** Install @p site as the active site tag recorded into checker
-     *  traces, returning the previous tag (see SiteScope). */
-    const char *setSite(const char *site)
-    {
-        const char *prev = site_;
-        site_ = site;
-        return prev;
-    }
+    /** Install @p site as the calling thread's active site tag recorded
+     *  into checker traces, returning the previous tag (see SiteScope).
+     *  The tag is thread-local: concurrent clients never see each
+     *  other's tags. */
+    const char *setSite(const char *site);
 
-    const char *site() const { return site_; }
+    const char *site() const;
 
     // --- Crash simulation ----------------------------------------------
 
     /** Simulate power failure per the configured CrashPolicy
-     *  (CacheSim mode only). All unflushed lines are (partially)
-     *  discarded; subsequent access panics until the device image is
-     *  re-opened by a new engine. */
+     *  (CacheSim mode only; quiescent only). All unflushed lines are
+     *  (partially) discarded; subsequent access panics until the device
+     *  image is re-opened by a new engine. */
     void crash();
 
     /** True once crash() ran (or an injected crash fired). */
-    bool crashed() const { return crashed_; }
+    bool crashed() const
+    {
+        return crashed_.load(std::memory_order_acquire);
+    }
 
     /** Forget the crashed state so a recovery pass may re-open the
      *  durable image in place. Clears the simulated cache. */
     void reviveAfterCrash();
 
     /** Number of dirty (unflushed) lines in the simulated cache. */
-    std::size_t dirtyLineCount() const { return cache_.size(); }
+    std::size_t dirtyLineCount() const
+    {
+        return dirtyLines_.load(std::memory_order_acquire);
+    }
 
-    /** Install @p injector (nullptr to remove). The device consults it
-     *  at every persistence event. */
+    /** Install @p injector (nullptr to remove; quiescent only). The
+     *  device consults it at every persistence event. */
     void setCrashInjector(CrashInjector *injector)
     {
-        injector_ = injector;
+        injector_.store(injector, std::memory_order_release);
     }
 
     /** Global persistence-event counter (stores+flushes+fences). */
-    std::uint64_t eventCount() const { return eventCount_; }
+    std::uint64_t eventCount() const
+    {
+        return eventCount_.load(std::memory_order_acquire);
+    }
 
     // --- Accounting ----------------------------------------------------
 
     PmStats &stats() { return stats_; }
     const PmStats &stats() const { return stats_; }
 
-    /** Attach a per-component tracker (nullptr to detach). */
-    void setPhaseTracker(PhaseTracker *tracker) { tracker_ = tracker; }
+    /** Attach a per-component tracker (nullptr to detach; quiescent
+     *  only). The tracker itself is single-threaded: attach one only
+     *  for single-threaded measurement runs. */
+    void setPhaseTracker(PhaseTracker *tracker)
+    {
+        tracker_.store(tracker, std::memory_order_release);
+    }
 
-    PhaseTracker *phaseTracker() const { return tracker_; }
+    PhaseTracker *phaseTracker() const
+    {
+        return tracker_.load(std::memory_order_acquire);
+    }
+
+    /** Modelled PM latency charged by the *calling thread* since its
+     *  last resetThreadModelNs(), across every device. Multi-client
+     *  benches use this to model per-client PM stalls that overlap
+     *  across clients on real hardware. */
+    static std::uint64_t threadModelNs();
+
+    /** Zero the calling thread's modelled-latency accumulator. */
+    static void resetThreadModelNs();
 
     /** Forget which lines the simulated CPU cache holds, so the next
      *  read of every line is a miss (used between benchmark phases). */
@@ -254,34 +303,48 @@ class PmDevice
   private:
     using LineBuf = std::array<std::uint8_t, kCacheLineSize>;
 
+    /** One shard of the simulated dirty-line cache (CacheSim mode).
+     *  Sharding keeps concurrent clients off one global lock. */
+    struct CacheShard
+    {
+        std::mutex mu;
+        std::unordered_map<PmOffset, LineBuf> lines;
+    };
+
+    static constexpr std::size_t kCacheShards = 64;
+
+    CacheShard &shardFor(PmOffset line_base)
+    {
+        return cacheShards_[(line_base / kCacheLineSize) % kCacheShards];
+    }
+
     void writeImpl(PmOffset off, const void *src, std::size_t len,
                    bool scratch);
     std::uint64_t raiseEvent(PmEvent event);
     void chargeReadLatency(PmOffset off, std::size_t len);
+    void chargeModelNs(std::uint64_t ns);
     void checkRange(PmOffset off, std::size_t len) const;
     void checkAlive() const;
-
-    /** Find-or-create the dirty-cache line holding @p line_base. */
-    LineBuf &cacheLineFor(PmOffset line_base);
 
     PmConfig config_;
     std::vector<std::uint8_t> durable_;
 
     /** Simulated CPU cache: dirty lines only (CacheSim mode). */
-    std::unordered_map<PmOffset, LineBuf> cache_;
+    std::array<CacheShard, kCacheShards> cacheShards_;
+    std::atomic<std::size_t> dirtyLines_{0};
 
     /** Direct-mapped tag array for read-latency charging. Entry value is
-     *  line_base + 1 (0 = empty). */
-    std::vector<PmOffset> tags_;
+     *  line_base + 1 (0 = empty). Racy updates are benign: the tag
+     *  cache is a latency-charging heuristic, not data. */
+    std::vector<std::atomic<PmOffset>> tags_;
     std::size_t tagMask_;
 
     PmStats stats_;
-    PhaseTracker *tracker_ = nullptr;
-    CrashInjector *injector_ = nullptr;
-    PersistencyChecker *checker_ = nullptr;
-    const char *site_ = nullptr;
-    std::uint64_t eventCount_ = 0;
-    bool crashed_ = false;
+    std::atomic<PhaseTracker *> tracker_{nullptr};
+    std::atomic<CrashInjector *> injector_{nullptr};
+    std::atomic<PersistencyChecker *> checker_{nullptr};
+    std::atomic<std::uint64_t> eventCount_{0};
+    std::atomic<bool> crashed_{false};
     std::unique_ptr<Rng> crashRng_;
 };
 

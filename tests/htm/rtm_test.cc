@@ -202,5 +202,37 @@ TEST(RtmSingleLineTest, EnforcementCanBeDisabled)
     EXPECT_TRUE(committed);
 }
 
+TEST(RtmCapacityTest, OverBudgetWriteSetFallsBackImmediately)
+{
+    auto dev = makeDevice(PmMode::Direct);
+    RtmConfig cfg;
+    cfg.enforceSingleLine = false;
+    cfg.capacityLines = 2;
+    Rtm rtm(dev, cfg);
+    std::uint64_t value = 9;
+
+    // Three distinct lines > budget of two: deterministic capacity
+    // abort, no retries burned, and nothing reaches the device.
+    bool committed = rtm.execute([&](RtmRegion &region) {
+        region.write(0, &value, 8);
+        region.write(64, &value, 8);
+        region.write(128, &value, 8);
+    });
+    EXPECT_FALSE(committed);
+    EXPECT_EQ(rtm.stats().begins, 1u);
+    EXPECT_EQ(rtm.stats().abortsCapacity, 1u);
+    EXPECT_EQ(rtm.stats().fallbacks, 1u);
+    EXPECT_EQ(dev.readU64(0), 0u);
+    EXPECT_EQ(dev.readU64(128), 0u);
+
+    // At the budget is fine.
+    committed = rtm.execute([&](RtmRegion &region) {
+        region.write(0, &value, 8);
+        region.write(64, &value, 8);
+    });
+    EXPECT_TRUE(committed);
+    EXPECT_EQ(dev.readU64(64), 9u);
+}
+
 } // namespace
 } // namespace fasp::htm
