@@ -416,7 +416,9 @@ BTree::defragPage(TxPageIO &io, PageId pid)
     // On-demand copy-on-write defragmentation (paper §4.3, Fig. 7
     // "defragment(page)").
     pm::PhaseScope phase(io.tracker(), pm::Component::Defrag);
-    if (getenv("FASP_DEBUG_DEFRAG")) {
+    // Debug-only hook; reading the env is benign even if a setenv
+    // raced it (worst case: one lost diagnostic line).
+    if (getenv("FASP_DEBUG_DEFRAG")) { // NOLINT(concurrency-mt-unsafe)
         PageIO &dbg = io.page(pid, false);
         fprintf(stderr,
                 "defrag pid=%u level=%u nrec=%u gap=%u frag=%u\n",

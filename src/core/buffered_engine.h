@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "wal/journal.h"
 #include "wal/legacy_wal.h"
@@ -66,8 +67,12 @@ class BufferedTransaction : public Transaction, public btree::TxPageIO
     BufferedEngine &engine_;
 
     /** Whole-transaction serialization (see file comment); taken in
-     *  the constructor, dropped when commit()/rollback() finishes. */
-    std::unique_lock<std::mutex> txLock_;
+     *  the constructor, dropped when commit()/rollback() finishes.
+     *  A lock handed from constructor to commit() is beyond the
+     *  intraprocedural -Wthread-safety analysis: the methods that rely
+     *  on it re-assert the capability via Mutex::assertHeld()
+     *  (DESIGN.md §10). */
+    std::unique_lock<Mutex> txLock_;
 
     std::unordered_map<PageId, std::unique_ptr<page::BufferPageIO>>
         views_;
@@ -84,22 +89,34 @@ class BufferedEngine : public Engine
 
     std::unique_ptr<Transaction> begin() override;
 
-    wal::VolatileCache &cache() { return cache_; }
-
-
+    /** Quiescent inspection only (tests/benches between runs) — a
+     *  contract the intraprocedural analysis cannot see. */
+    wal::VolatileCache &cache() NO_THREAD_SAFETY_ANALYSIS
+    {
+        return cache_;
+    }
 
   protected:
     friend class BufferedTransaction;
 
-    /** Read the newest committed image of @p pid from durable state. */
+    /** Read the newest committed image of @p pid from durable state.
+     *  Reached through the cache's miss callback while the calling
+     *  transaction holds txMutex_ (or during quiescent recovery), so
+     *  implementations touch only engine-local durable structures —
+     *  never cache_ — and need no capability of their own. */
     virtual void fetchDurable(PageId pid,
                               std::vector<std::uint8_t> &out) = 0;
 
-    /** Engine-specific durable commit of the dirty page set. */
+    /** Engine-specific durable commit of the dirty page set. Called
+     *  from BufferedTransaction::commit() under the whole-transaction
+     *  mutex. */
     virtual Status persistCommit(TxId txid,
-                                 const std::vector<PageId> &dirty) = 0;
+                                 const std::vector<PageId> &dirty)
+        REQUIRES(txMutex_) = 0;
 
-    /** BitmapIO over cached copies of the bitmap pages. */
+    /** BitmapIO over cached copies of the bitmap pages. Reached only
+     *  from allocator calls made inside a transaction (txMutex_ held;
+     *  re-asserted in the implementations). */
     class CachedBitmapIO : public pager::BitmapIO
     {
       public:
@@ -114,10 +131,11 @@ class BufferedEngine : public Engine
         BufferedEngine &engine_;
     };
 
-    wal::VolatileCache cache_;
+    Mutex txMutex_; //!< serializes whole transactions (begin() to
+                    //!< commit()/rollback())
+    wal::VolatileCache cache_ GUARDED_BY(txMutex_);
     CachedBitmapIO bitmapIO_;
-    pager::PageAllocator allocator_;
-    std::mutex txMutex_; //!< serializes whole transactions
+    pager::PageAllocator allocator_ GUARDED_BY(txMutex_);
 };
 
 /** NVWAL: differential logging through a persistent heap (paper §2.2). */
@@ -137,7 +155,8 @@ class NvwalEngine : public BufferedEngine
     void fetchDurable(PageId pid,
                       std::vector<std::uint8_t> &out) override;
     Status persistCommit(TxId txid,
-                         const std::vector<PageId> &dirty) override;
+                         const std::vector<PageId> &dirty) override
+        REQUIRES(txMutex_);
 
   private:
     wal::NvwalLog nvwal_;
@@ -160,7 +179,8 @@ class JournalEngine : public BufferedEngine
     void fetchDurable(PageId pid,
                       std::vector<std::uint8_t> &out) override;
     Status persistCommit(TxId txid,
-                         const std::vector<PageId> &dirty) override;
+                         const std::vector<PageId> &dirty) override
+        REQUIRES(txMutex_);
 
   private:
     wal::RollbackJournal journal_;
@@ -183,7 +203,8 @@ class LegacyWalEngine : public BufferedEngine
     void fetchDurable(PageId pid,
                       std::vector<std::uint8_t> &out) override;
     Status persistCommit(TxId txid,
-                         const std::vector<PageId> &dirty) override;
+                         const std::vector<PageId> &dirty) override
+        REQUIRES(txMutex_);
 
   private:
     wal::LegacyWal wal_;

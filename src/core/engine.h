@@ -164,6 +164,13 @@ class Transaction
  * the buffered baselines serialize whole transactions on an internal
  * mutex, reproducing SQLite's single-writer behaviour. create(),
  * recover, and stats reset are quiescent-only.
+ *
+ * The lock/capability model — which mutex guards which state, the
+ * latch → log-mutex ordering, and where the static analysis hands off
+ * to TSan — is catalogued in DESIGN.md §10; the concrete annotations
+ * live on the derived engines (common/thread_annotations.h). The base
+ * class itself needs no capability: its mutable state (stats_,
+ * txCounter_) is all relaxed atomics.
  */
 class Engine
 {

@@ -31,6 +31,9 @@ FaspEngine::FaspEngine(pm::PmDevice &device, const EngineConfig &cfg,
 Status
 FaspEngine::initFresh()
 {
+    // Quiescent (no transactions yet), but the guard discipline is
+    // uniform: bitmap state is only ever touched under allocMutex_.
+    MutexLock lk(&allocMutex_);
     pager::Pager::loadBitmap(device_, sb_, bitmap_);
     return Status::ok();
 }
@@ -39,6 +42,9 @@ Status
 FaspEngine::recover()
 {
     PhaseScope phase(device_.phaseTracker(), Component::Recovery);
+    // Recovery is quiescent by contract; hold the log mutex anyway so
+    // every log_ access in the program is provably under it.
+    MutexLock logLock(&logMutex_);
     auto result = log_.recover();
     if (!result.isOk())
         return result.status();
@@ -56,6 +62,7 @@ FaspEngine::recover()
     }
 
     // The bitmap is only current after replay.
+    MutexLock allocLock(&allocMutex_);
     pager::Pager::loadBitmap(device_, sb_, bitmap_);
     return Status::ok();
 }
@@ -178,7 +185,7 @@ FaspTransaction::allocPage()
 {
     PageId pid;
     {
-        std::lock_guard<std::mutex> lk(engine_.allocMutex_);
+        MutexLock lk(&engine_.allocMutex_);
         auto allocated = engine_.allocator_.allocate();
         if (!allocated.isOk())
             return allocated;
@@ -189,7 +196,7 @@ FaspTransaction::allocPage()
         // a transaction latching a colliding page.
         latchPage(pid, /*exclusive=*/true);
     } catch (const LatchConflict &) {
-        std::lock_guard<std::mutex> lk(engine_.allocMutex_);
+        MutexLock lk(&engine_.allocMutex_);
         engine_.allocator_.free(pid);
         throw;
     }
@@ -212,7 +219,7 @@ FaspTransaction::freePage(PageId pid)
         // Allocated and freed within this transaction: it was never
         // reachable, so it can return to the allocator immediately.
         allocs_.erase(it);
-        std::lock_guard<std::mutex> lk(engine_.allocMutex_);
+        MutexLock lk(&engine_.allocMutex_);
         engine_.allocator_.free(pid);
     } else {
         // Freeing a live page: it must stay unavailable until commit,
@@ -254,7 +261,7 @@ FaspTransaction::rollback()
     // In-place content writes landed in durable free space and are
     // simply forgotten; shadow headers never reached PM.
     if (!allocs_.empty()) {
-        std::lock_guard<std::mutex> lk(engine_.allocMutex_);
+        MutexLock lk(&engine_.allocMutex_);
         for (PageId pid : allocs_)
             engine_.allocator_.free(pid);
     }
@@ -321,7 +328,7 @@ FaspTransaction::commitLogged()
     // region: logged commits serialize on it. Held through txEnd so a
     // later commit reusing truncated offsets cannot dirty lines still
     // in this transaction's checked write set.
-    std::lock_guard<std::mutex> logLock(engine_.logMutex_);
+    MutexLock logLock(&engine_.logMutex_);
 
     // (1) Flush in-place record writes; order among them is free as
     // long as they all precede the commit mark (paper §3.3).
@@ -373,7 +380,7 @@ FaspTransaction::commitLogged()
         PhaseScope phase(trk, Component::CommitMisc);
         applyReclaims();
         if (!frees_.empty()) {
-            std::lock_guard<std::mutex> lk(engine_.allocMutex_);
+            MutexLock lk(&engine_.allocMutex_);
             for (PageId pid : frees_)
                 engine_.allocator_.free(pid);
         }

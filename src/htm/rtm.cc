@@ -27,7 +27,10 @@ Rtm::Rtm(pm::PmDevice &device, const RtmConfig &config)
 void
 Rtm::setConfig(const RtmConfig &config)
 {
+    // Quiescent-only by contract, but reseeding under the RNG mutex
+    // costs nothing and keeps the guard discipline uniform.
     config_ = config;
+    MutexLock lk(&rngMu_);
     rng_ = Rng(config.seed);
 }
 
@@ -67,7 +70,7 @@ Rtm::rollInjectedAbort()
 {
     if (config_.abortProbability <= 0.0)
         return false;
-    std::lock_guard<std::mutex> lk(rngMu_);
+    MutexLock lk(&rngMu_);
     return rng_.nextBool(config_.abortProbability);
 }
 

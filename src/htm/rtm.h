@@ -33,10 +33,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace fasp::pm {
@@ -200,8 +200,10 @@ class Rtm
 
     pm::PmDevice &device_;
     RtmConfig config_;
-    Rng rng_;               //!< guarded by rngMu_
-    std::mutex rngMu_;
+    Mutex rngMu_;
+    Rng rng_ GUARDED_BY(rngMu_); //!< abort-injection RNG: shared by
+                                 //!< every concurrently executing
+                                 //!< attempt
     RtmStats stats_;
 
     /** Commit-time line locks: hashed per cache line, CAS-acquired in

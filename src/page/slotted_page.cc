@@ -491,7 +491,9 @@ insertRecord(PageIO &io, std::uint64_t key,
     std::uint16_t need = allocFootprint(payload.size());
     std::uint16_t off = allocateSpace(io, need, 2);
     if (off == 0) {
-        if (getenv("FASP_DEBUG_ALLOC")) {
+        // Debug-only hook; reading the env is benign even if a
+        // setenv raced it (worst case: one lost diagnostic line).
+        if (getenv("FASP_DEBUG_ALLOC")) { // NOLINT(concurrency-mt-unsafe)
             fprintf(stderr,
                     "alloc fail: need=%u nrec=%u reserved=%u cs=%u "
                     "floor=%u frag=%u head=%u\n",

@@ -31,28 +31,64 @@ roundUpPow2(std::size_t v)
 
 } // namespace
 
+// --- PageLatch ---------------------------------------------------------------
+
+bool
+PageLatch::tryAcquireShared()
+{
+    for (int i = 0; i < kSpinBudget; ++i) {
+        std::int32_t cur = state_.load(std::memory_order_relaxed);
+        if (cur >= 0 &&
+            state_.compare_exchange_weak(cur, cur + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+            return true;
+        }
+        relax(i);
+    }
+    return false;
+}
+
+bool
+PageLatch::tryAcquireExclusive()
+{
+    for (int i = 0; i < kSpinBudget; ++i) {
+        std::int32_t cur = 0;
+        if (state_.compare_exchange_weak(cur, -1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+            return true;
+        }
+        relax(i);
+    }
+    return false;
+}
+
+bool
+PageLatch::tryUpgrade()
+{
+    std::int32_t sole = 1;
+    return state_.compare_exchange_strong(sole, -1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+}
+
+// --- LatchTable --------------------------------------------------------------
+
 LatchTable::LatchTable(std::size_t stripes)
 {
     std::size_t n = roundUpPow2(stripes < 2 ? 2 : stripes);
-    slots_ = std::make_unique<Slot[]>(n);
+    slots_ = std::make_unique<PageLatch[]>(n);
     mask_ = n - 1;
 }
 
 bool
 LatchTable::tryAcquireShared(std::size_t slot)
 {
-    std::atomic<std::int32_t> &s = slots_[slot].state;
-    for (int i = 0; i < kSpinBudget; ++i) {
-        std::int32_t cur = s.load(std::memory_order_relaxed);
-        if (cur >= 0 &&
-            s.compare_exchange_weak(cur, cur + 1,
-                                    std::memory_order_acquire,
-                                    std::memory_order_relaxed)) {
-            counters_.sharedAcquires.fetch_add(
-                1, std::memory_order_relaxed);
-            return true;
-        }
-        relax(i);
+    if (slots_[slot].tryAcquireShared()) {
+        counters_.sharedAcquires.fetch_add(1,
+                                           std::memory_order_relaxed);
+        return true;
     }
     counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -61,17 +97,10 @@ LatchTable::tryAcquireShared(std::size_t slot)
 bool
 LatchTable::tryAcquireExclusive(std::size_t slot)
 {
-    std::atomic<std::int32_t> &s = slots_[slot].state;
-    for (int i = 0; i < kSpinBudget; ++i) {
-        std::int32_t cur = 0;
-        if (s.compare_exchange_weak(cur, -1,
-                                    std::memory_order_acquire,
-                                    std::memory_order_relaxed)) {
-            counters_.exclusiveAcquires.fetch_add(
-                1, std::memory_order_relaxed);
-            return true;
-        }
-        relax(i);
+    if (slots_[slot].tryAcquireExclusive()) {
+        counters_.exclusiveAcquires.fetch_add(
+            1, std::memory_order_relaxed);
+        return true;
     }
     counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -80,11 +109,7 @@ LatchTable::tryAcquireExclusive(std::size_t slot)
 bool
 LatchTable::tryUpgrade(std::size_t slot)
 {
-    std::atomic<std::int32_t> &s = slots_[slot].state;
-    std::int32_t sole = 1;
-    if (s.compare_exchange_strong(sole, -1,
-                                  std::memory_order_acquire,
-                                  std::memory_order_relaxed)) {
+    if (slots_[slot].tryUpgrade()) {
         counters_.upgrades.fetch_add(1, std::memory_order_relaxed);
         return true;
     }
@@ -95,19 +120,19 @@ LatchTable::tryUpgrade(std::size_t slot)
 void
 LatchTable::releaseShared(std::size_t slot)
 {
-    slots_[slot].state.fetch_sub(1, std::memory_order_release);
+    slots_[slot].releaseShared();
 }
 
 void
 LatchTable::releaseExclusive(std::size_t slot)
 {
-    slots_[slot].state.store(0, std::memory_order_release);
+    slots_[slot].releaseExclusive();
 }
 
 void
 LatchTable::downgrade(std::size_t slot)
 {
-    slots_[slot].state.store(1, std::memory_order_release);
+    slots_[slot].downgrade();
 }
 
 LatchStats

@@ -1,15 +1,14 @@
 /**
  * @file
- * LatchTable: striped per-page reader/writer latches for the engines'
- * concurrency control.
+ * PageLatch + LatchTable: striped per-page reader/writer latches for
+ * the engines' concurrency control.
  *
- * The table maps a PageId onto one of a fixed power-of-two number of
- * stripes (slots); each slot is a single atomic word acting as a
- * reader/writer latch (state > 0: that many readers; state == -1: one
- * exclusive holder; 0: free). The hot path is one CAS with a short
+ * Each latch (PageLatch) is a single atomic word acting as a
+ * reader/writer capability (state > 0: that many readers; state == -1:
+ * one exclusive holder; 0: free). The hot path is one CAS with a short
  * bounded spin — no mutex, no global lock, and no allocation, so many
  * clients latching distinct pages never serialize on anything shared
- * beyond the cache line holding their slot.
+ * beyond the cache line holding their latch.
  *
  * Acquisition never blocks indefinitely: after the spin budget the
  * attempt fails and the *caller* aborts its transaction and retries
@@ -18,11 +17,22 @@
  * construction; the cost is wasted work under heavy conflict, which
  * the engines surface as a conflict-retry counter.
  *
- * Striping means distinct pages may collide on one slot. That is safe
- * (strictly coarser exclusion) but callers tracking their held latches
- * must key by slot, not page, or a same-slot collision inside one
- * transaction would self-deadlock: use slotFor() and the slot-based
- * acquire/release API.
+ * The table maps a PageId onto one of a fixed power-of-two number of
+ * latches ("slots"). Striping means distinct pages may collide on one
+ * latch. That is safe (strictly coarser exclusion) but callers tracking
+ * their held latches must key by slot, not page, or a same-slot
+ * collision inside one transaction would self-deadlock: use slotFor()
+ * and the slot-based acquire/release API.
+ *
+ * Static analysis (DESIGN.md §10): PageLatch is a Clang CAPABILITY, so
+ * scoped uses go through the RAII SharedPageLatchGuard /
+ * ExclusivePageLatchGuard and are checked at compile time under
+ * -Wthread-safety. The engines' strict-2PL latch *sets* — acquired page
+ * by page, held across calls, released at commit — are beyond the
+ * intraprocedural analysis; the slot-keyed LatchTable API they use is
+ * therefore explicitly opted out (NO_THREAD_SAFETY_ANALYSIS) and that
+ * discipline is checked dynamically instead (TSan + the concurrent
+ * stress suite).
  */
 
 #ifndef FASP_PAGER_LATCH_TABLE_H
@@ -33,6 +43,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace fasp {
@@ -55,6 +66,119 @@ class LatchConflict : public std::runtime_error
     PageId pid_;
 };
 
+/**
+ * One reader/writer page latch; see file comment. Padded to a cache
+ * line so hot latches don't false-share.
+ *
+ * All acquire paths are bounded (CAS + spin budget) and return false
+ * instead of blocking, making the latch layer deadlock-free; the
+ * TRY_ACQUIRE annotations let -Wthread-safety verify scoped users
+ * (the RAII guards below) release what they took.
+ */
+class alignas(64) CAPABILITY("latch") PageLatch
+{
+  public:
+    PageLatch() = default;
+    PageLatch(const PageLatch &) = delete;
+    PageLatch &operator=(const PageLatch &) = delete;
+
+    /** Try to take the latch shared; false once the spin budget runs
+     *  out (a writer holds it). */
+    bool tryAcquireShared() TRY_ACQUIRE_SHARED(true);
+
+    /** Try to take the latch exclusive; false once the spin budget
+     *  runs out. */
+    bool tryAcquireExclusive() TRY_ACQUIRE(true);
+
+    /** Atomically upgrade shared→exclusive, succeeding only if the
+     *  caller is the sole reader (1 → -1). No spin: failure means a
+     *  concurrent reader exists and waiting for it could deadlock with
+     *  another upgrader, so the caller must conflict-abort. On failure
+     *  the caller still holds its shared latch.
+     *
+     *  A conditional shared→exclusive transition has no precise
+     *  capability annotation; upgrade sites live inside the engines'
+     *  dynamically-checked latch sets. */
+    bool tryUpgrade() NO_THREAD_SAFETY_ANALYSIS;
+
+    void releaseShared() RELEASE_SHARED()
+    {
+        state_.fetch_sub(1, std::memory_order_release);
+    }
+
+    void releaseExclusive() RELEASE()
+    {
+        state_.store(0, std::memory_order_release);
+    }
+
+    /** Exclusive→shared (never fails; used after a structure-modifying
+     *  operation finishes its writes but keeps reading). Like
+     *  tryUpgrade(), the transition is outside the static model. */
+    void downgrade() NO_THREAD_SAFETY_ANALYSIS
+    {
+        state_.store(1, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<std::int32_t> state_{0};
+};
+
+/** Conflict-abort exit of the guard constructors. [[noreturn]] so the
+ *  thread-safety analysis prunes the not-acquired branch. */
+[[noreturn]] inline void
+throwLatchConflict(PageId pid)
+{
+    throw LatchConflict(pid);
+}
+
+/** RAII shared hold of a PageLatch: acquire-or-throw in the
+ *  constructor, release in the destructor. The scoped counterpart to
+ *  the engines' slot-keyed 2PL sets; -Wthread-safety checks its uses. */
+class SCOPED_CAPABILITY SharedPageLatchGuard
+{
+  public:
+    /** @throws LatchConflict (tagged with @p pid) if the spin budget
+     *  runs out. */
+    SharedPageLatchGuard(PageLatch &latch, PageId pid)
+        ACQUIRE_SHARED(latch)
+        : latch_(latch)
+    {
+        if (!latch_.tryAcquireShared())
+            throwLatchConflict(pid);
+    }
+
+    ~SharedPageLatchGuard() RELEASE() { latch_.releaseShared(); }
+
+    SharedPageLatchGuard(const SharedPageLatchGuard &) = delete;
+    SharedPageLatchGuard &operator=(const SharedPageLatchGuard &) =
+        delete;
+
+  private:
+    PageLatch &latch_;
+};
+
+/** RAII exclusive hold of a PageLatch; see SharedPageLatchGuard. */
+class SCOPED_CAPABILITY ExclusivePageLatchGuard
+{
+  public:
+    ExclusivePageLatchGuard(PageLatch &latch, PageId pid)
+        ACQUIRE(latch)
+        : latch_(latch)
+    {
+        if (!latch_.tryAcquireExclusive())
+            throwLatchConflict(pid);
+    }
+
+    ~ExclusivePageLatchGuard() RELEASE() { latch_.releaseExclusive(); }
+
+    ExclusivePageLatchGuard(const ExclusivePageLatchGuard &) = delete;
+    ExclusivePageLatchGuard &operator=(
+        const ExclusivePageLatchGuard &) = delete;
+
+  private:
+    PageLatch &latch_;
+};
+
 /** Aggregate latch-traffic counters (relaxed; read after joining). */
 struct LatchStats
 {
@@ -64,12 +188,18 @@ struct LatchStats
     std::uint64_t conflicts = 0; //!< failed acquires (spin exhausted)
 };
 
+/**
+ * The striped table of PageLatches. The slot-keyed methods mirror
+ * PageLatch's API and additionally maintain the traffic counters; they
+ * are what the engines' cross-function 2PL sets use, so they carry the
+ * documented NO_THREAD_SAFETY_ANALYSIS opt-out (see file comment).
+ */
 class LatchTable
 {
   public:
     /** @p stripes is rounded up to a power of two (default 1024 slots
-     *  ≈ 16 KiB: small enough to stay cache-resident, wide enough that
-     *  random collisions are rare at 16 clients). */
+     *  ≈ 64 KiB of padded latches: small enough to stay cache-resident,
+     *  wide enough that random collisions are rare at 16 clients). */
     explicit LatchTable(std::size_t stripes = 1024);
 
     LatchTable(const LatchTable &) = delete;
@@ -87,39 +217,21 @@ class LatchTable
                 >> 32) & mask_;
     }
 
-    /** Try to take @p slot shared; false once the spin budget runs out
-     *  (a writer holds it). */
-    bool tryAcquireShared(std::size_t slot);
+    /** The latch behind @p slot, for scoped (guard-based) use. */
+    PageLatch &latch(std::size_t slot) { return slots_[slot]; }
 
-    /** Try to take @p slot exclusive; false once the spin budget runs
-     *  out. */
-    bool tryAcquireExclusive(std::size_t slot);
-
-    /** Atomically upgrade shared→exclusive, succeeding only if the
-     *  caller is the sole reader (1 → -1). No spin: failure means a
-     *  concurrent reader exists and waiting for it could deadlock with
-     *  another upgrader, so the caller must conflict-abort. On failure
-     *  the caller still holds its shared latch. */
-    bool tryUpgrade(std::size_t slot);
-
-    void releaseShared(std::size_t slot);
-    void releaseExclusive(std::size_t slot);
-
-    /** Exclusive→shared (never fails; used after a structure-modifying
-     *  operation finishes its writes but keeps reading). */
-    void downgrade(std::size_t slot);
+    bool tryAcquireShared(std::size_t slot) NO_THREAD_SAFETY_ANALYSIS;
+    bool tryAcquireExclusive(std::size_t slot)
+        NO_THREAD_SAFETY_ANALYSIS;
+    bool tryUpgrade(std::size_t slot) NO_THREAD_SAFETY_ANALYSIS;
+    void releaseShared(std::size_t slot) NO_THREAD_SAFETY_ANALYSIS;
+    void releaseExclusive(std::size_t slot) NO_THREAD_SAFETY_ANALYSIS;
+    void downgrade(std::size_t slot) NO_THREAD_SAFETY_ANALYSIS;
 
     LatchStats statsSnapshot() const;
 
   private:
-    /** One RW latch, padded to a cache line so hot slots don't false-
-     *  share. state: 0 free, N>0 readers, -1 exclusive. */
-    struct alignas(64) Slot
-    {
-        std::atomic<std::int32_t> state{0};
-    };
-
-    std::unique_ptr<Slot[]> slots_;
+    std::unique_ptr<PageLatch[]> slots_;
     std::size_t mask_;
 
     struct alignas(64) Counters

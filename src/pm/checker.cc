@@ -89,7 +89,7 @@ PersistencyChecker::onStore(PmOffset off, std::size_t len, bool scratch,
 {
     if (len == 0)
         return;
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     ThreadState &ts = myState();
     for (PmOffset base = cacheLineBase(off); base < off + len;
          base += kCacheLineSize) {
@@ -101,7 +101,7 @@ void
 PersistencyChecker::onFlush(PmOffset off, std::uint64_t eventIndex,
                             const char *site)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     PmOffset base = cacheLineBase(off);
     LineInfo &li = lines_[base];
     li.record(LineTraceEvent::Op::Flush, eventIndex, site);
@@ -125,7 +125,7 @@ PersistencyChecker::onFlush(PmOffset off, std::uint64_t eventIndex,
 void
 PersistencyChecker::onFence(std::uint64_t eventIndex, const char *site)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     // SFENCE orders only the calling thread's own write-backs; other
     // threads' flushed lines stay FLUSHED until *they* fence.
     ThreadState &ts = myState();
@@ -154,7 +154,7 @@ PersistencyChecker::onFence(std::uint64_t eventIndex, const char *site)
 void
 PersistencyChecker::onCrash()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     atRiskAtCrash_.clear();
     for (const auto &[base, li] : lines_) {
         if (li.state == LineState::Dirty)
@@ -169,7 +169,7 @@ PersistencyChecker::onMarkScratch(PmOffset off, std::size_t len)
 {
     if (len == 0)
         return;
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     for (PmOffset base = cacheLineBase(off); base < off + len;
          base += kCacheLineSize) {
         auto it = lines_.find(base);
@@ -186,7 +186,7 @@ PersistencyChecker::onMarkScratch(PmOffset off, std::size_t len)
 void
 PersistencyChecker::onTxBegin()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     ThreadState &ts = myState();
     if (ts.txActive)
         return; // joined an enclosing transaction
@@ -224,7 +224,7 @@ void
 PersistencyChecker::onTxCommitPoint(std::uint64_t eventIndex,
                                     const char *site)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     ThreadState &ts = myState();
     if (!ts.txActive)
         return;
@@ -235,7 +235,7 @@ void
 PersistencyChecker::onTxEnd(bool committed, std::uint64_t eventIndex,
                             const char *site)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     ThreadState &ts = myState();
     if (!ts.txActive)
         return;
@@ -264,7 +264,7 @@ PersistencyChecker::onTxEnd(bool committed, std::uint64_t eventIndex,
 bool
 PersistencyChecker::txActive() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = threads_.find(std::this_thread::get_id());
     return it != threads_.end() && it->second.txActive;
 }
@@ -272,7 +272,7 @@ PersistencyChecker::txActive() const
 void
 PersistencyChecker::checkCleanShutdown(std::uint64_t eventIndex)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     std::vector<PmOffset> bases;
     for (const auto &[base, li] : lines_) {
         if (li.scratchOnly)
@@ -291,7 +291,7 @@ PersistencyChecker::checkCleanShutdown(std::uint64_t eventIndex)
 void
 PersistencyChecker::forgiveUnflushed()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     for (auto &[base, li] : lines_) {
         if (li.state == LineState::Dirty ||
             li.state == LineState::Flushed) {
@@ -306,7 +306,7 @@ PersistencyChecker::forgiveUnflushed()
 PersistencyChecker::LineState
 PersistencyChecker::lineState(PmOffset off) const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = lines_.find(cacheLineBase(off));
     return it == lines_.end() ? LineState::Clean : it->second.state;
 }
@@ -314,14 +314,14 @@ PersistencyChecker::lineState(PmOffset off) const
 bool
 PersistencyChecker::wasAtRiskAtCrash(PmOffset off) const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     return atRiskAtCrash_.count(cacheLineBase(off)) > 0;
 }
 
 void
 PersistencyChecker::reset()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     lines_.clear();
     threads_.clear();
     atRiskAtCrash_.clear();

@@ -35,12 +35,12 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "pm/checker_report.h"
 
@@ -120,9 +120,17 @@ class PersistencyChecker
     bool txActive() const;
 
     /** The report is safe to read only while no hook can fire (workers
-     *  joined or the checker detached). */
-    CheckerReport &report() { return report_; }
-    const CheckerReport &report() const { return report_; }
+     *  joined or the checker detached) — a quiescence contract the
+     *  intraprocedural analysis cannot see, hence the explicit opt-out
+     *  on these two accessors. */
+    CheckerReport &report() NO_THREAD_SAFETY_ANALYSIS
+    {
+        return report_;
+    }
+    const CheckerReport &report() const NO_THREAD_SAFETY_ANALYSIS
+    {
+        return report_;
+    }
 
     /** Drop all line state and the report (not the at-risk snapshot). */
     void reset();
@@ -152,24 +160,27 @@ class PersistencyChecker
         std::vector<PmOffset> flushedSinceFence;
     };
 
-    /** State slot of the calling thread; requires mu_ held. */
-    ThreadState &myState();
+    /** State slot of the calling thread. */
+    ThreadState &myState() REQUIRES(mu_);
 
     void storeLine(PmOffset base, bool scratch,
                    std::uint64_t eventIndex, const char *site,
-                   ThreadState &ts);
+                   ThreadState &ts) REQUIRES(mu_);
     void checkTxSetPersisted(ThreadState &ts, std::uint64_t eventIndex,
-                             const char *site);
+                             const char *site) REQUIRES(mu_);
     void reportLine(ViolationKind kind, PmOffset base,
                     const LineInfo &info, std::uint64_t eventIndex,
-                    const char *site);
+                    const char *site) REQUIRES(mu_);
 
     Config config_;
-    CheckerReport report_;
-    mutable std::mutex mu_;
-    std::unordered_map<PmOffset, LineInfo> lines_;
-    std::unordered_map<std::thread::id, ThreadState> threads_;
-    std::unordered_set<PmOffset> atRiskAtCrash_;
+    /** The single checker mutex: serializes every hook and query so the
+     *  analysis observes a total order of persistence events. */
+    mutable Mutex mu_;
+    CheckerReport report_ GUARDED_BY(mu_);
+    std::unordered_map<PmOffset, LineInfo> lines_ GUARDED_BY(mu_);
+    std::unordered_map<std::thread::id, ThreadState> threads_
+        GUARDED_BY(mu_);
+    std::unordered_set<PmOffset> atRiskAtCrash_ GUARDED_BY(mu_);
 };
 
 } // namespace fasp::pm

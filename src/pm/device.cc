@@ -146,7 +146,7 @@ PmDevice::writeImpl(PmOffset off, const void *src, std::size_t len,
                 remaining, base + kCacheLineSize - cur);
             CacheShard &shard = shardFor(base);
             {
-                std::lock_guard<std::mutex> lk(shard.mu);
+                MutexLock lk(&shard.mu);
                 auto it = shard.lines.find(base);
                 if (it == shard.lines.end()) {
                     LineBuf buf;
@@ -202,7 +202,7 @@ PmDevice::read(PmOffset off, void *dst, std::size_t len)
             remaining, base + kCacheLineSize - cur);
         CacheShard &shard = shardFor(base);
         {
-            std::lock_guard<std::mutex> lk(shard.mu);
+            MutexLock lk(&shard.mu);
             auto it = shard.lines.find(base);
             const std::uint8_t *src = (it != shard.lines.end())
                 ? it->second.data() + (cur - base)
@@ -264,7 +264,7 @@ PmDevice::clflush(PmOffset off)
 
     if (config_.mode == PmMode::CacheSim) {
         CacheShard &shard = shardFor(base);
-        std::lock_guard<std::mutex> lk(shard.mu);
+        MutexLock lk(&shard.mu);
         auto it = shard.lines.find(base);
         if (it != shard.lines.end()) {
             std::memcpy(durable_.data() + base, it->second.data(),
@@ -345,7 +345,7 @@ PmDevice::crash()
 {
     FASP_ASSERT(config_.mode == PmMode::CacheSim);
     for (CacheShard &shard : cacheShards_) {
-        std::lock_guard<std::mutex> lk(shard.mu);
+        MutexLock lk(&shard.mu);
         switch (config_.crashPolicy) {
           case CrashPolicy::DropAll:
             break;
@@ -385,7 +385,7 @@ void
 PmDevice::reviveAfterCrash()
 {
     for (CacheShard &shard : cacheShards_) {
-        std::lock_guard<std::mutex> lk(shard.mu);
+        MutexLock lk(&shard.mu);
         shard.lines.clear();
     }
     dirtyLines_.store(0, std::memory_order_release);

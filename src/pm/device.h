@@ -40,11 +40,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/byte_io.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "pm/crash.h"
 #include "pm/latency.h"
@@ -307,8 +307,8 @@ class PmDevice
      *  Sharding keeps concurrent clients off one global lock. */
     struct CacheShard
     {
-        std::mutex mu;
-        std::unordered_map<PmOffset, LineBuf> lines;
+        Mutex mu;
+        std::unordered_map<PmOffset, LineBuf> lines GUARDED_BY(mu);
     };
 
     static constexpr std::size_t kCacheShards = 64;

@@ -1,0 +1,28 @@
+// Negative-compile fixture: writing a GUARDED_BY member without the
+// guarding mutex must be rejected under -Werror=thread-safety.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    void incrementBroken()
+    {
+        value_++; // BAD: mu_ not held
+    }
+
+  private:
+    fasp::Mutex mu_;
+    int value_ GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.incrementBroken();
+    return 0;
+}

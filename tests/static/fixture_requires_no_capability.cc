@@ -1,0 +1,30 @@
+// Negative-compile fixture: calling a REQUIRES(mu) function without
+// holding the capability must be rejected under -Werror=thread-safety.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Log
+{
+  public:
+    void append(int entry) REQUIRES(mu_) { last_ = entry; }
+
+    void appendBroken(int entry)
+    {
+        append(entry); // BAD: mu_ not held
+    }
+
+  private:
+    fasp::Mutex mu_;
+    int last_ GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Log log;
+    log.appendBroken(7);
+    return 0;
+}

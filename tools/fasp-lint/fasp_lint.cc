@@ -1,0 +1,368 @@
+/**
+ * @file
+ * fasp-lint: the repository's persistence-discipline checker.
+ *
+ * A deliberately small lexical analyzer (comments and string literals
+ * are stripped before matching, so prose and format strings never
+ * trip a rule) that enforces the conventions -Wthread-safety cannot
+ * express:
+ *
+ *   pm-raw-access        The raw durable image (PmDevice::durableData)
+ *                        is reachable only inside src/pm/. Everything
+ *                        else stores through PmDevice::write, so the
+ *                        device can track dirty lines and the
+ *                        PersistencyChecker sees every PM store.
+ *   flush-outside-device Cache-line flush / fence instructions
+ *                        (_mm_clflush*, _mm_clwb, _mm_sfence, inline
+ *                        asm) may be emitted only by src/pm/device.*;
+ *                        everyone else calls PmDevice::clflush/sfence
+ *                        so ordering events reach the checker.
+ *   bare-mutex-lock      No direct .lock()/.unlock()/.try_lock()
+ *                        calls: locking goes through the RAII wrappers
+ *                        (fasp::MutexLock, the PageLatch guards) that
+ *                        carry the capability annotations.
+ *   no-volatile          `volatile` is not a concurrency or
+ *                        persistence primitive; use std::atomic or the
+ *                        PmDevice API.
+ *   waiver-needs-reason  A waiver comment must name its rule AND give
+ *                        a reason:
+ *                            // fasp-lint: allow(<rule>) -- <reason>
+ *                        A waiver suppresses the named rule on its own
+ *                        line and on the next line containing code.
+ *
+ * Usage:   fasp-lint <file-or-directory>...
+ * Exit:    0 clean, 1 violations found, 2 usage or I/O error.
+ */
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** One physical source line split into its code and comment parts. */
+struct LineView
+{
+    std::string code;    //!< comments/strings blanked out
+    std::string comment; //!< comment text only
+};
+
+const std::set<std::string> kKnownRules = {
+    "pm-raw-access",       "flush-outside-device", "bare-mutex-lock",
+    "no-volatile",         "waiver-needs-reason",
+};
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/** True when @p token occurs in @p text as a whole identifier. */
+bool
+hasToken(const std::string &text, const std::string &token)
+{
+    std::size_t pos = 0;
+    while ((pos = text.find(token, pos)) != std::string::npos) {
+        bool leftOk = pos == 0 || !isWordChar(text[pos - 1]);
+        std::size_t end = pos + token.size();
+        bool rightOk = end >= text.size() || !isWordChar(text[end]);
+        if (leftOk && rightOk)
+            return true;
+        pos += 1;
+    }
+    return false;
+}
+
+bool
+hasAny(const std::string &text, std::initializer_list<const char *> subs)
+{
+    for (const char *s : subs)
+        if (text.find(s) != std::string::npos)
+            return true;
+    return false;
+}
+
+/**
+ * Split a translation unit into per-line code/comment views. Handles
+ * line and block comments, string/char literals (with escapes) and raw
+ * string literals; literal contents are blanked so they never match.
+ */
+std::vector<LineView>
+lex(const std::string &text)
+{
+    enum class State {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    };
+
+    std::vector<LineView> lines(1);
+    State state = State::Code;
+    std::string rawDelim; //!< the )delim" terminator of a raw string
+
+    auto code = [&]() -> std::string & { return lines.back().code; };
+    auto comment = [&]() -> std::string & {
+        return lines.back().comment;
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        char next = i + 1 < text.size() ? text[i + 1] : '\0';
+
+        if (c == '\n') {
+            if (state == State::LineComment)
+                state = State::Code;
+            // Unterminated normal literals cannot span lines; recover.
+            if (state == State::String || state == State::Char)
+                state = State::Code;
+            lines.emplace_back();
+            continue;
+        }
+
+        switch (state) {
+        case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                code() += "  "; // keep column positions roughly stable
+                ++i;
+            } else if (c == 'R' && next == '"'
+                       && (code().empty()
+                           || !isWordChar(code().back()))) {
+                // R"delim( ... )delim"
+                std::size_t open = text.find('(', i + 2);
+                if (open == std::string::npos) {
+                    code() += c;
+                    break;
+                }
+                rawDelim =
+                    ")" + text.substr(i + 2, open - (i + 2)) + "\"";
+                state = State::RawString;
+                code() += "\"";
+                i = open; // skip past the opening parenthesis
+            } else if (c == '"') {
+                state = State::String;
+                code() += '"';
+            } else if (c == '\'') {
+                state = State::Char;
+                code() += '\'';
+            } else {
+                code() += c;
+            }
+            break;
+        case State::LineComment:
+            comment() += c;
+            break;
+        case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                ++i;
+            } else {
+                comment() += c;
+            }
+            break;
+        case State::String:
+            if (c == '\\' && next != '\0') {
+                ++i;
+            } else if (c == '"') {
+                state = State::Code;
+                code() += '"';
+            }
+            break;
+        case State::Char:
+            if (c == '\\' && next != '\0') {
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+                code() += '\'';
+            }
+            break;
+        case State::RawString:
+            if (text.compare(i, rawDelim.size(), rawDelim) == 0) {
+                i += rawDelim.size() - 1;
+                state = State::Code;
+                code() += '"';
+            } else if (c == '\n') {
+                lines.emplace_back(); // unreachable; '\n' handled above
+            }
+            break;
+        }
+    }
+    return lines;
+}
+
+/** Parse waiver comments; returns waived rules, records bad waivers. */
+std::set<std::string>
+parseWaivers(const std::string &comment, const std::string &file,
+             std::size_t lineNo, std::vector<Violation> &out)
+{
+    static const std::regex kWaiver(
+        R"(fasp-lint:\s*allow\(([A-Za-z0-9_-]+)\)\s*(?:--\s*(\S[^\n]*))?)");
+
+    std::set<std::string> waived;
+    auto begin = std::sregex_iterator(comment.begin(), comment.end(),
+                                      kWaiver);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::smatch &m = *it;
+        std::string rule = m[1].str();
+        if (kKnownRules.count(rule) == 0) {
+            out.push_back({file, lineNo, "waiver-needs-reason",
+                           "waiver names unknown rule '" + rule + "'"});
+            continue;
+        }
+        if (!m[2].matched || m[2].str().empty()) {
+            out.push_back(
+                {file, lineNo, "waiver-needs-reason",
+                 "waiver for '" + rule
+                     + "' gives no reason (use: fasp-lint: allow("
+                     + rule + ") -- <reason>)"});
+            continue; // an unjustified waiver does not suppress
+        }
+        waived.insert(rule);
+    }
+    return waived;
+}
+
+void
+lintFile(const fs::path &path, std::vector<Violation> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        out.push_back({path.string(), 0, "io-error", "cannot open"});
+        return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<LineView> lines = lex(buf.str());
+
+    std::string posix = path.generic_string();
+    bool pmInternal = posix.find("src/pm/") != std::string::npos;
+    bool deviceFile = posix.find("src/pm/device.") != std::string::npos;
+
+    std::set<std::string> active; // waivers pending their code line
+
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+        const LineView &lv = lines[n];
+        std::size_t lineNo = n + 1;
+
+        for (const std::string &rule :
+             parseWaivers(lv.comment, posix, lineNo, out))
+            active.insert(rule);
+
+        auto flag = [&](const char *rule, const char *message) {
+            if (active.count(rule) == 0)
+                out.push_back({posix, lineNo, rule, message});
+        };
+
+        if (!pmInternal && hasToken(lv.code, "durableData"))
+            flag("pm-raw-access",
+                 "raw durable-image access outside src/pm/; store "
+                 "through PmDevice::write so the checker sees it");
+
+        if (!deviceFile
+            && (hasToken(lv.code, "_mm_clflush")
+                || hasToken(lv.code, "_mm_clflushopt")
+                || hasToken(lv.code, "_mm_clwb")
+                || hasToken(lv.code, "_mm_sfence")
+                || hasToken(lv.code, "asm")
+                || hasToken(lv.code, "__asm__")
+                || lv.code.find("__builtin_ia32_") != std::string::npos))
+            flag("flush-outside-device",
+                 "flush/fence emission outside PmDevice; call "
+                 "PmDevice::clflush/flushRange/sfence instead");
+
+        if (hasAny(lv.code, {".lock(", "->lock(", ".unlock(",
+                             "->unlock(", ".try_lock(",
+                             "->try_lock("}))
+            flag("bare-mutex-lock",
+                 "direct mutex lock/unlock; use an RAII guard "
+                 "(fasp::MutexLock or a PageLatch guard)");
+
+        if (hasToken(lv.code, "volatile"))
+            flag("no-volatile",
+                 "'volatile' is not a concurrency/persistence "
+                 "primitive; use std::atomic or the PmDevice API");
+
+        // A waiver covers its own line plus the next line with code.
+        bool hasCode = lv.code.find_first_not_of(" \t\r")
+                       != std::string::npos;
+        if (hasCode)
+            active.clear();
+    }
+}
+
+void
+collect(const fs::path &path, std::vector<fs::path> &files, bool &err)
+{
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        for (auto it = fs::recursive_directory_iterator(path, ec);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file(ec))
+                continue;
+            std::string ext = it->path().extension().string();
+            if (ext == ".h" || ext == ".hh" || ext == ".hpp"
+                || ext == ".cc" || ext == ".cpp" || ext == ".cxx")
+                files.push_back(it->path());
+        }
+    } else if (fs::is_regular_file(path, ec)) {
+        files.push_back(path);
+    } else {
+        std::cerr << "fasp-lint: no such file or directory: " << path
+                  << "\n";
+        err = true;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: fasp-lint <file-or-directory>...\n";
+        return 2;
+    }
+
+    std::vector<fs::path> files;
+    bool argError = false;
+    for (int i = 1; i < argc; ++i)
+        collect(argv[i], files, argError);
+    if (argError)
+        return 2;
+
+    std::vector<Violation> violations;
+    for (const fs::path &f : files)
+        lintFile(f, violations);
+
+    for (const Violation &v : violations)
+        std::cout << v.file << ":" << v.line << ": " << v.rule << ": "
+                  << v.message << "\n";
+    std::cout << "fasp-lint: " << violations.size() << " violation"
+              << (violations.size() == 1 ? "" : "s") << " in "
+              << files.size() << " file"
+              << (files.size() == 1 ? "" : "s") << " scanned\n";
+    return violations.empty() ? 0 : 1;
+}

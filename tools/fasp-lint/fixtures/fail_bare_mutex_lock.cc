@@ -1,0 +1,25 @@
+// fasp-lint fixture: bare-mutex-lock must fire. Manual lock()/unlock()
+// pairs leak on exceptions and are invisible to -Wthread-safety unless
+// every call site is annotated; RAII guards carry the annotations.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex gMutex;
+int gCounter = 0;
+
+void
+manualLocking()
+{
+    gMutex.lock(); // VIOLATION
+    gCounter++;
+    gMutex.unlock(); // VIOLATION
+}
+
+bool
+manualTry(std::mutex *mu)
+{
+    return mu->try_lock(); // VIOLATION
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// fasp-lint fixture: flush-outside-device must fire. Emitting flushes
+// or fences directly hides persist ordering from the checker; only
+// src/pm/device.* may touch the instructions.
+namespace fixture {
+
+void
+flushLine(void *line)
+{
+    _mm_clflush(line); // VIOLATION
+    _mm_sfence();      // VIOLATION
+}
+
+void
+flushOpt(void *line)
+{
+    _mm_clflushopt(line); // VIOLATION
+    _mm_clwb(line);       // VIOLATION
+    asm volatile("sfence" ::: "memory"); // VIOLATION (asm too)
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// fasp-lint fixture: no-volatile must fire. `volatile` neither orders
+// nor persists stores; std::atomic (concurrency) and the PmDevice API
+// (persistence) are the sanctioned tools.
+namespace fixture {
+
+volatile int gFlag = 0; // VIOLATION
+
+void
+spinUntilSet()
+{
+    while (gFlag == 0) {
+    }
+}
+
+} // namespace fixture

@@ -1,0 +1,19 @@
+// fasp-lint fixture: pm-raw-access must fire. Reading (or worse,
+// memcpy-ing over) the raw durable image outside src/pm/ bypasses the
+// device's dirty-line tracking and the PersistencyChecker.
+#include <cstring>
+
+namespace fixture {
+
+struct FakeDevice
+{
+    const unsigned char *durableData() const { return nullptr; }
+};
+
+void
+sneakyRead(FakeDevice &device, unsigned char *out)
+{
+    std::memcpy(out, device.durableData() + 64, 64); // VIOLATION
+}
+
+} // namespace fixture

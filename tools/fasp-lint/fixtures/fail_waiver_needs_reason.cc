@@ -1,0 +1,11 @@
+// fasp-lint fixture: waiver-needs-reason must fire — and the
+// reason-less waiver must NOT suppress the underlying rule.
+namespace fixture {
+
+// fasp-lint: allow(no-volatile)
+volatile int gBad = 0; // VIOLATION twice: bad waiver + no-volatile
+
+// fasp-lint: allow(made-up-rule) -- reasons do not save unknown rules
+int gAlso = 1;
+
+} // namespace fixture

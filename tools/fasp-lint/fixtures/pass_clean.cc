@@ -1,0 +1,29 @@
+// fasp-lint fixture: must lint clean. Exercises the near-misses the
+// rules must NOT match: DRAM memcpy, identifiers that merely contain
+// rule tokens, and rule names inside comments and string literals.
+#include <cstring>
+
+namespace fixture {
+
+struct VolatileCache // "volatile" as an identifier prefix is fine
+{
+    unsigned char bytes[64];
+    int volatileCachePages = 4096;
+};
+
+// Talking about volatile, durableData(), _mm_clflush() or mu.lock()
+// in a comment is fine: prose is stripped before matching.
+void
+dramCopy(VolatileCache &cache, const unsigned char *src)
+{
+    std::memcpy(cache.bytes, src, sizeof cache.bytes);
+}
+
+const char *
+ruleDocs()
+{
+    return "volatile durableData() _mm_sfence() mu.lock()"; // strings
+                                                            // too
+}
+
+} // namespace fixture

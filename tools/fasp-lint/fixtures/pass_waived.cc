@@ -1,0 +1,43 @@
+// fasp-lint fixture: must lint clean. Every rule violated once, every
+// violation carrying a well-formed waiver with a reason — both the
+// preceding-comment form and the trailing same-line form.
+#include <cstring>
+#include <mutex>
+
+namespace fixture {
+
+struct FakeDevice
+{
+    // fasp-lint: allow(pm-raw-access) -- fixture stand-in declaration.
+    const unsigned char *durableData() const { return nullptr; }
+};
+
+void
+waivedRawAccess(FakeDevice &device, unsigned char *out)
+{
+    // fasp-lint: allow(pm-raw-access) -- fixture exercising the waiver
+    // syntax; a real site would justify why tracking can be bypassed.
+    std::memcpy(out, device.durableData(), 64);
+}
+
+void
+waivedFlush(void *line)
+{
+    // fasp-lint: allow(flush-outside-device) -- fixture exercising the
+    // waiver syntax.
+    _mm_clflush(line);
+}
+
+std::mutex gMutex;
+
+void
+waivedBareLock()
+{
+    gMutex.lock();   // fasp-lint: allow(bare-mutex-lock) -- fixture.
+    gMutex.unlock(); // fasp-lint: allow(bare-mutex-lock) -- fixture.
+}
+
+// fasp-lint: allow(no-volatile) -- fixture exercising the waiver.
+volatile int gWaived = 0;
+
+} // namespace fixture
