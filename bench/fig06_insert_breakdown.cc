@@ -60,5 +60,6 @@ main(int argc, char **argv)
     JsonReport report(args.jsonPath, "fig06_insert_breakdown");
     report.add(title, table);
     report.write();
+    args.writeMetrics("fig06_insert_breakdown");
     return 0;
 }

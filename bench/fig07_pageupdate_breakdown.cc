@@ -69,5 +69,6 @@ main(int argc, char **argv)
     JsonReport report(args.jsonPath, "fig07_pageupdate_breakdown");
     report.add(title, table);
     report.write();
+    args.writeMetrics("fig07_pageupdate_breakdown");
     return 0;
 }

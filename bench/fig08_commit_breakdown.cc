@@ -98,5 +98,6 @@ main(int argc, char **argv)
     JsonReport report(args.jsonPath, "fig08_commit_breakdown");
     report.add(title, table);
     report.write();
+    args.writeMetrics("fig08_commit_breakdown");
     return 0;
 }

@@ -72,5 +72,6 @@ main(int argc, char **argv)
     report.add(time_title, time_table);
     report.add(flush_title, flush_table);
     report.write();
+    args.writeMetrics("fig09_record_size");
     return 0;
 }

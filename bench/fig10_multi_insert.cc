@@ -59,5 +59,6 @@ main(int argc, char **argv)
     JsonReport report(args.jsonPath, "fig10_multi_insert");
     report.add(title, table);
     report.write();
+    args.writeMetrics("fig10_multi_insert");
     return 0;
 }

@@ -55,5 +55,6 @@ main(int argc, char **argv)
     JsonReport report(args.jsonPath, "fig11_query_response");
     report.add(title, table);
     report.write();
+    args.writeMetrics("fig11_query_response");
     return 0;
 }

@@ -65,6 +65,7 @@ runLatencySweep(const BenchArgs &args)
     JsonReport report(args.jsonPath, "fig12_throughput");
     report.add(title, table);
     report.write();
+    args.writeMetrics("fig12_throughput");
     return 0;
 }
 
@@ -126,6 +127,7 @@ runMultiClient(const BenchArgs &args)
     report.add(perf_title, perf);
     report.add(valid_title, valid);
     report.write();
+    args.writeMetrics("fig12_throughput_mt");
     return 0;
 }
 

@@ -9,8 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <vector>
 
+#include "bench_util/runner.h"
 #include "btree/btree.h"
 #include "common/rng.h"
 #include "core/engine.h"
@@ -198,4 +201,32 @@ BENCHMARK(BM_EngineInsert)
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the harness accepts the repo-wide
+// --metrics=PATH flag: BenchArgs::parse consumes it (and enables the
+// obs layer) before google-benchmark sees argv, which would otherwise
+// reject the unknown flag.
+int
+main(int argc, char **argv)
+{
+    benchutil::BenchArgs args = benchutil::BenchArgs::parse(argc, argv);
+    std::vector<char *> bench_argv;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--metrics=", 10) == 0 ||
+            std::strncmp(argv[i], "--json=", 7) == 0 ||
+            std::strcmp(argv[i], "--smoke") == 0 ||
+            std::strcmp(argv[i], "--quick") == 0 ||
+            std::strncmp(argv[i], "--n=", 4) == 0) {
+            continue;
+        }
+        bench_argv.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(bench_argv.size());
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_argv.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    args.writeMetrics("micro_benchmarks");
+    return 0;
+}

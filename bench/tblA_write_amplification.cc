@@ -51,5 +51,6 @@ main(int argc, char **argv)
     JsonReport report(args.jsonPath, "tblA_write_amplification");
     report.add(title, table);
     report.write();
+    args.writeMetrics("tblA_write_amplification");
     return 0;
 }

@@ -138,5 +138,6 @@ main(int argc, char **argv)
     JsonReport report(args.jsonPath, "tblB_defrag_overhead");
     report.add(title, table);
     report.write();
+    args.writeMetrics("tblB_defrag_overhead");
     return 0;
 }

@@ -115,5 +115,6 @@ main(int argc, char **argv)
     report.add(sweep_title, table);
     report.add(class_title, classes);
     report.write();
+    args.writeMetrics("tblC_htm_aborts");
     return 0;
 }

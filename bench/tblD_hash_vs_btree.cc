@@ -130,5 +130,6 @@ main(int argc, char **argv)
     JsonReport report(args.jsonPath, "tblD_hash_vs_btree");
     report.add(title, table);
     report.write();
+    args.writeMetrics("tblD_hash_vs_btree");
     return 0;
 }

@@ -56,5 +56,6 @@ main(int argc, char **argv)
     JsonReport report(args.jsonPath, "tblE_clwb_vs_clflush");
     report.add(title, table);
     report.write();
+    args.writeMetrics("tblE_clwb_vs_clflush");
     return 0;
 }

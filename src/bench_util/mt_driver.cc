@@ -8,6 +8,7 @@
 #include "btree/btree.h"
 #include "common/logging.h"
 #include "core/fasp_engine.h"
+#include "obs/metrics.h"
 #include "pager/latch_table.h"
 #include "pm/checker.h"
 #include "pm/device.h"
@@ -59,6 +60,15 @@ clientLoop(Engine &engine, btree::BTree tree, const MtConfig &config,
     std::vector<std::uint8_t> value;
     out.keys.reserve(config.txnsPerThread);
 
+    // Concurrent per-txn latency recording: each client thread writes
+    // the shared histogram (relaxed atomics) and its own trace ring.
+    obs::Histogram *txn_hist = nullptr;
+    if (obs::enabled()) {
+        txn_hist = &obs::MetricsRegistry::global().histogram(
+            std::string("bench.txn_ns.") +
+            core::engineKindName(config.kind));
+    }
+
     pm::PmDevice::resetThreadModelNs();
     std::uint64_t cpu_start = threadCpuNs();
 
@@ -66,6 +76,9 @@ clientLoop(Engine &engine, btree::BTree tree, const MtConfig &config,
     while (out.committed < config.txnsPerThread) {
         std::uint64_t key = keys.next();
         values.next(value);
+        std::uint64_t txn_cpu0 = txn_hist ? threadCpuNs() : 0;
+        std::uint64_t txn_m0 =
+            txn_hist ? pm::PmDevice::threadModelNs() : 0;
         Status status = Status::ok();
         try {
             status = engine.insert(
@@ -93,6 +106,10 @@ clientLoop(Engine &engine, btree::BTree tree, const MtConfig &config,
         backoff_us = 0;
         out.keys.push_back(key);
         out.committed++;
+        if (txn_hist) {
+            txn_hist->record((threadCpuNs() - txn_cpu0) +
+                             (pm::PmDevice::threadModelNs() - txn_m0));
+        }
     }
 
     out.activeNs = (threadCpuNs() - cpu_start) +
@@ -130,6 +147,9 @@ runMtInsertBench(const MtConfig &config)
     pm::PersistencyChecker checker;
     if (config.attachChecker)
         device.setChecker(&checker);
+    obs::PmAttribution attribution;
+    if (obs::enabled())
+        device.setObserver(&attribution);
     device.invalidateTagCache();
     device.stats().reset();
     engine->stats().reset();
@@ -180,6 +200,11 @@ runMtInsertBench(const MtConfig &config)
     if (config.attachChecker) {
         device.setChecker(nullptr);
         result.checkerViolations = checker.report().total();
+    }
+    if (obs::enabled()) {
+        device.setObserver(nullptr);
+        obs::PhaseLedger::global().fold(
+            core::engineKindName(config.kind), attribution);
     }
 
     // Single-threaded consistency check: the tree must hold exactly

@@ -1,12 +1,15 @@
 #include "bench_util/runner.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include "btree/btree.h"
 #include "core/fasp_engine.h"
 #include "common/logging.h"
 #include "db/database.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace fasp::benchutil {
 
@@ -109,6 +112,9 @@ BenchArgs::parse(int argc, char **argv)
         } else if (std::strncmp(arg, "--clients=", 10) == 0) {
             args.clients =
                 static_cast<std::size_t>(std::atoll(arg + 10));
+        } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+            args.metricsPath = arg + 10;
+            obs::setEnabled(true);
         }
     }
     if (args.numTxns == 0)
@@ -116,7 +122,25 @@ BenchArgs::parse(int argc, char **argv)
     return args;
 }
 
+void
+BenchArgs::writeMetrics(const std::string &benchName) const
+{
+    if (metricsPath.empty())
+        return;
+    if (obs::writeMetricsFile(metricsPath, benchName))
+        std::printf("metrics written to %s\n", metricsPath.c_str());
+}
+
 namespace {
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 std::size_t
 autoDeviceSize(const BenchConfig &config)
@@ -164,6 +188,17 @@ runInsertBench(const BenchConfig &config)
     device.stats().reset();
     engine->stats().reset();
 
+    // With --metrics, bill PM events to phases/sites for this engine
+    // and collect a per-transaction latency distribution.
+    obs::PmAttribution attribution;
+    obs::Histogram *txn_hist = nullptr;
+    if (obs::enabled()) {
+        device.setObserver(&attribution);
+        txn_hist = &obs::MetricsRegistry::global().histogram(
+            std::string("bench.txn_ns.") +
+            core::engineKindName(config.kind));
+    }
+
     workload::KeyStream keys(config.keys, config.seed);
     workload::ValueGen values =
         workload::ValueGen::fixed(config.recordSize, config.seed + 1);
@@ -171,6 +206,12 @@ runInsertBench(const BenchConfig &config)
 
     auto wall_start = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < config.numTxns; ++i) {
+        std::uint64_t txn_t0 = 0;
+        std::uint64_t txn_m0 = 0;
+        if (txn_hist) {
+            txn_t0 = nowNs();
+            txn_m0 = pm::PmDevice::threadModelNs();
+        }
         auto tx = engine->begin();
         for (std::size_t j = 0; j < config.recordsPerTxn; ++j) {
             values.next(value);
@@ -189,6 +230,10 @@ runInsertBench(const BenchConfig &config)
         if (!status.isOk())
             faspFatal("bench commit failed: %s",
                       status.toString().c_str());
+        if (txn_hist) {
+            txn_hist->record((nowNs() - txn_t0) +
+                             (pm::PmDevice::threadModelNs() - txn_m0));
+        }
     }
     auto wall_end = std::chrono::steady_clock::now();
 
@@ -200,6 +245,11 @@ runInsertBench(const BenchConfig &config)
     if (auto *fasp = dynamic_cast<core::FaspEngine *>(engine.get()))
         result.rtmStats = fasp->rtm().stats();
     device.setPhaseTracker(nullptr);
+    if (obs::enabled()) {
+        device.setObserver(nullptr);
+        obs::PhaseLedger::global().fold(
+            core::engineKindName(config.kind), attribution);
+    }
     return result;
 }
 
@@ -233,6 +283,15 @@ runSqlBench(const SqlBenchConfig &config)
     pm::PhaseTracker tracker;
     device.setPhaseTracker(&tracker);
     device.invalidateTagCache();
+
+    obs::PmAttribution attribution;
+    obs::Histogram *op_hist = nullptr;
+    if (obs::enabled()) {
+        device.setObserver(&attribution);
+        op_hist = &obs::MetricsRegistry::global().histogram(
+            std::string("bench.sql_op_ns.") +
+            core::engineKindName(config.kind));
+    }
 
     workload::MixedWorkload workload(config.mix, config.seed);
     SqlBenchResult result;
@@ -274,6 +333,8 @@ runSqlBench(const SqlBenchConfig &config)
             std::chrono::duration<double, std::nano>(op_end - op_start)
                 .count() +
             static_cast<double>(device.stats().modelNs - model_before);
+        if (op_hist)
+            op_hist->record(static_cast<std::uint64_t>(ns));
 
         switch (op.type) {
           case workload::OpType::Insert:
@@ -313,6 +374,11 @@ runSqlBench(const SqlBenchConfig &config)
     result.opsPerSecond =
         static_cast<double>(config.numOps) / total_seconds;
     device.setPhaseTracker(nullptr);
+    if (obs::enabled()) {
+        device.setObserver(nullptr);
+        obs::PhaseLedger::global().fold(
+            core::engineKindName(config.kind), attribution);
+    }
     return result;
 }
 

@@ -107,6 +107,9 @@ std::string latencyLabel(const pm::LatencyModel &latency);
  *   --json=PATH   also write the printed tables as a JSON report
  *   --clients=N   multi-client mode with N threads (benches that
  *                 support it; 0 = single-threaded latency sweep)
+ *   --metrics=PATH  enable the obs layer and write its export here
+ *                 (Prometheus text when PATH ends in ".prom", JSON
+ *                 otherwise)
  */
 struct BenchArgs
 {
@@ -114,8 +117,13 @@ struct BenchArgs
     bool smoke = false;
     std::string jsonPath;
     std::size_t clients = 0;
+    std::string metricsPath;
 
     static BenchArgs parse(int argc, char **argv);
+
+    /** Write the obs export to metricsPath (no-op when the flag was
+     *  not given). Every bench main calls this after its run. */
+    void writeMetrics(const std::string &benchName) const;
 };
 
 // --- SQL-level workloads (Figures 11-12) ------------------------------------

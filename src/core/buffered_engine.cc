@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "page/slotted_page.h"
 #include "pm/device.h"
 
@@ -164,6 +166,14 @@ BufferedTransaction::rollback()
     finished_ = true;
     engine_.device_.txEnd(/*committed=*/false);
     engine_.stats_.txRolledBack++;
+    if (obs::enabled()) {
+        static obs::Counter &c =
+            obs::MetricsRegistry::global().counter("core.tx.rollbacks");
+        c.inc();
+        obs::Tracer::global().record(
+            obs::TraceOp::TxAbort,
+            engineKindName(engine_.config_.kind));
+    }
     // fasp-lint: allow(bare-mutex-lock) -- early release of the RAII
     // transaction lock; the unique_lock destructor stays the backstop.
     txLock_.unlock();
@@ -174,6 +184,8 @@ BufferedTransaction::commit()
 {
     FASP_ASSERT(!finished_);
     engine_.txMutex_.assertHeld(); // taken by the constructor
+    std::uint64_t model_ns0 =
+        obs::enabled() ? pm::PmDevice::threadModelNs() : 0;
 
     // Deferred frees: release the allocator bits now (cached bitmap
     // pages join the dirty set) and restore the freed pages' contents
@@ -203,6 +215,15 @@ BufferedTransaction::commit()
     engine_.device_.txEnd(/*committed=*/true);
     engine_.stats_.txCommitted++;
     engine_.stats_.logCommits++;
+    if (obs::enabled()) {
+        static obs::Counter &c =
+            obs::MetricsRegistry::global().counter("core.tx.commits");
+        c.inc();
+        obs::Tracer::global().record(
+            obs::TraceOp::TxCommit,
+            engineKindName(engine_.config_.kind), 0, "logged",
+            pm::PmDevice::threadModelNs() - model_ns0);
+    }
     // fasp-lint: allow(bare-mutex-lock) -- early release of the RAII
     // transaction lock; the unique_lock destructor stays the backstop.
     txLock_.unlock();

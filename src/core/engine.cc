@@ -1,8 +1,12 @@
 #include "core/engine.h"
 
+#include <chrono>
+
 #include "common/logging.h"
 #include "core/buffered_engine.h"
 #include "core/fasp_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pm/device.h"
 
 namespace fasp::core {
@@ -55,10 +59,30 @@ Engine::create(pm::PmDevice &device, const EngineConfig &cfg,
     }
     FASP_ASSERT(engine != nullptr);
 
-    Status status =
-        format ? engine->initFresh() : engine->recover();
+    if (format) {
+        Status status = engine->initFresh();
+        if (!status.isOk())
+            return status;
+        return engine;
+    }
+
+    auto started = std::chrono::steady_clock::now();
+    Status status = engine->recover();
     if (!status.isOk())
         return status;
+    if (obs::enabled()) {
+        auto elapsed =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - started).count();
+        obs::MetricsRegistry::global()
+            .counter("core.recoveries").inc();
+        obs::MetricsRegistry::global()
+            .histogram("core.recovery_ns")
+            .record(static_cast<std::uint64_t>(elapsed));
+        obs::Tracer::global().record(
+            obs::TraceOp::Recovery, engineKindName(cfg.kind), 0,
+            nullptr, 0, static_cast<std::uint64_t>(elapsed));
+    }
     return engine;
 }
 

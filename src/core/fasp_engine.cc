@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "page/slotted_page.h"
 #include "pm/device.h"
 
@@ -10,6 +12,20 @@ namespace fasp::core {
 
 using pm::Component;
 using pm::PhaseScope;
+
+namespace {
+
+/** Trace one transaction outcome with its modelled-PM-latency delta. */
+void
+observeTx(obs::TraceOp op, const char *engine, std::uint64_t modelNs0,
+          const char *detail = nullptr)
+{
+    obs::Tracer::global().record(
+        op, engine, 0, detail,
+        pm::PmDevice::threadModelNs() - modelNs0);
+}
+
+} // namespace
 
 // --- FaspEngine --------------------------------------------------------------
 
@@ -127,6 +143,14 @@ FaspTransaction::latchPage(PageId pid, bool exclusive)
         if (!ok) {
             engine_.stats_.latchConflicts.fetch_add(
                 1, std::memory_order_relaxed);
+            if (obs::enabled()) {
+                static obs::Counter &c = obs::MetricsRegistry::global()
+                    .counter("core.tx.latch_conflicts");
+                c.inc();
+                obs::Tracer::global().record(
+                    obs::TraceOp::LatchConflict,
+                    engineKindName(engine_.config_.kind), pid);
+            }
             throw LatchConflict(pid);
         }
         latches_.emplace(slot, exclusive ? LatchMode::Exclusive
@@ -137,6 +161,14 @@ FaspTransaction::latchPage(PageId pid, bool exclusive)
         if (!lt.tryUpgrade(slot)) {
             engine_.stats_.latchConflicts.fetch_add(
                 1, std::memory_order_relaxed);
+            if (obs::enabled()) {
+                static obs::Counter &c = obs::MetricsRegistry::global()
+                    .counter("core.tx.latch_conflicts");
+                c.inc();
+                obs::Tracer::global().record(
+                    obs::TraceOp::LatchConflict,
+                    engineKindName(engine_.config_.kind), pid);
+            }
             throw LatchConflict(pid);
         }
         it->second = LatchMode::Exclusive;
@@ -274,6 +306,13 @@ FaspTransaction::rollback()
     engine_.device_.txEnd(/*committed=*/false);
     releaseLatches();
     engine_.stats_.txRolledBack++;
+    if (obs::enabled()) {
+        static obs::Counter &c =
+            obs::MetricsRegistry::global().counter("core.tx.rollbacks");
+        c.inc();
+        obs::Tracer::global().record(
+            obs::TraceOp::TxAbort, engineKindName(engine_.config_.kind));
+    }
 }
 
 Status
@@ -394,6 +433,9 @@ Status
 FaspTransaction::commit()
 {
     FASP_ASSERT(!finished_);
+    const char *engine_name = engineKindName(engine_.config_.kind);
+    std::uint64_t model_ns0 =
+        obs::enabled() ? pm::PmDevice::threadModelNs() : 0;
 
     // Classify the transaction (paper §4.2: FAST checks whether the
     // transaction modified multiple pages, overflowed, or defragged).
@@ -408,6 +450,7 @@ FaspTransaction::commit()
 
     Status status = Status::ok();
     bool logged = false;
+    const char *commit_path = "read-only";
     if (modified_count == 0 && allocs_.empty() && frees_.empty()) {
         // Read-only transaction: nothing to persist.
     } else if (engine_.config_.kind == EngineKind::Fast &&
@@ -416,15 +459,25 @@ FaspTransaction::commit()
                modified->io->headerDirty() &&
                modified->io->shadowBytes().size() <= kCacheLineSize) {
         status = commitInPlace(*modified);
+        commit_path = "in-place";
         if (status.code() == StatusCode::TxConflict) {
             // RTM kept aborting: fall back to slot-header logging
             // (paper §3.2 footnote 1).
+            if (obs::enabled()) {
+                static obs::Counter &c = obs::MetricsRegistry::global()
+                    .counter("core.tx.inplace_fallbacks");
+                c.inc();
+                observeTx(obs::TraceOp::TxFallback, engine_name,
+                          model_ns0);
+            }
             status = commitLogged();
             logged = status.isOk();
+            commit_path = "logged";
         }
     } else {
         status = commitLogged();
         logged = status.isOk();
+        commit_path = "logged";
     }
 
     if (!status.isOk())
@@ -439,6 +492,13 @@ FaspTransaction::commit()
         engine_.device_.txEnd(/*committed=*/true);
     engine_.stats_.txCommitted++;
     releaseLatches();
+    if (obs::enabled()) {
+        static obs::Counter &c =
+            obs::MetricsRegistry::global().counter("core.tx.commits");
+        c.inc();
+        observeTx(obs::TraceOp::TxCommit, engine_name, model_ns0,
+                  commit_path);
+    }
     return Status::ok();
 }
 

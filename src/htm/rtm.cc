@@ -5,9 +5,27 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pm/device.h"
 
 namespace fasp::htm {
+
+namespace {
+
+/** Abort-class counter + trace event (metrics-enabled runs only). */
+void
+observeAbort(const char *abortClass)
+{
+    if (!obs::enabled())
+        return;
+    obs::MetricsRegistry::global()
+        .counter(std::string("htm.aborts.") + abortClass).inc();
+    obs::Tracer::global().record(obs::TraceOp::RtmAbort, nullptr, 0,
+                                 abortClass);
+}
+
+} // namespace
 
 void
 RtmRegion::write(PmOffset off, const void *src, std::size_t len)
@@ -146,6 +164,7 @@ Rtm::execute(const std::function<void(RtmRegion &)> &body)
                 stats_.aborts.fetch_add(1, std::memory_order_relaxed);
                 stats_.abortsCapacity.fetch_add(
                     1, std::memory_order_relaxed);
+                observeAbort("capacity");
                 // Deterministic: the write set won't shrink on retry.
                 stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
                 return false;
@@ -155,26 +174,39 @@ Rtm::execute(const std::function<void(RtmRegion &)> &body)
         if (region.explicitAbort_) {
             stats_.aborts.fetch_add(1, std::memory_order_relaxed);
             stats_.abortsExplicit.fetch_add(1, std::memory_order_relaxed);
+            observeAbort("explicit");
             continue;
         }
         if (rollInjectedAbort()) {
             stats_.aborts.fetch_add(1, std::memory_order_relaxed);
             stats_.abortsInjected.fetch_add(1, std::memory_order_relaxed);
+            observeAbort("injected");
             continue;
         }
         if (tryApply(region) == ApplyResult::Contention) {
             stats_.aborts.fetch_add(1, std::memory_order_relaxed);
             stats_.abortsContention.fetch_add(
                 1, std::memory_order_relaxed);
+            observeAbort("contention");
             // Brief pause so the winning committer can finish before we
             // re-execute the body against the updated line.
             std::this_thread::yield();
             continue;
         }
         stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled()) {
+            static obs::Counter &c =
+                obs::MetricsRegistry::global().counter("htm.commits");
+            c.inc();
+        }
         return true;
     }
     stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+        static obs::Counter &c =
+            obs::MetricsRegistry::global().counter("htm.fallbacks");
+        c.inc();
+    }
     return false;
 }
 

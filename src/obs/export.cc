@@ -1,0 +1,355 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+
+namespace fasp::obs {
+
+namespace {
+
+/** Append @p s as a JSON string literal (quoted, escaped). */
+void
+appendJsonString(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    out += std::to_string(v);
+}
+
+void
+appendCellJson(std::string &out, const PmCellSnapshot &cell)
+{
+    out += "{\"stores\": ";
+    appendU64(out, cell.stores);
+    out += ", \"store_bytes\": ";
+    appendU64(out, cell.storeBytes);
+    out += ", \"flushes\": ";
+    appendU64(out, cell.flushes);
+    out += ", \"fences\": ";
+    appendU64(out, cell.fences);
+    out += ", \"model_ns\": ";
+    appendU64(out, cell.modelNs);
+    out += "}";
+}
+
+/** Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*. */
+std::string
+promName(std::string_view name)
+{
+    std::string out = "fasp_";
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+            out += c;
+        else
+            out += '_';
+    }
+    return out;
+}
+
+/** Prometheus label values only need backslash/quote/newline escaping. */
+std::string
+promLabel(std::string_view s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '\\' || c == '"')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+exportJson(const std::string &benchName,
+           const MetricsRegistry &registry, const PhaseLedger &ledger,
+           const Tracer &tracer, std::size_t maxTraceEvents)
+{
+    std::string out;
+    out += "{\n  \"bench\": ";
+    appendJsonString(out, benchName);
+    out += ",\n  \"schema_version\": 1";
+
+    out += ",\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : registry.counters()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    ";
+        appendJsonString(out, name);
+        out += ": ";
+        appendU64(out, value);
+    }
+    out += first ? "}" : "\n  }";
+
+    out += ",\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : registry.gauges()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    ";
+        appendJsonString(out, name);
+        out += ": ";
+        out += std::to_string(value);
+    }
+    out += first ? "}" : "\n  }";
+
+    out += ",\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, snap] : registry.histograms()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    ";
+        appendJsonString(out, name);
+        out += ": {\"count\": ";
+        appendU64(out, snap.count);
+        out += ", \"sum\": ";
+        appendU64(out, snap.sum);
+        out += ", \"max\": ";
+        appendU64(out, snap.max);
+        out += ", \"p50\": ";
+        appendU64(out, snap.p50);
+        out += ", \"p95\": ";
+        appendU64(out, snap.p95);
+        out += ", \"p99\": ";
+        appendU64(out, snap.p99);
+        out += ", \"buckets\": [";
+        bool bfirst = true;
+        for (const auto &[edge, count] : snap.buckets) {
+            if (!bfirst)
+                out += ", ";
+            bfirst = false;
+            out += "[";
+            appendU64(out, edge);
+            out += ", ";
+            appendU64(out, count);
+            out += "]";
+        }
+        out += "]}";
+    }
+    out += first ? "}" : "\n  }";
+
+    out += ",\n  \"pm_phases\": {";
+    auto entries = ledger.entries();
+    first = true;
+    for (const auto &entry : entries) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    ";
+        appendJsonString(out, entry.engine);
+        out += ": {";
+        bool pfirst = true;
+        for (std::size_t i = 0; i < PmAttribution::kNumPhases; ++i) {
+            const PmCellSnapshot &cell = entry.phases[i];
+            if (cell.empty())
+                continue;
+            out += pfirst ? "\n" : ",\n";
+            pfirst = false;
+            out += "      ";
+            appendJsonString(
+                out, pm::componentName(static_cast<pm::Component>(i)));
+            out += ": ";
+            appendCellJson(out, cell);
+        }
+        out += pfirst ? "}" : "\n    }";
+    }
+    out += first ? "}" : "\n  }";
+
+    out += ",\n  \"pm_sites\": {";
+    first = true;
+    for (const auto &entry : entries) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    ";
+        appendJsonString(out, entry.engine);
+        out += ": {";
+        bool sfirst = true;
+        for (const auto &[site, cell] : entry.sites) {
+            out += sfirst ? "\n" : ",\n";
+            sfirst = false;
+            out += "      ";
+            appendJsonString(out, site);
+            out += ": ";
+            appendCellJson(out, cell);
+        }
+        out += sfirst ? "}" : "\n    }";
+    }
+    out += first ? "}" : "\n  }";
+
+    out += ",\n  \"trace\": {\"recorded\": ";
+    appendU64(out, tracer.totalRecorded());
+    out += ", \"dropped\": ";
+    appendU64(out, tracer.totalDropped());
+    out += ", \"rings\": ";
+    appendU64(out, tracer.ringCount());
+    out += ", \"events\": [";
+    if (maxTraceEvents > 0) {
+        auto events = tracer.collect();
+        std::size_t start = events.size() > maxTraceEvents
+            ? events.size() - maxTraceEvents : 0;
+        for (std::size_t i = start; i < events.size(); ++i) {
+            const TraceEvent &ev = events[i];
+            out += (i == start) ? "\n" : ",\n";
+            out += "    {\"seq\": ";
+            appendU64(out, ev.seq);
+            out += ", \"op\": ";
+            appendJsonString(out, traceOpName(ev.op));
+            out += ", \"engine\": ";
+            if (ev.engine)
+                appendJsonString(out, ev.engine);
+            else
+                out += "null";
+            out += ", \"detail\": ";
+            if (ev.detail)
+                appendJsonString(out, ev.detail);
+            else
+                out += "null";
+            out += ", \"page\": ";
+            appendU64(out, ev.pageId);
+            out += ", \"model_ns\": ";
+            appendU64(out, ev.modelNs);
+            out += ", \"duration_ns\": ";
+            appendU64(out, ev.durationNs);
+            out += "}";
+        }
+        if (start < events.size())
+            out += "\n  ";
+    }
+    out += "]}\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+exportPrometheus(const std::string &benchName,
+                 const MetricsRegistry &registry,
+                 const PhaseLedger &ledger, const Tracer &tracer)
+{
+    std::string out;
+    out += "# fasp metrics export, bench=\"" + promLabel(benchName)
+        + "\"\n";
+
+    for (const auto &[name, value] : registry.counters()) {
+        std::string n = promName(name);
+        out += "# TYPE " + n + " counter\n";
+        out += n + " " + std::to_string(value) + "\n";
+    }
+
+    for (const auto &[name, value] : registry.gauges()) {
+        std::string n = promName(name);
+        out += "# TYPE " + n + " gauge\n";
+        out += n + " " + std::to_string(value) + "\n";
+    }
+
+    for (const auto &[name, snap] : registry.histograms()) {
+        std::string n = promName(name);
+        out += "# TYPE " + n + " summary\n";
+        out += n + "{quantile=\"0.5\"} " + std::to_string(snap.p50)
+            + "\n";
+        out += n + "{quantile=\"0.95\"} " + std::to_string(snap.p95)
+            + "\n";
+        out += n + "{quantile=\"0.99\"} " + std::to_string(snap.p99)
+            + "\n";
+        out += n + "_sum " + std::to_string(snap.sum) + "\n";
+        out += n + "_count " + std::to_string(snap.count) + "\n";
+        out += n + "_max " + std::to_string(snap.max) + "\n";
+    }
+
+    auto emitCell = [&out](const std::string &prefix,
+                           const std::string &labels,
+                           const PmCellSnapshot &cell) {
+        out += prefix + "_stores{" + labels + "} "
+            + std::to_string(cell.stores) + "\n";
+        out += prefix + "_store_bytes{" + labels + "} "
+            + std::to_string(cell.storeBytes) + "\n";
+        out += prefix + "_flushes{" + labels + "} "
+            + std::to_string(cell.flushes) + "\n";
+        out += prefix + "_fences{" + labels + "} "
+            + std::to_string(cell.fences) + "\n";
+        out += prefix + "_model_ns{" + labels + "} "
+            + std::to_string(cell.modelNs) + "\n";
+    };
+
+    out += "# TYPE fasp_pm_phase_flushes counter\n";
+    for (const auto &entry : ledger.entries()) {
+        for (std::size_t i = 0; i < PmAttribution::kNumPhases; ++i) {
+            const PmCellSnapshot &cell = entry.phases[i];
+            if (cell.empty())
+                continue;
+            std::string labels = "engine=\"" + promLabel(entry.engine)
+                + "\",phase=\""
+                + promLabel(pm::componentName(
+                      static_cast<pm::Component>(i)))
+                + "\"";
+            emitCell("fasp_pm_phase", labels, cell);
+        }
+        for (const auto &[site, cell] : entry.sites) {
+            std::string labels = "engine=\"" + promLabel(entry.engine)
+                + "\",site=\"" + promLabel(site) + "\"";
+            emitCell("fasp_pm_site", labels, cell);
+        }
+    }
+
+    out += "# TYPE fasp_trace_recorded counter\n";
+    out += "fasp_trace_recorded " +
+        std::to_string(tracer.totalRecorded()) + "\n";
+    out += "fasp_trace_dropped " +
+        std::to_string(tracer.totalDropped()) + "\n";
+    out += "fasp_trace_rings " + std::to_string(tracer.ringCount())
+        + "\n";
+    return out;
+}
+
+bool
+writeMetricsFile(const std::string &path, const std::string &benchName)
+{
+    std::string body;
+    bool prom = path.size() >= 5 &&
+        path.compare(path.size() - 5, 5, ".prom") == 0;
+    if (prom) {
+        body = exportPrometheus(benchName, MetricsRegistry::global(),
+                                PhaseLedger::global(), Tracer::global());
+    } else {
+        body = exportJson(benchName, MetricsRegistry::global(),
+                          PhaseLedger::global(), Tracer::global());
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "metrics: cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    out << body;
+    out.close();
+    return out.good();
+}
+
+} // namespace fasp::obs

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Exporters for the obs layer: JSON (machine-diffable, consumed by
+ * tools/metrics_check and the golden-file ctest) and Prometheus text
+ * exposition (scrape-ready). Both render the same data: the metrics
+ * registry, the per-engine PM phase/site attribution ledger, and the
+ * trace-ring summary plus a bounded tail of events (JSON only).
+ */
+
+#ifndef FASP_OBS_EXPORT_H
+#define FASP_OBS_EXPORT_H
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fasp::obs {
+
+/** Render everything as a JSON document. @p maxTraceEvents bounds the
+ *  embedded trace tail (0 = omit events, keep the summary). */
+std::string exportJson(const std::string &benchName,
+                       const MetricsRegistry &registry,
+                       const PhaseLedger &ledger, const Tracer &tracer,
+                       std::size_t maxTraceEvents = 256);
+
+/** Render everything as Prometheus text exposition format. */
+std::string exportPrometheus(const std::string &benchName,
+                             const MetricsRegistry &registry,
+                             const PhaseLedger &ledger,
+                             const Tracer &tracer);
+
+/**
+ * Write the global registry/ledger/tracer to @p path: Prometheus text
+ * when the path ends in ".prom", JSON otherwise. Returns false (after
+ * logging) when the file cannot be written. This is what the benches'
+ * --metrics=PATH flag calls.
+ */
+bool writeMetricsFile(const std::string &path,
+                      const std::string &benchName);
+
+} // namespace fasp::obs
+
+#endif // FASP_OBS_EXPORT_H

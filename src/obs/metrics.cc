@@ -1,0 +1,399 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace fasp::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/** Site tag billed when a PM event fires outside any SiteScope. */
+constexpr const char *kUntaggedSite = "(untagged)";
+
+/** Site tag billed once the slot table is full. */
+constexpr const char *kOverflowSite = "(overflow)";
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// --- Histogram ---------------------------------------------------------
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    return std::min<std::size_t>(std::bit_width(v), kBuckets - 1);
+}
+
+std::uint64_t
+Histogram::bucketUpperEdge(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+}
+
+void
+Histogram::record(std::uint64_t v)
+{
+    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !max_.compare_exchange_weak(prev, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    std::uint64_t total = count();
+    if (total == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the requested quantile, 1-based.
+    auto rank = static_cast<std::uint64_t>(q * double(total - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += bucketCount(i);
+        if (seen >= rank) {
+            if (i == kBuckets - 1)
+                return max();
+            return bucketUpperEdge(i);
+        }
+    }
+    return max();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        std::uint64_t n = other.bucketCount(i);
+        if (n)
+            buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+    std::uint64_t omax = other.max();
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < omax &&
+           !max_.compare_exchange_weak(prev, omax,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+// --- MetricsRegistry ---------------------------------------------------
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    MutexLock lk(&mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(std::string(name),
+                               std::make_unique<Counter>()).first;
+    }
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    MutexLock lk(&mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_.emplace(std::string(name),
+                             std::make_unique<Gauge>()).first;
+    }
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name)
+{
+    MutexLock lk(&mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(std::string(name),
+                                 std::make_unique<Histogram>()).first;
+    }
+    return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counters() const
+{
+    MutexLock lk(&mu_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        out.emplace_back(name, c->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+MetricsRegistry::gauges() const
+{
+    MutexLock lk(&mu_);
+    std::vector<std::pair<std::string, std::int64_t>> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        out.emplace_back(name, g->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::histograms() const
+{
+    MutexLock lk(&mu_);
+    std::vector<std::pair<std::string, HistogramSnapshot>> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_) {
+        HistogramSnapshot snap;
+        snap.count = h->count();
+        snap.sum = h->sum();
+        snap.max = h->max();
+        snap.p50 = h->p50();
+        snap.p95 = h->p95();
+        snap.p99 = h->p99();
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            std::uint64_t n = h->bucketCount(i);
+            std::uint64_t edge = (i == Histogram::kBuckets - 1)
+                ? snap.max : Histogram::bucketUpperEdge(i);
+            if (n)
+                snap.buckets.emplace_back(edge, n);
+        }
+        out.emplace_back(name, std::move(snap));
+    }
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    MutexLock lk(&mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+// --- PmAttribution -----------------------------------------------------
+
+PmCellSnapshot
+PmAttribution::snapshotCell(const Cell &cell)
+{
+    PmCellSnapshot snap;
+    snap.stores = cell.stores.load(std::memory_order_relaxed);
+    snap.storeBytes = cell.storeBytes.load(std::memory_order_relaxed);
+    snap.flushes = cell.flushes.load(std::memory_order_relaxed);
+    snap.fences = cell.fences.load(std::memory_order_relaxed);
+    snap.modelNs = cell.modelNs.load(std::memory_order_relaxed);
+    return snap;
+}
+
+PmAttribution::Cell &
+PmAttribution::siteCell(const char *site)
+{
+    if (site == nullptr)
+        site = kUntaggedSite;
+
+    // One-entry per-thread memo: commit paths hammer one site tag at a
+    // time, so the common case skips the scan entirely.
+    struct Memo
+    {
+        const PmAttribution *owner = nullptr;
+        const char *site = nullptr;
+        Cell *cell = nullptr;
+    };
+    thread_local Memo memo;
+    if (memo.owner == this && memo.site == site)
+        return *memo.cell;
+
+    for (auto &slot : sites_) {
+        const char *cur = slot.name.load(std::memory_order_acquire);
+        if (cur == nullptr) {
+            // Claim the empty slot; on a lost race, fall through to
+            // re-examine whatever the winner installed.
+            if (slot.name.compare_exchange_strong(
+                    cur, site, std::memory_order_acq_rel)) {
+                cur = site;
+            }
+        }
+        // Pointer compare first (tags are literals); content compare
+        // catches identical literals with distinct addresses.
+        if (cur == site || std::strcmp(cur, site) == 0) {
+            memo = Memo{this, site, &slot.cell};
+            return slot.cell;
+        }
+    }
+    return overflow_;
+}
+
+void
+PmAttribution::onPmStore(const char *site, pm::Component phase,
+                         std::size_t bytes)
+{
+    Cell &pc = phaseCell(phase);
+    pc.stores.fetch_add(1, std::memory_order_relaxed);
+    pc.storeBytes.fetch_add(bytes, std::memory_order_relaxed);
+    Cell &sc = siteCell(site);
+    sc.stores.fetch_add(1, std::memory_order_relaxed);
+    sc.storeBytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void
+PmAttribution::onPmFlush(const char *site, pm::Component phase)
+{
+    phaseCell(phase).flushes.fetch_add(1, std::memory_order_relaxed);
+    siteCell(site).flushes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+PmAttribution::onPmFence(const char *site, pm::Component phase)
+{
+    phaseCell(phase).fences.fetch_add(1, std::memory_order_relaxed);
+    siteCell(site).fences.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+PmAttribution::onPmModelNs(const char *site, pm::Component phase,
+                           std::uint64_t ns)
+{
+    phaseCell(phase).modelNs.fetch_add(ns, std::memory_order_relaxed);
+    siteCell(site).modelNs.fetch_add(ns, std::memory_order_relaxed);
+}
+
+PmCellSnapshot
+PmAttribution::phase(pm::Component comp) const
+{
+    return snapshotCell(phases_[static_cast<std::size_t>(comp)]);
+}
+
+std::vector<std::pair<std::string, PmCellSnapshot>>
+PmAttribution::sites() const
+{
+    std::vector<std::pair<std::string, PmCellSnapshot>> out;
+    for (const auto &slot : sites_) {
+        const char *name = slot.name.load(std::memory_order_acquire);
+        if (name == nullptr)
+            break;
+        out.emplace_back(name, snapshotCell(slot.cell));
+    }
+    PmCellSnapshot ovf = snapshotCell(overflow_);
+    if (!ovf.empty())
+        out.emplace_back(kOverflowSite, ovf);
+    return out;
+}
+
+void
+PmAttribution::reset()
+{
+    auto zero = [](Cell &c) {
+        c.stores.store(0, std::memory_order_relaxed);
+        c.storeBytes.store(0, std::memory_order_relaxed);
+        c.flushes.store(0, std::memory_order_relaxed);
+        c.fences.store(0, std::memory_order_relaxed);
+        c.modelNs.store(0, std::memory_order_relaxed);
+    };
+    for (auto &c : phases_)
+        zero(c);
+    for (auto &slot : sites_)
+        zero(slot.cell);
+    zero(overflow_);
+}
+
+// --- PhaseLedger -------------------------------------------------------
+
+PhaseLedger &
+PhaseLedger::global()
+{
+    static PhaseLedger ledger;
+    return ledger;
+}
+
+void
+PhaseLedger::fold(std::string_view engine, const PmAttribution &attr)
+{
+    MutexLock lk(&mu_);
+    Entry *entry = nullptr;
+    for (auto &e : entries_) {
+        if (e.engine == engine) {
+            entry = &e;
+            break;
+        }
+    }
+    if (entry == nullptr) {
+        entries_.emplace_back();
+        entry = &entries_.back();
+        entry->engine = std::string(engine);
+    }
+    for (std::size_t i = 0; i < PmAttribution::kNumPhases; ++i) {
+        entry->phases[i] +=
+            attr.phase(static_cast<pm::Component>(i));
+    }
+    for (const auto &[site, cell] : attr.sites()) {
+        auto it = std::find_if(
+            entry->sites.begin(), entry->sites.end(),
+            [&](const auto &p) { return p.first == site; });
+        if (it == entry->sites.end())
+            entry->sites.emplace_back(site, cell);
+        else
+            it->second += cell;
+    }
+}
+
+std::vector<PhaseLedger::Entry>
+PhaseLedger::entries() const
+{
+    MutexLock lk(&mu_);
+    return entries_;
+}
+
+void
+PhaseLedger::reset()
+{
+    MutexLock lk(&mu_);
+    entries_.clear();
+}
+
+} // namespace fasp::obs

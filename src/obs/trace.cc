@@ -1,0 +1,180 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace fasp::obs {
+
+const char *
+traceOpName(TraceOp op)
+{
+    switch (op) {
+      case TraceOp::TxCommit: return "tx-commit";
+      case TraceOp::TxFallback: return "tx-fallback";
+      case TraceOp::TxAbort: return "tx-abort";
+      case TraceOp::LatchConflict: return "latch-conflict";
+      case TraceOp::RtmAbort: return "rtm-abort";
+      case TraceOp::PageAlloc: return "page-alloc";
+      case TraceOp::PageFree: return "page-free";
+      case TraceOp::Recovery: return "recovery";
+      case TraceOp::BenchPhase: return "bench-phase";
+    }
+    return "?";
+}
+
+// --- TraceRing ---------------------------------------------------------
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t v)
+{
+    std::size_t p = 8;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(roundUpPow2(capacity)), mask_(slots_.size() - 1)
+{
+}
+
+void
+TraceRing::record(const TraceEvent &ev)
+{
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    slots_[head & mask_] = ev;
+    head_.store(head + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent>
+TraceRing::snapshot() const
+{
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t retained = std::min<std::uint64_t>(head, capacity());
+    std::vector<TraceEvent> out;
+    out.reserve(retained);
+    for (std::uint64_t i = head - retained; i < head; ++i)
+        out.push_back(slots_[i & mask_]);
+    return out;
+}
+
+// --- Tracer ------------------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t> g_tracerIds{0};
+
+} // namespace
+
+Tracer::Tracer(std::size_t ringCapacity)
+    : ringCapacity_(ringCapacity),
+      id_(g_tracerIds.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Tracer &
+Tracer::global()
+{
+    // Leaked so recording threads may outlive static destruction.
+    static Tracer *tracer = new Tracer();
+    return *tracer;
+}
+
+TraceRing &
+Tracer::threadRing()
+{
+    // Memo keyed by tracer id, not address: tests build short-lived
+    // Tracers and an address could be reused.
+    struct Memo
+    {
+        std::uint64_t tracerId = ~std::uint64_t{0};
+        TraceRing *ring = nullptr;
+    };
+    thread_local std::vector<Memo> memos;
+    for (const Memo &m : memos) {
+        if (m.tracerId == id_)
+            return *m.ring;
+    }
+    TraceRing *ring;
+    {
+        MutexLock lk(&mu_);
+        rings_.push_back(std::make_unique<TraceRing>(ringCapacity_));
+        ring = rings_.back().get();
+    }
+    memos.push_back(Memo{id_, ring});
+    return *ring;
+}
+
+void
+Tracer::record(TraceOp op, const char *engine, std::uint64_t pageId,
+               const char *detail, std::uint64_t modelNs,
+               std::uint64_t durationNs)
+{
+    TraceEvent ev;
+    ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    ev.op = op;
+    ev.engine = engine;
+    ev.detail = detail;
+    ev.pageId = pageId;
+    ev.modelNs = modelNs;
+    ev.durationNs = durationNs;
+    threadRing().record(ev);
+}
+
+std::vector<TraceEvent>
+Tracer::collect() const
+{
+    std::vector<TraceEvent> out;
+    {
+        MutexLock lk(&mu_);
+        for (const auto &ring : rings_) {
+            auto events = ring->snapshot();
+            out.insert(out.end(), events.begin(), events.end());
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+std::uint64_t
+Tracer::totalRecorded() const
+{
+    MutexLock lk(&mu_);
+    std::uint64_t n = 0;
+    for (const auto &ring : rings_)
+        n += ring->recorded();
+    return n;
+}
+
+std::uint64_t
+Tracer::totalDropped() const
+{
+    MutexLock lk(&mu_);
+    std::uint64_t n = 0;
+    for (const auto &ring : rings_)
+        n += ring->dropped();
+    return n;
+}
+
+std::size_t
+Tracer::ringCount() const
+{
+    MutexLock lk(&mu_);
+    return rings_.size();
+}
+
+void
+Tracer::reset()
+{
+    MutexLock lk(&mu_);
+    for (auto &ring : rings_)
+        ring->reset();
+}
+
+} // namespace fasp::obs

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Per-operation tracing: each recording thread owns a lock-free
+ * single-writer ring buffer of fixed-size TraceEvents; a global
+ * sequence number lets a quiescent reader merge the rings back into
+ * one ordered timeline. Overflow overwrites the oldest events in the
+ * writer's own ring (and counts them), so a hot thread can never block
+ * or allocate on the record path.
+ *
+ * Thread safety: record() is safe from any thread (each thread writes
+ * only its own ring; ring registration takes the Tracer mutex once per
+ * thread). collect()/snapshot() are quiescent-only — call them after
+ * the recording threads have been joined (the join provides the
+ * happens-before edge that makes the ring contents visible).
+ */
+
+#ifndef FASP_OBS_TRACE_H
+#define FASP_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace fasp::obs {
+
+/** What kind of operation a trace event records. */
+enum class TraceOp : std::uint8_t {
+    TxCommit,      //!< transaction committed (in-place or logged)
+    TxFallback,    //!< FAST in-place commit fell back to logging
+    TxAbort,       //!< transaction rolled back
+    LatchConflict, //!< page-latch conflict aborted a transaction
+    RtmAbort,      //!< one RTM attempt aborted (detail = abort class)
+    PageAlloc,     //!< pager allocated a page
+    PageFree,      //!< pager freed a page
+    Recovery,      //!< engine ran its recovery pass
+    BenchPhase,    //!< bench driver marker (detail = phase name)
+};
+
+const char *traceOpName(TraceOp op);
+
+/**
+ * One traced operation. Label fields point at string literals (engine
+ * names, abort-class names); the ring stores the pointers, so only
+ * static strings may be passed.
+ */
+struct TraceEvent
+{
+    std::uint64_t seq = 0;       //!< global order across all rings
+    TraceOp op = TraceOp::TxCommit;
+    const char *engine = nullptr;//!< engine name, or nullptr
+    const char *detail = nullptr;//!< op-specific label, or nullptr
+    std::uint64_t pageId = 0;    //!< page involved, or 0
+    std::uint64_t modelNs = 0;   //!< modelled PM latency of the op
+    std::uint64_t durationNs = 0;//!< wall duration, or 0 if untimed
+};
+
+/**
+ * Fixed-capacity single-writer ring. The owning thread records; any
+ * thread may read counters; snapshot() is quiescent-only.
+ */
+class TraceRing
+{
+  public:
+    /** @p capacity is rounded up to a power of two (min 8). */
+    explicit TraceRing(std::size_t capacity);
+
+    /** Append @p ev, overwriting the oldest event when full. Only the
+     *  owning thread may call this. */
+    void record(const TraceEvent &ev);
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Events ever recorded into this ring. */
+    std::uint64_t recorded() const
+    {
+        return head_.load(std::memory_order_relaxed);
+    }
+
+    /** Events overwritten by wraparound (recorded - retained). */
+    std::uint64_t dropped() const
+    {
+        std::uint64_t n = recorded();
+        return n > capacity() ? n - capacity() : 0;
+    }
+
+    /** Retained events, oldest first. Quiescent-only. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Forget all events. Quiescent-only. */
+    void reset() { head_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::vector<TraceEvent> slots_;
+    std::size_t mask_;
+    std::atomic<std::uint64_t> head_{0};
+};
+
+/**
+ * Process-wide trace sink: hands each recording thread its own
+ * TraceRing on first use and merges them for export. Rings are never
+ * deallocated while the Tracer lives, so the per-thread cached pointer
+ * stays valid even after the thread exits (its ring just goes idle).
+ */
+class Tracer
+{
+  public:
+    static constexpr std::size_t kDefaultRingCapacity = 4096;
+
+    explicit Tracer(std::size_t ringCapacity = kDefaultRingCapacity);
+
+    /** Process-wide tracer the wiring records into. */
+    static Tracer &global();
+
+    /** Record one event into the calling thread's ring, stamping the
+     *  global sequence number. */
+    void record(TraceOp op, const char *engine = nullptr,
+                std::uint64_t pageId = 0, const char *detail = nullptr,
+                std::uint64_t modelNs = 0, std::uint64_t durationNs = 0);
+
+    /** All retained events from every ring, merged by sequence number.
+     *  Quiescent-only. */
+    std::vector<TraceEvent> collect() const EXCLUDES(mu_);
+
+    /** Events ever recorded, across all rings. */
+    std::uint64_t totalRecorded() const EXCLUDES(mu_);
+
+    /** Events lost to ring wraparound, across all rings. */
+    std::uint64_t totalDropped() const EXCLUDES(mu_);
+
+    /** Number of thread rings created so far. */
+    std::size_t ringCount() const EXCLUDES(mu_);
+
+    /** Forget all events in every ring. Quiescent-only. */
+    void reset() EXCLUDES(mu_);
+
+  private:
+    TraceRing &threadRing() EXCLUDES(mu_);
+
+    const std::size_t ringCapacity_;
+    const std::uint64_t id_; //!< distinguishes tracers in thread memos
+    std::atomic<std::uint64_t> seq_{0};
+    mutable Mutex mu_;
+    std::deque<std::unique_ptr<TraceRing>> rings_ GUARDED_BY(mu_);
+};
+
+} // namespace fasp::obs
+
+#endif // FASP_OBS_TRACE_H

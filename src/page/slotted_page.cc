@@ -69,7 +69,16 @@ allocFootprint(std::size_t payload_len)
         (kRecordHeaderBytes + payload_len + 1) & ~std::size_t{1});
 }
 
-/** Live record extents (off, footprint), sorted by offset. */
+/**
+ * Live record extents (off, footprint), sorted by offset. Footprints
+ * are the padded allocation size (allocFootprint), not the raw record
+ * size: the pad byte belongs to the record's allocation — reclaimExtent
+ * frees it and the allocator handed it out — so free-list maintenance
+ * must never treat it as free while the record lives. (A rebuild that
+ * counted pad bytes as gaps produced free blocks overlapping live
+ * records by one byte; a later free-list header write through such a
+ * block corrupted the record's length prefix.)
+ */
 std::vector<std::pair<std::uint16_t, std::uint16_t>>
 recordExtents(const PageIO &io)
 {
@@ -78,10 +87,7 @@ recordExtents(const PageIO &io)
     extents.reserve(nrec);
     for (std::uint16_t i = 0; i < nrec; ++i) {
         RecordRef ref = record(io, i);
-        extents.emplace_back(
-            ref.off,
-            static_cast<std::uint16_t>(kRecordHeaderBytes +
-                                       ref.payloadLen));
+        extents.emplace_back(ref.off, allocFootprint(ref.payloadLen));
     }
     std::sort(extents.begin(), extents.end());
     return extents;

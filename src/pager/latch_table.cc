@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace fasp {
 
 namespace {
@@ -88,9 +90,19 @@ LatchTable::tryAcquireShared(std::size_t slot)
     if (slots_[slot].tryAcquireShared()) {
         counters_.sharedAcquires.fetch_add(1,
                                            std::memory_order_relaxed);
+        if (obs::enabled()) {
+            static obs::Counter &c = obs::MetricsRegistry::global()
+                .counter("pager.latch.shared_acquires");
+            c.inc();
+        }
         return true;
     }
     counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+        static obs::Counter &c = obs::MetricsRegistry::global()
+            .counter("pager.latch.conflicts");
+        c.inc();
+    }
     return false;
 }
 
@@ -100,9 +112,19 @@ LatchTable::tryAcquireExclusive(std::size_t slot)
     if (slots_[slot].tryAcquireExclusive()) {
         counters_.exclusiveAcquires.fetch_add(
             1, std::memory_order_relaxed);
+        if (obs::enabled()) {
+            static obs::Counter &c = obs::MetricsRegistry::global()
+                .counter("pager.latch.exclusive_acquires");
+            c.inc();
+        }
         return true;
     }
     counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+        static obs::Counter &c = obs::MetricsRegistry::global()
+            .counter("pager.latch.conflicts");
+        c.inc();
+    }
     return false;
 }
 
@@ -111,9 +133,19 @@ LatchTable::tryUpgrade(std::size_t slot)
 {
     if (slots_[slot].tryUpgrade()) {
         counters_.upgrades.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled()) {
+            static obs::Counter &c = obs::MetricsRegistry::global()
+                .counter("pager.latch.upgrades");
+            c.inc();
+        }
         return true;
     }
     counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+        static obs::Counter &c = obs::MetricsRegistry::global()
+            .counter("pager.latch.conflicts");
+        c.inc();
+    }
     return false;
 }
 

@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "page/page_io.h"
 #include "page/slotted_page.h"
 #include "pm/device.h"
@@ -32,6 +34,13 @@ PageAllocator::allocate()
                               static_cast<std::uint8_t>(byte |
                                                         slot.mask));
                 hint_ = pid + 1;
+                if (obs::enabled()) {
+                    static obs::Counter &c = obs::MetricsRegistry::
+                        global().counter("pager.page_allocs");
+                    c.inc();
+                    obs::Tracer::global().record(obs::TraceOp::PageAlloc,
+                                                 nullptr, pid);
+                }
                 return pid;
             }
             // Skip whole free-less bytes quickly.
@@ -54,6 +63,13 @@ PageAllocator::free(PageId pid)
                   static_cast<std::uint8_t>(byte & ~slot.mask));
     if (pid < hint_)
         hint_ = pid;
+    if (obs::enabled()) {
+        static obs::Counter &c =
+            obs::MetricsRegistry::global().counter("pager.page_frees");
+        c.inc();
+        obs::Tracer::global().record(obs::TraceOp::PageFree, nullptr,
+                                     pid);
+    }
 }
 
 void

@@ -77,6 +77,8 @@ PmDevice::chargeModelNs(std::uint64_t ns)
     t_modelNs += ns;
     if (PhaseTracker *trk = phaseTracker())
         trk->addModelNs(ns);
+    if (PmEventObserver *obs = observer())
+        obs->onPmModelNs(t_site, currentThreadComponent(), ns);
 }
 
 void
@@ -174,6 +176,10 @@ PmDevice::writeImpl(PmOffset off, const void *src, std::size_t len,
 
     if (PersistencyChecker *chk = checker())
         chk->onStore(off, len, scratch, index, t_site);
+    if (PmEventObserver *obs = observer()) {
+        if (!scratch)
+            obs->onPmStore(t_site, currentThreadComponent(), len);
+    }
 }
 
 void
@@ -286,6 +292,8 @@ PmDevice::clflush(PmOffset off)
         trk->countFlush();
     if (PersistencyChecker *chk = checker())
         chk->onFlush(base, index, t_site);
+    if (PmEventObserver *obs = observer())
+        obs->onPmFlush(t_site, currentThreadComponent());
 }
 
 void
@@ -310,6 +318,8 @@ PmDevice::sfence()
         trk->countFence();
     if (PersistencyChecker *chk = checker())
         chk->onFence(index, t_site);
+    if (PmEventObserver *obs = observer())
+        obs->onPmFence(t_site, currentThreadComponent());
 }
 
 void

@@ -59,6 +59,34 @@ namespace fasp::pm {
 
 class PersistencyChecker;
 
+/**
+ * Observer of the device's persistence events, attributed to the code
+ * site (SiteScope tag) and execution phase (PhaseScope Component) of
+ * the *issuing thread*. Unlike the PhaseTracker this interface is
+ * driven concurrently from every client thread, so implementations
+ * must be thread-safe (the obs layer's PmAttribution uses relaxed
+ * atomics). Attach/detach is quiescent-only, like the checker.
+ */
+class PmEventObserver
+{
+  public:
+    virtual ~PmEventObserver() = default;
+
+    /** A (non-scratch) store of @p bytes bytes was issued. */
+    virtual void onPmStore(const char *site, Component phase,
+                           std::size_t bytes) = 0;
+
+    /** A clflush/clwb was issued. */
+    virtual void onPmFlush(const char *site, Component phase) = 0;
+
+    /** An sfence was issued. */
+    virtual void onPmFence(const char *site, Component phase) = 0;
+
+    /** @p ns of modelled PM latency was charged. */
+    virtual void onPmModelNs(const char *site, Component phase,
+                             std::uint64_t ns) = 0;
+};
+
 /** Device operating mode; see file comment. */
 enum class PmMode : std::uint8_t {
     Direct,   //!< stores persist immediately (benchmarking)
@@ -195,6 +223,20 @@ class PmDevice
      *  fact (e.g. the content of a page being freed). No-op without a
      *  checker. */
     void markScratch(PmOffset off, std::size_t len);
+
+    /** Attach a persistence-event observer (nullptr to detach;
+     *  quiescent only). The observer sees every store/flush/fence and
+     *  modelled-latency charge, billed to the issuing thread's site
+     *  tag and phase Component, from every thread. */
+    void setObserver(PmEventObserver *observer)
+    {
+        observer_.store(observer, std::memory_order_release);
+    }
+
+    PmEventObserver *observer() const
+    {
+        return observer_.load(std::memory_order_acquire);
+    }
 
     /**
      * Commit-protocol annotations for the checker. txBegin() opens the
@@ -343,6 +385,7 @@ class PmDevice
     std::atomic<PhaseTracker *> tracker_{nullptr};
     std::atomic<CrashInjector *> injector_{nullptr};
     std::atomic<PersistencyChecker *> checker_{nullptr};
+    std::atomic<PmEventObserver *> observer_{nullptr};
     std::atomic<std::uint64_t> eventCount_{0};
     std::atomic<bool> crashed_{false};
     std::unique_ptr<Rng> crashRng_;

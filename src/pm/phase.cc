@@ -4,6 +4,48 @@
 
 namespace fasp::pm {
 
+namespace {
+
+/** Per-thread component stack mirroring the PhaseScope nesting. Kept
+ *  as a fixed array (no heap) so push/pop stay a handful of
+ *  instructions on the engines' hot paths. */
+struct ThreadComponentStack
+{
+    static constexpr std::size_t kMaxDepth = 16;
+    std::array<Component, kMaxDepth> stack{Component::None};
+    std::size_t depth = 0;
+};
+
+thread_local ThreadComponentStack t_components;
+
+} // namespace
+
+Component
+currentThreadComponent()
+{
+    return t_components.stack[t_components.depth];
+}
+
+namespace detail {
+
+void
+pushThreadComponent(Component comp)
+{
+    auto &s = t_components;
+    FASP_ASSERT(s.depth + 1 < ThreadComponentStack::kMaxDepth);
+    s.stack[++s.depth] = comp;
+}
+
+void
+popThreadComponent()
+{
+    auto &s = t_components;
+    FASP_ASSERT(s.depth > 0);
+    --s.depth;
+}
+
+} // namespace detail
+
 const char *
 componentName(Component comp)
 {

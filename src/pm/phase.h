@@ -49,6 +49,20 @@ enum class Component : std::uint8_t {
 const char *componentName(Component comp);
 
 /**
+ * Innermost Component the *calling thread* is executing, None outside
+ * any PhaseScope. Maintained by PhaseScope on a thread-local stack —
+ * independently of whether a PhaseTracker is attached — so multi-
+ * threaded observers (the obs PM-event attribution, DESIGN.md §11) can
+ * bill persistence events to the phase that issued them.
+ */
+Component currentThreadComponent();
+
+namespace detail {
+void pushThreadComponent(Component comp);
+void popThreadComponent();
+} // namespace detail
+
+/**
  * Per-component accumulator. One tracker per engine/benchmark run; not
  * thread-safe (the paper's workload is single-threaded SQLite).
  */
@@ -137,19 +151,24 @@ class PhaseTracker
 };
 
 /**
- * RAII tag for a code region. Null tracker means accounting disabled.
+ * RAII tag for a code region. Null tracker means the wall/model
+ * accounting is disabled; the thread-local component tag (see
+ * currentThreadComponent) is always maintained — it is two
+ * thread-local writes, cheap enough to keep unconditional.
  */
 class PhaseScope
 {
   public:
     PhaseScope(PhaseTracker *tracker, Component comp) : tracker_(tracker)
     {
+        detail::pushThreadComponent(comp);
         if (tracker_)
             tracker_->push(comp);
     }
 
     ~PhaseScope()
     {
+        detail::popThreadComponent();
         if (tracker_)
             tracker_->pop();
     }

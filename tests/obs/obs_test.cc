@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Unit and stress tests of the observability layer: histogram bucket
+ * boundaries / quantiles / merge, registry stability, trace-ring
+ * overflow and wraparound, PM-event attribution (phase + site tables,
+ * slot overflow), and concurrent recording from many threads (the
+ * TSan-stress half of ISSUE 4 satellite 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pm/phase.h"
+
+namespace fasp::obs {
+namespace {
+
+// --- Histogram buckets ---------------------------------------------------
+
+TEST(HistogramTest, BucketBoundaries)
+{
+    // Bucket 0 holds exactly the value 0.
+    EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+    EXPECT_EQ(Histogram::bucketUpperEdge(0), 0u);
+    // Bucket i (i >= 1) holds [2^(i-1), 2^i - 1].
+    EXPECT_EQ(Histogram::bucketIndex(1), 1u);
+    EXPECT_EQ(Histogram::bucketIndex(2), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(4), 3u);
+    EXPECT_EQ(Histogram::bucketIndex(7), 3u);
+    EXPECT_EQ(Histogram::bucketIndex(8), 4u);
+    EXPECT_EQ(Histogram::bucketUpperEdge(1), 1u);
+    EXPECT_EQ(Histogram::bucketUpperEdge(2), 3u);
+    EXPECT_EQ(Histogram::bucketUpperEdge(3), 7u);
+    for (std::size_t i = 1; i + 1 < Histogram::kBuckets; ++i) {
+        std::uint64_t lo = std::uint64_t{1} << (i - 1);
+        std::uint64_t hi = Histogram::bucketUpperEdge(i);
+        EXPECT_EQ(Histogram::bucketIndex(lo), i);
+        EXPECT_EQ(Histogram::bucketIndex(hi), i);
+        EXPECT_EQ(Histogram::bucketIndex(hi + 1), i + 1);
+    }
+    // The last bucket absorbs everything beyond its lower edge.
+    constexpr std::size_t last = Histogram::kBuckets - 1;
+    EXPECT_EQ(Histogram::bucketIndex(std::uint64_t{1} << (last - 1)),
+              last);
+    EXPECT_EQ(Histogram::bucketIndex(std::uint64_t{1} << 63), last);
+    EXPECT_EQ(Histogram::bucketIndex(~std::uint64_t{0}), last);
+}
+
+TEST(HistogramTest, RecordCountSumMax)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    h.record(0);
+    h.record(5);
+    h.record(100);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 105u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(Histogram::bucketIndex(5)), 1u);
+    EXPECT_EQ(h.bucketCount(Histogram::bucketIndex(100)), 1u);
+}
+
+TEST(HistogramTest, QuantilesReportBucketUpperEdge)
+{
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(5); // all land in bucket 3 = [4, 7]
+    EXPECT_EQ(h.p50(), 7u);
+    EXPECT_EQ(h.p95(), 7u);
+    EXPECT_EQ(h.p99(), 7u);
+
+    // 90 small + 10 large: p50 stays small, p99 reports the tail.
+    Histogram mix;
+    for (int i = 0; i < 90; ++i)
+        mix.record(2);
+    for (int i = 0; i < 10; ++i)
+        mix.record(1000);
+    EXPECT_EQ(mix.p50(), 3u); // bucket 2 = [2, 3]
+    EXPECT_EQ(mix.p99(), 1023u); // bucket 10 = [512, 1023]
+}
+
+TEST(HistogramTest, OverflowBucketReportsRecordedMax)
+{
+    Histogram h;
+    std::uint64_t huge = std::uint64_t{1} << 62;
+    h.record(huge);
+    EXPECT_EQ(h.quantile(1.0), huge);
+    EXPECT_EQ(h.p50(), huge);
+}
+
+TEST(HistogramTest, MergeAddsBucketsAndKeepsMax)
+{
+    Histogram a, b;
+    a.record(1);
+    a.record(6);
+    b.record(6);
+    b.record(4000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.sum(), 1u + 6 + 6 + 4000);
+    EXPECT_EQ(a.max(), 4000u);
+    EXPECT_EQ(a.bucketCount(Histogram::bucketIndex(6)), 2u);
+    EXPECT_EQ(a.bucketCount(Histogram::bucketIndex(4000)), 1u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.max(), 0u);
+    EXPECT_EQ(a.quantile(0.99), 0u);
+}
+
+// --- Registry ------------------------------------------------------------
+
+TEST(MetricsRegistryTest, NamesResolveToStableAddresses)
+{
+    MetricsRegistry reg;
+    Counter &c1 = reg.counter("test.counter");
+    Counter &c2 = reg.counter("test.counter");
+    EXPECT_EQ(&c1, &c2);
+    c1.inc();
+    c2.add(4);
+    EXPECT_EQ(c1.value(), 5u);
+
+    Gauge &g = reg.gauge("test.gauge");
+    g.set(-3);
+    g.add(1);
+    EXPECT_EQ(reg.gauge("test.gauge").value(), -2);
+
+    Histogram &h = reg.histogram("test.hist");
+    h.record(9);
+    EXPECT_EQ(&h, &reg.histogram("test.hist"));
+
+    auto counters = reg.counters();
+    ASSERT_EQ(counters.size(), 1u);
+    EXPECT_EQ(counters[0].first, "test.counter");
+    EXPECT_EQ(counters[0].second, 5u);
+
+    auto hists = reg.histograms();
+    ASSERT_EQ(hists.size(), 1u);
+    EXPECT_EQ(hists[0].second.count, 1u);
+    ASSERT_EQ(hists[0].second.buckets.size(), 1u);
+
+    reg.reset();
+    EXPECT_EQ(reg.counter("test.counter").value(), 0u);
+    EXPECT_EQ(reg.gauge("test.gauge").value(), 0);
+    EXPECT_EQ(reg.histogram("test.hist").count(), 0u);
+    // Names stay registered after reset.
+    EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+// --- PmAttribution -------------------------------------------------------
+
+TEST(PmAttributionTest, BillsPhaseAndSite)
+{
+    PmAttribution attr;
+    attr.onPmStore("siteA", pm::Component::LogFlush, 64);
+    attr.onPmStore("siteA", pm::Component::LogFlush, 32);
+    attr.onPmFlush("siteA", pm::Component::LogFlush);
+    attr.onPmFence("siteB", pm::Component::Checkpoint);
+    attr.onPmModelNs("siteB", pm::Component::Checkpoint, 300);
+
+    PmCellSnapshot lf = attr.phase(pm::Component::LogFlush);
+    EXPECT_EQ(lf.stores, 2u);
+    EXPECT_EQ(lf.storeBytes, 96u);
+    EXPECT_EQ(lf.flushes, 1u);
+    EXPECT_EQ(lf.fences, 0u);
+
+    PmCellSnapshot cp = attr.phase(pm::Component::Checkpoint);
+    EXPECT_EQ(cp.fences, 1u);
+    EXPECT_EQ(cp.modelNs, 300u);
+    EXPECT_TRUE(attr.phase(pm::Component::Defrag).empty());
+
+    auto sites = attr.sites();
+    ASSERT_EQ(sites.size(), 2u);
+    EXPECT_EQ(sites[0].first, "siteA");
+    EXPECT_EQ(sites[0].second.stores, 2u);
+    EXPECT_EQ(sites[0].second.flushes, 1u);
+    EXPECT_EQ(sites[1].first, "siteB");
+    EXPECT_EQ(sites[1].second.modelNs, 300u);
+
+    attr.reset();
+    EXPECT_TRUE(attr.phase(pm::Component::LogFlush).empty());
+}
+
+TEST(PmAttributionTest, NullSiteBilledAsUntagged)
+{
+    PmAttribution attr;
+    attr.onPmFlush(nullptr, pm::Component::None);
+    auto sites = attr.sites();
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_EQ(sites[0].first, "(untagged)");
+    EXPECT_EQ(sites[0].second.flushes, 1u);
+}
+
+TEST(PmAttributionTest, ContentEqualTagsShareOneSlot)
+{
+    // Identical literals can have distinct addresses across TUs; the
+    // table must fall back to content equality.
+    PmAttribution attr;
+    std::string a = "same-site", b = "same-site";
+    ASSERT_NE(a.c_str(), b.c_str());
+    attr.onPmFlush(a.c_str(), pm::Component::None);
+    attr.onPmFlush(b.c_str(), pm::Component::None);
+    auto sites = attr.sites();
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_EQ(sites[0].second.flushes, 2u);
+}
+
+TEST(PmAttributionTest, SlotTableOverflowFoldsIntoOverflowSite)
+{
+    PmAttribution attr;
+    std::deque<std::string> tags; // stable c_str() addresses
+    for (std::size_t i = 0; i < PmAttribution::kMaxSites + 10; ++i) {
+        tags.push_back("site-" + std::to_string(i));
+        attr.onPmFlush(tags.back().c_str(), pm::Component::None);
+    }
+    auto sites = attr.sites();
+    ASSERT_EQ(sites.size(), PmAttribution::kMaxSites + 1);
+    EXPECT_EQ(sites.back().first, "(overflow)");
+    EXPECT_EQ(sites.back().second.flushes, 10u);
+    std::uint64_t total = 0;
+    for (const auto &[name, cell] : sites)
+        total += cell.flushes;
+    EXPECT_EQ(total, PmAttribution::kMaxSites + 10);
+}
+
+TEST(PhaseLedgerTest, FoldAccumulatesPerEngine)
+{
+    PhaseLedger::global().reset();
+    PmAttribution attr;
+    attr.onPmFlush("s", pm::Component::LogFlush);
+    PhaseLedger::global().fold("ENGINE_A", attr);
+    PhaseLedger::global().fold("ENGINE_A", attr); // sweep: accumulate
+    PhaseLedger::global().fold("ENGINE_B", attr);
+
+    auto entries = PhaseLedger::global().entries();
+    ASSERT_EQ(entries.size(), 2u);
+    std::size_t lf = static_cast<std::size_t>(pm::Component::LogFlush);
+    EXPECT_EQ(entries[0].engine, "ENGINE_A");
+    EXPECT_EQ(entries[0].phases[lf].flushes, 2u);
+    ASSERT_EQ(entries[0].sites.size(), 1u);
+    EXPECT_EQ(entries[0].sites[0].second.flushes, 2u);
+    EXPECT_EQ(entries[1].engine, "ENGINE_B");
+    EXPECT_EQ(entries[1].phases[lf].flushes, 1u);
+    PhaseLedger::global().reset();
+    EXPECT_TRUE(PhaseLedger::global().entries().empty());
+}
+
+// --- TraceRing -----------------------------------------------------------
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(TraceRing(1).capacity(), 8u);
+    EXPECT_EQ(TraceRing(8).capacity(), 8u);
+    EXPECT_EQ(TraceRing(9).capacity(), 16u);
+    EXPECT_EQ(TraceRing(4096).capacity(), 4096u);
+}
+
+TEST(TraceRingTest, OverflowOverwritesOldestAndCountsDropped)
+{
+    TraceRing ring(8);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        TraceEvent ev;
+        ev.seq = i;
+        ev.op = TraceOp::TxCommit;
+        ev.pageId = i;
+        ring.record(ev);
+    }
+    EXPECT_EQ(ring.recorded(), 20u);
+    EXPECT_EQ(ring.dropped(), 12u);
+    auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), 8u);
+    // Retained events are the newest 8, oldest first.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].seq, 12 + i);
+        EXPECT_EQ(events[i].pageId, 12 + i);
+    }
+    ring.reset();
+    EXPECT_EQ(ring.recorded(), 0u);
+    EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(TraceRingTest, PartialFillSnapshotsInOrder)
+{
+    TraceRing ring(16);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        TraceEvent ev;
+        ev.seq = 100 + i;
+        ring.record(ev);
+    }
+    EXPECT_EQ(ring.dropped(), 0u);
+    auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), 5u);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].seq, 100 + i);
+}
+
+TEST(TracerTest, CollectMergesRingsBySequence)
+{
+    Tracer tracer(64);
+    tracer.record(TraceOp::TxCommit, "FAST", 7, "in-place");
+    std::thread other([&] {
+        tracer.record(TraceOp::TxAbort, "FASH", 9);
+        tracer.record(TraceOp::RtmAbort, nullptr, 0, "capacity");
+    });
+    other.join();
+    tracer.record(TraceOp::PageAlloc, "FAST", 11);
+
+    EXPECT_EQ(tracer.ringCount(), 2u);
+    EXPECT_EQ(tracer.totalRecorded(), 4u);
+    EXPECT_EQ(tracer.totalDropped(), 0u);
+    auto events = tracer.collect();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GT(events[i].seq, events[i - 1].seq);
+    EXPECT_STREQ(events[0].engine, "FAST");
+    EXPECT_STREQ(events[0].detail, "in-place");
+    EXPECT_EQ(events[0].pageId, 7u);
+
+    tracer.reset();
+    EXPECT_EQ(tracer.totalRecorded(), 0u);
+    EXPECT_TRUE(tracer.collect().empty());
+}
+
+TEST(TracerTest, TraceOpNamesAreStable)
+{
+    EXPECT_STREQ(traceOpName(TraceOp::TxCommit), "tx-commit");
+    EXPECT_STREQ(traceOpName(TraceOp::RtmAbort), "rtm-abort");
+    EXPECT_STREQ(traceOpName(TraceOp::Recovery), "recovery");
+}
+
+// --- Concurrent recording stress (run under TSan in CI) ------------------
+
+TEST(ObsStressTest, ConcurrentRecordingFromManyThreads)
+{
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kOpsPerThread = 20000;
+
+    MetricsRegistry reg;
+    Counter &counter = reg.counter("stress.ops");
+    Histogram &hist = reg.histogram("stress.latency");
+    PmAttribution attr;
+    Tracer tracer(256);
+    static const char *kSites[] = {"stress.a", "stress.b", "stress.c"};
+
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+                counter.inc();
+                hist.record(i % 5000);
+                const char *site = kSites[i % 3];
+                auto phase = static_cast<pm::Component>(
+                    i % PmAttribution::kNumPhases);
+                attr.onPmStore(site, phase, 64);
+                attr.onPmFlush(site, phase);
+                attr.onPmFence(site, phase);
+                attr.onPmModelNs(site, phase, 10);
+                if (i % 16 == 0)
+                    tracer.record(TraceOp::TxCommit, "FAST",
+                                  t * kOpsPerThread + i);
+                // Concurrent registry lookups must also be safe.
+                if (i % 4096 == 0)
+                    reg.counter("stress.ops").inc();
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    constexpr std::uint64_t kOps = kThreads * kOpsPerThread;
+    EXPECT_GE(counter.value(), kOps);
+    EXPECT_EQ(hist.count(), kOps);
+
+    std::uint64_t phase_flushes = 0;
+    for (std::size_t i = 0; i < PmAttribution::kNumPhases; ++i)
+        phase_flushes +=
+            attr.phase(static_cast<pm::Component>(i)).flushes;
+    EXPECT_EQ(phase_flushes, kOps);
+
+    std::uint64_t site_flushes = 0;
+    auto sites = attr.sites();
+    EXPECT_EQ(sites.size(), 3u);
+    for (const auto &[name, cell] : sites)
+        site_flushes += cell.flushes;
+    EXPECT_EQ(site_flushes, kOps);
+
+    EXPECT_EQ(tracer.ringCount(), kThreads);
+    EXPECT_EQ(tracer.totalRecorded(), kOps / 16);
+    auto events = tracer.collect();
+    EXPECT_EQ(events.size() + tracer.totalDropped(),
+              tracer.totalRecorded());
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].seq, events[i - 1].seq);
+}
+
+} // namespace
+} // namespace fasp::obs

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Property-based fuzz of the slotted page against a std::map reference
+ * model: long random insert/update/delete/drop/defrag sequences at
+ * page sizes from 512 B to 4 KB, with the page re-checked against the
+ * model (and its own integrity/free-list invariants) throughout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "page/page_io.h"
+#include "page/slotted_page.h"
+
+namespace fasp::page {
+namespace {
+
+/** Reference model: key -> full payload (key bytes + value bytes). */
+using Model = std::map<std::uint64_t, std::vector<std::uint8_t>>;
+
+class SlottedPageFuzzTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    SlottedPageFuzzTest()
+        : pageSize_(GetParam()), buf_(pageSize_, 0),
+          io_(buf_.data(), pageSize_)
+    {
+        init(io_, PageType::Leaf, 0);
+    }
+
+    std::vector<std::uint8_t>
+    makePayload(std::uint64_t key, std::size_t value_len, Rng &rng)
+    {
+        std::vector<std::uint8_t> payload(8 + value_len);
+        storeU64(payload.data(), key);
+        if (value_len)
+            rng.fillBytes(payload.data() + 8, value_len);
+        return payload;
+    }
+
+    /** Compact into a fresh buffer and swap it in. */
+    void
+    defrag()
+    {
+        std::vector<std::uint8_t> fresh(pageSize_, 0);
+        BufferPageIO dst(fresh.data(), pageSize_);
+        ASSERT_TRUE(defragmentInto(io_, dst).isOk());
+        buf_.swap(fresh);
+        io_ = BufferPageIO(buf_.data(), pageSize_);
+    }
+
+    /** Full cross-check of page contents vs. the model. */
+    void
+    verifyAgainst(const Model &model)
+    {
+        Status integrity = checkIntegrity(io_);
+        ASSERT_TRUE(integrity.isOk()) << integrity.toString();
+        ASSERT_TRUE(freeListConsistent(io_));
+        ASSERT_EQ(numRecords(io_), model.size());
+        std::uint16_t slot = 0;
+        std::vector<std::uint8_t> payload;
+        for (const auto &[key, expected] : model) {
+            ASSERT_EQ(recordKey(io_, slot), key);
+            auto found = lowerBound(io_, key);
+            ASSERT_TRUE(found.found);
+            ASSERT_EQ(found.slot, slot);
+            readPayload(io_, slot, payload);
+            ASSERT_EQ(payload, expected);
+            ++slot;
+        }
+    }
+
+    std::size_t pageSize_;
+    std::vector<std::uint8_t> buf_;
+    BufferPageIO io_;
+};
+
+TEST_P(SlottedPageFuzzTest, RandomOpsMatchReferenceModel)
+{
+    Model model;
+    Rng rng(0x5eed0000 + pageSize_);
+    // Value sizes scale with the page so small pages still exercise
+    // both the multi-record and the page-full paths.
+    const std::size_t max_value = pageSize_ / 16;
+    const std::size_t ops = 6000;
+    std::uint64_t defrags = 0, full_rejects = 0;
+
+    for (std::size_t op = 0; op < ops; ++op) {
+        std::uint32_t dice = rng.nextBounded(100);
+        if (dice < 55 || model.empty()) {
+            // Insert a fresh key.
+            std::uint64_t key = rng.nextBounded(10000) + 1;
+            if (model.count(key))
+                continue;
+            auto payload =
+                makePayload(key, rng.nextBounded(max_value + 1), rng);
+            FitResult fit = checkFit(
+                io_, static_cast<std::uint16_t>(payload.size()), true);
+            if (fit == FitResult::NeedsDefrag) {
+                ASSERT_NO_FATAL_FAILURE(defrag());
+                ++defrags;
+                fit = checkFit(
+                    io_, static_cast<std::uint16_t>(payload.size()),
+                    true);
+            }
+            if (fit != FitResult::Fits) {
+                ++full_rejects;
+                continue; // page genuinely full: a split elsewhere
+            }
+            ASSERT_TRUE(
+                insertRecord(io_, key,
+                             std::span<const std::uint8_t>(payload))
+                    .isOk());
+            model.emplace(key, std::move(payload));
+        } else if (dice < 75) {
+            // Update an existing key with a new-length payload.
+            auto it = model.begin();
+            std::advance(it, rng.nextBounded(model.size()));
+            auto payload = makePayload(
+                it->first, rng.nextBounded(max_value + 1), rng);
+            FitResult fit = checkFit(
+                io_, static_cast<std::uint16_t>(payload.size()),
+                false);
+            if (fit == FitResult::NeedsDefrag) {
+                ASSERT_NO_FATAL_FAILURE(defrag());
+                ++defrags;
+                fit = checkFit(
+                    io_, static_cast<std::uint16_t>(payload.size()),
+                    false);
+            }
+            if (fit != FitResult::Fits) {
+                ++full_rejects;
+                continue;
+            }
+            auto found = lowerBound(io_, it->first);
+            ASSERT_TRUE(found.found);
+            RecordRef old_ref{};
+            ASSERT_TRUE(
+                updateRecord(io_, found.slot,
+                             std::span<const std::uint8_t>(payload),
+                             &old_ref)
+                    .isOk());
+            reclaimExtent(io_, old_ref);
+            it->second = std::move(payload);
+        } else if (dice < 92) {
+            // Erase an existing key.
+            auto it = model.begin();
+            std::advance(it, rng.nextBounded(model.size()));
+            auto found = lowerBound(io_, it->first);
+            ASSERT_TRUE(found.found);
+            RecordRef old_ref{};
+            ASSERT_TRUE(eraseRecord(io_, found.slot, &old_ref).isOk());
+            reclaimExtent(io_, old_ref);
+            model.erase(it);
+        } else if (dice < 96) {
+            // Split-style bulk removal of the lowest slots.
+            std::uint16_t nrec = numRecords(io_);
+            if (nrec < 2)
+                continue;
+            auto count = static_cast<std::uint16_t>(
+                1 + rng.nextBounded(nrec / 2));
+            std::vector<RecordRef> dropped;
+            ASSERT_TRUE(dropLowerSlots(io_, count, &dropped).isOk());
+            ASSERT_EQ(dropped.size(), count);
+            for (const RecordRef &ref : dropped)
+                reclaimExtent(io_, ref);
+            model.erase(model.begin(), std::next(model.begin(), count));
+        } else if (dice < 98) {
+            // Crash-recovery path: rebuild the scratch free list.
+            rebuildFreeList(io_);
+            ASSERT_TRUE(freeListConsistent(io_));
+        } else {
+            ASSERT_NO_FATAL_FAILURE(defrag());
+            ++defrags;
+        }
+
+        if (op % 97 == 0) {
+            ASSERT_NO_FATAL_FAILURE(verifyAgainst(model))
+                << "op " << op;
+        } else {
+            Status integrity = checkIntegrity(io_);
+            ASSERT_TRUE(integrity.isOk())
+                << integrity.toString() << " at op " << op;
+        }
+    }
+
+    ASSERT_NO_FATAL_FAILURE(verifyAgainst(model));
+    // The sequence must have actually exercised the interesting paths.
+    EXPECT_GT(defrags, 0u) << "fuzz never hit the defrag path";
+    if (pageSize_ <= 1024) {
+        EXPECT_GT(full_rejects, 0u)
+            << "small pages should hit NeedsSplit";
+    }
+
+    // Probe lowerBound on keys around the model contents.
+    for (int i = 0; i < 500; ++i) {
+        std::uint64_t probe = rng.nextBounded(11000);
+        auto it = model.lower_bound(probe);
+        auto found = lowerBound(io_, probe);
+        if (it == model.end()) {
+            EXPECT_EQ(found.slot, numRecords(io_));
+            EXPECT_FALSE(found.found);
+        } else {
+            EXPECT_EQ(found.found, it->first == probe);
+            EXPECT_EQ(recordKey(io_, found.slot), it->first);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, SlottedPageFuzzTest,
+                         ::testing::Values(512, 1024, 2048, 4096),
+                         [](const auto &info) {
+                             return std::to_string(info.param) + "B";
+                         });
+
+} // namespace
+} // namespace fasp::page

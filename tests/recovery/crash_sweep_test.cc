@@ -22,6 +22,14 @@
  * (paper Section 3.2), so FAST is exercised under the line-granular
  * policies while FASH — which the paper offers exactly for
  * sub-cache-line atomic units — is additionally run under TornLines.
+ *
+ * The ForcedFallback cases pin FAST to its slot-header-log fallback
+ * (rtm.abortProbability = 1 with a one-attempt retry budget, paper
+ * §3.2 footnote 1), so the sweep walks every crash point of the
+ * multi-page logged commit — including the CoW-defragmentation and
+ * leaf-split window ops — under adversarial partial-line persistence.
+ * The logged path never relies on line atomicity, so it must survive
+ * TornLines too, unlike the in-place commit.
  */
 
 #include <gtest/gtest.h>
@@ -205,6 +213,9 @@ struct SweepCase
 {
     EngineKind kind;
     CrashPolicy policy;
+    /** Force FAST's RTM to abort every attempt so each commit takes
+     *  the slot-header-log fallback path. */
+    bool forceFallback = false;
 };
 
 class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
@@ -219,6 +230,10 @@ class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
         cfg.kind = GetParam().kind;
         cfg.format.logLen = 1u << 20;
         cfg.volatileCachePages = 512;
+        if (GetParam().forceFallback) {
+            cfg.rtm.abortProbability = 1.0;
+            cfg.rtmRetriesBeforeFallback = 1;
+        }
         return cfg;
     }
 
@@ -289,6 +304,12 @@ class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
                 return true;
             }
             model[key] = v;
+        }
+        if (GetParam().forceFallback) {
+            // The knob must actually detour the in-place-eligible seed
+            // commits through the log, or the sweep proves nothing.
+            EXPECT_GT(engine->stats().rtmFallbacks.load(), 0u);
+            EXPECT_EQ(engine->stats().inPlaceCommits.load(), 0u);
         }
 
         // Arm the injector relative to the current event count.
@@ -368,6 +389,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         SweepCase{EngineKind::Fast, CrashPolicy::DropAll},
         SweepCase{EngineKind::Fast, CrashPolicy::RandomLines},
+        SweepCase{EngineKind::Fast, CrashPolicy::DropAll, true},
+        SweepCase{EngineKind::Fast, CrashPolicy::RandomLines, true},
+        SweepCase{EngineKind::Fast, CrashPolicy::TornLines, true},
         SweepCase{EngineKind::Fash, CrashPolicy::DropAll},
         SweepCase{EngineKind::Fash, CrashPolicy::RandomLines},
         SweepCase{EngineKind::Fash, CrashPolicy::TornLines},
@@ -386,7 +410,8 @@ INSTANTIATE_TEST_SUITE_P(
           case CrashPolicy::TornLines: policy = "TornLines"; break;
         }
         return std::string(engineKindName(info.param.kind)) + "_" +
-               policy;
+               policy +
+               (info.param.forceFallback ? "_ForcedFallback" : "");
     });
 
 } // namespace

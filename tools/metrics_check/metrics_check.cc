@@ -1,0 +1,585 @@
+/**
+ * @file
+ * Schema self-check for the bench harness's machine-readable outputs
+ * (ISSUE 4 satellite 4). Runs a bench binary with --smoke --json
+ * --metrics, then validates both files with a built-in minimal JSON
+ * parser:
+ *
+ *  - the --json report: {"bench", "tables": [{title, columns, rows}]}
+ *    with rectangular rows — the missing-field regression guard for
+ *    the CI bench-smoke artifacts;
+ *  - the --metrics export: schema_version, counters / gauges /
+ *    histograms (complete summary fields), pm_phases / pm_sites /
+ *    trace sections.
+ *
+ * With --fig8, additionally asserts that the export alone reproduces
+ * the paper's Figure-8 commit breakdown for FAST / FASH / NVWAL:
+ * log-flush activity for all three, checkpointing for the logging
+ * engines, and the atomic 64-B header write for FAST (the PR's
+ * acceptance criterion).
+ *
+ * Usage: metrics_check [--fig8] <bench-binary> [work-dir]
+ */
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- Minimal JSON parser -------------------------------------------------
+
+struct JsonValue
+{
+    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    bool isNumber() const { return kind == Number; }
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        auto it = fields.find(key);
+        return it == fields.end() ? nullptr : &it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    /** Parse the whole document; null on malformed input. */
+    std::unique_ptr<JsonValue>
+    parse()
+    {
+        auto value = std::make_unique<JsonValue>();
+        if (!parseValue(*value))
+            return nullptr;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters"), nullptr;
+        return value;
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_.empty()) {
+            error_ = what + " at byte " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = JsonValue::String;
+            return parseString(out.str);
+          case 't':
+          case 'f': return parseLiteral(out);
+          case 'n': return parseLiteral(out);
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Object;
+        if (!consume('{'))
+            return false;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            std::string key;
+            skipWs();
+            if (!parseString(key))
+                return false;
+            if (!consume(':'))
+                return false;
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.fields.emplace(std::move(key), std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Array;
+        if (!consume('['))
+            return false;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.items.push_back(std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("bad \\u escape");
+                    // ASCII-only decode: enough for this repo's output.
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    out += static_cast<char>(code & 0x7f);
+                    break;
+                  }
+                  default: return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseLiteral(JsonValue &out)
+    {
+        auto matches = [&](std::string_view lit) {
+            return text_.compare(pos_, lit.size(), lit) == 0;
+        };
+        if (matches("true")) {
+            out.kind = JsonValue::Bool;
+            out.boolean = true;
+            pos_ += 4;
+            return true;
+        }
+        if (matches("false")) {
+            out.kind = JsonValue::Bool;
+            pos_ += 5;
+            return true;
+        }
+        if (matches("null")) {
+            out.kind = JsonValue::Null;
+            pos_ += 4;
+            return true;
+        }
+        return fail("bad literal");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected number");
+        out.kind = JsonValue::Number;
+        out.number =
+            std::strtod(std::string(text_.substr(start, pos_ - start))
+                            .c_str(),
+                        nullptr);
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+// --- Check helpers -------------------------------------------------------
+
+int g_failures = 0;
+
+void
+report(const std::string &what)
+{
+    std::fprintf(stderr, "metrics_check: FAIL: %s\n", what.c_str());
+    ++g_failures;
+}
+
+bool
+check(bool ok, const std::string &what)
+{
+    if (!ok)
+        report(what);
+    return ok;
+}
+
+const JsonValue *
+requireField(const JsonValue &obj, const std::string &key,
+             JsonValue::Kind kind, const std::string &where)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v) {
+        report(where + ": missing field \"" + key + "\"");
+        return nullptr;
+    }
+    if (v->kind != kind) {
+        report(where + ": field \"" + key + "\" has wrong type");
+        return nullptr;
+    }
+    return v;
+}
+
+std::unique_ptr<JsonValue>
+loadJson(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        report("cannot open " + path);
+        return nullptr;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    JsonParser parser(text);
+    auto doc = parser.parse();
+    if (!doc)
+        report(path + ": malformed JSON: " + parser.error());
+    return doc;
+}
+
+// --- Bench --json report schema ------------------------------------------
+
+void
+checkBenchReport(const JsonValue &doc)
+{
+    requireField(doc, "bench", JsonValue::String, "report");
+    const JsonValue *tables =
+        requireField(doc, "tables", JsonValue::Array, "report");
+    if (!tables)
+        return;
+    check(!tables->items.empty(), "report: no tables");
+    for (std::size_t t = 0; t < tables->items.size(); ++t) {
+        const JsonValue &table = tables->items[t];
+        std::string where = "report table " + std::to_string(t);
+        if (!check(table.kind == JsonValue::Object,
+                   where + ": not an object"))
+            continue;
+        requireField(table, "title", JsonValue::String, where);
+        const JsonValue *columns =
+            requireField(table, "columns", JsonValue::Array, where);
+        const JsonValue *rows =
+            requireField(table, "rows", JsonValue::Array, where);
+        if (!columns || !rows)
+            continue;
+        for (std::size_t r = 0; r < rows->items.size(); ++r) {
+            const JsonValue &row = rows->items[r];
+            if (!check(row.kind == JsonValue::Array,
+                       where + " row " + std::to_string(r) +
+                           ": not an array"))
+                continue;
+            check(row.items.size() == columns->items.size(),
+                  where + " row " + std::to_string(r) +
+                      ": cell count mismatch");
+        }
+    }
+}
+
+// --- Metrics export schema -----------------------------------------------
+
+void
+checkCell(const JsonValue &cell, const std::string &where)
+{
+    for (const char *field :
+         {"stores", "store_bytes", "flushes", "fences", "model_ns"})
+        requireField(cell, field, JsonValue::Number, where);
+}
+
+void
+checkMetricsSchema(const JsonValue &doc)
+{
+    requireField(doc, "bench", JsonValue::String, "metrics");
+    const JsonValue *version =
+        requireField(doc, "schema_version", JsonValue::Number,
+                     "metrics");
+    if (version)
+        check(version->number == 1, "metrics: schema_version != 1");
+
+    const JsonValue *counters =
+        requireField(doc, "counters", JsonValue::Object, "metrics");
+    if (counters) {
+        for (const auto &[name, value] : counters->fields)
+            check(value.isNumber(),
+                  "counter \"" + name + "\" not a number");
+    }
+    requireField(doc, "gauges", JsonValue::Object, "metrics");
+
+    const JsonValue *hists =
+        requireField(doc, "histograms", JsonValue::Object, "metrics");
+    if (hists) {
+        for (const auto &[name, h] : hists->fields) {
+            std::string where = "histogram \"" + name + "\"";
+            if (!check(h.kind == JsonValue::Object,
+                       where + ": not an object"))
+                continue;
+            for (const char *field :
+                 {"count", "sum", "max", "p50", "p95", "p99"})
+                requireField(h, field, JsonValue::Number, where);
+            requireField(h, "buckets", JsonValue::Array, where);
+        }
+    }
+
+    const JsonValue *phases =
+        requireField(doc, "pm_phases", JsonValue::Object, "metrics");
+    if (phases) {
+        for (const auto &[engine, comps] : phases->fields) {
+            std::string where = "pm_phases." + engine;
+            if (!check(comps.kind == JsonValue::Object,
+                       where + ": not an object"))
+                continue;
+            for (const auto &[comp, cell] : comps.fields)
+                checkCell(cell, where + "." + comp);
+        }
+    }
+    const JsonValue *sites =
+        requireField(doc, "pm_sites", JsonValue::Object, "metrics");
+    if (sites) {
+        for (const auto &[engine, entries] : sites->fields) {
+            if (entries.kind != JsonValue::Object)
+                continue;
+            for (const auto &[site, cell] : entries.fields)
+                checkCell(cell, "pm_sites." + engine + "." + site);
+        }
+    }
+
+    const JsonValue *trace =
+        requireField(doc, "trace", JsonValue::Object, "metrics");
+    if (trace) {
+        for (const char *field : {"recorded", "dropped", "rings"})
+            requireField(*trace, field, JsonValue::Number, "trace");
+        const JsonValue *events =
+            requireField(*trace, "events", JsonValue::Array, "trace");
+        if (events) {
+            for (const JsonValue &ev : events->items) {
+                if (!check(ev.kind == JsonValue::Object,
+                           "trace event not an object"))
+                    continue;
+                for (const char *field :
+                     {"seq", "page", "model_ns", "duration_ns"})
+                    requireField(ev, field, JsonValue::Number,
+                                 "trace event");
+                requireField(ev, "op", JsonValue::String,
+                             "trace event");
+            }
+        }
+    }
+}
+
+// --- Figure 8 reproduction criteria --------------------------------------
+
+double
+cellField(const JsonValue &comps, const std::string &comp,
+          const std::string &field)
+{
+    const JsonValue *cell = comps.find(comp);
+    if (!cell)
+        return 0;
+    const JsonValue *v = cell->find(field);
+    return v && v->isNumber() ? v->number : 0;
+}
+
+/**
+ * The export alone must reproduce the paper's Fig-8 commit breakdown:
+ * every engine pays log flushes (NVWAL its differential log, FASH its
+ * always-on slot-header log, FAST the fallback path), the logging
+ * engines checkpoint, and FAST additionally commits via the atomic
+ * 64-B header write.
+ */
+void
+checkFig8(const JsonValue &doc)
+{
+    const JsonValue *phases = doc.find("pm_phases");
+    if (!phases || phases->kind != JsonValue::Object) {
+        report("fig8: pm_phases section missing");
+        return;
+    }
+    for (const char *engine : {"FAST", "FASH", "NVWAL"}) {
+        const JsonValue *comps = phases->find(engine);
+        if (!check(comps && comps->kind == JsonValue::Object,
+                   std::string("fig8: no pm_phases entry for ") +
+                       engine))
+            continue;
+        for (const char *field : {"flushes", "fences", "model_ns"}) {
+            check(cellField(*comps, "log-flush", field) > 0,
+                  std::string("fig8: ") + engine + " log-flush " +
+                      field + " is zero");
+        }
+    }
+    if (const JsonValue *fast = phases->find("FAST")) {
+        check(cellField(*fast, "atomic-64B-write", "flushes") > 0,
+              "fig8: FAST atomic-64B-write flushes is zero");
+        check(cellField(*fast, "checkpointing", "flushes") > 0,
+              "fig8: FAST checkpointing flushes is zero");
+    }
+    if (const JsonValue *fash = phases->find("FASH")) {
+        check(cellField(*fash, "checkpointing", "flushes") > 0,
+              "fig8: FASH checkpointing flushes is zero");
+        check(cellField(*fash, "atomic-64B-write", "flushes") == 0,
+              "fig8: FASH must never use the in-place commit");
+    }
+    if (const JsonValue *nvwal = phases->find("NVWAL")) {
+        check(cellField(*nvwal, "heap-management", "flushes") > 0,
+              "fig8: NVWAL heap-management flushes is zero");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool fig8 = false;
+    int arg = 1;
+    if (arg < argc && std::strcmp(argv[arg], "--fig8") == 0) {
+        fig8 = true;
+        ++arg;
+    }
+    if (arg >= argc) {
+        std::fprintf(
+            stderr,
+            "usage: metrics_check [--fig8] <bench-binary> [work-dir]\n");
+        return 2;
+    }
+    std::string bench = argv[arg++];
+    std::string dir = arg < argc ? argv[arg] : ".";
+    std::string json_path = dir + "/metrics_check.report.json";
+    std::string metrics_path = dir + "/metrics_check.metrics.json";
+
+    std::string cmd = bench + " --smoke --json=" + json_path +
+                      " --metrics=" + metrics_path + " > /dev/null";
+    std::fprintf(stderr, "metrics_check: running %s\n", cmd.c_str());
+    int rc = std::system(cmd.c_str()); // NOLINT(concurrency-mt-unsafe)
+    if (rc != 0) {
+        std::fprintf(stderr, "metrics_check: bench exited with %d\n",
+                     rc);
+        return 1;
+    }
+
+    if (auto report_doc = loadJson(json_path))
+        checkBenchReport(*report_doc);
+    if (auto metrics_doc = loadJson(metrics_path)) {
+        checkMetricsSchema(*metrics_doc);
+        if (fig8)
+            checkFig8(*metrics_doc);
+    }
+
+    if (g_failures) {
+        std::fprintf(stderr, "metrics_check: %d failure(s)\n",
+                     g_failures);
+        return 1;
+    }
+    std::fprintf(stderr, "metrics_check: OK\n");
+    return 0;
+}

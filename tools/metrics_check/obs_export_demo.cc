@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic exporter demo: builds a fixed registry / phase ledger /
+ * trace timeline and writes the JSON and Prometheus exports to the two
+ * paths given on the command line. A ctest diffs the output against
+ * golden files (tests/obs/golden/), so any unintentional change to the
+ * export schema fails the build's test suite.
+ *
+ * Usage: obs_export_demo <out.json> <out.prom>
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pm/phase.h"
+
+using namespace fasp;
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr,
+                     "usage: obs_export_demo <out.json> <out.prom>\n");
+        return 2;
+    }
+
+    obs::MetricsRegistry registry;
+    registry.counter("core.tx.commits").add(120);
+    registry.counter("htm.commits").add(90);
+    registry.counter("htm.aborts.capacity").add(3);
+    registry.gauge("bench.clients").set(4);
+    obs::Histogram &hist = registry.histogram("bench.txn_ns.FAST");
+    for (std::uint64_t v : {0u, 1u, 5u, 5u, 900u, 1500u, 70000u})
+        hist.record(v);
+
+    obs::PmAttribution fast_attr;
+    fast_attr.onPmStore("SlotHeaderLog::commit", pm::Component::LogFlush,
+                        64);
+    fast_attr.onPmFlush("SlotHeaderLog::commit",
+                        pm::Component::LogFlush);
+    fast_attr.onPmFence("SlotHeaderLog::commit",
+                        pm::Component::LogFlush);
+    fast_attr.onPmModelNs("SlotHeaderLog::commit",
+                          pm::Component::LogFlush, 750);
+    fast_attr.onPmFlush("FaspTransaction::commitInPlace",
+                        pm::Component::Atomic64BWrite);
+    fast_attr.onPmModelNs("FaspTransaction::commitInPlace",
+                          pm::Component::Atomic64BWrite, 300);
+    fast_attr.onPmStore(nullptr, pm::Component::Checkpoint, 128);
+
+    obs::PmAttribution nvwal_attr;
+    nvwal_attr.onPmFlush("NvwalLog::commitTx", pm::Component::LogFlush);
+    nvwal_attr.onPmFence("NvwalLog::commitTx", pm::Component::LogFlush);
+    nvwal_attr.onPmModelNs("NvwalLog::commitTx",
+                           pm::Component::HeapMgmt, 1200);
+
+    obs::PhaseLedger ledger;
+    ledger.fold("FAST", fast_attr);
+    ledger.fold("FAST", fast_attr); // latency sweep: accumulates
+    ledger.fold("NVWAL", nvwal_attr);
+
+    obs::Tracer tracer(16);
+    tracer.record(obs::TraceOp::TxCommit, "FAST", 7, "in-place", 450,
+                  900);
+    tracer.record(obs::TraceOp::RtmAbort, nullptr, 0, "capacity");
+    tracer.record(obs::TraceOp::TxFallback, "FAST", 7, nullptr, 120);
+    tracer.record(obs::TraceOp::Recovery, "NVWAL", 0, nullptr, 0,
+                  52000);
+
+    std::string json = obs::exportJson("obs_export_demo", registry,
+                                       ledger, tracer, 8);
+    std::string prom = obs::exportPrometheus("obs_export_demo",
+                                             registry, ledger, tracer);
+
+    std::ofstream jout(argv[1], std::ios::binary | std::ios::trunc);
+    jout << json;
+    std::ofstream pout(argv[2], std::ios::binary | std::ios::trunc);
+    pout << prom;
+    if (!jout.good() || !pout.good()) {
+        std::fprintf(stderr, "obs_export_demo: write failed\n");
+        return 1;
+    }
+    return 0;
+}
