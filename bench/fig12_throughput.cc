@@ -19,16 +19,139 @@
  */
 
 #include <cstdio>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "bench_util/mt_driver.h"
 #include "bench_util/runner.h"
 #include "bench_util/table.h"
+#include "btree/btree.h"
+#include "core/engine.h"
+#include "obs/metrics.h"
+#include "pm/device.h"
 
 using namespace fasp;
 using namespace fasp::benchutil;
 
 namespace {
+
+/**
+ * Recovery-time section: crash each engine mid-insert on a CacheSim
+ * device, re-open it (running recovery), and report the per-phase
+ * breakdown the engine layer records into the RecoveryLedger. One
+ * sample = one crash + one recovery; the p50/p95 columns summarise
+ * across samples.
+ */
+void
+runRecoverySamples(const BenchArgs &args, JsonReport &report)
+{
+    obs::RecoveryLedger::global().reset();
+    const std::size_t samples = args.smoke ? 3 : 8;
+    const std::uint64_t seed_keys = args.smoke ? 40 : 120;
+    const std::vector<std::uint8_t> val(64, 0x5a);
+    auto as_span = [&] {
+        return std::span<const std::uint8_t>(val);
+    };
+
+    for (core::EngineKind kind : allEngines()) {
+        for (std::size_t s = 0; s < samples; ++s) {
+            pm::PmConfig pmcfg;
+            pmcfg.size = 6u << 20;
+            pmcfg.mode = pm::PmMode::CacheSim;
+            pmcfg.crashPolicy = pm::CrashPolicy::DropAll;
+            pmcfg.crashSeed = s * 7919 + 13;
+            pm::PmDevice device(pmcfg);
+
+            core::EngineConfig cfg;
+            cfg.kind = kind;
+            cfg.format.logLen = 1u << 20;
+            cfg.volatileCachePages = 512;
+
+            auto created =
+                core::Engine::create(device, cfg, /*format=*/true);
+            if (!created.isOk()) {
+                std::fprintf(stderr, "recovery bench: %s\n",
+                             created.status().toString().c_str());
+                return;
+            }
+            std::unique_ptr<core::Engine> engine = std::move(*created);
+            auto tree_res = engine->createTree(1);
+            if (!tree_res.isOk()) {
+                std::fprintf(stderr, "recovery bench: %s\n",
+                             tree_res.status().toString().c_str());
+                return;
+            }
+            btree::BTree tree = *tree_res;
+            for (std::uint64_t key = 1; key <= seed_keys; ++key) {
+                if (!engine->insert(tree, key, as_span()).isOk())
+                    break;
+            }
+
+            // Crash partway into the next batch; vary the point per
+            // sample so recovery sees different amounts of log tail.
+            pm::PointCrashInjector injector(device.eventCount() + 24 +
+                                            s * 31);
+            device.setCrashInjector(&injector);
+            try {
+                for (std::uint64_t key = 10000; key < 12000; ++key) {
+                    if (!engine->insert(tree, key, as_span()).isOk())
+                        break;
+                }
+            } catch (const pm::CrashException &) {
+            }
+            device.setCrashInjector(nullptr);
+            engine.reset();
+            if (!device.crashed())
+                continue; // window overshot: nothing to recover
+            device.reviveAfterCrash();
+
+            auto recovered =
+                core::Engine::create(device, cfg, /*format=*/false);
+            if (!recovered.isOk()) {
+                std::fprintf(stderr, "recovery bench: %s\n",
+                             recovered.status().toString().c_str());
+                return;
+            }
+        }
+    }
+
+    Table phases({"engine", "phase", "samples", "p50(ns)", "p95(ns)",
+                  "mean(ns)"});
+    Table totals({"engine", "recoveries", "pages-scanned", "replayed",
+                  "discarded", "torn"});
+    for (const obs::RecoveryLedger::EntrySnapshot &entry :
+         obs::RecoveryLedger::global().entries()) {
+        totals.addRow({entry.engine, Table::fmt(entry.recoveries),
+                       Table::fmt(entry.pagesScanned),
+                       Table::fmt(entry.recordsReplayed),
+                       Table::fmt(entry.recordsDiscarded),
+                       Table::fmt(entry.tornRecords)});
+        for (std::size_t p = 0; p < obs::kNumRecoveryPhases; ++p) {
+            const obs::HistogramSnapshot &h = entry.phases[p];
+            phases.addRow(
+                {entry.engine,
+                 obs::recoveryPhaseName(
+                     static_cast<obs::RecoveryPhase>(p)),
+                 Table::fmt(h.count), Table::fmt(h.p50),
+                 Table::fmt(h.p95),
+                 Table::fmt(h.count > 0 ? static_cast<double>(h.sum) /
+                                              static_cast<double>(
+                                                  h.count)
+                                        : 0.0,
+                            0)});
+        }
+    }
+
+    std::string phase_title =
+        "Figure 12 (recovery): post-crash recovery time by phase";
+    std::string totals_title =
+        "Figure 12 (recovery): recovery work counters";
+    phases.print(phase_title);
+    totals.print(totals_title);
+    report.add(phase_title, phases);
+    report.add(totals_title, totals);
+}
 
 int
 runLatencySweep(const BenchArgs &args)
@@ -64,6 +187,7 @@ runLatencySweep(const BenchArgs &args)
 
     JsonReport report(args.jsonPath, "fig12_throughput");
     report.add(title, table);
+    runRecoverySamples(args, report);
     report.write();
     args.writeMetrics("fig12_throughput");
     return 0;

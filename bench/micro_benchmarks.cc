@@ -9,7 +9,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -201,29 +200,18 @@ BENCHMARK(BM_EngineInsert)
 
 } // namespace
 
-// Expanded BENCHMARK_MAIN so the harness accepts the repo-wide
-// --metrics=PATH flag: BenchArgs::parse consumes it (and enables the
-// obs layer) before google-benchmark sees argv, which would otherwise
-// reject the unknown flag.
+// Expanded BENCHMARK_MAIN so the harness accepts the repo-wide bench
+// flags (--metrics, --trace, --flight-recorder, ...) in either
+// `--flag=value` or `--flag value` form: parseAndStrip consumes them
+// (enabling the obs layer as needed) before google-benchmark sees
+// argv, which would otherwise reject the unknown flags.
 int
 main(int argc, char **argv)
 {
-    benchutil::BenchArgs args = benchutil::BenchArgs::parse(argc, argv);
-    std::vector<char *> bench_argv;
-    for (int i = 0; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--metrics=", 10) == 0 ||
-            std::strncmp(argv[i], "--json=", 7) == 0 ||
-            std::strcmp(argv[i], "--smoke") == 0 ||
-            std::strcmp(argv[i], "--quick") == 0 ||
-            std::strncmp(argv[i], "--n=", 4) == 0) {
-            continue;
-        }
-        bench_argv.push_back(argv[i]);
-    }
-    int bench_argc = static_cast<int>(bench_argv.size());
-    benchmark::Initialize(&bench_argc, bench_argv.data());
-    if (benchmark::ReportUnrecognizedArguments(bench_argc,
-                                               bench_argv.data()))
+    benchutil::BenchArgs args =
+        benchutil::BenchArgs::parseAndStrip(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "db/database.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace fasp::benchutil {
@@ -93,42 +94,130 @@ latencyLabel(const pm::LatencyModel &latency)
            std::to_string(latency.pmWriteNs);
 }
 
+namespace {
+
+/**
+ * Match argv[i] against --NAME, accepting both `--NAME=value` and
+ * `--NAME value` spellings. On a match, *value points at the value
+ * (or nullptr for a bare flag) and *consumed is how many argv slots
+ * the flag used (1 or 2).
+ */
+bool
+matchFlag(int argc, char **argv, int i, const char *name,
+          bool wantsValue, const char **value, int *consumed)
+{
+    const char *arg = argv[i];
+    std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0)
+        return false;
+    if (arg[len] == '\0') {
+        if (!wantsValue) {
+            *value = nullptr;
+            *consumed = 1;
+            return true;
+        }
+        if (i + 1 < argc) {
+            *value = argv[i + 1];
+            *consumed = 2;
+            return true;
+        }
+        return false; // --flag at argv end with no value: not ours
+    }
+    if (arg[len] == '=' && wantsValue) {
+        *value = arg + len + 1;
+        *consumed = 1;
+        return true;
+    }
+    return false; // e.g. --ns=... must not match --n
+}
+
 BenchArgs
-BenchArgs::parse(int argc, char **argv)
+parseImpl(int &argc, char **argv, bool strip)
 {
     BenchArgs args;
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strncmp(arg, "--n=", 4) == 0) {
+    int out = 1;
+    int i = 1;
+    while (i < argc) {
+        const char *value = nullptr;
+        int consumed = 0;
+        bool matched = false;
+        if (matchFlag(argc, argv, i, "--n", true, &value, &consumed)) {
             args.numTxns =
-                static_cast<std::size_t>(std::atoll(arg + 4));
-        } else if (std::strcmp(arg, "--quick") == 0) {
+                static_cast<std::size_t>(std::atoll(value));
+            matched = true;
+        } else if (matchFlag(argc, argv, i, "--quick", false, &value,
+                             &consumed)) {
             args.numTxns = 2000;
-        } else if (std::strcmp(arg, "--smoke") == 0) {
+            matched = true;
+        } else if (matchFlag(argc, argv, i, "--smoke", false, &value,
+                             &consumed)) {
             args.smoke = true;
             args.numTxns = 300;
-        } else if (std::strncmp(arg, "--json=", 7) == 0) {
-            args.jsonPath = arg + 7;
-        } else if (std::strncmp(arg, "--clients=", 10) == 0) {
+            matched = true;
+        } else if (matchFlag(argc, argv, i, "--json", true, &value,
+                             &consumed)) {
+            args.jsonPath = value;
+            matched = true;
+        } else if (matchFlag(argc, argv, i, "--clients", true, &value,
+                             &consumed)) {
             args.clients =
-                static_cast<std::size_t>(std::atoll(arg + 10));
-        } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
-            args.metricsPath = arg + 10;
+                static_cast<std::size_t>(std::atoll(value));
+            matched = true;
+        } else if (matchFlag(argc, argv, i, "--metrics", true, &value,
+                             &consumed)) {
+            args.metricsPath = value;
             obs::setEnabled(true);
+            matched = true;
+        } else if (matchFlag(argc, argv, i, "--trace", true, &value,
+                             &consumed)) {
+            args.tracePath = value;
+            obs::setEnabled(true);
+            matched = true;
+        } else if (matchFlag(argc, argv, i, "--flight-recorder", false,
+                             &value, &consumed)) {
+            args.flightRecorder = true;
+            obs::FlightRecorder::setEnabled(true);
+            matched = true;
         }
+        if (matched) {
+            i += consumed;
+            continue;
+        }
+        if (strip)
+            argv[out++] = argv[i];
+        ++i;
+    }
+    if (strip) {
+        argc = out;
+        argv[argc] = nullptr;
     }
     if (args.numTxns == 0)
         args.numTxns = 1;
     return args;
 }
 
+} // namespace
+
+BenchArgs
+BenchArgs::parse(int argc, char **argv)
+{
+    return parseImpl(argc, argv, false);
+}
+
+BenchArgs
+BenchArgs::parseAndStrip(int &argc, char **argv)
+{
+    return parseImpl(argc, argv, true);
+}
+
 void
 BenchArgs::writeMetrics(const std::string &benchName) const
 {
-    if (metricsPath.empty())
-        return;
-    if (obs::writeMetricsFile(metricsPath, benchName))
+    if (!metricsPath.empty() &&
+        obs::writeMetricsFile(metricsPath, benchName))
         std::printf("metrics written to %s\n", metricsPath.c_str());
+    if (!tracePath.empty() && obs::writeTraceFile(tracePath))
+        std::printf("trace written to %s\n", tracePath.c_str());
 }
 
 namespace {

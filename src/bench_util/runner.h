@@ -98,7 +98,9 @@ std::array<core::EngineKind, 5> allEngines();
 /** "300/600" style label for a latency model. */
 std::string latencyLabel(const pm::LatencyModel &latency);
 
-/** Parse "--n=NNN" / "--quick" style benchmark argv knobs.
+/** Parse "--n NNN" / "--n=NNN" / "--quick" style benchmark argv knobs.
+ *  Both `--flag=value` and `--flag value` forms are accepted, at any
+ *  argv position.
  *
  *   --n=NNN       transaction/op count
  *   --quick       2000 txns (fast local iteration)
@@ -110,6 +112,10 @@ std::string latencyLabel(const pm::LatencyModel &latency);
  *   --metrics=PATH  enable the obs layer and write its export here
  *                 (Prometheus text when PATH ends in ".prom", JSON
  *                 otherwise)
+ *   --trace=PATH  enable the obs layer and dump the trace rings as a
+ *                 chrome://tracing JSON file here
+ *   --flight-recorder  enable the persistent flight recorder (off by
+ *                 default; adds ~2 PM records per transaction)
  */
 struct BenchArgs
 {
@@ -118,11 +124,19 @@ struct BenchArgs
     std::string jsonPath;
     std::size_t clients = 0;
     std::string metricsPath;
+    std::string tracePath;
+    bool flightRecorder = false;
 
     static BenchArgs parse(int argc, char **argv);
 
-    /** Write the obs export to metricsPath (no-op when the flag was
-     *  not given). Every bench main calls this after its run. */
+    /** Like parse(), but removes the recognised flags from argv (in
+     *  place, compacting; argc is updated) so a wrapped arg parser —
+     *  e.g. Google Benchmark's — never sees them. */
+    static BenchArgs parseAndStrip(int &argc, char **argv);
+
+    /** Write the obs export to metricsPath and the chrome trace to
+     *  tracePath (each a no-op when its flag was not given). Every
+     *  bench main calls this after its run. */
     void writeMetrics(const std::string &benchName) const;
 };
 

@@ -59,6 +59,13 @@ BufferedTransaction::BufferedTransaction(BufferedEngine &engine, TxId id)
     : Transaction(id), engine_(engine), txLock_(engine.txMutex_)
 {
     engine_.device_.txBegin();
+    // The op-begin record is durable before any of this transaction's
+    // own persistence, so post-crash forensics can always name the
+    // in-flight operation (or prove there was none).
+    if (auto *fr = engine_.recorder()) {
+        fr->append(obs::FlightEventType::OpBegin,
+                   engine_.recorderEngineCode(), id, 0, 0);
+    }
 }
 
 BufferedTransaction::~BufferedTransaction()
@@ -118,6 +125,15 @@ BufferedTransaction::allocPage()
     engine_.cache_.pin(*pid);
     engine_.cache_.markDirty(*pid);
     allocs_.push_back(*pid);
+    if (auto *fr = engine_.recorder()) {
+        // A page allocated while defragmenting is the copy target;
+        // anything else is tree growth (a split or a new root/leaf).
+        bool defrag =
+            pm::currentThreadComponent() == pm::Component::Defrag;
+        fr->append(defrag ? obs::FlightEventType::Defrag
+                          : obs::FlightEventType::PageSplit,
+                   engine_.recorderEngineCode(), id_, *pid, 0);
+    }
     return pid;
 }
 
@@ -165,6 +181,10 @@ BufferedTransaction::rollback()
     frees_.clear();
     finished_ = true;
     engine_.device_.txEnd(/*committed=*/false);
+    if (auto *fr = engine_.recorder()) {
+        fr->append(obs::FlightEventType::Abort,
+                   engine_.recorderEngineCode(), id_, 0, 0);
+    }
     engine_.stats_.txRolledBack++;
     if (obs::enabled()) {
         static obs::Counter &c =
@@ -213,6 +233,13 @@ BufferedTransaction::commit()
     frees_.clear();
     finished_ = true;
     engine_.device_.txEnd(/*committed=*/true);
+    if (auto *fr = engine_.recorder()) {
+        // aux = 2: the buffered baselines always commit through their
+        // log/journal (mirrors FaspTransaction's path encoding).
+        std::uint64_t path_code = dirty.empty() ? 0 : 2;
+        fr->append(obs::FlightEventType::CommitPoint,
+                   engine_.recorderEngineCode(), id_, 0, path_code);
+    }
     engine_.stats_.txCommitted++;
     engine_.stats_.logCommits++;
     if (obs::enabled()) {
@@ -245,12 +272,12 @@ NvwalEngine::initFresh()
 }
 
 Status
-NvwalEngine::recover()
+NvwalEngine::recover(wal::RecoveryBreakdown &breakdown)
 {
     PhaseScope phase(device_.phaseTracker(), Component::Recovery);
     MutexLock lk(&txMutex_); // quiescent, but keeps the guard provable
     cache_.clear();
-    FASP_RETURN_IF_ERROR(nvwal_.recover());
+    FASP_RETURN_IF_ERROR(nvwal_.recover(&breakdown));
     // Resume txids above anything in the surviving WAL so a stale
     // uncommitted frame can never pair with a fresh commit mark.
     txCounter_ = std::max(txCounter_.load(), nvwal_.lastTxid());
@@ -300,12 +327,12 @@ JournalEngine::initFresh()
 }
 
 Status
-JournalEngine::recover()
+JournalEngine::recover(wal::RecoveryBreakdown &breakdown)
 {
     PhaseScope phase(device_.phaseTracker(), Component::Recovery);
     MutexLock lk(&txMutex_); // quiescent, but keeps the guard provable
     cache_.clear();
-    auto rolled_back = journal_.recover();
+    auto rolled_back = journal_.recover(&breakdown);
     if (!rolled_back.isOk())
         return rolled_back.status();
     return Status::ok();
@@ -367,12 +394,12 @@ LegacyWalEngine::initFresh()
 }
 
 Status
-LegacyWalEngine::recover()
+LegacyWalEngine::recover(wal::RecoveryBreakdown &breakdown)
 {
     PhaseScope phase(device_.phaseTracker(), Component::Recovery);
     MutexLock lk(&txMutex_); // quiescent, but keeps the guard provable
     cache_.clear();
-    FASP_RETURN_IF_ERROR(wal_.recover());
+    FASP_RETURN_IF_ERROR(wal_.recover(&breakdown));
     txCounter_ = std::max(txCounter_.load(), wal_.lastTxid());
     return Status::ok();
 }

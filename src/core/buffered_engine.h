@@ -147,7 +147,7 @@ class NvwalEngine : public BufferedEngine
 
     EngineKind kind() const override { return EngineKind::Nvwal; }
     Status initFresh() override;
-    Status recover() override;
+    Status recover(wal::RecoveryBreakdown &breakdown) override;
 
     wal::NvwalLog &walLog() { return nvwal_; }
 
@@ -171,7 +171,7 @@ class JournalEngine : public BufferedEngine
 
     EngineKind kind() const override { return EngineKind::Journal; }
     Status initFresh() override;
-    Status recover() override;
+    Status recover(wal::RecoveryBreakdown &breakdown) override;
 
     wal::RollbackJournal &journal() { return journal_; }
 
@@ -195,7 +195,7 @@ class LegacyWalEngine : public BufferedEngine
 
     EngineKind kind() const override { return EngineKind::LegacyWal; }
     Status initFresh() override;
-    Status recover() override;
+    Status recover(wal::RecoveryBreakdown &breakdown) override;
 
     wal::LegacyWal &walLog() { return wal_; }
 

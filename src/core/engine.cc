@@ -59,29 +59,87 @@ Engine::create(pm::PmDevice &device, const EngineConfig &cfg,
     }
     FASP_ASSERT(engine != nullptr);
 
+    // Persistent flight recorder (DESIGN.md §12): only when the image
+    // carries a recorder region large enough for a ring AND the global
+    // gate is on — transactions null-check the pointer per event, so
+    // the recorder-off path costs one load and a branch.
+    if (sb.frLen != 0 && obs::FlightRecorder::enabled()) {
+        auto fr = std::make_unique<obs::FlightRecorder>(
+            device, sb.frOff, sb.frLen);
+        if (fr->capacity() != 0)
+            engine->flightRecorder_ = std::move(fr);
+    }
+
     if (format) {
+        // Pager::format just initialized the ring; the sequence
+        // counter starts at 1, no attach scan needed.
         Status status = engine->initFresh();
         if (!status.isOk())
             return status;
         return engine;
     }
 
+    auto ns_since = [](std::chrono::steady_clock::time_point t0) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0).count());
+    };
+
+    // Re-attach the recorder before recovery runs: the attach scan
+    // repairs torn ring slots (part of the torn-record-repair phase)
+    // and the RecoveryBegin/End markers bracket the pass in the
+    // persistent timeline.
+    wal::RecoveryBreakdown breakdown;
+    obs::FlightRecorder *fr = engine->flightRecorder_.get();
+    if (fr != nullptr) {
+        auto attach_started = std::chrono::steady_clock::now();
+        auto attached = fr->attach();
+        if (attached.isOk()) {
+            breakdown.tornRecords += attached->tornRecords;
+        } else {
+            // Undecodable ring (e.g. an image formatted with the
+            // recorder disabled): run without it.
+            engine->flightRecorder_.reset();
+            fr = nullptr;
+        }
+        breakdown.repairNs += ns_since(attach_started);
+        if (fr != nullptr) {
+            fr->append(obs::FlightEventType::RecoveryBegin,
+                       engine->recorderEngineCode(), 0, 0, 0);
+        }
+    }
+
     auto started = std::chrono::steady_clock::now();
-    Status status = engine->recover();
+    Status status = engine->recover(breakdown);
     if (!status.isOk())
         return status;
+    std::uint64_t elapsed = ns_since(started);
+    if (fr != nullptr) {
+        fr->append(obs::FlightEventType::RecoveryEnd,
+                   engine->recorderEngineCode(), 0, 0, elapsed);
+    }
+
+    // Recovery is cold and fig12's recovery bench wants the numbers
+    // without --metrics, so the ledger fold is unconditional.
+    obs::RecoveryLedger::Sample sample;
+    sample.phaseNs = {breakdown.scanNs, breakdown.replayNs,
+                      breakdown.discardNs, breakdown.repairNs};
+    sample.pagesScanned = breakdown.pagesScanned;
+    sample.recordsReplayed = breakdown.recordsReplayed;
+    sample.recordsDiscarded = breakdown.recordsDiscarded;
+    sample.tornRecords = breakdown.tornRecords;
+    obs::RecoveryLedger::global().record(engineKindName(cfg.kind),
+                                         sample);
+
     if (obs::enabled()) {
-        auto elapsed =
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - started).count();
         obs::MetricsRegistry::global()
             .counter("core.recoveries").inc();
         obs::MetricsRegistry::global()
             .histogram("core.recovery_ns")
-            .record(static_cast<std::uint64_t>(elapsed));
+            .record(elapsed);
         obs::Tracer::global().record(
             obs::TraceOp::Recovery, engineKindName(cfg.kind), 0,
-            nullptr, 0, static_cast<std::uint64_t>(elapsed));
+            nullptr, 0, elapsed);
     }
     return engine;
 }

@@ -33,7 +33,9 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "htm/rtm.h"
+#include "obs/flight_recorder.h"
 #include "pager/pager.h"
+#include "wal/recovery_stats.h"
 
 namespace fasp::pm {
 class PmDevice;
@@ -219,6 +221,14 @@ class Engine
     EngineStats &stats() { return stats_; }
     const EngineStats &stats() const { return stats_; }
 
+    /** The persistent flight recorder, or nullptr when the image has
+     *  no recorder region or FlightRecorder::enabled() was off at
+     *  create() time. */
+    obs::FlightRecorder *flightRecorder()
+    {
+        return flightRecorder_.get();
+    }
+
   protected:
     Engine(pm::PmDevice &device, const EngineConfig &cfg,
            const pager::Superblock &sb)
@@ -228,12 +238,29 @@ class Engine
     /** Fresh-database initialization; runs after format. */
     virtual Status initFresh() = 0;
 
-    /** Post-crash recovery; runs before create() returns. */
-    virtual Status recover() = 0;
+    /** Post-crash recovery; runs before create() returns. Fills
+     *  @p breakdown with the per-phase timings/counters of the pass
+     *  (scan / log replay / log discard / torn-record repair), which
+     *  create() folds into obs::RecoveryLedger. */
+    virtual Status recover(wal::RecoveryBreakdown &breakdown) = 0;
 
     TxId nextTxId()
     {
         return txCounter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+
+    /** Flight recorder, or nullptr (transactions null-check per
+     *  event: the recorder-off path is one load and a branch). */
+    obs::FlightRecorder *recorder() const
+    {
+        return flightRecorder_.get();
+    }
+
+    /** Engine code stored in flight records (EngineKind + 1; 0 is
+     *  reserved for "unknown"). */
+    std::uint8_t recorderEngineCode() const
+    {
+        return static_cast<std::uint8_t>(config_.kind) + 1;
     }
 
     pm::PmDevice &device_;
@@ -241,6 +268,7 @@ class Engine
     pager::Superblock sb_;
     EngineStats stats_;
     std::atomic<TxId> txCounter_{0};
+    std::unique_ptr<obs::FlightRecorder> flightRecorder_;
 };
 
 } // namespace fasp::core

@@ -1,6 +1,7 @@
 #include "core/fasp_engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -55,19 +56,22 @@ FaspEngine::initFresh()
 }
 
 Status
-FaspEngine::recover()
+FaspEngine::recover(wal::RecoveryBreakdown &breakdown)
 {
     PhaseScope phase(device_.phaseTracker(), Component::Recovery);
     // Recovery is quiescent by contract; hold the log mutex anyway so
     // every log_ access in the program is provably under it.
     MutexLock logLock(&logMutex_);
-    auto result = log_.recover();
+    auto result = log_.recover(&breakdown);
     if (!result.isOk())
         return result.status();
 
     // Replayed headers invalidate the affected pages' intra-page free
     // lists (scratch writes may have been lost); rebuild them lazily
-    // now rather than on first touch (paper §4.3).
+    // now rather than on first touch (paper §4.3). This is repair of
+    // potentially-torn volatile-by-contract state, so it bills to the
+    // torn-record-repair phase.
+    auto repair_started = std::chrono::steady_clock::now();
     for (PageId pid : result->touchedPages) {
         FaspPageIO io(device_, sb_.pageOffset(pid), sb_.pageSize,
                       /*write_through=*/true);
@@ -80,6 +84,10 @@ FaspEngine::recover()
     // The bitmap is only current after replay.
     MutexLock allocLock(&allocMutex_);
     pager::Pager::loadBitmap(device_, sb_, bitmap_);
+    breakdown.repairNs += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - repair_started)
+            .count());
     return Status::ok();
 }
 
@@ -96,6 +104,13 @@ FaspTransaction::FaspTransaction(FaspEngine &engine, TxId id)
     : Transaction(id), engine_(engine)
 {
     engine_.device_.txBegin();
+    // The op-begin record is durable before any of this transaction's
+    // own persistence, so post-crash forensics can always name the
+    // in-flight operation (or prove there was none).
+    if (auto *fr = engine_.recorder()) {
+        fr->append(obs::FlightEventType::OpBegin,
+                   engine_.recorderEngineCode(), id, 0, 0);
+    }
 }
 
 FaspTransaction::~FaspTransaction()
@@ -239,6 +254,15 @@ FaspTransaction::allocPage()
     st.fresh = true;
     pages_[pid] = std::move(st);
     allocs_.push_back(pid);
+    if (auto *fr = engine_.recorder()) {
+        // A page allocated while defragmenting is the copy target;
+        // anything else is tree growth (a split or a new root/leaf).
+        bool defrag =
+            pm::currentThreadComponent() == pm::Component::Defrag;
+        fr->append(defrag ? obs::FlightEventType::Defrag
+                          : obs::FlightEventType::PageSplit,
+                   engine_.recorderEngineCode(), id_, pid, 0);
+    }
     return pid;
 }
 
@@ -304,6 +328,10 @@ FaspTransaction::rollback()
     // Close the checker's write set before dropping exclusion, so no
     // foreign store can land in it mid-check.
     engine_.device_.txEnd(/*committed=*/false);
+    if (auto *fr = engine_.recorder()) {
+        fr->append(obs::FlightEventType::Abort,
+                   engine_.recorderEngineCode(), id_, 0, 0);
+    }
     releaseLatches();
     engine_.stats_.txRolledBack++;
     if (obs::enabled()) {
@@ -463,6 +491,10 @@ FaspTransaction::commit()
         if (status.code() == StatusCode::TxConflict) {
             // RTM kept aborting: fall back to slot-header logging
             // (paper §3.2 footnote 1).
+            if (auto *fr = engine_.recorder()) {
+                fr->append(obs::FlightEventType::Fallback,
+                           engine_.recorderEngineCode(), id_, 0, 0);
+            }
             if (obs::enabled()) {
                 static obs::Counter &c = obs::MetricsRegistry::global()
                     .counter("core.tx.inplace_fallbacks");
@@ -490,6 +522,15 @@ FaspTransaction::commit()
     // paths run it here, still under this transaction's page latches.
     if (!logged)
         engine_.device_.txEnd(/*committed=*/true);
+    if (auto *fr = engine_.recorder()) {
+        // aux encodes the commit path: 0 read-only, 1 in-place,
+        // 2 slot-header-logged.
+        std::uint64_t path_code = logged ? 2 : 0;
+        if (!logged && commit_path[0] == 'i')
+            path_code = 1;
+        fr->append(obs::FlightEventType::CommitPoint,
+                   engine_.recorderEngineCode(), id_, 0, path_code);
+    }
     engine_.stats_.txCommitted++;
     releaseLatches();
     if (obs::enabled()) {

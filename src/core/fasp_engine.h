@@ -115,7 +115,7 @@ class FaspEngine : public Engine
 
     EngineKind kind() const override { return config_.kind; }
     std::unique_ptr<Transaction> begin() override;
-    Status recover() override;
+    Status recover(wal::RecoveryBreakdown &breakdown) override;
 
     Status initFresh() override;
 

@@ -91,12 +91,13 @@ promLabel(std::string_view s)
 std::string
 exportJson(const std::string &benchName,
            const MetricsRegistry &registry, const PhaseLedger &ledger,
-           const Tracer &tracer, std::size_t maxTraceEvents)
+           const RecoveryLedger &recovery, const Tracer &tracer,
+           std::size_t maxTraceEvents)
 {
     std::string out;
     out += "{\n  \"bench\": ";
     appendJsonString(out, benchName);
-    out += ",\n  \"schema_version\": 1";
+    out += ",\n  \"schema_version\": 2";
 
     out += ",\n  \"counters\": {";
     bool first = true;
@@ -204,13 +205,72 @@ exportJson(const std::string &benchName,
     }
     out += first ? "}" : "\n  }";
 
+    out += ",\n  \"recovery\": {";
+    first = true;
+    for (const auto &rentry : recovery.entries()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    ";
+        appendJsonString(out, rentry.engine);
+        out += ": {\"recoveries\": ";
+        appendU64(out, rentry.recoveries);
+        out += ", \"pages_scanned\": ";
+        appendU64(out, rentry.pagesScanned);
+        out += ", \"records_replayed\": ";
+        appendU64(out, rentry.recordsReplayed);
+        out += ", \"records_discarded\": ";
+        appendU64(out, rentry.recordsDiscarded);
+        out += ", \"torn_records\": ";
+        appendU64(out, rentry.tornRecords);
+        out += ", \"phases\": {";
+        for (std::size_t i = 0; i < kNumRecoveryPhases; ++i) {
+            const HistogramSnapshot &snap = rentry.phases[i];
+            out += i == 0 ? "\n" : ",\n";
+            out += "      ";
+            appendJsonString(
+                out, recoveryPhaseName(static_cast<RecoveryPhase>(i)));
+            out += ": {\"count\": ";
+            appendU64(out, snap.count);
+            out += ", \"sum\": ";
+            appendU64(out, snap.sum);
+            out += ", \"p50\": ";
+            appendU64(out, snap.p50);
+            out += ", \"p95\": ";
+            appendU64(out, snap.p95);
+            out += "}";
+        }
+        out += "\n    }}";
+    }
+    out += first ? "}" : "\n  }";
+
     out += ",\n  \"trace\": {\"recorded\": ";
     appendU64(out, tracer.totalRecorded());
     out += ", \"dropped\": ";
     appendU64(out, tracer.totalDropped());
     out += ", \"rings\": ";
     appendU64(out, tracer.ringCount());
-    out += ", \"events\": [";
+    out += ", \"ring_stats\": [";
+    {
+        auto rings = tracer.ringStats();
+        for (std::size_t i = 0; i < rings.size(); ++i) {
+            const TraceRingStats &rs = rings[i];
+            out += i == 0 ? "\n" : ",\n";
+            out += "    {\"ring\": ";
+            appendU64(out, rs.ring);
+            out += ", \"capacity\": ";
+            appendU64(out, rs.capacity);
+            out += ", \"recorded\": ";
+            appendU64(out, rs.recorded);
+            out += ", \"dropped\": ";
+            appendU64(out, rs.dropped);
+            out += ", \"retained\": ";
+            appendU64(out, rs.retained);
+            out += "}";
+        }
+        if (!rings.empty())
+            out += "\n  ";
+    }
+    out += "], \"events\": [";
     if (maxTraceEvents > 0) {
         auto events = tracer.collect();
         std::size_t start = events.size() > maxTraceEvents
@@ -251,7 +311,8 @@ exportJson(const std::string &benchName,
 std::string
 exportPrometheus(const std::string &benchName,
                  const MetricsRegistry &registry,
-                 const PhaseLedger &ledger, const Tracer &tracer)
+                 const PhaseLedger &ledger,
+                 const RecoveryLedger &recovery, const Tracer &tracer)
 {
     std::string out;
     out += "# fasp metrics export, bench=\"" + promLabel(benchName)
@@ -318,6 +379,42 @@ exportPrometheus(const std::string &benchName,
         }
     }
 
+    auto rentries = recovery.entries();
+    if (!rentries.empty()) {
+        out += "# TYPE fasp_recovery_runs counter\n";
+        for (const auto &rentry : rentries) {
+            std::string eng =
+                "engine=\"" + promLabel(rentry.engine) + "\"";
+            out += "fasp_recovery_runs{" + eng + "} "
+                + std::to_string(rentry.recoveries) + "\n";
+            out += "fasp_recovery_pages_scanned{" + eng + "} "
+                + std::to_string(rentry.pagesScanned) + "\n";
+            out += "fasp_recovery_records_replayed{" + eng + "} "
+                + std::to_string(rentry.recordsReplayed) + "\n";
+            out += "fasp_recovery_records_discarded{" + eng + "} "
+                + std::to_string(rentry.recordsDiscarded) + "\n";
+            out += "fasp_recovery_torn_records{" + eng + "} "
+                + std::to_string(rentry.tornRecords) + "\n";
+            for (std::size_t i = 0; i < kNumRecoveryPhases; ++i) {
+                const HistogramSnapshot &snap = rentry.phases[i];
+                std::string labels = eng + ",phase=\""
+                    + promLabel(recoveryPhaseName(
+                          static_cast<RecoveryPhase>(i)))
+                    + "\"";
+                out += "fasp_recovery_phase_ns_sum{" + labels + "} "
+                    + std::to_string(snap.sum) + "\n";
+                out += "fasp_recovery_phase_ns_count{" + labels + "} "
+                    + std::to_string(snap.count) + "\n";
+                out += "fasp_recovery_phase_ns{" + labels
+                    + ",quantile=\"0.5\"} " + std::to_string(snap.p50)
+                    + "\n";
+                out += "fasp_recovery_phase_ns{" + labels
+                    + ",quantile=\"0.95\"} " + std::to_string(snap.p95)
+                    + "\n";
+            }
+        }
+    }
+
     out += "# TYPE fasp_trace_recorded counter\n";
     out += "fasp_trace_recorded " +
         std::to_string(tracer.totalRecorded()) + "\n";
@@ -325,6 +422,68 @@ exportPrometheus(const std::string &benchName,
         std::to_string(tracer.totalDropped()) + "\n";
     out += "fasp_trace_rings " + std::to_string(tracer.ringCount())
         + "\n";
+    for (const TraceRingStats &rs : tracer.ringStats()) {
+        std::string labels =
+            "ring=\"" + std::to_string(rs.ring) + "\"";
+        out += "fasp_trace_ring_capacity{" + labels + "} "
+            + std::to_string(rs.capacity) + "\n";
+        out += "fasp_trace_ring_recorded{" + labels + "} "
+            + std::to_string(rs.recorded) + "\n";
+        out += "fasp_trace_ring_dropped{" + labels + "} "
+            + std::to_string(rs.dropped) + "\n";
+        out += "fasp_trace_ring_retained{" + labels + "} "
+            + std::to_string(rs.retained) + "\n";
+    }
+    return out;
+}
+
+std::string
+exportChromeTrace(const Tracer &tracer)
+{
+    // chrome://tracing "complete" (ph:"X") events. The trace rings do
+    // not record wall timestamps, so events are laid out end-to-end
+    // along the global sequence order: each event starts where the
+    // previous one on its track ended. Durations are real (wall ns
+    // when timed, else modelled PM ns, else 1us so the slice is
+    // visible).
+    std::string out = "{\"traceEvents\": [";
+    auto events = tracer.collect();
+    std::uint64_t cursorUs = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &ev = events[i];
+        std::uint64_t durNs =
+            ev.durationNs != 0 ? ev.durationNs : ev.modelNs;
+        std::uint64_t durUs = durNs / 1000;
+        if (durUs == 0)
+            durUs = 1;
+        out += i == 0 ? "\n" : ",\n";
+        out += "  {\"name\": ";
+        appendJsonString(out, traceOpName(ev.op));
+        out += ", \"cat\": ";
+        appendJsonString(out, ev.engine != nullptr ? ev.engine
+                                                   : "fasp");
+        out += ", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"ts\": ";
+        appendU64(out, cursorUs);
+        out += ", \"dur\": ";
+        appendU64(out, durUs);
+        out += ", \"args\": {\"seq\": ";
+        appendU64(out, ev.seq);
+        out += ", \"page\": ";
+        appendU64(out, ev.pageId);
+        out += ", \"model_ns\": ";
+        appendU64(out, ev.modelNs);
+        out += ", \"duration_ns\": ";
+        appendU64(out, ev.durationNs);
+        if (ev.detail != nullptr) {
+            out += ", \"detail\": ";
+            appendJsonString(out, ev.detail);
+        }
+        out += "}}";
+        cursorUs += durUs;
+    }
+    if (!events.empty())
+        out += "\n";
+    out += "]}\n";
     return out;
 }
 
@@ -336,14 +495,32 @@ writeMetricsFile(const std::string &path, const std::string &benchName)
         path.compare(path.size() - 5, 5, ".prom") == 0;
     if (prom) {
         body = exportPrometheus(benchName, MetricsRegistry::global(),
-                                PhaseLedger::global(), Tracer::global());
+                                PhaseLedger::global(),
+                                RecoveryLedger::global(),
+                                Tracer::global());
     } else {
         body = exportJson(benchName, MetricsRegistry::global(),
-                          PhaseLedger::global(), Tracer::global());
+                          PhaseLedger::global(),
+                          RecoveryLedger::global(), Tracer::global());
     }
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) {
         std::fprintf(stderr, "metrics: cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    out << body;
+    out.close();
+    return out.good();
+}
+
+bool
+writeTraceFile(const std::string &path)
+{
+    std::string body = exportChromeTrace(Tracer::global());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "trace: cannot open %s for writing\n",
                      path.c_str());
         return false;
     }

@@ -17,18 +17,29 @@
 
 namespace fasp::obs {
 
-/** Render everything as a JSON document. @p maxTraceEvents bounds the
- *  embedded trace tail (0 = omit events, keep the summary). */
+/** Render everything as a JSON document (schema_version 2: adds the
+ *  `recovery` section and per-ring `ring_stats`). @p maxTraceEvents
+ *  bounds the embedded trace tail (0 = omit events, keep the
+ *  summary). */
 std::string exportJson(const std::string &benchName,
                        const MetricsRegistry &registry,
-                       const PhaseLedger &ledger, const Tracer &tracer,
+                       const PhaseLedger &ledger,
+                       const RecoveryLedger &recovery,
+                       const Tracer &tracer,
                        std::size_t maxTraceEvents = 256);
 
 /** Render everything as Prometheus text exposition format. */
 std::string exportPrometheus(const std::string &benchName,
                              const MetricsRegistry &registry,
                              const PhaseLedger &ledger,
+                             const RecoveryLedger &recovery,
                              const Tracer &tracer);
+
+/** Render the trace rings as a chrome://tracing / Perfetto JSON
+ *  document ("traceEvents" array of complete events; the global
+ *  sequence number stands in for the timeline, since events record
+ *  durations, not wall timestamps). */
+std::string exportChromeTrace(const Tracer &tracer);
 
 /**
  * Write the global registry/ledger/tracer to @p path: Prometheus text
@@ -38,6 +49,11 @@ std::string exportPrometheus(const std::string &benchName,
  */
 bool writeMetricsFile(const std::string &path,
                       const std::string &benchName);
+
+/** Write the global tracer as chrome://tracing JSON to @p path (the
+ *  benches' --trace=PATH flag). Returns false after logging on
+ *  failure. */
+bool writeTraceFile(const std::string &path);
 
 } // namespace fasp::obs
 

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * FlightRecorder: a persistent, CRC32-framed ring of fixed-size event
+ * records living inside the PM image (its own superblock region), so
+ * the last moments before a crash can be reconstructed from the
+ * durable image alone (DESIGN.md §12).
+ *
+ * Unlike the DRAM TraceRing (obs/trace.h), every record here goes
+ * through the same PmDevice store/flush/fence primitives as real data:
+ * the recorder is itself failure-atomic under TornLines and fully
+ * visible to the PersistencyChecker.
+ *
+ * Region layout (all offsets relative to the region start):
+ *   +0   header (one cache line):
+ *          u64 magic  "FASPFREC"
+ *          u32 version (1)
+ *          u32 recordBytes (64)
+ *          u32 capacity (power of two)
+ *          u32 crc32c of the previous 20 bytes
+ *   +64  capacity * 64-byte record slots
+ *
+ * Record framing (64 bytes = one cache line, so a slot never straddles
+ * persistence-line boundaries):
+ *   u64 seq       monotonic, 1-based; 0 marks a never-written slot
+ *   u8  type      FlightEventType
+ *   u8  engine    core::EngineKind + 1 (0 = unknown)
+ *   u16 flags
+ *   u32 pageId
+ *   u64 txid
+ *   u64 aux       event-specific payload (counts, phase ns, ...)
+ *   u64 modelNs   modelled PM ns charged to the thread so far
+ *   20B reserved  zero
+ *   u32 crc32c    over the first 60 bytes
+ *
+ * Record seq determines the slot: (seq - 1) % capacity. There is no
+ * durable head pointer to keep failure-atomic — attach() rebuilds the
+ * cursor by scanning for the highest CRC-valid seq, and a record torn
+ * mid-append is detected by its CRC and skipped (never misparsed).
+ *
+ * Appends are wait-free across threads (one fetch_add on the sequence
+ * counter; distinct slots are distinct cache lines). Each append is
+ * store + flushRange + sfence, so by the time append() returns the
+ * record is durable and a surrounding PersistencyChecker transaction
+ * write set sees the line FENCED well before its commit point.
+ *
+ * The recorder-off fast path is a single relaxed atomic load and a
+ * branch: see enabled().
+ */
+
+#ifndef FASP_OBS_FLIGHT_RECORDER_H
+#define FASP_OBS_FLIGHT_RECORDER_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fasp::pm {
+class PmDevice;
+} // namespace fasp::pm
+
+namespace fasp::obs {
+
+/** What a flight-recorder record describes. */
+enum class FlightEventType : std::uint8_t {
+    Invalid = 0,
+    OpBegin = 1,       //!< transaction began
+    CommitPoint = 2,   //!< transaction passed its durable commit point
+    Abort = 3,         //!< transaction rolled back
+    Fallback = 4,      //!< FAST in-place commit fell back to logging
+    PageSplit = 5,     //!< page allocated for a split / tree growth
+    Defrag = 6,        //!< copy-on-write page defragmentation
+    RecoveryBegin = 7, //!< crash recovery started
+    RecoveryEnd = 8,   //!< crash recovery finished
+};
+
+/** Printable name ("op-begin", "commit-point", ...). */
+const char *flightEventTypeName(FlightEventType type);
+
+/** One decoded flight-recorder record. */
+struct FlightRecord
+{
+    std::uint64_t seq = 0;
+    FlightEventType type = FlightEventType::Invalid;
+    std::uint8_t engine = 0; //!< core::EngineKind + 1, 0 = unknown
+    std::uint16_t flags = 0;
+    PageId pageId = 0;
+    std::uint64_t txid = 0;
+    std::uint64_t aux = 0;
+    std::uint64_t modelNs = 0;
+};
+
+/** Result of an attach() scan. */
+struct FlightAttachStats
+{
+    std::uint64_t validRecords = 0; //!< CRC-valid slots found
+    std::uint64_t tornRecords = 0;  //!< non-empty slots with bad CRC
+    std::uint64_t maxSeq = 0;       //!< highest valid sequence number
+};
+
+/**
+ * Persistent flight recorder over one device region. One instance per
+ * open engine; construction is cheap, attach()/formatRegion() do the
+ * region I/O.
+ */
+class FlightRecorder
+{
+  public:
+    static constexpr std::uint64_t kMagic = 0x4641535046524543ull;
+    static constexpr std::uint32_t kFormatVersion = 1;
+    static constexpr std::size_t kHeaderBytes = 64;
+    static constexpr std::size_t kRecordBytes = 64;
+
+    /**
+     * Global recorder gate, analogous to obs::enabled() but
+     * independent of it: crash tests want the recorder without the
+     * metrics plumbing and benches want metrics without paying for
+     * persistent recording. Quiescent-only toggle.
+     */
+    static bool enabled()
+    {
+        return gEnabled.load(std::memory_order_relaxed);
+    }
+
+    static void setEnabled(bool on)
+    {
+        gEnabled.store(on, std::memory_order_relaxed);
+    }
+
+    FlightRecorder(pm::PmDevice &device, PmOffset off, std::uint64_t len);
+
+    /** Record capacity the region supports (0 = region too small). */
+    std::uint32_t capacity() const { return capacity_; }
+
+    /**
+     * Initialize the region: write the header and zero every slot
+     * (flushed + fenced). Called by Pager::format for every fresh
+     * image so any later open — or an offline forensics pass — finds a
+     * decodable ring.
+     */
+    static void formatRegion(pm::PmDevice &device, PmOffset off,
+                             std::uint64_t len);
+
+    /**
+     * Attach to a (possibly crashed) image: validate the header, scan
+     * every slot for the highest CRC-valid sequence number, zero any
+     * torn slots (the recorder's torn-record repair), and resume the
+     * sequence counter past the survivors.
+     */
+    Result<FlightAttachStats> attach();
+
+    /** Append one durable record (store + flush + fence). */
+    void append(FlightEventType type, std::uint8_t engine,
+                std::uint64_t txid, PageId pageId, std::uint64_t aux);
+
+    /** Records appended through this instance (tests). */
+    std::uint64_t appended() const
+    {
+        return nextSeq_.load(std::memory_order_relaxed) - firstSeq_;
+    }
+
+    // --- Offline decode helpers (shared with tools/fasp-forensics) ---
+
+    /** Decode one 64-byte slot. Returns false for a never-written
+     *  (all-zero) slot; *torn is set when the slot is non-empty but
+     *  fails its CRC (the record must then be ignored). */
+    static bool decodeSlot(const std::uint8_t *slot, FlightRecord &out,
+                           bool *torn);
+
+    /** Decode a raw region image into seq-ordered records.
+     *  @p tornSlots (optional) receives the torn slot indices. */
+    static std::vector<FlightRecord> decodeRegion(
+        const std::uint8_t *region, std::uint64_t len,
+        std::vector<std::uint32_t> *tornSlots = nullptr);
+
+  private:
+    static std::atomic<bool> gEnabled;
+
+    PmOffset slotOffset(std::uint64_t seq) const
+    {
+        return off_ + kHeaderBytes +
+               ((seq - 1) & (capacity_ - 1)) * kRecordBytes;
+    }
+
+    static void encodeRecord(std::uint8_t *buf, const FlightRecord &rec);
+
+    pm::PmDevice &device_;
+    PmOffset off_;
+    std::uint64_t len_;
+    std::uint32_t capacity_ = 0;
+    std::uint64_t firstSeq_ = 1;
+    std::atomic<std::uint64_t> nextSeq_{1};
+};
+
+} // namespace fasp::obs
+
+#endif // FASP_OBS_FLIGHT_RECORDER_H

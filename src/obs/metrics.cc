@@ -179,29 +179,34 @@ MetricsRegistry::gauges() const
     return out;
 }
 
+HistogramSnapshot
+snapshotHistogram(const Histogram &h)
+{
+    HistogramSnapshot snap;
+    snap.count = h.count();
+    snap.sum = h.sum();
+    snap.max = h.max();
+    snap.p50 = h.p50();
+    snap.p95 = h.p95();
+    snap.p99 = h.p99();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        std::uint64_t n = h.bucketCount(i);
+        std::uint64_t edge = (i == Histogram::kBuckets - 1)
+            ? snap.max : Histogram::bucketUpperEdge(i);
+        if (n)
+            snap.buckets.emplace_back(edge, n);
+    }
+    return snap;
+}
+
 std::vector<std::pair<std::string, HistogramSnapshot>>
 MetricsRegistry::histograms() const
 {
     MutexLock lk(&mu_);
     std::vector<std::pair<std::string, HistogramSnapshot>> out;
     out.reserve(histograms_.size());
-    for (const auto &[name, h] : histograms_) {
-        HistogramSnapshot snap;
-        snap.count = h->count();
-        snap.sum = h->sum();
-        snap.max = h->max();
-        snap.p50 = h->p50();
-        snap.p95 = h->p95();
-        snap.p99 = h->p99();
-        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
-            std::uint64_t n = h->bucketCount(i);
-            std::uint64_t edge = (i == Histogram::kBuckets - 1)
-                ? snap.max : Histogram::bucketUpperEdge(i);
-            if (n)
-                snap.buckets.emplace_back(edge, n);
-        }
-        out.emplace_back(name, std::move(snap));
-    }
+    for (const auto &[name, h] : histograms_)
+        out.emplace_back(name, snapshotHistogram(*h));
     return out;
 }
 
@@ -391,6 +396,80 @@ PhaseLedger::entries() const
 
 void
 PhaseLedger::reset()
+{
+    MutexLock lk(&mu_);
+    entries_.clear();
+}
+
+// --- RecoveryLedger ----------------------------------------------------
+
+const char *
+recoveryPhaseName(RecoveryPhase phase)
+{
+    switch (phase) {
+      case RecoveryPhase::Scan: return "scan";
+      case RecoveryPhase::Replay: return "replay";
+      case RecoveryPhase::Discard: return "discard";
+      case RecoveryPhase::TornRepair: return "torn-repair";
+    }
+    return "?";
+}
+
+RecoveryLedger &
+RecoveryLedger::global()
+{
+    static RecoveryLedger ledger;
+    return ledger;
+}
+
+void
+RecoveryLedger::record(std::string_view engine, const Sample &sample)
+{
+    MutexLock lk(&mu_);
+    Entry *entry = nullptr;
+    for (auto &e : entries_) {
+        if (e->engine == engine) {
+            entry = e.get();
+            break;
+        }
+    }
+    if (entry == nullptr) {
+        entries_.push_back(std::make_unique<Entry>());
+        entry = entries_.back().get();
+        entry->engine = std::string(engine);
+    }
+    entry->recoveries++;
+    entry->pagesScanned += sample.pagesScanned;
+    entry->recordsReplayed += sample.recordsReplayed;
+    entry->recordsDiscarded += sample.recordsDiscarded;
+    entry->tornRecords += sample.tornRecords;
+    for (std::size_t i = 0; i < kNumRecoveryPhases; ++i)
+        entry->phaseNs[i].record(sample.phaseNs[i]);
+}
+
+std::vector<RecoveryLedger::EntrySnapshot>
+RecoveryLedger::entries() const
+{
+    MutexLock lk(&mu_);
+    std::vector<EntrySnapshot> out;
+    out.reserve(entries_.size());
+    for (const auto &e : entries_) {
+        EntrySnapshot snap;
+        snap.engine = e->engine;
+        snap.recoveries = e->recoveries;
+        snap.pagesScanned = e->pagesScanned;
+        snap.recordsReplayed = e->recordsReplayed;
+        snap.recordsDiscarded = e->recordsDiscarded;
+        snap.tornRecords = e->tornRecords;
+        for (std::size_t i = 0; i < kNumRecoveryPhases; ++i)
+            snap.phases[i] = snapshotHistogram(e->phaseNs[i]);
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+void
+RecoveryLedger::reset()
 {
     MutexLock lk(&mu_);
     entries_.clear();

@@ -335,6 +335,81 @@ class PhaseLedger
     std::vector<Entry> entries_ GUARDED_BY(mu_);
 };
 
+/** Phases of an instrumented crash-recovery pass (DESIGN.md §12). */
+enum class RecoveryPhase : std::uint8_t {
+    Scan = 0,
+    Replay = 1,
+    Discard = 2,
+    TornRepair = 3,
+};
+
+constexpr std::size_t kNumRecoveryPhases = 4;
+
+/** Printable phase name ("scan", "replay", ...). */
+const char *recoveryPhaseName(RecoveryPhase phase);
+
+/**
+ * Per-engine recovery accounting: one sample per recover() pass, split
+ * into the four recovery phases plus scan/replay/discard counters.
+ * Unlike the hot-path metrics this ledger is NOT gated on
+ * obs::enabled() — recovery is cold, and tools (fig12's recovery
+ * bench, the exporters' `recovery` section) want the numbers even when
+ * --metrics was not passed.
+ */
+class RecoveryLedger
+{
+  public:
+    /** One recover() pass, as reported by the engine layer. */
+    struct Sample
+    {
+        std::array<std::uint64_t, kNumRecoveryPhases> phaseNs{};
+        std::uint64_t pagesScanned = 0;
+        std::uint64_t recordsReplayed = 0;
+        std::uint64_t recordsDiscarded = 0;
+        std::uint64_t tornRecords = 0;
+    };
+
+    /** Exporter-facing view of one engine's accumulated recoveries. */
+    struct EntrySnapshot
+    {
+        std::string engine;
+        std::uint64_t recoveries = 0;
+        std::uint64_t pagesScanned = 0;
+        std::uint64_t recordsReplayed = 0;
+        std::uint64_t recordsDiscarded = 0;
+        std::uint64_t tornRecords = 0;
+        std::array<HistogramSnapshot, kNumRecoveryPhases> phases{};
+    };
+
+    static RecoveryLedger &global();
+
+    void record(std::string_view engine, const Sample &sample)
+        EXCLUDES(mu_);
+
+    std::vector<EntrySnapshot> entries() const EXCLUDES(mu_);
+
+    void reset() EXCLUDES(mu_);
+
+  private:
+    struct Entry
+    {
+        std::string engine;
+        std::uint64_t recoveries = 0;
+        std::uint64_t pagesScanned = 0;
+        std::uint64_t recordsReplayed = 0;
+        std::uint64_t recordsDiscarded = 0;
+        std::uint64_t tornRecords = 0;
+        std::array<Histogram, kNumRecoveryPhases> phaseNs{};
+    };
+
+    mutable Mutex mu_;
+    // unique_ptr storage: Histogram holds atomics (not movable).
+    std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
+};
+
+/** Point-in-time summary of one Histogram (shared snapshot helper). */
+HistogramSnapshot snapshotHistogram(const Histogram &h);
+
 } // namespace fasp::obs
 
 #endif // FASP_OBS_METRICS_H

@@ -169,6 +169,26 @@ Tracer::ringCount() const
     return rings_.size();
 }
 
+std::vector<TraceRingStats>
+Tracer::ringStats() const
+{
+    MutexLock lk(&mu_);
+    std::vector<TraceRingStats> out;
+    out.reserve(rings_.size());
+    for (std::size_t i = 0; i < rings_.size(); ++i) {
+        const TraceRing &ring = *rings_[i];
+        TraceRingStats stats;
+        stats.ring = i;
+        stats.capacity = ring.capacity();
+        stats.recorded = ring.recorded();
+        stats.dropped = ring.dropped();
+        stats.retained = std::min<std::uint64_t>(ring.recorded(),
+                                                 ring.capacity());
+        out.push_back(stats);
+    }
+    return out;
+}
+
 void
 Tracer::reset()
 {

@@ -99,6 +99,17 @@ class TraceRing
     std::atomic<std::uint64_t> head_{0};
 };
 
+/** Per-ring occupancy/drop summary (exported by obs/export.cc so a
+ *  hot thread overflowing its ring is visible, not silent). */
+struct TraceRingStats
+{
+    std::size_t ring = 0;       //!< ring index (registration order)
+    std::size_t capacity = 0;
+    std::uint64_t recorded = 0; //!< events ever recorded
+    std::uint64_t dropped = 0;  //!< events lost to wraparound
+    std::uint64_t retained = 0; //!< events currently held
+};
+
 /**
  * Process-wide trace sink: hands each recording thread its own
  * TraceRing on first use and merges them for export. Rings are never
@@ -133,6 +144,10 @@ class Tracer
 
     /** Number of thread rings created so far. */
     std::size_t ringCount() const EXCLUDES(mu_);
+
+    /** Per-ring capacity/recorded/dropped/retained, in registration
+     *  order. */
+    std::vector<TraceRingStats> ringStats() const EXCLUDES(mu_);
 
     /** Forget all events in every ring. Quiescent-only. */
     void reset() EXCLUDES(mu_);

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "page/page_io.h"
@@ -108,10 +109,11 @@ Pager::format(pm::PmDevice &device, const FormatParams &params)
             "page size must be a power of two in [256, 32768] "
             "(page offsets are 16-bit)");
     }
-    if (device.size() <= params.logLen + 4 * psize)
+    if (device.size() <= params.logLen + params.frLen + 4 * psize)
         return statusInvalid("device too small for layout");
 
-    std::uint64_t page_area = device.size() - params.logLen;
+    std::uint64_t page_area =
+        device.size() - params.logLen - params.frLen;
     auto page_count = static_cast<std::uint32_t>(page_area / psize);
 
     // Bitmap sizing: 1 bit per page, rounded up to whole pages.
@@ -125,6 +127,8 @@ Pager::format(pm::PmDevice &device, const FormatParams &params)
     sb.directoryPid = 1 + bitmap_pages;
     sb.logOff = static_cast<std::uint64_t>(page_count) * psize;
     sb.logLen = params.logLen;
+    sb.frOff = sb.logOff + sb.logLen;
+    sb.frLen = params.frLen;
 
     // Zero the meta pages (bitmap starts all-free).
     device.memset(0, 0, static_cast<std::size_t>(sb.directoryPid + 1) *
@@ -159,6 +163,11 @@ Pager::format(pm::PmDevice &device, const FormatParams &params)
     device.flushRange(sb.logOff,
                       std::min<std::uint64_t>(sb.logLen, psize));
     device.sfence();
+
+    // Flight-recorder ring: header + zeroed slots, so later opens and
+    // offline forensics always find a decodable ring.
+    if (sb.frLen != 0)
+        obs::FlightRecorder::formatRegion(device, sb.frOff, sb.frLen);
 
     sb.writeTo(device); // flushes and fences itself
     return sb;

@@ -10,6 +10,8 @@
  *   pages B+2..N-1         data pages (B-tree / overflow)
  *   [N*P, N*P + logLen)    engine log region (slot-header log, NVWAL
  *                          heap+WAL, rollback journal, ...)
+ *   [frOff, frOff + frLen) persistent flight-recorder ring (obs/
+ *                          flight_recorder.h, DESIGN.md §12)
  *
  * Bitmap persistence is engine-specific (it must be transactional), so
  * the allocator here operates through a BitmapIO abstraction: the PM
@@ -118,12 +120,17 @@ class Pager
     {
         std::uint32_t pageSize = kDefaultPageSize;
         std::uint64_t logLen = 8u << 20; //!< engine log region bytes
+
+        /** Flight-recorder region bytes at the end of the device
+         *  (DESIGN.md §12). 0 disables the persistent recorder. */
+        std::uint64_t frLen = 64u << 10;
     };
 
     /**
      * Initialize @p device: write the superblock, zero the bitmap, mark
-     * the meta pages allocated, and initialize an empty directory page.
-     * Sizes the page area to fill everything before the log region.
+     * the meta pages allocated, initialize an empty directory page, and
+     * format the flight-recorder ring. Sizes the page area to fill
+     * everything before the log + flight-recorder regions.
      */
     static Result<Superblock> format(pm::PmDevice &device,
                                      const FormatParams &params);

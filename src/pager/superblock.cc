@@ -21,7 +21,9 @@ Superblock::writeTo(pm::PmDevice &device) const
     storeU32(buf.data() + 24, directoryPid);
     storeU64(buf.data() + 28, logOff);
     storeU64(buf.data() + 36, logLen);
-    storeU32(buf.data() + 44, crc32c(buf.data(), 44));
+    storeU64(buf.data() + 44, frOff);
+    storeU64(buf.data() + 52, frLen);
+    storeU32(buf.data() + 60, crc32c(buf.data(), 60));
     device.write(0, buf.data(), buf.size());
     device.flushRange(0, buf.size());
     device.sfence();
@@ -37,7 +39,7 @@ Superblock::readFrom(pm::PmDevice &device)
         return Status(StatusCode::Corruption, "superblock magic mismatch");
     if (loadU32(buf.data() + 8) != kVersion)
         return Status(StatusCode::Corruption, "superblock version");
-    if (loadU32(buf.data() + 44) != crc32c(buf.data(), 44))
+    if (loadU32(buf.data() + 60) != crc32c(buf.data(), 60))
         return Status(StatusCode::Corruption, "superblock CRC mismatch");
 
     Superblock sb;
@@ -47,9 +49,12 @@ Superblock::readFrom(pm::PmDevice &device)
     sb.directoryPid = loadU32(buf.data() + 24);
     sb.logOff = loadU64(buf.data() + 28);
     sb.logLen = loadU64(buf.data() + 36);
+    sb.frOff = loadU64(buf.data() + 44);
+    sb.frLen = loadU64(buf.data() + 52);
 
     if (sb.pageSize < 256 || sb.pageCount == 0 ||
         sb.logOff + sb.logLen > device.size() ||
+        sb.frOff + sb.frLen > device.size() ||
         static_cast<std::uint64_t>(sb.pageCount) * sb.pageSize >
             device.size()) {
         return Status(StatusCode::Corruption, "superblock bounds");

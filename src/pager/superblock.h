@@ -35,10 +35,10 @@ struct Region
 struct Superblock
 {
     static constexpr std::uint64_t kMagic = 0x4641535044423031ull;
-    static constexpr std::uint32_t kVersion = 1;
+    static constexpr std::uint32_t kVersion = 2;
 
-    /** Serialized footprint in bytes (fits one cache line). */
-    static constexpr std::size_t kEncodedBytes = 48;
+    /** Serialized footprint in bytes (fits one cache line exactly). */
+    static constexpr std::size_t kEncodedBytes = 64;
 
     std::uint32_t pageSize = 0;
     std::uint32_t pageCount = 0;
@@ -46,11 +46,16 @@ struct Superblock
     PageId directoryPid = 0;         //!< tree-id -> root-pid directory
     std::uint64_t logOff = 0;        //!< engine log region offset
     std::uint64_t logLen = 0;        //!< engine log region length
+    std::uint64_t frOff = 0;         //!< flight-recorder region offset
+    std::uint64_t frLen = 0;         //!< flight-recorder region length
+                                     //!< (0 = no recorder region)
 
     /** First page id available for data (after meta pages). */
     PageId firstDataPid() const { return directoryPid + 1; }
 
     Region logRegion() const { return Region{logOff, logLen}; }
+
+    Region flightRecorderRegion() const { return Region{frOff, frLen}; }
 
     /** Device offset of page @p pid. */
     PmOffset pageOffset(PageId pid) const

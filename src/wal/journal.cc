@@ -1,5 +1,6 @@
 #include "wal/journal.h"
 
+#include <chrono>
 #include <vector>
 
 #include "common/byte_io.h"
@@ -105,18 +106,30 @@ RollbackJournal::invalidate()
 }
 
 Result<bool>
-RollbackJournal::recover()
+RollbackJournal::recover(RecoveryBreakdown *breakdown)
 {
     pm::SiteScope site(device_, "RollbackJournal::recover");
+    RecoveryBreakdown local;
+    RecoveryBreakdown &bd = breakdown != nullptr ? *breakdown : local;
+    auto ns_since = [](std::chrono::steady_clock::time_point t0) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0).count());
+    };
+    auto scan_started = std::chrono::steady_clock::now();
+
     std::uint8_t header[16];
     device_.read(region_.off, header, sizeof(header));
     if (loadU32(header) != kMagic) {
         format();
+        bd.scanNs += ns_since(scan_started);
         return false;
     }
     std::uint32_t count = loadU32(header + 4);
-    if (count == 0)
+    if (count == 0) {
+        bd.scanNs += ns_since(scan_started);
         return false;
+    }
 
     // Validate every entry against the sealed CRC.
     std::uint32_t crc = 0;
@@ -124,21 +137,32 @@ RollbackJournal::recover()
     for (std::uint32_t i = 0; i < count; ++i) {
         PmOffset off = entryOff(i);
         if (off + entry.size() > region_.end()) {
-            // Header lies: treat as unsealed.
+            // Header lies: treat as unsealed (torn mid-seal).
+            bd.scanNs += ns_since(scan_started);
+            auto repair_started = std::chrono::steady_clock::now();
             invalidate();
             stats_.commits--; // invalidate() counts a commit; undo
+            bd.tornRecords = 1;
+            bd.repairNs += ns_since(repair_started);
             return false;
         }
         device_.read(off, entry.data(), entry.size());
         crc = crc32c(entry.data(), entry.size(), crc);
+        bd.pagesScanned++;
     }
     if (crc != loadU32(header + 8)) {
+        bd.scanNs += ns_since(scan_started);
+        auto repair_started = std::chrono::steady_clock::now();
         invalidate();
         stats_.commits--;
+        bd.tornRecords = 1;
+        bd.repairNs += ns_since(repair_started);
         return false;
     }
+    bd.scanNs += ns_since(scan_started);
 
     // Sealed journal: roll the original pages back.
+    auto replay_started = std::chrono::steady_clock::now();
     for (std::uint32_t i = 0; i < count; ++i) {
         PmOffset off = entryOff(i);
         device_.read(off, entry.data(), entry.size());
@@ -146,11 +170,16 @@ RollbackJournal::recover()
         PmOffset page_off = sb_.pageOffset(pid);
         device_.write(page_off, entry.data() + 8, sb_.pageSize);
         device_.flushRange(page_off, sb_.pageSize);
+        bd.recordsReplayed++;
     }
     device_.sfence();
+    bd.replayNs += ns_since(replay_started);
+
+    auto discard_started = std::chrono::steady_clock::now();
     invalidate();
     stats_.commits--;
     stats_.rollbacks++;
+    bd.discardNs += ns_since(discard_started);
     return true;
 }
 

@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "pager/superblock.h"
+#include "wal/recovery_stats.h"
 
 namespace fasp::pm {
 class PmDevice;
@@ -71,9 +72,10 @@ class RollbackJournal
     /**
      * Post-crash recovery: a sealed, CRC-valid journal is rolled back
      * into the database image; anything else is discarded.
+     * @p breakdown (optional) receives per-phase timings/counters.
      * @return true if a rollback was performed.
      */
-    Result<bool> recover();
+    Result<bool> recover(RecoveryBreakdown *breakdown = nullptr);
 
     JournalStats &stats() { return stats_; }
 

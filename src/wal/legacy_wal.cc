@@ -1,6 +1,7 @@
 #include "wal/legacy_wal.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/byte_io.h"
 #include "common/crc32.h"
@@ -174,9 +175,17 @@ LegacyWal::checkpoint()
 }
 
 Status
-LegacyWal::recover()
+LegacyWal::recover(RecoveryBreakdown *breakdown)
 {
     pm::SiteScope site(device_, "LegacyWal::recover");
+    RecoveryBreakdown local;
+    RecoveryBreakdown &bd = breakdown != nullptr ? *breakdown : local;
+    auto ns_since = [](std::chrono::steady_clock::time_point t0) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0).count());
+    };
+    auto scan_started = std::chrono::steady_clock::now();
     ensureAttached();
     index_.clear();
     lastTxid_ = 0;
@@ -212,8 +221,11 @@ LegacyWal::recover()
                          page.size());
             crc = crc32c(page.data(), page.size(), crc);
         }
-        if (crc != loadU32(head + 28))
+        if (crc != loadU32(head + 28)) {
+            bd.tornRecords++;
             break; // torn tail
+        }
+        bd.pagesScanned++;
 
         RawFrame raw;
         raw.pid = loadU32(head + 4);
@@ -233,15 +245,22 @@ LegacyWal::recover()
     }
     writeOff_ = cursor;
     nextSeq_ = max_seq + 1;
+    bd.scanNs += ns_since(scan_started);
 
+    auto replay_started = std::chrono::steady_clock::now();
     std::sort(frames.begin(), frames.end(),
               [](const RawFrame &a, const RawFrame &b) {
                   return a.seq < b.seq;
               });
     for (const RawFrame &raw : frames) {
-        if (committed.count(raw.txid))
+        if (committed.count(raw.txid)) {
             index_[raw.pid] = raw.off;
+            bd.recordsReplayed++;
+        } else {
+            bd.recordsDiscarded++;
+        }
     }
+    bd.replayNs += ns_since(replay_started);
     return Status::ok();
 }
 

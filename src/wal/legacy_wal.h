@@ -30,6 +30,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "pager/superblock.h"
+#include "wal/recovery_stats.h"
 
 namespace fasp::pm {
 class PmDevice;
@@ -64,8 +65,9 @@ class LegacyWal
     void format();
 
     /** Rebuild the frame index after restart/crash: committed frames
-     *  are indexed, an uncommitted tail is ignored. */
-    Status recover();
+     *  are indexed, an uncommitted tail is ignored. @p breakdown
+     *  (optional) receives per-phase timings/counters. */
+    Status recover(RecoveryBreakdown *breakdown = nullptr);
 
     /** Append full-page frames + commit frame; flush; index. */
     Status commitTx(TxId txid, std::span<const WalDirtyPage> pages);

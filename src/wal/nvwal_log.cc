@@ -1,6 +1,7 @@
 #include "wal/nvwal_log.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/crc32.h"
@@ -258,9 +259,18 @@ NvwalLog::checkpoint()
 }
 
 Status
-NvwalLog::recover()
+NvwalLog::recover(RecoveryBreakdown *breakdown)
 {
     pm::SiteScope site(device_, "NvwalLog::recover");
+    RecoveryBreakdown local;
+    RecoveryBreakdown &bd = breakdown != nullptr ? *breakdown : local;
+    auto ns_since = [](std::chrono::steady_clock::time_point t0) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0).count());
+    };
+    auto scan_started = std::chrono::steady_clock::now();
+
     index_.clear();
     FASP_RETURN_IF_ERROR(heap_.attach());
 
@@ -277,6 +287,7 @@ NvwalLog::recover()
     std::vector<PmOffset> bad_frames;
 
     heap_.scanAllocated([&](PmOffset off, std::uint32_t size) {
+        bd.pagesScanned++;
         std::vector<std::uint8_t> buf(size);
         device_.read(off, buf.data(), size);
         if (size < 24) {
@@ -335,8 +346,11 @@ NvwalLog::recover()
         lastTxid_ = std::max(lastTxid_, raw.txid);
     }
     nextSeq_ = max_seq + 1;
+    bd.scanNs += ns_since(scan_started);
 
+    auto replay_started = std::chrono::steady_clock::now();
     std::vector<RawFrame> keep;
+    std::vector<PmOffset> drop;
     for (const RawFrame &raw : frames) {
         if (raw.commit)
             continue;
@@ -344,13 +358,8 @@ NvwalLog::recover()
             keep.push_back(raw);
             stats_.recoveredTxns++; // counted per surviving frame
         } else {
-            heap_.pfree(raw.off);
-            stats_.discardedFrames++;
+            drop.push_back(raw.off);
         }
-    }
-    for (PmOffset off : bad_frames) {
-        heap_.pfree(off);
-        stats_.discardedFrames++;
     }
 
     std::sort(keep.begin(), keep.end(),
@@ -359,6 +368,26 @@ NvwalLog::recover()
               });
     for (const RawFrame &raw : keep)
         index_[raw.pid].push_back(FrameLoc{raw.seq, raw.off, raw.size});
+    bd.recordsReplayed = keep.size();
+    bd.replayNs += ns_since(replay_started);
+
+    auto discard_started = std::chrono::steady_clock::now();
+    for (PmOffset off : drop) {
+        heap_.pfree(off);
+        stats_.discardedFrames++;
+    }
+    bd.recordsDiscarded = drop.size();
+    bd.discardNs += ns_since(discard_started);
+
+    // Torn-record repair: a frame whose CRC or framing failed was torn
+    // mid-append; releasing its heap block removes it for good.
+    auto repair_started = std::chrono::steady_clock::now();
+    for (PmOffset off : bad_frames) {
+        heap_.pfree(off);
+        stats_.discardedFrames++;
+    }
+    bd.tornRecords = bad_frames.size();
+    bd.repairNs += ns_since(repair_started);
     return Status::ok();
 }
 

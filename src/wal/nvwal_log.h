@@ -40,6 +40,7 @@
 #include "common/types.h"
 #include "pager/superblock.h"
 #include "wal/nv_heap.h"
+#include "wal/recovery_stats.h"
 
 namespace fasp::pm {
 class PmDevice;
@@ -82,8 +83,9 @@ class NvwalLog
     void format();
 
     /** Attach after restart/crash: scan the heap, rebuild the WAL
-     *  index from committed frames, discard uncommitted ones. */
-    Status recover();
+     *  index from committed frames, discard uncommitted ones.
+     *  @p breakdown (optional) receives per-phase timings/counters. */
+    Status recover(RecoveryBreakdown *breakdown = nullptr);
 
     /**
      * Commit @p pages under @p txid: diff, allocate, store, flush,

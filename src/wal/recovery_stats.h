@@ -1,0 +1,42 @@
+/**
+ * @file
+ * RecoveryBreakdown: per-phase accounting of one crash-recovery pass,
+ * filled by each log manager's recover() and folded by the engine
+ * layer into the obs::RecoveryLedger (DESIGN.md §12).
+ *
+ * The four phases follow the shape every recovery here shares:
+ *   scan        walk the durable log/heap/ring and validate framing
+ *   replay      apply surviving committed records to the image
+ *   discard     drop uncommitted or stale records
+ *   torn repair rebuild state damaged mid-write (free-list rebuild,
+ *               flight-recorder slot zeroing, journal invalidation)
+ */
+
+#ifndef FASP_WAL_RECOVERY_STATS_H
+#define FASP_WAL_RECOVERY_STATS_H
+
+#include <cstdint>
+
+namespace fasp::wal {
+
+struct RecoveryBreakdown
+{
+    std::uint64_t scanNs = 0;
+    std::uint64_t replayNs = 0;
+    std::uint64_t discardNs = 0;
+    std::uint64_t repairNs = 0;
+
+    std::uint64_t pagesScanned = 0;     //!< pages / frames / slots read
+    std::uint64_t recordsReplayed = 0;  //!< committed records applied
+    std::uint64_t recordsDiscarded = 0; //!< uncommitted/stale dropped
+    std::uint64_t tornRecords = 0;      //!< CRC-invalid records repaired
+
+    std::uint64_t totalNs() const
+    {
+        return scanNs + replayNs + discardNs + repairNs;
+    }
+};
+
+} // namespace fasp::wal
+
+#endif // FASP_WAL_RECOVERY_STATS_H

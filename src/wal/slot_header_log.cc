@@ -1,6 +1,7 @@
 #include "wal/slot_header_log.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/crc32.h"
 #include "common/logging.h"
@@ -234,9 +235,18 @@ SlotHeaderLog::truncate()
 }
 
 Result<SlotHeaderRecovery>
-SlotHeaderLog::recover()
+SlotHeaderLog::recover(RecoveryBreakdown *breakdown)
 {
     pm::SiteScope site(device_, "SlotHeaderLog::recover");
+    RecoveryBreakdown local;
+    RecoveryBreakdown &bd = breakdown != nullptr ? *breakdown : local;
+    auto ns_since = [](std::chrono::steady_clock::time_point t0) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0).count());
+    };
+    auto scan_started = std::chrono::steady_clock::now();
+
     ensureAttached();
     SlotHeaderRecovery result;
     PmOffset cursor = entryStart();
@@ -252,6 +262,7 @@ SlotHeaderLog::recover()
             break;
         if (type > kCommit || cursor + 4 + len > region_.end())
             break; // garbage tail
+        bd.pagesScanned++;
 
         std::vector<std::uint8_t> body(len);
         if (len > 0)
@@ -267,12 +278,16 @@ SlotHeaderLog::recover()
             if (logged_crc != crc)
                 break; // torn commit mark: not committed
             // Replay this committed batch (idempotent).
+            bd.scanNs += ns_since(scan_started);
             pending_ = std::move(batch);
+            bd.recordsReplayed = pending_.size();
             for (const PendingEntry &entry : pending_) {
                 if (entry.type == kPageHeader)
                     result.touchedPages.push_back(entry.pid);
             }
+            auto replay_started = std::chrono::steady_clock::now();
             FASP_RETURN_IF_ERROR(checkpointAndTruncate());
+            bd.replayNs += ns_since(replay_started);
             result.replayed = true;
             stats_.recoveredTxns++;
             // Eager checkpointing means one tx per log; stop here.
@@ -328,10 +343,15 @@ SlotHeaderLog::recover()
 
     // No valid commit mark: discard everything (paper §4.4 — the
     // original pages were never altered, so recovery is trivial).
-    if (!batch.empty())
+    bd.scanNs += ns_since(scan_started);
+    auto discard_started = std::chrono::steady_clock::now();
+    if (!batch.empty()) {
         stats_.discardedTxns++;
+        bd.recordsDiscarded = batch.size();
+    }
     truncate();
     begin();
+    bd.discardNs += ns_since(discard_started);
     return result;
 }
 

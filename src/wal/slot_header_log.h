@@ -39,6 +39,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "pager/superblock.h"
+#include "wal/recovery_stats.h"
 
 namespace fasp::pm {
 class PmDevice;
@@ -127,8 +128,10 @@ class SlotHeaderLog
      * Post-crash recovery (paper §4.4): scan the log; a transaction
      * with a valid commit mark is replayed (checkpoint is idempotent),
      * anything else is discarded; the log is truncated either way.
+     * @p breakdown (optional) receives per-phase timings/counters.
      */
-    Result<SlotHeaderRecovery> recover();
+    Result<SlotHeaderRecovery> recover(
+        RecoveryBreakdown *breakdown = nullptr);
 
     SlotHeaderLogStats &stats() { return stats_; }
     const SlotHeaderLogStats &stats() const { return stats_; }

@@ -34,12 +34,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "common/rng.h"
 #include "core/engine.h"
+#include "forensics.h"
+#include "obs/flight_recorder.h"
 #include "pm/device.h"
 #include "support/checker_guard.h"
 
@@ -223,6 +228,86 @@ class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
   protected:
     static constexpr std::size_t kSeedKeys = 60;
 
+    // The sweep runs with the persistent flight recorder ON: its
+    // appends go through the same crash-injected, checker-guarded
+    // device as real data, and the forensics assertion below requires
+    // the timeline to survive every crash point.
+    void SetUp() override { obs::FlightRecorder::setEnabled(true); }
+    void TearDown() override { obs::FlightRecorder::setEnabled(false); }
+
+    /**
+     * The tentpole acceptance check: from the durable image ALONE
+     * (before recovery has run), fasp-forensics must identify the
+     * operation the crash interrupted.
+     *
+     * Three outcomes are legal at a crash point:
+     *   - an unresolved OpBegin names exactly the in-flight txid;
+     *   - no OpBegin for that txid is durable — the crash landed
+     *     inside the OpBegin append itself, before which no op
+     *     persistence can have happened (append is store+flush+fence);
+     *   - the txid's CommitPoint record is durable — the crash landed
+     *     after the transaction was already committed.
+     */
+    void
+    assertForensics(const pm::PmDevice &device,
+                    std::uint64_t expected_txid, std::uint64_t k) const
+    {
+        forensics::CrashReport report = forensics::analyzeImage(
+            device.durableData(), device.size());
+        ASSERT_TRUE(report.sb.present && report.sb.crcOk)
+            << "superblock undecodable at event " << k;
+        ASSERT_TRUE(report.timeline.headerOk)
+            << "flight-recorder header undecodable at event " << k;
+
+        if (report.inflight.found) {
+            EXPECT_EQ(report.inflight.txid, expected_txid)
+                << "forensics misidentified the in-flight op at event "
+                << k;
+            return;
+        }
+        bool begin_durable = false;
+        for (const obs::FlightRecord &rec : report.timeline.records) {
+            if (rec.type == obs::FlightEventType::OpBegin &&
+                rec.txid == expected_txid) {
+                begin_durable = true;
+            }
+        }
+        if (begin_durable) {
+            EXPECT_EQ(report.inflight.lastCommittedTxid, expected_txid)
+                << "tx " << expected_txid
+                << " began and neither committed nor stayed open at "
+                << "event " << k;
+        }
+    }
+
+    /** Optional CI hook: dump every Nth crash image so the
+     *  fasp-forensics CLI can be run over real artifacts
+     *  (FASP_CRASH_SWEEP_DUMP_DIR + FASP_CRASH_SWEEP_DUMP_EVERY). */
+    void
+    maybeDumpImage(const pm::PmDevice &device, std::uint64_t k) const
+    {
+        const char *dir = std::getenv("FASP_CRASH_SWEEP_DUMP_DIR");
+        if (dir == nullptr)
+            return;
+        std::uint64_t every = 50;
+        if (const char *n = std::getenv("FASP_CRASH_SWEEP_DUMP_EVERY"))
+            every = std::strtoull(n, nullptr, 10);
+        if (every == 0 || k % every != 0)
+            return;
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        std::string name = info->name(); // "TestName/ParamName"
+        for (char &c : name) {
+            if (c == '/')
+                c = '_';
+        }
+        std::string path = std::string(dir) + "/" + name + "_k" +
+                           std::to_string(k) + ".img";
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(device.durableData()),
+                  static_cast<std::streamsize>(device.size()));
+    }
+
     EngineConfig
     engineConfig() const
     {
@@ -319,6 +404,7 @@ class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
         auto ops = windowOps();
         std::optional<std::size_t> inflight;
         bool crashed = false;
+        std::uint64_t expected_txid = 0;
         std::size_t op_index = 0;
         try {
             for (; op_index < ops.size(); ++op_index) {
@@ -333,14 +419,20 @@ class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
         } catch (const pm::CrashException &) {
             crashed = true;
             inflight = op_index;
+            // Txids are allocated 1:1 with begins, so the in-flight
+            // transaction's id is the begin count at the crash.
+            expected_txid = engine->stats().txBegun.load();
         }
         device->setCrashInjector(nullptr);
         if (!crashed)
             return true; // k is beyond the window: sweep complete
 
-        // Destroy the crashed engine (must not touch the device) and
-        // recover from the durable image.
+        // Destroy the crashed engine (must not touch the device) and,
+        // BEFORE recovery mutates anything, run the offline forensics
+        // over the durable image exactly as the CLI would see it.
         engine.reset();
+        assertForensics(*device, expected_txid, k);
+        maybeDumpImage(*device, k);
         device->reviveAfterCrash();
         auto recovered =
             Engine::create(*device, engineConfig(), /*format=*/false);

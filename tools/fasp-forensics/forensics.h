@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Offline post-crash forensics over a raw PM image (DESIGN.md §12,
+ * EXPERIMENTS.md "Post-crash forensics"). Everything here works on a
+ * byte buffer — the durable image of a crashed (or clean) device — so
+ * it never needs a PmDevice, an Engine, or recovery to have run:
+ *
+ *   - superblock decode (v2 layout, CRC-checked);
+ *   - log-region decode, sniffing the engine family by magic
+ *     (slot-header log / rollback journal / NVWAL heap / legacy WAL)
+ *     and extracting epoch, entry counts, and committed txids;
+ *   - flight-recorder timeline reconstruction, including torn-tail
+ *     detection (a record half-flushed at the crash point fails its
+ *     CRC and is reported, never misparsed);
+ *   - in-flight operation inference: the OpBegin records with no
+ *     matching CommitPoint/Abort tell which transaction the crash
+ *     interrupted.
+ *
+ * Used by the fasp-forensics CLI and linked straight into crash_sweep,
+ * which asserts at every simulated crash point that the inference
+ * matches the transaction it actually tore.
+ */
+
+#ifndef FASP_TOOLS_FORENSICS_H
+#define FASP_TOOLS_FORENSICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace fasp::forensics {
+
+/** Decoded superblock fields (valid when present && crcOk). */
+struct SuperblockInfo
+{
+    bool present = false; //!< magic matched
+    bool crcOk = false;
+    std::uint32_t version = 0;
+    std::uint32_t pageSize = 0;
+    std::uint32_t pageCount = 0;
+    std::uint32_t bitmapPages = 0;
+    std::uint32_t directoryPid = 0;
+    std::uint64_t logOff = 0;
+    std::uint64_t logLen = 0;
+    std::uint64_t frOff = 0;
+    std::uint64_t frLen = 0;
+};
+
+/** Log-region decode, summarized uniformly across the four formats. */
+struct LogInfo
+{
+    /** "slot-header-log", "journal", "nvwal", "legacy-wal", "none",
+     *  or "unknown" (region present but no magic matched). */
+    std::string family = "none";
+    bool headerOk = false;
+    std::uint64_t epoch = 0;    //!< slot-header / legacy-wal only
+    std::uint64_t entries = 0;  //!< entries / frames / heap blocks
+    std::uint64_t commits = 0;  //!< commit marks decoded
+    std::uint64_t tornTail = 0; //!< records cut off by a bad CRC
+    bool sealed = false;        //!< journal: sealed, rollback pending
+    std::vector<std::uint64_t> committedTxids;
+};
+
+/** Flight-recorder ring reconstruction. */
+struct TimelineInfo
+{
+    bool regionPresent = false; //!< superblock says frLen != 0
+    bool headerOk = false;
+    std::uint32_t capacity = 0;
+    std::vector<obs::FlightRecord> records; //!< sequence order
+    std::vector<std::uint32_t> tornSlots;   //!< torn mid-append
+};
+
+/** The operation the crash interrupted, per the flight recorder. */
+struct InflightInfo
+{
+    bool found = false;        //!< an OpBegin never resolved
+    std::uint64_t txid = 0;
+    std::uint8_t engineCode = 0; //!< core::EngineKind + 1
+    std::uint64_t beginSeq = 0;  //!< seq of the orphaned OpBegin
+    bool recoveryInterrupted = false; //!< RecoveryBegin never ended
+    /** Highest-seq CommitPoint txid (0 = none): when no op is
+     *  in-flight, this is the last transaction known durable. */
+    std::uint64_t lastCommittedTxid = 0;
+};
+
+/** Everything the analyzer can tell about one image. */
+struct CrashReport
+{
+    std::uint64_t imageBytes = 0;
+    SuperblockInfo sb;
+    LogInfo log;
+    TimelineInfo timeline;
+    InflightInfo inflight;
+};
+
+/** Engine name for a flight-record engine code ("FAST", ...,
+ *  "unknown"). */
+const char *engineCodeName(std::uint8_t code);
+
+/** Analyze a raw image. Never throws; missing/corrupt structures are
+ *  reported, not fatal. */
+CrashReport analyzeImage(const std::uint8_t *data, std::size_t len);
+
+/** Machine-readable report (schema checked by metrics_check
+ *  --forensics). */
+std::string reportToJson(const CrashReport &report);
+
+/** Human-readable report for the CLI. */
+std::string reportToText(const CrashReport &report);
+
+} // namespace fasp::forensics
+
+#endif // FASP_TOOLS_FORENSICS_H

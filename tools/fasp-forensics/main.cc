@@ -1,0 +1,60 @@
+/**
+ * @file
+ * fasp-forensics: offline crash-report CLI. Opens a raw PM image file
+ * (crashed or clean — e.g. one dumped by crash_sweep via
+ * FASP_CRASH_SWEEP_DUMP_DIR) and prints what can be reconstructed from
+ * the durable bytes alone: superblock, log region, flight-recorder
+ * timeline, and the inferred in-flight operation.
+ *
+ * Usage: fasp-forensics [--json] <image-file>
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "forensics.h"
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (path == nullptr) {
+            path = argv[i];
+        } else {
+            path = nullptr;
+            break;
+        }
+    }
+    if (path == nullptr) {
+        std::fprintf(stderr,
+                     "usage: fasp-forensics [--json] <image-file>\n");
+        return 2;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "fasp-forensics: cannot open %s\n", path);
+        return 1;
+    }
+    std::vector<std::uint8_t> image(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) {
+        std::fprintf(stderr, "fasp-forensics: read error on %s\n",
+                     path);
+        return 1;
+    }
+
+    fasp::forensics::CrashReport report =
+        fasp::forensics::analyzeImage(image.data(), image.size());
+    std::string body = json ? fasp::forensics::reportToJson(report)
+                            : fasp::forensics::reportToText(report);
+    std::fputs(body.c_str(), stdout);
+    return 0;
+}

@@ -10,7 +10,7 @@
  *    the CI bench-smoke artifacts;
  *  - the --metrics export: schema_version, counters / gauges /
  *    histograms (complete summary fields), pm_phases / pm_sites /
- *    trace sections.
+ *    recovery / trace (incl. ring_stats) sections.
  *
  * With --fig8, additionally asserts that the export alone reproduces
  * the paper's Figure-8 commit breakdown for FAST / FASH / NVWAL:
@@ -18,7 +18,12 @@
  * engines, and the atomic 64-B header write for FAST (the PR's
  * acceptance criterion).
  *
+ * With --forensics, instead validates one or more fasp-forensics
+ * --json reports (the CI crash-image artifacts) against the forensics
+ * report schema.
+ *
  * Usage: metrics_check [--fig8] <bench-binary> [work-dir]
+ *        metrics_check --forensics <report.json>...
  */
 
 #include <cctype>
@@ -405,7 +410,7 @@ checkMetricsSchema(const JsonValue &doc)
         requireField(doc, "schema_version", JsonValue::Number,
                      "metrics");
     if (version)
-        check(version->number == 1, "metrics: schema_version != 1");
+        check(version->number == 2, "metrics: schema_version != 2");
 
     const JsonValue *counters =
         requireField(doc, "counters", JsonValue::Object, "metrics");
@@ -454,11 +459,53 @@ checkMetricsSchema(const JsonValue &doc)
         }
     }
 
+    const JsonValue *recovery =
+        requireField(doc, "recovery", JsonValue::Object, "metrics");
+    if (recovery) {
+        for (const auto &[engine, entry] : recovery->fields) {
+            std::string where = "recovery." + engine;
+            if (!check(entry.kind == JsonValue::Object,
+                       where + ": not an object"))
+                continue;
+            for (const char *field :
+                 {"recoveries", "pages_scanned", "records_replayed",
+                  "records_discarded", "torn_records"})
+                requireField(entry, field, JsonValue::Number, where);
+            const JsonValue *ph = requireField(
+                entry, "phases", JsonValue::Object, where);
+            if (!ph)
+                continue;
+            for (const auto &[phase, h] : ph->fields) {
+                std::string pw = where + ".phases." + phase;
+                if (!check(h.kind == JsonValue::Object,
+                           pw + ": not an object"))
+                    continue;
+                for (const char *field :
+                     {"count", "sum", "p50", "p95"})
+                    requireField(h, field, JsonValue::Number, pw);
+            }
+        }
+    }
+
     const JsonValue *trace =
         requireField(doc, "trace", JsonValue::Object, "metrics");
     if (trace) {
         for (const char *field : {"recorded", "dropped", "rings"})
             requireField(*trace, field, JsonValue::Number, "trace");
+        const JsonValue *ring_stats = requireField(
+            *trace, "ring_stats", JsonValue::Array, "trace");
+        if (ring_stats) {
+            for (const JsonValue &rs : ring_stats->items) {
+                if (!check(rs.kind == JsonValue::Object,
+                           "trace ring_stats entry not an object"))
+                    continue;
+                for (const char *field :
+                     {"ring", "capacity", "recorded", "dropped",
+                      "retained"})
+                    requireField(rs, field, JsonValue::Number,
+                                 "trace ring_stats entry");
+            }
+        }
         const JsonValue *events =
             requireField(*trace, "events", JsonValue::Array, "trace");
         if (events) {
@@ -535,6 +582,88 @@ checkFig8(const JsonValue &doc)
     }
 }
 
+// --- fasp-forensics report schema -----------------------------------------
+
+/**
+ * Validates the JSON a `fasp-forensics --json <image>` run emits over
+ * a crash_sweep image (the CI forensics artifacts): tool banner,
+ * superblock / log / flight_recorder / inflight sections, and the
+ * record framing inside the timeline.
+ */
+void
+checkForensicsReport(const JsonValue &doc, const std::string &path)
+{
+    const JsonValue *tool =
+        requireField(doc, "tool", JsonValue::String, path);
+    if (tool)
+        check(tool->str == "fasp-forensics",
+              path + ": tool != fasp-forensics");
+    const JsonValue *version =
+        requireField(doc, "schema_version", JsonValue::Number, path);
+    if (version)
+        check(version->number == 1, path + ": schema_version != 1");
+    requireField(doc, "image_bytes", JsonValue::Number, path);
+
+    const JsonValue *sb =
+        requireField(doc, "superblock", JsonValue::Object, path);
+    if (sb) {
+        for (const char *field : {"present", "crc_ok"})
+            requireField(*sb, field, JsonValue::Bool,
+                         path + ".superblock");
+        for (const char *field :
+             {"version", "page_size", "page_count", "log_off",
+              "log_len", "fr_off", "fr_len"})
+            requireField(*sb, field, JsonValue::Number,
+                         path + ".superblock");
+    }
+
+    const JsonValue *log =
+        requireField(doc, "log", JsonValue::Object, path);
+    if (log) {
+        requireField(*log, "family", JsonValue::String, path + ".log");
+        for (const char *field : {"entries", "commits", "torn_tail"})
+            requireField(*log, field, JsonValue::Number, path + ".log");
+        requireField(*log, "committed_txids", JsonValue::Array,
+                     path + ".log");
+    }
+
+    const JsonValue *fr =
+        requireField(doc, "flight_recorder", JsonValue::Object, path);
+    if (fr) {
+        std::string where = path + ".flight_recorder";
+        for (const char *field : {"region_present", "header_ok"})
+            requireField(*fr, field, JsonValue::Bool, where);
+        requireField(*fr, "capacity", JsonValue::Number, where);
+        requireField(*fr, "torn_slots", JsonValue::Array, where);
+        const JsonValue *records =
+            requireField(*fr, "records", JsonValue::Array, where);
+        if (records) {
+            for (const JsonValue &rec : records->items) {
+                if (!check(rec.kind == JsonValue::Object,
+                           where + ": record not an object"))
+                    continue;
+                for (const char *field :
+                     {"seq", "txid", "page", "aux", "model_ns"})
+                    requireField(rec, field, JsonValue::Number,
+                                 where + " record");
+                for (const char *field : {"type", "engine"})
+                    requireField(rec, field, JsonValue::String,
+                                 where + " record");
+            }
+        }
+    }
+
+    const JsonValue *inflight =
+        requireField(doc, "inflight", JsonValue::Object, path);
+    if (inflight) {
+        std::string where = path + ".inflight";
+        requireField(*inflight, "found", JsonValue::Bool, where);
+        for (const char *field :
+             {"txid", "begin_seq", "last_committed_txid"})
+            requireField(*inflight, field, JsonValue::Number, where);
+    }
+}
+
 } // namespace
 
 int
@@ -546,10 +675,31 @@ main(int argc, char **argv)
         fig8 = true;
         ++arg;
     }
+    if (arg < argc && std::strcmp(argv[arg], "--forensics") == 0) {
+        ++arg;
+        if (arg >= argc) {
+            std::fprintf(stderr, "usage: metrics_check --forensics "
+                                 "<report.json>...\n");
+            return 2;
+        }
+        for (; arg < argc; ++arg) {
+            if (auto doc = loadJson(argv[arg]))
+                checkForensicsReport(*doc, argv[arg]);
+        }
+        if (g_failures) {
+            std::fprintf(stderr, "metrics_check: %d failure(s)\n",
+                         g_failures);
+            return 1;
+        }
+        std::fprintf(stderr, "metrics_check: OK\n");
+        return 0;
+    }
     if (arg >= argc) {
-        std::fprintf(
-            stderr,
-            "usage: metrics_check [--fig8] <bench-binary> [work-dir]\n");
+        std::fprintf(stderr,
+                     "usage: metrics_check [--fig8] <bench-binary> "
+                     "[work-dir]\n"
+                     "       metrics_check --forensics "
+                     "<report.json>...\n");
         return 2;
     }
     std::string bench = argv[arg++];

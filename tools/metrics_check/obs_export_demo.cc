@@ -63,6 +63,20 @@ main(int argc, char **argv)
     ledger.fold("FAST", fast_attr); // latency sweep: accumulates
     ledger.fold("NVWAL", nvwal_attr);
 
+    obs::RecoveryLedger recovery;
+    obs::RecoveryLedger::Sample fast_rec;
+    fast_rec.phaseNs = {4200, 0, 0, 300};
+    fast_rec.pagesScanned = 12;
+    fast_rec.tornRecords = 1;
+    recovery.record("FAST", fast_rec);
+    obs::RecoveryLedger::Sample nvwal_rec;
+    nvwal_rec.phaseNs = {2100, 36000, 900, 0};
+    nvwal_rec.pagesScanned = 8;
+    nvwal_rec.recordsReplayed = 5;
+    nvwal_rec.recordsDiscarded = 2;
+    recovery.record("NVWAL", nvwal_rec);
+    recovery.record("NVWAL", nvwal_rec); // second pass accumulates
+
     obs::Tracer tracer(16);
     tracer.record(obs::TraceOp::TxCommit, "FAST", 7, "in-place", 450,
                   900);
@@ -72,9 +86,9 @@ main(int argc, char **argv)
                   52000);
 
     std::string json = obs::exportJson("obs_export_demo", registry,
-                                       ledger, tracer, 8);
-    std::string prom = obs::exportPrometheus("obs_export_demo",
-                                             registry, ledger, tracer);
+                                       ledger, recovery, tracer, 8);
+    std::string prom = obs::exportPrometheus(
+        "obs_export_demo", registry, ledger, recovery, tracer);
 
     std::ofstream jout(argv[1], std::ios::binary | std::ios::trunc);
     jout << json;
