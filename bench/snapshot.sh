@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerate the committed perf snapshots (BENCH_*.json at the repo
+# root). These are smoke-budget numbers from whatever machine ran them
+# last — useful for spotting gross regressions in review diffs, not for
+# paper-grade comparisons. Run from the repo root after a build:
+#
+#     cmake --build build -j --target fig08_commit_breakdown fig12_throughput
+#     sh bench/snapshot.sh [build-dir]
+set -eu
+
+build="${1:-build}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+"$root/$build/bench/fig08_commit_breakdown" --smoke \
+    --json="$root/BENCH_fig08_commit_breakdown.json"
+"$root/$build/bench/fig12_throughput" --smoke \
+    --json="$root/BENCH_fig12_throughput.json"
+
+echo "snapshot written:"
+ls -l "$root"/BENCH_*.json

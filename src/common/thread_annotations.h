@@ -26,6 +26,8 @@
 
 #include <mutex>
 
+#include "common/sched_hook.h"
+
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
 #define FASP_THREAD_ANNOTATION(x) __attribute__((x))
@@ -112,6 +114,20 @@ class CAPABILITY("mutex") Mutex
 
     void lock() ACQUIRE()
     {
+        if (mc::SchedulerHook *h = mc::activeHook()) {
+            // Model-check path: acquire cooperatively so the scheduler
+            // sees (and controls) who holds the mutex. The try_lock
+            // can only fail while another participating thread holds
+            // the mutex; onBlocked parks us until it releases.
+            h->atPoint(mc::HookOp::MutexLock, this, 1);
+            for (;;) {
+                // fasp-lint: allow(bare-mutex-lock) -- cooperative
+                // acquire under the fasp-mc scheduler.
+                if (mu_.try_lock())
+                    return;
+                h->onBlocked(mc::HookOp::MutexLock, this);
+            }
+        }
         // fasp-lint: allow(bare-mutex-lock) -- the one place the raw
         // primitive is touched; everything else goes through MutexLock.
         mu_.lock();
@@ -121,10 +137,14 @@ class CAPABILITY("mutex") Mutex
     {
         // fasp-lint: allow(bare-mutex-lock) -- see lock().
         mu_.unlock();
+        if (mc::SchedulerHook *h = mc::activeHook())
+            h->onRelease(mc::HookOp::MutexUnlock, this);
     }
 
     bool try_lock() TRY_ACQUIRE(true)
     {
+        if (mc::SchedulerHook *h = mc::activeHook())
+            h->atPoint(mc::HookOp::MutexLock, this, 1);
         // fasp-lint: allow(bare-mutex-lock) -- see lock().
         return mu_.try_lock();
     }

@@ -1,3 +1,5 @@
+// fasp-lint: allow-file(raw-std-sync) -- EngineStats monotonic counters
+// and the tx-id allocator; nothing here blocks or guards shared state.
 /**
  * @file
  * Engine: the top-level storage-engine interface uniting the paper's

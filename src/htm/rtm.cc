@@ -142,64 +142,100 @@ Rtm::tryApply(const RtmRegion &region)
     return ApplyResult::Committed;
 }
 
+Rtm::Outcome
+Rtm::attemptOnce(const std::function<void(RtmRegion &)> &body)
+{
+    stats_.begins.fetch_add(1, std::memory_order_relaxed);
+    RtmRegion region;
+    body(region);
+    checkWriteSet(region);
+
+    if (config_.capacityLines > 0) {
+        std::unordered_set<PmOffset> lines;
+        for (const auto &staged : region.writes_) {
+            for (PmOffset base = cacheLineBase(staged.off);
+                 base < staged.off + staged.bytes.size();
+                 base += kCacheLineSize) {
+                lines.insert(base);
+            }
+        }
+        if (lines.size() > config_.capacityLines) {
+            stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+            stats_.abortsCapacity.fetch_add(
+                1, std::memory_order_relaxed);
+            observeAbort("capacity");
+            return Outcome::FallbackCapacity;
+        }
+    }
+
+    if (region.explicitAbort_) {
+        stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+        stats_.abortsExplicit.fetch_add(1, std::memory_order_relaxed);
+        observeAbort("explicit");
+        return Outcome::AbortExplicit;
+    }
+    if (rollInjectedAbort()) {
+        stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+        stats_.abortsInjected.fetch_add(1, std::memory_order_relaxed);
+        observeAbort("injected");
+        return Outcome::AbortInjected;
+    }
+    if (tryApply(region) == ApplyResult::Contention) {
+        stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+        stats_.abortsContention.fetch_add(
+            1, std::memory_order_relaxed);
+        observeAbort("contention");
+        return Outcome::AbortContention;
+    }
+    stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+        static obs::Counter &c =
+            obs::MetricsRegistry::global().counter("htm.commits");
+        c.inc();
+    }
+    return Outcome::Committed;
+}
+
 bool
 Rtm::execute(const std::function<void(RtmRegion &)> &body)
 {
+    mc::SchedulerHook *h = mc::activeHook();
     for (unsigned attempt = 0; attempt <= config_.maxRetries; ++attempt) {
-        stats_.begins.fetch_add(1, std::memory_order_relaxed);
-        RtmRegion region;
-        body(region);
-        checkWriteSet(region);
-
-        if (config_.capacityLines > 0) {
-            std::unordered_set<PmOffset> lines;
-            for (const auto &staged : region.writes_) {
-                for (PmOffset base = cacheLineBase(staged.off);
-                     base < staged.off + staged.bytes.size();
-                     base += kCacheLineSize) {
-                    lines.insert(base);
-                }
-            }
-            if (lines.size() > config_.capacityLines) {
-                stats_.aborts.fetch_add(1, std::memory_order_relaxed);
-                stats_.abortsCapacity.fetch_add(
-                    1, std::memory_order_relaxed);
-                observeAbort("capacity");
-                // Deterministic: the write set won't shrink on retry.
-                stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
-                return false;
-            }
+        if (h)
+            h->atPoint(mc::HookOp::RtmBegin, this, 1);
+        Outcome out;
+        {
+            // Under fasp-mc the whole attempt executes atomically: on
+            // real RTM no other thread can observe an intermediate
+            // state of a transaction (stores are invisible until
+            // XEND), so interleavings inside the region are
+            // unobservable and exploring them would only blow up the
+            // schedule space. Contention aborts are therefore not
+            // exercised under the model checker (the TSan stress suite
+            // covers them); injected/explicit/capacity aborts are.
+            mc::HookDepthGuard hook_depth;
+            out = attemptOnce(body);
         }
-
-        if (region.explicitAbort_) {
-            stats_.aborts.fetch_add(1, std::memory_order_relaxed);
-            stats_.abortsExplicit.fetch_add(1, std::memory_order_relaxed);
-            observeAbort("explicit");
-            continue;
-        }
-        if (rollInjectedAbort()) {
-            stats_.aborts.fetch_add(1, std::memory_order_relaxed);
-            stats_.abortsInjected.fetch_add(1, std::memory_order_relaxed);
-            observeAbort("injected");
-            continue;
-        }
-        if (tryApply(region) == ApplyResult::Contention) {
-            stats_.aborts.fetch_add(1, std::memory_order_relaxed);
-            stats_.abortsContention.fetch_add(
-                1, std::memory_order_relaxed);
-            observeAbort("contention");
+        switch (out) {
+          case Outcome::Committed:
+            if (h)
+                h->atPoint(mc::HookOp::RtmCommit, this, 1);
+            return true;
+          case Outcome::FallbackCapacity:
+            // Deterministic: the write set won't shrink on retry.
+            stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+            return false;
+          case Outcome::AbortContention:
             // Brief pause so the winning committer can finish before we
             // re-execute the body against the updated line.
             std::this_thread::yield();
+            [[fallthrough]];
+          case Outcome::AbortExplicit:
+          case Outcome::AbortInjected:
+            if (h)
+                h->atPoint(mc::HookOp::RtmAbort, this, 1);
             continue;
         }
-        stats_.commits.fetch_add(1, std::memory_order_relaxed);
-        if (obs::enabled()) {
-            static obs::Counter &c =
-                obs::MetricsRegistry::global().counter("htm.commits");
-            c.inc();
-        }
-        return true;
     }
     stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
     if (obs::enabled()) {

@@ -1,3 +1,5 @@
+// fasp-lint: allow-file(raw-std-sync) -- the RTM emulation shim IS the
+// intercepted wrapper; its internals must not recurse into the hooks.
 /**
  * @file
  * Software emulation of Intel Restricted Transactional Memory (RTM).
@@ -191,6 +193,16 @@ class Rtm
     /** Outcome of one commit attempt's lock acquisition. */
     enum class ApplyResult : std::uint8_t { Committed, Contention };
 
+    /** Outcome of one full attempt (body + checks + apply). */
+    enum class Outcome : std::uint8_t {
+        Committed,
+        FallbackCapacity, //!< deterministic capacity abort: give up now
+        AbortExplicit,
+        AbortInjected,
+        AbortContention,
+    };
+
+    Outcome attemptOnce(const std::function<void(RtmRegion &)> &body);
     ApplyResult tryApply(const RtmRegion &region);
     void checkWriteSet(const RtmRegion &region) const;
     bool rollInjectedAbort();

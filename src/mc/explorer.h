@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Explorer: bounded-preemption stateless search over schedules
+ * (DESIGN.md §13).
+ *
+ * fasp-mc is a CHESS-style stateless model checker: it re-executes the
+ * scenario once per schedule, each time forcing the CoopScheduler
+ * through a decision-vector prefix and letting the deterministic
+ * default policy finish the run. The explorer maintains a DFS over
+ * prefixes with two DPOR-lite pruning sources feeding the backtrack
+ * sets:
+ *
+ *  - eager branching: at every recorded step, alternatives are queued
+ *    only for eligible threads whose pending operation is *dependent*
+ *    on the operation the chosen thread executed (two independent
+ *    operations commute — exploring both orders proves nothing);
+ *
+ *  - race analysis: after each run, for every executed step the nearest
+ *    earlier dependent step by another thread gets the later thread
+ *    queued as an alternative, catching conflicts that were not yet
+ *    pending when the earlier decision was made.
+ *
+ * Schedules that switch away from a runnable thread more than
+ * `preemptionBound` times are pruned (bounded-preemption search: most
+ * concurrency bugs need very few preemptions).
+ *
+ * Each run starts from a snapshot image taken after scenario setup;
+ * the device is rewound in place, a fresh persistency checker is
+ * attached, and (for engine scenarios) the engine is re-opened without
+ * formatting. At explored fences the harness can fork the crash image
+ * a power failure at that instant would leave, load it into a scratch
+ * device, run recovery plus forensics on it, and apply the scenario's
+ * crash oracle — all while the real run stays suspended.
+ */
+
+#ifndef FASP_MC_EXPLORER_H
+#define FASP_MC_EXPLORER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "mc/scenarios.h"
+#include "mc/trace.h"
+#include "pm/checker.h"
+#include "pm/device.h"
+
+namespace fasp::mc {
+
+struct ExploreOptions
+{
+    core::EngineKind engine = core::EngineKind::Fast;
+    std::uint64_t seed = 1;
+    std::uint64_t maxSchedules = 2000;
+    int preemptionBound = 2;
+
+    /** Fork a crash image at every Nth explored fence (0: never). */
+    std::uint32_t crashEvery = 0;
+    pm::CrashPolicy crashPolicy = pm::CrashPolicy::TornLines;
+
+    std::size_t maxStepsPerRun = 200000;
+
+    /** Keep exploring after a violating schedule. */
+    bool keepGoing = false;
+
+    /** Directory for trace files (empty: none are written). Violating
+     *  schedules are always dumped when set. */
+    std::string traceDir;
+
+    /** Additionally dump every Nth schedule's trace (0: violations
+     *  only). The determinism test uses 1 and byte-compares runs. */
+    std::uint32_t traceEvery = 0;
+};
+
+struct ScheduleFailure
+{
+    std::uint64_t scheduleIndex = 0;
+    std::vector<McViolation> violations;
+    std::string tracePath; //!< empty if no traceDir configured
+};
+
+struct ExploreResult
+{
+    std::uint64_t schedules = 0; //!< distinct schedules executed
+    std::uint64_t totalSteps = 0;
+    std::uint64_t crashForks = 0;
+    std::uint64_t maxDepth = 0;  //!< longest schedule (steps)
+    bool exhausted = false;      //!< search space fully covered
+    std::vector<ScheduleFailure> failures;
+};
+
+class Explorer
+{
+  public:
+    /** Builds the harness: devices, engine format + scenario setup,
+     *  snapshot. Panics if setup itself fails (that is a harness bug,
+     *  not a finding). */
+    Explorer(Scenario &scenario, const ExploreOptions &opt);
+    ~Explorer();
+
+    Explorer(const Explorer &) = delete;
+    Explorer &operator=(const Explorer &) = delete;
+
+    ExploreResult explore();
+
+    /** Re-execute one recorded schedule, cross-checking every decision
+     *  against the trace (op + resource token). Divergence is reported
+     *  as a violation in the result. */
+    RunResult replay(const TraceFile &trace);
+
+    /** Fill the reproducibility header of a trace for this harness. */
+    TraceFile traceTemplate() const;
+
+  private:
+    struct PathNode
+    {
+        std::uint8_t chosen = 0;
+        bool forced = false;
+        std::uint8_t eligible = 0;
+        std::uint8_t prevRunning = 0xff;
+        std::array<PendingOp, kMaxThreads> pending{};
+        int preemptions = 0;       //!< cumulative BEFORE this step
+        std::uint32_t doneMask = 0;
+        std::vector<std::uint8_t> todo;
+    };
+
+    RunResult runOnce(const std::vector<std::uint8_t> &prefix,
+                      std::uint64_t scheduleIndex);
+    void crashFork(std::size_t fenceIndex, std::uint64_t scheduleIndex,
+                   std::vector<McViolation> &out);
+    void fsckSweep(pm::PmDevice &device, bool trustScratch,
+                   std::vector<McViolation> &out);
+    bool wouldPreempt(const PathNode &node, std::uint8_t pick) const;
+    void addAlternative(std::size_t nodeIndex, std::uint8_t pick);
+    std::string writeTraceFor(const RunResult &run,
+                              std::uint64_t scheduleIndex);
+
+    Scenario &scenario_;
+    ExploreOptions opt_;
+    core::EngineConfig cfg_;
+    std::unique_ptr<pm::PmDevice> device_;
+    std::unique_ptr<pm::PmDevice> forkDevice_;
+    std::vector<std::uint8_t> snapshot_;
+    std::vector<std::uint8_t> forkImage_; //!< reused scratch buffer
+    std::unique_ptr<pm::PersistencyChecker> checker_;
+    CoopScheduler sched_;
+    std::vector<PathNode> path_;
+    std::uint64_t crashForkCount_ = 0;
+};
+
+/** Parse an engine kind name ("FAST", "NVWAL", ...; case-insensitive).
+ *  Returns false for unknown names. */
+bool parseEngineKind(const std::string &name, core::EngineKind &out);
+
+} // namespace fasp::mc
+
+#endif // FASP_MC_EXPLORER_H

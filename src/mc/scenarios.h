@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The workloads fasp-mc explores (DESIGN.md §13 "Scenarios").
+ *
+ * A Scenario describes one small multi-threaded interaction: how to
+ * seed the database (setup, executed once — the durable image is then
+ * snapshotted and every schedule starts from it), one closure per
+ * worker thread, and the oracles — verify() after each completed
+ * schedule, verifyCrash() against an engine recovered from a crash
+ * image forked at an explored fence.
+ *
+ * Two families live here:
+ *
+ *  - Engine scenarios (same-page-insert, insert-vs-split, ...): drive
+ *    real Engine transactions and must be violation-free; fasp-mc
+ *    failing one of these is a real engine bug.
+ *
+ *  - Negative fixtures (bug-*): seeded bugs that the checker MUST flag
+ *    within a bounded schedule budget; they keep the model checker
+ *    honest and are run as must-fail checks in CI.
+ */
+
+#ifndef FASP_MC_SCENARIOS_H
+#define FASP_MC_SCENARIOS_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mc/scheduler.h"
+
+namespace fasp::core {
+class Engine;
+} // namespace fasp::core
+
+namespace fasp::pm {
+class PmDevice;
+} // namespace fasp::pm
+
+namespace fasp::mc {
+
+class Scenario
+{
+  public:
+    virtual ~Scenario() = default;
+
+    virtual const char *name() const = 0;
+    virtual const char *description() const = 0;
+    virtual int threadCount() const = 0;
+
+    /** False for the toy fixtures that drive the PM device directly;
+     *  the harness then creates no engine and starts from a zeroed
+     *  image. */
+    virtual bool usesEngine() const { return true; }
+
+    /** True for seeded-bug fixtures: exploration MUST find a
+     *  violation (the CLI inverts the exit code for these). */
+    virtual bool expectsViolation() const { return false; }
+
+    /** Seed the database; runs once, before the image snapshot. */
+    virtual void setup(core::Engine &engine) { (void)engine; }
+
+    /** Clear per-schedule state (committed markers); runs before every
+     *  schedule. */
+    virtual void reset() {}
+
+    /** The closure worker @p tid executes under the scheduler.
+     *  @p engine is null when usesEngine() is false. */
+    virtual std::function<void()> body(int tid, core::Engine *engine,
+                                       pm::PmDevice &device) = 0;
+
+    /** Post-schedule oracle (quiescent, hooks uninstalled). */
+    virtual void verify(core::Engine *engine, pm::PmDevice &device,
+                        std::vector<McViolation> &out)
+    {
+        (void)engine;
+        (void)device;
+        (void)out;
+    }
+
+    /** Crash-fork oracle: @p recovered was recovered from an image
+     *  forked at a fence mid-schedule. Committed markers reflect the
+     *  fork instant (every thread is stopped while this runs). */
+    virtual void verifyCrash(core::Engine &recovered,
+                             pm::PmDevice &forkDevice,
+                             std::vector<McViolation> &out)
+    {
+        (void)recovered;
+        (void)forkDevice;
+        (void)out;
+    }
+};
+
+/** Registered scenario names, in presentation order. */
+std::vector<std::string> scenarioNames();
+
+/** Instantiate by name; null for unknown names. */
+std::unique_ptr<Scenario> makeScenario(const std::string &name);
+
+} // namespace fasp::mc
+
+#endif // FASP_MC_SCENARIOS_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Schedule trace files (DESIGN.md §13 "Trace format").
+ *
+ * A trace captures one explored schedule compactly enough to commit to
+ * a bug report: the scenario/engine/seed parameters that make the
+ * execution reproducible plus, per scheduling decision, the thread
+ * chosen, the HookOp it was about to perform and the stable resource
+ * token. `fasp-mc --replay file.fmc` re-executes the decision vector
+ * and cross-checks every (op, token) pair, so a trace that no longer
+ * reproduces (source drift, nondeterminism) is reported as divergence
+ * instead of silently exploring something else.
+ */
+
+#ifndef FASP_MC_TRACE_H
+#define FASP_MC_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mc/scheduler.h"
+
+namespace fasp::mc {
+
+/** One serialized scheduling decision. */
+struct TraceStep
+{
+    std::uint8_t chosen = 0;
+    std::uint8_t op = 0;    //!< HookOp of the granted point
+    std::uint8_t flags = 0; //!< bit 0: forced conflict-wake
+    std::uint32_t token = 0;
+};
+
+/** A schedule plus everything needed to re-create its harness. */
+struct TraceFile
+{
+    std::string scenario;
+    std::string engine;          //!< engine kind name ("FAST", ...)
+    std::uint64_t seed = 0;
+    std::uint32_t crashEvery = 0;
+    std::uint8_t crashPolicy = 0;
+    std::uint64_t scheduleIndex = 0;
+    std::vector<TraceStep> steps;
+};
+
+/** Flatten a run's step records into trace steps. */
+std::vector<TraceStep> traceStepsFromRun(const RunResult &run);
+
+Status writeTrace(const std::string &path, const TraceFile &trace);
+Result<TraceFile> readTrace(const std::string &path);
+
+} // namespace fasp::mc
+
+#endif // FASP_MC_TRACE_H

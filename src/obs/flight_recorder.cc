@@ -1,3 +1,5 @@
+// fasp-lint: allow-file(raw-std-sync) -- lock-free PM flight recorder;
+// must stay wait-free on the store path, invisible to fasp-mc by design.
 #include "obs/flight_recorder.h"
 
 #include <algorithm>

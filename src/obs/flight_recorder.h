@@ -1,3 +1,5 @@
+// fasp-lint: allow-file(raw-std-sync) -- lock-free PM flight recorder;
+// must stay wait-free on the store path, invisible to fasp-mc by design.
 /**
  * @file
  * FlightRecorder: a persistent, CRC32-framed ring of fixed-size event

@@ -1,3 +1,5 @@
+// fasp-lint: allow-file(raw-std-sync) -- lock-free metrics registry:
+// monotonic counters only, never synchronization of engine state.
 #include "obs/metrics.h"
 
 #include <algorithm>

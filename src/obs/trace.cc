@@ -1,3 +1,5 @@
+// fasp-lint: allow-file(raw-std-sync) -- lock-free operation-trace ring;
+// records scheduling, never participates in it.
 #include "obs/trace.h"
 
 #include <algorithm>

@@ -1,3 +1,5 @@
+// fasp-lint: allow-file(raw-std-sync) -- lock-free operation-trace ring;
+// records scheduling, never participates in it.
 /**
  * @file
  * Per-operation tracing: each recording thread owns a lock-free

@@ -9,6 +9,24 @@ namespace fasp::page {
 
 namespace {
 
+/** Debug builds re-check the cheap fsck tier after every mutation;
+ *  release builds compile the hook away (it is on every insert/update
+ *  path). */
+#ifndef NDEBUG
+void
+debugFsck(const PageIO &io)
+{
+    Status s = slottedFsck(io);
+    if (!s.isOk())
+        faspPanic("slottedFsck after mutation: %s",
+                  s.toString().c_str());
+}
+#else
+inline void
+debugFsck(const PageIO &)
+{}
+#endif
+
 /** Page-relative offset of the scratch freeHead field. */
 std::uint16_t
 freeHeadOff(const PageIO &io)
@@ -533,6 +551,7 @@ insertRecord(PageIO &io, std::uint64_t key,
     io.writeHeaderU16(slotPos(pos.slot), off);
     io.writeHeaderU16(kOffNumRecords,
                       static_cast<std::uint16_t>(nrec + 1));
+    debugFsck(io);
     return Status::ok();
 }
 
@@ -556,6 +575,7 @@ updateRecord(PageIO &io, std::uint16_t slot,
     // Atomically redirect the slot; the old record stays intact for
     // recovery until the engine reclaims it post-commit.
     io.writeHeaderU16(slotPos(slot), off);
+    debugFsck(io);
     return Status::ok();
 }
 
@@ -576,6 +596,7 @@ eraseRecord(PageIO &io, std::uint16_t slot, RecordRef *old_ref)
     }
     io.writeHeaderU16(kOffNumRecords,
                       static_cast<std::uint16_t>(nrec - 1));
+    debugFsck(io);
     return Status::ok();
 }
 
@@ -596,6 +617,7 @@ dropLowerSlots(PageIO &io, std::uint16_t count,
         io.writeHeader(slotPos(0), buf.data(), buf.size());
     }
     io.writeHeaderU16(kOffNumRecords, tail);
+    debugFsck(io);
     return Status::ok();
 }
 
@@ -749,6 +771,69 @@ checkIntegrity(const PageIO &io)
             return statusCorruption("record extents overlap");
         }
     }
+    return Status::ok();
+}
+
+Status
+slottedFsck(const PageIO &io, bool trust_scratch)
+{
+    const std::size_t psize = io.pageSize();
+    if (psize < kSlotArrayOff + kScratchBytes)
+        return statusCorruption("fsck: page too small");
+
+    PageType type = pageType(io);
+    if (type != PageType::Leaf && type != PageType::Internal &&
+        type != PageType::Overflow && type != PageType::Meta) {
+        return statusCorruption("fsck: invalid page type");
+    }
+
+    const std::uint16_t end = contentEnd(io);
+    const std::uint16_t nrec = numRecords(io);
+    const std::uint16_t cs = contentStart(io);
+    if (headerBytes(std::max(nrec, reservedSlots(io))) > cs)
+        return statusCorruption("fsck: slot array overlaps content");
+    if (cs > end)
+        return statusCorruption("fsck: contentStart beyond content end");
+
+    // Per-slot extent bounds, one pass, no sorting or key reads — the
+    // key order and pairwise-overlap checks are the expensive tier.
+    for (std::uint16_t i = 0; i < nrec; ++i) {
+        std::uint16_t off = slotOffset(io, i);
+        if (off < cs || off + kRecordHeaderBytes > end)
+            return statusCorruption("fsck: slot offset out of range");
+        std::uint16_t len = io.readContentU16(off);
+        if (len < 8 || off + kRecordHeaderBytes + len > end)
+            return statusCorruption("fsck: record extent out of range");
+    }
+
+    if (trust_scratch) {
+        // Bounded free-list walk with the fragFree sum cross-checked.
+        std::uint16_t cur = freeHead(io);
+        std::size_t steps = 0;
+        std::size_t sum = 0;
+        while (cur != 0) {
+            if (cur < kSlotArrayOff || cur + kMinFreeBlock > end ||
+                ++steps > psize / kMinFreeBlock) {
+                return statusCorruption("fsck: free-list walk escaped");
+            }
+            std::uint16_t size = io.readScratchU16(cur);
+            if (size < kMinFreeBlock || cur + size > end)
+                return statusCorruption("fsck: free block out of range");
+            sum += size;
+            cur = io.readScratchU16(cur + 2);
+        }
+        if (sum != fragFree(io))
+            return statusCorruption(
+                "fsck: fragFree disagrees with free list");
+    }
+
+#ifdef FASP_EXPENSIVE_CHECKS
+    Status full = checkIntegrity(io);
+    if (!full.isOk())
+        return full;
+    if (trust_scratch && !freeListConsistent(io))
+        return statusCorruption("fsck: free block overlaps a record");
+#endif
     return Status::ok();
 }
 

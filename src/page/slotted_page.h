@@ -267,6 +267,23 @@ void rebuildFreeList(PageIO &io);
  */
 Status checkIntegrity(const PageIO &io);
 
+/**
+ * Two-tier Stasis-style fsck (DESIGN.md §13). The always-on cheap tier
+ * is O(records) with no allocation — header bounds, per-slot extent
+ * bounds, and (when @p trust_scratch) a bounded free-list walk with the
+ * fragFree sum cross-checked — so the model checker can afford it after
+ * every schedule and mutations can assert it in debug builds.
+ * Configuring with -DFASP_EXPENSIVE_CHECKS=ON compiles in the expensive
+ * tier as well: the full checkIntegrity() pass (strict key order,
+ * pairwise extent overlap) plus free-block/record overlap validation.
+ *
+ * Pass @p trust_scratch = false for pages recovered from a crash
+ * image whose free list may not have been rebuilt yet: scratch state
+ * is best-effort by contract there, and popFreeBlock() repairs it
+ * lazily, so staleness is not corruption.
+ */
+Status slottedFsck(const PageIO &io, bool trust_scratch = true);
+
 } // namespace fasp::page
 
 #endif // FASP_PAGE_SLOTTED_PAGE_H

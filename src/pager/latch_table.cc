@@ -38,6 +38,25 @@ roundUpPow2(std::size_t v)
 bool
 PageLatch::tryAcquireShared()
 {
+    if (mc::SchedulerHook *h = mc::activeHook()) {
+        // Model-check path: spinning is pointless while every other
+        // thread is descheduled, so attempt one CAS per grant and park
+        // on failure. onBlocked == false means the scheduler chose to
+        // deliver the bounded-wait conflict outcome (the production
+        // spin-budget exhaustion) instead of waiting for the release.
+        h->atPoint(mc::HookOp::LatchAcquireShared, this, 1);
+        for (;;) {
+            std::int32_t cur = state_.load(std::memory_order_relaxed);
+            if (cur >= 0 &&
+                state_.compare_exchange_strong(
+                    cur, cur + 1, std::memory_order_acquire,
+                    std::memory_order_relaxed)) {
+                return true;
+            }
+            if (!h->onBlocked(mc::HookOp::LatchAcquireShared, this))
+                return false;
+        }
+    }
     for (int i = 0; i < kSpinBudget; ++i) {
         std::int32_t cur = state_.load(std::memory_order_relaxed);
         if (cur >= 0 &&
@@ -54,6 +73,19 @@ PageLatch::tryAcquireShared()
 bool
 PageLatch::tryAcquireExclusive()
 {
+    if (mc::SchedulerHook *h = mc::activeHook()) {
+        h->atPoint(mc::HookOp::LatchAcquireExclusive, this, 1);
+        for (;;) {
+            std::int32_t cur = 0;
+            if (state_.compare_exchange_strong(
+                    cur, -1, std::memory_order_acquire,
+                    std::memory_order_relaxed)) {
+                return true;
+            }
+            if (!h->onBlocked(mc::HookOp::LatchAcquireExclusive, this))
+                return false;
+        }
+    }
     for (int i = 0; i < kSpinBudget; ++i) {
         std::int32_t cur = 0;
         if (state_.compare_exchange_weak(cur, -1,
@@ -69,6 +101,11 @@ PageLatch::tryAcquireExclusive()
 bool
 PageLatch::tryUpgrade()
 {
+    // Upgrade never waits, under the model checker or in production:
+    // failure means a concurrent reader exists and the caller must
+    // conflict-abort (see header). One point, one CAS.
+    if (mc::SchedulerHook *h = mc::activeHook())
+        h->atPoint(mc::HookOp::LatchUpgrade, this, 1);
     std::int32_t sole = 1;
     return state_.compare_exchange_strong(sole, -1,
                                           std::memory_order_acquire,

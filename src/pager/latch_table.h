@@ -1,3 +1,5 @@
+// fasp-lint: allow-file(raw-std-sync) -- PageLatch IS the intercepted
+// wrapper; its state word and stats counters are the implementation.
 /**
  * @file
  * PageLatch + LatchTable: striped per-page reader/writer latches for
@@ -104,11 +106,15 @@ class alignas(64) CAPABILITY("latch") PageLatch
     void releaseShared() RELEASE_SHARED()
     {
         state_.fetch_sub(1, std::memory_order_release);
+        if (mc::SchedulerHook *h = mc::activeHook())
+            h->onRelease(mc::HookOp::LatchReleaseShared, this);
     }
 
     void releaseExclusive() RELEASE()
     {
         state_.store(0, std::memory_order_release);
+        if (mc::SchedulerHook *h = mc::activeHook())
+            h->onRelease(mc::HookOp::LatchReleaseExclusive, this);
     }
 
     /** Exclusive→shared (never fails; used after a structure-modifying
@@ -117,6 +123,9 @@ class alignas(64) CAPABILITY("latch") PageLatch
     void downgrade() NO_THREAD_SAFETY_ANALYSIS
     {
         state_.store(1, std::memory_order_release);
+        // Waiting readers may proceed once exclusivity drops.
+        if (mc::SchedulerHook *h = mc::activeHook())
+            h->onRelease(mc::HookOp::LatchDowngrade, this);
     }
 
   private:

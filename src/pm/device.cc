@@ -131,6 +131,11 @@ PmDevice::writeImpl(PmOffset off, const void *src, std::size_t len,
     checkRange(off, len);
     if (len == 0)
         return;
+    if (mc::SchedulerHook *h = mc::activeHook())
+        h->atPoint(mc::HookOp::PmStore, durable_.data() + off, len);
+    // Shard mutexes / checker internals below are implementation
+    // detail, not scheduling points.
+    mc::HookDepthGuard hook_depth;
     std::uint64_t index = raiseEvent(PmEvent::Store);
     stats_.stores.fetch_add(1, std::memory_order_relaxed);
     stats_.storeBytes.fetch_add(len, std::memory_order_relaxed);
@@ -189,6 +194,10 @@ PmDevice::read(PmOffset off, void *dst, std::size_t len)
     checkRange(off, len);
     if (len == 0)
         return;
+    // Reads are not scheduling points (see DESIGN.md §13: racy logic
+    // must either hold a latch, which is a point, or mark the gap with
+    // mc::yieldPoint()), but the shard locks below must stay invisible.
+    mc::HookDepthGuard hook_depth;
     stats_.loads.fetch_add(1, std::memory_order_relaxed);
     stats_.loadBytes.fetch_add(len, std::memory_order_relaxed);
     if (config_.chargeReads)
@@ -265,6 +274,11 @@ PmDevice::clflush(PmOffset off)
 {
     checkAlive();
     checkRange(off, 1);
+    if (mc::SchedulerHook *h = mc::activeHook())
+        h->atPoint(mc::HookOp::PmFlush,
+                   durable_.data() + cacheLineBase(off),
+                   kCacheLineSize);
+    mc::HookDepthGuard hook_depth;
     std::uint64_t index = raiseEvent(PmEvent::Flush);
     PmOffset base = cacheLineBase(off);
 
@@ -311,6 +325,11 @@ void
 PmDevice::sfence()
 {
     checkAlive();
+    // The fence is where the model checker forks crash images, so its
+    // atPoint carries the whole-device resource (durable_.data()).
+    if (mc::SchedulerHook *h = mc::activeHook())
+        h->atPoint(mc::HookOp::PmFence, durable_.data(), 1);
+    mc::HookDepthGuard hook_depth;
     std::uint64_t index = raiseEvent(PmEvent::Fence);
     stats_.fences.fetch_add(1, std::memory_order_relaxed);
     chargeModelNs(config_.latency.fenceNs);
@@ -325,6 +344,7 @@ PmDevice::sfence()
 void
 PmDevice::markScratch(PmOffset off, std::size_t len)
 {
+    mc::HookDepthGuard hook_depth; // checker internals, not a point
     if (PersistencyChecker *chk = checker())
         chk->onMarkScratch(off, len);
 }
@@ -332,6 +352,7 @@ PmDevice::markScratch(PmOffset off, std::size_t len)
 void
 PmDevice::txBegin()
 {
+    mc::HookDepthGuard hook_depth; // checker internals, not a point
     if (PersistencyChecker *chk = checker())
         chk->onTxBegin();
 }
@@ -339,6 +360,7 @@ PmDevice::txBegin()
 void
 PmDevice::txCommitPoint()
 {
+    mc::HookDepthGuard hook_depth; // checker internals, not a point
     if (PersistencyChecker *chk = checker())
         chk->onTxCommitPoint(eventCount(), t_site);
 }
@@ -346,6 +368,7 @@ PmDevice::txCommitPoint()
 void
 PmDevice::txEnd(bool committed)
 {
+    mc::HookDepthGuard hook_depth; // checker internals, not a point
     if (PersistencyChecker *chk = checker())
         chk->onTxEnd(committed, eventCount(), t_site);
 }
@@ -408,6 +431,66 @@ PmDevice::invalidateTagCache()
 {
     for (auto &tag : tags_)
         tag.store(0, std::memory_order_relaxed);
+}
+
+void
+PmDevice::composeCrashImage(CrashPolicy policy, std::uint64_t seed,
+                            std::vector<std::uint8_t> &out)
+{
+    FASP_ASSERT(config_.mode == PmMode::CacheSim);
+    mc::HookDepthGuard hook_depth; // shard locks, not points
+    out.assign(durable_.begin(), durable_.end());
+    Rng rng(seed);
+    // Shards are visited in index order and lines within a shard in
+    // map order; with the fixed seed that makes the image a pure
+    // function of (device state, policy, seed)... except that the
+    // unordered_map iteration order could differ across library
+    // implementations. Sort the lines so it cannot.
+    for (CacheShard &shard : cacheShards_) {
+        MutexLock lk(&shard.mu);
+        std::vector<PmOffset> bases;
+        bases.reserve(shard.lines.size());
+        for (const auto &[base, line] : shard.lines)
+            bases.push_back(base);
+        std::sort(bases.begin(), bases.end());
+        for (PmOffset base : bases) {
+            const LineBuf &line = shard.lines.at(base);
+            switch (policy) {
+              case CrashPolicy::DropAll:
+                break;
+              case CrashPolicy::RandomLines:
+                if (rng.nextBool(0.5)) {
+                    std::memcpy(out.data() + base, line.data(),
+                                kCacheLineSize);
+                }
+                break;
+              case CrashPolicy::TornLines:
+                for (std::size_t w = 0; w < kCacheLineSize; w += 8) {
+                    if (rng.nextBool(0.5)) {
+                        std::memcpy(out.data() + base + w,
+                                    line.data() + w, 8);
+                    }
+                }
+                break;
+            }
+        }
+    }
+}
+
+void
+PmDevice::resetToImage(const std::uint8_t *image, std::size_t len)
+{
+    FASP_ASSERT(len == durable_.size());
+    mc::HookDepthGuard hook_depth;
+    for (CacheShard &shard : cacheShards_) {
+        MutexLock lk(&shard.mu);
+        shard.lines.clear();
+    }
+    dirtyLines_.store(0, std::memory_order_release);
+    crashed_.store(false, std::memory_order_release);
+    eventCount_.store(0, std::memory_order_release);
+    std::memcpy(durable_.data(), image, len);
+    invalidateTagCache();
 }
 
 } // namespace fasp::pm

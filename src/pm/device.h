@@ -38,8 +38,10 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +60,48 @@ class Rng;
 namespace fasp::pm {
 
 class PersistencyChecker;
+
+/**
+ * Allocator that places the durable image on a 64-byte (cache-line)
+ * boundary. Hook points hand `durable_.data() + off` to the model
+ * checker, which names per-line resources by `addr / 64`; with an
+ * aligned base, line identity is a pure function of the device offset
+ * instead of wherever the heap happened to place this buffer, so two
+ * devices running the same schedule intern identical resource tokens.
+ * (Real PM mappings are page-aligned, so this also matches the modelled
+ * hardware.)
+ */
+template <typename T>
+struct LineAlignedAlloc
+{
+    using value_type = T;
+
+    LineAlignedAlloc() = default;
+    template <typename U>
+    LineAlignedAlloc(const LineAlignedAlloc<U> &) noexcept {}
+
+    T *allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{kCacheLineSize}));
+    }
+    void deallocate(T *p, std::size_t n) noexcept
+    {
+        ::operator delete(p, n * sizeof(T),
+                          std::align_val_t{kCacheLineSize});
+    }
+
+    template <typename U>
+    bool operator==(const LineAlignedAlloc<U> &) const noexcept
+    {
+        return true;
+    }
+    template <typename U>
+    bool operator!=(const LineAlignedAlloc<U> &) const noexcept
+    {
+        return false;
+    }
+};
 
 /**
  * Observer of the device's persistence events, attributed to the code
@@ -332,6 +376,30 @@ class PmDevice
      *  read of every line is a miss (used between benchmark phases). */
     void invalidateTagCache();
 
+    // --- Model-check support --------------------------------------------
+
+    /**
+     * Compose into @p out the durable image a crash at this instant
+     * would leave behind — durable bytes plus the @p policy-chosen
+     * subset of currently-dirty cache lines, decided by a private RNG
+     * seeded with @p seed — WITHOUT disturbing the live device. The
+     * model checker forks one of these at explored fences, loads it
+     * into a scratch device (resetToImage) and runs recovery on it
+     * while the real run continues.
+     */
+    void composeCrashImage(CrashPolicy policy, std::uint64_t seed,
+                           std::vector<std::uint8_t> &out);
+
+    /**
+     * Reset the device to the pristine state it would have just after
+     * construction over @p len bytes of durable image @p image:
+     * simulated cache emptied, crashed flag and event counter cleared,
+     * tag cache invalidated. @p len must equal size(). Quiescent only;
+     * the model checker uses it to rewind one device across thousands
+     * of schedules instead of re-allocating 64 MiB each run.
+     */
+    void resetToImage(const std::uint8_t *image, std::size_t len);
+
     // --- Test-only inspection -------------------------------------------
 
     /** Direct pointer to the durable image (what survives a crash).
@@ -369,7 +437,7 @@ class PmDevice
     void checkAlive() const;
 
     PmConfig config_;
-    std::vector<std::uint8_t> durable_;
+    std::vector<std::uint8_t, LineAlignedAlloc<std::uint8_t>> durable_;
 
     /** Simulated CPU cache: dirty lines only (CacheSim mode). */
     std::array<CacheShard, kCacheShards> cacheShards_;

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * End-to-end tests for fasp-mc (DESIGN.md §13): determinism of the
+ * exploration (same seed ⇒ byte-identical traces), bounded-budget
+ * detection of every seeded-bug fixture, deterministic replay of a
+ * failing trace, and a zero-violation smoke pass over a real engine
+ * scenario including crash forks.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mc/explorer.h"
+#include "mc/scenarios.h"
+#include "mc/trace.h"
+
+namespace fasp::mc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tempDir(const char *tag)
+{
+    fs::path p = fs::temp_directory_path() /
+                 (std::string("fasp_mc_test_") + tag + "_" +
+                  std::to_string(::getpid()));
+    fs::remove_all(p);
+    fs::create_directories(p);
+    return p.string();
+}
+
+std::vector<std::uint8_t> slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+ExploreResult exploreScenario(const std::string &name,
+                              const ExploreOptions &opt)
+{
+    auto scenario = makeScenario(name);
+    if (!scenario)
+        ADD_FAILURE() << "unknown scenario " << name;
+    Explorer explorer(*scenario, opt);
+    return explorer.explore();
+}
+
+TEST(FaspMcTest, RegistryListsAllScenarios)
+{
+    auto names = scenarioNames();
+    ASSERT_GE(names.size(), 8u);
+    for (const auto &n : names) {
+        auto s = makeScenario(n);
+        ASSERT_NE(s, nullptr) << n;
+        EXPECT_STREQ(s->name(), n.c_str());
+        EXPECT_GE(s->threadCount(), 1);
+        EXPECT_LE(s->threadCount(), int(kMaxThreads));
+    }
+    EXPECT_EQ(makeScenario("no-such-scenario"), nullptr);
+}
+
+/** Same seed, same options ⇒ the two explorations must emit
+ *  byte-identical trace files for every schedule. */
+TEST(FaspMcTest, ExplorationIsDeterministic)
+{
+    std::string dirA = tempDir("det_a");
+    std::string dirB = tempDir("det_b");
+
+    ExploreOptions opt;
+    opt.seed = 42;
+    opt.maxSchedules = 40;
+    opt.preemptionBound = 2;
+    opt.crashEvery = 8;
+    opt.traceEvery = 1;
+
+    opt.traceDir = dirA;
+    ExploreResult a = exploreScenario("same-page-insert", opt);
+    opt.traceDir = dirB;
+    ExploreResult b = exploreScenario("same-page-insert", opt);
+
+    EXPECT_EQ(a.schedules, b.schedules);
+    EXPECT_EQ(a.totalSteps, b.totalSteps);
+    EXPECT_EQ(a.crashForks, b.crashForks);
+    EXPECT_EQ(a.maxDepth, b.maxDepth);
+    EXPECT_TRUE(a.failures.empty());
+    EXPECT_TRUE(b.failures.empty());
+
+    std::vector<fs::path> filesA;
+    for (const auto &e : fs::directory_iterator(dirA))
+        filesA.push_back(e.path());
+    ASSERT_EQ(filesA.size(), a.schedules);
+    for (const auto &pa : filesA) {
+        fs::path pb = fs::path(dirB) / pa.filename();
+        ASSERT_TRUE(fs::exists(pb)) << pb;
+        EXPECT_EQ(slurp(pa), slurp(pb)) << pa.filename();
+    }
+    fs::remove_all(dirA);
+    fs::remove_all(dirB);
+}
+
+/** The seeded lost-update race must be found within a small budget. */
+TEST(FaspMcTest, CatchesLockElisionFixture)
+{
+    ExploreOptions opt;
+    opt.maxSchedules = 512;
+    opt.preemptionBound = 2;
+    ExploreResult r = exploreScenario("bug-lock-elision", opt);
+    ASSERT_FALSE(r.failures.empty());
+    EXPECT_LE(r.failures[0].scheduleIndex, 512u);
+    bool oracle = false;
+    for (const auto &v : r.failures[0].violations)
+        oracle |= v.kind == McViolation::Kind::Oracle;
+    EXPECT_TRUE(oracle);
+}
+
+/** The unflushed-commit fixture is caught by the persistency checker
+ *  on (nearly) the first schedule — no interleaving needed. */
+TEST(FaspMcTest, CatchesMissingFlushFixture)
+{
+    ExploreOptions opt;
+    opt.maxSchedules = 16;
+    ExploreResult r = exploreScenario("bug-missing-flush", opt);
+    ASSERT_FALSE(r.failures.empty());
+    bool checker = false;
+    for (const auto &v : r.failures[0].violations)
+        checker |= v.kind == McViolation::Kind::Checker;
+    EXPECT_TRUE(checker);
+}
+
+/** The ABBA cycle must trip the scheduler's deadlock detector. */
+TEST(FaspMcTest, CatchesDeadlockFixture)
+{
+    ExploreOptions opt;
+    opt.maxSchedules = 256;
+    opt.preemptionBound = 2;
+    ExploreResult r = exploreScenario("bug-deadlock", opt);
+    ASSERT_FALSE(r.failures.empty());
+    bool deadlock = false;
+    for (const auto &v : r.failures[0].violations)
+        deadlock |= v.kind == McViolation::Kind::Deadlock;
+    EXPECT_TRUE(deadlock);
+}
+
+/** A failing schedule's trace must replay deterministically and
+ *  reproduce the same violation kind. */
+TEST(FaspMcTest, ReplayReproducesFailure)
+{
+    std::string dir = tempDir("replay");
+    ExploreOptions opt;
+    opt.maxSchedules = 512;
+    opt.preemptionBound = 2;
+    opt.traceDir = dir;
+
+    auto scenario = makeScenario("bug-lock-elision");
+    ASSERT_NE(scenario, nullptr);
+    ExploreResult r = [&] {
+        Explorer explorer(*scenario, opt);
+        return explorer.explore();
+    }();
+    ASSERT_FALSE(r.failures.empty());
+    ASSERT_FALSE(r.failures[0].tracePath.empty());
+
+    auto trace = readTrace(r.failures[0].tracePath);
+    ASSERT_TRUE(trace.isOk()) << trace.status().toString();
+    EXPECT_EQ(trace->scenario, "bug-lock-elision");
+
+    auto fresh = makeScenario(trace->scenario);
+    ASSERT_NE(fresh, nullptr);
+    Explorer replayer(*fresh, opt);
+    RunResult run = replayer.replay(*trace);
+    ASSERT_FALSE(run.violations.empty());
+    bool diverged = false, oracle = false;
+    for (const auto &v : run.violations) {
+        diverged |= v.kind == McViolation::Kind::Diverged;
+        oracle |= v.kind == McViolation::Kind::Oracle;
+    }
+    EXPECT_FALSE(diverged);
+    EXPECT_TRUE(oracle);
+    fs::remove_all(dir);
+}
+
+/** Real-engine scenario incl. crash forks: zero violations, and the
+ *  bounded space must actually be exhausted at this size. */
+TEST(FaspMcTest, EngineScenarioSmokeIsClean)
+{
+    ExploreOptions opt;
+    opt.maxSchedules = 300;
+    opt.preemptionBound = 2;
+    opt.crashEvery = 8;
+    ExploreResult r = exploreScenario("same-page-insert", opt);
+    EXPECT_TRUE(r.failures.empty());
+    EXPECT_TRUE(r.exhausted);
+    EXPECT_GT(r.crashForks, 0u);
+    EXPECT_GT(r.schedules, 10u);
+}
+
+/** The same scenario stays clean on the log-structured engines too. */
+TEST(FaspMcTest, EngineScenarioCleanOnNvwal)
+{
+    ExploreOptions opt;
+    opt.engine = core::EngineKind::Nvwal;
+    opt.maxSchedules = 200;
+    opt.preemptionBound = 2;
+    opt.crashEvery = 8;
+    ExploreResult r = exploreScenario("same-page-insert", opt);
+    EXPECT_TRUE(r.failures.empty());
+    EXPECT_TRUE(r.exhausted);
+}
+
+TEST(FaspMcTest, ParseEngineKindAcceptsAliases)
+{
+    core::EngineKind k{};
+    EXPECT_TRUE(parseEngineKind("fast", k));
+    EXPECT_EQ(k, core::EngineKind::Fast);
+    EXPECT_TRUE(parseEngineKind("legacy-wal", k));
+    EXPECT_EQ(k, core::EngineKind::LegacyWal);
+    EXPECT_TRUE(parseEngineKind("NVWAL", k));
+    EXPECT_EQ(k, core::EngineKind::Nvwal);
+    EXPECT_FALSE(parseEngineKind("btrfs", k));
+}
+
+TEST(FaspMcTest, TraceRoundTrips)
+{
+    std::string dir = tempDir("roundtrip");
+    TraceFile t;
+    t.scenario = "same-page-insert";
+    t.engine = "FAST";
+    t.seed = 7;
+    t.crashEvery = 4;
+    t.crashPolicy = 2;
+    t.scheduleIndex = 13;
+    t.steps = {{0, 2, 0, 11}, {1, 14, 1, 22}, {0, 15, 0, 0}};
+    std::string path = dir + "/t.fmc";
+    ASSERT_TRUE(writeTrace(path, t).isOk());
+    auto back = readTrace(path);
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back->scenario, t.scenario);
+    EXPECT_EQ(back->engine, t.engine);
+    EXPECT_EQ(back->seed, t.seed);
+    EXPECT_EQ(back->crashEvery, t.crashEvery);
+    EXPECT_EQ(back->crashPolicy, t.crashPolicy);
+    EXPECT_EQ(back->scheduleIndex, t.scheduleIndex);
+    ASSERT_EQ(back->steps.size(), t.steps.size());
+    for (std::size_t i = 0; i < t.steps.size(); ++i) {
+        EXPECT_EQ(back->steps[i].chosen, t.steps[i].chosen);
+        EXPECT_EQ(back->steps[i].op, t.steps[i].op);
+        EXPECT_EQ(back->steps[i].flags, t.steps[i].flags);
+        EXPECT_EQ(back->steps[i].token, t.steps[i].token);
+    }
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace fasp::mc

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the two-tier slottedFsck() (DESIGN.md §13): the cheap tier
+ * must pass on healthy pages in both trust modes, flag each seeded
+ * structural corruption, and confine scratch (free-list) checks to
+ * trust_scratch=true — stale scratch state on a crash-recovered page
+ * is best-effort by contract, not corruption.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "page/page_io.h"
+#include "page/slotted_page.h"
+
+namespace fasp::page {
+namespace {
+
+constexpr std::size_t kPage = 4096;
+
+class FsckTest : public ::testing::Test
+{
+  protected:
+    FsckTest() : buf_(kPage, 0), io_(buf_.data(), kPage)
+    {
+        init(io_, PageType::Leaf, 0);
+    }
+
+    Status insert(std::uint64_t key, std::size_t value_len = 24)
+    {
+        std::vector<std::uint8_t> payload(8 + value_len, 0x44);
+        storeU64(payload.data(), key);
+        return insertRecord(io_, key,
+                            std::span<const std::uint8_t>(payload));
+    }
+
+    /** Raw little-endian write into the page header. */
+    void pokeU16(std::size_t off, std::uint16_t v)
+    {
+        buf_[off] = static_cast<std::uint8_t>(v & 0xff);
+        buf_[off + 1] = static_cast<std::uint8_t>(v >> 8);
+    }
+
+    std::vector<std::uint8_t> buf_;
+    BufferPageIO io_;
+};
+
+TEST_F(FsckTest, CleanPagePassesBothTrustModes)
+{
+    for (std::uint64_t k = 1; k <= 8; ++k)
+        ASSERT_TRUE(insert(k).isOk());
+    // Erasing interior slots leaves real free blocks behind, so the
+    // trusted pass exercises the free-list walk, not an empty list.
+    ASSERT_TRUE(eraseRecord(io_, 2, nullptr).isOk());
+    ASSERT_TRUE(eraseRecord(io_, 4, nullptr).isOk());
+    EXPECT_TRUE(slottedFsck(io_, /*trust_scratch=*/true).isOk());
+    EXPECT_TRUE(slottedFsck(io_, /*trust_scratch=*/false).isOk());
+}
+
+TEST_F(FsckTest, FlagsInvalidPageType)
+{
+    ASSERT_TRUE(insert(1).isOk());
+    pokeU16(kOffFlags, 0x00ee);
+    EXPECT_FALSE(slottedFsck(io_, true).isOk());
+    EXPECT_FALSE(slottedFsck(io_, false).isOk());
+}
+
+TEST_F(FsckTest, FlagsContentStartPastContentEnd)
+{
+    pokeU16(kOffContentStart,
+            static_cast<std::uint16_t>(kPage - kScratchBytes + 2));
+    EXPECT_FALSE(slottedFsck(io_, false).isOk());
+}
+
+TEST_F(FsckTest, FlagsSlotOffsetOutOfRange)
+{
+    ASSERT_TRUE(insert(1).isOk());
+    // Slot 0's offset steered below contentStart.
+    pokeU16(kSlotArrayOff, 0x0004);
+    EXPECT_FALSE(slottedFsck(io_, false).isOk());
+}
+
+TEST_F(FsckTest, FlagsRecordExtentPastContentEnd)
+{
+    ASSERT_TRUE(insert(1).isOk());
+    std::uint16_t off = slotOffset(io_, 0);
+    // Record length field inflated so the extent escapes the page.
+    io_.writeContentU16(off, 0x4000);
+    EXPECT_FALSE(slottedFsck(io_, false).isOk());
+}
+
+TEST_F(FsckTest, StaleFreeListOnlyFailsWhenTrusted)
+{
+    ASSERT_TRUE(insert(1).isOk());
+    // A crash image may carry a dangling freeHead: the pointed-at
+    // block's size field here reads 0x4444 (record filler), escaping
+    // the content area.
+    std::uint16_t head = slotOffset(io_, 0);
+    io_.writeScratchU16(
+        static_cast<std::uint16_t>(kPage - kScratchBytes), head);
+    EXPECT_FALSE(slottedFsck(io_, /*trust_scratch=*/true).isOk());
+    EXPECT_TRUE(slottedFsck(io_, /*trust_scratch=*/false).isOk());
+}
+
+TEST_F(FsckTest, FragFreeMismatchOnlyFailsWhenTrusted)
+{
+    for (std::uint64_t k = 1; k <= 4; ++k)
+        ASSERT_TRUE(insert(k).isOk());
+    ASSERT_TRUE(eraseRecord(io_, 1, nullptr).isOk());
+    // Drift the accounting without touching the list itself.
+    std::uint16_t total = fragFree(io_);
+    io_.writeScratchU16(
+        static_cast<std::uint16_t>(kPage - kScratchBytes + 2),
+        static_cast<std::uint16_t>(total + 2));
+    EXPECT_FALSE(slottedFsck(io_, /*trust_scratch=*/true).isOk());
+    EXPECT_TRUE(slottedFsck(io_, /*trust_scratch=*/false).isOk());
+}
+
+#ifdef FASP_EXPENSIVE_CHECKS
+TEST_F(FsckTest, ExpensiveTierFlagsKeyOrderViolation)
+{
+    ASSERT_TRUE(insert(10).isOk());
+    ASSERT_TRUE(insert(20).isOk());
+    // Swap the stored keys so the slot order no longer matches; the
+    // cheap tier never reads keys, the expensive tier must object.
+    std::uint16_t off0 = slotOffset(io_, 0);
+    std::uint16_t off1 = slotOffset(io_, 1);
+    std::uint8_t k[8];
+    storeU64(k, 20);
+    io_.writeContent(off0 + kRecordHeaderBytes, k, sizeof k);
+    storeU64(k, 10);
+    io_.writeContent(off1 + kRecordHeaderBytes, k, sizeof k);
+    EXPECT_FALSE(slottedFsck(io_, false).isOk());
+}
+#endif
+
+} // namespace
+} // namespace fasp::page

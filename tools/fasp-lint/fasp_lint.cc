@@ -24,17 +24,33 @@
  *   no-volatile          `volatile` is not a concurrency or
  *                        persistence primitive; use std::atomic or the
  *                        PmDevice API.
+ *   raw-std-sync         std::mutex / std::atomic /
+ *                        std::condition_variable outside src/common/
+ *                        and src/mc/: engine code must synchronize
+ *                        through the fasp wrappers (fasp::Mutex,
+ *                        PageLatch, the RTM shim) so every blocking
+ *                        point stays visible to fasp-mc's scheduler
+ *                        interception. Wrapper internals and lock-free
+ *                        stats carry a file-level waiver instead.
+ *   fence-in-loop        PmDevice::sfence() inside a loop body: fence
+ *                        once after the loop (flush per iteration,
+ *                        fence at the end) unless a waiver explains
+ *                        why per-iteration ordering is required.
  *   waiver-needs-reason  A waiver comment must name its rule AND give
  *                        a reason:
  *                            // fasp-lint: allow(<rule>) -- <reason>
  *                        A waiver suppresses the named rule on its own
  *                        line and on the next line containing code.
+ *                            // fasp-lint: allow-file(<rule>) -- <reason>
+ *                        suppresses the rule for the whole file.
  *
  * Usage:   fasp-lint <file-or-directory>...
  * Exit:    0 clean, 1 violations found, 2 usage or I/O error.
  */
 
+#include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -64,8 +80,9 @@ struct LineView
 };
 
 const std::set<std::string> kKnownRules = {
-    "pm-raw-access",       "flush-outside-device", "bare-mutex-lock",
-    "no-volatile",         "waiver-needs-reason",
+    "pm-raw-access",  "flush-outside-device", "bare-mutex-lock",
+    "no-volatile",    "raw-std-sync",         "fence-in-loop",
+    "waiver-needs-reason",
 };
 
 bool
@@ -213,34 +230,41 @@ lex(const std::string &text)
     return lines;
 }
 
-/** Parse waiver comments; returns waived rules, records bad waivers. */
+/** Parse waiver comments; returns line-waived rules, inserts
+ *  file-scope waivers into @p fileWaived, records bad waivers. */
 std::set<std::string>
 parseWaivers(const std::string &comment, const std::string &file,
-             std::size_t lineNo, std::vector<Violation> &out)
+             std::size_t lineNo, std::set<std::string> &fileWaived,
+             std::vector<Violation> &out)
 {
     static const std::regex kWaiver(
-        R"(fasp-lint:\s*allow\(([A-Za-z0-9_-]+)\)\s*(?:--\s*(\S[^\n]*))?)");
+        R"(fasp-lint:\s*allow(-file)?\(([A-Za-z0-9_-]+)\)\s*(?:--\s*(\S[^\n]*))?)");
 
     std::set<std::string> waived;
     auto begin = std::sregex_iterator(comment.begin(), comment.end(),
                                       kWaiver);
     for (auto it = begin; it != std::sregex_iterator(); ++it) {
         const std::smatch &m = *it;
-        std::string rule = m[1].str();
+        bool wholeFile = m[1].matched;
+        std::string rule = m[2].str();
         if (kKnownRules.count(rule) == 0) {
             out.push_back({file, lineNo, "waiver-needs-reason",
                            "waiver names unknown rule '" + rule + "'"});
             continue;
         }
-        if (!m[2].matched || m[2].str().empty()) {
+        if (!m[3].matched || m[3].str().empty()) {
             out.push_back(
                 {file, lineNo, "waiver-needs-reason",
                  "waiver for '" + rule
-                     + "' gives no reason (use: fasp-lint: allow("
-                     + rule + ") -- <reason>)"});
+                     + "' gives no reason (use: fasp-lint: allow"
+                     + (wholeFile ? "-file(" : "(") + rule
+                     + ") -- <reason>)"});
             continue; // an unjustified waiver does not suppress
         }
-        waived.insert(rule);
+        if (wholeFile)
+            fileWaived.insert(rule);
+        else
+            waived.insert(rule);
     }
     return waived;
 }
@@ -260,21 +284,34 @@ lintFile(const fs::path &path, std::vector<Violation> &out)
     std::string posix = path.generic_string();
     bool pmInternal = posix.find("src/pm/") != std::string::npos;
     bool deviceFile = posix.find("src/pm/device.") != std::string::npos;
+    bool syncExempt = pmInternal // device internals ARE the hooks
+                      || posix.find("src/common/") != std::string::npos
+                      || posix.find("src/mc/") != std::string::npos;
 
-    std::set<std::string> active; // waivers pending their code line
+    std::set<std::string> active;     // waivers pending their code line
+    std::set<std::string> fileWaived; // allow-file() waivers
+
+    // fence-in-loop bookkeeping: brace scopes flagged as loop bodies.
+    std::vector<bool> loopScope;
+    bool pendingLoop = false; // loop keyword seen, body brace not yet
+    int parenDepth = 0;
 
     for (std::size_t n = 0; n < lines.size(); ++n) {
         const LineView &lv = lines[n];
         std::size_t lineNo = n + 1;
 
-        for (const std::string &rule :
-             parseWaivers(lv.comment, posix, lineNo, out))
+        for (const std::string &rule : parseWaivers(
+                 lv.comment, posix, lineNo, fileWaived, out))
             active.insert(rule);
 
         auto flag = [&](const char *rule, const char *message) {
-            if (active.count(rule) == 0)
+            if (active.count(rule) == 0 && fileWaived.count(rule) == 0)
                 out.push_back({posix, lineNo, rule, message});
         };
+
+        bool inLoop = pendingLoop ||
+                      std::find(loopScope.begin(), loopScope.end(),
+                                true) != loopScope.end();
 
         if (!pmInternal && hasToken(lv.code, "durableData"))
             flag("pm-raw-access",
@@ -304,6 +341,56 @@ lintFile(const fs::path &path, std::vector<Violation> &out)
             flag("no-volatile",
                  "'volatile' is not a concurrency/persistence "
                  "primitive; use std::atomic or the PmDevice API");
+
+        if (!syncExempt
+            && hasAny(lv.code,
+                      {"std::mutex", "std::atomic",
+                       "std::condition_variable", "std::shared_mutex",
+                       "std::recursive_mutex", "std::timed_mutex"}))
+            flag("raw-std-sync",
+                 "raw standard sync primitive outside src/common+"
+                 "src/mc; use the fasp wrappers so fasp-mc's "
+                 "interception stays complete");
+
+        if (inLoop && hasToken(lv.code, "sfence"))
+            flag("fence-in-loop",
+                 "sfence inside a loop body; flush per iteration and "
+                 "fence once after the loop");
+
+        // Track loop bodies for fence-in-loop. The scope a loop
+        // keyword opens with its next '{' is a loop scope; a ';' at
+        // paren depth 0 consumes a brace-less body (this also retires
+        // the trailing `while` of a do-while).
+        for (std::size_t i = 0; i < lv.code.size(); ++i) {
+            char c = lv.code[i];
+            auto keywordAt = [&](const char *kw) {
+                std::size_t len = std::strlen(kw);
+                if (lv.code.compare(i, len, kw) != 0)
+                    return false;
+                bool leftOk = i == 0 || !isWordChar(lv.code[i - 1]);
+                std::size_t end = i + len;
+                bool rightOk = end >= lv.code.size()
+                               || !isWordChar(lv.code[end]);
+                return leftOk && rightOk;
+            };
+            if (c == '(') {
+                ++parenDepth;
+            } else if (c == ')') {
+                if (parenDepth > 0)
+                    --parenDepth;
+            } else if (c == '{') {
+                loopScope.push_back(pendingLoop);
+                pendingLoop = false;
+            } else if (c == '}') {
+                if (!loopScope.empty())
+                    loopScope.pop_back();
+            } else if (c == ';' && parenDepth == 0) {
+                pendingLoop = false;
+            } else if (keywordAt("for") || keywordAt("while")
+                       || keywordAt("do")) {
+                pendingLoop = true;
+            }
+        }
 
         // A waiver covers its own line plus the next line with code.
         bool hasCode = lv.code.find_first_not_of(" \t\r")

@@ -1,0 +1,18 @@
+// Fixture: a fence per iteration serializes every flush; the batched
+// idiom (flush per iteration, one fence after the loop) must be used.
+struct Dev
+{
+    void write(unsigned long off, const void *src, unsigned long n);
+    void flushRange(unsigned long off, unsigned long n);
+    void sfence();
+};
+
+void
+persistAll(Dev &device, const unsigned char *src, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        device.write(64UL * i, src + 64 * i, 64);
+        device.flushRange(64UL * i, 64);
+        device.sfence(); // BAD: fence inside the loop
+    }
+}

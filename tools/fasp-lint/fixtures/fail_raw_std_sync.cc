@@ -1,0 +1,12 @@
+// Fixture: raw standard sync primitives outside src/common+src/mc
+// must be flagged — a std::mutex here would be invisible to fasp-mc.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+struct Racy
+{
+    std::mutex mu;
+    std::atomic<int> count{0};
+    std::condition_variable cv;
+};

@@ -1,0 +1,31 @@
+// Fixture: the batched persist idiom — flushes inside the loop, one
+// fence after it — plus a justified waiver for a loop that genuinely
+// needs per-iteration ordering. Both must lint clean.
+struct Dev
+{
+    void write(unsigned long off, const void *src, unsigned long n);
+    void flushRange(unsigned long off, unsigned long n);
+    void sfence();
+};
+
+void
+persistAll(Dev &device, const unsigned char *src, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        device.write(64UL * i, src + 64 * i, 64);
+        device.flushRange(64UL * i, 64);
+    }
+    device.sfence();
+}
+
+void
+chainedCommits(Dev &device, const unsigned char *src, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        device.write(64UL * i, src + 64 * i, 64);
+        device.flushRange(64UL * i, 64);
+        // fasp-lint: allow(fence-in-loop) -- each record must be
+        // durable before the next one's header points at it
+        device.sfence();
+    }
+}

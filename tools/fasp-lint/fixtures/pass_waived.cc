@@ -28,6 +28,7 @@ waivedFlush(void *line)
     _mm_clflush(line);
 }
 
+// fasp-lint: allow(raw-std-sync) -- fixture exercising the waiver.
 std::mutex gMutex;
 
 void
