@@ -10,12 +10,17 @@
  * 1.2us).
  *
  * With --clients=N the bench instead runs the insert workload with
- * 1..N concurrent client threads per engine (powers of two), reporting
- * modelled throughput, latch conflict retries, and RTM contention
- * aborts, then repeats each point with the persistency checker
- * attached and reports its violation count (expected 0). Expected
- * shape: FAST/FASH throughput scales with clients while the buffered
- * baselines stay flat on their single-writer mutex.
+ * 1..N concurrent client threads per engine (powers of two, e.g.
+ * --clients=64 sweeps 1/2/4/8/16/32/64), reporting modelled
+ * throughput, latch conflict retries, RTM contention aborts, and PCAS
+ * logging fallbacks, then repeats each point with the persistency
+ * checker attached and reports its violation count (expected 0).
+ * Besides the paper engines a FAST-RTM series runs FAST with the
+ * pre-PCAS RTM commit, whose shared line-lock table is the contention
+ * bottleneck the PCAS path removes. Expected shape: FAST/FASH
+ * throughput scales with clients while the buffered baselines stay
+ * flat on their single-writer mutex, and FAST (PCAS) keeps scaling
+ * past the client count where FAST-RTM plateaus.
  */
 
 #include <cstdio>
@@ -202,14 +207,31 @@ runMultiClient(const BenchArgs &args)
     counts.push_back(args.clients);
 
     Table perf({"engine", "clients", "txns", "ktxn/s", "speedup",
-                "conflict-retries", "rtm-contention"});
+                "conflict-retries", "rtm-contention",
+                "pcas-fallbacks"});
     Table valid({"engine", "clients", "txns", "checker-violations"});
 
-    for (core::EngineKind kind : paperEngines()) {
+    struct Series
+    {
+        std::string label;
+        core::EngineKind kind;
+        core::InPlaceCommitVia via;
+    };
+    std::vector<Series> series;
+    for (core::EngineKind kind : paperEngines())
+        series.push_back({core::engineKindName(kind), kind,
+                          core::InPlaceCommitVia::Pcas});
+    // The latched baseline: FAST publishing headers through the
+    // emulated RTM, whose shared line-lock table serializes commits.
+    series.push_back({"FAST-RTM", core::EngineKind::Fast,
+                      core::InPlaceCommitVia::Rtm});
+
+    for (const Series &s : series) {
         double base_tput = 0;
         for (std::size_t clients : counts) {
             MtConfig config;
-            config.kind = kind;
+            config.kind = s.kind;
+            config.commitVia = s.via;
             config.threads = clients;
             config.txnsPerThread =
                 std::max<std::size_t>(args.numTxns / clients, 50);
@@ -217,7 +239,7 @@ runMultiClient(const BenchArgs &args)
             if (clients == 1)
                 base_tput = result.txnsPerSecond;
             perf.addRow(
-                {core::engineKindName(kind),
+                {s.label,
                  Table::fmt(static_cast<std::uint64_t>(clients)),
                  Table::fmt(result.txns),
                  Table::fmt(result.txnsPerSecond / 1000.0, 1),
@@ -227,13 +249,14 @@ runMultiClient(const BenchArgs &args)
                      "x",
                  Table::fmt(result.conflictRetries),
                  Table::fmt(static_cast<std::uint64_t>(
-                     result.rtmStats.abortsContention))});
+                     result.rtmStats.abortsContention)),
+                 Table::fmt(result.engineStats.pcasFallbacks)});
 
             // Validation pass: same point, persistency checker on.
             config.attachChecker = true;
             MtResult checked = runMtInsertBench(config);
             valid.addRow(
-                {core::engineKindName(kind),
+                {s.label,
                  Table::fmt(static_cast<std::uint64_t>(clients)),
                  Table::fmt(checked.txns),
                  Table::fmt(checked.checkerViolations)});

@@ -13,7 +13,10 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 
 "$root/$build/bench/fig08_commit_breakdown" --smoke \
     --json="$root/BENCH_fig08_commit_breakdown.json"
-"$root/$build/bench/fig12_throughput" --smoke \
+# --clients=16 folds the multi-client scaling table (1..16 clients,
+# PCAS vs the latched RTM baseline) into the snapshot so the perf gate
+# watches the scaling numbers too, not just single-client throughput.
+"$root/$build/bench/fig12_throughput" --smoke --clients=16 \
     --json="$root/BENCH_fig12_throughput.json"
 
 echo "snapshot written:"

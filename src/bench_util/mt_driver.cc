@@ -132,6 +132,8 @@ runMtInsertBench(const MtConfig &config)
 
     EngineConfig engine_cfg;
     engine_cfg.kind = config.kind;
+    engine_cfg.inPlaceCommitVia = config.commitVia;
+    engine_cfg.pcas = config.pcas;
     engine_cfg.format.logLen = 16u << 20;
     auto engine_res = Engine::create(device, engine_cfg, true);
     if (!engine_res.isOk())
@@ -194,8 +196,10 @@ runMtInsertBench(const MtConfig &config)
             : 0;
     result.engineStats = engine->stats();
     result.pmStats = device.stats();
-    if (auto *fasp = dynamic_cast<core::FaspEngine *>(engine.get()))
+    if (auto *fasp = dynamic_cast<core::FaspEngine *>(engine.get())) {
         result.rtmStats = fasp->rtm().stats();
+        result.pcasStats = fasp->pcas().stats();
+    }
 
     if (config.attachChecker) {
         device.setChecker(nullptr);

@@ -44,6 +44,10 @@ struct MtConfig
     std::uint64_t seed = 42;
     std::size_t deviceSize = 0;       //!< 0 = sized automatically
 
+    /** FAST in-place commit mechanism (PCAS default vs RTM). */
+    core::InPlaceCommitVia commitVia = core::InPlaceCommitVia::Pcas;
+    pm::PcasConfig pcas;              //!< PCAS failure injection
+
     /** Attach a PersistencyChecker for the run and report its
      *  violation count (validation pass; slower). */
     bool attachChecker = false;
@@ -63,6 +67,7 @@ struct MtResult
     std::uint64_t checkerViolations = 0;
     core::EngineStats engineStats;
     htm::RtmStats rtmStats;
+    pm::PcasStats pcasStats;
     pm::PmStats pmStats;
 };
 

@@ -258,6 +258,8 @@ runInsertBench(const BenchConfig &config)
     EngineConfig engine_cfg;
     engine_cfg.kind = config.kind;
     engine_cfg.rtm = config.rtm;
+    engine_cfg.inPlaceCommitVia = config.commitVia;
+    engine_cfg.pcas = config.pcas;
     engine_cfg.format.logLen = 16u << 20;
     auto engine_res = Engine::create(device, engine_cfg, true);
     if (!engine_res.isOk())
@@ -331,8 +333,10 @@ runInsertBench(const BenchConfig &config)
         std::chrono::duration<double>(wall_end - wall_start).count();
     result.pmStats = device.stats();
     result.engineStats = engine->stats();
-    if (auto *fasp = dynamic_cast<core::FaspEngine *>(engine.get()))
+    if (auto *fasp = dynamic_cast<core::FaspEngine *>(engine.get())) {
         result.rtmStats = fasp->rtm().stats();
+        result.pcasStats = fasp->pcas().stats();
+    }
     device.setPhaseTracker(nullptr);
     if (obs::enabled()) {
         device.setObserver(nullptr);

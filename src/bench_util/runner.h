@@ -37,6 +37,10 @@ struct BenchConfig
     std::size_t deviceSize = 0;        //!< 0 = sized automatically
     htm::RtmConfig rtm;                //!< FAST abort injection
     bool useClwb = false;              //!< CLWB vs CLFLUSH ablation
+
+    /** FAST in-place commit mechanism (PCAS default vs RTM). */
+    core::InPlaceCommitVia commitVia = core::InPlaceCommitVia::Pcas;
+    pm::PcasConfig pcas;               //!< PCAS failure injection
 };
 
 /** Everything measured for one point. */
@@ -46,6 +50,7 @@ struct BenchResult
     pm::PmStats pmStats;
     core::EngineStats engineStats;
     htm::RtmStats rtmStats;
+    pm::PcasStats pcasStats;
     std::uint64_t txns = 0;
     double wallSeconds = 0;
 

@@ -29,6 +29,7 @@ hookOpName(HookOp op)
       case HookOp::PmFlush:               return "pm-flush";
       case HookOp::PmFence:               return "pm-fence";
       case HookOp::UserYield:             return "user-yield";
+      case HookOp::PmCas:                 return "pm-cas";
     }
     return "?";
 }

@@ -56,6 +56,7 @@ enum class HookOp : std::uint8_t {
     PmFlush,               //!< PmDevice::clflush
     PmFence,               //!< PmDevice::sfence
     UserYield,             //!< explicit mc::yieldPoint() in a scenario
+    PmCas,                 //!< PmDevice::casU64 (persistent CAS attempt)
 };
 
 const char *hookOpName(HookOp op);

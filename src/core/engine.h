@@ -37,6 +37,7 @@
 #include "htm/rtm.h"
 #include "obs/flight_recorder.h"
 #include "pager/pager.h"
+#include "pm/pcas.h"
 #include "wal/recovery_stats.h"
 
 namespace fasp::pm {
@@ -57,6 +58,19 @@ enum class EngineKind : std::uint8_t {
 /** Printable name ("FAST", "FASH", "NVWAL", ...). */
 const char *engineKindName(EngineKind kind);
 
+/** How FAST publishes a single-page commit's new slot header. */
+enum class InPlaceCommitVia : std::uint8_t {
+    /** Persistent CAS / bounded PMwCAS (DESIGN.md §14): word-granular
+     *  publication, torn-line tolerant, no HTM requirement, and no
+     *  shared line-lock table — concurrent commits to different pages
+     *  never serialize on each other. */
+    Pcas,
+    /** The paper's HTM path: a single-cache-line RTM region publishes
+     *  the header, one clflush makes it durable. Relies on the
+     *  cache-line write-back being atomic (paper §3.2). */
+    Rtm,
+};
+
 /** Engine construction parameters. */
 struct EngineConfig
 {
@@ -71,6 +85,15 @@ struct EngineConfig
     /** After this many consecutive RTM aborts FAST falls back to
      *  slot-header logging for the commit (paper §3.2 footnote). */
     unsigned rtmRetriesBeforeFallback = 64;
+
+    /** FAST's in-place publication primitive. Defaults to PCAS; the
+     *  RTM path is kept for the ablation benches and for page sizes
+     *  above pm::kPcasMaxPageSize, where the PMwCAS descriptor bit
+     *  could alias a real slot offset. */
+    InPlaceCommitVia inPlaceCommitVia = InPlaceCommitVia::Pcas;
+
+    /** PCAS failure-injection / retry policy (FAST + PCAS only). */
+    pm::PcasConfig pcas;
 
     /** Run the lazy checkpoint automatically when the log fills
      *  (NVWAL / LegacyWal). */
@@ -91,6 +114,7 @@ struct EngineStats
     std::atomic<std::uint64_t> logCommits{0};     //!< slot-header-log
                                                   //!< commits
     std::atomic<std::uint64_t> rtmFallbacks{0};   //!< FAST HTM gave up
+    std::atomic<std::uint64_t> pcasFallbacks{0};  //!< FAST PCAS gave up
     std::atomic<std::uint64_t> latchConflicts{0}; //!< transactions
                                                   //!< aborted by a
                                                   //!< latch conflict
@@ -118,6 +142,8 @@ struct EngineStats
         logCommits = other.logCommits.load(std::memory_order_relaxed);
         rtmFallbacks =
             other.rtmFallbacks.load(std::memory_order_relaxed);
+        pcasFallbacks =
+            other.pcasFallbacks.load(std::memory_order_relaxed);
         latchConflicts =
             other.latchConflicts.load(std::memory_order_relaxed);
     }

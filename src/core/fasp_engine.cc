@@ -1,8 +1,10 @@
 #include "core/fasp_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 
+#include "common/byte_io.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -33,6 +35,10 @@ observeTx(obs::TraceOp op, const char *engine, std::uint64_t modelNs0,
 FaspEngine::FaspEngine(pm::PmDevice &device, const EngineConfig &cfg,
                        const pager::Superblock &sb)
     : Engine(device, cfg, sb), log_(device, sb), rtm_(device, cfg.rtm),
+      pcas_(device, sb.pcasRegionOff(), cfg.pcas),
+      commitViaPcas_(cfg.kind == EngineKind::Fast &&
+                     cfg.inPlaceCommitVia == InPlaceCommitVia::Pcas &&
+                     sb.pageSize <= pm::kPcasMaxPageSize),
       bitmapIO_(bitmap_), allocator_(bitmapIO_, sb)
 {
     FASP_ASSERT(cfg.kind == EngineKind::Fast ||
@@ -62,6 +68,17 @@ FaspEngine::recover(wal::RecoveryBreakdown &breakdown)
     // Recovery is quiescent by contract; hold the log mutex anyway so
     // every log_ access in the program is provably under it.
     MutexLock logLock(&logMutex_);
+
+    // (0) Resolve in-flight PMwCAS descriptors first (roll forward /
+    // back), so log replay and free-list rebuild below never read a
+    // header word holding a descriptor pointer (DESIGN.md §14).
+    auto pcas_started = std::chrono::steady_clock::now();
+    pcas_.recover();
+    breakdown.repairNs += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - pcas_started)
+            .count());
+
     auto result = log_.recover(&breakdown);
     if (!result.isOk())
         return result.status();
@@ -84,11 +101,75 @@ FaspEngine::recover(wal::RecoveryBreakdown &breakdown)
     // The bitmap is only current after replay.
     MutexLock allocLock(&allocMutex_);
     pager::Pager::loadBitmap(device_, sb_, bitmap_);
+
+    // A crash between a PCAS publish and its lazily persisted clear
+    // leaves flag bits in durable header words; strip them now that
+    // the bitmap says which pages are live.
+    sweepHeaderTags();
     breakdown.repairNs += static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - repair_started)
             .count());
     return Status::ok();
+}
+
+std::uint64_t
+FaspEngine::sweepHeaderTags()
+{
+    pm::SiteScope site(device_, "FaspEngine::sweepHeaderTags");
+    std::uint64_t swept = 0;
+    for (PageId pid = sb_.directoryPid; pid < sb_.pageCount; ++pid) {
+        // Only the directory and allocated data pages can carry tags;
+        // the PMwCAS descriptor pages in between are never targets.
+        if (pid > sb_.directoryPid && pid < sb_.firstDataPid())
+            continue;
+        if (pid > sb_.directoryPid && !allocator_.isAllocated(pid))
+            continue;
+        // Tags live only in the first line: the PCAS commit's CAS set
+        // is bounded by the one-cache-line shadow header.
+        PmOffset off = sb_.pageOffset(pid);
+        std::array<std::uint8_t, kCacheLineSize> line{};
+        device_.read(off, line.data(), line.size());
+        // Only slotted pages take PCAS publishes; overflow/meta pages
+        // hold raw bytes whose top bits are data, not protocol flags.
+        // The type nibble (bytes 4-5 of word 0) is readable even when
+        // word 0 is tagged — the flags occupy bits 62/63 only.
+        auto type = static_cast<page::PageType>(
+            loadU16(line.data() + page::kOffFlags) & 0x0f);
+        if (type != page::PageType::Leaf &&
+            type != page::PageType::Internal)
+            continue;
+        // Bound the strip to the slot-header extent: only those words
+        // are ever in a PCAS set. Past headerBytes(nrec) the line may
+        // hold record content on a full page (FASH leaves and internal
+        // pages do not reserve the whole first line the way FAST
+        // leaves do), where bits 62/63 are payload. nrec is readable
+        // even from a tagged word 0 — the flags sit in byte 7 — and a
+        // tagged word 0 already carries the committed new value.
+        std::uint16_t nrec =
+            loadU16(line.data() + page::kOffNumRecords);
+        std::size_t header_words =
+            std::min<std::size_t>(
+                page::headerBytes(nrec) + 7, kCacheLineSize) /
+            8;
+        bool dirty = false;
+        for (std::size_t w = 0; w < header_words; ++w) {
+            std::uint64_t v = loadU64(line.data() + w * 8);
+            if ((v & pm::kPcasFlagMask) == 0)
+                continue;
+            // A descriptor pointer cannot survive Pcas::recover();
+            // anything left is a dirty-tagged value, which being in
+            // the durable image is by definition durable — strip.
+            device_.writeU64(off + w * 8, pm::pcasStrip(v));
+            dirty = true;
+            ++swept;
+        }
+        if (dirty)
+            device_.clflush(off);
+    }
+    if (swept > 0)
+        device_.sfence();
+    return swept;
 }
 
 std::unique_ptr<Transaction>
@@ -348,40 +429,145 @@ FaspTransaction::commitInPlace(PageState &st)
 {
     pm::SiteScope site(engine_.device_, "FaspTransaction::commitInPlace");
     pm::PhaseTracker *trk = tracker();
-    // (i) Persist the in-place record writes (Figure 7).
+    // (i) Persist the in-place record writes (Figure 7). With PCAS the
+    // header bytes beyond the old durable extent ride along: they are
+    // invisible until the commit word publishes the new record count,
+    // so they persist like record content, shrinking the CAS set to
+    // the words whose *visible* bytes change.
     {
         PhaseScope phase(trk, Component::FlushRecord);
+        bool flushed = false;
         if (st.io->contentDirty()) {
             st.io->flushDirtyRanges();
+            flushed = true;
+        }
+        if (engine_.commitViaPcas_) {
+            auto header = st.io->shadowBytes();
+            std::size_t old_extent = st.io->baseBytes().size();
+            if (header.size() > old_extent) {
+                engine_.device_.write(st.io->pageOff() + old_extent,
+                                      header.data() + old_extent,
+                                      header.size() - old_extent);
+                engine_.device_.flushRange(st.io->pageOff() +
+                                               old_extent,
+                                           header.size() - old_extent);
+                flushed = true;
+            }
+        }
+        if (flushed)
             engine_.device_.sfence();
-        }
     }
-    // (ii) The in-place commit mark: one RTM transaction publishes the
-    // new slot header, one clflush makes it durable (paper §3.2).
-    {
-        PhaseScope phase(trk, Component::Atomic64BWrite);
-        // The record writes above must be fenced before the header
-        // publish makes them reachable.
-        engine_.device_.txCommitPoint();
-        auto header = st.io->shadowBytes();
-        FASP_ASSERT(header.size() <= kCacheLineSize);
-        bool committed = engine_.rtm_.execute(
-            [&](htm::RtmRegion &region) {
-                region.write(st.io->pageOff(), header.data(),
-                             header.size());
-            });
-        if (!committed) {
-            engine_.stats_.rtmFallbacks++;
-            return Status(StatusCode::TxConflict, "rtm fallback");
-        }
-        engine_.device_.clflush(st.io->pageOff());
-        engine_.device_.sfence();
-    }
+    // (ii) The in-place commit mark (paper §3.2 / DESIGN.md §14).
+    Status published = engine_.commitViaPcas_ ? commitInPlacePcas(st)
+                                              : commitInPlaceRtm(st);
+    if (!published.isOk())
+        return published;
     {
         PhaseScope phase(trk, Component::CommitMisc);
         applyReclaims();
     }
     engine_.stats_.inPlaceCommits++;
+    return Status::ok();
+}
+
+Status
+FaspTransaction::commitInPlaceRtm(PageState &st)
+{
+    // One RTM transaction publishes the new slot header, one clflush
+    // makes it durable (paper §3.2). Correct only under the paper's
+    // cache-line write-back atomicity assumption — see
+    // tests/recovery/atomicity_assumptions_test.cc.
+    PhaseScope phase(tracker(), Component::Atomic64BWrite);
+    // The record writes above must be fenced before the header
+    // publish makes them reachable.
+    engine_.device_.txCommitPoint();
+    auto header = st.io->shadowBytes();
+    FASP_ASSERT(header.size() <= kCacheLineSize);
+    bool committed =
+        engine_.rtm_.execute([&](htm::RtmRegion &region) {
+            region.write(st.io->pageOff(), header.data(),
+                         header.size());
+        });
+    if (!committed) {
+        engine_.stats_.rtmFallbacks++;
+        return Status(StatusCode::TxConflict, "rtm fallback");
+    }
+    engine_.device_.clflush(st.io->pageOff());
+    engine_.device_.sfence();
+    return Status::ok();
+}
+
+Status
+FaspTransaction::commitInPlacePcas(PageState &st)
+{
+    // Publish the header's visible diff through persistent CAS: one
+    // word via Pcas::cas (one flush + one fence, like the RTM path,
+    // but word-atomic — no line-tear exposure and no shared line-lock
+    // table), several words via the bounded PMwCAS (DESIGN.md §14).
+    PhaseScope phase(tracker(), Component::Atomic64BWrite);
+    engine_.device_.txCommitPoint();
+
+    auto header = st.io->shadowBytes();
+    auto base = st.io->baseBytes();
+    FASP_ASSERT(header.size() <= kCacheLineSize);
+    const PmOffset page_off = st.io->pageOff();
+
+    // Visible bytes: covered by both the old durable extent (readers
+    // guard on the old record count until the CAS lands) and the new
+    // header (bytes past it are dead under the new count — keep old).
+    std::size_t visible = std::min(base.size(), header.size());
+    std::array<pm::Pcas::MwcasEntry, pm::Pcas::kMaxMwcasWords> entries;
+    std::size_t count = 0;
+    for (std::size_t w = 0; w * 8 < visible; ++w) {
+        PmOffset word_off = page_off + w * 8;
+        std::uint64_t cur = engine_.device_.readU64(word_off);
+        std::uint64_t desired = cur;
+        auto *bytes = reinterpret_cast<std::uint8_t *>(&desired);
+        std::size_t end = std::min(visible, w * 8 + 8);
+        for (std::size_t b = w * 8; b < end; ++b)
+            bytes[b - w * 8] = header[b];
+        if (desired != cur) {
+            FASP_ASSERT(count < pm::Pcas::kMaxMwcasWords);
+            entries[count++] =
+                pm::Pcas::MwcasEntry{word_off, cur, desired};
+        }
+    }
+
+    pm::PcasResult result = pm::PcasResult::Ok;
+    if (count == 1) {
+        result = engine_.pcas_.cas(entries[0].off, entries[0].oldVal,
+                                   entries[0].newVal);
+    } else if (count > 1) {
+        result = engine_.pcas_.mwcas(entries.data(), count);
+    }
+    // count == 0: the visible header is byte-identical (the change
+    // lives entirely in the pre-flushed tail) — trivially committed.
+    if (result != pm::PcasResult::Ok) {
+        engine_.stats_.pcasFallbacks++;
+        if (obs::enabled()) {
+            static obs::Counter &fb = obs::MetricsRegistry::global()
+                                          .counter("core.pcas.fallbacks");
+            fb.inc();
+            static obs::Counter &cf = obs::MetricsRegistry::global()
+                                          .counter("core.pcas.conflicts");
+            static obs::Counter &ex = obs::MetricsRegistry::global()
+                                          .counter("core.pcas.exhausted");
+            (result == pm::PcasResult::Exhausted ? ex : cf).inc();
+        }
+        return Status(StatusCode::TxConflict,
+                      result == pm::PcasResult::Exhausted
+                          ? "pcas retries exhausted"
+                          : "pcas conflict");
+    }
+    if (obs::enabled()) {
+        static obs::Counter &ok = obs::MetricsRegistry::global()
+                                      .counter("core.pcas.commits");
+        ok.inc();
+        static obs::Counter &mw = obs::MetricsRegistry::global()
+                                      .counter("core.pcas.mwcas_commits");
+        if (count > 1)
+            mw.inc();
+    }
     return Status::ok();
 }
 

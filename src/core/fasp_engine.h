@@ -39,6 +39,7 @@
 #include "core/fasp_page_io.h"
 #include "htm/rtm.h"
 #include "pager/latch_table.h"
+#include "pm/pcas.h"
 #include "wal/slot_header_log.h"
 
 namespace fasp::core {
@@ -82,6 +83,8 @@ class FaspTransaction : public Transaction, public btree::TxPageIO
 
     PageState &state(PageId pid);
     Status commitInPlace(PageState &st);
+    Status commitInPlacePcas(PageState &st);
+    Status commitInPlaceRtm(PageState &st);
     Status commitLogged();
     void applyReclaims();
 
@@ -126,10 +129,22 @@ class FaspEngine : public Engine
         return log_;
     }
     htm::Rtm &rtm() { return rtm_; }
+    pm::Pcas &pcas() { return pcas_; }
     LatchTable &latches() { return latches_; }
+
+    /** True when single-page commits publish via PCAS (config says so
+     *  and the page size keeps header words flag-free). */
+    bool commitViaPcas() const { return commitViaPcas_; }
 
   private:
     friend class FaspTransaction;
+
+    /** Recovery pass over allocated pages stripping PCAS flag bits
+     *  left in durable header words by a crash between the tagged
+     *  publish and the (lazily persisted) tag clear. Returns the
+     *  number of words swept. Quiescent-only; requires allocMutex_
+     *  because it walks the freshly loaded bitmap. */
+    std::uint64_t sweepHeaderTags() REQUIRES(allocMutex_);
 
     /** Serializes logged commits: the slot-header log region (cursor,
      *  frames, truncation) is one shared structure. Held across the
@@ -144,6 +159,8 @@ class FaspEngine : public Engine
 
     wal::SlotHeaderLog log_ GUARDED_BY(logMutex_);
     htm::Rtm rtm_;
+    pm::Pcas pcas_;
+    bool commitViaPcas_;
     LatchTable latches_;
 
     /** Volatile mirror of the allocation bitmap (durable updates ride

@@ -44,6 +44,7 @@ FaspPageIO::materializeShadow()
     shadow_.resize(bytes);
     device_.read(pageOff_, shadow_.data(), bytes);
     durableHeaderEnd_ = static_cast<std::uint16_t>(bytes);
+    base_ = shadow_;
 }
 
 void

@@ -91,6 +91,15 @@ class FaspPageIO : public page::PageIO
         return std::span<const std::uint8_t>(shadow_);
     }
 
+    /** The pristine durable header captured when the shadow was
+     *  materialized (length = the durable header extent at that time).
+     *  The PCAS commit diffs this against shadowBytes() to find the
+     *  visible words its CAS set must cover. */
+    std::span<const std::uint8_t> baseBytes() const
+    {
+        return std::span<const std::uint8_t>(base_);
+    }
+
     /** True if any tracked (content / write-through) write happened. */
     bool contentDirty() const { return !dirtyRanges_.empty(); }
 
@@ -120,6 +129,9 @@ class FaspPageIO : public page::PageIO
     /** Shadow header: fixed header + offset array; empty until
      *  materialized. Always sized to the current header extent. */
     std::vector<std::uint8_t> shadow_;
+
+    /** Copy of the shadow as materialized (the old durable header). */
+    std::vector<std::uint8_t> base_;
 
     /** Page-relative dirty byte ranges awaiting clflush at commit. */
     std::vector<std::pair<std::uint16_t, std::uint16_t>> dirtyRanges_;

@@ -40,7 +40,7 @@ bool
 isPmOp(HookOp op)
 {
     return op == HookOp::PmStore || op == HookOp::PmFlush ||
-           op == HookOp::PmFence;
+           op == HookOp::PmFence || op == HookOp::PmCas;
 }
 
 bool
@@ -236,8 +236,10 @@ Explorer::crashFork(std::size_t fenceIndex, std::uint64_t scheduleIndex,
     device_->composeCrashImage(opt_.crashPolicy, seed, forkImage_);
     forkDevice_->resetToImage(forkImage_.data(), forkImage_.size());
 
-    if (!scenario_.usesEngine())
+    if (!scenario_.usesEngine()) {
+        scenario_.verifyCrashRaw(*forkDevice_, out);
         return;
+    }
 
     forensics::CrashReport rep =
         forensics::analyzeImage(forkImage_.data(), forkImage_.size());

@@ -3,6 +3,7 @@
 #include <array>
 #include <atomic>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "btree/btree.h"
@@ -11,6 +12,7 @@
 #include "core/engine.h"
 #include "pager/latch_table.h"
 #include "pm/device.h"
+#include "pm/pcas.h"
 
 namespace fasp::mc {
 
@@ -651,6 +653,140 @@ class BugLockElision final : public Scenario
     static constexpr PmOffset kOff = 4096;
 };
 
+/** Two writers race a PCAS flip of one header-style word — the
+ *  latch-free publish race the engines never produce themselves (the
+ *  page latch serializes commits), so the dirty-tag helping path and
+ *  the window between publish-CAS, flush, fence and tag-clear only get
+ *  schedule coverage here. Crash forks land at every explored fence —
+ *  in particular the one between the publish flush and the tag clear —
+ *  and the raw-image oracle runs Pcas::recover() plus the tag strip
+ *  that FaspEngine::sweepHeaderTags() performs on real headers. */
+class PcasHeaderFlip final : public Scenario
+{
+  public:
+    const char *name() const override { return "pcas-header-flip"; }
+
+    const char *description() const override
+    {
+        return "two writers race a PCAS header-word flip; crash forks "
+               "at protocol fences must recover an untorn value";
+    }
+
+    int threadCount() const override { return 2; }
+    bool usesEngine() const override { return false; }
+
+    void reset() override
+    {
+        pcas_.reset();
+        for (auto &f : committed_)
+            f.store(false, std::memory_order_relaxed);
+        failed_.store(false, std::memory_order_relaxed);
+    }
+
+    std::function<void()> body(int tid, core::Engine *engine,
+                               pm::PmDevice &device) override
+    {
+        (void)engine;
+        // First body() call of the schedule (main thread, before the
+        // scheduler starts): bind the PCAS instance and seed the word.
+        if (!pcas_) {
+            pcas_ = std::make_unique<pm::Pcas>(device, kDescOff,
+                                               pm::PcasConfig{});
+            device.writeU64(kWordOff, kOld);
+            device.clflush(kWordOff);
+            device.sfence();
+        }
+        return [this, tid] {
+            std::uint64_t want = newFor(tid);
+            for (int attempt = 0; attempt < 32; ++attempt) {
+                // read() helps a tagged value to durability first, so
+                // the expected value below is always a logical one.
+                std::uint64_t cur = pcas_->read(kWordOff);
+                if (pcas_->cas(kWordOff, cur, want) ==
+                    pm::PcasResult::Ok) {
+                    committed_[static_cast<std::size_t>(tid)].store(
+                        true, std::memory_order_relaxed);
+                    return;
+                }
+                yieldPoint();
+            }
+            failed_.store(true, std::memory_order_relaxed);
+        };
+    }
+
+    void verify(core::Engine *engine, pm::PmDevice &device,
+                std::vector<McViolation> &out) override
+    {
+        (void)engine;
+        if (failed_.load(std::memory_order_relaxed)) {
+            out.push_back({McViolation::Kind::Oracle,
+                           "a writer exhausted its CAS retry budget "
+                           "with failure injection off"});
+        }
+        for (int i = 0; i < 2; ++i) {
+            if (!committed_[static_cast<std::size_t>(i)].load(
+                    std::memory_order_relaxed)) {
+                out.push_back({McViolation::Kind::Oracle,
+                               "T" + std::to_string(i) +
+                                   " never committed its flip"});
+            }
+        }
+        std::uint64_t v = device.readU64(kWordOff);
+        if (pm::pcasTagged(v)) {
+            out.push_back({McViolation::Kind::Oracle,
+                           "word still carries a protocol flag after "
+                           "both writers returned"});
+        } else if (v != newFor(0) && v != newFor(1)) {
+            out.push_back({McViolation::Kind::Oracle,
+                           "word holds a value no writer published"});
+        }
+    }
+
+    void verifyCrashRaw(pm::PmDevice &forkDevice,
+                        std::vector<McViolation> &out) override
+    {
+        // The scenario owns recovery for its word: descriptor pass,
+        // then the tag strip the engine's header sweep would do.
+        pm::Pcas recovered(forkDevice, kDescOff, pm::PcasConfig{});
+        recovered.recover();
+        std::uint64_t raw = forkDevice.readU64(kWordOff);
+        std::uint64_t v = pm::pcasStrip(raw);
+        if ((raw & pm::kPmwcasDescBit) != 0) {
+            out.push_back({McViolation::Kind::Recovery,
+                           "descriptor pointer survived recovery"});
+            return;
+        }
+        bool both = committed_[0].load(std::memory_order_relaxed) &&
+                    committed_[1].load(std::memory_order_relaxed);
+        if (v == kOld && !both)
+            return; // no flip durable yet — fine unless both fenced
+        if (v == newFor(0) || v == newFor(1))
+            return;
+        out.push_back(
+            {McViolation::Kind::Recovery,
+             "crash image recovered a torn header word: " +
+                 std::to_string(v)});
+    }
+
+  private:
+    /** Descriptor region at 4 KiB, the raced word right after it. */
+    static constexpr PmOffset kDescOff = 4096;
+    static constexpr PmOffset kWordOff =
+        kDescOff + pm::Pcas::kDescRegionBytes;
+
+    /** Header-shaped values: four packed u16 fields, flag-free. */
+    static constexpr std::uint64_t kOld = 0x0001002000300040ull;
+
+    static std::uint64_t newFor(int tid)
+    {
+        return kOld + 0x0100ull + static_cast<std::uint64_t>(tid);
+    }
+
+    std::unique_ptr<pm::Pcas> pcas_;
+    std::array<std::atomic<bool>, 2> committed_{};
+    std::atomic<bool> failed_{false};
+};
+
 /** Seeded bug: a commit whose data line was never flushed before the
  *  commit point. The persistency checker must flag it on the very
  *  first schedule. */
@@ -738,8 +874,8 @@ scenarioNames()
 {
     return {
         "same-page-insert", "same-page-insert-3t", "same-page-update",
-        "insert-vs-split",  "defrag-vs-read",      "bug-lock-elision",
-        "bug-missing-flush", "bug-deadlock",
+        "insert-vs-split",  "defrag-vs-read",      "pcas-header-flip",
+        "bug-lock-elision", "bug-missing-flush",   "bug-deadlock",
     };
 }
 
@@ -756,6 +892,8 @@ makeScenario(const std::string &name)
         return std::make_unique<InsertVsSplit>();
     if (name == "defrag-vs-read")
         return std::make_unique<DefragVsRead>();
+    if (name == "pcas-header-flip")
+        return std::make_unique<PcasHeaderFlip>();
     if (name == "bug-lock-elision")
         return std::make_unique<BugLockElision>();
     if (name == "bug-missing-flush")

@@ -90,6 +90,16 @@ class Scenario
         (void)forkDevice;
         (void)out;
     }
+
+    /** Crash-fork oracle for usesEngine()==false scenarios: the fork
+     *  device holds the raw crash image — the scenario owns whatever
+     *  recovery protocol applies to it. */
+    virtual void verifyCrashRaw(pm::PmDevice &forkDevice,
+                                std::vector<McViolation> &out)
+    {
+        (void)forkDevice;
+        (void)out;
+    }
 };
 
 /** Registered scenario names, in presentation order. */

@@ -44,6 +44,7 @@ CoopScheduler::tokenForLocked(HookOp op, const void *addr)
       case HookOp::PmStore:
       case HookOp::PmFlush:
       case HookOp::PmFence:
+      case HookOp::PmCas:
         // One token per 64-byte PM line: a flush of a line and a store
         // into it name the same resource.
         cls = 0;

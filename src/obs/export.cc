@@ -97,7 +97,7 @@ exportJson(const std::string &benchName,
     std::string out;
     out += "{\n  \"bench\": ";
     appendJsonString(out, benchName);
-    out += ",\n  \"schema_version\": 2";
+    out += ",\n  \"schema_version\": 3";
 
     out += ",\n  \"counters\": {";
     bool first = true;

@@ -17,8 +17,10 @@
 
 namespace fasp::obs {
 
-/** Render everything as a JSON document (schema_version 2: adds the
- *  `recovery` section and per-ring `ring_stats`). @p maxTraceEvents
+/** Render everything as a JSON document (schema_version 3: adds the
+ *  `core.pcas.*` abort-class counters billed by the PCAS commit path;
+ *  v2 added the `recovery` section and per-ring `ring_stats`).
+ *  @p maxTraceEvents
  *  bounds the embedded trace tail (0 = omit events, keep the
  *  summary). */
 std::string exportJson(const std::string &benchName,

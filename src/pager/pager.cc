@@ -9,8 +9,14 @@
 #include "page/page_io.h"
 #include "page/slotted_page.h"
 #include "pm/device.h"
+#include "pm/pcas.h"
 
 namespace fasp::pager {
+
+static_assert(Superblock::kPcasRegionBytes ==
+                  pm::Pcas::kDescRegionBytes,
+              "superblock's positional descriptor region must match "
+              "the pcas layer's");
 
 BitmapSlot
 bitmapSlot(PageId pid)
@@ -109,7 +115,8 @@ Pager::format(pm::PmDevice &device, const FormatParams &params)
             "page size must be a power of two in [256, 32768] "
             "(page offsets are 16-bit)");
     }
-    if (device.size() <= params.logLen + params.frLen + 4 * psize)
+    if (device.size() <= params.logLen + params.frLen + 4 * psize +
+                             Superblock::kPcasRegionBytes)
         return statusInvalid("device too small for layout");
 
     std::uint64_t page_area =
@@ -130,14 +137,16 @@ Pager::format(pm::PmDevice &device, const FormatParams &params)
     sb.frOff = sb.logOff + sb.logLen;
     sb.frLen = params.frLen;
 
-    // Zero the meta pages (bitmap starts all-free).
-    device.memset(0, 0, static_cast<std::size_t>(sb.directoryPid + 1) *
-                            psize);
+    // Zero the meta pages (bitmap starts all-free; PMwCAS descriptor
+    // slots start Free).
+    device.memset(0, 0,
+                  static_cast<std::size_t>(sb.firstDataPid()) * psize);
 
-    // Mark superblock, bitmap pages, and directory allocated.
+    // Mark superblock, bitmap pages, directory, and the PMwCAS
+    // descriptor pages allocated.
     std::vector<std::uint8_t> bitmap(bitmap_bytes, 0);
     VectorBitmapIO bitmap_io(bitmap);
-    for (PageId pid = 0; pid <= sb.directoryPid; ++pid) {
+    for (PageId pid = 0; pid < sb.firstDataPid(); ++pid) {
         BitmapSlot slot = bitmapSlot(pid);
         bitmap_io.writeByte(
             slot.byteIndex,
@@ -158,7 +167,7 @@ Pager::format(pm::PmDevice &device, const FormatParams &params)
 
     // Flush from offset 0: page 0 was zeroed by the memset above, and
     // its lines beyond the superblock would otherwise stay dirty.
-    device.flushRange(0, static_cast<std::size_t>(sb.directoryPid + 1) *
+    device.flushRange(0, static_cast<std::size_t>(sb.firstDataPid()) *
                              psize);
     device.flushRange(sb.logOff,
                       std::min<std::uint64_t>(sb.logLen, psize));

@@ -98,6 +98,38 @@ PersistencyChecker::onStore(PmOffset off, std::size_t len, bool scratch,
 }
 
 void
+PersistencyChecker::onCasStore(PmOffset off, std::uint64_t eventIndex,
+                               const char *site)
+{
+    MutexLock lk(&mu_);
+    ThreadState &ts = myState();
+    PmOffset base = cacheLineBase(off);
+    LineInfo &li = lines_[base];
+    li.record(LineTraceEvent::Op::Store, eventIndex, site);
+    switch (li.state) {
+      case LineState::Clean:
+      case LineState::Fenced:
+      case LineState::Dirty:
+        li.state = LineState::Dirty;
+        li.scratchOnly = false;
+        break;
+      case LineState::Flushed:
+        // An 8-byte CAS landing in another thread's flush->fence
+        // window is protocol-legal (DESIGN.md §14): the word store is
+        // atomic, the earlier flush wrote back a complete line, and
+        // whichever pcas caller issued this CAS either flushes +
+        // fences it before claiming durability (a publish) or marks
+        // it scratch (the lazy tag clear). So the line re-dirties
+        // without arming the V4 stale-writeback report.
+        li.state = LineState::Dirty;
+        li.scratchOnly = false;
+        break;
+    }
+    if (ts.txActive && ts.txMembers.insert(base).second)
+        ts.txLines.push_back(base);
+}
+
+void
 PersistencyChecker::onFlush(PmOffset off, std::uint64_t eventIndex,
                             const char *site)
 {
@@ -114,8 +146,16 @@ PersistencyChecker::onFlush(PmOffset off, std::uint64_t eventIndex,
       case LineState::Clean:
       case LineState::Flushed:
       case LineState::Fenced:
-        // Nothing dirty to write back.
-        if (config_.trackRedundantFlush)
+        // Nothing dirty to write back. Lines that ever held a PCAS
+        // dirty tag are exempt for good: a helping thread cannot know
+        // whether the tag owner already flushed — or already cleared,
+        // in the window between the helper's tag check and its flush —
+        // so the protocol mandates flushes that are only sometimes
+        // redundant (DESIGN.md §14). V2 is a perf lint; surrendering
+        // it on pcas-managed header lines is the price of helping.
+        if (config_.trackRedundantFlush &&
+            everTaggedLines_.find(base) == everTaggedLines_.end() &&
+            !lineHasTaggedWord(base))
             reportLine(ViolationKind::RedundantFlush, base, li,
                        eventIndex, site);
         break;
@@ -162,6 +202,12 @@ PersistencyChecker::onCrash()
     }
     lines_.clear();
     threads_.clear();
+    // The crash left whatever tag bits were durable in the image;
+    // recovery resolves them through the pcas layer. Tracking restarts
+    // clean.
+    taggedWords_.clear();
+    taggedCount_.store(0, std::memory_order_release);
+    everTaggedLines_.clear();
 }
 
 void
@@ -262,6 +308,72 @@ PersistencyChecker::onTxEnd(bool committed, std::uint64_t eventIndex,
 }
 
 bool
+PersistencyChecker::lineHasTaggedWord(PmOffset base) const
+{
+    if (taggedWords_.empty())
+        return false;
+    for (PmOffset w = base; w < base + kCacheLineSize; w += 8) {
+        if (taggedWords_.count(w) > 0)
+            return true;
+    }
+    return false;
+}
+
+void
+PersistencyChecker::onTagSet(PmOffset wordOff, std::uint64_t eventIndex,
+                             const char *site)
+{
+    MutexLock lk(&mu_);
+    if (taggedWords_.insert(wordOff).second)
+        taggedCount_.store(taggedWords_.size(),
+                           std::memory_order_release);
+    everTaggedLines_.insert(cacheLineBase(wordOff));
+    // The tag publish is a store the pcas layer must still flush; keep
+    // the line history readable by recording it.
+    lines_[cacheLineBase(wordOff)].record(LineTraceEvent::Op::Store,
+                                          eventIndex, site);
+}
+
+void
+PersistencyChecker::onTagClear(PmOffset wordOff)
+{
+    MutexLock lk(&mu_);
+    if (taggedWords_.erase(wordOff) > 0)
+        taggedCount_.store(taggedWords_.size(),
+                           std::memory_order_release);
+}
+
+void
+PersistencyChecker::onRead(PmOffset off, std::size_t len,
+                           std::uint64_t eventIndex, const char *site)
+{
+    if (taggedCount_.load(std::memory_order_acquire) == 0 || len == 0)
+        return;
+    MutexLock lk(&mu_);
+    // Tagged words are 8-aligned; scan the aligned words the read
+    // overlaps. The tagged set is tiny (bounded by in-flight CASes),
+    // so probe whichever side is smaller.
+    PmOffset first = off & ~static_cast<PmOffset>(7);
+    PmOffset last = (off + len - 1) & ~static_cast<PmOffset>(7);
+    std::size_t words = (last - first) / 8 + 1;
+    if (taggedWords_.size() <= words) {
+        for (PmOffset w : taggedWords_) {
+            if (w >= first && w <= last) {
+                reportLine(ViolationKind::TaggedRead, cacheLineBase(w),
+                           lines_[cacheLineBase(w)], eventIndex, site);
+            }
+        }
+        return;
+    }
+    for (PmOffset w = first; w <= last; w += 8) {
+        if (taggedWords_.count(w)) {
+            reportLine(ViolationKind::TaggedRead, cacheLineBase(w),
+                       lines_[cacheLineBase(w)], eventIndex, site);
+        }
+    }
+}
+
+bool
 PersistencyChecker::txActive() const
 {
     MutexLock lk(&mu_);
@@ -285,6 +397,15 @@ PersistencyChecker::checkCleanShutdown(std::uint64_t eventIndex)
     for (PmOffset base : bases) {
         reportLine(ViolationKind::DirtyAtShutdown, base, lines_[base],
                    eventIndex, nullptr);
+    }
+    // V7: no PCAS dirty tag may survive a *clean* shutdown (a crash
+    // may leave tags; recovery clears them lazily).
+    std::vector<PmOffset> tagged(taggedWords_.begin(),
+                                 taggedWords_.end());
+    std::sort(tagged.begin(), tagged.end());
+    for (PmOffset w : tagged) {
+        reportLine(ViolationKind::UnclearedTag, cacheLineBase(w),
+                   lines_[cacheLineBase(w)], eventIndex, nullptr);
     }
 }
 
@@ -325,6 +446,8 @@ PersistencyChecker::reset()
     lines_.clear();
     threads_.clear();
     atRiskAtCrash_.clear();
+    taggedWords_.clear();
+    taggedCount_.store(0, std::memory_order_release);
     report_.clear();
 }
 

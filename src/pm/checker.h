@@ -33,6 +33,7 @@
 #define FASP_PM_CHECKER_H
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <thread>
@@ -93,10 +94,45 @@ class PersistencyChecker
     void onCrash();
     void onMarkScratch(PmOffset off, std::size_t len);
 
+    /** An 8-byte atomic CAS store (PmDevice::casU64). Dirties the line
+     *  like onStore but never arms the V4 flush->fence-window report:
+     *  word-granular protocol stores (pcas publish / tag clear) are
+     *  legal inside another thread's window, because the word cannot
+     *  tear and its issuer settles its own durability (DESIGN.md §14).
+     *  fasp-lint's raw-pm-cas rule keeps casU64 confined to the pcas
+     *  layer, so this exemption cannot leak to ordinary stores. */
+    void onCasStore(PmOffset off, std::uint64_t eventIndex,
+                    const char *site);
+
     void onTxBegin();
     void onTxCommitPoint(std::uint64_t eventIndex, const char *site);
     void onTxEnd(bool committed, std::uint64_t eventIndex,
                  const char *site);
+
+    // --- PCAS dirty-tag tracking (driven by pm::pcas, DESIGN.md §14) ----
+
+    /** A persistent CAS published a tagged (not-yet-durable) value into
+     *  the 8-byte word at @p wordOff. */
+    void onTagSet(PmOffset wordOff, std::uint64_t eventIndex,
+                  const char *site);
+
+    /** The tag on @p wordOff was cleared (value now flushed+durable).
+     *  Tolerates words the checker never saw tagged: recovery clears
+     *  tags left behind by a crash that predates this checker. */
+    void onTagClear(PmOffset wordOff);
+
+    /** Every plain PmDevice::read() reports here. V6 fires if the read
+     *  overlaps a currently tagged word: the caller consumed a value
+     *  whose durability is unresolved instead of helping through the
+     *  pcas layer. Cheap when no word is tagged (one relaxed load). */
+    void onRead(PmOffset off, std::size_t len, std::uint64_t eventIndex,
+                const char *site);
+
+    /** Number of words currently carrying a PCAS dirty tag. */
+    std::size_t taggedWordCount() const
+    {
+        return taggedCount_.load(std::memory_order_acquire);
+    }
 
     // --- Checks and queries ----------------------------------------------
 
@@ -163,6 +199,9 @@ class PersistencyChecker
     /** State slot of the calling thread. */
     ThreadState &myState() REQUIRES(mu_);
 
+    /** True if any 8-byte word of the line at @p base is tagged. */
+    bool lineHasTaggedWord(PmOffset base) const REQUIRES(mu_);
+
     void storeLine(PmOffset base, bool scratch,
                    std::uint64_t eventIndex, const char *site,
                    ThreadState &ts) REQUIRES(mu_);
@@ -181,6 +220,18 @@ class PersistencyChecker
     std::unordered_map<std::thread::id, ThreadState> threads_
         GUARDED_BY(mu_);
     std::unordered_set<PmOffset> atRiskAtCrash_ GUARDED_BY(mu_);
+
+    /** Word offsets currently carrying a PCAS dirty tag. The atomic
+     *  mirror of the set's size lets onRead() skip the mutex in the
+     *  (overwhelmingly common) no-tags case. */
+    std::unordered_set<PmOffset> taggedWords_ GUARDED_BY(mu_);
+    std::atomic<std::size_t> taggedCount_{0};
+
+    /** Lines that ever held a tagged word: pcas-managed header lines,
+     *  permanently exempt from the V2 redundant-flush lint (a helper's
+     *  flush can always race the owner's clear; DESIGN.md §14). Reset
+     *  at crash along with the rest of the tracking state. */
+    std::unordered_set<PmOffset> everTaggedLines_ GUARDED_BY(mu_);
 };
 
 } // namespace fasp::pm

@@ -19,6 +19,10 @@ violationKindName(ViolationKind kind)
         return "store-in-flush-fence-window";
       case ViolationKind::DirtyAtShutdown:
         return "dirty-at-shutdown";
+      case ViolationKind::TaggedRead:
+        return "tagged-read";
+      case ViolationKind::UnclearedTag:
+        return "uncleared-tag";
     }
     return "?";
 }

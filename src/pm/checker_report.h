@@ -19,8 +19,9 @@
 
 namespace fasp::pm {
 
-/** The five discipline breaches the checker detects (DESIGN.md
- *  "§ Persistency checker"). */
+/** The discipline breaches the checker detects (DESIGN.md
+ *  "§ Persistency checker"; V6/V7 belong to the PCAS dirty-flag
+ *  protocol, DESIGN.md §14). */
 enum class ViolationKind : std::uint8_t {
     /** V1: a line stored inside a transaction is still DIRTY (never
      *  flushed) when the engine declares the commit point or finishes
@@ -38,6 +39,15 @@ enum class ViolationKind : std::uint8_t {
     /** V5: a non-scratch line is still dirty (or flushed-unfenced) at
      *  clean shutdown. */
     DirtyAtShutdown,
+    /** V6: a plain read() overlapped an 8-byte word carrying a PCAS
+     *  dirty tag. The tag means "this value may not be durable yet";
+     *  consuming it without helping (flush + clear through the pcas
+     *  layer) can leak a non-durable value into durable state. */
+    TaggedRead,
+    /** V7: a PCAS dirty tag was still set at clean shutdown — some
+     *  persistent CAS was published but never flushed + cleared. (A
+     *  crash may legally leave tags behind; a clean shutdown may not.) */
+    UnclearedTag,
 };
 
 const char *violationKindName(ViolationKind kind);
@@ -105,7 +115,7 @@ class CheckerReport
 
   private:
     std::vector<Violation> violations_;
-    std::array<std::uint64_t, 5> countByKind_{};
+    std::array<std::uint64_t, 7> countByKind_{};
     std::uint64_t total_ = 0;
     std::uint64_t dropped_ = 0;
 };

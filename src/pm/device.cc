@@ -187,6 +187,100 @@ PmDevice::writeImpl(PmOffset off, const void *src, std::size_t len,
     }
 }
 
+bool
+PmDevice::casU64(PmOffset off, std::uint64_t &expected,
+                 std::uint64_t desired)
+{
+    checkAlive();
+    checkRange(off, 8);
+    FASP_ASSERT(off % 8 == 0);
+    if (mc::SchedulerHook *h = mc::activeHook())
+        h->atPoint(mc::HookOp::PmCas, durable_.data() + off, 8);
+    mc::HookDepthGuard hook_depth;
+    std::uint64_t index = raiseEvent(PmEvent::Store);
+
+    bool ok;
+    if (config_.mode == PmMode::Direct) {
+        // The durable image is line-aligned, so an 8-aligned offset
+        // lands on a naturally aligned word.
+        std::atomic_ref<std::uint64_t> word(*reinterpret_cast<
+            std::uint64_t *>(durable_.data() + off));
+        ok = word.compare_exchange_strong(expected, desired,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+    } else {
+        // CacheSim: the shard mutex serializes every access to the
+        // line, so compare + conditional store is atomic under it.
+        PmOffset base = cacheLineBase(off);
+        CacheShard &shard = shardFor(base);
+        MutexLock lk(&shard.mu);
+        auto it = shard.lines.find(base);
+        std::uint64_t cur;
+        const std::uint8_t *src = (it != shard.lines.end())
+            ? it->second.data() + (off - base)
+            : durable_.data() + off;
+        std::memcpy(&cur, src, 8);
+        if (cur == expected) {
+            if (it == shard.lines.end()) {
+                LineBuf buf;
+                std::memcpy(buf.data(), durable_.data() + base,
+                            kCacheLineSize);
+                it = shard.lines.emplace(base, buf).first;
+                dirtyLines_.fetch_add(1, std::memory_order_release);
+            }
+            std::memcpy(it->second.data() + (off - base), &desired, 8);
+            ok = true;
+        } else {
+            expected = cur;
+            ok = false;
+        }
+    }
+
+    if (ok) {
+        stats_.stores.fetch_add(1, std::memory_order_relaxed);
+        stats_.storeBytes.fetch_add(8, std::memory_order_relaxed);
+        tags_[(cacheLineBase(off) / kCacheLineSize) & tagMask_].store(
+            cacheLineBase(off) + 1, std::memory_order_relaxed);
+        if (PersistencyChecker *chk = checker())
+            chk->onCasStore(off, index, t_site);
+        if (PmEventObserver *obs = observer())
+            obs->onPmStore(t_site, currentThreadComponent(), 8);
+    } else {
+        stats_.loads.fetch_add(1, std::memory_order_relaxed);
+        stats_.loadBytes.fetch_add(8, std::memory_order_relaxed);
+    }
+    return ok;
+}
+
+std::uint64_t
+PmDevice::loadU64Atomic(PmOffset off)
+{
+    checkAlive();
+    checkRange(off, 8);
+    FASP_ASSERT(off % 8 == 0);
+    mc::HookDepthGuard hook_depth;
+    stats_.loads.fetch_add(1, std::memory_order_relaxed);
+    stats_.loadBytes.fetch_add(8, std::memory_order_relaxed);
+    if (config_.chargeReads)
+        chargeReadLatency(off, 8);
+
+    if (config_.mode == PmMode::Direct) {
+        std::atomic_ref<const std::uint64_t> word(*reinterpret_cast<
+            const std::uint64_t *>(durable_.data() + off));
+        return word.load(std::memory_order_acquire);
+    }
+    PmOffset base = cacheLineBase(off);
+    CacheShard &shard = shardFor(base);
+    MutexLock lk(&shard.mu);
+    auto it = shard.lines.find(base);
+    const std::uint8_t *src = (it != shard.lines.end())
+        ? it->second.data() + (off - base)
+        : durable_.data() + off;
+    std::uint64_t v;
+    std::memcpy(&v, src, 8);
+    return v;
+}
+
 void
 PmDevice::read(PmOffset off, void *dst, std::size_t len)
 {
@@ -202,6 +296,10 @@ PmDevice::read(PmOffset off, void *dst, std::size_t len)
     stats_.loadBytes.fetch_add(len, std::memory_order_relaxed);
     if (config_.chargeReads)
         chargeReadLatency(off, len);
+    // V6: a plain read must not consume a PCAS dirty-tagged word (one
+    // relaxed load inside onRead when no word is tagged).
+    if (PersistencyChecker *chk = checker())
+        chk->onRead(off, len, eventCount(), t_site);
 
     auto *out = static_cast<std::uint8_t *>(dst);
     if (config_.mode == PmMode::Direct || dirtyLineCount() == 0) {

@@ -231,6 +231,29 @@ class PmDevice
     /** Fill [off, off+len) with @p byte (a store). */
     void memset(PmOffset off, std::uint8_t byte, std::size_t len);
 
+    // --- Atomic primitives (the persistent-CAS substrate) ---------------
+
+    /**
+     * Atomic compare-and-swap of the aligned 8-byte word at @p off.
+     * On success the word becomes @p desired (volatile until flushed in
+     * CacheSim mode, like any store) and true is returned; on failure
+     * @p expected is updated to the current value. @p off must be
+     * 8-byte aligned. Raises a PmCas scheduling point and counts as a
+     * store (success) or load (failure) in the accounting.
+     *
+     * This is the ONLY cross-thread atomic the device offers; all
+     * callers must go through src/pm/pcas.* (enforced by the
+     * `raw-pm-cas` lint rule) so the dirty-flag persistence protocol
+     * stays in one place.
+     */
+    bool casU64(PmOffset off, std::uint64_t &expected,
+                std::uint64_t desired);
+
+    /** Atomic (acquire) load of the aligned 8-byte word at @p off.
+     *  Unlike read() this never consults the checker's tagged-word
+     *  tracking: it is the pcas layer's tag-aware read. */
+    std::uint64_t loadU64Atomic(PmOffset off);
+
     /** Store that is best-effort by contract (free-list hints, lazily
      *  rebuilt metadata). Identical to write() on the data path; the
      *  attached checker does not require it to become durable. */

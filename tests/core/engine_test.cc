@@ -433,6 +433,7 @@ TEST(FastEngineTest, RtmAbortInjectionStillCommits)
     PmDevice device(pm_cfg);
     EngineConfig cfg;
     cfg.kind = EngineKind::Fast;
+    cfg.inPlaceCommitVia = InPlaceCommitVia::Rtm;
     cfg.rtm.abortProbability = 0.9;
     cfg.rtm.seed = 77;
     cfg.rtmRetriesBeforeFallback = 4; // force frequent fallbacks

@@ -202,6 +202,22 @@ TEST(FaspMcTest, EngineScenarioSmokeIsClean)
     EXPECT_GT(r.schedules, 10u);
 }
 
+/** The latch-free PCAS publish race: two writers flip one header word
+ *  while crash forks land at every protocol fence (tag set, flush,
+ *  tag clear); the raw-image oracle runs Pcas::recover() plus the tag
+ *  strip and must never see a torn or flagged word. */
+TEST(FaspMcTest, PcasHeaderFlipSmokeIsClean)
+{
+    ExploreOptions opt;
+    opt.maxSchedules = 300;
+    opt.preemptionBound = 2;
+    opt.crashEvery = 4;
+    ExploreResult r = exploreScenario("pcas-header-flip", opt);
+    EXPECT_TRUE(r.failures.empty());
+    EXPECT_GT(r.crashForks, 0u);
+    EXPECT_GT(r.schedules, 10u);
+}
+
 /** The same scenario stays clean on the log-structured engines too. */
 TEST(FaspMcTest, EngineScenarioCleanOnNvwal)
 {

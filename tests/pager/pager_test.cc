@@ -52,7 +52,11 @@ TEST(SuperblockTest, RoundTrip)
     EXPECT_EQ(loaded->directoryPid, 2u);
     EXPECT_EQ(loaded->logOff, 1024ull * 4096);
     EXPECT_EQ(loaded->logLen, 1u << 20);
-    EXPECT_EQ(loaded->firstDataPid(), 3u);
+    // v3: one 4 KiB PMwCAS descriptor page sits between the directory
+    // and the first data page.
+    EXPECT_EQ(loaded->pcasPid(), 3u);
+    EXPECT_EQ(loaded->pcasPages(), 1u);
+    EXPECT_EQ(loaded->firstDataPid(), 4u);
 }
 
 TEST(SuperblockTest, DetectsCorruption)
@@ -131,10 +135,11 @@ TEST(PagerFormatTest, MetaPagesMarkedAllocated)
     Pager::loadBitmap(dev, *sb, bitmap);
     VectorBitmapIO io(bitmap);
     PageAllocator alloc(io, *sb);
-    for (PageId pid = 0; pid <= sb->directoryPid; ++pid)
+    for (PageId pid = 0; pid < sb->firstDataPid(); ++pid)
         EXPECT_TRUE(alloc.isAllocated(pid)) << "pid " << pid;
     EXPECT_FALSE(alloc.isAllocated(sb->firstDataPid()));
-    EXPECT_EQ(alloc.allocatedCount(), sb->directoryPid + 1);
+    EXPECT_EQ(alloc.allocatedCount(),
+              sb->directoryPid + 1 + sb->pcasPages());
 }
 
 TEST(PagerFormatTest, RejectsBadPageSize)

@@ -127,6 +127,46 @@ TEST_F(CheckerTest, StoreInFlushFenceWindowDetected)
         1u);
 }
 
+TEST_F(CheckerTest, HelperFlushAfterTagClearIsNotRedundant)
+{
+    // A helper that saw a tagged word may reach its flush after the
+    // owner already flushed AND cleared; the flush is redundant only
+    // by timing. Lines that ever held a tag are exempt from V2.
+    store(0, 0x45);
+    device_.clflush(0);
+    device_.sfence();
+    checker_.onTagSet(0, device_.eventCount(), "pcas-test");
+    checker_.onTagClear(0);
+    device_.clflush(0); // the helper's late flush
+    EXPECT_EQ(checker_.report().count(ViolationKind::RedundantFlush),
+              0u);
+}
+
+TEST_F(CheckerTest, CasStoreInFlushFenceWindowIsProtocolLegal)
+{
+    // A pcas word store (publish or tag clear) may land in another
+    // thread's flush->fence window: the word is atomic and its issuer
+    // settles its own durability, so no V4 (DESIGN.md §14).
+    std::uint64_t v = 0;
+    std::memcpy(&v, "\x55\x55\x55\x55\x55\x55\x55\x55", 8);
+    store(0, 0x55);
+    device_.clflush(0);
+    std::uint64_t expected = v;
+    ASSERT_TRUE(device_.casU64(0, expected, 42));
+    device_.sfence();
+    EXPECT_EQ(
+        checker_.report().count(ViolationKind::StoreInFlushFenceWindow),
+        0u);
+
+    // The line re-dirtied all the same; the CAS issuer still owes the
+    // flush + fence before shutdown.
+    device_.clflush(0);
+    device_.sfence();
+    checker_.checkCleanShutdown(device_.eventCount());
+    EXPECT_TRUE(checker_.report().empty())
+        << checker_.report().toString();
+}
+
 TEST_F(CheckerTest, ReflushBeforeFenceClosesTheWindow)
 {
     // Adjacent log frames share boundary cache lines: the second

@@ -3,7 +3,7 @@
  * Tests pinning down the paper's atomicity assumptions (Sections 1 and
  * 3.2):
  *
- *  - FAST's in-place commit *requires* failure-atomic cache-line
+ *  - FAST's *RTM* in-place commit requires failure-atomic cache-line
  *    writes: under a torn-line (8-byte-atomic-only) adversary, a
  *    single in-place header commit CAN leave an inconsistent durable
  *    page. We demonstrate the assumption's necessity by finding such a
@@ -12,6 +12,10 @@
  *    cache line size" — survives the identical adversary at every
  *    crash point (covered exhaustively in crash_sweep_test.cc; spot-
  *    checked here for the same scenario).
+ *
+ *  - FAST's default *PCAS* in-place commit (DESIGN.md §14) only ever
+ *    publishes through 8-byte CASes, so it needs no line atomicity:
+ *    the same torn-line adversary must never tear it.
  */
 
 #include <gtest/gtest.h>
@@ -39,8 +43,8 @@ using pm::PmMode;
  * @p policy and @p seed; return the recovered root page's integrity.
  */
 Status
-crashOneInsert(CrashPolicy policy, std::uint64_t seed, std::uint64_t k,
-               bool *crashed)
+crashOneInsert(CrashPolicy policy, InPlaceCommitVia via,
+               std::uint64_t seed, std::uint64_t k, bool *crashed)
 {
     PmConfig pm_cfg;
     pm_cfg.size = 8u << 20;
@@ -51,6 +55,7 @@ crashOneInsert(CrashPolicy policy, std::uint64_t seed, std::uint64_t k,
     testsupport::PmCheckerGuard guard(device);
     EngineConfig cfg;
     cfg.kind = EngineKind::Fast;
+    cfg.inPlaceCommitVia = via;
     cfg.format.logLen = 1u << 20;
     auto engine = std::move(*Engine::create(device, cfg, true));
     auto tree = *engine->createTree(1);
@@ -86,14 +91,15 @@ crashOneInsert(CrashPolicy policy, std::uint64_t seed, std::uint64_t k,
     return integrity;
 }
 
-TEST(AtomicityAssumptionTest, FastNeedsCacheLineAtomicity)
+TEST(AtomicityAssumptionTest, FastRtmNeedsCacheLineAtomicity)
 {
-    // Under whole-line crash persistence FAST must ALWAYS recover
+    // Under whole-line crash persistence FAST-RTM must ALWAYS recover
     // consistent (this mirrors a slice of the exhaustive sweep)...
     for (std::uint64_t k = 0;; ++k) {
         bool crashed = false;
         Status integrity =
-            crashOneInsert(CrashPolicy::RandomLines, 1234 + k, k,
+            crashOneInsert(CrashPolicy::RandomLines,
+                           InPlaceCommitVia::Rtm, 1234 + k, k,
                            &crashed);
         if (!crashed)
             break;
@@ -102,9 +108,9 @@ TEST(AtomicityAssumptionTest, FastNeedsCacheLineAtomicity)
                                       << integrity.toString();
     }
 
-    // ...but under TORN lines (8-byte atomic units only) FAST's
-    // header can tear: search for a demonstration. The paper states
-    // the assumption explicitly ("we assume that the underlying
+    // ...but under TORN lines (8-byte atomic units only) the RTM
+    // header publish can tear: search for a demonstration. The paper
+    // states the assumption explicitly ("we assume that the underlying
     // hardware supports failure atomicity at cache line granularity");
     // finding a violation under the weaker model shows the assumption
     // is load-bearing, not decorative.
@@ -112,8 +118,10 @@ TEST(AtomicityAssumptionTest, FastNeedsCacheLineAtomicity)
     for (std::uint64_t seed = 1; seed <= 40 && !found_tear; ++seed) {
         for (std::uint64_t k = 0; k < 40; ++k) {
             bool crashed = false;
-            Status integrity = crashOneInsert(CrashPolicy::TornLines,
-                                              seed, k, &crashed);
+            Status integrity =
+                crashOneInsert(CrashPolicy::TornLines,
+                               InPlaceCommitVia::Rtm, seed, k,
+                               &crashed);
             if (!crashed)
                 break;
             if (!integrity.isOk()) {
@@ -123,10 +131,32 @@ TEST(AtomicityAssumptionTest, FastNeedsCacheLineAtomicity)
         }
     }
     EXPECT_TRUE(found_tear)
-        << "expected at least one torn in-place header under the "
+        << "expected at least one torn RTM in-place header under the "
            "8-byte-atomicity adversary; if this starts passing, the "
-           "in-place commit has become line-tear tolerant and FASH's "
-           "reason to exist should be re-documented";
+           "RTM commit has become line-tear tolerant and the PCAS "
+           "path's reason to be the default should be re-documented";
+}
+
+TEST(AtomicityAssumptionTest, FastPcasSurvivesTornLines)
+{
+    // The default PCAS in-place commit publishes only 8-byte words, so
+    // the identical torn-line adversary (same seeds and crash points
+    // that tear the RTM path above) must never produce an inconsistent
+    // page — word atomicity is all the protocol assumes.
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        for (std::uint64_t k = 0; k < 40; ++k) {
+            bool crashed = false;
+            Status integrity =
+                crashOneInsert(CrashPolicy::TornLines,
+                               InPlaceCommitVia::Pcas, seed, k,
+                               &crashed);
+            if (!crashed)
+                break;
+            ASSERT_TRUE(integrity.isOk())
+                << "PCAS torn-line crash seed " << seed << " point "
+                << k << ": " << integrity.toString();
+        }
+    }
 }
 
 TEST(AtomicityAssumptionTest, FashSurvivesTornLinesHere)

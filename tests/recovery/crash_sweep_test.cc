@@ -24,8 +24,9 @@
  * sub-cache-line atomic units — is additionally run under TornLines.
  *
  * The ForcedFallback cases pin FAST to its slot-header-log fallback
- * (rtm.abortProbability = 1 with a one-attempt retry budget, paper
- * §3.2 footnote 1), so the sweep walks every crash point of the
+ * (both the PCAS and RTM in-place paths are given a one-attempt retry
+ * budget with certain injected failure, paper §3.2 footnote 1), so
+ * the sweep walks every crash point of the
  * multi-page logged commit — including the CoW-defragmentation and
  * leaf-split window ops — under adversarial partial-line persistence.
  * The logged path never relies on line atomicity, so it must survive
@@ -318,6 +319,8 @@ class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
         if (GetParam().forceFallback) {
             cfg.rtm.abortProbability = 1.0;
             cfg.rtmRetriesBeforeFallback = 1;
+            cfg.pcas.failProbability = 1.0;
+            cfg.pcas.maxRetries = 1;
         }
         return cfg;
     }
@@ -393,7 +396,9 @@ class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
         if (GetParam().forceFallback) {
             // The knob must actually detour the in-place-eligible seed
             // commits through the log, or the sweep proves nothing.
-            EXPECT_GT(engine->stats().rtmFallbacks.load(), 0u);
+            EXPECT_GT(engine->stats().rtmFallbacks.load() +
+                          engine->stats().pcasFallbacks.load(),
+                      0u);
             EXPECT_EQ(engine->stats().inPlaceCommits.load(), 0u);
         }
 

@@ -32,6 +32,12 @@
  *                        point stays visible to fasp-mc's scheduler
  *                        interception. Wrapper internals and lock-free
  *                        stats carry a file-level waiver instead.
+ *   raw-pm-cas           PmDevice::casU64 on a PM-resident word is
+ *                        reachable only from src/pm/pcas.* (and the
+ *                        device itself): bare CAS skips the dirty-tag
+ *                        protocol, so a crash between the CAS and its
+ *                        flush can expose an unflushed committed value.
+ *                        Route through pm::Pcas::cas / mwcas instead.
  *   fence-in-loop        PmDevice::sfence() inside a loop body: fence
  *                        once after the loop (flush per iteration,
  *                        fence at the end) unless a waiver explains
@@ -82,7 +88,7 @@ struct LineView
 const std::set<std::string> kKnownRules = {
     "pm-raw-access",  "flush-outside-device", "bare-mutex-lock",
     "no-volatile",    "raw-std-sync",         "fence-in-loop",
-    "waiver-needs-reason",
+    "raw-pm-cas",     "waiver-needs-reason",
 };
 
 bool
@@ -287,6 +293,8 @@ lintFile(const fs::path &path, std::vector<Violation> &out)
     bool syncExempt = pmInternal // device internals ARE the hooks
                       || posix.find("src/common/") != std::string::npos
                       || posix.find("src/mc/") != std::string::npos;
+    bool pcasFile = deviceFile
+                    || posix.find("src/pm/pcas.") != std::string::npos;
 
     std::set<std::string> active;     // waivers pending their code line
     std::set<std::string> fileWaived; // allow-file() waivers
@@ -351,6 +359,12 @@ lintFile(const fs::path &path, std::vector<Violation> &out)
                  "raw standard sync primitive outside src/common+"
                  "src/mc; use the fasp wrappers so fasp-mc's "
                  "interception stays complete");
+
+        if (!pcasFile && hasToken(lv.code, "casU64"))
+            flag("raw-pm-cas",
+                 "bare CAS on a PM word outside src/pm/pcas; use "
+                 "pm::Pcas::cas/mwcas so the dirty-tag protocol makes "
+                 "the committed value durably visible");
 
         if (inLoop && hasToken(lv.code, "sfence"))
             flag("fence-in-loop",

@@ -1,0 +1,21 @@
+// Fixture: a bare casU64 on a PM word skips the dirty-tag protocol —
+// a crash between the CAS and its flush exposes an unflushed committed
+// value. Engine code must go through pm::Pcas::cas / mwcas.
+struct Dev
+{
+    bool casU64(unsigned long off, unsigned long long &expected,
+                unsigned long long desired);
+    void clflush(unsigned long off);
+    void sfence();
+};
+
+bool
+publishHeader(Dev &device, unsigned long off, unsigned long long oldV,
+              unsigned long long newV)
+{
+    unsigned long long expected = oldV;
+    bool ok = device.casU64(off, expected, newV); // BAD: bare PM CAS
+    device.clflush(off);
+    device.sfence();
+    return ok;
+}
