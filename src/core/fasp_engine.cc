@@ -160,6 +160,9 @@ FaspEngine::sweepHeaderTags()
             // A descriptor pointer cannot survive Pcas::recover();
             // anything left is a dirty-tagged value, which being in
             // the durable image is by definition durable — strip.
+            // fasp-analyze: allow(v1s) -- every store sets `dirty`,
+            // and the dirty branch below always clflushes the line;
+            // the analyzer cannot correlate the flag with the store.
             device_.writeU64(off + w * 8, pm::pcasStrip(v));
             dirty = true;
             ++swept;

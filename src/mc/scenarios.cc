@@ -818,6 +818,9 @@ class BugMissingFlush final : public Scenario
             device.sfence();
             // BUG: kDataOff's line is still dirty here — a crash after
             // the marker persists would recover garbage data.
+            // fasp-analyze: allow(v3s) -- seeded bug: this scenario
+            // exists so the model checker proves it catches exactly
+            // this violation (expectsViolation() == true).
             device.txCommitPoint();
             device.txEnd(true);
             // Late flush keeps the shutdown sweep quiet so the report

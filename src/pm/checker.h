@@ -99,7 +99,7 @@ class PersistencyChecker
      *  word-granular protocol stores (pcas publish / tag clear) are
      *  legal inside another thread's window, because the word cannot
      *  tear and its issuer settles its own durability (DESIGN.md §14).
-     *  fasp-lint's raw-pm-cas rule keeps casU64 confined to the pcas
+     *  fasp-analyze's raw-cas rule keeps casU64 confined to the pcas
      *  layer, so this exemption cannot leak to ordinary stores. */
     void onCasStore(PmOffset off, std::uint64_t eventIndex,
                     const char *site);

@@ -243,8 +243,8 @@ class PmDevice
      *
      * This is the ONLY cross-thread atomic the device offers; all
      * callers must go through src/pm/pcas.* (enforced by the
-     * `raw-pm-cas` lint rule) so the dirty-flag persistence protocol
-     * stays in one place.
+     * fasp-analyze `raw-cas` rule) so the dirty-flag persistence
+     * protocol stays in one place.
      */
     bool casU64(PmOffset off, std::uint64_t &expected,
                 std::uint64_t desired);

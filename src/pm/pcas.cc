@@ -1,6 +1,3 @@
-// fasp-lint: allow-file(raw-std-sync) -- the PCAS layer IS the
-// intercepted wrapper around PmDevice::casU64; its DRAM-side slot
-// allocator and stats must not recurse into the hooks.
 #include "pm/pcas.h"
 
 #include <algorithm>
@@ -144,13 +141,16 @@ Pcas::cas(PmOffset off, std::uint64_t oldVal, std::uint64_t newVal)
         }
 
         std::uint64_t expected = oldVal;
+        // fasp-analyze: allow(v1s) -- a lost CAS writes nothing, and
+        // the winning branch clflushes + fences the tagged line; the
+        // analyzer models casU64 as an unconditional tagging store.
         if (device_.casU64(off, expected,
                            newVal | kPcasDirtyBit)) {
             if (PersistencyChecker *chk = device_.checker())
                 chk->onTagSet(off, device_.eventCount(),
                               device_.site());
             device_.clflush(off & ~PmOffset{kCacheLineSize - 1});
-            // fasp-lint: allow(fence-in-loop) -- protocol fence: the
+            // fasp-analyze: allow(fence-in-loop) -- protocol fence: the
             // tagged word must be durable before its tag clears.
             device_.sfence();
             clearTag(off, newVal | kPcasDirtyBit);
@@ -211,18 +211,23 @@ Pcas::mwcas(const MwcasEntry *entries, std::size_t count)
         // recovery never rolls back through torn addresses.
         device_.writeU64(slotOff(slot) + 8, count);
         for (std::size_t i = 0; i < count; ++i) {
+            // fasp-analyze: allow(v1s) -- every entry word lies inside
+            // the flushRange(slotOff(slot), 16 + count*24) extent
+            // below; entryOff arithmetic is opaque to the analyzer.
             device_.writeU64(entryOff(slot, i) + 0, sorted[i].off);
+            // fasp-analyze: allow(v1s) -- extent-covered (see above).
             device_.writeU64(entryOff(slot, i) + 8, sorted[i].oldVal);
+            // fasp-analyze: allow(v1s) -- extent-covered (see above).
             device_.writeU64(entryOff(slot, i) + 16,
                              sorted[i].newVal);
         }
         device_.flushRange(slotOff(slot), 16 + count * 24);
-        // fasp-lint: allow(fence-in-loop) -- protocol fence: entries
+        // fasp-analyze: allow(fence-in-loop) -- protocol fence: entries
         // must be durable before the status word flips Active.
         device_.sfence();
         device_.writeU64(slotOff(slot), kSlotActive);
         device_.clflush(slotOff(slot));
-        // fasp-lint: allow(fence-in-loop) -- protocol fence: a durable
+        // fasp-analyze: allow(fence-in-loop) -- protocol fence: a durable
         // Active status must precede any descriptor-pointer install.
         device_.sfence();
 
@@ -252,12 +257,17 @@ Pcas::mwcasAttempt(unsigned slot, const MwcasEntry *entries,
     for (; installed < count; ++installed) {
         const MwcasEntry &e = entries[installed];
         std::uint64_t expected = e.oldVal;
+        // fasp-analyze: allow(v1s) -- installed pointers are flushed
+        // by the flushWordLines() helper after the loop, outside this
+        // intraprocedural view; a lost CAS writes nothing.
         bool ok = device_.casU64(e.off, expected, ptr);
         if (!ok && (expected & kPcasDirtyBit) != 0 &&
             (expected & kPmwcasDescBit) == 0 &&
             pcasStrip(expected) == e.oldVal) {
             helpClear(e.off, expected);
             expected = e.oldVal;
+            // fasp-analyze: allow(v1s) -- same flushWordLines()
+            // delegation as the first install attempt above.
             ok = device_.casU64(e.off, expected, ptr);
         }
         if (!ok) {
@@ -283,6 +293,9 @@ Pcas::mwcasAttempt(unsigned slot, const MwcasEntry *entries,
     // then clear the tags lazily (see clearTag).
     for (std::size_t i = 0; i < count; ++i) {
         std::uint64_t expected = ptr;
+        // fasp-analyze: allow(v1s) -- tagged values are flushed by
+        // flushWordLines() after the loop and their tags cleared
+        // lazily by clearTag (recovery strips any survivor).
         device_.casU64(entries[i].off, expected,
                        entries[i].newVal | kPcasDirtyBit);
     }
@@ -309,6 +322,9 @@ Pcas::rollBackInstall(unsigned slot, const MwcasEntry *entries,
     PersistencyChecker *chk = device_.checker();
     for (std::size_t i = 0; i < installed; ++i) {
         std::uint64_t expected = ptr;
+        // fasp-analyze: allow(v1s) -- rolled-back words are flushed by
+        // the flushWordLines() call below (installed > 0 whenever this
+        // loop ran); a lost CAS writes nothing.
         device_.casU64(entries[i].off, expected, entries[i].oldVal);
         if (chk != nullptr)
             chk->onTagClear(entries[i].off);

@@ -1,6 +1,3 @@
-// fasp-lint: allow-file(raw-std-sync) -- the PCAS layer IS the
-// intercepted wrapper around PmDevice::casU64; its DRAM-side state
-// (stats, descriptor-slot bitmap) must not recurse into the hooks.
 /**
  * @file
  * Persistent compare-and-swap (PCAS) and a bounded persistent

@@ -18,6 +18,9 @@ NvHeap::writeBlockHeader(PmOffset block_off, std::uint32_t state,
     std::uint8_t header[kBlockHeaderBytes] = {};
     storeU32(header, state);
     storeU32(header + 4, size);
+    // fasp-analyze: allow(v1s) -- flush=false callers take over
+    // durability (formatRegion covers this header with its own
+    // flushRange); flush=true flushes right below.
     device_.write(block_off, header, kBlockHeaderBytes);
     if (flush) {
         // Persisting allocator metadata: the heap-management cost.

@@ -1,0 +1,20 @@
+// fasp-analyze fixture: the clang front end must reproduce, from a
+// hand-written `-ast-dump=json` document (clang_schema.json), the
+// same v1s the internal front end reports on this source. The JSON
+// exercises the delta-encoded location scheme: "file" appears once
+// and is inherited across skipped subtrees, macro locations resolve
+// to expansion coordinates, "includedFrom" never advances the
+// decoder, and /usr/ declarations are rejected wholesale.
+#include <cstdint>
+
+namespace pm { class PmDevice; }
+
+void
+publishEpoch(pm::PmDevice &device, std::uint64_t off, bool fastPath)
+{
+    device.writeU64(off, 2u);
+    if (fastPath)
+        return; // leaves `off` unflushed
+    device.clflush(off);
+    device.sfence();
+}

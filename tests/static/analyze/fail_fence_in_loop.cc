@@ -1,0 +1,18 @@
+// fasp-analyze fixture: fence-in-loop must fire (warning; the test
+// runs with --werror so it also gates the exit code).
+//
+// Flushing per iteration is required; fencing per iteration is a
+// serializing stall per frame. The fence belongs after the loop.
+#include <cstdint>
+
+namespace pm { class PmDevice; }
+
+void
+writeFrames(pm::PmDevice &device, std::uint64_t base, int count)
+{
+    for (int i = 0; i < count; ++i) {
+        device.writeU64(base + 16u * static_cast<std::uint64_t>(i), 1u);
+        device.clflush(base + 16u * static_cast<std::uint64_t>(i));
+        device.sfence(); // should be hoisted out of the loop
+    }
+}

@@ -1,0 +1,18 @@
+// fasp-analyze fixture: raw-cas must fire.
+//
+// This file does not live under src/pm/, so calling PmDevice::casU64
+// directly skips the dirty-tag protocol (pm::Pcas::cas) that keeps
+// the checker's V4 CAS carve-out sound.
+#include <cstdint>
+
+namespace pm { class PmDevice; }
+
+bool
+bumpVersion(pm::PmDevice &device, std::uint64_t off,
+            std::uint64_t expected)
+{
+    bool won = device.casU64(off, expected, expected + 1) != 0u;
+    device.clflush(off);
+    device.sfence();
+    return won;
+}

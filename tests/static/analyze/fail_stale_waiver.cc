@@ -1,0 +1,17 @@
+// fasp-analyze fixture: stale-waiver must fire.
+//
+// The file-level waiver below names a real rule and carries a reason,
+// but the code is fully compliant — the waiver suppresses nothing and
+// must be flagged so dead waivers cannot accumulate.
+// fasp-analyze: allow-file(v1s) -- deliberately stale: nothing to waive
+#include <cstdint>
+
+namespace pm { class PmDevice; }
+
+void
+wellBehaved(pm::PmDevice &device, std::uint64_t off)
+{
+    device.writeU64(off, 1u);
+    device.clflush(off);
+    device.sfence();
+}

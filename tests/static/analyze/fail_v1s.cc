@@ -1,0 +1,18 @@
+// fasp-analyze fixture: v1s must fire.
+//
+// The early-return path leaves `off` DIRTY at function exit, and the
+// function participates in the persistence protocol (it fences), so
+// durability is its own responsibility, not a caller's.
+#include <cstdint>
+
+namespace pm { class PmDevice; }
+
+void
+commitHeader(pm::PmDevice &device, std::uint64_t off, bool fastPath)
+{
+    device.writeU64(off, 1u);
+    if (fastPath)
+        return; // leaves `off` unflushed
+    device.clflush(off);
+    device.sfence();
+}

@@ -1,0 +1,16 @@
+// fasp-analyze fixture: v2s must fire.
+//
+// The first clflush executes before any PM store on every path into
+// it — it cannot be ordering anything this function wrote.
+#include <cstdint>
+
+namespace pm { class PmDevice; }
+
+void
+publishRecord(pm::PmDevice &device, std::uint64_t off)
+{
+    device.clflush(off); // nothing stored yet on any path
+    device.writeU64(off, 7u);
+    device.clflush(off);
+    device.sfence();
+}

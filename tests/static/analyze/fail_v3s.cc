@@ -1,0 +1,19 @@
+// fasp-analyze fixture: v3s must fire.
+//
+// The record is flushed but the fence comes after txCommitPoint: at
+// the commit point the line is FLUSHED, not FENCED, so the commit
+// record can reach PM before the payload.
+#include <cstdint>
+
+namespace pm { class PmDevice; }
+
+void
+commitRecord(pm::PmDevice &device, std::uint64_t off)
+{
+    device.txBegin();
+    device.writeU64(off, 7u);
+    device.clflush(off);
+    device.txCommitPoint(); // `off` not yet fenced
+    device.sfence();
+    device.txEnd(true);
+}

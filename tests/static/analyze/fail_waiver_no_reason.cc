@@ -1,0 +1,13 @@
+// fasp-analyze fixture: waiver-needs-reason must fire, and the
+// unjustified waiver must NOT suppress the v1s underneath it.
+#include <cstdint>
+
+namespace pm { class PmDevice; }
+
+void
+leakStore(pm::PmDevice &device, std::uint64_t off)
+{
+    device.sfence();
+    // fasp-analyze: allow(v1s)
+    device.writeU64(off, 1u);
+}

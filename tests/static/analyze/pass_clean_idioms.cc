@@ -1,0 +1,83 @@
+// fasp-analyze fixture: the repo's canonical idioms must analyze
+// clean — zero findings, exit 0.
+//
+// Exercises: RAII latch guards and SiteScope tags (string literal and
+// named constant), branches, early return on the abort path, a flush
+// loop with the fence hoisted after it, txCommitPoint ordering, a
+// switch with default, a do-while, and a lambda.
+#include <cstdint>
+
+namespace pm { class PmDevice; class SiteScope; }
+namespace fasp { class Mutex; class MutexLock; }
+
+namespace demo {
+
+constexpr const char *kScrubSite = "Appender::scrub";
+
+class Appender
+{
+  public:
+    void append(std::uint64_t base, int frames);
+    void repair(std::uint64_t off, int mode);
+    void scrub(std::uint64_t off);
+
+  private:
+    pm::PmDevice &device_;
+    fasp::Mutex mu_;
+};
+
+void
+Appender::append(std::uint64_t base, int frames)
+{
+    fasp::MutexLock lock(&mu_);
+    pm::SiteScope site(device_, "Appender::append");
+    device_.txBegin();
+    if (frames == 0) {
+        device_.txEnd(false);
+        return; // abort path: nothing written
+    }
+    for (int i = 0; i < frames; ++i) {
+        device_.writeU64(base + 16u * static_cast<std::uint64_t>(i), 1u);
+        device_.clflush(base + 16u * static_cast<std::uint64_t>(i));
+    }
+    device_.sfence(); // one fence for the whole batch
+    device_.txCommitPoint();
+    device_.writeU64(base, 2u);
+    device_.clflush(base);
+    device_.sfence();
+    device_.txEnd(true);
+}
+
+void
+Appender::repair(std::uint64_t off, int mode)
+{
+    fasp::MutexLock lock(&mu_);
+    switch (mode) {
+    case 0:
+        device_.writeU64(off, 0u);
+        break;
+    case 1:
+        device_.writeU64(off, 1u);
+        break;
+    default:
+        return; // nothing written on unknown modes
+    }
+    device_.clflush(off);
+    device_.sfence();
+}
+
+void
+Appender::scrub(std::uint64_t off)
+{
+    pm::SiteScope site(device_, kScrubSite);
+    device_.writeU64(off, 0u);
+    auto flushLine = [&]() { device_.clflush(off); };
+    bool again = true;
+    do {
+        flushLine();
+        again = false;
+    } while (again);
+    device_.sfence();
+}
+
+} // namespace demo

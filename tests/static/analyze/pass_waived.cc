@@ -1,0 +1,14 @@
+// fasp-analyze fixture: a justified waiver suppresses its finding —
+// zero findings, exit 0 (and the waiver counts as used, so no
+// stale-waiver either).
+#include <cstdint>
+
+namespace pm { class PmDevice; }
+
+void
+bestEffortHint(pm::PmDevice &device, std::uint64_t off)
+{
+    device.sfence();
+    // fasp-analyze: allow(v1s) -- hint cell is best-effort; rebuilt on recovery
+    device.writeU64(off, 1u);
+}

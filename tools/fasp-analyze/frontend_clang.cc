@@ -1,0 +1,923 @@
+/**
+ * @file
+ * Clang front end: translate `clang++ -Xclang -ast-dump=json` output
+ * into the statement IR. Used where a real clang is installed (CI);
+ * the internal front end covers everywhere else.
+ *
+ * The dump is huge (it includes every system header), so this is a
+ * streaming reader: declaration subtrees outside the analyzed roots
+ * are skipped without building anything. Two clang-specific hazards
+ * drive the design:
+ *
+ *  - Source locations are delta-encoded in document order ("file" and
+ *    "line" keys appear only when they change), so even *skipped*
+ *    subtrees must be scanned for those keys to keep the decoder
+ *    state correct — except "includedFrom" objects, whose "file" key
+ *    is metadata, not a position.
+ *  - The AST carries no expression text. Argument expressions (the
+ *    abstract lattice lines) are sliced out of the original source
+ *    via the node's begin/end offsets + tokLen, then normalized with
+ *    the same tokenizer the internal front end uses, so both front
+ *    ends agree on line identity.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "analyze.h"
+#include "lex.h"
+
+namespace fasp::analyze {
+
+namespace {
+
+struct ParseError
+{
+    std::string what;
+};
+
+/** Pruned AST node: only the fields the translator reads. */
+struct JNode
+{
+    std::string kind;
+    std::string name;     //!< "name" or referencedDecl.name
+    std::string value;    //!< literal value (string literals keep quotes)
+    std::string qualType; //!< type.qualType
+    std::string file;
+    int line = 0;
+    long long beginOff = -1;
+    long long endOff = -1; //!< exclusive (end offset + tokLen)
+    bool hasElse = false;
+    std::vector<JNode> children;
+};
+
+bool
+isContainerKind(const std::string &k)
+{
+    return k == "TranslationUnitDecl" || k == "NamespaceDecl"
+           || k == "CXXRecordDecl" || k == "LinkageSpecDecl"
+           || k == "ClassTemplateDecl"
+           || k == "ClassTemplateSpecializationDecl"
+           || k == "ClassTemplatePartialSpecializationDecl"
+           || k == "FunctionTemplateDecl" || k == "ExportDecl";
+}
+
+bool
+isFunctionKind(const std::string &k)
+{
+    return k == "FunctionDecl" || k == "CXXMethodDecl"
+           || k == "CXXConstructorDecl" || k == "CXXDestructorDecl"
+           || k == "CXXConversionDecl";
+}
+
+// --- Source slicing ----------------------------------------------------------
+
+class SourceCache
+{
+  public:
+    /** Raw text of @p file, or null when unreadable. */
+    const std::string *get(const std::string &file)
+    {
+        auto it = cache_.find(file);
+        if (it != cache_.end())
+            return it->second.empty() && missing_.count(file) != 0
+                       ? nullptr
+                       : &it->second;
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            missing_.insert(file);
+            cache_[file] = {};
+            return nullptr;
+        }
+        std::ostringstream os;
+        os << in.rdbuf();
+        return &(cache_[file] = os.str());
+    }
+
+  private:
+    std::map<std::string, std::string> cache_;
+    std::set<std::string> missing_;
+};
+
+// --- Streaming JSON reader ---------------------------------------------------
+
+class AstReader
+{
+  public:
+    AstReader(const std::string &text,
+              const std::vector<std::string> &keep)
+        : s_(text), keep_(keep)
+    {}
+
+    void run(std::map<std::string, FileIR> &files)
+    {
+        files_ = &files;
+        ws();
+        scanDecl();
+    }
+
+  private:
+    // -- primitives -----------------------------------------------------
+
+    [[noreturn]] void fail(const std::string &msg)
+    {
+        throw ParseError{msg + " near offset "
+                         + std::to_string(pos_)};
+    }
+
+    void ws()
+    {
+        while (pos_ < s_.size()
+               && (s_[pos_] == ' ' || s_[pos_] == '\t'
+                   || s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        ws();
+        if (pos_ >= s_.size())
+            fail("unexpected end of JSON");
+        return s_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "' got '" + s_[pos_]
+                 + "'");
+        ++pos_;
+    }
+
+    bool tryConsume(char c)
+    {
+        if (pos_ < s_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("bad escape");
+            char e = s_[pos_++];
+            switch (e) {
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u':
+                // Paths and code are ASCII in this tree; placeholder.
+                pos_ = std::min(pos_ + 4, s_.size());
+                out += '?';
+                break;
+            default: out += e; break;
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    long long parseNumber()
+    {
+        ws();
+        std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < s_.size()
+               && (std::isdigit(static_cast<unsigned char>(s_[pos_]))
+                       != 0
+                   || s_[pos_] == '.' || s_[pos_] == 'e'
+                   || s_[pos_] == 'E' || s_[pos_] == '-'
+                   || s_[pos_] == '+'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected number");
+        return std::stoll(s_.substr(start, pos_ - start));
+    }
+
+    void parseLiteralWord() // true / false / null
+    {
+        while (pos_ < s_.size()
+               && std::isalpha(static_cast<unsigned char>(s_[pos_]))
+                      != 0)
+            ++pos_;
+    }
+
+    /**
+     * Skip any value. With @p delta, nested "file"/"line" keys update
+     * the location-decoder state (clang's delta encoding is document-
+     * global, so skipped subtrees still advance it); "includedFrom"
+     * subtrees are skipped without delta (their "file" is metadata).
+     */
+    void skipValue(bool delta)
+    {
+        char c = peek();
+        if (c == '"') {
+            parseString();
+        } else if (c == '{') {
+            ++pos_;
+            if (tryConsume('}'))
+                return;
+            do {
+                std::string key = parseString();
+                expect(':');
+                if (delta && key == "file" && peek() == '"') {
+                    curFile_ = parseString();
+                } else if (delta && key == "line" && peek() != '{'
+                           && peek() != '[') {
+                    curLine_ = static_cast<int>(parseNumber());
+                } else if (key == "includedFrom") {
+                    skipValue(false);
+                } else {
+                    skipValue(delta);
+                }
+            } while (tryConsume(','));
+            expect('}');
+        } else if (c == '[') {
+            ++pos_;
+            if (tryConsume(']'))
+                return;
+            do {
+                skipValue(delta);
+            } while (tryConsume(','));
+            expect(']');
+        } else if (c == '-' || c == '+'
+                   || std::isdigit(static_cast<unsigned char>(c))
+                          != 0) {
+            parseNumber();
+        } else {
+            parseLiteralWord();
+        }
+    }
+
+    // -- location decoding ----------------------------------------------
+
+    struct LocResult
+    {
+        long long offset = -1;
+        long long tokLen = 0;
+    };
+
+    /** Parse a source-location object, updating the delta state. For
+     *  macro locations the "expansionLoc" comes last in document
+     *  order, so last-seen-wins naturally yields expansion
+     *  coordinates. */
+    LocResult parseLoc()
+    {
+        LocResult r;
+        expect('{');
+        if (tryConsume('}'))
+            return r;
+        do {
+            std::string key = parseString();
+            expect(':');
+            if (key == "offset") {
+                r.offset = parseNumber();
+            } else if (key == "tokLen") {
+                r.tokLen = parseNumber();
+            } else if (key == "file") {
+                curFile_ = parseString();
+            } else if (key == "line") {
+                curLine_ = static_cast<int>(parseNumber());
+            } else if (key == "spellingLoc"
+                       || key == "expansionLoc") {
+                LocResult nested = parseLoc();
+                if (nested.offset >= 0)
+                    r = nested;
+            } else if (key == "includedFrom") {
+                skipValue(false);
+            } else {
+                skipValue(false);
+            }
+        } while (tryConsume(','));
+        expect('}');
+        return r;
+    }
+
+    /** Parse {"begin": loc, "end": loc} into @p node. */
+    void parseRangeInto(JNode &node)
+    {
+        expect('{');
+        if (tryConsume('}'))
+            return;
+        do {
+            std::string key = parseString();
+            expect(':');
+            if (key == "begin") {
+                LocResult b = parseLoc();
+                node.beginOff = b.offset;
+                if (node.file.empty())
+                    node.file = curFile_;
+                if (node.line == 0)
+                    node.line = curLine_;
+            } else if (key == "end") {
+                LocResult e = parseLoc();
+                if (e.offset >= 0)
+                    node.endOff = e.offset + e.tokLen;
+            } else {
+                skipValue(true);
+            }
+        } while (tryConsume(','));
+        expect('}');
+    }
+
+    // -- DOM mode (inside kept function bodies) -------------------------
+
+    JNode parseDom()
+    {
+        JNode node;
+        expect('{');
+        if (tryConsume('}'))
+            return node;
+        std::string refName;
+        do {
+            std::string key = parseString();
+            expect(':');
+            if (key == "kind" && peek() == '"') {
+                node.kind = parseString();
+            } else if (key == "name" && peek() == '"') {
+                node.name = parseString();
+            } else if (key == "value" && peek() == '"') {
+                node.value = parseString();
+            } else if (key == "type" && peek() == '{') {
+                ++pos_;
+                if (!tryConsume('}')) {
+                    do {
+                        std::string tk = parseString();
+                        expect(':');
+                        if (tk == "qualType" && peek() == '"')
+                            node.qualType = parseString();
+                        else
+                            skipValue(false);
+                    } while (tryConsume(','));
+                    expect('}');
+                }
+            } else if (key == "loc" && peek() == '{') {
+                parseLoc();
+                node.file = curFile_;
+                node.line = curLine_;
+            } else if (key == "range" && peek() == '{') {
+                parseRangeInto(node);
+            } else if (key == "hasElse") {
+                ws();
+                node.hasElse = s_[pos_] == 't';
+                parseLiteralWord();
+            } else if (key == "referencedDecl" && peek() == '{') {
+                ++pos_;
+                if (!tryConsume('}')) {
+                    do {
+                        std::string rk = parseString();
+                        expect(':');
+                        if (rk == "name" && peek() == '"')
+                            refName = parseString();
+                        else
+                            skipValue(false);
+                    } while (tryConsume(','));
+                    expect('}');
+                }
+            } else if (key == "inner" && peek() == '[') {
+                ++pos_;
+                if (!tryConsume(']')) {
+                    do {
+                        node.children.push_back(parseDom());
+                    } while (tryConsume(','));
+                    expect(']');
+                }
+            } else {
+                skipValue(true);
+            }
+        } while (tryConsume(','));
+        expect('}');
+        if (node.name.empty())
+            node.name = refName;
+        return node;
+    }
+
+    // -- declaration scan -----------------------------------------------
+
+    bool fileKept(const std::string &file) const
+    {
+        if (file.empty() || file == "<built-in>"
+            || file == "<command line>")
+            return false;
+        if (keep_.empty())
+            return file.find("/usr/") == std::string::npos;
+        for (const std::string &p : keep_) {
+            if (file.rfind(p, 0) == 0
+                || file.find("/" + p) != std::string::npos)
+                return true;
+        }
+        return false;
+    }
+
+    void scanDecl()
+    {
+        expect('{');
+        if (tryConsume('}'))
+            return;
+        std::string kind;
+        std::string name;
+        std::string declFile;
+        int declLine = 0;
+        bool isImplicit = false;
+        do {
+            std::string key = parseString();
+            expect(':');
+            if (key == "kind" && peek() == '"') {
+                kind = parseString();
+            } else if (key == "name" && peek() == '"') {
+                name = parseString();
+            } else if (key == "isImplicit") {
+                ws();
+                isImplicit = s_[pos_] == 't';
+                parseLiteralWord();
+            } else if (key == "loc" && peek() == '{') {
+                parseLoc();
+                declFile = curFile_;
+                declLine = curLine_;
+            } else if (key == "inner" && peek() == '[') {
+                ++pos_;
+                if (tryConsume(']'))
+                    continue;
+                if (isContainerKind(kind)) {
+                    bool isRecord = kind == "CXXRecordDecl";
+                    if (isRecord)
+                        recordStack_.push_back(name);
+                    do {
+                        scanDecl();
+                    } while (tryConsume(','));
+                    if (isRecord)
+                        recordStack_.pop_back();
+                    expect(']');
+                } else if (isFunctionKind(kind) && !isImplicit
+                           && fileKept(declFile)) {
+                    std::vector<JNode> children;
+                    do {
+                        children.push_back(parseDom());
+                    } while (tryConsume(','));
+                    expect(']');
+                    emitFunction(kind, name, declFile, declLine,
+                                 children);
+                } else {
+                    do {
+                        skipValue(true);
+                    } while (tryConsume(','));
+                    expect(']');
+                }
+            } else {
+                skipValue(true);
+            }
+        } while (tryConsume(','));
+        expect('}');
+    }
+
+    void emitFunction(const std::string &kind, const std::string &name,
+                      const std::string &file, int line,
+                      const std::vector<JNode> &children);
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    std::vector<std::string> keep_;
+    std::string curFile_;
+    int curLine_ = 0;
+    std::vector<std::string> recordStack_;
+    std::map<std::string, FileIR> *files_ = nullptr;
+    SourceCache sources_;
+    std::set<std::string> seenFunctions_; //!< file:line dedup across TUs
+};
+
+// --- AST -> IR translation ---------------------------------------------------
+
+class Translator
+{
+  public:
+    explicit Translator(SourceCache &sources) : sources_(sources) {}
+
+    std::vector<std::string> sites;
+
+    void translate(const JNode &n, std::vector<Stmt> &out)
+    {
+        if (n.kind.empty())
+            return; // {} placeholder (e.g. absent for-init)
+
+        if (n.kind == "CompoundStmt") {
+            Stmt seq;
+            seq.kind = Stmt::Kind::Seq;
+            seq.line = n.line;
+            std::size_t depth = siteStack_.size();
+            for (const JNode &c : n.children)
+                translate(c, seq.children);
+            siteStack_.resize(depth);
+            out.push_back(std::move(seq));
+            return;
+        }
+        if (n.kind == "IfStmt") {
+            std::vector<const JNode *> kids = realChildren(n);
+            std::size_t branches =
+                n.hasElse ? 2 : (kids.empty() ? 0 : 1);
+            for (std::size_t i = 0; i + branches < kids.size(); ++i)
+                translate(*kids[i], out); // condition / init: hoisted
+            Stmt ifs;
+            ifs.kind = Stmt::Kind::If;
+            ifs.line = n.line;
+            ifs.children.resize(2);
+            ifs.children[0].kind = Stmt::Kind::Seq;
+            ifs.children[1].kind = Stmt::Kind::Seq;
+            if (kids.size() >= branches && branches >= 1)
+                translate(*kids[kids.size() - branches],
+                          ifs.children[0].children);
+            if (branches == 2)
+                translate(*kids.back(), ifs.children[1].children);
+            out.push_back(std::move(ifs));
+            return;
+        }
+        if (n.kind == "ConditionalOperator"
+            || n.kind == "BinaryConditionalOperator") {
+            std::vector<const JNode *> kids = realChildren(n);
+            if (kids.size() >= 3) {
+                translate(*kids[0], out);
+                Stmt ifs;
+                ifs.kind = Stmt::Kind::If;
+                ifs.line = n.line;
+                ifs.children.resize(2);
+                ifs.children[0].kind = Stmt::Kind::Seq;
+                ifs.children[1].kind = Stmt::Kind::Seq;
+                translate(*kids[kids.size() - 2],
+                          ifs.children[0].children);
+                translate(*kids.back(), ifs.children[1].children);
+                out.push_back(std::move(ifs));
+            } else {
+                for (const JNode *k : kids)
+                    translate(*k, out);
+            }
+            return;
+        }
+        if (n.kind == "ForStmt" || n.kind == "WhileStmt"
+            || n.kind == "CXXForRangeStmt") {
+            std::vector<const JNode *> kids = realChildren(n);
+            for (std::size_t i = 0; i + 1 < kids.size(); ++i)
+                translate(*kids[i], out); // init/cond/inc: hoisted
+            Stmt loop;
+            loop.kind = Stmt::Kind::Loop;
+            loop.line = n.line;
+            loop.children.resize(1);
+            loop.children[0].kind = Stmt::Kind::Seq;
+            if (!kids.empty())
+                translate(*kids.back(), loop.children[0].children);
+            out.push_back(std::move(loop));
+            return;
+        }
+        if (n.kind == "DoStmt") {
+            std::vector<const JNode *> kids = realChildren(n);
+            Stmt loop;
+            loop.kind = Stmt::Kind::Loop;
+            loop.postTest = true;
+            loop.line = n.line;
+            loop.children.resize(1);
+            loop.children[0].kind = Stmt::Kind::Seq;
+            for (const JNode *k : kids) // body first, then condition
+                translate(*k, loop.children[0].children);
+            out.push_back(std::move(loop));
+            return;
+        }
+        if (n.kind == "SwitchStmt") {
+            translateSwitch(n, out);
+            return;
+        }
+        if (n.kind == "ReturnStmt") {
+            for (const JNode &c : n.children)
+                translate(c, out);
+            Stmt ret;
+            ret.kind = Stmt::Kind::Return;
+            ret.line = n.line;
+            out.push_back(std::move(ret));
+            return;
+        }
+        if (n.kind == "BreakStmt" || n.kind == "ContinueStmt") {
+            Stmt s;
+            s.kind = n.kind == "BreakStmt" ? Stmt::Kind::Break
+                                           : Stmt::Kind::Continue;
+            s.line = n.line;
+            out.push_back(std::move(s));
+            return;
+        }
+        if (n.kind == "DeclStmt") {
+            for (const JNode &c : n.children)
+                translateVarDecl(c, out);
+            return;
+        }
+        if (n.kind == "LambdaExpr") {
+            // Body is the last child; the closure CXXRecordDecl also
+            // contains it — translate only the body to avoid doubling.
+            if (!n.children.empty())
+                translate(n.children.back(), out);
+            return;
+        }
+        if (n.kind == "CXXMemberCallExpr") {
+            translateMemberCall(n, out);
+            return;
+        }
+        // Everything else: transparent (casts, operators, cleanups).
+        for (const JNode &c : n.children)
+            translate(c, out);
+    }
+
+  private:
+    static std::vector<const JNode *> realChildren(const JNode &n)
+    {
+        std::vector<const JNode *> out;
+        for (const JNode &c : n.children)
+            if (!c.kind.empty())
+                out.push_back(&c);
+        return out;
+    }
+
+    static const JNode *findNamedRef(const JNode &n)
+    {
+        for (const JNode &c : n.children) {
+            if ((c.kind == "MemberExpr" || c.kind == "DeclRefExpr")
+                && !c.name.empty())
+                return &c;
+            if (const JNode *hit = findNamedRef(c))
+                return hit;
+        }
+        return nullptr;
+    }
+
+    static const JNode *findStringLiteral(const JNode &n)
+    {
+        if (n.kind == "StringLiteral")
+            return &n;
+        for (const JNode &c : n.children)
+            if (const JNode *hit = findStringLiteral(c))
+                return hit;
+        return nullptr;
+    }
+
+    std::string slice(const JNode &n)
+    {
+        if (n.beginOff < 0 || n.endOff <= n.beginOff
+            || n.file.empty())
+            return {};
+        const std::string *text = sources_.get(n.file);
+        if (text == nullptr
+            || n.endOff > static_cast<long long>(text->size()))
+            return {};
+        return text->substr(
+            static_cast<std::size_t>(n.beginOff),
+            static_cast<std::size_t>(n.endOff - n.beginOff));
+    }
+
+    /** Fallback expression spelling when the source is unreadable:
+     *  concatenated identifier names, stable across paths. */
+    static void namesOf(const JNode &n, std::string &out)
+    {
+        if (!n.name.empty()) {
+            if (!out.empty())
+                out += '.';
+            out += n.name;
+        }
+        for (const JNode &c : n.children)
+            namesOf(c, out);
+    }
+
+    std::string exprText(const JNode &n)
+    {
+        std::string text = normalizeExprText(slice(n));
+        if (!text.empty())
+            return text;
+        std::string fallback;
+        namesOf(n, fallback);
+        return fallback.empty() ? std::string("<expr>") : fallback;
+    }
+
+    void translateSwitch(const JNode &n, std::vector<Stmt> &out)
+    {
+        std::vector<const JNode *> kids = realChildren(n);
+        for (std::size_t i = 0; i + 1 < kids.size(); ++i)
+            translate(*kids[i], out); // controlling expression
+        Stmt sw;
+        sw.kind = Stmt::Kind::Switch;
+        sw.line = n.line;
+        if (kids.empty()) {
+            out.push_back(std::move(sw));
+            return;
+        }
+        const JNode &body = *kids.back();
+        Stmt group;
+        group.kind = Stmt::Kind::Seq;
+        auto flushGroup = [&]() {
+            if (!group.children.empty())
+                sw.children.push_back(std::move(group));
+            group = Stmt{};
+            group.kind = Stmt::Kind::Seq;
+        };
+        if (body.kind == "CompoundStmt") {
+            std::size_t depth = siteStack_.size();
+            for (const JNode &c : body.children) {
+                if (c.kind == "CaseStmt" || c.kind == "DefaultStmt") {
+                    flushGroup();
+                    if (c.kind == "DefaultStmt")
+                        sw.hasDefault = true;
+                    translateLabelSub(c, sw, group.children);
+                } else {
+                    translate(c, group.children);
+                }
+            }
+            siteStack_.resize(depth);
+        } else {
+            translate(body, group.children);
+        }
+        flushGroup();
+        out.push_back(std::move(sw));
+    }
+
+    /** Unwrap a Case/DefaultStmt to its substatement (handling
+     *  stacked labels `case A: case B: stmt`). */
+    void translateLabelSub(const JNode &label, Stmt &sw,
+                           std::vector<Stmt> &group)
+    {
+        if (label.children.empty())
+            return;
+        const JNode &sub = label.children.back();
+        if (sub.kind == "CaseStmt" || sub.kind == "DefaultStmt") {
+            if (sub.kind == "DefaultStmt")
+                sw.hasDefault = true;
+            translateLabelSub(sub, sw, group);
+        } else {
+            translate(sub, group);
+        }
+    }
+
+    void translateVarDecl(const JNode &n, std::vector<Stmt> &out)
+    {
+        if (n.kind != "VarDecl") {
+            translate(n, out);
+            return;
+        }
+        if (n.qualType.find("SiteScope") != std::string::npos) {
+            std::string site;
+            if (const JNode *lit = findStringLiteral(n)) {
+                site = lit->value;
+                if (site.size() >= 2 && site.front() == '"'
+                    && site.back() == '"')
+                    site = site.substr(1, site.size() - 2);
+            }
+            if (!site.empty()) {
+                siteStack_.push_back(site);
+                sites.push_back(site);
+            }
+            return;
+        }
+        for (const char *guard :
+             {"MutexLock", "SharedPageLatchGuard",
+              "ExclusivePageLatchGuard"}) {
+            if (n.qualType.find(guard) != std::string::npos) {
+                out.push_back(Stmt::makeOp(OpKind::LatchAcquire,
+                                           n.name, n.line,
+                                           currentSite()));
+                return;
+            }
+        }
+        // Device calls inside initializers still count.
+        for (const JNode &c : n.children)
+            translate(c, out);
+    }
+
+    void translateMemberCall(const JNode &n, std::vector<Stmt> &out)
+    {
+        // Nested device calls in receiver/argument subtrees first
+        // (arguments evaluate before the call).
+        for (const JNode &c : n.children)
+            translate(c, out);
+
+        if (n.children.empty())
+            return;
+        const JNode &callee = n.children.front();
+        const JNode *me =
+            callee.kind == "MemberExpr" ? &callee : nullptr;
+        if (me == nullptr) // wrapped callee: find the MemberExpr
+            for (const JNode &c : callee.children)
+                if (c.kind == "MemberExpr") {
+                    me = &c;
+                    break;
+                }
+        if (me == nullptr)
+            return;
+        const OpKind *kind = protocolMethodOp(me->name);
+        if (kind == nullptr)
+            return;
+        const JNode *recv = findNamedRef(*me);
+        if (recv == nullptr || !isDeviceReceiverName(recv->name))
+            return;
+        std::string arg;
+        std::vector<const JNode *> kids = realChildren(n);
+        if (kids.size() >= 2) // [callee, arg0, ...]
+            arg = exprText(*kids[1]);
+        out.push_back(
+            Stmt::makeOp(*kind, arg, n.line, currentSite()));
+    }
+
+    std::string currentSite() const
+    {
+        return siteStack_.empty() ? std::string()
+                                  : siteStack_.back();
+    }
+
+    SourceCache &sources_;
+    std::vector<std::string> siteStack_;
+};
+
+bool
+irContainsOps(const Stmt &s)
+{
+    if (s.kind == Stmt::Kind::Op)
+        return s.op != OpKind::LatchAcquire;
+    return std::any_of(s.children.begin(), s.children.end(),
+                       irContainsOps);
+}
+
+void
+AstReader::emitFunction(const std::string &kind,
+                        const std::string &name,
+                        const std::string &file, int line,
+                        const std::vector<JNode> &children)
+{
+    const JNode *body = nullptr;
+    for (const JNode &c : children)
+        if (c.kind == "CompoundStmt") {
+            body = &c;
+            break;
+        }
+    if (body == nullptr)
+        return; // declaration without a definition
+
+    std::string key = file + ":" + std::to_string(line);
+    if (!seenFunctions_.insert(key).second)
+        return; // inline function seen via another TU
+
+    Function fn;
+    fn.name = name;
+    for (auto it = recordStack_.rbegin(); it != recordStack_.rend();
+         ++it) {
+        if (!it->empty()) {
+            fn.name = *it + "::" + fn.name;
+            break;
+        }
+    }
+    (void)kind;
+    fn.file = file;
+    fn.line = line;
+    fn.body.kind = Stmt::Kind::Seq;
+
+    Translator translator(sources_);
+    translator.translate(*body, fn.body.children);
+    fn.siteLiterals = translator.sites;
+
+    FileIR &ir = (*files_)[file];
+    ir.file = file;
+    ir.functionsScanned++;
+    ir.siteLiterals.insert(ir.siteLiterals.end(),
+                           translator.sites.begin(),
+                           translator.sites.end());
+    if (irContainsOps(fn.body) || !fn.siteLiterals.empty())
+        ir.functions.push_back(std::move(fn));
+}
+
+} // namespace
+
+ClangAstResult
+parseClangAstJson(const std::string &json,
+                  const std::vector<std::string> &keepPrefixes)
+{
+    ClangAstResult result;
+    std::map<std::string, FileIR> files;
+    try {
+        AstReader reader(json, keepPrefixes);
+        reader.run(files);
+    } catch (const ParseError &e) {
+        result.error = e.what;
+        return result;
+    } catch (const std::exception &e) {
+        result.error = e.what();
+        return result;
+    }
+    for (auto &[file, ir] : files)
+        result.files.push_back(std::move(ir));
+    return result;
+}
+
+} // namespace fasp::analyze

@@ -1,0 +1,197 @@
+#include "lex.h"
+
+#include <cctype>
+
+namespace fasp::analyze {
+
+namespace {
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+} // namespace
+
+std::vector<LineView>
+lexLines(const std::string &text)
+{
+    enum class State {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    };
+
+    std::vector<LineView> lines(1);
+    State state = State::Code;
+    std::string rawDelim; //!< the )delim" terminator of a raw string
+
+    auto code = [&]() -> std::string & { return lines.back().code; };
+    auto comment = [&]() -> std::string & {
+        return lines.back().comment;
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        char next = i + 1 < text.size() ? text[i + 1] : '\0';
+
+        if (c == '\n') {
+            if (state == State::LineComment)
+                state = State::Code;
+            // Unterminated normal literals cannot span lines; recover.
+            if (state == State::String || state == State::Char)
+                state = State::Code;
+            lines.emplace_back();
+            continue;
+        }
+
+        switch (state) {
+        case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                code() += "  "; // keep column positions roughly stable
+                ++i;
+            } else if (c == 'R' && next == '"'
+                       && (code().empty()
+                           || !isWordChar(code().back()))) {
+                // R"delim( ... )delim"
+                std::size_t open = text.find('(', i + 2);
+                if (open == std::string::npos) {
+                    code() += c;
+                    break;
+                }
+                rawDelim =
+                    ")" + text.substr(i + 2, open - (i + 2)) + "\"";
+                state = State::RawString;
+                code() += "\"";
+                i = open; // skip past the opening parenthesis
+            } else if (c == '"') {
+                state = State::String;
+                code() += '"';
+            } else if (c == '\'') {
+                state = State::Char;
+                code() += '\'';
+            } else {
+                code() += c;
+            }
+            break;
+        case State::LineComment:
+            comment() += c;
+            break;
+        case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                ++i;
+            } else {
+                comment() += c;
+            }
+            break;
+        case State::String:
+            if (c == '\\' && next != '\0') {
+                code() += c;
+                code() += next;
+                ++i;
+            } else {
+                code() += c;
+                if (c == '"')
+                    state = State::Code;
+            }
+            break;
+        case State::Char:
+            if (c == '\\' && next != '\0') {
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+                code() += '\'';
+            }
+            break;
+        case State::RawString:
+            if (text.compare(i, rawDelim.size(), rawDelim) == 0) {
+                i += rawDelim.size() - 1;
+                state = State::Code;
+                code() += '"';
+            }
+            break;
+        }
+    }
+    return lines;
+}
+
+std::vector<Token>
+tokenize(const std::vector<LineView> &lines)
+{
+    std::vector<Token> out;
+    bool continuation = false; // previous line was preprocessor w/ '\'
+
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+        const std::string &code = lines[n].code;
+        int lineNo = static_cast<int>(n) + 1;
+
+        std::size_t first = code.find_first_not_of(" \t\r");
+        bool preproc =
+            continuation
+            || (first != std::string::npos && code[first] == '#');
+        if (preproc) {
+            std::size_t last = code.find_last_not_of(" \t\r");
+            continuation =
+                last != std::string::npos && code[last] == '\\';
+            continue;
+        }
+        continuation = false;
+
+        for (std::size_t i = 0; i < code.size();) {
+            char c = code[i];
+            if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+                ++i;
+                continue;
+            }
+            Token tok;
+            tok.line = lineNo;
+            if (isWordChar(c)) {
+                std::size_t j = i;
+                while (j < code.size() && isWordChar(code[j]))
+                    ++j;
+                tok.kind = Token::Kind::Word;
+                tok.text = code.substr(i, j - i);
+                i = j;
+            } else if (c == '"') {
+                std::size_t j = i + 1;
+                while (j < code.size()) {
+                    if (code[j] == '\\' && j + 1 < code.size())
+                        j += 2;
+                    else if (code[j] == '"')
+                        break;
+                    else
+                        ++j;
+                }
+                tok.kind = Token::Kind::String;
+                tok.text =
+                    code.substr(i, std::min(j + 1, code.size()) - i);
+                i = j + 1;
+            } else if (c == '\'') {
+                std::size_t j = i + 1;
+                while (j < code.size() && code[j] != '\'')
+                    ++j;
+                tok.kind = Token::Kind::String;
+                tok.text =
+                    code.substr(i, std::min(j + 1, code.size()) - i);
+                i = j + 1;
+            } else {
+                tok.kind = Token::Kind::Punct;
+                tok.text = std::string(1, c);
+                ++i;
+            }
+            out.push_back(std::move(tok));
+        }
+    }
+    return out;
+}
+
+} // namespace fasp::analyze

@@ -1,0 +1,690 @@
+/**
+ * @file
+ * fasp-analyze CLI (see analyze.h for the rule catalogue).
+ *
+ *   fasp-analyze [options] [path...]        default path: src
+ *
+ *   --frontend=auto|internal|clang  front-end selection (default auto:
+ *                                   clang when clang++ and a compdb
+ *                                   exist, else the built-in parser)
+ *   --compdb=FILE     compile_commands.json (default: probe
+ *                     build/compile_commands.json, compile_commands.json)
+ *   --clang=BIN       clang++ binary to drive (default clang++)
+ *   --cache-dir=DIR   cache clang AST dumps keyed on source+flags hash
+ *   --clang-json=FILE translate one pre-dumped AST JSON (fixture mode)
+ *   --json[=FILE]     machine-readable report (stdout when no FILE)
+ *   --werror          warnings fail the run
+ *   --sites           dump static PM-store sites as JSON and exit
+ *   --diff-metrics=F  check runtime pm_sites (from --metrics JSON)
+ *                     against the static SiteScope tags
+ *   --list-rules      print rule ids and exit
+ *
+ * Exit: 0 clean, 1 findings, 2 usage/environment error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "../common/mini_json.h"
+#include "analyze.h"
+
+namespace fs = std::filesystem;
+using namespace fasp::analyze;
+
+namespace {
+
+struct Options
+{
+    std::vector<std::string> paths;
+    std::string frontend = "auto";
+    std::string compdb;
+    std::string clangBin = "clang++";
+    std::string cacheDir;
+    std::string clangJson;
+    std::string jsonOut; //!< "-" = stdout
+    bool emitJson = false;
+    bool werror = false;
+    bool sites = false;
+    std::string diffMetrics;
+};
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream os;
+    os << in.rdbuf();
+    out = os.str();
+    return true;
+}
+
+std::uint64_t
+fnv1a64(const std::string &data, std::uint64_t seed = 14695981039346656037ULL)
+{
+    std::uint64_t h = seed;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Report paths relative to the working directory when possible. */
+std::string
+reportPath(const std::string &path)
+{
+    static const std::string cwd = fs::current_path().string() + "/";
+    std::string p = path;
+    if (p.rfind("./", 0) == 0)
+        p = p.substr(2);
+    if (p.rfind(cwd, 0) == 0)
+        p = p.substr(cwd.size());
+    return p;
+}
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".h" || ext == ".cpp"
+           || ext == ".hpp";
+}
+
+std::vector<std::string>
+collectFiles(const std::vector<std::string> &paths, std::string &err)
+{
+    std::vector<std::string> files;
+    for (const std::string &p : paths) {
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(p, ec))
+                if (entry.is_regular_file()
+                    && isSourceFile(entry.path()))
+                    files.push_back(entry.path().string());
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(p);
+        } else {
+            err = "no such file or directory: " + p;
+            return {};
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+bool
+usageError(const std::string &msg)
+{
+    std::cerr << "fasp-analyze: " << msg
+              << " (--help for usage)\n";
+    return false;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    auto valueOf = [](const std::string &arg) {
+        return arg.substr(arg.find('=') + 1);
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: fasp-analyze [options] [path...]\n"
+                   "Compile-time persist-ordering verifier; see the\n"
+                   "header comment in tools/fasp-analyze/analyze.h\n"
+                   "and DESIGN.md section 15 for the rule catalogue.\n";
+            std::exit(0);
+        } else if (arg == "--list-rules") {
+            for (const std::string &r : knownRules())
+                std::cout << r << "\n";
+            std::exit(0);
+        } else if (arg.rfind("--frontend=", 0) == 0) {
+            opts.frontend = valueOf(arg);
+            if (opts.frontend != "auto" && opts.frontend != "internal"
+                && opts.frontend != "clang")
+                return usageError("bad --frontend value");
+        } else if (arg.rfind("--compdb=", 0) == 0) {
+            opts.compdb = valueOf(arg);
+        } else if (arg.rfind("--clang=", 0) == 0) {
+            opts.clangBin = valueOf(arg);
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            opts.cacheDir = valueOf(arg);
+        } else if (arg.rfind("--clang-json=", 0) == 0) {
+            opts.clangJson = valueOf(arg);
+        } else if (arg == "--json") {
+            opts.emitJson = true;
+            opts.jsonOut = "-";
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opts.emitJson = true;
+            opts.jsonOut = valueOf(arg);
+        } else if (arg == "--werror") {
+            opts.werror = true;
+        } else if (arg == "--sites") {
+            opts.sites = true;
+        } else if (arg.rfind("--diff-metrics=", 0) == 0) {
+            opts.diffMetrics = valueOf(arg);
+            opts.sites = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usageError("unknown option " + arg);
+        } else {
+            opts.paths.push_back(arg);
+        }
+    }
+    if (opts.paths.empty())
+        opts.paths.push_back("src");
+    return true;
+}
+
+// --- clang driver ------------------------------------------------------------
+
+bool
+clangAvailable(const std::string &bin)
+{
+    std::string cmd = bin + " --version >/dev/null 2>&1";
+    return std::system(cmd.c_str()) == 0;
+}
+
+std::string
+findCompdb(const Options &opts)
+{
+    if (!opts.compdb.empty())
+        return opts.compdb;
+    for (const char *probe :
+         {"build/compile_commands.json", "compile_commands.json"})
+        if (fs::exists(probe))
+            return probe;
+    return {};
+}
+
+struct CompdbEntry
+{
+    std::string directory;
+    std::string file;
+    std::vector<std::string> args;
+};
+
+bool
+loadCompdb(const std::string &path, std::vector<CompdbEntry> &out,
+           std::string &err)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        err = "cannot read " + path;
+        return false;
+    }
+    fasp::minijson::JsonParser parser(text);
+    auto root = parser.parse();
+    if (!root || root->kind != fasp::minijson::JsonValue::Array) {
+        err = path + ": " + parser.error();
+        return false;
+    }
+    for (const auto &entry : root->items) {
+        CompdbEntry e;
+        if (const auto *d = entry.find("directory"))
+            e.directory = d->str;
+        if (const auto *f = entry.find("file"))
+            e.file = f->str;
+        if (const auto *a = entry.find("arguments")) {
+            for (const auto &tok : a->items)
+                e.args.push_back(tok.str);
+        } else if (const auto *c = entry.find("command")) {
+            std::istringstream is(c->str);
+            std::string tok;
+            while (is >> tok)
+                e.args.push_back(tok);
+        }
+        if (!e.file.empty() && !e.args.empty())
+            out.push_back(std::move(e));
+    }
+    return true;
+}
+
+/** Rewrite a compile command into a clang AST-dump command. */
+std::string
+astDumpCommand(const CompdbEntry &entry, const std::string &clangBin)
+{
+    std::ostringstream cmd;
+    cmd << "cd " << entry.directory << " && " << clangBin;
+    for (std::size_t i = 1; i < entry.args.size(); ++i) {
+        const std::string &a = entry.args[i];
+        if (a == "-c")
+            continue;
+        if (a == "-o") {
+            ++i; // skip the object path too
+            continue;
+        }
+        cmd << " '" << a << "'";
+    }
+    cmd << " -fsyntax-only -Wno-everything -Xclang -ast-dump=json"
+        << " 2>/dev/null";
+    return cmd.str();
+}
+
+bool
+runCommandCapture(const std::string &cmd, std::string &out)
+{
+    FILE *pipe = ::popen(cmd.c_str(), "r");
+    if (pipe == nullptr)
+        return false;
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+        out.append(buf, n);
+    return ::pclose(pipe) == 0;
+}
+
+/** AST dump for one TU, through the on-disk cache when enabled. */
+bool
+astDumpCached(const CompdbEntry &entry, const Options &opts,
+              std::string &json)
+{
+    std::string cmd = astDumpCommand(entry, opts.clangBin);
+    std::string cachePath;
+    if (!opts.cacheDir.empty()) {
+        std::string src;
+        readFile(entry.file, src);
+        std::uint64_t key = fnv1a64(cmd, fnv1a64(src));
+        char hex[32];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(key));
+        std::error_code ec;
+        fs::create_directories(opts.cacheDir, ec);
+        cachePath = opts.cacheDir + "/"
+                    + fs::path(entry.file).stem().string() + "-" + hex
+                    + ".astjson";
+        if (readFile(cachePath, json) && !json.empty())
+            return true;
+        json.clear();
+    }
+    if (!runCommandCapture(cmd, json) || json.empty())
+        return false;
+    if (!cachePath.empty()) {
+        std::ofstream out(cachePath, std::ios::binary);
+        out << json;
+    }
+    return true;
+}
+
+// --- output ------------------------------------------------------------------
+
+const char *
+severityName(Severity s)
+{
+    return s == Severity::Error ? "error" : "warning";
+}
+
+void
+printFindings(const std::vector<Finding> &findings)
+{
+    for (const Finding &f : findings) {
+        std::cout << reportPath(f.file) << ":" << f.line << ": "
+                  << severityName(f.severity) << ": [" << f.rule
+                  << "] " << f.message;
+        if (!f.function.empty())
+            std::cout << " [in " << f.function << "]";
+        std::cout << "\n";
+    }
+}
+
+void
+writeJsonReport(const Options &opts, const std::string &frontend,
+                std::size_t files, std::size_t functions,
+                const std::vector<Finding> &findings,
+                std::size_t errors, std::size_t warnings)
+{
+    std::ostringstream os;
+    os << "{\n  \"tool\": \"fasp-analyze\",\n  \"frontend\": \""
+       << frontend << "\",\n  \"files\": " << files
+       << ",\n  \"functions\": " << functions
+       << ",\n  \"errors\": " << errors << ",\n  \"warnings\": "
+       << warnings << ",\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i != 0 ? "," : "") << "\n    {\"file\": \""
+           << jsonEscape(reportPath(f.file)) << "\", \"line\": "
+           << f.line << ", \"rule\": \"" << jsonEscape(f.rule)
+           << "\", \"severity\": \"" << severityName(f.severity)
+           << "\", \"function\": \"" << jsonEscape(f.function)
+           << "\", \"message\": \"" << jsonEscape(f.message)
+           << "\"}";
+    }
+    os << "\n  ]\n}\n";
+    if (opts.jsonOut == "-") {
+        std::cout << os.str();
+    } else {
+        std::ofstream out(opts.jsonOut, std::ios::binary);
+        out << os.str();
+    }
+}
+
+// --- sites mode --------------------------------------------------------------
+
+int
+runSitesMode(const Options &opts, const std::vector<FileIR> &irs)
+{
+    std::vector<StoreSite> sites;
+    std::set<std::string> literals;
+    for (const FileIR &ir : irs) {
+        for (const std::string &s : ir.siteLiterals)
+            literals.insert(s);
+        for (const Function &fn : ir.functions) {
+            collectStoreSites(fn, sites);
+            for (const std::string &s : fn.siteLiterals)
+                literals.insert(s);
+        }
+    }
+    std::sort(sites.begin(), sites.end(),
+              [](const StoreSite &a, const StoreSite &b) {
+                  return std::tie(a.file, a.line, a.site)
+                         < std::tie(b.file, b.line, b.site);
+              });
+
+    if (opts.diffMetrics.empty()) {
+        std::cout << "{\n  \"sites\": [";
+        for (std::size_t i = 0; i < sites.size(); ++i) {
+            const StoreSite &s = sites[i];
+            std::cout << (i != 0 ? "," : "") << "\n    {\"file\": \""
+                      << jsonEscape(reportPath(s.file))
+                      << "\", \"line\": " << s.line
+                      << ", \"function\": \""
+                      << jsonEscape(s.function) << "\", \"site\": \""
+                      << jsonEscape(s.site) << "\", \"kind\": \""
+                      << s.kind << "\"}";
+        }
+        std::cout << "\n  ],\n  \"siteTags\": [";
+        std::size_t i = 0;
+        for (const std::string &s : literals)
+            std::cout << (i++ != 0 ? ", " : "") << "\""
+                      << jsonEscape(s) << "\"";
+        std::cout << "]\n}\n";
+        return 0;
+    }
+
+    // --diff-metrics: every SiteScope tag the *runtime* observed must
+    // exist statically; a runtime site we cannot find means the static
+    // view (and therefore the analysis) missed a PM code path.
+    std::string text;
+    if (!readFile(opts.diffMetrics, text)) {
+        std::cerr << "fasp-analyze: cannot read " << opts.diffMetrics
+                  << "\n";
+        return 2;
+    }
+    fasp::minijson::JsonParser parser(text);
+    auto root = parser.parse();
+    if (!root) {
+        std::cerr << "fasp-analyze: " << opts.diffMetrics << ": "
+                  << parser.error() << "\n";
+        return 2;
+    }
+    const auto *pmSites = root->find("pm_sites");
+    if (pmSites == nullptr) {
+        std::cerr << "fasp-analyze: " << opts.diffMetrics
+                  << ": no pm_sites key (run the bench with "
+                     "--metrics)\n";
+        return 2;
+    }
+    std::set<std::string> runtime;
+    for (const auto &[engine, sitesObj] : pmSites->fields)
+        for (const auto &[site, count] : sitesObj.fields)
+            if (site != "(untagged)" && site != "(overflow)")
+                runtime.insert(site);
+
+    std::vector<std::string> missing;
+    for (const std::string &site : runtime)
+        if (literals.count(site) == 0)
+            missing.push_back(site);
+    std::vector<std::string> unobserved;
+    for (const std::string &site : literals)
+        if (runtime.count(site) == 0)
+            unobserved.push_back(site);
+
+    std::cout << "fasp-analyze --sites: " << sites.size()
+              << " static PM-store sites, " << literals.size()
+              << " SiteScope tags; runtime observed " << runtime.size()
+              << " tags\n";
+    for (const std::string &site : missing)
+        std::cout << "error: runtime site \"" << site
+                  << "\" has no static SiteScope tag (static view "
+                     "missed a PM code path)\n";
+    for (const std::string &site : unobserved)
+        std::cout << "note: static site \"" << site
+                  << "\" not exercised by this run\n";
+    return missing.empty() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts))
+        return 2;
+
+    std::string err;
+    std::vector<std::string> files = collectFiles(opts.paths, err);
+    if (!err.empty()) {
+        std::cerr << "fasp-analyze: " << err << "\n";
+        return 2;
+    }
+
+    std::vector<Finding> findings;
+    std::vector<FileIR> irs;
+    std::string frontendUsed = "internal";
+
+    if (!opts.clangJson.empty()) {
+        // Fixture mode: translate one pre-dumped AST document.
+        frontendUsed = "clang-json";
+        std::string json;
+        if (!readFile(opts.clangJson, json)) {
+            std::cerr << "fasp-analyze: cannot read " << opts.clangJson
+                      << "\n";
+            return 2;
+        }
+        ClangAstResult result = parseClangAstJson(json, {});
+        if (!result.error.empty()) {
+            findings.push_back({opts.clangJson, 1, "frontend-error",
+                                result.error, "", Severity::Error});
+        }
+        irs = std::move(result.files);
+        files.clear(); // waivers come from the IR files below
+        for (const FileIR &ir : irs)
+            files.push_back(ir.file);
+    } else {
+        bool wantClang = opts.frontend == "clang";
+        if (opts.frontend == "auto")
+            wantClang = clangAvailable(opts.clangBin)
+                        && !findCompdb(opts).empty();
+
+        std::set<std::string> clangCovered;
+        if (wantClang) {
+            frontendUsed = "clang";
+            std::string compdbPath = findCompdb(opts);
+            std::vector<CompdbEntry> compdb;
+            if (compdbPath.empty()
+                || !loadCompdb(compdbPath, compdb, err)) {
+                std::cerr << "fasp-analyze: "
+                          << (err.empty() ? "no compile_commands.json "
+                                            "found (--compdb=...)"
+                                          : err)
+                          << "\n";
+                return 2;
+            }
+            // Keep-prefixes: the analyzed roots, absolute.
+            std::vector<std::string> keep;
+            for (const std::string &p : opts.paths) {
+                std::error_code ec;
+                fs::path abs = fs::weakly_canonical(p, ec);
+                keep.push_back(ec ? p : abs.string());
+            }
+            std::set<std::string> wanted;
+            for (const std::string &f : files) {
+                std::error_code ec;
+                fs::path abs = fs::weakly_canonical(f, ec);
+                wanted.insert(ec ? f : abs.string());
+            }
+            std::set<std::string> seenFns; //!< file:line across TUs
+            for (const CompdbEntry &entry : compdb) {
+                std::error_code ec;
+                fs::path abs =
+                    fs::weakly_canonical(entry.file, ec);
+                std::string file = ec ? entry.file : abs.string();
+                if (wanted.count(file) == 0)
+                    continue;
+                std::string json;
+                if (!astDumpCached(entry, opts, json)) {
+                    findings.push_back(
+                        {entry.file, 1, "frontend-error",
+                         "clang AST dump failed for this translation "
+                         "unit (re-run the compile command by hand "
+                         "to see diagnostics)",
+                         "", Severity::Error});
+                    continue;
+                }
+                ClangAstResult result =
+                    parseClangAstJson(json, keep);
+                if (!result.error.empty()) {
+                    findings.push_back({entry.file, 1,
+                                        "frontend-error", result.error,
+                                        "", Severity::Error});
+                    continue;
+                }
+                for (FileIR &ir : result.files) {
+                    clangCovered.insert(ir.file);
+                    FileIR kept;
+                    kept.file = ir.file;
+                    kept.siteLiterals = ir.siteLiterals;
+                    kept.functionsScanned = ir.functionsScanned;
+                    for (Function &fn : ir.functions) {
+                        std::string key =
+                            fn.file + ":" + std::to_string(fn.line);
+                        if (seenFns.insert(key).second)
+                            kept.functions.push_back(std::move(fn));
+                    }
+                    irs.push_back(std::move(kept));
+                }
+            }
+        }
+
+        // Internal front end: everything clang did not cover (all
+        // files when clang is off; headers outside every TU, etc).
+        for (const std::string &f : files) {
+            std::error_code ec;
+            fs::path abs = fs::weakly_canonical(f, ec);
+            if (clangCovered.count(ec ? f : abs.string()) != 0
+                || clangCovered.count(f) != 0)
+                continue;
+            std::string text;
+            if (!readFile(f, text)) {
+                findings.push_back({f, 1, "frontend-error",
+                                    "cannot read file", "",
+                                    Severity::Error});
+                continue;
+            }
+            irs.push_back(parseSourceInternal(f, text));
+        }
+    }
+
+    if (opts.sites)
+        return runSitesMode(opts, irs);
+
+    // --- analysis ------------------------------------------------------
+    std::size_t functions = 0;
+    for (const FileIR &ir : irs) {
+        AnalysisOptions aopts;
+        std::string norm = reportPath(ir.file);
+        aopts.pmInternal = norm.find("src/pm/") != std::string::npos
+                           || norm.rfind("pm/", 0) == 0;
+        for (const Function &fn : ir.functions) {
+            ++functions;
+            analyzeFunction(fn, aopts, findings);
+        }
+    }
+
+    // --- waivers -------------------------------------------------------
+    std::map<std::string, WaiverSet> waivers;
+    for (const FileIR &ir : irs) {
+        std::string text;
+        if (readFile(ir.file, text))
+            waivers[ir.file] = scanWaivers(text, ir.file, findings);
+    }
+
+    std::vector<Finding> kept;
+    for (Finding &f : findings) {
+        auto it = waivers.find(f.file);
+        if (it != waivers.end()
+            && it->second.suppresses(f.rule, f.line))
+            continue;
+        kept.push_back(std::move(f));
+    }
+    for (auto &[file, set] : waivers) {
+        for (const WaiverSet::Waiver &w : set.waivers) {
+            if (w.used)
+                continue;
+            kept.push_back(
+                {file, w.line, "stale-waiver",
+                 "waiver for '" + w.rule
+                     + "' suppresses nothing; remove it (waivers "
+                       "must not outlive the finding they justify)",
+                 "", Severity::Error});
+        }
+    }
+
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule, a.message)
+                         < std::tie(b.file, b.line, b.rule,
+                                    b.message);
+              });
+
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    for (const Finding &f : kept)
+        (f.severity == Severity::Error ? errors : warnings)++;
+
+    printFindings(kept);
+    std::cout << "fasp-analyze: " << irs.size() << " files, "
+              << functions << " functions with PM ops, " << errors
+              << " errors, " << warnings << " warnings (frontend: "
+              << frontendUsed << ")\n";
+    if (opts.emitJson)
+        writeJsonReport(opts, frontendUsed, irs.size(), functions,
+                        kept, errors, warnings);
+
+    if (errors > 0 || (opts.werror && warnings > 0))
+        return 1;
+    return 0;
+}

@@ -1,0 +1,37 @@
+# Golden-output test runner for fasp-analyze fixtures.
+#
+#   cmake -DANALYZER=<bin> -DARGS=<|-separated argv> -DEXPECTED=<file>
+#         -DEXPECT_EXIT=<code> -DWORKDIR=<dir> -P run_golden.cmake
+#
+# Runs the analyzer from WORKDIR (the repo root, so reported paths are
+# stable relative paths) and requires stdout to match the golden file
+# byte-for-byte plus the exact expected exit code. Exact matching is
+# deliberate: a rule firing at the wrong line, under the wrong label,
+# or with a second spurious finding must fail the test.
+
+string(REPLACE "|" ";" _args "${ARGS}")
+
+execute_process(
+    COMMAND ${ANALYZER} ${_args}
+    WORKING_DIRECTORY ${WORKDIR}
+    OUTPUT_VARIABLE _actual
+    ERROR_VARIABLE _stderr
+    RESULT_VARIABLE _rc)
+
+file(READ ${EXPECTED} _want)
+string(REPLACE "\r\n" "\n" _actual "${_actual}")
+string(REPLACE "\r\n" "\n" _want "${_want}")
+
+if(NOT _actual STREQUAL _want)
+    message(FATAL_ERROR
+        "fasp-analyze golden mismatch for ${EXPECTED}\n"
+        "---- got ----\n${_actual}"
+        "---- want ----\n${_want}"
+        "---- stderr ----\n${_stderr}")
+endif()
+
+if(NOT _rc STREQUAL "${EXPECT_EXIT}")
+    message(FATAL_ERROR
+        "fasp-analyze exit code ${_rc}, want ${EXPECT_EXIT} "
+        "(stderr: ${_stderr})")
+endif()

@@ -1,0 +1,127 @@
+#include "analyze.h"
+
+#include <regex>
+
+#include "lex.h"
+
+namespace fasp::analyze {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::Store: return "store";
+    case OpKind::ScratchStore: return "scratch";
+    case OpKind::Flush: return "flush";
+    case OpKind::Fence: return "fence";
+    case OpKind::Cas: return "cas";
+    case OpKind::TxBegin: return "tx-begin";
+    case OpKind::TxCommitPoint: return "tx-commit-point";
+    case OpKind::TxEnd: return "tx-end";
+    case OpKind::LatchAcquire: return "latch-acquire";
+    }
+    return "?";
+}
+
+const std::set<std::string> &
+knownRules()
+{
+    static const std::set<std::string> kRules = {
+        "v1s",         "v2s",          "v3s",
+        "fence-in-loop", "raw-cas",    "stale-waiver",
+        "waiver-needs-reason",         "frontend-error",
+    };
+    return kRules;
+}
+
+bool
+WaiverSet::suppresses(const std::string &rule, int line)
+{
+    // Meta rules are never waivable: a waiver that waives waiver
+    // hygiene (or the front end failing) would defeat the gate.
+    if (rule == "stale-waiver" || rule == "waiver-needs-reason"
+        || rule == "frontend-error")
+        return false;
+    bool hit = false;
+    for (Waiver &w : waivers) {
+        if (w.rule != rule)
+            continue;
+        if (w.wholeFile || w.line == line || w.coversLine == line) {
+            w.used = true;
+            hit = true; // mark every matching waiver used, not just one
+        }
+    }
+    return hit;
+}
+
+WaiverSet
+scanWaivers(const std::string &text, const std::string &file,
+            std::vector<Finding> &out)
+{
+    static const std::regex kWaiver(
+        R"(fasp-analyze:\s*allow(-file)?\(([A-Za-z0-9_-]+)\)\s*(?:--\s*(\S[^\n]*))?)");
+
+    WaiverSet set;
+    std::vector<LineView> lines = lexLines(text);
+
+    // Pending line waivers waiting for their next code line.
+    std::vector<std::size_t> pending;
+
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+        int lineNo = static_cast<int>(n) + 1;
+        const std::string &comment = lines[n].comment;
+
+        auto begin = std::sregex_iterator(comment.begin(),
+                                          comment.end(), kWaiver);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const std::smatch &m = *it;
+            bool wholeFile = m[1].matched;
+            std::string rule = m[2].str();
+            if (knownRules().count(rule) == 0) {
+                out.push_back({file, lineNo, "waiver-needs-reason",
+                               "waiver names unknown rule '" + rule
+                                   + "'",
+                               "", Severity::Error});
+                continue;
+            }
+            if (!m[3].matched || m[3].str().empty()) {
+                out.push_back(
+                    {file, lineNo, "waiver-needs-reason",
+                     "waiver for '" + rule
+                         + "' gives no reason (use: fasp-analyze: "
+                           "allow"
+                         + (wholeFile ? std::string("-file(")
+                                      : std::string("("))
+                         + rule + ") -- <reason>)",
+                     "", Severity::Error});
+                continue; // an unjustified waiver does not suppress
+            }
+            WaiverSet::Waiver w;
+            w.rule = rule;
+            w.line = lineNo;
+            w.wholeFile = wholeFile;
+            set.waivers.push_back(w);
+            if (!wholeFile)
+                pending.push_back(set.waivers.size() - 1);
+        }
+
+        // A waiver covers its own line plus the next line with code
+        // (same binding rule as fasp-lint). A waiver trailing code on
+        // its own line therefore covers that line AND the next one.
+        bool hasCode = lines[n].code.find_first_not_of(" \t\r")
+                       != std::string::npos;
+        if (hasCode) {
+            std::vector<std::size_t> still;
+            for (std::size_t idx : pending) {
+                if (set.waivers[idx].line != lineNo)
+                    set.waivers[idx].coversLine = lineNo;
+                else
+                    still.push_back(idx); // binds to the NEXT code line
+            }
+            pending.swap(still);
+        }
+    }
+    return set;
+}
+
+} // namespace fasp::analyze

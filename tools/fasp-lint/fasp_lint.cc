@@ -32,16 +32,6 @@
  *                        point stays visible to fasp-mc's scheduler
  *                        interception. Wrapper internals and lock-free
  *                        stats carry a file-level waiver instead.
- *   raw-pm-cas           PmDevice::casU64 on a PM-resident word is
- *                        reachable only from src/pm/pcas.* (and the
- *                        device itself): bare CAS skips the dirty-tag
- *                        protocol, so a crash between the CAS and its
- *                        flush can expose an unflushed committed value.
- *                        Route through pm::Pcas::cas / mwcas instead.
- *   fence-in-loop        PmDevice::sfence() inside a loop body: fence
- *                        once after the loop (flush per iteration,
- *                        fence at the end) unless a waiver explains
- *                        why per-iteration ordering is required.
  *   waiver-needs-reason  A waiver comment must name its rule AND give
  *                        a reason:
  *                            // fasp-lint: allow(<rule>) -- <reason>
@@ -49,14 +39,20 @@
  *                        line and on the next line containing code.
  *                            // fasp-lint: allow-file(<rule>) -- <reason>
  *                        suppresses the rule for the whole file.
+ *   stale-waiver         A waiver that suppresses nothing is itself a
+ *                        violation, so waivers cannot outlive the code
+ *                        they justify.
+ *
+ * The flow-sensitive rules this tool used to carry textually
+ * (raw-pm-cas, fence-in-loop) moved to tools/fasp-analyze, which
+ * checks them on a real CFG under the `raw-cas` / `fence-in-loop`
+ * names with `fasp-analyze:` waiver comments.
  *
  * Usage:   fasp-lint <file-or-directory>...
  * Exit:    0 clean, 1 violations found, 2 usage or I/O error.
  */
 
-#include <algorithm>
 #include <cctype>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -86,9 +82,9 @@ struct LineView
 };
 
 const std::set<std::string> kKnownRules = {
-    "pm-raw-access",  "flush-outside-device", "bare-mutex-lock",
-    "no-volatile",    "raw-std-sync",         "fence-in-loop",
-    "raw-pm-cas",     "waiver-needs-reason",
+    "pm-raw-access", "flush-outside-device", "bare-mutex-lock",
+    "no-volatile",   "raw-std-sync",         "waiver-needs-reason",
+    "stale-waiver",
 };
 
 bool
@@ -236,17 +232,25 @@ lex(const std::string &text)
     return lines;
 }
 
-/** Parse waiver comments; returns line-waived rules, inserts
- *  file-scope waivers into @p fileWaived, records bad waivers. */
-std::set<std::string>
+/** A justified waiver, tracked so never-used ones can be reported. */
+struct Waiver
+{
+    std::string rule;
+    std::size_t line = 0; //!< where the waiver comment sits
+    bool used = false;    //!< suppressed at least one violation
+};
+
+/** Parse waiver comments; returns line waivers, appends file-scope
+ *  waivers to @p fileWaivers, records bad waivers. */
+std::vector<Waiver>
 parseWaivers(const std::string &comment, const std::string &file,
-             std::size_t lineNo, std::set<std::string> &fileWaived,
+             std::size_t lineNo, std::vector<Waiver> &fileWaivers,
              std::vector<Violation> &out)
 {
     static const std::regex kWaiver(
         R"(fasp-lint:\s*allow(-file)?\(([A-Za-z0-9_-]+)\)\s*(?:--\s*(\S[^\n]*))?)");
 
-    std::set<std::string> waived;
+    std::vector<Waiver> waived;
     auto begin = std::sregex_iterator(comment.begin(), comment.end(),
                                       kWaiver);
     for (auto it = begin; it != std::sregex_iterator(); ++it) {
@@ -268,9 +272,9 @@ parseWaivers(const std::string &comment, const std::string &file,
             continue; // an unjustified waiver does not suppress
         }
         if (wholeFile)
-            fileWaived.insert(rule);
+            fileWaivers.push_back({rule, lineNo, false});
         else
-            waived.insert(rule);
+            waived.push_back({rule, lineNo, false});
     }
     return waived;
 }
@@ -293,33 +297,34 @@ lintFile(const fs::path &path, std::vector<Violation> &out)
     bool syncExempt = pmInternal // device internals ARE the hooks
                       || posix.find("src/common/") != std::string::npos
                       || posix.find("src/mc/") != std::string::npos;
-    bool pcasFile = deviceFile
-                    || posix.find("src/pm/pcas.") != std::string::npos;
 
-    std::set<std::string> active;     // waivers pending their code line
-    std::set<std::string> fileWaived; // allow-file() waivers
-
-    // fence-in-loop bookkeeping: brace scopes flagged as loop bodies.
-    std::vector<bool> loopScope;
-    bool pendingLoop = false; // loop keyword seen, body brace not yet
-    int parenDepth = 0;
+    std::vector<Waiver> active;      // waivers pending their code line
+    std::vector<Waiver> fileWaivers; // allow-file() waivers
+    std::vector<Waiver> retired;     // expired line waivers
 
     for (std::size_t n = 0; n < lines.size(); ++n) {
         const LineView &lv = lines[n];
         std::size_t lineNo = n + 1;
 
-        for (const std::string &rule : parseWaivers(
-                 lv.comment, posix, lineNo, fileWaived, out))
-            active.insert(rule);
+        for (Waiver &w : parseWaivers(lv.comment, posix, lineNo,
+                                      fileWaivers, out))
+            active.push_back(std::move(w));
 
         auto flag = [&](const char *rule, const char *message) {
-            if (active.count(rule) == 0 && fileWaived.count(rule) == 0)
+            bool suppressed = false;
+            for (Waiver &w : active)
+                if (w.rule == rule) {
+                    w.used = true;
+                    suppressed = true;
+                }
+            for (Waiver &w : fileWaivers)
+                if (w.rule == rule) {
+                    w.used = true;
+                    suppressed = true;
+                }
+            if (!suppressed)
                 out.push_back({posix, lineNo, rule, message});
         };
-
-        bool inLoop = pendingLoop ||
-                      std::find(loopScope.begin(), loopScope.end(),
-                                true) != loopScope.end();
 
         if (!pmInternal && hasToken(lv.code, "durableData"))
             flag("pm-raw-access",
@@ -360,58 +365,26 @@ lintFile(const fs::path &path, std::vector<Violation> &out)
                  "src/mc; use the fasp wrappers so fasp-mc's "
                  "interception stays complete");
 
-        if (!pcasFile && hasToken(lv.code, "casU64"))
-            flag("raw-pm-cas",
-                 "bare CAS on a PM word outside src/pm/pcas; use "
-                 "pm::Pcas::cas/mwcas so the dirty-tag protocol makes "
-                 "the committed value durably visible");
-
-        if (inLoop && hasToken(lv.code, "sfence"))
-            flag("fence-in-loop",
-                 "sfence inside a loop body; flush per iteration and "
-                 "fence once after the loop");
-
-        // Track loop bodies for fence-in-loop. The scope a loop
-        // keyword opens with its next '{' is a loop scope; a ';' at
-        // paren depth 0 consumes a brace-less body (this also retires
-        // the trailing `while` of a do-while).
-        for (std::size_t i = 0; i < lv.code.size(); ++i) {
-            char c = lv.code[i];
-            auto keywordAt = [&](const char *kw) {
-                std::size_t len = std::strlen(kw);
-                if (lv.code.compare(i, len, kw) != 0)
-                    return false;
-                bool leftOk = i == 0 || !isWordChar(lv.code[i - 1]);
-                std::size_t end = i + len;
-                bool rightOk = end >= lv.code.size()
-                               || !isWordChar(lv.code[end]);
-                return leftOk && rightOk;
-            };
-            if (c == '(') {
-                ++parenDepth;
-            } else if (c == ')') {
-                if (parenDepth > 0)
-                    --parenDepth;
-            } else if (c == '{') {
-                loopScope.push_back(pendingLoop);
-                pendingLoop = false;
-            } else if (c == '}') {
-                if (!loopScope.empty())
-                    loopScope.pop_back();
-            } else if (c == ';' && parenDepth == 0) {
-                pendingLoop = false;
-            } else if (keywordAt("for") || keywordAt("while")
-                       || keywordAt("do")) {
-                pendingLoop = true;
-            }
-        }
-
         // A waiver covers its own line plus the next line with code.
         bool hasCode = lv.code.find_first_not_of(" \t\r")
                        != std::string::npos;
-        if (hasCode)
+        if (hasCode) {
+            retired.insert(retired.end(), active.begin(),
+                           active.end());
             active.clear();
+        }
     }
+
+    // A waiver that never suppressed anything must not outlive the
+    // finding it once justified.
+    retired.insert(retired.end(), active.begin(), active.end());
+    retired.insert(retired.end(), fileWaivers.begin(),
+                   fileWaivers.end());
+    for (const Waiver &w : retired)
+        if (!w.used)
+            out.push_back({posix, w.line, "stale-waiver",
+                           "waiver for '" + w.rule
+                               + "' suppresses nothing; remove it"});
 }
 
 void

@@ -1,0 +1,22 @@
+// fasp-lint fixture: stale-waiver must fire. The waivers below are
+// well-formed and justified, but the code they cover is compliant, so
+// they suppress nothing — a waiver must not outlive its finding.
+// fasp-lint: allow-file(no-volatile) -- fixture: nothing here is
+// volatile, so this file waiver is dead weight.
+
+namespace fixture {
+
+struct Dev
+{
+    void write(unsigned long off, const void *src, unsigned long n);
+};
+
+void
+storeOnly(Dev &device, const unsigned char *src)
+{
+    // fasp-lint: allow(pm-raw-access) -- fixture: the next line stores
+    // through the device API, so there is nothing to suppress.
+    device.write(0, src, 64);
+}
+
+} // namespace fixture
