@@ -18,6 +18,11 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 # watches the scaling numbers too, not just single-client throughput.
 "$root/$build/bench/fig12_throughput" --smoke --clients=16 \
     --json="$root/BENCH_fig12_throughput.json"
+# YCSB A-F across all five engines (2 clients). --n=6000 rather than
+# the bare smoke count: per-point samples of ~150 ops are warmup-noise
+# dominated and flap the 15% gate; 3000 ops/client holds it.
+"$root/$build/bench/ycsb" --smoke --n=6000 \
+    --json="$root/BENCH_ycsb.json"
 
 echo "snapshot written:"
 ls -l "$root"/BENCH_*.json

@@ -80,6 +80,56 @@ struct MtResult
  */
 MtResult runMtInsertBench(const MtConfig &config);
 
+/** One multi-client YCSB benchmark point. */
+struct MtYcsbConfig
+{
+    core::EngineKind kind = core::EngineKind::Fast;
+    pm::LatencyModel latency = pm::LatencyModel::of(300, 300);
+    std::size_t threads = 4;
+    std::size_t opsPerThread = 2000;
+    std::size_t recordSize = 64;
+    std::uint64_t seed = 42;
+    std::size_t deviceSize = 0;            //!< 0 = sized automatically
+
+    char mix = 'A';                        //!< YCSB mix A-F
+    std::size_t preloadPerThread = 1000;   //!< records loaded up front
+    workload::KeyOrder order = workload::KeyOrder::Hashed;
+
+    core::InPlaceCommitVia commitVia = core::InPlaceCommitVia::Pcas;
+    pm::PcasConfig pcas;
+    bool attachChecker = false;
+};
+
+/** Everything measured for one multi-client YCSB point. */
+struct MtYcsbResult
+{
+    std::size_t threads = 0;
+    std::uint64_t ops = 0;             //!< completed operations
+    std::uint64_t opCounts[5] = {};    //!< per YcsbOp (enum order)
+    std::uint64_t scannedRecords = 0;  //!< records visited by scans
+    double wallSeconds = 0;
+    double modeledSeconds = 0;         //!< makespan as in MtResult
+    double opsPerSecond = 0;
+    double meanOpUs = 0;               //!< per-op CPU + modelled PM time
+    double p50OpUs = 0;
+    double p99OpUs = 0;
+    std::uint64_t conflictRetries = 0;
+    std::uint64_t checkerViolations = 0;
+    core::EngineStats engineStats;
+    pm::PmStats pmStats;
+};
+
+/**
+ * Run YCSB mix config.mix with config.threads concurrent clients
+ * against one fresh engine. Each client owns a disjoint slice of the
+ * logical keyspace (indexOffset/indexStride), preloads
+ * config.preloadPerThread records, then issues config.opsPerThread
+ * operations from its mix stream, retrying on LatchConflict. RMW runs
+ * read + update in ONE transaction. A post-run verification asserts
+ * every client's inserted keys are present (fatal on mismatch).
+ */
+MtYcsbResult runMtYcsbBench(const MtYcsbConfig &config);
+
 } // namespace fasp::benchutil
 
 #endif // FASP_BENCH_UTIL_MT_DRIVER_H

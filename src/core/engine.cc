@@ -207,4 +207,15 @@ Engine::get(btree::BTree &tree, std::uint64_t key,
     return status;
 }
 
+Status
+Engine::scan(btree::BTree &tree, std::uint64_t lo, std::uint64_t hi,
+             const std::function<bool(std::uint64_t,
+                                      std::span<const std::uint8_t>)> &fn)
+{
+    auto tx = begin();
+    Status status = tree.scan(tx->pageIO(), lo, hi, fn);
+    tx->rollback();
+    return status;
+}
+
 } // namespace fasp::core

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -242,6 +243,15 @@ class Engine
     /** Read-only lookup (runs inside a transaction, rolled back). */
     Status get(btree::BTree &tree, std::uint64_t key,
                std::vector<std::uint8_t> &value);
+
+    /**
+     * Read-only range scan over [lo, hi] (runs inside a transaction,
+     * rolled back). @p fn returns false to stop early; the callback's
+     * value span is only valid during the call.
+     */
+    Status scan(btree::BTree &tree, std::uint64_t lo, std::uint64_t hi,
+                const std::function<bool(std::uint64_t,
+                                         std::span<const std::uint8_t>)> &fn);
 
     const pager::Superblock &superblock() const { return sb_; }
     pm::PmDevice &device() { return device_; }

@@ -162,6 +162,7 @@ Explorer::Explorer(Scenario &scenario, const ExploreOptions &opt)
     cfg_.format.logLen = kLogBytes;
     cfg_.format.frLen = 0; // recorder appends would bloat the state
                            // space with PM points carrying no signal
+    scenario_.tuneConfig(cfg_);
 
     snapshot_.resize(device_->size());
     if (scenario_.usesEngine()) {

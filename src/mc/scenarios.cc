@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/thread_annotations.h"
 #include "core/engine.h"
+#include "page/slotted_page.h"
 #include "pager/latch_table.h"
 #include "pm/device.h"
 #include "pm/pcas.h"
@@ -605,6 +606,139 @@ class DefragVsRead final : public EngineScenario
     std::atomic<bool> readErr_{false};
 };
 
+/** An insert racing a split that propagates across multiple pages:
+ *  with 512-byte pages, 96 sequential seed keys leave the rightmost
+ *  leaf full (7 records) under a full single-internal root (30
+ *  separators), so the next insert splits the leaf, pushes separator
+ *  #31 into the parent, splits the parent, and grows a new root — a
+ *  three-page split chain (the paper's multi-page structure
+ *  modification, §3.3). The second worker inserts into the same leaf
+ *  region mid-chain; both inserts must commit exactly, and the tree
+ *  must come out one level deeper. */
+class InsertSplitChain final : public EngineScenario
+{
+  public:
+    const char *name() const override { return "insert-split-chain"; }
+
+    const char *description() const override
+    {
+        return "insert racing a leaf->parent->root split chain across "
+               "three pages";
+    }
+
+    int threadCount() const override { return 2; }
+
+    void tuneConfig(core::EngineConfig &cfg) const override
+    {
+        // Small pages make the parent fillable with a 96-key seed; the
+        // default 4 KiB parent would need ~2300 keys to saturate.
+        cfg.format.pageSize = 512;
+    }
+
+    void setup(core::Engine &engine) override
+    {
+        auto tree = engine.createTree(kTreeId);
+        if (!tree.isOk())
+            faspPanic("scenario setup: createTree failed");
+        for (std::uint64_t k = 1; k <= kSeedKeys; ++k) {
+            if (!engine.insert(*tree, k * 10, seedValue(k)).isOk())
+                faspPanic("scenario setup: seed insert failed");
+        }
+    }
+
+    std::function<void()> body(int tid, core::Engine *engine,
+                               pm::PmDevice &device) override
+    {
+        (void)device;
+        return [this, tid, engine] {
+            btree::BTree tree(kTreeId);
+            runOp(tid, [&] {
+                return engine->insert(tree, keyFor(tid),
+                                      valueFor(tid));
+            });
+        };
+    }
+
+    void verify(core::Engine *engine, pm::PmDevice &device,
+                std::vector<McViolation> &out) override
+    {
+        (void)device;
+        checkAllCommitted(out);
+        checkContents(*engine, /*atCrash=*/false, out, "verify");
+        // Either worker's insert overflows the full rightmost leaf,
+        // whose separator overflows the full root: if one committed,
+        // the chain must have run to completion and deepened the tree.
+        if (committedAt(0) || committedAt(1))
+            checkDepth(*engine, out, "verify");
+    }
+
+    void verifyCrash(core::Engine &recovered, pm::PmDevice &forkDevice,
+                     std::vector<McViolation> &out) override
+    {
+        (void)forkDevice;
+        checkContents(recovered, /*atCrash=*/true, out, "crash");
+    }
+
+  private:
+    static constexpr std::uint64_t kSeedKeys = 96;
+
+    void checkContents(core::Engine &engine, bool atCrash,
+                       std::vector<McViolation> &out,
+                       const char *when) const
+    {
+        for (std::uint64_t k = 1; k <= kSeedKeys; ++k)
+            checkKeyEquals(engine, k * 10, seedValue(k), out, when);
+        for (int i = 0; i < 2; ++i) {
+            if (committedAt(i))
+                checkKeyEquals(engine, keyFor(i), valueFor(i), out,
+                               when);
+            else if (atCrash)
+                checkKeyAbsentOrEquals(engine, keyFor(i), valueFor(i),
+                                       out, when);
+            else
+                checkKeyAbsent(engine, keyFor(i), out, when);
+        }
+        checkTree(engine, out, when);
+    }
+
+    static void checkDepth(core::Engine &engine,
+                           std::vector<McViolation> &out,
+                           const char *when)
+    {
+        auto tx = engine.begin();
+        btree::BTree tree(kTreeId);
+        auto root = tree.rootPid(tx->pageIO());
+        std::uint16_t lvl = 0;
+        if (root.isOk())
+            lvl = page::level(tx->pageIO().page(*root, false));
+        tx->rollback();
+        if (lvl < 2) {
+            out.push_back({McViolation::Kind::Oracle,
+                           std::string("insert-split-chain: the split "
+                                       "chain never propagated to a "
+                                       "new root (") +
+                               when + ")"});
+        }
+    }
+
+    static std::vector<std::uint8_t> seedValue(std::uint64_t k)
+    {
+        return val(54, static_cast<std::uint8_t>(k));
+    }
+
+    /** T0 appends past the maximum; T1 lands inside the rightmost
+     *  leaf (between seed keys 950 and 960). */
+    static std::uint64_t keyFor(int tid)
+    {
+        return tid == 0 ? kSeedKeys * 10 + 10 : kSeedKeys * 10 - 5;
+    }
+
+    static std::vector<std::uint8_t> valueFor(int tid)
+    {
+        return val(54, static_cast<std::uint8_t>(0xc0 + tid));
+    }
+};
+
 /** Seeded bug: read-modify-write of a shared PM counter without any
  *  lock. The yield point between load and store is where the lost
  *  update hides; fasp-mc must find the interleaving. */
@@ -877,8 +1011,9 @@ scenarioNames()
 {
     return {
         "same-page-insert", "same-page-insert-3t", "same-page-update",
-        "insert-vs-split",  "defrag-vs-read",      "pcas-header-flip",
-        "bug-lock-elision", "bug-missing-flush",   "bug-deadlock",
+        "insert-vs-split",  "insert-split-chain",  "defrag-vs-read",
+        "pcas-header-flip", "bug-lock-elision",    "bug-missing-flush",
+        "bug-deadlock",
     };
 }
 
@@ -893,6 +1028,8 @@ makeScenario(const std::string &name)
         return std::make_unique<SamePageUpdate>();
     if (name == "insert-vs-split")
         return std::make_unique<InsertVsSplit>();
+    if (name == "insert-split-chain")
+        return std::make_unique<InsertSplitChain>();
     if (name == "defrag-vs-read")
         return std::make_unique<DefragVsRead>();
     if (name == "pcas-header-flip")

@@ -32,6 +32,7 @@
 
 namespace fasp::core {
 class Engine;
+struct EngineConfig;
 } // namespace fasp::core
 
 namespace fasp::pm {
@@ -57,6 +58,14 @@ class Scenario
     /** True for seeded-bug fixtures: exploration MUST find a
      *  violation (the CLI inverts the exit code for these). */
     virtual bool expectsViolation() const { return false; }
+
+    /** Engine-config adjustments for this scenario, applied before the
+     *  format (e.g. a small page size so multi-level split chains stay
+     *  reachable within a tiny seed set). */
+    virtual void tuneConfig(core::EngineConfig &cfg) const
+    {
+        (void)cfg;
+    }
 
     /** Seed the database; runs once, before the image snapshot. */
     virtual void setup(core::Engine &engine) { (void)engine; }

@@ -381,12 +381,19 @@ PmDevice::clflush(PmOffset off)
     PmOffset base = cacheLineBase(off);
 
     if (config_.mode == PmMode::CacheSim) {
+        // Fault injection: a dropped flush discards the dirty line
+        // instead of writing it back, while every downstream effect
+        // (stats, checker, observer) still sees a successful flush.
+        FlushDropper *dropper =
+            flushDropper_.load(std::memory_order_acquire);
+        bool drop = dropper && dropper->shouldDrop(base, index);
         CacheShard &shard = shardFor(base);
         MutexLock lk(&shard.mu);
         auto it = shard.lines.find(base);
         if (it != shard.lines.end()) {
-            std::memcpy(durable_.data() + base, it->second.data(),
-                        kCacheLineSize);
+            if (!drop)
+                std::memcpy(durable_.data() + base, it->second.data(),
+                            kCacheLineSize);
             shard.lines.erase(it);
             dirtyLines_.fetch_sub(1, std::memory_order_release);
         }

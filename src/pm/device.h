@@ -131,6 +131,28 @@ class PmEventObserver
                              std::uint64_t ns) = 0;
 };
 
+/**
+ * Fault-injection hook: silently discard the durability effect of
+ * selected flushes (CacheSim mode only). A dropped flush still raises
+ * the event, charges latency, and is reported to the checker and
+ * observer — the software believes the line persisted — but the dirty
+ * line is discarded instead of written back to the durable image. This
+ * models a missing-flush bug the runtime ordering checker *cannot* see
+ * (the flush instruction was issued); only an end-to-end oracle that
+ * compares post-crash contents against a model catches it. Used by
+ * fasp-soak's seeded must-fail mutation. Attach/detach is
+ * quiescent-only; shouldDrop() may be called from any thread.
+ */
+class FlushDropper
+{
+  public:
+    virtual ~FlushDropper() = default;
+
+    /** Return true to drop the write-back of the line at @p lineBase;
+     *  @p index is the device-wide persistence-event index. */
+    virtual bool shouldDrop(PmOffset lineBase, std::uint64_t index) = 0;
+};
+
 /** Device operating mode; see file comment. */
 enum class PmMode : std::uint8_t {
     Direct,   //!< stores persist immediately (benchmarking)
@@ -349,6 +371,13 @@ class PmDevice
      *  durable image in place. Clears the simulated cache. */
     void reviveAfterCrash();
 
+    /** Change the policy applied by subsequent crash() calls
+     *  (quiescent only; fasp-soak rotates policies between rounds). */
+    void setCrashPolicy(CrashPolicy policy)
+    {
+        config_.crashPolicy = policy;
+    }
+
     /** Number of dirty (unflushed) lines in the simulated cache. */
     std::size_t dirtyLineCount() const
     {
@@ -360,6 +389,13 @@ class PmDevice
     void setCrashInjector(CrashInjector *injector)
     {
         injector_.store(injector, std::memory_order_release);
+    }
+
+    /** Install @p dropper (nullptr to remove; quiescent only). See
+     *  FlushDropper for semantics; CacheSim mode only. */
+    void setFlushDropper(FlushDropper *dropper)
+    {
+        flushDropper_.store(dropper, std::memory_order_release);
     }
 
     /** Global persistence-event counter (stores+flushes+fences). */
@@ -475,6 +511,7 @@ class PmDevice
     PmStats stats_;
     std::atomic<PhaseTracker *> tracker_{nullptr};
     std::atomic<CrashInjector *> injector_{nullptr};
+    std::atomic<FlushDropper *> flushDropper_{nullptr};
     std::atomic<PersistencyChecker *> checker_{nullptr};
     std::atomic<PmEventObserver *> observer_{nullptr};
     std::atomic<std::uint64_t> eventCount_{0};

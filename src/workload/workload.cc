@@ -1,5 +1,7 @@
 #include "workload/workload.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace fasp::workload {
@@ -19,9 +21,36 @@ KeyStream::next()
         // Avoid 0 so tests can use it as a sentinel.
         return rng_.next() | 1;
       case KeyPattern::Zipfian:
+        if (!inserted_.empty())
+            return inserted_[skewedRank()];
+        return zipf_.next(rng_) + 1;
+      case KeyPattern::Latest:
+        if (!inserted_.empty())
+            return inserted_[inserted_.size() - 1 - skewedRank()];
         return zipf_.next(rng_) + 1;
     }
     faspPanic("bad key pattern");
+}
+
+void
+KeyStream::noteInserted(std::uint64_t key)
+{
+    inserted_.push_back(key);
+}
+
+std::uint64_t
+KeyStream::skewedRank()
+{
+    std::size_t n = inserted_.size();
+    if (!liveZipf_ || liveZipf_->itemCount() < n)
+        liveZipf_.emplace(std::max<std::uint64_t>(n * 2, 16), 0.99);
+    // The generator covers up to 2n items; rejection-sample ranks that
+    // fall beyond the live population (rare: low ranks dominate).
+    std::uint64_t rank;
+    do {
+        rank = liveZipf_->next(rng_);
+    } while (rank >= n);
+    return rank;
 }
 
 ValueGen
@@ -79,6 +108,159 @@ MixedWorkload::next()
         return Op{OpType::Delete, key};
     }
     return Op{OpType::Lookup, live_[pick]};
+}
+
+const char *
+ycsbOpName(YcsbOp op)
+{
+    switch (op) {
+      case YcsbOp::Read: return "read";
+      case YcsbOp::Update: return "update";
+      case YcsbOp::Insert: return "insert";
+      case YcsbOp::Scan: return "scan";
+      case YcsbOp::ReadModifyWrite: return "rmw";
+    }
+    faspPanic("bad ycsb op");
+}
+
+YcsbMix
+ycsbMix(char name)
+{
+    switch (name) {
+      case 'A': case 'a': // update heavy
+        return YcsbMix{'A', 50, 50, 0, 0, 0, KeyPattern::Zipfian};
+      case 'B': case 'b': // read mostly
+        return YcsbMix{'B', 95, 5, 0, 0, 0, KeyPattern::Zipfian};
+      case 'C': case 'c': // read only
+        return YcsbMix{'C', 100, 0, 0, 0, 0, KeyPattern::Zipfian};
+      case 'D': case 'd': // read latest
+        return YcsbMix{'D', 95, 0, 5, 0, 0, KeyPattern::Latest};
+      case 'E': case 'e': // short ranges
+        return YcsbMix{'E', 0, 0, 5, 95, 0, KeyPattern::Zipfian};
+      case 'F': case 'f': // read-modify-write
+        return YcsbMix{'F', 50, 0, 0, 0, 50, KeyPattern::Zipfian};
+      default:
+        faspPanic("unknown YCSB mix (expected A-F)");
+    }
+}
+
+YcsbWorkload::YcsbWorkload(Options opt)
+    : opt_(opt), rng_(opt.seed), inserted_(opt.preload),
+      zipf_(std::max<std::uint64_t>(opt.preload * 2, 16), 0.99),
+      zipfCap_(zipf_.itemCount())
+{
+    FASP_ASSERT(opt.mix.readPct + opt.mix.updatePct + opt.mix.insertPct +
+                    opt.mix.scanPct + opt.mix.rmwPct ==
+                100);
+    FASP_ASSERT(opt.mix.pattern != KeyPattern::Sequential);
+    FASP_ASSERT(opt.indexStride >= 1);
+}
+
+std::uint64_t
+YcsbWorkload::keyOfIndex(std::uint64_t i) const
+{
+    std::uint64_t idx = opt_.indexOffset + i * opt_.indexStride;
+    if (opt_.order == KeyOrder::Sequential)
+        return idx + 1;
+    // SplitMix64 finalizer: a bijection on 64-bit words, scrambling
+    // record indices across the keyspace. Shift into positive int64
+    // range (SQL literals) and avoid the 0 sentinel.
+    std::uint64_t z = idx + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z = z ^ (z >> 31);
+    return (z >> 1) | 1;
+}
+
+std::uint64_t
+YcsbWorkload::drawExistingIndex()
+{
+    FASP_ASSERT(inserted_ > 0);
+    if (opt_.mix.pattern == KeyPattern::UniformRandom)
+        return rng_.nextBounded(inserted_);
+    if (zipfCap_ < inserted_) {
+        zipfCap_ = inserted_ * 2;
+        zipf_ = ZipfGenerator(zipfCap_, 0.99);
+    }
+    std::uint64_t rank;
+    do {
+        rank = zipf_.next(rng_);
+    } while (rank >= inserted_);
+    // Zipfian: hot ranks hit the oldest records (with KeyOrder::Sequential
+    // these are adjacent low keys -> a few hot leaves). Latest: hot ranks
+    // hit the newest records, as in YCSB D.
+    if (opt_.mix.pattern == KeyPattern::Latest)
+        return inserted_ - 1 - rank;
+    return rank;
+}
+
+YcsbOpSpec
+YcsbWorkload::next()
+{
+    const YcsbMix &m = opt_.mix;
+    std::uint64_t dice = rng_.nextBounded(100);
+    if (inserted_ == 0 || (dice >= m.readPct + m.updatePct &&
+                           dice < m.readPct + m.updatePct + m.insertPct)) {
+        std::uint64_t key = keyOfIndex(inserted_++);
+        return YcsbOpSpec{YcsbOp::Insert, key, 0};
+    }
+    std::uint64_t key = keyOfIndex(drawExistingIndex());
+    if (dice < m.readPct)
+        return YcsbOpSpec{YcsbOp::Read, key, 0};
+    if (dice < m.readPct + m.updatePct)
+        return YcsbOpSpec{YcsbOp::Update, key, 0};
+    if (dice < m.readPct + m.updatePct + m.insertPct + m.scanPct) {
+        std::uint32_t len =
+            1 + static_cast<std::uint32_t>(rng_.nextBounded(m.maxScanLen));
+        return YcsbOpSpec{YcsbOp::Scan, key, len};
+    }
+    return YcsbOpSpec{YcsbOp::ReadModifyWrite, key, 0};
+}
+
+DeleteDefragStream::DeleteDefragStream(std::uint64_t seed,
+                                       std::uint64_t keySpan,
+                                       std::size_t valueMin,
+                                       std::size_t valueMax,
+                                       std::uint64_t keyBase)
+    : rng_(seed), span_(keySpan), valueMin_(valueMin), valueMax_(valueMax),
+      keyBase_(keyBase), present_(keySpan, false)
+{
+    FASP_ASSERT(keySpan > 0 && valueMin <= valueMax);
+}
+
+DeleteDefragStream::Step
+DeleteDefragStream::next()
+{
+    ++step_;
+    // Alternate small and large records so freed extents rarely fit the
+    // next insert in place and the page must compact.
+    std::size_t size = (step_ & 1)
+        ? valueMin_ + rng_.nextBounded(valueMin_ + 1)
+        : valueMax_ - rng_.nextBounded(valueMin_ + 1);
+    if (size > valueMax_)
+        size = valueMax_;
+
+    std::uint64_t slot = rng_.nextBounded(span_);
+    std::uint64_t dice = rng_.nextBounded(100);
+    if (liveCount_ > 0 && dice < 45) {
+        // Delete-heavy: find a present slot (linear probe keeps this
+        // deterministic for a given seed).
+        while (!present_[slot])
+            slot = (slot + 1) % span_;
+        present_[slot] = false;
+        --liveCount_;
+        return Step{OpType::Delete, keyBase_ + slot, 0};
+    }
+    if (liveCount_ == span_ || (liveCount_ > 0 && dice < 60)) {
+        while (!present_[slot])
+            slot = (slot + 1) % span_;
+        return Step{OpType::Update, keyBase_ + slot, size};
+    }
+    while (present_[slot])
+        slot = (slot + 1) % span_;
+    present_[slot] = true;
+    ++liveCount_;
+    return Step{OpType::Insert, keyBase_ + slot, size};
 }
 
 } // namespace fasp::workload

@@ -3,13 +3,15 @@
  * Workload generators reproducing the paper's experimental setups:
  * randomly-keyed single-record INSERT transactions (Section 5's main
  * workload), record-size sweeps (Figure 9), multi-record transactions
- * (Figure 10), and Mobibench-style mobile op mixes (Figures 11-12).
+ * (Figure 10), Mobibench-style mobile op mixes (Figures 11-12), and
+ * YCSB A-F mixes with Zipfian/latest-key skew for the soak harness.
  */
 
 #ifndef FASP_WORKLOAD_WORKLOAD_H
 #define FASP_WORKLOAD_WORKLOAD_H
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
@@ -20,12 +22,18 @@ namespace fasp::workload {
 enum class KeyPattern : std::uint8_t {
     Sequential,    //!< 1, 2, 3, ... (append-heavy; B-tree right edge)
     UniformRandom, //!< uniform 64-bit keys (the paper's default)
-    Zipfian,       //!< skewed over a fixed population
+    Zipfian,       //!< skewed; hottest ranks map to the oldest keys
+    Latest,        //!< skewed; hottest ranks map to the newest keys
 };
 
 /**
- * Deterministic key stream. UniformRandom keys are effectively unique
- * (64-bit space); Zipfian draws ranks over [1, population].
+ * Deterministic key stream.
+ *
+ * UniformRandom keys are effectively unique (64-bit space). The skewed
+ * patterns (Zipfian, Latest) draw a rank and map it onto the *inserted*
+ * key set reported via noteInserted(), so reads target keys that exist;
+ * without any noteInserted() calls they degrade to ranks over
+ * [1, population] (the pre-PR-9 behavior, kept for synthetic tests).
  */
 class KeyStream
 {
@@ -35,11 +43,26 @@ class KeyStream
 
     std::uint64_t next();
 
+    /**
+     * Record that @p key is now present in the table. Skewed draws then
+     * pick among the noted keys: Zipfian favors the earliest-noted keys,
+     * Latest the most recently noted.
+     */
+    void noteInserted(std::uint64_t key);
+
+    std::size_t insertedCount() const { return inserted_.size(); }
+
   private:
+    std::uint64_t skewedRank();
+
     KeyPattern pattern_;
     Rng rng_;
     std::uint64_t counter_ = 0;
     ZipfGenerator zipf_;
+    std::vector<std::uint64_t> inserted_;
+    // Zipf generator sized to the live population; rebuilt geometrically
+    // as inserted_ grows (zeta() is O(n), so rebuild only on doubling).
+    std::optional<ZipfGenerator> liveZipf_;
 };
 
 /** Record-size distributions (Figure 9 sweeps the fixed size). */
@@ -107,6 +130,133 @@ class MixedWorkload
     Mix mix_;
     Rng rng_;
     std::vector<std::uint64_t> live_;
+};
+
+/** YCSB core operation types. */
+enum class YcsbOp : std::uint8_t {
+    Read,            //!< point lookup
+    Update,          //!< overwrite an existing record
+    Insert,          //!< add a new record
+    Scan,            //!< range scan of scanLen records from key
+    ReadModifyWrite, //!< read then overwrite the same record
+};
+
+const char *ycsbOpName(YcsbOp op);
+
+/** One generated YCSB operation. */
+struct YcsbOpSpec
+{
+    YcsbOp type;
+    std::uint64_t key;
+    std::uint32_t scanLen = 0; //!< records to scan (Scan only)
+};
+
+/** Op-ratio + distribution description of one YCSB mix. */
+struct YcsbMix
+{
+    char name;               //!< 'A'..'F'
+    unsigned readPct;        //!< percentages sum to 100
+    unsigned updatePct;
+    unsigned insertPct;
+    unsigned scanPct;
+    unsigned rmwPct;
+    KeyPattern pattern;      //!< distribution of existing-key picks
+    std::uint32_t maxScanLen = 100;
+};
+
+/** The standard YCSB core mixes; @p name in "ABCDEF". */
+YcsbMix ycsbMix(char name);
+
+/** How logical record indices map onto B-tree keys. */
+enum class KeyOrder : std::uint8_t {
+    Hashed,     //!< indices scrambled across the keyspace (YCSB default)
+    Sequential, //!< index i -> key i+1; with Zipfian skew the hot ranks
+                //!< share adjacent keys, concentrating traffic on a few
+                //!< leaf pages (the skewed-hot-page mode)
+};
+
+/**
+ * YCSB A-F operation generator.
+ *
+ * Records are addressed by a logical index; keyOfIndex() maps indices
+ * to B-tree keys (hashed or sequential). Existing-key picks (reads,
+ * updates, scans, RMW) draw a rank from the mix's distribution and map
+ * it onto [0, insertedCount), so they never target absent keys.
+ * Multiple clients partition one keyspace via indexOffset/indexStride.
+ */
+class YcsbWorkload
+{
+  public:
+    struct Options
+    {
+        YcsbMix mix;
+        std::uint64_t seed = 1;
+        std::uint64_t preload = 1000;       //!< records loaded up front
+        KeyOrder order = KeyOrder::Hashed;
+        std::uint64_t indexOffset = 0;      //!< this client's first index
+        std::uint64_t indexStride = 1;      //!< step between its indices
+    };
+
+    explicit YcsbWorkload(Options opt);
+
+    /** Key for logical record index @p i (positive, non-zero). */
+    std::uint64_t keyOfIndex(std::uint64_t i) const;
+
+    /** Number of records assumed present (preload + inserts issued). */
+    std::uint64_t insertedCount() const { return inserted_; }
+
+    std::uint64_t preloadCount() const { return opt_.preload; }
+
+    const YcsbMix &mix() const { return opt_.mix; }
+
+    /** Generate the next operation. */
+    YcsbOpSpec next();
+
+  private:
+    std::uint64_t drawExistingIndex();
+
+    Options opt_;
+    Rng rng_;
+    std::uint64_t inserted_;
+    ZipfGenerator zipf_;
+    std::uint64_t zipfCap_;
+};
+
+/**
+ * Delete-heavy churn stream that forces repeated slotted-page defrags:
+ * a small fixed key span is deleted and re-inserted with alternating
+ * record sizes, so freed extents rarely fit the next insert and the
+ * page must compact (the paper's Section 4.3 defrag path).
+ */
+class DeleteDefragStream
+{
+  public:
+    struct Step
+    {
+        OpType type;           //!< Insert, Delete, or Update
+        std::uint64_t key;
+        std::size_t valueSize; //!< for Insert/Update
+    };
+
+    DeleteDefragStream(std::uint64_t seed, std::uint64_t keySpan = 48,
+                       std::size_t valueMin = 16, std::size_t valueMax = 120,
+                       std::uint64_t keyBase = 1);
+
+    Step next();
+
+    std::size_t liveCount() const { return liveCount_; }
+    std::uint64_t keyBase() const { return keyBase_; }
+    std::uint64_t keySpan() const { return span_; }
+
+  private:
+    Rng rng_;
+    std::uint64_t span_;
+    std::size_t valueMin_;
+    std::size_t valueMax_;
+    std::uint64_t keyBase_;
+    std::vector<bool> present_;
+    std::size_t liveCount_ = 0;
+    std::uint64_t step_ = 0;
 };
 
 } // namespace fasp::workload

@@ -14,6 +14,7 @@
 
 #include "page/page_io.h"
 #include "page/slotted_page.h"
+#include "workload/workload.h"
 
 namespace fasp::page {
 namespace {
@@ -116,6 +117,90 @@ TEST_F(FsckTest, FragFreeMismatchOnlyFailsWhenTrusted)
         static_cast<std::uint16_t>(total + 2));
     EXPECT_FALSE(slottedFsck(io_, /*trust_scratch=*/true).isOk());
     EXPECT_TRUE(slottedFsck(io_, /*trust_scratch=*/false).isOk());
+}
+
+/** Thousands of delete/reinsert-larger churn steps (the DeleteDefrag
+ *  stream behind fasp-soak's churn mix) against one page: freed
+ *  extents rarely fit the next insert, so the page repeatedly takes
+ *  the copy-on-write defragmentation path (§4.3). The fsck must stay
+ *  clean in both trust modes after every step, and the churn must
+ *  actually have forced defragmentation — otherwise the test is not
+ *  exercising what it claims. */
+TEST_F(FsckTest, DeleteChurnWithDefragPressureStaysClean)
+{
+    // keySpan is sized so even all-96-byte values fit the 4096B page:
+    // 24 * (2 slot + 2 hdr + 8 key + 96 value) = 2592 bytes — the
+    // stream's live-set model then never diverges from the page.
+    workload::DeleteDefragStream stream(101, /*keySpan=*/24,
+                                        /*valueMin=*/16,
+                                        /*valueMax=*/96);
+    int defrags = 0;
+    int applied = 0;
+    std::vector<std::uint8_t> shadow(kPage, 0);
+    for (int i = 0; i < 20000; ++i) {
+        workload::DeleteDefragStream::Step step = stream.next();
+        SearchResult pos = lowerBound(io_, step.key);
+        std::vector<std::uint8_t> payload(8 + step.valueSize, 0x5a);
+        storeU64(payload.data(), step.key);
+        auto place = [&](bool new_slot) {
+            FitResult fit = checkFit(
+                io_, static_cast<std::uint16_t>(payload.size()),
+                new_slot);
+            if (fit == FitResult::NeedsDefrag) {
+                BufferPageIO dst(shadow.data(), kPage);
+                ASSERT_TRUE(defragmentInto(io_, dst).isOk());
+                std::memcpy(buf_.data(), shadow.data(), kPage);
+                defrags++;
+                fit = checkFit(
+                    io_, static_cast<std::uint16_t>(payload.size()),
+                    new_slot);
+            }
+            if (fit != FitResult::Fits)
+                return; // page full: skip this op, keep churning
+            if (new_slot) {
+                ASSERT_TRUE(
+                    insertRecord(io_, step.key,
+                                 std::span<const std::uint8_t>(payload))
+                        .isOk());
+            } else {
+                RecordRef old{};
+                ASSERT_TRUE(
+                    updateRecord(io_, pos.slot,
+                                 std::span<const std::uint8_t>(payload),
+                                 &old)
+                        .isOk());
+                reclaimExtent(io_, old);
+            }
+            applied++;
+        };
+        switch (step.type) {
+          case workload::OpType::Insert:
+            ASSERT_FALSE(pos.found);
+            place(/*new_slot=*/true);
+            break;
+          case workload::OpType::Update:
+            ASSERT_TRUE(pos.found);
+            place(/*new_slot=*/false);
+            break;
+          case workload::OpType::Delete: {
+            ASSERT_TRUE(pos.found);
+            RecordRef old{};
+            ASSERT_TRUE(eraseRecord(io_, pos.slot, &old).isOk());
+            reclaimExtent(io_, old);
+            applied++;
+            break;
+          }
+          case workload::OpType::Lookup:
+            break;
+        }
+        ASSERT_TRUE(slottedFsck(io_, /*trust_scratch=*/true).isOk())
+            << "strict fsck broke at churn step " << i;
+        ASSERT_TRUE(slottedFsck(io_, /*trust_scratch=*/false).isOk())
+            << "lenient fsck broke at churn step " << i;
+    }
+    EXPECT_GT(defrags, 10)
+        << "churn never forced the defragmentation path";
+    EXPECT_GT(applied, 10000);
 }
 
 #ifdef FASP_EXPENSIVE_CHECKS

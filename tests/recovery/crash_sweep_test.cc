@@ -82,8 +82,16 @@ using Model = std::map<std::uint64_t, std::vector<std::uint8_t>>;
  */
 struct WindowOp
 {
-    enum Kind { MultiInsert, Update, Erase, SingleInsert } kind;
+    enum Kind {
+        MultiInsert,
+        Update,
+        Erase,
+        SingleInsert,
+        FatUpdate //!< update that grows the value well past its extent
+    } kind;
     std::uint64_t key; //!< base key
+
+    static constexpr std::size_t kFatLen = 400;
 
     Status
     run(Engine &engine, BTree &tree) const
@@ -108,6 +116,9 @@ struct WindowOp
             return engine.erase(tree, key);
           case SingleInsert:
             return engine.insert(tree, key, asSpan(value(key)));
+          case FatUpdate:
+            return engine.update(tree, key,
+                                 asSpan(value(key + 9000, kFatLen)));
         }
         return statusInvalid("bad op");
     }
@@ -129,6 +140,9 @@ struct WindowOp
             break;
           case SingleInsert:
             model[key] = value(key);
+            break;
+          case FatUpdate:
+            model[key] = value(key + 9000, kFatLen);
             break;
         }
     }
@@ -222,6 +236,9 @@ struct SweepCase
     /** Force FAST's RTM to abort every attempt so each commit takes
      *  the slot-header-log fallback path. */
     bool forceFallback = false;
+    /** Swap the default window for the delete/defrag-pressure one
+     *  (erase + grown-value churn forcing CoW defragmentation). */
+    bool deletePressure = false;
 };
 
 class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
@@ -354,6 +371,49 @@ class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
         };
     }
 
+    static std::vector<WindowOp>
+    deletePressureOps()
+    {
+        // Delete/reinsert-larger churn (ISSUE satellite, mirrors the
+        // soak's DeleteDefragStream at every-crash-point granularity).
+        // Each FatUpdate appends a grown copy of the record and frees
+        // the old extent as an interior hole, so the leaf's contiguous
+        // gap drains while fragmented free space accumulates: within a
+        // few ops checkFit answers NeedsDefrag and a commit carries a
+        // full CoW defragmentation (§4.3) inside the crash window. All
+        // churn keys sit in the high end of the seed range so they
+        // share the rightmost — fullest — leaf: FAST's 26-slot leaf
+        // cap (kMaxInPlaceSlots) means only a leaf of large records
+        // (the 120-byte delete-pressure seed) can ever be space-tight
+        // enough to fragment.
+        return {
+            {WindowOp::Erase, 58},      {WindowOp::Erase, 56},
+            {WindowOp::Erase, 54},      {WindowOp::FatUpdate, 60},
+            {WindowOp::FatUpdate, 59},  {WindowOp::FatUpdate, 57},
+            {WindowOp::FatUpdate, 55},  {WindowOp::FatUpdate, 53},
+            {WindowOp::FatUpdate, 52},  {WindowOp::FatUpdate, 51},
+            {WindowOp::SingleInsert, 58}, // reinsert into churned leaf
+            {WindowOp::Erase, 55},      {WindowOp::FatUpdate, 50},
+        };
+    }
+
+    /** Scan the durable flight-recorder timeline for a Defrag record —
+     *  the delete-pressure window must actually have taken the CoW
+     *  defragmentation path, or the sweep is not covering it. */
+    static bool
+    sawDefrag(const pm::PmDevice &device)
+    {
+        forensics::CrashReport report = forensics::analyzeImage(
+            device.durableData(), device.size());
+        if (!report.timeline.headerOk)
+            return false;
+        for (const obs::FlightRecord &rec : report.timeline.records) {
+            if (rec.type == obs::FlightEventType::Defrag)
+                return true;
+        }
+        return false;
+    }
+
     /**
      * Run the whole workload with a crash injected @p k events after
      * the window starts.
@@ -384,8 +444,12 @@ class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
         BTree tree = *tree_res;
 
         Model model;
+        // The delete-pressure seed uses 120-byte values so a slot-cap
+        // bounded FAST leaf is near space capacity, not just slot
+        // capacity — a precondition for fragmentation to force defrag.
+        std::size_t seed_len = GetParam().deletePressure ? 120 : 48;
         for (std::uint64_t key = 1; key <= kSeedKeys; ++key) {
-            auto v = value(key);
+            auto v = value(key, seed_len);
             Status status = engine->insert(tree, key, asSpan(v));
             if (!status.isOk()) {
                 ADD_FAILURE() << status.toString();
@@ -406,7 +470,8 @@ class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
         pm::PointCrashInjector injector(device->eventCount() + k);
         device->setCrashInjector(&injector);
 
-        auto ops = windowOps();
+        auto ops = GetParam().deletePressure ? deletePressureOps()
+                                             : windowOps();
         std::optional<std::size_t> inflight;
         bool crashed = false;
         std::uint64_t expected_txid = 0;
@@ -429,8 +494,13 @@ class CrashSweepTest : public ::testing::TestWithParam<SweepCase>
             expected_txid = engine->stats().txBegun.load();
         }
         device->setCrashInjector(nullptr);
-        if (!crashed)
+        if (!crashed) {
+            if (GetParam().deletePressure) {
+                EXPECT_TRUE(sawDefrag(*device))
+                    << "delete-pressure window never defragmented";
+            }
             return true; // k is beyond the window: sweep complete
+        }
 
         // Destroy the crashed engine (must not touch the device) and,
         // BEFORE recovery mutates anything, run the offline forensics
@@ -498,7 +568,14 @@ INSTANTIATE_TEST_SUITE_P(
         SweepCase{EngineKind::LegacyWal, CrashPolicy::DropAll},
         SweepCase{EngineKind::LegacyWal, CrashPolicy::RandomLines},
         SweepCase{EngineKind::Journal, CrashPolicy::DropAll},
-        SweepCase{EngineKind::Journal, CrashPolicy::RandomLines}),
+        SweepCase{EngineKind::Journal, CrashPolicy::RandomLines},
+        // Delete/defrag-pressure windows (same legality rules: FAST's
+        // in-place commit assumes line atomicity, so TornLines only
+        // with the forced log fallback; FASH tolerates TornLines).
+        SweepCase{EngineKind::Fast, CrashPolicy::DropAll, false, true},
+        SweepCase{EngineKind::Fast, CrashPolicy::TornLines, true, true},
+        SweepCase{EngineKind::Fash, CrashPolicy::TornLines, false,
+                  true}),
     [](const ::testing::TestParamInfo<SweepCase> &info) {
         std::string policy;
         switch (info.param.policy) {
@@ -508,7 +585,8 @@ INSTANTIATE_TEST_SUITE_P(
         }
         return std::string(engineKindName(info.param.kind)) + "_" +
                policy +
-               (info.param.forceFallback ? "_ForcedFallback" : "");
+               (info.param.forceFallback ? "_ForcedFallback" : "") +
+               (info.param.deletePressure ? "_DeletePressure" : "");
     });
 
 } // namespace

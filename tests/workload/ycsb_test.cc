@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Tests for the YCSB A-F generator, the live-population KeyStream
+ * skew, and the delete/defrag churn stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace fasp::workload {
+namespace {
+
+// --- YcsbMix ratios ---------------------------------------------------------
+
+TEST(YcsbMixTest, RatiosMatchTheSpec)
+{
+    struct Want
+    {
+        char name;
+        unsigned read, update, insert, scan, rmw;
+    };
+    const Want wants[] = {
+        {'A', 50, 50, 0, 0, 0},  {'B', 95, 5, 0, 0, 0},
+        {'C', 100, 0, 0, 0, 0},  {'D', 95, 0, 5, 0, 0},
+        {'E', 0, 0, 5, 95, 0},   {'F', 50, 0, 0, 0, 50},
+    };
+    for (const Want &w : wants) {
+        YcsbMix mix = ycsbMix(w.name);
+        EXPECT_EQ(mix.name, w.name);
+        EXPECT_EQ(mix.readPct, w.read) << w.name;
+        EXPECT_EQ(mix.updatePct, w.update) << w.name;
+        EXPECT_EQ(mix.insertPct, w.insert) << w.name;
+        EXPECT_EQ(mix.scanPct, w.scan) << w.name;
+        EXPECT_EQ(mix.rmwPct, w.rmw) << w.name;
+        EXPECT_EQ(mix.readPct + mix.updatePct + mix.insertPct +
+                      mix.scanPct + mix.rmwPct,
+                  100u)
+            << w.name;
+    }
+    EXPECT_EQ(ycsbMix('D').pattern, KeyPattern::Latest);
+    EXPECT_EQ(ycsbMix('A').pattern, KeyPattern::Zipfian);
+}
+
+// --- determinism ------------------------------------------------------------
+
+TEST(YcsbWorkloadTest, SameSeedSameStream)
+{
+    for (char name : {'A', 'D', 'E', 'F'}) {
+        YcsbWorkload::Options opt;
+        opt.mix = ycsbMix(name);
+        opt.seed = 42;
+        opt.preload = 500;
+        YcsbWorkload a(opt), b(opt);
+        for (int i = 0; i < 2000; ++i) {
+            YcsbOpSpec x = a.next();
+            YcsbOpSpec y = b.next();
+            ASSERT_EQ(x.type, y.type) << name << " op " << i;
+            ASSERT_EQ(x.key, y.key) << name << " op " << i;
+            ASSERT_EQ(x.scanLen, y.scanLen) << name << " op " << i;
+        }
+    }
+}
+
+TEST(YcsbWorkloadTest, DifferentSeedsDiverge)
+{
+    YcsbWorkload::Options opt;
+    opt.mix = ycsbMix('A');
+    opt.preload = 500;
+    opt.seed = 1;
+    YcsbWorkload a(opt);
+    opt.seed = 2;
+    YcsbWorkload b(opt);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next().key == b.next().key ? 1 : 0;
+    EXPECT_LT(same, 100);
+}
+
+// --- op-ratio convergence ---------------------------------------------------
+
+TEST(YcsbWorkloadTest, OpRatiosConverge)
+{
+    for (char name : {'A', 'B', 'D', 'E', 'F'}) {
+        YcsbMix mix = ycsbMix(name);
+        YcsbWorkload::Options opt;
+        opt.mix = mix;
+        opt.seed = 7;
+        opt.preload = 1000;
+        YcsbWorkload workload(opt);
+        std::map<YcsbOp, int> counts;
+        const int n = 50000;
+        for (int i = 0; i < n; ++i)
+            counts[workload.next().type]++;
+        EXPECT_NEAR(counts[YcsbOp::Read] / double(n),
+                    mix.readPct / 100.0, 0.02)
+            << name;
+        EXPECT_NEAR(counts[YcsbOp::Update] / double(n),
+                    mix.updatePct / 100.0, 0.02)
+            << name;
+        EXPECT_NEAR(counts[YcsbOp::Insert] / double(n),
+                    mix.insertPct / 100.0, 0.02)
+            << name;
+        EXPECT_NEAR(counts[YcsbOp::Scan] / double(n),
+                    mix.scanPct / 100.0, 0.02)
+            << name;
+        EXPECT_NEAR(counts[YcsbOp::ReadModifyWrite] / double(n),
+                    mix.rmwPct / 100.0, 0.02)
+            << name;
+    }
+}
+
+// --- existing-key discipline ------------------------------------------------
+
+TEST(YcsbWorkloadTest, NonInsertOpsTargetExistingKeys)
+{
+    for (char name : {'A', 'D', 'E'}) {
+        YcsbWorkload::Options opt;
+        opt.mix = ycsbMix(name);
+        opt.seed = 13;
+        opt.preload = 200;
+        YcsbWorkload workload(opt);
+        std::set<std::uint64_t> present;
+        for (std::uint64_t i = 0; i < opt.preload; ++i)
+            present.insert(workload.keyOfIndex(i));
+        for (int i = 0; i < 5000; ++i) {
+            YcsbOpSpec op = workload.next();
+            if (op.type == YcsbOp::Insert) {
+                EXPECT_EQ(present.count(op.key), 0u) << name;
+                present.insert(op.key);
+            } else {
+                EXPECT_EQ(present.count(op.key), 1u)
+                    << name << ": " << ycsbOpName(op.type)
+                    << " targeted an absent key";
+            }
+        }
+        EXPECT_EQ(present.size(), workload.insertedCount()) << name;
+    }
+}
+
+TEST(YcsbWorkloadTest, ScanLenBounded)
+{
+    YcsbWorkload::Options opt;
+    opt.mix = ycsbMix('E');
+    opt.seed = 3;
+    opt.preload = 500;
+    YcsbWorkload workload(opt);
+    bool sawScan = false;
+    for (int i = 0; i < 2000; ++i) {
+        YcsbOpSpec op = workload.next();
+        if (op.type != YcsbOp::Scan)
+            continue;
+        sawScan = true;
+        EXPECT_GE(op.scanLen, 1u);
+        EXPECT_LE(op.scanLen, opt.mix.maxScanLen);
+    }
+    EXPECT_TRUE(sawScan);
+}
+
+// --- distribution sanity ----------------------------------------------------
+
+TEST(YcsbWorkloadTest, ZipfianConcentratesOnFewKeys)
+{
+    YcsbWorkload::Options opt;
+    opt.mix = ycsbMix('B'); // 95% reads, Zipfian
+    opt.seed = 5;
+    opt.preload = 10000;
+    YcsbWorkload workload(opt);
+    std::map<std::uint64_t, int> hits;
+    int reads = 0;
+    for (int i = 0; i < 50000; ++i) {
+        YcsbOpSpec op = workload.next();
+        if (op.type == YcsbOp::Read) {
+            hits[op.key]++;
+            reads++;
+        }
+    }
+    // Under theta=0.99 Zipf the top ~1% of keys draw roughly half the
+    // traffic; under uniform they would draw ~1%.
+    std::vector<int> counts;
+    counts.reserve(hits.size());
+    for (const auto &[k, c] : hits)
+        counts.push_back(c);
+    std::sort(counts.rbegin(), counts.rend());
+    std::size_t top = opt.preload / 100;
+    long topHits = 0;
+    for (std::size_t i = 0; i < top && i < counts.size(); ++i)
+        topHits += counts[i];
+    EXPECT_GT(topHits, reads / 4)
+        << "top 1% of keys should dominate a Zipfian read stream";
+}
+
+TEST(YcsbWorkloadTest, LatestFavorsRecentInserts)
+{
+    YcsbWorkload::Options opt;
+    opt.mix = ycsbMix('D'); // 95% reads over Latest, 5% inserts
+    opt.seed = 9;
+    opt.preload = 1000;
+    YcsbWorkload workload(opt);
+    // Track insertion order; index of key in arrival order.
+    std::map<std::uint64_t, std::uint64_t> arrival;
+    for (std::uint64_t i = 0; i < opt.preload; ++i)
+        arrival[workload.keyOfIndex(i)] = i;
+    std::uint64_t next_idx = opt.preload;
+    long reads = 0, recentReads = 0;
+    for (int i = 0; i < 20000; ++i) {
+        YcsbOpSpec op = workload.next();
+        if (op.type == YcsbOp::Insert) {
+            arrival[op.key] = next_idx++;
+        } else if (op.type == YcsbOp::Read) {
+            reads++;
+            // "Recent" = newest 10% of the population at draw time.
+            auto it = arrival.find(op.key);
+            ASSERT_NE(it, arrival.end());
+            if (next_idx - it->second <= next_idx / 10)
+                recentReads++;
+        }
+    }
+    EXPECT_GT(recentReads, reads / 2)
+        << "latest-key distribution should hit the newest 10% of keys "
+           "more than half the time";
+}
+
+TEST(YcsbWorkloadTest, SequentialOrderConcentratesKeyRange)
+{
+    // Skewed-hot-page mode: Sequential order + Zipfian ranks puts the
+    // hot keys on adjacent B-tree keys (= few leaf pages).
+    YcsbWorkload::Options opt;
+    opt.mix = ycsbMix('B');
+    opt.seed = 21;
+    opt.preload = 10000;
+    opt.order = KeyOrder::Sequential;
+    YcsbWorkload workload(opt);
+    EXPECT_EQ(workload.keyOfIndex(0), 1u);
+    EXPECT_EQ(workload.keyOfIndex(41), 42u);
+    long lowKeyReads = 0, reads = 0;
+    for (int i = 0; i < 20000; ++i) {
+        YcsbOpSpec op = workload.next();
+        if (op.type != YcsbOp::Read)
+            continue;
+        reads++;
+        if (op.key <= opt.preload / 100)
+            lowKeyReads++;
+    }
+    EXPECT_GT(lowKeyReads, reads / 4)
+        << "hot Zipf ranks must collapse onto the lowest key range";
+}
+
+// --- multi-client partitioning ----------------------------------------------
+
+TEST(YcsbWorkloadTest, StridedClientsAreDisjoint)
+{
+    const int kClients = 4;
+    std::set<std::uint64_t> seen;
+    for (int c = 0; c < kClients; ++c) {
+        YcsbWorkload::Options opt;
+        opt.mix = ycsbMix('A');
+        opt.seed = 100 + c;
+        opt.preload = 250;
+        opt.indexOffset = c;
+        opt.indexStride = kClients;
+        YcsbWorkload workload(opt);
+        for (std::uint64_t i = 0; i < 500; ++i) {
+            auto [it, fresh] = seen.insert(workload.keyOfIndex(i));
+            EXPECT_TRUE(fresh) << "client " << c << " index " << i
+                               << " collided with another client";
+        }
+    }
+}
+
+// --- KeyStream live-population regression -----------------------------------
+
+// Regression for the pre-PR-9 bug where Zipfian/Latest ranks were keys
+// themselves: a skewed read stream over a hashed keyspace targeted keys
+// 1..population, none of which had ever been inserted.
+TEST(KeyStreamTest, SkewedDrawsComeFromInsertedPopulation)
+{
+    for (KeyPattern pattern :
+         {KeyPattern::Zipfian, KeyPattern::Latest}) {
+        KeyStream keys(pattern, 17);
+        std::set<std::uint64_t> inserted;
+        // Note a scattered (hashed-like) population.
+        for (std::uint64_t i = 1; i <= 400; ++i) {
+            std::uint64_t key = i * 2654435761u;
+            keys.noteInserted(key);
+            inserted.insert(key);
+        }
+        EXPECT_EQ(keys.insertedCount(), inserted.size());
+        for (int i = 0; i < 5000; ++i)
+            EXPECT_EQ(inserted.count(keys.next()), 1u)
+                << "skewed draw outside the inserted population";
+    }
+}
+
+TEST(KeyStreamTest, LatestSkewsTowardNewestNotes)
+{
+    KeyStream keys(KeyPattern::Latest, 23);
+    for (std::uint64_t k = 1; k <= 1000; ++k)
+        keys.noteInserted(k * 7);
+    long recent = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        // Newest 10% of notes are keys 901*7 .. 1000*7.
+        if (keys.next() > 900 * 7)
+            recent++;
+    }
+    EXPECT_GT(recent, n / 2);
+}
+
+TEST(KeyStreamTest, ZipfianSkewsTowardOldestNotes)
+{
+    KeyStream keys(KeyPattern::Zipfian, 29);
+    for (std::uint64_t k = 1; k <= 1000; ++k)
+        keys.noteInserted(k * 7);
+    long old = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        if (keys.next() <= 100 * 7)
+            old++;
+    }
+    EXPECT_GT(old, n / 2);
+}
+
+// --- DeleteDefragStream -----------------------------------------------------
+
+TEST(DeleteDefragStreamTest, OpsRespectLiveSet)
+{
+    DeleteDefragStream stream(31);
+    std::set<std::uint64_t> live;
+    for (int i = 0; i < 20000; ++i) {
+        DeleteDefragStream::Step step = stream.next();
+        EXPECT_GE(step.key, stream.keyBase());
+        EXPECT_LT(step.key, stream.keyBase() + stream.keySpan());
+        switch (step.type) {
+          case OpType::Insert:
+            EXPECT_EQ(live.count(step.key), 0u);
+            EXPECT_GT(step.valueSize, 0u);
+            live.insert(step.key);
+            break;
+          case OpType::Update:
+          case OpType::Delete:
+            EXPECT_EQ(live.count(step.key), 1u);
+            if (step.type == OpType::Delete)
+                live.erase(step.key);
+            break;
+          case OpType::Lookup:
+            EXPECT_EQ(live.count(step.key), 1u);
+            break;
+        }
+        EXPECT_EQ(live.size(), stream.liveCount());
+    }
+    EXPECT_GT(live.size(), 0u);
+}
+
+TEST(DeleteDefragStreamTest, AlternatingSizesForceFragmentation)
+{
+    DeleteDefragStream stream(37, /*keySpan=*/48, /*valueMin=*/16,
+                              /*valueMax=*/120);
+    std::set<std::size_t> small, large;
+    int deletes = 0;
+    for (int i = 0; i < 20000; ++i) {
+        DeleteDefragStream::Step step = stream.next();
+        if (step.type == OpType::Delete)
+            deletes++;
+        if (step.type == OpType::Insert ||
+            step.type == OpType::Update) {
+            EXPECT_GE(step.valueSize, 16u);
+            EXPECT_LE(step.valueSize, 120u);
+            (step.valueSize <= (16u + 120u) / 2 ? small : large)
+                .insert(step.valueSize);
+        }
+    }
+    EXPECT_GT(deletes, 4000) << "churn stream must be delete-heavy";
+    EXPECT_FALSE(small.empty());
+    EXPECT_FALSE(large.empty());
+}
+
+TEST(DeleteDefragStreamTest, Deterministic)
+{
+    DeleteDefragStream a(41), b(41);
+    for (int i = 0; i < 5000; ++i) {
+        DeleteDefragStream::Step x = a.next();
+        DeleteDefragStream::Step y = b.next();
+        ASSERT_EQ(x.type, y.type);
+        ASSERT_EQ(x.key, y.key);
+        ASSERT_EQ(x.valueSize, y.valueSize);
+    }
+}
+
+} // namespace
+} // namespace fasp::workload

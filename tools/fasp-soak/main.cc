@@ -1,0 +1,174 @@
+/**
+ * @file
+ * fasp-soak CLI. Examples:
+ *
+ *   fasp-soak --engine=fast --mix=A --rounds=25
+ *   fasp-soak --engine=all --mix=churn --rounds=5 --json=soak.json
+ *   fasp-soak --engine=fash --rounds=3 --smoke --inject=drop-flush
+ *
+ * Exit status: 0 when every round verified clean, 1 when any oracle /
+ * fsck / forensics / checker violation was recorded, 2 on usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "soak.h"
+
+using namespace fasp;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --engine=NAME   fast|fash|nvwal|wal|journal|all "
+        "(default fast)\n"
+        "  --mix=M         YCSB mix A-F, or 'churn' (delete/defrag "
+        "pressure; default A)\n"
+        "  --rounds=N      crash/recover/verify rounds per engine "
+        "(default 25)\n"
+        "  --ops=N         target ops per round (default 400)\n"
+        "  --preload=N     records loaded before round 1 (default 300)\n"
+        "  --seed=N        RNG seed (default 1)\n"
+        "  --smoke         small budget (120 ops/round, 120 preload)\n"
+        "  --json=PATH     write a JSON summary\n"
+        "  --dump-dir=DIR  dump failing PM images here\n"
+        "  --inject=drop-flush[:N]  must-fail mode: silently drop every "
+        "Nth flush (default N=9)\n"
+        "  --quiet         suppress per-round log lines\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseEngines(const std::string &name,
+             std::vector<core::EngineKind> &out)
+{
+    if (name == "all") {
+        out = {core::EngineKind::Fast, core::EngineKind::Fash,
+               core::EngineKind::Nvwal, core::EngineKind::LegacyWal,
+               core::EngineKind::Journal};
+        return true;
+    }
+    if (name == "fast")
+        out = {core::EngineKind::Fast};
+    else if (name == "fash")
+        out = {core::EngineKind::Fash};
+    else if (name == "nvwal")
+        out = {core::EngineKind::Nvwal};
+    else if (name == "wal" || name == "legacywal")
+        out = {core::EngineKind::LegacyWal};
+    else if (name == "journal")
+        out = {core::EngineKind::Journal};
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    soak::SoakOptions opt;
+    std::vector<core::EngineKind> engines = {core::EngineKind::Fast};
+    std::string json_path;
+    bool smoke = false;
+    bool rounds_given = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            std::size_t n = std::strlen(flag);
+            if (arg.compare(0, n, flag) == 0 && arg[n] == '=')
+                return arg.c_str() + n + 1;
+            return nullptr;
+        };
+        if (const char *v = value("--engine")) {
+            if (!parseEngines(v, engines))
+                return usage(argv[0]);
+        } else if (const char *v = value("--mix")) {
+            opt.mix = v;
+        } else if (const char *v = value("--rounds")) {
+            opt.rounds = std::strtoull(v, nullptr, 10);
+            rounds_given = true;
+        } else if (const char *v = value("--ops")) {
+            opt.opsPerRound = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--preload")) {
+            opt.preload = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--seed")) {
+            opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else if (const char *v = value("--json")) {
+            json_path = v;
+        } else if (const char *v = value("--dump-dir")) {
+            opt.dumpDir = v;
+        } else if (const char *v = value("--inject")) {
+            std::string inj = v;
+            if (inj.compare(0, 10, "drop-flush") != 0)
+                return usage(argv[0]);
+            opt.dropFlushEvery =
+                inj.size() > 11 && inj[10] == ':'
+                    ? std::strtoull(inj.c_str() + 11, nullptr, 10)
+                    : 9;
+        } else if (arg == "--quiet") {
+            opt.verbose = false;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (smoke) {
+        opt.opsPerRound = 120;
+        opt.preload = 120;
+        if (!rounds_given)
+            opt.rounds = 3;
+    }
+    if (opt.mix != "churn" &&
+        (opt.mix.size() != 1 || opt.mix[0] < 'A' || opt.mix[0] > 'F')) {
+        std::fprintf(stderr, "fasp-soak: bad --mix=%s\n",
+                     opt.mix.c_str());
+        return usage(argv[0]);
+    }
+
+    std::string json = "[";
+    std::uint64_t total_violations = 0;
+    std::uint64_t total_rounds = 0;
+    bool first = true;
+    for (core::EngineKind kind : engines) {
+        opt.kind = kind;
+        soak::SoakResult result = soak::runSoak(opt);
+        total_violations += result.violations;
+        total_rounds += result.roundsRun;
+        std::printf("fasp-soak: %s mix=%s rounds=%llu crashes=%llu "
+                    "ops=%llu violations=%llu\n",
+                    core::engineKindName(kind), opt.mix.c_str(),
+                    static_cast<unsigned long long>(result.roundsRun),
+                    static_cast<unsigned long long>(result.crashes),
+                    static_cast<unsigned long long>(
+                        result.opsCommitted),
+                    static_cast<unsigned long long>(result.violations));
+        if (!first)
+            json += ",";
+        json += "\n" + soak::soakResultToJson(opt, result);
+        first = false;
+    }
+    json += "]\n";
+    if (!json_path.empty()) {
+        std::ofstream out(json_path, std::ios::trunc);
+        out << json;
+    }
+    std::printf("fasp-soak: TOTAL rounds=%llu violations=%llu -> %s\n",
+                static_cast<unsigned long long>(total_rounds),
+                static_cast<unsigned long long>(total_violations),
+                total_violations == 0 ? "PASS" : "FAIL");
+    return total_violations == 0 ? 0 : 1;
+}

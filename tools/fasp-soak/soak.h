@@ -1,0 +1,78 @@
+/**
+ * @file
+ * fasp-soak: continuous crash/recover/verify soak harness (DESIGN.md
+ * §16). One device image lives across many rounds; each round drives a
+ * YCSB mix (or the delete/defrag churn stream) against an engine with
+ * a shadow std::map model, crashes at a randomized persistence event
+ * (rotating through the engine's legal crash policies, including
+ * TornLines where the commit protocol claims to survive it), recovers,
+ * and then asserts, every round:
+ *
+ *   - forensics: the pre-recovery durable image decodes, and the
+ *     flight recorder's in-flight inference names the interrupted tx;
+ *   - the model oracle: the persistent flight recorder decides the
+ *     fate of the in-flight op (CommitPoint durable => its effects
+ *     MUST be present; OpBegin not durable => they MUST NOT be;
+ *     otherwise either world, resolved by probing) and the whole
+ *     B-tree must then equal the model exactly;
+ *   - fsck: every durable Leaf/Internal page passes slottedFsck;
+ *   - checker: the persistency-ordering checker (attached for the
+ *     whole soak, across every crash and recovery) stays at zero
+ *     violations.
+ *
+ * A seeded must-fail mode (dropFlushEvery) silently discards every Nth
+ * flush's write-back while the software — including the runtime
+ * checker — believes it persisted; only the model oracle / fsck /
+ * forensics layers can catch the divergence, which is exactly what the
+ * soak's must-fail ctest proves they do.
+ */
+
+#ifndef FASP_TOOLS_SOAK_H
+#define FASP_TOOLS_SOAK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace fasp::soak {
+
+struct SoakOptions
+{
+    core::EngineKind kind = core::EngineKind::Fast;
+    std::string mix = "A";          //!< "A".."F" or "churn"
+    std::uint64_t rounds = 25;
+    std::uint64_t opsPerRound = 400;
+    std::uint64_t preload = 300;    //!< records/steps before round 1
+    std::size_t valueSize = 64;     //!< YCSB record bytes
+    std::uint64_t seed = 1;
+    std::string dumpDir;            //!< dump failing images here ("" = off)
+    std::uint64_t dropFlushEvery = 0; //!< >0: must-fail flush dropper
+    bool verbose = true;            //!< per-round log lines to stdout
+};
+
+struct SoakResult
+{
+    std::uint64_t roundsRun = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t opsCommitted = 0;
+    std::uint64_t inflightSurvived = 0;  //!< oracle: commit durable
+    std::uint64_t inflightDropped = 0;   //!< oracle: begin not durable
+    std::uint64_t inflightAmbiguous = 0; //!< oracle: probe decided
+    std::uint64_t fsckPagesChecked = 0;
+    std::uint64_t checkerViolations = 0;
+    std::uint64_t violations = 0;        //!< oracle+fsck+forensics total
+    std::vector<std::string> violationMessages; //!< first few, for logs
+};
+
+/** Run the soak. Never throws; violations are counted and returned. */
+SoakResult runSoak(const SoakOptions &opt);
+
+/** Machine-readable one-run summary. */
+std::string soakResultToJson(const SoakOptions &opt,
+                             const SoakResult &result);
+
+} // namespace fasp::soak
+
+#endif // FASP_TOOLS_SOAK_H
