@@ -34,6 +34,7 @@
 #include "btree/btree.h"
 #include "core/engine.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "pm/device.h"
 
 using namespace fasp;
@@ -206,9 +207,14 @@ runMultiClient(const BenchArgs &args)
         counts.push_back(n);
     counts.push_back(args.clients);
 
+    // latch-p95(ns) comes from the span profiler's merged per-slot
+    // wait histogram, scoped to the point by resetLatchContention();
+    // it reads 0 unless --metrics/--trace enabled the obs layer. The
+    // column is intentionally absent from bench_compare's gate map:
+    // wait times are host-share sensitive (see bench/snapshot.sh).
     Table perf({"engine", "clients", "txns", "ktxn/s", "speedup",
                 "conflict-retries", "rtm-contention",
-                "pcas-fallbacks"});
+                "pcas-fallbacks", "latch-p95(ns)"});
     Table valid({"engine", "clients", "txns", "checker-violations"});
 
     struct Series
@@ -235,7 +241,13 @@ runMultiClient(const BenchArgs &args)
             config.threads = clients;
             config.txnsPerThread =
                 std::max<std::size_t>(args.numTxns / clients, 50);
+            if (obs::enabled())
+                obs::SpanProfiler::global().resetLatchContention();
             MtResult result = runMtInsertBench(config);
+            std::uint64_t latch_p95 =
+                obs::enabled()
+                    ? obs::SpanProfiler::global().latchWaitHist().p95
+                    : 0;
             if (clients == 1)
                 base_tput = result.txnsPerSecond;
             perf.addRow(
@@ -250,7 +262,8 @@ runMultiClient(const BenchArgs &args)
                  Table::fmt(result.conflictRetries),
                  Table::fmt(static_cast<std::uint64_t>(
                      result.rtmStats.abortsContention)),
-                 Table::fmt(result.engineStats.pcasFallbacks)});
+                 Table::fmt(result.engineStats.pcasFallbacks),
+                 Table::fmt(latch_p95)});
 
             // Validation pass: same point, persistency checker on.
             config.attachChecker = true;
@@ -261,6 +274,22 @@ runMultiClient(const BenchArgs &args)
                  Table::fmt(checked.txns),
                  Table::fmt(checked.checkerViolations)});
         }
+    }
+
+    // The per-point resets above leave the contention profile holding
+    // whatever point ran last (the RTM baseline, which barely touches
+    // the latch histograms). Re-run FAST at the full client count so
+    // the metrics export's latch_contention section describes the
+    // headline configuration instead.
+    if (obs::enabled()) {
+        obs::SpanProfiler::global().resetLatchContention();
+        MtConfig config;
+        config.kind = core::EngineKind::Fast;
+        config.commitVia = core::InPlaceCommitVia::Pcas;
+        config.threads = args.clients;
+        config.txnsPerThread =
+            std::max<std::size_t>(args.numTxns / args.clients, 50);
+        runMtInsertBench(config);
     }
 
     std::string perf_title =

@@ -16,6 +16,11 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 # --clients=16 folds the multi-client scaling table (1..16 clients,
 # PCAS vs the latched RTM baseline) into the snapshot so the perf gate
 # watches the scaling numbers too, not just single-client throughput.
+# The table also carries the span profiler's latch-p95(ns) column; it
+# rides through the snapshot but is NOT gated by bench_compare (wait
+# times are host-share sensitive — see the gate map in
+# tools/bench_compare/bench_compare.cc), and reads 0 here because the
+# snapshot runs without --metrics.
 "$root/$build/bench/fig12_throughput" --smoke --clients=16 \
     --json="$root/BENCH_fig12_throughput.json"
 # YCSB A-F across all five engines (2 clients). --n=6000 rather than

@@ -31,13 +31,23 @@
  *     engine-level fallbacks. With the page latch held across commits
  *     real conflicts stay 0 — the column exists to catch that
  *     invariant drifting.
+ *
+ *  5. Span-attributed causes by client count (DESIGN.md §17): the
+ *     same points read back as before/after deltas of the span
+ *     profiler's FAST aggregates, lining aborts up with the latch
+ *     waits/conflicts and PCAS retries that produced them. Rows read
+ *     0 unless --metrics/--trace enabled the obs layer.
  */
 
+#include <array>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util/mt_driver.h"
 #include "bench_util/runner.h"
 #include "bench_util/table.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 using namespace fasp;
 using namespace fasp::benchutil;
@@ -163,16 +173,39 @@ main(int argc, char **argv)
         "(retry budget 8, then slot-header-logging fallback)";
     pcas_sweep.print(pcas_sweep_title);
 
+    // Cumulative FAST span aggregates, for the before/after deltas of
+    // the cause table (all-zero when the obs layer is off).
+    auto fast_span_counts = [] {
+        std::array<std::uint64_t, 7> c{};
+        if (!obs::enabled())
+            return c;
+        for (const obs::EngineSpanSummary &s :
+             obs::SpanProfiler::global().engineSummaries()) {
+            if (s.engine != nullptr &&
+                std::strcmp(s.engine, "FAST") == 0) {
+                c = {s.spans,          s.aborts,     s.latchWaits,
+                     s.latchConflicts, s.latchWaitNs, s.pcasRetries,
+                     s.pcasHelps};
+            }
+        }
+        return c;
+    };
+
     Table pcas_classes({"clients", "attempts", "commits", "injected",
                         "conflicts", "exhausted", "helps",
                         "fallbacks"});
+    Table causes({"clients", "spans", "span-aborts", "latch-waits",
+                  "latch-conflicts", "latch-wait(ns)", "pcas-retries",
+                  "pcas-helps"});
     for (std::size_t clients : client_counts) {
         MtConfig config;
         config.kind = core::EngineKind::Fast;
         config.threads = clients;
         config.txnsPerThread =
             std::max<std::size_t>(args.numTxns / clients, 50);
+        std::array<std::uint64_t, 7> before = fast_span_counts();
         MtResult result = runMtInsertBench(config);
+        std::array<std::uint64_t, 7> after = fast_span_counts();
         const pm::PcasStats &ps = result.pcasStats;
         pcas_classes.addRow(
             {Table::fmt(static_cast<std::uint64_t>(clients)),
@@ -183,11 +216,22 @@ main(int argc, char **argv)
              Table::fmt(ps.casExhausted + ps.mwcasExhausted),
              Table::fmt(ps.helps),
              Table::fmt(result.engineStats.pcasFallbacks)});
+        std::vector<std::string> cause_row;
+        cause_row.push_back(
+            Table::fmt(static_cast<std::uint64_t>(clients)));
+        for (std::size_t i = 0; i < before.size(); ++i)
+            cause_row.push_back(Table::fmt(after[i] - before[i]));
+        causes.addRow(cause_row);
     }
     std::string pcas_class_title =
         "Table C (cont.): PCAS outcome classes vs concurrent clients "
         "(FAST insert workload, PCAS commit)";
     pcas_classes.print(pcas_class_title);
+
+    std::string cause_title =
+        "Table C (cont.): span-attributed abort/retry causes vs "
+        "clients (0 unless --metrics/--trace)";
+    causes.print(cause_title);
 
     std::printf("\nexpected: graceful degradation — retries absorb "
                 "moderate abort rates; heavy abort pressure shifts "
@@ -201,6 +245,7 @@ main(int argc, char **argv)
     report.add(class_title, classes);
     report.add(pcas_sweep_title, pcas_sweep);
     report.add(pcas_class_title, pcas_classes);
+    report.add(cause_title, causes);
     report.write();
     args.writeMetrics("tblC_htm_aborts");
     return 0;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "page/slotted_page.h"
 #include "pm/device.h"
@@ -66,6 +67,8 @@ BufferedTransaction::BufferedTransaction(BufferedEngine &engine, TxId id)
         fr->append(obs::FlightEventType::OpBegin,
                    engine_.recorderEngineCode(), id, 0, 0);
     }
+    obs::spanBegin(engineKindName(engine_.config_.kind),
+                   engine_.recorderEngineCode(), id);
 }
 
 BufferedTransaction::~BufferedTransaction()
@@ -96,6 +99,7 @@ page::PageIO &
 BufferedTransaction::page(PageId pid, bool for_write)
 {
     engine_.txMutex_.assertHeld(); // taken by the constructor
+    obs::spanPageAccess(pid, for_write);
     wal::CachedPage &cached = engine_.cache_.get(pid);
     engine_.cache_.pin(pid);
     if (for_write)
@@ -125,15 +129,18 @@ BufferedTransaction::allocPage()
     engine_.cache_.pin(*pid);
     engine_.cache_.markDirty(*pid);
     allocs_.push_back(*pid);
+    // A page allocated while defragmenting is the copy target;
+    // anything else is tree growth (a split or a new root/leaf).
+    bool defrag = pm::currentThreadComponent() == pm::Component::Defrag;
     if (auto *fr = engine_.recorder()) {
-        // A page allocated while defragmenting is the copy target;
-        // anything else is tree growth (a split or a new root/leaf).
-        bool defrag =
-            pm::currentThreadComponent() == pm::Component::Defrag;
         fr->append(defrag ? obs::FlightEventType::Defrag
                           : obs::FlightEventType::PageSplit,
                    engine_.recorderEngineCode(), id_, *pid, 0);
     }
+    if (defrag)
+        obs::spanDefrag();
+    else
+        obs::spanSplit();
     return pid;
 }
 
@@ -194,6 +201,7 @@ BufferedTransaction::rollback()
             obs::TraceOp::TxAbort,
             engineKindName(engine_.config_.kind));
     }
+    obs::spanEnd(/*committed=*/false, nullptr);
     // fasp-lint: allow(bare-mutex-lock) -- early release of the RAII
     // transaction lock; the unique_lock destructor stays the backstop.
     txLock_.unlock();
@@ -251,6 +259,8 @@ BufferedTransaction::commit()
             engineKindName(engine_.config_.kind), 0, "logged",
             pm::PmDevice::threadModelNs() - model_ns0);
     }
+    obs::spanEnd(/*committed=*/true, dirty.empty() ? "read-only"
+                                                   : "logged");
     // fasp-lint: allow(bare-mutex-lock) -- early release of the RAII
     // transaction lock; the unique_lock destructor stays the backstop.
     txLock_.unlock();

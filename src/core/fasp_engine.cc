@@ -7,6 +7,7 @@
 #include "common/byte_io.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "page/slotted_page.h"
 #include "pm/device.h"
@@ -195,6 +196,8 @@ FaspTransaction::FaspTransaction(FaspEngine &engine, TxId id)
         fr->append(obs::FlightEventType::OpBegin,
                    engine_.recorderEngineCode(), id, 0, 0);
     }
+    obs::spanBegin(engineKindName(engine_.config_.kind),
+                   engine_.recorderEngineCode(), id);
 }
 
 FaspTransaction::~FaspTransaction()
@@ -249,6 +252,7 @@ FaspTransaction::latchPage(PageId pid, bool exclusive)
                 obs::Tracer::global().record(
                     obs::TraceOp::LatchConflict,
                     engineKindName(engine_.config_.kind), pid);
+                obs::spanPageConflict(pid);
             }
             throw LatchConflict(pid);
         }
@@ -267,6 +271,7 @@ FaspTransaction::latchPage(PageId pid, bool exclusive)
                 obs::Tracer::global().record(
                     obs::TraceOp::LatchConflict,
                     engineKindName(engine_.config_.kind), pid);
+                obs::spanPageConflict(pid);
             }
             throw LatchConflict(pid);
         }
@@ -305,6 +310,7 @@ page::PageIO &
 FaspTransaction::page(PageId pid, bool for_write)
 {
     latchPage(pid, for_write);
+    obs::spanPageAccess(pid, for_write);
     PageState &st = state(pid);
     if (for_write && !st.fresh && !st.io->hasShadow())
         st.io->materializeShadow();
@@ -338,15 +344,18 @@ FaspTransaction::allocPage()
     st.fresh = true;
     pages_[pid] = std::move(st);
     allocs_.push_back(pid);
+    // A page allocated while defragmenting is the copy target;
+    // anything else is tree growth (a split or a new root/leaf).
+    bool defrag = pm::currentThreadComponent() == pm::Component::Defrag;
     if (auto *fr = engine_.recorder()) {
-        // A page allocated while defragmenting is the copy target;
-        // anything else is tree growth (a split or a new root/leaf).
-        bool defrag =
-            pm::currentThreadComponent() == pm::Component::Defrag;
         fr->append(defrag ? obs::FlightEventType::Defrag
                           : obs::FlightEventType::PageSplit,
                    engine_.recorderEngineCode(), id_, pid, 0);
     }
+    if (defrag)
+        obs::spanDefrag();
+    else
+        obs::spanSplit();
     return pid;
 }
 
@@ -425,6 +434,7 @@ FaspTransaction::rollback()
         obs::Tracer::global().record(
             obs::TraceOp::TxAbort, engineKindName(engine_.config_.kind));
     }
+    obs::spanEnd(/*committed=*/false, nullptr);
 }
 
 Status
@@ -729,6 +739,7 @@ FaspTransaction::commit()
         observeTx(obs::TraceOp::TxCommit, engine_name, model_ns0,
                   commit_path);
     }
+    obs::spanEnd(/*committed=*/true, commit_path);
     return Status::ok();
 }
 

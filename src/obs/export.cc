@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 namespace fasp::obs {
@@ -55,6 +56,80 @@ appendCellJson(std::string &out, const PmCellSnapshot &cell)
     out += "}";
 }
 
+/** Append a histogram snapshot as a flat JSON object (no buckets). */
+void
+appendHistJson(std::string &out, const HistogramSnapshot &snap)
+{
+    out += "{\"count\": ";
+    appendU64(out, snap.count);
+    out += ", \"sum\": ";
+    appendU64(out, snap.sum);
+    out += ", \"max\": ";
+    appendU64(out, snap.max);
+    out += ", \"p50\": ";
+    appendU64(out, snap.p50);
+    out += ", \"p95\": ";
+    appendU64(out, snap.p95);
+    out += ", \"p99\": ";
+    appendU64(out, snap.p99);
+    out += "}";
+}
+
+/** Append a span's per-component wall-ns map (non-zero phases only;
+ *  index 0 renders under componentName(None) as the untagged rest). */
+void
+appendPhaseNsJson(std::string &out,
+                  const std::array<std::uint64_t, kSpanComponents> &ns,
+                  const char *indent)
+{
+    out += "{";
+    bool first = true;
+    for (std::size_t i = 0; i < kSpanComponents; ++i) {
+        if (ns[i] == 0)
+            continue;
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += indent;
+        appendJsonString(
+            out, pm::componentName(static_cast<pm::Component>(i)));
+        out += ": ";
+        appendU64(out, ns[i]);
+    }
+    if (!first) {
+        out += "\n";
+        out.append(indent, std::strlen(indent) - 2);
+    }
+    out += "}";
+}
+
+/** Append one trace event as a JSON object (shared by the trace tail
+ *  and the outliers' event slices). */
+void
+appendTraceEventJson(std::string &out, const TraceEvent &ev)
+{
+    out += "{\"seq\": ";
+    appendU64(out, ev.seq);
+    out += ", \"op\": ";
+    appendJsonString(out, traceOpName(ev.op));
+    out += ", \"engine\": ";
+    if (ev.engine)
+        appendJsonString(out, ev.engine);
+    else
+        out += "null";
+    out += ", \"detail\": ";
+    if (ev.detail)
+        appendJsonString(out, ev.detail);
+    else
+        out += "null";
+    out += ", \"page\": ";
+    appendU64(out, ev.pageId);
+    out += ", \"model_ns\": ";
+    appendU64(out, ev.modelNs);
+    out += ", \"duration_ns\": ";
+    appendU64(out, ev.durationNs);
+    out += "}";
+}
+
 /** Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*. */
 std::string
 promName(std::string_view name)
@@ -92,12 +167,12 @@ std::string
 exportJson(const std::string &benchName,
            const MetricsRegistry &registry, const PhaseLedger &ledger,
            const RecoveryLedger &recovery, const Tracer &tracer,
-           std::size_t maxTraceEvents)
+           std::size_t maxTraceEvents, const SpanProfiler *spans)
 {
     std::string out;
     out += "{\n  \"bench\": ";
     appendJsonString(out, benchName);
-    out += ",\n  \"schema_version\": 3";
+    out += ",\n  \"schema_version\": 4";
 
     out += ",\n  \"counters\": {";
     bool first = true;
@@ -243,6 +318,213 @@ exportJson(const std::string &benchName,
     }
     out += first ? "}" : "\n  }";
 
+    // Span-profiler sections (schema v4). Always present; a null
+    // profiler (or a metrics-off run) just renders them empty.
+    out += ",\n  \"spans\": {\"recorded\": ";
+    appendU64(out, spans != nullptr ? spans->spansRecorded() : 0);
+    out += ", \"ring_stats\": [";
+    if (spans != nullptr) {
+        auto srings = spans->ringStats();
+        for (std::size_t i = 0; i < srings.size(); ++i) {
+            const SpanRingStats &rs = srings[i];
+            out += i == 0 ? "\n" : ",\n";
+            out += "    {\"ring\": ";
+            appendU64(out, rs.ring);
+            out += ", \"capacity\": ";
+            appendU64(out, rs.capacity);
+            out += ", \"recorded\": ";
+            appendU64(out, rs.recorded);
+            out += ", \"dropped\": ";
+            appendU64(out, rs.dropped);
+            out += "}";
+        }
+        if (!srings.empty())
+            out += "\n  ";
+    }
+    out += "], \"engines\": {";
+    first = true;
+    if (spans != nullptr) {
+        for (const EngineSpanSummary &es : spans->engineSummaries()) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "    ";
+            appendJsonString(out,
+                             es.engine != nullptr ? es.engine : "?");
+            out += ": {\"spans\": ";
+            appendU64(out, es.spans);
+            out += ", \"commits\": ";
+            appendU64(out, es.commits);
+            out += ", \"aborts\": ";
+            appendU64(out, es.aborts);
+            out += ",\n      \"wall_ns\": ";
+            appendHistJson(out, es.wallNs);
+            out += ",\n      \"phase_ns\": ";
+            appendPhaseNsJson(out, es.phaseNs, "        ");
+            out += ",\n      \"latch_waits\": ";
+            appendU64(out, es.latchWaits);
+            out += ", \"latch_wait_ns\": ";
+            appendU64(out, es.latchWaitNs);
+            out += ", \"latch_conflicts\": ";
+            appendU64(out, es.latchConflicts);
+            out += ",\n      \"pcas_attempts\": ";
+            appendU64(out, es.pcasAttempts);
+            out += ", \"pcas_retries\": ";
+            appendU64(out, es.pcasRetries);
+            out += ", \"pcas_helps\": ";
+            appendU64(out, es.pcasHelps);
+            out += ",\n      \"flushes\": ";
+            appendU64(out, es.flushes);
+            out += ", \"fences\": ";
+            appendU64(out, es.fences);
+            out += ", \"model_ns\": ";
+            appendU64(out, es.modelNs);
+            out += ", \"wal_appends\": ";
+            appendU64(out, es.walAppends);
+            out += ",\n      \"splits\": ";
+            appendU64(out, es.splits);
+            out += ", \"defrags\": ";
+            appendU64(out, es.defrags);
+            out += ", \"page_accesses\": ";
+            appendU64(out, es.pageAccesses);
+            out += ", \"page_dirty\": ";
+            appendU64(out, es.pageDirty);
+            out += "}";
+        }
+    }
+    out += first ? "}}" : "\n  }}";
+
+    out += ",\n  \"latch_contention\": {\"total_waits\": ";
+    appendU64(out, spans != nullptr ? spans->totalLatchWaits() : 0);
+    out += ", \"total_conflicts\": ";
+    appendU64(out,
+              spans != nullptr ? spans->totalLatchConflicts() : 0);
+    out += ", \"contended_slots\": ";
+    appendU64(out, spans != nullptr ? spans->contendedSlotCount() : 0);
+    out += ", \"slots\": [";
+    if (spans != nullptr) {
+        auto slots = spans->latchContention();
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            const LatchSlotSummary &ls = slots[i];
+            out += i == 0 ? "\n" : ",\n";
+            out += "    {\"slot\": ";
+            appendU64(out, ls.slot);
+            out += ", \"waits\": ";
+            appendU64(out, ls.waits);
+            out += ", \"conflicts\": ";
+            appendU64(out, ls.conflicts);
+            out += ", \"wait_ns\": ";
+            appendU64(out, ls.waitNs);
+            out += ", \"hist\": ";
+            appendHistJson(out, ls.hist);
+            out += "}";
+        }
+        if (!slots.empty())
+            out += "\n  ";
+    }
+    out += "]}";
+
+    out += ",\n  \"page_heat\": {\"tracked\": ";
+    PageHeatSnapshot heat;
+    if (spans != nullptr)
+        heat = spans->pageHeat();
+    appendU64(out, heat.tracked);
+    out += ", \"overflow\": ";
+    appendU64(out, heat.overflow);
+    out += ", \"decays\": ";
+    appendU64(out, heat.decays);
+    out += ", \"top\": [";
+    for (std::size_t i = 0; i < heat.top.size(); ++i) {
+        const PageHeatEntry &pe = heat.top[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"page\": ";
+        appendU64(out, pe.page);
+        out += ", \"accesses\": ";
+        appendU64(out, pe.accesses);
+        out += ", \"dirty\": ";
+        appendU64(out, pe.dirty);
+        out += ", \"conflicts\": ";
+        appendU64(out, pe.conflicts);
+        out += "}";
+    }
+    if (!heat.top.empty())
+        out += "\n  ";
+    out += "]}";
+
+    out += ",\n  \"outliers\": [";
+    if (spans != nullptr) {
+        auto outl = spans->outliers();
+        for (std::size_t i = 0; i < outl.size(); ++i) {
+            const TxSpan &sp = outl[i].span;
+            out += i == 0 ? "\n" : ",\n";
+            out += "    {\"engine\": ";
+            appendJsonString(out,
+                             sp.engine != nullptr ? sp.engine : "?");
+            out += ", \"tx_id\": ";
+            appendU64(out, sp.txId);
+            out += ", \"committed\": ";
+            out += sp.committed ? "true" : "false";
+            out += ", \"commit_path\": ";
+            if (sp.commitPath != nullptr)
+                appendJsonString(out, sp.commitPath);
+            else
+                out += "null";
+            out += ",\n     \"wall_ns\": ";
+            appendU64(out, sp.wallNs);
+            out += ", \"model_ns\": ";
+            appendU64(out, sp.modelNs);
+            out += ", \"begin_ns\": ";
+            appendU64(out, sp.beginNs);
+            out += ",\n     \"phase_ns\": ";
+            appendPhaseNsJson(out, sp.phaseNs, "       ");
+            out += ",\n     \"latch_waits\": ";
+            appendU64(out, sp.latchWaits);
+            out += ", \"latch_wait_ns\": ";
+            appendU64(out, sp.latchWaitNs);
+            out += ", \"latch_conflicts\": ";
+            appendU64(out, sp.latchConflicts);
+            out += ", \"hot_latch_slot\": ";
+            appendU64(out, sp.hotLatchSlot);
+            out += ", \"hot_latch_wait_ns\": ";
+            appendU64(out, sp.hotLatchWaitNs);
+            out += ",\n     \"pcas_attempts\": ";
+            appendU64(out, sp.pcasAttempts);
+            out += ", \"pcas_retries\": ";
+            appendU64(out, sp.pcasRetries);
+            out += ", \"pcas_helps\": ";
+            appendU64(out, sp.pcasHelps);
+            out += ", \"flushes\": ";
+            appendU64(out, sp.flushes);
+            out += ", \"fences\": ";
+            appendU64(out, sp.fences);
+            out += ", \"wal_appends\": ";
+            appendU64(out, sp.walAppends);
+            out += ",\n     \"splits\": ";
+            appendU64(out, sp.splits);
+            out += ", \"defrags\": ";
+            appendU64(out, sp.defrags);
+            out += ", \"page_accesses\": ";
+            appendU64(out, sp.pageAccesses);
+            out += ", \"page_dirty\": ";
+            appendU64(out, sp.pageDirty);
+            out += ", \"seq_lo\": ";
+            appendU64(out, sp.seqLo);
+            out += ", \"seq_hi\": ";
+            appendU64(out, sp.seqHi);
+            out += ",\n     \"events\": [";
+            const auto &evs = outl[i].events;
+            for (std::size_t j = 0; j < evs.size(); ++j) {
+                out += j == 0 ? "\n      " : ",\n      ";
+                appendTraceEventJson(out, evs[j]);
+            }
+            if (!evs.empty())
+                out += "\n     ";
+            out += "]}";
+        }
+        if (!outl.empty())
+            out += "\n  ";
+    }
+    out += "]";
+
     out += ",\n  \"trace\": {\"recorded\": ";
     appendU64(out, tracer.totalRecorded());
     out += ", \"dropped\": ";
@@ -276,29 +558,8 @@ exportJson(const std::string &benchName,
         std::size_t start = events.size() > maxTraceEvents
             ? events.size() - maxTraceEvents : 0;
         for (std::size_t i = start; i < events.size(); ++i) {
-            const TraceEvent &ev = events[i];
-            out += (i == start) ? "\n" : ",\n";
-            out += "    {\"seq\": ";
-            appendU64(out, ev.seq);
-            out += ", \"op\": ";
-            appendJsonString(out, traceOpName(ev.op));
-            out += ", \"engine\": ";
-            if (ev.engine)
-                appendJsonString(out, ev.engine);
-            else
-                out += "null";
-            out += ", \"detail\": ";
-            if (ev.detail)
-                appendJsonString(out, ev.detail);
-            else
-                out += "null";
-            out += ", \"page\": ";
-            appendU64(out, ev.pageId);
-            out += ", \"model_ns\": ";
-            appendU64(out, ev.modelNs);
-            out += ", \"duration_ns\": ";
-            appendU64(out, ev.durationNs);
-            out += "}";
+            out += (i == start) ? "\n    " : ",\n    ";
+            appendTraceEventJson(out, events[i]);
         }
         if (start < events.size())
             out += "\n  ";
@@ -312,7 +573,8 @@ std::string
 exportPrometheus(const std::string &benchName,
                  const MetricsRegistry &registry,
                  const PhaseLedger &ledger,
-                 const RecoveryLedger &recovery, const Tracer &tracer)
+                 const RecoveryLedger &recovery, const Tracer &tracer,
+                 const SpanProfiler *spans)
 {
     std::string out;
     out += "# fasp metrics export, bench=\"" + promLabel(benchName)
@@ -415,6 +677,103 @@ exportPrometheus(const std::string &benchName,
         }
     }
 
+    if (spans != nullptr) {
+        // Span profiler: bounded series only — per-engine summaries
+        // (≤ 5 engines), the top contended latch slots (≤ 16), and
+        // the heat sketch's top pages (≤ 16). Unbounded data (full
+        // slot table, outlier timelines) stays JSON-only.
+        auto summaries = spans->engineSummaries();
+        if (!summaries.empty()) {
+            out += "# TYPE fasp_span_total counter\n";
+            for (const EngineSpanSummary &es : summaries) {
+                std::string eng = "engine=\""
+                    + promLabel(es.engine != nullptr ? es.engine : "?")
+                    + "\"";
+                out += "fasp_span_total{" + eng + "} "
+                    + std::to_string(es.spans) + "\n";
+                out += "fasp_span_commits{" + eng + "} "
+                    + std::to_string(es.commits) + "\n";
+                out += "fasp_span_aborts{" + eng + "} "
+                    + std::to_string(es.aborts) + "\n";
+                out += "fasp_span_wall_ns{" + eng
+                    + ",quantile=\"0.5\"} "
+                    + std::to_string(es.wallNs.p50) + "\n";
+                out += "fasp_span_wall_ns{" + eng
+                    + ",quantile=\"0.95\"} "
+                    + std::to_string(es.wallNs.p95) + "\n";
+                out += "fasp_span_wall_ns{" + eng
+                    + ",quantile=\"0.99\"} "
+                    + std::to_string(es.wallNs.p99) + "\n";
+                out += "fasp_span_wall_ns_sum{" + eng + "} "
+                    + std::to_string(es.wallNs.sum) + "\n";
+                out += "fasp_span_wall_ns_count{" + eng + "} "
+                    + std::to_string(es.wallNs.count) + "\n";
+                out += "fasp_span_wall_ns_max{" + eng + "} "
+                    + std::to_string(es.wallNs.max) + "\n";
+                for (std::size_t i = 0; i < kSpanComponents; ++i) {
+                    if (es.phaseNs[i] == 0)
+                        continue;
+                    out += "fasp_span_phase_ns{" + eng + ",phase=\""
+                        + promLabel(pm::componentName(
+                              static_cast<pm::Component>(i)))
+                        + "\"} " + std::to_string(es.phaseNs[i])
+                        + "\n";
+                }
+                out += "fasp_span_latch_wait_ns{" + eng + "} "
+                    + std::to_string(es.latchWaitNs) + "\n";
+                out += "fasp_span_pcas_retries{" + eng + "} "
+                    + std::to_string(es.pcasRetries) + "\n";
+                out += "fasp_span_wal_appends{" + eng + "} "
+                    + std::to_string(es.walAppends) + "\n";
+                out += "fasp_span_splits{" + eng + "} "
+                    + std::to_string(es.splits) + "\n";
+                out += "fasp_span_defrags{" + eng + "} "
+                    + std::to_string(es.defrags) + "\n";
+            }
+        }
+        out += "# TYPE fasp_latch_wait_total counter\n";
+        out += "fasp_latch_wait_total "
+            + std::to_string(spans->totalLatchWaits()) + "\n";
+        out += "fasp_latch_conflict_total "
+            + std::to_string(spans->totalLatchConflicts()) + "\n";
+        out += "fasp_latch_contended_slots "
+            + std::to_string(spans->contendedSlotCount()) + "\n";
+        for (const LatchSlotSummary &ls : spans->latchContention()) {
+            std::string labels =
+                "slot=\"" + std::to_string(ls.slot) + "\"";
+            out += "fasp_latch_slot_waits{" + labels + "} "
+                + std::to_string(ls.waits) + "\n";
+            out += "fasp_latch_slot_conflicts{" + labels + "} "
+                + std::to_string(ls.conflicts) + "\n";
+            out += "fasp_latch_slot_wait_ns_sum{" + labels + "} "
+                + std::to_string(ls.waitNs) + "\n";
+            out += "fasp_latch_slot_wait_ns{" + labels
+                + ",quantile=\"0.95\"} "
+                + std::to_string(ls.hist.p95) + "\n";
+            out += "fasp_latch_slot_wait_ns{" + labels
+                + ",quantile=\"0.99\"} "
+                + std::to_string(ls.hist.p99) + "\n";
+        }
+        PageHeatSnapshot heat = spans->pageHeat(16);
+        out += "# TYPE fasp_page_hot_accesses counter\n";
+        out += "fasp_page_hot_tracked "
+            + std::to_string(heat.tracked) + "\n";
+        out += "fasp_page_hot_overflow "
+            + std::to_string(heat.overflow) + "\n";
+        out += "fasp_page_hot_decays "
+            + std::to_string(heat.decays) + "\n";
+        for (const PageHeatEntry &pe : heat.top) {
+            std::string labels =
+                "page=\"" + std::to_string(pe.page) + "\"";
+            out += "fasp_page_hot_accesses{" + labels + "} "
+                + std::to_string(pe.accesses) + "\n";
+            out += "fasp_page_hot_dirty{" + labels + "} "
+                + std::to_string(pe.dirty) + "\n";
+            out += "fasp_page_hot_conflicts{" + labels + "} "
+                + std::to_string(pe.conflicts) + "\n";
+        }
+    }
+
     out += "# TYPE fasp_trace_recorded counter\n";
     out += "fasp_trace_recorded " +
         std::to_string(tracer.totalRecorded()) + "\n";
@@ -497,11 +856,14 @@ writeMetricsFile(const std::string &path, const std::string &benchName)
         body = exportPrometheus(benchName, MetricsRegistry::global(),
                                 PhaseLedger::global(),
                                 RecoveryLedger::global(),
-                                Tracer::global());
+                                Tracer::global(),
+                                &SpanProfiler::global());
     } else {
         body = exportJson(benchName, MetricsRegistry::global(),
                           PhaseLedger::global(),
-                          RecoveryLedger::global(), Tracer::global());
+                          RecoveryLedger::global(), Tracer::global(),
+                          /*maxTraceEvents=*/256,
+                          &SpanProfiler::global());
     }
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) {

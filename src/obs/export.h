@@ -1,10 +1,12 @@
 /**
  * @file
  * Exporters for the obs layer: JSON (machine-diffable, consumed by
- * tools/metrics_check and the golden-file ctest) and Prometheus text
- * exposition (scrape-ready). Both render the same data: the metrics
- * registry, the per-engine PM phase/site attribution ledger, and the
- * trace-ring summary plus a bounded tail of events (JSON only).
+ * tools/metrics_check, tools/fasp-profile, and the golden-file ctest)
+ * and Prometheus text exposition (scrape-ready). Both render the same
+ * data: the metrics registry, the per-engine PM phase/site attribution
+ * ledger, the trace-ring summary plus a bounded tail of events (JSON
+ * only), and the span profiler's per-engine summaries, latch
+ * contention profile, page-hotness sketch, and captured p99 outliers.
  */
 
 #ifndef FASP_OBS_EXPORT_H
@@ -13,29 +15,36 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace fasp::obs {
 
-/** Render everything as a JSON document (schema_version 3: adds the
- *  `core.pcas.*` abort-class counters billed by the PCAS commit path;
- *  v2 added the `recovery` section and per-ring `ring_stats`).
- *  @p maxTraceEvents
- *  bounds the embedded trace tail (0 = omit events, keep the
- *  summary). */
+/** Render everything as a JSON document (schema_version 4: adds the
+ *  span-profiler sections `spans`, `latch_contention`, `page_heat`,
+ *  and `outliers`; v3 added the `core.pcas.*` abort-class counters
+ *  billed by the PCAS commit path; v2 added the `recovery` section and
+ *  per-ring `ring_stats`). @p maxTraceEvents bounds the embedded trace
+ *  tail (0 = omit events, keep the summary). @p spans may be null: the
+ *  four profiler sections are still emitted, empty, so consumers can
+ *  rely on their presence. */
 std::string exportJson(const std::string &benchName,
                        const MetricsRegistry &registry,
                        const PhaseLedger &ledger,
                        const RecoveryLedger &recovery,
                        const Tracer &tracer,
-                       std::size_t maxTraceEvents = 256);
+                       std::size_t maxTraceEvents = 256,
+                       const SpanProfiler *spans = nullptr);
 
-/** Render everything as Prometheus text exposition format. */
+/** Render everything as Prometheus text exposition format. @p spans as
+ *  in exportJson(): null renders no fasp_span_* / fasp_latch_* /
+ *  fasp_page_hot_* series. */
 std::string exportPrometheus(const std::string &benchName,
                              const MetricsRegistry &registry,
                              const PhaseLedger &ledger,
                              const RecoveryLedger &recovery,
-                             const Tracer &tracer);
+                             const Tracer &tracer,
+                             const SpanProfiler *spans = nullptr);
 
 /** Render the trace rings as a chrome://tracing / Perfetto JSON
  *  document ("traceEvents" array of complete events; the global

@@ -36,6 +36,10 @@ roundUpPow2(std::size_t v)
     return p;
 }
 
+// Word 0 of a slot mid-overwrite. A real word 0 packs (seq << 8 | op)
+// with op < 16, so all-ones cannot collide until seq wraps 56 bits.
+constexpr std::uint64_t kSlotBusy = ~std::uint64_t{0};
+
 } // namespace
 
 TraceRing::TraceRing(std::size_t capacity)
@@ -47,7 +51,26 @@ void
 TraceRing::record(const TraceEvent &ev)
 {
     std::uint64_t head = head_.load(std::memory_order_relaxed);
-    slots_[head & mask_] = ev;
+    Slot &slot = slots_[head & mask_];
+    // Count the drop before the slot is clobbered so a reader racing a
+    // wrapping writer never under-counts the loss.
+    if (head >= capacity())
+        dropped_.fetch_add(1, std::memory_order_release);
+    // Seqlock-lite: mark the slot busy, write the payload with release
+    // stores (so the busy mark is ordered before every payload word a
+    // reader can observe), then publish the new (seq|op) word. A
+    // concurrent snapshot() re-reads word 0 after copying and discards
+    // the entry if it changed.
+    slot.words[0].store(kSlotBusy, std::memory_order_relaxed);
+    slot.words[1].store(reinterpret_cast<std::uintptr_t>(ev.engine),
+                        std::memory_order_release);
+    slot.words[2].store(reinterpret_cast<std::uintptr_t>(ev.detail),
+                        std::memory_order_release);
+    slot.words[3].store(ev.pageId, std::memory_order_release);
+    slot.words[4].store(ev.modelNs, std::memory_order_release);
+    slot.words[5].store(ev.durationNs, std::memory_order_release);
+    slot.words[0].store(packSeqOp(ev.seq, ev.op),
+                        std::memory_order_release);
     head_.store(head + 1, std::memory_order_release);
 }
 
@@ -58,8 +81,28 @@ TraceRing::snapshot() const
     std::uint64_t retained = std::min<std::uint64_t>(head, capacity());
     std::vector<TraceEvent> out;
     out.reserve(retained);
-    for (std::uint64_t i = head - retained; i < head; ++i)
-        out.push_back(slots_[i & mask_]);
+    for (std::uint64_t i = head - retained; i < head; ++i) {
+        const Slot &slot = slots_[i & mask_];
+        std::uint64_t w0 = slot.words[0].load(std::memory_order_acquire);
+        if (w0 == kSlotBusy)
+            continue;
+        TraceEvent ev;
+        ev.engine = reinterpret_cast<const char *>(
+            slot.words[1].load(std::memory_order_acquire));
+        ev.detail = reinterpret_cast<const char *>(
+            slot.words[2].load(std::memory_order_acquire));
+        ev.pageId = slot.words[3].load(std::memory_order_acquire);
+        ev.modelNs = slot.words[4].load(std::memory_order_acquire);
+        ev.durationNs = slot.words[5].load(std::memory_order_acquire);
+        // Torn-read check: if the slot was overwritten while we copied
+        // it, word 0 changed (seq is monotonic per ring, so ABA cannot
+        // occur) and the entry is discarded rather than returned torn.
+        if (slot.words[0].load(std::memory_order_acquire) != w0)
+            continue;
+        ev.seq = w0 >> 8;
+        ev.op = static_cast<TraceOp>(w0 & 0xff);
+        out.push_back(ev);
+    }
     return out;
 }
 
@@ -127,6 +170,18 @@ Tracer::record(TraceOp op, const char *engine, std::uint64_t pageId,
 }
 
 std::vector<TraceEvent>
+Tracer::threadEventsInWindow(std::uint64_t seqLo, std::uint64_t seqHi)
+{
+    std::vector<TraceEvent> events = threadRing().snapshot();
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &ev : events) {
+        if (ev.seq >= seqLo && ev.seq < seqHi)
+            out.push_back(ev);
+    }
+    return out;
+}
+
+std::vector<TraceEvent>
 Tracer::collect() const
 {
     std::vector<TraceEvent> out;
@@ -184,8 +239,11 @@ Tracer::ringStats() const
         stats.capacity = ring.capacity();
         stats.recorded = ring.recorded();
         stats.dropped = ring.dropped();
-        stats.retained = std::min<std::uint64_t>(ring.recorded(),
-                                                 ring.capacity());
+        // recorded is read before dropped, so a racing writer can only
+        // shrink the difference; clamp keeps the estimate conservative.
+        stats.retained = stats.recorded >= stats.dropped
+                             ? stats.recorded - stats.dropped
+                             : 0;
         out.push_back(stats);
     }
     return out;

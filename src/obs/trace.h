@@ -4,21 +4,25 @@
  * @file
  * Per-operation tracing: each recording thread owns a lock-free
  * single-writer ring buffer of fixed-size TraceEvents; a global
- * sequence number lets a quiescent reader merge the rings back into
- * one ordered timeline. Overflow overwrites the oldest events in the
- * writer's own ring (and counts them), so a hot thread can never block
- * or allocate on the record path.
+ * sequence number lets a reader merge the rings back into one ordered
+ * timeline. Overflow overwrites the oldest events in the writer's own
+ * ring (and counts them at overwrite time, with a monotonic drop
+ * counter), so a hot thread can never block or allocate on the record
+ * path.
  *
  * Thread safety: record() is safe from any thread (each thread writes
  * only its own ring; ring registration takes the Tracer mutex once per
- * thread). collect()/snapshot() are quiescent-only — call them after
- * the recording threads have been joined (the join provides the
- * happens-before edge that makes the ring contents visible).
+ * thread). collect()/snapshot() may run concurrently with writers: the
+ * slots are arrays of relaxed atomic words, and the reader re-checks
+ * the head after copying so an entry overwritten mid-read is discarded
+ * rather than returned torn. A quiescent collect (after joining the
+ * writers) still sees exactly the retained events.
  */
 
 #ifndef FASP_OBS_TRACE_H
 #define FASP_OBS_TRACE_H
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -62,7 +66,8 @@ struct TraceEvent
 
 /**
  * Fixed-capacity single-writer ring. The owning thread records; any
- * thread may read counters; snapshot() is quiescent-only.
+ * thread may read counters or snapshot concurrently (entries caught
+ * mid-overwrite are discarded, never returned torn).
  */
 class TraceRing
 {
@@ -79,26 +84,47 @@ class TraceRing
     /** Events ever recorded into this ring. */
     std::uint64_t recorded() const
     {
-        return head_.load(std::memory_order_relaxed);
+        return head_.load(std::memory_order_acquire);
     }
 
-    /** Events overwritten by wraparound (recorded - retained). */
+    /** Events overwritten by wraparound. Monotonic, counted at
+     *  overwrite time (before the head moves), so a reader racing a
+     *  wrapping writer can over- but never under-count the loss. */
     std::uint64_t dropped() const
     {
-        std::uint64_t n = recorded();
-        return n > capacity() ? n - capacity() : 0;
+        return dropped_.load(std::memory_order_acquire);
     }
 
-    /** Retained events, oldest first. Quiescent-only. */
+    /** Retained events, oldest first. Safe concurrently with the
+     *  writer; entries overwritten mid-copy are discarded. */
     std::vector<TraceEvent> snapshot() const;
 
     /** Forget all events. Quiescent-only. */
-    void reset() { head_.store(0, std::memory_order_relaxed); }
+    void reset()
+    {
+        head_.store(0, std::memory_order_relaxed);
+        dropped_.store(0, std::memory_order_relaxed);
+    }
 
   private:
-    std::vector<TraceEvent> slots_;
+    // One event packed into relaxed atomic words so a concurrent
+    // snapshot() is race-free under TSan; word 0 packs (seq << 8 | op).
+    static constexpr std::size_t kWordsPerSlot = 6;
+
+    struct Slot
+    {
+        std::array<std::atomic<std::uint64_t>, kWordsPerSlot> words{};
+    };
+
+    static std::uint64_t packSeqOp(std::uint64_t seq, TraceOp op)
+    {
+        return (seq << 8) | static_cast<std::uint64_t>(op);
+    }
+
+    std::vector<Slot> slots_;
     std::size_t mask_;
     std::atomic<std::uint64_t> head_{0};
+    std::atomic<std::uint64_t> dropped_{0};
 };
 
 /** Per-ring occupancy/drop summary (exported by obs/export.cc so a
@@ -134,8 +160,23 @@ class Tracer
                 std::uint64_t pageId = 0, const char *detail = nullptr,
                 std::uint64_t modelNs = 0, std::uint64_t durationNs = 0);
 
+    /** Next sequence number to be issued (events recorded so far carry
+     *  seq < currentSeq()). The span profiler brackets a transaction's
+     *  trace window with this. */
+    std::uint64_t currentSeq() const
+    {
+        return seq_.load(std::memory_order_relaxed);
+    }
+
+    /** Retained events of the *calling thread's* ring whose sequence
+     *  numbers fall in [seqLo, seqHi), oldest first. Lock-free reads of
+     *  the thread's own ring — safe on the hot path (outlier capture). */
+    std::vector<TraceEvent> threadEventsInWindow(std::uint64_t seqLo,
+                                                 std::uint64_t seqHi)
+        EXCLUDES(mu_);
+
     /** All retained events from every ring, merged by sequence number.
-     *  Quiescent-only. */
+     *  Safe concurrently with writers (see TraceRing::snapshot). */
     std::vector<TraceEvent> collect() const EXCLUDES(mu_);
 
     /** Events ever recorded, across all rings. */

@@ -1,8 +1,10 @@
 #include "pager/latch_table.h"
 
+#include <chrono>
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace fasp {
 
@@ -31,12 +33,21 @@ roundUpPow2(std::size_t v)
     return p;
 }
 
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 } // namespace
 
 // --- PageLatch ---------------------------------------------------------------
 
 bool
-PageLatch::tryAcquireShared()
+PageLatch::tryAcquireShared(std::uint32_t *spins)
 {
     if (mc::SchedulerHook *h = mc::activeHook()) {
         // Model-check path: spinning is pointless while every other
@@ -63,15 +74,19 @@ PageLatch::tryAcquireShared()
             state_.compare_exchange_weak(cur, cur + 1,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
+            if (spins)
+                *spins = static_cast<std::uint32_t>(i);
             return true;
         }
         relax(i);
     }
+    if (spins)
+        *spins = kSpinBudget;
     return false;
 }
 
 bool
-PageLatch::tryAcquireExclusive()
+PageLatch::tryAcquireExclusive(std::uint32_t *spins)
 {
     if (mc::SchedulerHook *h = mc::activeHook()) {
         h->atPoint(mc::HookOp::LatchAcquireExclusive, this, 1);
@@ -91,10 +106,14 @@ PageLatch::tryAcquireExclusive()
         if (state_.compare_exchange_weak(cur, -1,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
+            if (spins)
+                *spins = static_cast<std::uint32_t>(i);
             return true;
         }
         relax(i);
     }
+    if (spins)
+        *spins = kSpinBudget;
     return false;
 }
 
@@ -124,7 +143,20 @@ LatchTable::LatchTable(std::size_t stripes)
 bool
 LatchTable::tryAcquireShared(std::size_t slot)
 {
-    if (slots_[slot].tryAcquireShared()) {
+    bool ok;
+    if (obs::enabled()) {
+        // Wait-cycles hook: time the acquire, but report it only when
+        // it actually spun or failed — the uncontended first-try CAS
+        // is not a wait, and single-threaded runs stay silent.
+        std::uint32_t spins = 0;
+        std::uint64_t t0 = nowNs();
+        ok = slots_[slot].tryAcquireShared(&spins);
+        if (spins != 0 || !ok)
+            obs::spanLatchWait(slot, nowNs() - t0, !ok);
+    } else {
+        ok = slots_[slot].tryAcquireShared();
+    }
+    if (ok) {
         counters_.sharedAcquires.fetch_add(1,
                                            std::memory_order_relaxed);
         if (obs::enabled()) {
@@ -146,7 +178,17 @@ LatchTable::tryAcquireShared(std::size_t slot)
 bool
 LatchTable::tryAcquireExclusive(std::size_t slot)
 {
-    if (slots_[slot].tryAcquireExclusive()) {
+    bool ok;
+    if (obs::enabled()) {
+        std::uint32_t spins = 0;
+        std::uint64_t t0 = nowNs();
+        ok = slots_[slot].tryAcquireExclusive(&spins);
+        if (spins != 0 || !ok)
+            obs::spanLatchWait(slot, nowNs() - t0, !ok);
+    } else {
+        ok = slots_[slot].tryAcquireExclusive();
+    }
+    if (ok) {
         counters_.exclusiveAcquires.fetch_add(
             1, std::memory_order_relaxed);
         if (obs::enabled()) {
@@ -168,7 +210,18 @@ LatchTable::tryAcquireExclusive(std::size_t slot)
 bool
 LatchTable::tryUpgrade(std::size_t slot)
 {
-    if (slots_[slot].tryUpgrade()) {
+    bool ok;
+    if (obs::enabled()) {
+        // Upgrade never spins: a failure is an immediate conflict, so
+        // only the failing path reports (wait ≈ one CAS).
+        std::uint64_t t0 = nowNs();
+        ok = slots_[slot].tryUpgrade();
+        if (!ok)
+            obs::spanLatchWait(slot, nowNs() - t0, true);
+    } else {
+        ok = slots_[slot].tryUpgrade();
+    }
+    if (ok) {
         counters_.upgrades.fetch_add(1, std::memory_order_relaxed);
         if (obs::enabled()) {
             static obs::Counter &c = obs::MetricsRegistry::global()

@@ -85,12 +85,17 @@ class alignas(64) CAPABILITY("latch") PageLatch
     PageLatch &operator=(const PageLatch &) = delete;
 
     /** Try to take the latch shared; false once the spin budget runs
-     *  out (a writer holds it). */
-    bool tryAcquireShared() TRY_ACQUIRE_SHARED(true);
+     *  out (a writer holds it). If @p spins is non-null it receives the
+     *  number of failed CAS iterations before the outcome (0 = took the
+     *  latch first try), which is how the span profiler distinguishes a
+     *  contended acquire worth timing from the uncontended fast path. */
+    bool tryAcquireShared(std::uint32_t *spins = nullptr)
+        TRY_ACQUIRE_SHARED(true);
 
     /** Try to take the latch exclusive; false once the spin budget
-     *  runs out. */
-    bool tryAcquireExclusive() TRY_ACQUIRE(true);
+     *  runs out. @p spins as in tryAcquireShared(). */
+    bool tryAcquireExclusive(std::uint32_t *spins = nullptr)
+        TRY_ACQUIRE(true);
 
     /** Atomically upgrade shared→exclusive, succeeding only if the
      *  caller is the sole reader (1 → -1). No spin: failure means a

@@ -28,6 +28,13 @@ thread_local const char *t_site = nullptr;
 /** Calling thread's modelled-latency accumulator (see threadModelNs). */
 thread_local std::uint64_t t_modelNs = 0;
 
+/** Monotonic per-thread persistence counters (see threadFlushCount).
+ *  Unlike t_modelNs these are never reset: readers take deltas, so the
+ *  span profiler and the bench layer cannot clobber each other. */
+thread_local std::uint64_t t_flushTotal = 0;
+thread_local std::uint64_t t_fenceTotal = 0;
+thread_local std::uint64_t t_persistModelNs = 0;
+
 } // namespace
 
 PmDevice::PmDevice(const PmConfig &config)
@@ -70,11 +77,30 @@ PmDevice::resetThreadModelNs()
     t_modelNs = 0;
 }
 
+std::uint64_t
+PmDevice::threadFlushCount()
+{
+    return t_flushTotal;
+}
+
+std::uint64_t
+PmDevice::threadFenceCount()
+{
+    return t_fenceTotal;
+}
+
+std::uint64_t
+PmDevice::threadPersistModelNs()
+{
+    return t_persistModelNs;
+}
+
 void
 PmDevice::chargeModelNs(std::uint64_t ns)
 {
     stats_.modelNs.fetch_add(ns, std::memory_order_relaxed);
     t_modelNs += ns;
+    t_persistModelNs += ns;
     if (PhaseTracker *trk = phaseTracker())
         trk->addModelNs(ns);
     if (PmEventObserver *obs = observer())
@@ -406,6 +432,7 @@ PmDevice::clflush(PmOffset off)
     }
 
     stats_.clflushes.fetch_add(1, std::memory_order_relaxed);
+    ++t_flushTotal;
     chargeModelNs(config_.latency.pmWriteNs);
     if (PhaseTracker *trk = phaseTracker())
         trk->countFlush();
@@ -437,6 +464,7 @@ PmDevice::sfence()
     mc::HookDepthGuard hook_depth;
     std::uint64_t index = raiseEvent(PmEvent::Fence);
     stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    ++t_fenceTotal;
     chargeModelNs(config_.latency.fenceNs);
     if (PhaseTracker *trk = phaseTracker())
         trk->countFence();

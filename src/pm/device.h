@@ -431,6 +431,19 @@ class PmDevice
     /** Zero the calling thread's modelled-latency accumulator. */
     static void resetThreadModelNs();
 
+    /** Monotonic clflush count issued by the *calling thread* since
+     *  thread start, across every device. Never reset — readers take
+     *  deltas, so the span profiler's brackets cannot be clobbered by
+     *  other consumers (unlike threadModelNs). */
+    static std::uint64_t threadFlushCount();
+
+    /** Monotonic sfence count issued by the calling thread. */
+    static std::uint64_t threadFenceCount();
+
+    /** Monotonic modelled-latency total charged to the calling thread
+     *  (the never-reset twin of threadModelNs). */
+    static std::uint64_t threadPersistModelNs();
+
     /** Forget which lines the simulated CPU cache holds, so the next
      *  read of every line is a miss (used between benchmark phases). */
     void invalidateTagCache();

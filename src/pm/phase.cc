@@ -1,5 +1,7 @@
 #include "pm/phase.h"
 
+#include <atomic>
+
 #include "common/logging.h"
 
 namespace fasp::pm {
@@ -18,6 +20,10 @@ struct ThreadComponentStack
 
 thread_local ThreadComponentStack t_components;
 
+/** Span-profiler observer; relaxed loads keep the uninstalled cost at
+ *  one predictable branch per push/pop. */
+std::atomic<detail::PhaseHook> g_phaseHook{nullptr};
+
 } // namespace
 
 Component
@@ -34,6 +40,8 @@ pushThreadComponent(Component comp)
     auto &s = t_components;
     FASP_ASSERT(s.depth + 1 < ThreadComponentStack::kMaxDepth);
     s.stack[++s.depth] = comp;
+    if (PhaseHook hook = g_phaseHook.load(std::memory_order_relaxed))
+        hook(comp, true);
 }
 
 void
@@ -42,6 +50,14 @@ popThreadComponent()
     auto &s = t_components;
     FASP_ASSERT(s.depth > 0);
     --s.depth;
+    if (PhaseHook hook = g_phaseHook.load(std::memory_order_relaxed))
+        hook(s.stack[s.depth], false);
+}
+
+void
+setPhaseHook(PhaseHook hook)
+{
+    g_phaseHook.store(hook, std::memory_order_relaxed);
 }
 
 } // namespace detail

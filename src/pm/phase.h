@@ -60,6 +60,18 @@ Component currentThreadComponent();
 namespace detail {
 void pushThreadComponent(Component comp);
 void popThreadComponent();
+
+/**
+ * Observer invoked with the new innermost component whenever the
+ * calling thread's PhaseScope nesting changes (after a push or pop;
+ * @p entered is true for a push). Installed once, process-wide, by the
+ * obs span profiler so it can settle per-transaction sub-phase time
+ * without pm depending on obs; nullptr (the default) disables it. The
+ * hook must be cheap and re-entrancy free: it runs on the engines' hot
+ * paths.
+ */
+using PhaseHook = void (*)(Component newTop, bool entered);
+void setPhaseHook(PhaseHook hook);
 } // namespace detail
 
 /**

@@ -3,12 +3,15 @@
  * Unit and stress tests of the observability layer: histogram bucket
  * boundaries / quantiles / merge, registry stability, trace-ring
  * overflow and wraparound, PM-event attribution (phase + site tables,
- * slot overflow), and concurrent recording from many threads (the
- * TSan-stress half of ISSUE 4 satellite 3).
+ * slot overflow), concurrent recording from many threads (the
+ * TSan-stress half of ISSUE 4 satellite 3), and the span profiler
+ * (ring accounting, contention/heat folding, outlier reservoir,
+ * metrics-off negative path).
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "pm/phase.h"
 
@@ -400,6 +404,204 @@ TEST(ObsStressTest, ConcurrentRecordingFromManyThreads)
               tracer.totalRecorded());
     for (std::size_t i = 1; i < events.size(); ++i)
         EXPECT_GE(events[i].seq, events[i - 1].seq);
+}
+
+// --- TraceRing overrun under concurrent collect --------------------------
+
+// Regression: drop accounting is settled at overwrite time, so a
+// reader racing a wrapping writer must always observe
+// dropped <= recorded with the difference bounded by the capacity,
+// and must never surface a torn event (seq and payload disagreeing).
+TEST(TraceRingTest, OverrunUnderConcurrentCollectKeepsAccounting)
+{
+    constexpr std::uint64_t kWrites = 50000;
+    Tracer tracer(16);
+    std::atomic<bool> writing{true};
+
+    std::thread writer([&] {
+        for (std::uint64_t i = 0; i < kWrites; ++i)
+            tracer.record(TraceOp::TxCommit, "FAST", i);
+        writing.store(false, std::memory_order_release);
+    });
+
+    while (writing.load(std::memory_order_acquire)) {
+        auto stats = tracer.ringStats();
+        for (const TraceRingStats &s : stats) {
+            EXPECT_LE(s.dropped, s.recorded);
+            EXPECT_LE(s.retained, s.capacity);
+        }
+        for (const TraceEvent &ev : tracer.collect())
+            EXPECT_LT(ev.pageId, kWrites);
+    }
+    writer.join();
+
+    EXPECT_EQ(tracer.totalRecorded(), kWrites);
+    EXPECT_EQ(tracer.totalDropped(), kWrites - 16);
+    auto stats = tracer.ringStats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].retained, 16u);
+    auto events = tracer.collect();
+    EXPECT_EQ(events.size(), 16u);
+    for (const TraceEvent &ev : events)
+        EXPECT_EQ(ev.pageId, kWrites - 16 + (ev.seq - events[0].seq));
+}
+
+// --- Span profiler -------------------------------------------------------
+
+TEST(SpanProfilerTest, ReservoirKeepsSlowestAndLatchHistMerges)
+{
+    SpanProfiler prof;
+    for (std::uint64_t i = 1; i <= kOutliersPerEngine + 4; ++i) {
+        TxSpan span;
+        span.txId = i;
+        span.engine = "FAST";
+        span.engineCode = 1;
+        span.committed = true;
+        span.wallNs = i * 1000;
+        span.phaseNs[0] = i * 1000;
+        prof.recordSpan(span, {});
+    }
+    auto outs = prof.outliers();
+    ASSERT_EQ(outs.size(), kOutliersPerEngine);
+    // The slowest survive; the first (fastest) spans were evicted.
+    for (const SpanOutlier &o : outs)
+        EXPECT_GE(o.span.txId, 5u);
+    // A span at the floor no longer qualifies as a candidate.
+    TxSpan slow;
+    slow.engineCode = 1;
+    slow.wallNs = 5000;
+    EXPECT_FALSE(prof.outlierCandidate(slow));
+    slow.wallNs = 50000;
+    EXPECT_TRUE(prof.outlierCandidate(slow));
+
+    prof.recordLatchWait(3, 100, false);
+    prof.recordLatchWait(900, 70000, true);
+    EXPECT_EQ(prof.totalLatchWaits(), 2u);
+    EXPECT_EQ(prof.totalLatchConflicts(), 1u);
+    EXPECT_EQ(prof.contendedSlotCount(), 2u);
+    HistogramSnapshot merged = prof.latchWaitHist();
+    EXPECT_EQ(merged.count, 2u);
+    EXPECT_EQ(merged.max, 70000u);
+    prof.resetLatchContention();
+    EXPECT_EQ(prof.totalLatchWaits(), 0u);
+    EXPECT_EQ(prof.latchWaitHist().count, 0u);
+    // Contention reset leaves spans and outliers alone.
+    EXPECT_EQ(prof.outliers().size(), kOutliersPerEngine);
+}
+
+// 8-thread stress over the span rings, contention aggregates, and the
+// heat sketch, with a concurrent snapshot reader (run under TSan in
+// CI). Invariant checked after the join: every recorded span is
+// accounted for — per ring, retained spans + dropped == recorded.
+TEST(ObsStressTest, SpanRingAndHeatSketchConcurrent)
+{
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kSpansPerThread = 2000;
+
+    SpanProfiler prof;
+    std::atomic<bool> writing{true};
+
+    std::thread reader([&] {
+        while (writing.load(std::memory_order_acquire)) {
+            (void)prof.engineSummaries();
+            (void)prof.latchContention();
+            (void)prof.latchWaitHist();
+            (void)prof.pageHeat();
+            (void)prof.outliers();
+            (void)prof.ringStats();
+            (void)prof.spansRecorded();
+        }
+    });
+
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+                TxSpan span;
+                span.txId = t * kSpansPerThread + i;
+                span.engine = "FAST";
+                span.engineCode = 1;
+                span.committed = i % 7 != 0;
+                span.wallNs = 100 + (span.txId % 9000);
+                span.phaseNs[0] = span.wallNs;
+                span.latchWaits = 1;
+                span.latchWaitNs = 50;
+                prof.recordSpan(span, {});
+                prof.recordLatchWait(t * 100 + (i % 3), 50,
+                                     i % 11 == 0);
+                prof.recordPageAccess(i % 300, i % 2 == 0);
+                if (i % 13 == 0)
+                    prof.recordPageConflict(i % 300);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    writing.store(false, std::memory_order_release);
+    reader.join();
+
+    constexpr std::uint64_t kSpans = kThreads * kSpansPerThread;
+    EXPECT_EQ(prof.spansRecorded(), kSpans);
+
+    auto engines = prof.engineSummaries();
+    ASSERT_EQ(engines.size(), 1u);
+    EXPECT_EQ(engines[0].spans, kSpans);
+    EXPECT_EQ(engines[0].commits + engines[0].aborts, kSpans);
+    EXPECT_EQ(engines[0].wallNs.count, kSpans);
+    EXPECT_EQ(engines[0].latchWaits, kSpans);
+
+    auto stats = prof.ringStats();
+    ASSERT_EQ(stats.size(), kThreads);
+    std::uint64_t recorded = 0;
+    for (const SpanRingStats &s : stats) {
+        std::uint64_t retained =
+            std::min<std::uint64_t>(s.recorded, s.capacity);
+        EXPECT_EQ(retained + s.dropped, s.recorded);
+        recorded += s.recorded;
+    }
+    EXPECT_EQ(recorded, kSpans);
+
+    EXPECT_EQ(prof.totalLatchWaits(), kSpans);
+    EXPECT_EQ(prof.latchWaitHist().count, kSpans);
+
+    PageHeatSnapshot heat = prof.pageHeat(kPageHeatSlots);
+    EXPECT_LE(heat.tracked, kPageHeatSlots);
+    std::uint64_t heat_hits = 0;
+    for (const PageHeatEntry &e : heat.top)
+        heat_hits += e.accesses;
+    // Decay halves counts, so only a loose lower bound holds; every
+    // access either landed in a cell or was counted as overflow.
+    EXPECT_GT(heat_hits + heat.overflow, 0u);
+
+    auto outs = prof.outliers();
+    EXPECT_EQ(outs.size(), kOutliersPerEngine);
+    for (const SpanOutlier &o : outs)
+        EXPECT_GE(o.span.wallNs, 100u);
+}
+
+// Negative path: with metrics off, the span free functions must leave
+// the global profiler untouched — no spans, no outliers, no latch or
+// heat folding (the "--metrics off ⇒ empty outlier capture" check).
+TEST(SpanProfilerTest, MetricsOffRecordsNothing)
+{
+    ASSERT_FALSE(enabled());
+    SpanProfiler &prof = SpanProfiler::global();
+    std::uint64_t spans0 = prof.spansRecorded();
+    std::size_t outliers0 = prof.outliers().size();
+    std::uint64_t waits0 = prof.totalLatchWaits();
+
+    spanBegin("FAST", 1, 42);
+    spanPageAccess(7, true);
+    spanLatchWait(3, 5000, true);
+    spanSplit();
+    spanDefrag();
+    spanPageConflict(7);
+    spanEnd(true, "in-place");
+
+    EXPECT_EQ(prof.spansRecorded(), spans0);
+    EXPECT_EQ(prof.outliers().size(), outliers0);
+    EXPECT_EQ(prof.totalLatchWaits(), waits0);
+    EXPECT_EQ(outliers0, 0u);
 }
 
 } // namespace

@@ -1,0 +1,44 @@
+# Determinism test: two runs of the seeded single-client fig12 smoke
+# must render byte-identical `fasp-profile --stable` reports. This is
+# what keeps the stable report honest — if a wall-clock or
+# scheduling-dependent field ever leaks into it (or into the
+# deterministic metrics fields it reads), the second run diverges.
+
+execute_process(
+    COMMAND ${FIG12_BIN} --smoke --metrics=${WORK_DIR}/det1.json
+    OUTPUT_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fig12 run 1 exited with ${rc}")
+endif()
+execute_process(
+    COMMAND ${FIG12_BIN} --smoke --metrics=${WORK_DIR}/det2.json
+    OUTPUT_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fig12 run 2 exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${PROFILE_BIN} --stable ${WORK_DIR}/det1.json
+    OUTPUT_VARIABLE stable1 RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fasp-profile --stable run 1 exited with ${rc}")
+endif()
+execute_process(
+    COMMAND ${PROFILE_BIN} --stable ${WORK_DIR}/det2.json
+    OUTPUT_VARIABLE stable2 RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fasp-profile --stable run 2 exited with ${rc}")
+endif()
+
+if(NOT stable1 STREQUAL stable2)
+    file(WRITE ${WORK_DIR}/det1.stable.txt "${stable1}")
+    file(WRITE ${WORK_DIR}/det2.stable.txt "${stable2}")
+    message(FATAL_ERROR
+        "fasp-profile --stable diverged across two seeded runs; "
+        "compare ${WORK_DIR}/det1.stable.txt vs det2.stable.txt")
+endif()
+
+# The report must actually carry data, or determinism is vacuous.
+if(NOT stable1 MATCHES "spans=" OR stable1 MATCHES "spans=0 ")
+    message(FATAL_ERROR "stable report carries no spans:\n${stable1}")
+endif()

@@ -1,0 +1,59 @@
+# Shape test for fasp-profile: run all three render modes over the
+# export-demo golden (a deterministic schema-v4 document with spans,
+# contention, heat, and outliers) and assert each output carries the
+# expected structure.
+
+function(require_match text pattern what)
+    if(NOT text MATCHES "${pattern}")
+        message(FATAL_ERROR "fasp-profile ${what}: missing '${pattern}'")
+    endif()
+endfunction()
+
+# Text report.
+execute_process(
+    COMMAND ${PROFILE_BIN} ${GOLDEN_JSON}
+    OUTPUT_VARIABLE report RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fasp-profile exited with ${rc}")
+endif()
+require_match("${report}" "== transaction spans ==" "report")
+require_match("${report}" "== latch contention ==" "report")
+require_match("${report}" "== page heat" "report")
+require_match("${report}" "== p99 outliers ==" "report")
+require_match("${report}" "FAST" "report")
+require_match("${report}" "log-flush" "report")
+require_match("${report}" "hot_slot=17" "report")
+
+# Stable report: no wall-clock fields may leak through.
+execute_process(
+    COMMAND ${PROFILE_BIN} --stable ${GOLDEN_JSON}
+    OUTPUT_VARIABLE stable RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fasp-profile --stable exited with ${rc}")
+endif()
+require_match("${stable}" "captured=" "--stable")
+if(stable MATCHES "wall p50" OR stable MATCHES "hot_slot")
+    message(FATAL_ERROR "fasp-profile --stable leaks timing fields")
+endif()
+
+# JSON artifact.
+execute_process(
+    COMMAND ${PROFILE_BIN} --json ${GOLDEN_JSON}
+    OUTPUT_VARIABLE artifact RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fasp-profile --json exited with ${rc}")
+endif()
+require_match("${artifact}" "\"tool\": \"fasp-profile\"" "--json")
+require_match("${artifact}" "\"dominant_phase\": \"log-flush\"" "--json")
+
+# chrome://tracing document.
+execute_process(
+    COMMAND ${PROFILE_BIN} --trace=${WORK_DIR}/outliers.trace.json
+        ${GOLDEN_JSON}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fasp-profile --trace exited with ${rc}")
+endif()
+file(READ ${WORK_DIR}/outliers.trace.json trace)
+require_match("${trace}" "traceEvents" "--trace")
+require_match("${trace}" "\"ph\": \"X\"" "--trace")

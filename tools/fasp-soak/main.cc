@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "soak.h"
 
 using namespace fasp;
@@ -40,6 +42,8 @@ usage(const char *argv0)
         "  --seed=N        RNG seed (default 1)\n"
         "  --smoke         small budget (120 ops/round, 120 preload)\n"
         "  --json=PATH     write a JSON summary\n"
+        "  --metrics=PATH  enable the obs layer (span profiler "
+        "included) and write the metrics export here\n"
         "  --dump-dir=DIR  dump failing PM images here\n"
         "  --inject=drop-flush[:N]  must-fail mode: silently drop every "
         "Nth flush (default N=9)\n"
@@ -81,6 +85,7 @@ main(int argc, char **argv)
     soak::SoakOptions opt;
     std::vector<core::EngineKind> engines = {core::EngineKind::Fast};
     std::string json_path;
+    std::string metrics_path;
     bool smoke = false;
     bool rounds_given = false;
 
@@ -110,6 +115,9 @@ main(int argc, char **argv)
             smoke = true;
         } else if (const char *v = value("--json")) {
             json_path = v;
+        } else if (const char *v = value("--metrics")) {
+            metrics_path = v;
+            obs::setEnabled(true);
         } else if (const char *v = value("--dump-dir")) {
             opt.dumpDir = v;
         } else if (const char *v = value("--inject")) {
@@ -166,6 +174,8 @@ main(int argc, char **argv)
         std::ofstream out(json_path, std::ios::trunc);
         out << json;
     }
+    if (!metrics_path.empty())
+        obs::writeMetricsFile(metrics_path, "fasp_soak");
     std::printf("fasp-soak: TOTAL rounds=%llu violations=%llu -> %s\n",
                 static_cast<unsigned long long>(total_rounds),
                 static_cast<unsigned long long>(total_violations),

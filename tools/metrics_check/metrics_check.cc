@@ -10,7 +10,9 @@
  *    the CI bench-smoke artifacts;
  *  - the --metrics export: schema_version, counters / gauges /
  *    histograms (complete summary fields), pm_phases / pm_sites /
- *    recovery / trace (incl. ring_stats) sections.
+ *    recovery / trace (incl. ring_stats) sections, and the span
+ *    profiler's spans / latch_contention / page_heat / outliers
+ *    sections (schema v4).
  *
  * With --fig8, additionally asserts that the export alone reproduces
  * the paper's Figure-8 commit breakdown for FAST / FASH / NVWAL:
@@ -153,7 +155,7 @@ checkMetricsSchema(const JsonValue &doc)
         requireField(doc, "schema_version", JsonValue::Number,
                      "metrics");
     if (version)
-        check(version->number == 3, "metrics: schema_version != 3");
+        check(version->number == 4, "metrics: schema_version != 4");
 
     const JsonValue *counters =
         requireField(doc, "counters", JsonValue::Object, "metrics");
@@ -227,6 +229,106 @@ checkMetricsSchema(const JsonValue &doc)
                      {"count", "sum", "p50", "p95"})
                     requireField(h, field, JsonValue::Number, pw);
             }
+        }
+    }
+
+    // Span-profiler sections (schema v4). Present even in a
+    // metrics-off run (empty), so their absence is always a schema
+    // break, never a workload artifact.
+    const JsonValue *spans =
+        requireField(doc, "spans", JsonValue::Object, "metrics");
+    if (spans) {
+        requireField(*spans, "recorded", JsonValue::Number, "spans");
+        requireField(*spans, "ring_stats", JsonValue::Array, "spans");
+        const JsonValue *engines = requireField(
+            *spans, "engines", JsonValue::Object, "spans");
+        if (engines) {
+            for (const auto &[engine, es] : engines->fields) {
+                std::string where = "spans.engines." + engine;
+                if (!check(es.kind == JsonValue::Object,
+                           where + ": not an object"))
+                    continue;
+                for (const char *field :
+                     {"spans", "commits", "aborts", "latch_waits",
+                      "latch_wait_ns", "latch_conflicts",
+                      "pcas_attempts", "pcas_retries", "pcas_helps",
+                      "flushes", "fences", "model_ns", "wal_appends",
+                      "splits", "defrags", "page_accesses",
+                      "page_dirty"})
+                    requireField(es, field, JsonValue::Number, where);
+                const JsonValue *wall = requireField(
+                    es, "wall_ns", JsonValue::Object, where);
+                if (wall) {
+                    for (const char *field :
+                         {"count", "sum", "max", "p50", "p95", "p99"})
+                        requireField(*wall, field, JsonValue::Number,
+                                     where + ".wall_ns");
+                }
+                requireField(es, "phase_ns", JsonValue::Object, where);
+            }
+        }
+    }
+
+    const JsonValue *latch = requireField(
+        doc, "latch_contention", JsonValue::Object, "metrics");
+    if (latch) {
+        for (const char *field :
+             {"total_waits", "total_conflicts", "contended_slots"})
+            requireField(*latch, field, JsonValue::Number,
+                         "latch_contention");
+        const JsonValue *slots = requireField(
+            *latch, "slots", JsonValue::Array, "latch_contention");
+        if (slots) {
+            for (const JsonValue &ls : slots->items) {
+                if (!check(ls.kind == JsonValue::Object,
+                           "latch_contention slot not an object"))
+                    continue;
+                for (const char *field :
+                     {"slot", "waits", "conflicts", "wait_ns"})
+                    requireField(ls, field, JsonValue::Number,
+                                 "latch_contention slot");
+                requireField(ls, "hist", JsonValue::Object,
+                             "latch_contention slot");
+            }
+        }
+    }
+
+    const JsonValue *heat =
+        requireField(doc, "page_heat", JsonValue::Object, "metrics");
+    if (heat) {
+        for (const char *field : {"tracked", "overflow", "decays"})
+            requireField(*heat, field, JsonValue::Number, "page_heat");
+        const JsonValue *top = requireField(
+            *heat, "top", JsonValue::Array, "page_heat");
+        if (top) {
+            for (const JsonValue &pe : top->items) {
+                if (!check(pe.kind == JsonValue::Object,
+                           "page_heat entry not an object"))
+                    continue;
+                for (const char *field :
+                     {"page", "accesses", "dirty", "conflicts"})
+                    requireField(pe, field, JsonValue::Number,
+                                 "page_heat entry");
+            }
+        }
+    }
+
+    const JsonValue *outliers =
+        requireField(doc, "outliers", JsonValue::Array, "metrics");
+    if (outliers) {
+        for (const JsonValue &o : outliers->items) {
+            if (!check(o.kind == JsonValue::Object,
+                       "outlier not an object"))
+                continue;
+            requireField(o, "engine", JsonValue::String, "outlier");
+            requireField(o, "committed", JsonValue::Bool, "outlier");
+            for (const char *field :
+                 {"tx_id", "wall_ns", "model_ns", "latch_waits",
+                  "latch_wait_ns", "pcas_retries", "flushes", "fences",
+                  "wal_appends", "seq_lo", "seq_hi"})
+                requireField(o, field, JsonValue::Number, "outlier");
+            requireField(o, "phase_ns", JsonValue::Object, "outlier");
+            requireField(o, "events", JsonValue::Array, "outlier");
         }
     }
 

@@ -14,6 +14,7 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "pm/phase.h"
 
@@ -85,10 +86,82 @@ main(int argc, char **argv)
     tracer.record(obs::TraceOp::Recovery, "NVWAL", 0, nullptr, 0,
                   52000);
 
-    std::string json = obs::exportJson("obs_export_demo", registry,
-                                       ledger, recovery, tracer, 8);
+    // Span-profiler fixture (schema v4 sections): two FAST spans (one
+    // slow enough to be captured as an outlier, with a trace slice),
+    // one NVWAL span, a contended latch slot, and a few hot pages.
+    obs::SpanProfiler profiler;
+    obs::TxSpan fast_fast;
+    fast_fast.txId = 6;
+    fast_fast.engine = "FAST";
+    fast_fast.engineCode = 1;
+    fast_fast.committed = true;
+    fast_fast.commitPath = "in-place";
+    fast_fast.wallNs = 4000;
+    fast_fast.modelNs = 750;
+    fast_fast.phaseNs[0] = 2500; // untagged
+    fast_fast.phaseNs[static_cast<std::size_t>(
+        pm::Component::Atomic64BWrite)] = 1500;
+    fast_fast.flushes = 1;
+    fast_fast.fences = 1;
+    fast_fast.pageAccesses = 2;
+    fast_fast.pcasAttempts = 1;
+    profiler.recordSpan(fast_fast, {});
+
+    obs::TxSpan fast_slow;
+    fast_slow.txId = 7;
+    fast_slow.engine = "FAST";
+    fast_slow.engineCode = 1;
+    fast_slow.committed = true;
+    fast_slow.commitPath = "logged";
+    fast_slow.wallNs = 90000;
+    fast_slow.modelNs = 52000;
+    fast_slow.phaseNs[0] = 8000;
+    fast_slow.phaseNs[static_cast<std::size_t>(
+        pm::Component::LogFlush)] = 70000;
+    fast_slow.phaseNs[static_cast<std::size_t>(
+        pm::Component::Checkpoint)] = 12000;
+    fast_slow.latchWaits = 2;
+    fast_slow.latchWaitNs = 3000;
+    fast_slow.hotLatchSlot = 17;
+    fast_slow.hotLatchWaitNs = 2000;
+    fast_slow.flushes = 9;
+    fast_slow.fences = 3;
+    fast_slow.walAppends = 2;
+    fast_slow.splits = 1;
+    fast_slow.pageAccesses = 5;
+    fast_slow.pageDirty = 3;
+    fast_slow.seqLo = 1;
+    fast_slow.seqHi = 3;
+    profiler.recordSpan(
+        fast_slow,
+        {{1, obs::TraceOp::TxFallback, "FAST", nullptr, 7, 0, 120},
+         {2, obs::TraceOp::TxCommit, "FAST", "logged", 7, 52000,
+          900}});
+
+    obs::TxSpan nvwal_span;
+    nvwal_span.txId = 9;
+    nvwal_span.engine = "NVWAL";
+    nvwal_span.engineCode = 3;
+    nvwal_span.committed = false;
+    nvwal_span.wallNs = 1200;
+    nvwal_span.phaseNs[0] = 1200;
+    nvwal_span.pageAccesses = 1;
+    profiler.recordSpan(nvwal_span, {});
+
+    profiler.recordLatchWait(17, 2000, false);
+    profiler.recordLatchWait(17, 1000, false);
+    profiler.recordLatchWait(40, 500, true);
+    for (int i = 0; i < 6; ++i)
+        profiler.recordPageAccess(3, i % 2 == 0);
+    profiler.recordPageAccess(11, true);
+    profiler.recordPageConflict(3);
+
+    std::string json =
+        obs::exportJson("obs_export_demo", registry, ledger, recovery,
+                        tracer, 8, &profiler);
     std::string prom = obs::exportPrometheus(
-        "obs_export_demo", registry, ledger, recovery, tracer);
+        "obs_export_demo", registry, ledger, recovery, tracer,
+        &profiler);
 
     std::ofstream jout(argv[1], std::ios::binary | std::ios::trunc);
     jout << json;
